@@ -1,0 +1,81 @@
+"""Experiment E4 — alarm notification latency and throughput.
+
+Paper §2: "We can trigger alarm notifications if machines exceed a
+temperature or load factor." Two measurements:
+
+* **Detection latency**: inject hard failures on workstations; report
+  time from the over-threshold sample being taken at the mote to the
+  alarm firing (includes real multihop delivery delay).
+* **Filter throughput**: rows/second the alarm filter query sustains on
+  the stream engine (pytest-benchmark).
+
+Shape: every failure is detected; latency is milliseconds (a few radio
+hops), far below the 10 s sampling period that dominates freshness.
+"""
+
+import pytest
+
+from repro import SmartCIS
+
+
+def test_e4_detection_latency(table_printer, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for lab_count in (2, 4):
+        app = SmartCIS(seed=21, lab_count=lab_count, desks_per_lab=4)
+        app.start()
+        app.add_overtemp_alarm(33.0)
+        app.add_overload_alarm(0.95)
+        app.simulator.run_for(12.0)
+        victims = [f"lab1-ws1", f"lab{lab_count}-ws2"]
+        for victim in victims:
+            app.deployment.machines[victim].fail()
+        app.simulator.run_for(60.0)
+        overtemp = [e for e in app.alarms.events_for("overtemp") if e.key in victims]
+        overload = [e for e in app.alarms.events_for("overload") if e.key in victims]
+        assert {e.key for e in overtemp} == set(victims), "every failure detected"
+        assert {e.key for e in overload} == set(victims)
+        latencies = [e.latency for e in overtemp]
+        rows.append(
+            [
+                lab_count,
+                len(app.deployment.machines),
+                len(victims),
+                f"{min(latencies) * 1000:.0f}",
+                f"{max(latencies) * 1000:.0f}",
+                f"{1000 * sum(latencies) / len(latencies):.0f}",
+            ]
+        )
+        # Latency is network delivery, not polling: well under a second.
+        assert all(0 < l < 1.0 for l in latencies)
+    table_printer(
+        "E4: overtemp alarm detection latency (sensor-path)",
+        ["labs", "machines", "failures", "min (ms)", "max (ms)", "mean (ms)"],
+        rows,
+    )
+
+
+def test_e4_filter_throughput(benchmark, table_printer):
+    """Rows/second through the alarm filter on the stream engine."""
+    app = SmartCIS(seed=21, lab_count=2)
+    app.start()
+    app.add_overtemp_alarm(33.0)
+    batch = [
+        {"host": f"ws{i}", "room": "lab1", "desk": f"d{i}", "temp_c": 20.0 + (i % 30)}
+        for i in range(1000)
+    ]
+    clock = {"t": 100.0}
+
+    def push_batch():
+        clock["t"] += 1.0
+        for values in batch:
+            app.stream_engine.push("WorkstationTemps", values, clock["t"])
+
+    benchmark(push_batch)
+    fired = len(app.alarms.events_for("overtemp"))
+    table_printer(
+        "E4: alarm filter throughput input",
+        ["batch rows", "alarms fired (deduped)"],
+        [[len(batch), fired]],
+    )
+    assert fired > 0

@@ -1,0 +1,116 @@
+"""Experiment E3 — federated optimizer: plan space, cost and correctness.
+
+Paper §3 (Garlic-style): "the federated optimizer enumerates all
+possible plans, and partitions these plans among the different query
+engines". This bench grows the query (more sensor relations joined to
+more stream/table relations), reporting the number of partitioning
+alternatives enumerated, optimization time, and the chosen plan's cost —
+and asserts the chosen plan is the argmin over the enumeration
+(exhaustiveness check).
+"""
+
+import time
+
+import pytest
+
+from repro.catalog import Catalog, DeviceInfo, SourceStatistics
+from repro.core import FederatedOptimizer
+from repro.data import DataType, Schema
+from repro.plan import PlanBuilder
+from repro.runtime import Simulator
+from repro.sensor import Mote, MoteRole, Position, SensorNetwork
+
+
+def make_world(sensor_relations: int, motes_per_relation: int = 3):
+    """A catalog + network with N independent sensor relations, one stream
+    and one table, and a query joining them all."""
+    simulator = Simulator(5)
+    network = SensorNetwork(simulator)
+    network.add_basestation(Position(0, 0), radio_range=120)
+    catalog = Catalog()
+    next_id = 1
+    names = []
+    for index in range(sensor_relations):
+        ids = []
+        for m in range(motes_per_relation):
+            # A line with 60 ft spacing: every mote chains to the base.
+            mote = Mote(
+                next_id,
+                Position(60.0 + (next_id - 1) * 60.0, 0.0),
+                MoteRole.ROOM,
+                radio_range=150,
+            )
+            network.add_mote(mote)
+            ids.append(next_id)
+            next_id += 1
+        name = f"S{index}"
+        catalog.register_sensor_stream(
+            name,
+            Schema.of(("room", DataType.STRING), ("value", DataType.FLOAT)),
+            DeviceInfo(tuple(ids), sample_period=10.0),
+            statistics=SourceStatistics(
+                rate=motes_per_relation / 10.0, distinct_values={"room": 8}
+            ),
+        )
+        names.append(name)
+    network.rebuild_topology()
+    catalog.register_stream(
+        "Feed",
+        Schema.of(("room", DataType.STRING), ("load", DataType.FLOAT)),
+        rate=0.5,
+        statistics=SourceStatistics(rate=0.5, distinct_values={"room": 8}),
+    )
+    catalog.register_table(
+        "Info",
+        Schema.of(("room", DataType.STRING), ("label", DataType.STRING)),
+        cardinality=16,
+        statistics=SourceStatistics(cardinality=16, distinct_values={"room": 8}),
+    )
+    froms = [f"{n} s{i}" for i, n in enumerate(names)] + ["Feed f", "Info i"]
+    joins = [f"s{i}.room = f.room" for i in range(len(names))] + ["f.room = i.room"]
+    filters = [f"s{i}.value > {20 + i}" for i in range(len(names))]
+    sql = (
+        "select f.room from "
+        + ", ".join(froms)
+        + " where "
+        + " and ".join(joins + filters)
+    )
+    plan = PlanBuilder(catalog).build_sql(sql)
+    return FederatedOptimizer(catalog, network), plan
+
+
+def test_e3_plan_space_and_correctness(table_printer, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for sensor_relations in (1, 2, 3, 4):
+        optimizer, plan = make_world(sensor_relations)
+        t0 = time.perf_counter()
+        federated = optimizer.optimize(plan)
+        elapsed = time.perf_counter() - t0
+        best = min(a.normalized.total for a in federated.alternatives)
+        # Correctness: chosen == argmin of the exhaustive enumeration.
+        assert federated.cost.total == pytest.approx(best)
+        rows.append(
+            [
+                sensor_relations,
+                len(federated.alternatives),
+                len(federated.pushed),
+                f"{elapsed * 1000:.1f}",
+                f"{federated.cost.total:.4f}",
+            ]
+        )
+    table_printer(
+        "E3: federated optimization vs query size",
+        ["sensor rels", "alternatives", "fragments", "time (ms)", "chosen cost"],
+        rows,
+    )
+    # Plan space grows with candidate fragments (2^k alternatives).
+    alternatives = [int(r[1]) for r in rows]
+    assert alternatives == sorted(alternatives)
+    assert alternatives[-1] > alternatives[0]
+
+
+def test_e3_optimization_speed(benchmark):
+    optimizer, plan = make_world(3)
+    federated = benchmark(lambda: optimizer.optimize(plan))
+    assert federated.alternatives

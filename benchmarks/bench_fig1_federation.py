@@ -1,0 +1,85 @@
+"""Experiment F1 — Figure 1: federated plan partitioning.
+
+Regenerates the paper's Figure 1: the free-machine query (written over
+the OpenMachineInfo view) is parsed, the view folded in, and the plan
+partitioned between the sensor engine (in-network join over
+AreaSensors ⋈ SeatSensors with per-pair site decisions) and the stream
+engine (Person ⋈ Route ⋈ Machines ⋈ remote results).
+
+Printed rows: each enumerated alternative with its pushed fragments and
+normalised cost; the per-pair join-site table of the winning plan.
+Shape assertions: the view's join is pushed in-network, the pushed
+alternative beats raw collection, and only non-sensor scans remain on
+the stream side.
+"""
+
+import pytest
+
+from repro import SmartCIS
+from repro.catalog import EngineLocation
+from repro.plan.logical import Scan
+from repro.smartcis.queries import FREE_MACHINE_QUERY
+
+
+@pytest.fixture(scope="module")
+def app():
+    app = SmartCIS(seed=7)
+    app.start()
+    return app
+
+
+def test_fig1_partitioning(app, table_printer, benchmark):
+    federated = benchmark.pedantic(
+        lambda: app.explain_sql(FREE_MACHINE_QUERY), rounds=1, iterations=1
+    )
+
+    table_printer(
+        "Figure 1: enumerated partitionings",
+        ["alternative", "pushed fragments", "latency (s)", "resource (/s)", "total"],
+        [
+            [
+                "*" if alt is federated.chosen else " ",
+                ", ".join(f"{f.deployment.kind}:{'+'.join(f.deployment.relations)}" for f in alt.pushed) or "<none>",
+                f"{alt.normalized.latency_seconds:.4f}",
+                f"{alt.normalized.resource_rate:.4f}",
+                f"{alt.normalized.total:.4f}",
+            ]
+            for alt in federated.alternatives
+        ],
+    )
+    join_fragment = federated.pushed[0]
+    table_printer(
+        "Figure 1: per-sensor join-site decisions (winning plan)",
+        ["pair (area,seat)", "at-base", "at-left", "at-right", "chosen"],
+        [
+            [
+                f"({d.pair.left_mote},{d.pair.right_mote})",
+                f"{d.cost_at_base:.2f}",
+                f"{d.cost_at_left:.2f}",
+                f"{d.cost_at_right:.2f}",
+                d.pair.strategy.value,
+            ]
+            for d in join_fragment.deployment.decisions
+        ],
+    )
+    print()
+    print(federated.explain())
+
+    # Shape: the paper's partition.
+    assert [f.deployment.kind for f in federated.pushed] == ["join"]
+    assert set(join_fragment.deployment.relations) == {"AreaSensors", "SeatSensors"}
+    stream_side = {
+        n.entry.name for n in federated.stream_plan.walk() if isinstance(n, Scan)
+    }
+    assert stream_side == {"Person", "Route", "Machines"}
+    for node in federated.stream_plan.walk():
+        if isinstance(node, Scan):
+            assert node.entry.location is not EngineLocation.SENSOR
+    # Pushing beats pulling raw sensor streams.
+    raw = [a for a in federated.alternatives if a is not federated.chosen]
+    assert all(federated.cost.total <= a.normalized.total for a in raw)
+
+
+def test_fig1_optimization_speed(app, benchmark):
+    result = benchmark(lambda: app.explain_sql(FREE_MACHINE_QUERY))
+    assert result.pushed

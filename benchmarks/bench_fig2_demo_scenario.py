@@ -1,0 +1,82 @@
+"""Experiment F2 — Figure 2: the GUI demo scenario.
+
+Regenerates the paper's screenshot as deterministic ASCII: building
+layout, open and closed (hatched) labs, free (F) and unavailable (U)
+machines, the visitor (@), and the route (*) to the nearest machine
+with Fedora Linux, plus the details panel.
+
+Shape assertions: the closed lab is hatched and its machines
+unavailable, the visitor is guided to a Fedora machine in an *open*
+lab, and the plotted route is the shortest available one.
+"""
+
+import pytest
+
+from repro import SmartCIS
+from repro.building import shortest_path
+from repro.smartcis import render_app
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    app = SmartCIS(seed=7)
+    app.start()
+    app.simulator.run_for(25.0)
+    # Close lab4 (as in the screenshot some labs are shaded closed).
+    room = app.building.room("lab4")
+    room.lights_on = False
+    room.door_open = False
+    # Another student occupies a lab1 desk.
+    app.building.room("lab1").desk("d1").occupied = True
+    app.simulator.run_for(12.0)
+    app.add_visitor("visitor", needed="%Fedora%")
+    app.simulator.run_for(6.0)
+    guidance = app.guide_visitor("visitor", "%Fedora%")
+    return app, guidance
+
+
+def test_fig2_scene(scenario, benchmark):
+    app, guidance = scenario
+    details = [
+        guidance.render(),
+        f"open labs: {', '.join(r for r in app.state.open_rooms() if r.startswith('lab'))}",
+        f"machines free: {len(app.find_free_machines('%'))}",
+    ]
+    scene = benchmark.pedantic(
+        lambda: render_app(app, visitor="visitor", route=guidance.route, details=details),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(scene)
+
+    # The screenshot's elements are all present.
+    assert "@" in scene            # visitor
+    assert "*" in scene            # plotted route
+    assert "U" in scene            # unavailable machines (occupied / closed lab)
+    assert "F" in scene            # free machines
+    assert "details" in scene
+    # lab4 is closed: hatched interior on its rows.
+    assert not app.state.room_is_open("lab4")
+    # The guidance avoids the closed lab and targets Fedora.
+    assert guidance.room != "lab4"
+    spec = next(s for s in app.deployment.machine_specs if s.host == guidance.host)
+    assert "Fedora" in spec.software
+    # Route optimality: matches Dijkstra over the live graph.
+    oracle = shortest_path(
+        app.deployment.graph, guidance.route.start, guidance.route.end
+    )
+    assert guidance.route.distance == pytest.approx(oracle.distance)
+
+
+def test_fig2_determinism(scenario, benchmark):
+    app, guidance = scenario
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert render_app(app, visitor="visitor", route=guidance.route) == render_app(
+        app, visitor="visitor", route=guidance.route
+    )
+
+
+def test_fig2_render_speed(scenario, benchmark):
+    app, guidance = scenario
+    text = benchmark(lambda: render_app(app, visitor="visitor", route=guidance.route))
+    assert "@" in text

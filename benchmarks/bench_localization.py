@@ -1,0 +1,139 @@
+"""Experiment E6 — occupant detection and localisation.
+
+Paper §2: hallway motes "at major intersection points, and every 100
+feet" detect the beacon carried by an occupant. We walk a simulated
+occupant down a hallway and measure localisation accuracy (distance
+between the estimate and the true position) and fix latency, sweeping
+the beacon period and the detector spacing.
+
+Shape: error is bounded by about half the detector spacing plus the
+distance walked in one beacon period; faster beacons and denser
+detectors both tighten the estimate.
+"""
+
+import pytest
+
+from repro.building import Occupant, RoutingGraph
+from repro.runtime import Simulator
+from repro.sensor import (
+    Beacon,
+    Localizer,
+    Mote,
+    MoteRole,
+    Position,
+    RFIDService,
+    SensorNetwork,
+)
+
+HALL_LENGTH = 600.0
+WALK_SPEED = 4.0
+
+
+def build_hallway(spacing: float, seed: int = 13):
+    simulator = Simulator(seed)
+    network = SensorNetwork(simulator)
+    network.add_basestation(Position(HALL_LENGTH / 2, 30), radio_range=400)
+    positions = {}
+    mote_id = 1
+    x = 0.0
+    while x <= HALL_LENGTH:
+        network.add_mote(Mote(mote_id, Position(x, 0), MoteRole.HALLWAY, radio_range=400))
+        positions[mote_id] = Position(x, 0)
+        mote_id += 1
+        x += spacing
+    network.rebuild_topology()
+
+    graph = RoutingGraph()
+    graph.add_point("start", Position(0, 0))
+    graph.add_point("end", Position(HALL_LENGTH, 0))
+    graph.add_edge("start", "end")
+    return simulator, network, positions, graph
+
+
+def run_walk(spacing: float, beacon_period: float) -> tuple[float, float, int]:
+    """Returns (mean error ft, max error ft, fixes)."""
+    simulator, network, positions, graph = build_hallway(spacing)
+    localizer = Localizer(positions, horizon=beacon_period * 2.5)
+    service = RFIDService(network, lambda v, t: localizer.observe(v, t))
+    occupant = Occupant("visitor", 9, simulator, graph, "start", speed=WALK_SPEED)
+    service.add_beacon(
+        Beacon(9, occupant.position_fn, period=beacon_period, tx_range=spacing * 0.75)
+    )
+    occupant.walk_to("end")
+
+    errors = []
+    sample_every = 5.0
+    t = sample_every
+    total = HALL_LENGTH / WALK_SPEED
+    while t < total:
+        simulator.run_until(t)
+        estimate = localizer.locate(9, simulator.now)
+        if estimate is not None:
+            truth = occupant.position
+            errors.append(estimate.distance_to(truth))
+        t += sample_every
+    if not errors:
+        return float("inf"), float("inf"), 0
+    return sum(errors) / len(errors), max(errors), len(errors)
+
+
+def test_e6_accuracy_sweep(table_printer, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    results = {}
+    for spacing in (50.0, 100.0, 150.0):
+        for period in (1.0, 2.0, 4.0):
+            mean_err, max_err, fixes = run_walk(spacing, period)
+            results[(spacing, period)] = mean_err
+            bound = spacing / 2 + WALK_SPEED * period + spacing * 0.25
+            rows.append(
+                [
+                    f"{spacing:.0f}",
+                    f"{period:.0f}",
+                    fixes,
+                    f"{mean_err:.1f}",
+                    f"{max_err:.1f}",
+                    f"{bound:.0f}",
+                ]
+            )
+            # Accuracy is bounded by the geometry: roughly half the
+            # spacing plus one beacon period of walking.
+            assert mean_err <= bound, (spacing, period, mean_err)
+    table_printer(
+        "E6: localisation error vs detector spacing and beacon period",
+        ["spacing (ft)", "period (s)", "fixes", "mean err (ft)", "max err (ft)", "bound"],
+        rows,
+    )
+    # Denser detectors improve the mean estimate at fixed period.
+    assert results[(50.0, 2.0)] < results[(150.0, 2.0)]
+
+
+def test_e6_sighting_latency(table_printer, benchmark):
+    """Time from beacon transmission to sighting arriving at the base."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    simulator, network, positions, graph = build_hallway(100.0)
+    arrivals = []
+    service = RFIDService(
+        network, lambda v, t: arrivals.append(t - v["heard_at"])
+    )
+    occupant = Occupant("visitor", 9, simulator, graph, "start", speed=WALK_SPEED)
+    service.add_beacon(Beacon(9, occupant.position_fn, period=2.0, tx_range=80))
+    simulator.run_for(30.0)
+    assert arrivals
+    mean_latency = sum(arrivals) / len(arrivals)
+    table_printer(
+        "E6: sighting delivery latency",
+        ["sightings", "mean (ms)", "max (ms)"],
+        [[len(arrivals), f"{mean_latency * 1000:.0f}", f"{max(arrivals) * 1000:.0f}"]],
+    )
+    assert 0 < mean_latency < 0.5
+
+
+def test_e6_localization_speed(benchmark):
+    simulator, network, positions, graph = build_hallway(100.0)
+    localizer = Localizer(positions, horizon=5.0)
+    for i, detector in enumerate(list(positions)[:5]):
+        localizer.observe(
+            {"detector": detector, "beacon": 9, "rssi": -50.0 - i}, time=1.0
+        )
+    benchmark(lambda: localizer.locate(9, 2.0))

@@ -1,0 +1,81 @@
+"""Experiment E7 — visitor guidance: end-to-end latency and optimality.
+
+Paper §4: "The visitor will then request a set of desired features for
+a free machine (e.g., Fedora, Word, etc.). The SmartCIS application
+will plot on the GUI a route to such a machine in the laboratories."
+
+Measures the full interaction — locate visitor, find matching free
+machines via live monitoring state, pick the nearest by routing
+distance — across building sizes, and checks route optimality against
+Dijkstra on the same graph.
+
+Shape: guidance stays interactive (milliseconds) as the building grows;
+routes are exactly optimal; the chosen machine is the nearest match.
+"""
+
+import time
+
+import pytest
+
+from repro import SmartCIS
+from repro.building import shortest_path
+
+
+def warmed_app(lab_count: int) -> SmartCIS:
+    app = SmartCIS(seed=17, lab_count=lab_count, desks_per_lab=4)
+    app.start()
+    app.simulator.run_for(15.0)
+    app.add_visitor("visitor", needed="%Fedora%")
+    app.simulator.run_for(6.0)
+    return app
+
+
+def test_e7_guidance_scaling(table_printer, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for lab_count in (2, 4, 6):
+        app = warmed_app(lab_count)
+        t0 = time.perf_counter()
+        guidance = app.guide_visitor("visitor", "%Fedora%")
+        elapsed = time.perf_counter() - t0
+
+        oracle = shortest_path(
+            app.deployment.graph, guidance.route.start, guidance.route.end
+        )
+        assert guidance.route.distance == pytest.approx(oracle.distance)
+        # Nearest match: no other free Fedora machine is closer.
+        for host, room, desk in app.find_free_machines("%Fedora%"):
+            other = shortest_path(
+                app.deployment.graph,
+                guidance.route.start,
+                app.deployment.desk_point(room, desk),
+            )
+            assert guidance.route.distance <= other.distance + 1e-9
+
+        rows.append(
+            [
+                lab_count,
+                len(app.deployment.graph.points),
+                app.router.closure_size(),
+                f"{elapsed * 1000:.1f}",
+                f"{guidance.route.distance:.0f}",
+                guidance.host,
+            ]
+        )
+    table_printer(
+        "E7: guide-to-free-machine, end to end",
+        ["labs", "graph points", "closure rows", "latency (ms)", "route (ft)", "machine"],
+        rows,
+    )
+
+
+def test_e7_guidance_speed(benchmark):
+    app = warmed_app(4)
+    guidance = benchmark(lambda: app.guide_visitor("visitor", "%Fedora%"))
+    assert guidance.route.distance > 0
+
+
+def test_e7_routing_closure_lookup_speed(benchmark):
+    app = warmed_app(4)
+    route = benchmark(lambda: app.router.route("lobby", "lab3.d2"))
+    assert route.points[0] == "lobby"

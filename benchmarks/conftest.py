@@ -1,0 +1,30 @@
+"""Shared helpers for the experiment benches.
+
+Every bench regenerates one artifact from DESIGN.md §4 (a figure, a
+demo capability, or an ablation): it *prints* the rows/series the paper
+reports — shape, not absolute numbers — and asserts the qualitative
+claim. ``pytest benchmarks/ --benchmark-only -s`` shows the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render one experiment's output table to stdout."""
+    print()
+    print(f"== {title} ==")
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    print("  " + " | ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    print("  " + "-+-".join("-" * w for w in widths))
+    for row in rows:
+        print("  " + " | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

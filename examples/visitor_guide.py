@@ -1,0 +1,85 @@
+"""Visitor guidance under live building changes.
+
+The demo scenario of paper §4, extended: two visitors with different
+software needs move through the building; a lab closes (door shut,
+lights off) while one of them is en route, and the system re-guides
+using the incrementally maintained routing closure and fresh sensor
+state.
+
+Run:  python examples/visitor_guide.py
+"""
+
+from repro import SmartCIS
+from repro.smartcis import render_app
+
+
+def report(app: SmartCIS, name: str) -> None:
+    location = app.locate_visitor(name) or "(not seen)"
+    print(f"  {name}: localised at {location}")
+
+
+def main() -> None:
+    app = SmartCIS(seed=11)
+    app.start()
+    app.simulator.run_for(30)
+
+    app.add_visitor("alice", needed="%Fedora%")
+    app.add_visitor("bob", needed="%Word%")
+    app.simulator.run_for(8)
+
+    print("— visitors arrive —")
+    report(app, "alice")
+    report(app, "bob")
+
+    alice_guidance = app.guide_visitor("alice", "%Fedora%")
+    bob_guidance = app.guide_visitor("bob", "%Word%")
+    print("guidance:")
+    print("  " + alice_guidance.render())
+    print("  " + bob_guidance.render())
+
+    # Alice starts walking; meanwhile her destination lab closes.
+    alice = app.occupants["alice"]
+    alice.walk_route(alice_guidance.route)
+    app.simulator.run_for(20)
+
+    closing = alice_guidance.room
+    room = app.building.room(closing)
+    room.lights_on = False
+    room.door_open = False
+    print(f"\n— {closing} closes (lights off, door shut) —")
+    app.simulator.run_for(15)  # area sensors pick up the change
+
+    print(f"  {closing} open per monitoring: {app.state.room_is_open(closing)}")
+    report(app, "alice")
+
+    # Re-guide from wherever she is now.
+    new_guidance = app.guide_visitor("alice", "%Fedora%")
+    print("re-guided:")
+    print("  " + new_guidance.render())
+    assert new_guidance.room != closing, "must avoid the closed lab"
+
+    alice.walk_route(
+        app.router.route(alice.current_point, new_guidance.route.end)
+        if alice.current_point != new_guidance.route.start
+        else new_guidance.route
+    )
+    app.simulator.run_for(120)
+    alice.sit_at(app.building, new_guidance.room, new_guidance.desk)
+    app.simulator.run_for(10)
+
+    print("\nfinal map (closed lab hatched, alice seated):")
+    print(
+        render_app(
+            app,
+            visitor="alice",
+            route=new_guidance.route,
+            details=[
+                new_guidance.render(),
+                f"open labs: {', '.join(r for r in app.state.open_rooms())}",
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""SmartCIS / ASPEN reproduction.
+
+A full reimplementation of the system demonstrated in *SmartCIS:
+Integrating Digital and Physical Environments* (SIGMOD 2009): the ASPEN
+declarative data-acquisition and integration substrate — Stream SQL
+front end, in-network sensor query engine, distributed stream engine
+with recursive views, federated optimizer with cross-engine cost
+normalisation — plus the SmartCIS smart-building application over a
+simulated Moore-building deployment.
+
+Quickstart::
+
+    from repro import SmartCIS
+
+    app = SmartCIS(seed=7)
+    app.start()
+    app.simulator.run_for(30)
+    app.add_visitor("alice", needed="%Fedora%")
+    app.simulator.run_for(10)
+    print(app.guide_visitor("alice").render())
+"""
+
+from repro.smartcis.app import Guidance, SmartCIS
+
+__version__ = "1.0.0"
+
+__all__ = ["SmartCIS", "Guidance", "__version__"]

@@ -1,0 +1,44 @@
+"""Building model: rooms, routing points, occupants and the default layout."""
+
+from repro.building.layout import (
+    BASESTATION_ID,
+    HALLWAY_ID_BASE,
+    ROOM_ID_BASE,
+    SEAT_ID_BASE,
+    SOFTWARE_IMAGES,
+    WORKSTATION_ID_BASE,
+    Deployment,
+    build_moore_deployment,
+)
+from repro.building.model import Building, Desk, Room, RoomKind
+from repro.building.occupants import WALK_SPEED_FPS, Occupant
+from repro.building.routing import (
+    CLOSURE_SCHEMA,
+    Route,
+    StreamRouter,
+    shortest_path,
+)
+from repro.building.topology import RoutingGraph, RoutingPoint
+
+__all__ = [
+    "Building",
+    "Room",
+    "RoomKind",
+    "Desk",
+    "RoutingGraph",
+    "RoutingPoint",
+    "Route",
+    "shortest_path",
+    "StreamRouter",
+    "CLOSURE_SCHEMA",
+    "Occupant",
+    "WALK_SPEED_FPS",
+    "Deployment",
+    "build_moore_deployment",
+    "SOFTWARE_IMAGES",
+    "BASESTATION_ID",
+    "HALLWAY_ID_BASE",
+    "ROOM_ID_BASE",
+    "SEAT_ID_BASE",
+    "WORKSTATION_ID_BASE",
+]

@@ -1,0 +1,288 @@
+"""The default "Moore-like" deployment.
+
+Paper §1: "SmartCIS consists of a suite of sensor devices deployed
+throughout a portion of Penn's Moore building (which holds most of our
+laboratories), a set of 'soft sensors' ... and a graphical interface."
+
+This module builds a configurable approximation of that deployment:
+
+* a hallway spine with routing points every ~100 feet plus one per lab
+  door (paper §2: detectors "at major intersection points, and every
+  100 feet"),
+* labs along the south side (4 desks + machines each), offices and a
+  machine room (servers) along the north side,
+* motes: one basestation, one RFID detector per hallway routing point,
+  one room mote (temperature + light) per room, and per desk a seat
+  mote (chair light level) paired with a workstation mote (machine
+  temperature),
+* a :class:`SimulatedMachine` per desk machine and per server.
+
+Everything is returned in one :class:`Deployment` bundle that the
+SmartCIS application layer wires to the engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.building.model import Building, Desk, Room, RoomKind
+from repro.building.topology import RoutingGraph
+from repro.runtime import Simulator
+from repro.sensor.mote import Mote, MoteRole, Position
+from repro.sensor.network import SensorNetwork
+from repro.wrappers.machine import MachineSpec, SimulatedMachine
+
+#: Software images cycled across lab machines (the demo's "Fedora, Word" ask).
+SOFTWARE_IMAGES = [
+    "Fedora Linux,Emacs,GCC",
+    "Windows XP,Word,Excel",
+    "Fedora Linux,Matlab",
+    "Ubuntu Linux,Word,OpenOffice",
+]
+
+# Mote id blocks, fixed so tests and docs can refer to them.
+BASESTATION_ID = 0
+HALLWAY_ID_BASE = 1     # one per hallway routing point
+ROOM_ID_BASE = 40       # one per room
+SEAT_ID_BASE = 100      # one per desk
+WORKSTATION_ID_BASE = 200  # one per desk machine
+
+
+@dataclass
+class Deployment:
+    """Everything the SmartCIS application needs, fully assembled."""
+
+    simulator: Simulator
+    building: Building
+    graph: RoutingGraph
+    network: SensorNetwork
+    machines: dict[str, SimulatedMachine] = field(default_factory=dict)
+    machine_specs: list[MachineSpec] = field(default_factory=list)
+    #: detector mote id → routing point name it sits on.
+    detector_points: dict[int, str] = field(default_factory=dict)
+    #: (room, desk) → (seat mote id, workstation mote id or None).
+    desk_motes: dict[tuple[str, str], tuple[int, int | None]] = field(default_factory=dict)
+    #: room id → room mote id.
+    room_motes: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def detector_coord_rows(self) -> list[dict[str, object]]:
+        """``DetectorCoords`` table rows (paper: detector map coordinates)."""
+        rows = []
+        for mote_id, point_name in sorted(self.detector_points.items()):
+            position = self.graph.point(point_name).position
+            rows.append({"detector": mote_id, "x": position.x, "y": position.y})
+        return rows
+
+    def machine_rows(self) -> list[dict[str, object]]:
+        """``Machines`` table rows."""
+        return [spec.as_row() for spec in self.machine_specs]
+
+    def room_rows(self) -> list[dict[str, object]]:
+        """``Rooms`` table rows."""
+        return [
+            {"room": room.room_id, "kind": room.kind.value, "label": room.room_id}
+            for room in self.building.rooms.values()
+        ]
+
+    def seat_mote_ids(self) -> list[int]:
+        return [seat for seat, _ in self.desk_motes.values()]
+
+    def workstation_mote_ids(self) -> list[int]:
+        return [ws for _, ws in self.desk_motes.values() if ws is not None]
+
+    def room_mote_ids(self) -> list[int]:
+        return list(self.room_motes.values())
+
+    def desk_point(self, room_id: str, desk_id: str) -> str:
+        """Routing point name of a desk (for walking to it)."""
+        return f"{room_id}.{desk_id}"
+
+    def room_center_point(self, room_id: str) -> str:
+        return f"{room_id}.center"
+
+
+def build_moore_deployment(
+    simulator: Simulator,
+    *,
+    lab_count: int = 4,
+    desks_per_lab: int = 4,
+    server_count: int = 4,
+    hallway_length: float = 400.0,
+    radio_range: float = 130.0,
+) -> Deployment:
+    """Construct the default deployment.
+
+    The building scales with ``lab_count``: labs line the south side of
+    a single east-west hallway, offices and the machine room the north
+    side. Larger values grow the hallway accordingly.
+    """
+    building = Building("Moore")
+    graph = RoutingGraph()
+    network = SensorNetwork(simulator)
+    deployment = Deployment(simulator, building, graph, network)
+
+    hallway_length = max(hallway_length, 100.0 * (lab_count + 1))
+    hallway_y = 60.0
+
+    # --- hallway routing points every ~100 ft -------------------------
+    spine: list[str] = []
+    x = 10.0
+    index = 0
+    while x < hallway_length:
+        name = "lobby" if index == 0 else f"h{int(x)}"
+        graph.add_point(name, Position(x, hallway_y))
+        spine.append(name)
+        x += 100.0
+        index += 1
+    for a, b in zip(spine, spine[1:]):
+        graph.add_edge(a, b)
+
+    # --- basestation mid-hallway --------------------------------------
+    mid = graph.point(spine[len(spine) // 2]).position
+    network.add_basestation(Position(mid.x, mid.y), radio_range + 30.0)
+
+    # --- labs (south) and offices/machine room (north) ----------------
+    lab_width, lab_height, gap = 80.0, 50.0, 20.0
+    for lab_index in range(lab_count):
+        room_id = f"lab{lab_index + 1}"
+        origin = Position(40.0 + lab_index * (lab_width + gap), 0.0)
+        room = Room(room_id, RoomKind.LAB, origin, lab_width, lab_height)
+        building.add_room(room)
+        _wire_room(deployment, room, hallway_y, spine, desks_per_lab, radio_range)
+
+    office_count = max(lab_count - 1, 1)
+    for office_index in range(office_count):
+        room_id = f"office{office_index + 1}"
+        origin = Position(40.0 + office_index * (lab_width + gap), 70.0)
+        room = Room(room_id, RoomKind.OFFICE, origin, lab_width, lab_height)
+        building.add_room(room)
+        _wire_room(deployment, room, hallway_y, spine, desk_count=1, radio_range=radio_range)
+
+    machine_room = Room(
+        "machineroom",
+        RoomKind.MACHINE_ROOM,
+        Position(40.0 + office_count * (lab_width + gap), 70.0),
+        lab_width,
+        lab_height,
+        base_temperature=19.0,
+    )
+    building.add_room(machine_room)
+    _wire_room(deployment, machine_room, hallway_y, spine, desk_count=0, radio_range=radio_range)
+
+    # --- machines on lab desks -----------------------------------------
+    for room in building.labs():
+        for desk_index, desk in enumerate(sorted(room.desks.values(), key=lambda d: d.desk_id)):
+            host = f"{room.room_id}-ws{desk_index + 1}"
+            software = SOFTWARE_IMAGES[desk_index % len(SOFTWARE_IMAGES)]
+            spec = MachineSpec(host, room.room_id, desk.desk_id, software)
+            desk.machine_host = host
+            deployment.machine_specs.append(spec)
+            deployment.machines[host] = SimulatedMachine(spec, simulator)
+
+    # --- servers in the machine room ------------------------------------
+    for server_index in range(server_count):
+        host = f"srv{server_index + 1}"
+        spec = MachineSpec(host, "machineroom", f"rack{server_index + 1}", "Fedora Linux,Apache", is_server=True)
+        deployment.machine_specs.append(spec)
+        deployment.machines[host] = SimulatedMachine(spec, simulator)
+
+    # --- motes ------------------------------------------------------------
+    _deploy_motes(deployment, radio_range)
+    network.rebuild_topology()
+    return deployment
+
+
+def _wire_room(
+    deployment: Deployment,
+    room: Room,
+    hallway_y: float,
+    spine: list[str],
+    desk_count: int,
+    radio_range: float,
+) -> None:
+    """Create a room's door/center/desk routing points and its desks."""
+    graph = deployment.graph
+    door_x = room.origin.x + room.width / 2
+    door_name = f"{room.room_id}.door"
+    graph.add_point(door_name, Position(door_x, hallway_y))
+    room.entrance = graph.point(door_name).position
+    # Connect the door to its nearest spine point(s).
+    nearest = min(
+        spine,
+        key=lambda name: abs(graph.point(name).position.x - door_x),
+    )
+    graph.add_edge(door_name, nearest)
+
+    center_name = f"{room.room_id}.center"
+    graph.add_point(center_name, room.center)
+    graph.add_edge(door_name, center_name)
+
+    inset_x, inset_y = 15.0, 10.0
+    for desk_index in range(desk_count):
+        desk_id = f"d{desk_index + 1}"
+        column = desk_index % 2
+        row_index = desk_index // 2
+        desk_y = room.origin.y + inset_y + row_index * 18.0
+        desk_position = Position(room.origin.x + inset_x + column * 45.0, desk_y)
+        desk = Desk(desk_id, desk_position)
+        room.add_desk(desk)
+        point_name = f"{room.room_id}.{desk_id}"
+        graph.add_point(point_name, desk_position)
+        graph.add_edge(center_name, point_name)
+
+
+def _deploy_motes(deployment: Deployment, radio_range: float) -> None:
+    """Instantiate motes with sensors bound to the building/machine state."""
+    network = deployment.network
+    building = deployment.building
+    simulator = deployment.simulator
+
+    # Hallway RFID detectors: one per hallway-level routing point.
+    detector_id = HALLWAY_ID_BASE
+    for point in deployment.graph.points:
+        if "." in point.name and not point.name.endswith(".door"):
+            continue  # in-room points get no detector
+        mote = Mote(detector_id, point.position, MoteRole.HALLWAY, radio_range)
+        network.add_mote(mote)
+        deployment.detector_points[detector_id] = point.name
+        detector_id += 1
+
+    # Room motes: temperature and light of the room itself.
+    room_id_counter = ROOM_ID_BASE
+    for room in building.rooms.values():
+        mote = Mote(room_id_counter, room.center, MoteRole.ROOM, radio_range)
+        mote.attach_sensor(
+            "temperature",
+            lambda room=room: room.base_temperature
+            + 0.4 * sum(1 for d in room.desks.values() if d.occupied)
+            + simulator.rng.gauss(0, 0.2),
+        )
+        mote.attach_sensor("light", lambda room=room: room.ambient_light())
+        network.add_mote(mote)
+        deployment.room_motes[room.room_id] = room_id_counter
+        room_id_counter += 1
+
+    # Seat + workstation motes per desk.
+    seat_id = SEAT_ID_BASE
+    workstation_id = WORKSTATION_ID_BASE
+    for room, desk in building.all_desks():
+        seat = Mote(seat_id, desk.position, MoteRole.SEAT, radio_range)
+        seat.attach_sensor(
+            "light",
+            lambda room=room, desk=desk: room.seat_light(desk.desk_id),
+        )
+        network.add_mote(seat)
+        ws_id: int | None = None
+        if desk.machine_host is not None:
+            machine = deployment.machines.get(desk.machine_host)
+            ws = Mote(workstation_id, desk.position, MoteRole.WORKSTATION, radio_range)
+            if machine is not None:
+                ws.attach_sensor(
+                    "temperature", lambda machine=machine: machine.temperature_c()
+                )
+            network.add_mote(ws)
+            ws_id = workstation_id
+            workstation_id += 1
+        deployment.desk_motes[(room.room_id, desk.desk_id)] = (seat_id, ws_id)
+        seat_id += 1

@@ -1,0 +1,161 @@
+"""Building model: rooms, desks and the physical world state.
+
+The building is the ground truth the sensors observe: each room has a
+light state and an ambient temperature, each desk may be occupied, and
+doors open or close (a lab with its door closed and lights off is
+"closed" in the GUI sense). Sensor samplers read *this* model — so a
+SmartCIS query's answer can be checked against the world that produced
+it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import BuildingModelError
+from repro.sensor.mote import Position
+
+
+class RoomKind(enum.Enum):
+    LAB = "lab"
+    OFFICE = "office"
+    HALLWAY = "hallway"
+    LOBBY = "lobby"
+    MACHINE_ROOM = "machine_room"
+
+
+@dataclass
+class Desk:
+    """One desk inside a room, optionally hosting a machine.
+
+    Attributes:
+        desk_id: Identifier unique within the room ("d1").
+        position: Building coordinates.
+        machine_host: Host name of the machine on this desk, if any.
+        occupied: Someone is seated here (drives the seat mote's light
+            level: a person shadows the chair sensor).
+    """
+
+    desk_id: str
+    position: Position
+    machine_host: str | None = None
+    occupied: bool = False
+
+
+@dataclass
+class Room:
+    """One room with its live physical state.
+
+    Attributes:
+        room_id: Identifier ("lab1").
+        kind: Room type.
+        origin: Lower-left corner.
+        width, height: Extent in feet.
+        lights_on / door_open: Controllable state; a lab is *open* when
+            both are true.
+        base_temperature: Ambient setpoint; machines add heat on top.
+    """
+
+    room_id: str
+    kind: RoomKind
+    origin: Position
+    width: float
+    height: float
+    lights_on: bool = True
+    door_open: bool = True
+    base_temperature: float = 21.0
+    desks: dict[str, Desk] = field(default_factory=dict)
+    entrance: Position | None = None
+
+    def add_desk(self, desk: Desk) -> Desk:
+        if desk.desk_id in self.desks:
+            raise BuildingModelError(f"room {self.room_id} already has desk {desk.desk_id}")
+        self.desks[desk.desk_id] = desk
+        return desk
+
+    def desk(self, desk_id: str) -> Desk:
+        desk = self.desks.get(desk_id)
+        if desk is None:
+            raise BuildingModelError(f"room {self.room_id} has no desk {desk_id!r}")
+        return desk
+
+    @property
+    def center(self) -> Position:
+        return Position(self.origin.x + self.width / 2, self.origin.y + self.height / 2)
+
+    @property
+    def is_open(self) -> bool:
+        """The paper's lab-open condition: door open and lights on."""
+        return self.lights_on and self.door_open
+
+    @property
+    def status(self) -> str:
+        return "open" if self.is_open else "closed"
+
+    def contains(self, position: Position) -> bool:
+        return (
+            self.origin.x <= position.x <= self.origin.x + self.width
+            and self.origin.y <= position.y <= self.origin.y + self.height
+        )
+
+    def ambient_light(self) -> float:
+        """Room light level in raw sensor units (0-1000)."""
+        return 700.0 if self.lights_on else 40.0
+
+    def seat_light(self, desk_id: str) -> float:
+        """Light at a desk's chair sensor: a seated person shadows it.
+
+        Paper §2: "the light-level sensor on a similar 'mote' is used to
+        detect if someone is seated in the chair" — occupied chairs read
+        dark even with room lights on.
+        """
+        desk = self.desk(desk_id)
+        if desk.occupied:
+            return 25.0
+        return self.ambient_light()
+
+
+class Building:
+    """The whole building: rooms plus global state."""
+
+    def __init__(self, name: str = "Moore"):
+        self.name = name
+        self.rooms: dict[str, Room] = {}
+
+    def add_room(self, room: Room) -> Room:
+        if room.room_id in self.rooms:
+            raise BuildingModelError(f"duplicate room {room.room_id}")
+        self.rooms[room.room_id] = room
+        return room
+
+    def room(self, room_id: str) -> Room:
+        room = self.rooms.get(room_id)
+        if room is None:
+            raise BuildingModelError(
+                f"unknown room {room_id!r}; have {sorted(self.rooms)}"
+            )
+        return room
+
+    def labs(self) -> list[Room]:
+        return [r for r in self.rooms.values() if r.kind is RoomKind.LAB]
+
+    def room_at(self, position: Position) -> Room | None:
+        """The room containing a position (None in hallways between rooms)."""
+        for room in self.rooms.values():
+            if room.contains(position):
+                return room
+        return None
+
+    def all_desks(self) -> list[tuple[Room, Desk]]:
+        return [
+            (room, desk)
+            for room in self.rooms.values()
+            for desk in room.desks.values()
+        ]
+
+    def desk_of_machine(self, host: str) -> tuple[Room, Desk] | None:
+        for room, desk in self.all_desks():
+            if desk.machine_host == host:
+                return room, desk
+        return None

@@ -1,0 +1,161 @@
+"""Occupants: people moving through the building.
+
+An occupant carries an active RFID beacon and walks along routing-graph
+paths at a configurable speed. Position is interpolated continuously
+between routing points, so beacon transmissions (every couple of
+seconds) see smooth motion — which is what the hallway detectors and the
+localiser operate on.
+
+Arriving at a desk seats the occupant: the desk's ``occupied`` flag
+flips (darkening the seat mote) and the machine on the desk starts its
+interactive workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.building.model import Building
+from repro.building.routing import Route, shortest_path
+from repro.building.topology import RoutingGraph
+from repro.errors import BuildingModelError
+from repro.runtime import Simulator
+from repro.sensor.mote import Position
+
+#: Typical indoor walking speed, feet per second.
+WALK_SPEED_FPS = 4.0
+
+
+@dataclass
+class _Segment:
+    """One leg of the current walk, with timing for interpolation."""
+
+    start: Position
+    end: Position
+    depart_time: float
+    arrive_time: float
+
+    def position_at(self, now: float) -> Position:
+        if now <= self.depart_time:
+            return self.start
+        if now >= self.arrive_time:
+            return self.end
+        fraction = (now - self.depart_time) / (self.arrive_time - self.depart_time)
+        return Position(
+            self.start.x + fraction * (self.end.x - self.start.x),
+            self.start.y + fraction * (self.end.y - self.start.y),
+        )
+
+
+class Occupant:
+    """A person in the building, carrying beacon ``beacon_id``.
+
+    Args:
+        name: Person identifier ("visitor-1").
+        beacon_id: The RFID beacon they carry.
+        simulator: Shared clock (movement is event-scheduled).
+        graph: The building's routing graph.
+        start_point: Initial routing point name.
+        speed: Walking speed in feet/second.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        beacon_id: int,
+        simulator: Simulator,
+        graph: RoutingGraph,
+        start_point: str,
+        speed: float = WALK_SPEED_FPS,
+    ):
+        if speed <= 0:
+            raise BuildingModelError("occupant speed must be positive")
+        self.name = name
+        self.beacon_id = beacon_id
+        self.simulator = simulator
+        self.graph = graph
+        self.speed = speed
+        self.current_point = start_point
+        self._position = graph.point(start_point).position
+        self._segment: _Segment | None = None
+        self._pending: list[str] = []
+        self.seated_at: tuple[str, str] | None = None  # (room, desk)
+        self.walks_completed = 0
+        self.on_arrival: Callable[[str], None] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> Position:
+        """Current (interpolated) position."""
+        if self._segment is not None:
+            return self._segment.position_at(self.simulator.now)
+        return self._position
+
+    def position_fn(self) -> Position:
+        """Adapter for :class:`repro.sensor.rfid.Beacon`."""
+        return self.position
+
+    @property
+    def walking(self) -> bool:
+        return self._segment is not None or bool(self._pending)
+
+    # ------------------------------------------------------------------
+    def walk_route(self, route: Route) -> None:
+        """Start walking a route (replaces any walk in progress)."""
+        if route.start != self.current_point and not self.walking:
+            raise BuildingModelError(
+                f"{self.name} is at {self.current_point!r}, route starts at {route.start!r}"
+            )
+        self._pending = list(route.points[1:])
+        self._segment = None
+        self._advance()
+
+    def walk_to(self, destination: str, building: Building | None = None) -> Route:
+        """Compute the shortest route from here and start walking it.
+
+        Standing up from a desk (if seated) happens immediately.
+        """
+        self._stand_up(building)
+        route = shortest_path(self.graph, self.current_point, destination)
+        self.walk_route(route)
+        return route
+
+    def sit_at(self, building: Building, room_id: str, desk_id: str) -> None:
+        """Seat the occupant at a desk (must be called when adjacent)."""
+        room = building.room(room_id)
+        desk = room.desk(desk_id)
+        desk.occupied = True
+        self.seated_at = (room_id, desk_id)
+
+    def _stand_up(self, building: Building | None) -> None:
+        if self.seated_at is not None and building is not None:
+            room_id, desk_id = self.seated_at
+            building.room(room_id).desk(desk_id).occupied = False
+        self.seated_at = None
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        if not self._pending:
+            self._segment = None
+            self.walks_completed += 1
+            if self.on_arrival is not None:
+                self.on_arrival(self.current_point)
+            return
+        next_point = self._pending.pop(0)
+        start = self.graph.point(self.current_point).position
+        end = self.graph.point(next_point).position
+        distance = start.distance_to(end)
+        now = self.simulator.now
+        segment = _Segment(start, end, now, now + distance / self.speed)
+        self._segment = segment
+
+        def arrive() -> None:
+            if self._segment is not segment:
+                return  # walk was replaced mid-flight
+            self.current_point = next_point
+            self._position = end
+            self._segment = None
+            self._advance()
+
+        self.simulator.schedule(segment.arrive_time, arrive)

@@ -1,0 +1,202 @@
+"""Shortest-path routing over the building's routing graph.
+
+Two interchangeable implementations answer "route me from here to
+there":
+
+* :func:`shortest_path` — Dijkstra directly over the
+  :class:`~repro.building.topology.RoutingGraph` (the oracle).
+* :class:`StreamRouter` — the paper's approach: a *recursive stream
+  view* (transitive closure with path tracking) maintained by the
+  stream engine, so routes reflect live topology changes (closed doors
+  remove edges) without recomputation. Queries read the materialised
+  closure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.data.schema import Schema
+from repro.data.types import DataType
+from repro.data.tuples import Row
+from repro.errors import RoutingError
+from repro.building.topology import RoutingGraph
+
+
+@dataclass(frozen=True)
+class Route:
+    """A concrete walking route.
+
+    Attributes:
+        points: Routing point names from start to destination inclusive.
+        distance: Total length in feet.
+    """
+
+    points: tuple[str, ...]
+    distance: float
+
+    @property
+    def start(self) -> str:
+        return self.points[0]
+
+    @property
+    def end(self) -> str:
+        return self.points[-1]
+
+    def render(self) -> str:
+        return " -> ".join(self.points) + f"  ({self.distance:.0f} ft)"
+
+
+def shortest_path(graph: RoutingGraph, start: str, end: str) -> Route:
+    """Dijkstra; raises :class:`RoutingError` when unreachable."""
+    graph.point(start)
+    graph.point(end)
+    if start == end:
+        return Route((start,), 0.0)
+    distances: dict[str, float] = {start: 0.0}
+    previous: dict[str, str] = {}
+    heap: list[tuple[float, str]] = [(0.0, start)]
+    visited: set[str] = set()
+    while heap:
+        distance, current = heapq.heappop(heap)
+        if current in visited:
+            continue
+        visited.add(current)
+        if current == end:
+            break
+        for neighbor, weight in graph.neighbors(current).items():
+            candidate = distance + weight
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                previous[neighbor] = current
+                heapq.heappush(heap, (candidate, neighbor))
+    if end not in distances:
+        raise RoutingError(f"no route from {start!r} to {end!r}")
+    path = [end]
+    while path[-1] != start:
+        path.append(previous[path[-1]])
+    return Route(tuple(reversed(path)), distances[end])
+
+
+#: Schema of the closure view: reachable pairs with best-known distance
+#: and the explicit path (" -> "-joined point names).
+CLOSURE_SCHEMA = Schema.of(
+    ("src", DataType.STRING),
+    ("dst", DataType.STRING),
+    ("distance", DataType.FLOAT),
+    ("path", DataType.STRING),
+)
+
+
+class StreamRouter:
+    """Routing via an incrementally maintained transitive-closure view.
+
+    The closure is seeded from the routing graph's edges and maintained
+    under edge insertions/deletions through
+    :class:`~repro.stream.recursive.RecursiveView`. Because the closure
+    enumerates *paths* (bounded by ``max_hops`` to keep it finite on
+    cyclic graphs), route lookup is a scan of the materialised rows for
+    the best (shortest) entry.
+
+    Args:
+        graph: The routing graph to mirror.
+        max_hops: Bound on path length in segments. Building routing
+            graphs are shallow (hallway spine + room stubs), so small
+            bounds cover all real routes; raise it for sprawling maps.
+    """
+
+    def __init__(self, graph: RoutingGraph, max_hops: int = 12):
+        from repro.catalog import Catalog
+        from repro.plan import PlanBuilder
+        from repro.stream.recursive import RecursiveView
+        from repro.wrappers.database import ROUTING_POINTS_SCHEMA
+
+        self.graph = graph
+        self.max_hops = max_hops
+        # A private catalog: the closure plan only reads RoutingPoints.
+        self._catalog = Catalog()
+        self._catalog.register_table("RoutingPoints", ROUTING_POINTS_SCHEMA)
+        builder = PlanBuilder(self._catalog)
+        # The closure enumerates *simple* paths: ``path`` is a
+        # '|'-delimited node list and the step refuses to revisit a node
+        # (NOT LIKE on the delimited name). Distances accumulate per
+        # path, so route() can pick the true shortest entry.
+        plan = builder.build_sql(
+            """
+            WITH RECURSIVE closure(src, dst, distance, path, hops) AS (
+              SELECT e.src, e.dst, e.distance,
+                     '|' + e.src + '|' + e.dst + '|', 1
+              FROM RoutingPoints e
+              UNION
+              SELECT c.src, e.dst, c.distance + e.distance,
+                     c.path + e.dst + '|', c.hops + 1
+              FROM closure c, RoutingPoints e
+              WHERE c.dst = e.src AND c.hops < %d
+                AND c.path NOT LIKE '%%|' + e.dst + '|%%'
+            )
+            SELECT src, dst, distance, path FROM closure
+            """
+            % max_hops
+        )
+        self._plan = plan
+        edge_rows = [
+            Row(ROUTING_POINTS_SCHEMA, (r["src"], r["dst"], r["distance"]))
+            for r in graph.edge_rows()
+        ]
+        self._schema = ROUTING_POINTS_SCHEMA
+        self._view = RecursiveView(plan.recursive, {"RoutingPoints": edge_rows})
+
+    # ------------------------------------------------------------------
+    @property
+    def view(self):
+        """The underlying recursive view (exposed for benches/tests)."""
+        return self._view
+
+    def closure_size(self) -> int:
+        return len(self._view)
+
+    def route(self, start: str, end: str) -> Route:
+        """Best route in the materialised closure.
+
+        The closure row's ``path`` records the chain of *sources*; the
+        destination is appended at read time.
+        """
+        if start == end:
+            return Route((start,), 0.0)
+        best: tuple[float, str] | None = None
+        for row in self._view.rows():
+            if row["src"] == start and row["dst"] == end:
+                candidate = (row["distance"], row["path"])
+                if best is None or candidate[0] < best[0]:
+                    best = candidate
+        if best is None:
+            raise RoutingError(f"no route from {start!r} to {end!r} in closure")
+        # The recorded path is '|'-delimited: "|a|b|c|".
+        points = tuple(p for p in best[1].split("|") if p)
+        return Route(points, best[0])
+
+    # ------------------------------------------------------------------
+    # Live topology changes
+    # ------------------------------------------------------------------
+    def close_segment(self, a: str, b: str) -> None:
+        """Remove a corridor/door segment from the live closure."""
+        distance = self.graph.neighbors(a).get(b)
+        if distance is None:
+            return
+        self.graph.remove_edge(a, b)
+        rows = [
+            Row(self._schema, (a, b, distance)),
+            Row(self._schema, (b, a, distance)),
+        ]
+        self._view.delete("RoutingPoints", rows)
+
+    def open_segment(self, a: str, b: str, distance: float | None = None) -> None:
+        """(Re)insert a segment into the live closure."""
+        self.graph.add_edge(a, b, distance)
+        actual = self.graph.neighbors(a)[b]
+        rows = [
+            Row(self._schema, (a, b, actual)),
+            Row(self._schema, (b, a, actual)),
+        ]
+        self._view.insert("RoutingPoints", rows)

@@ -1,0 +1,25 @@
+"""Source & device catalog: schemas, locations, statistics, deployment facts."""
+
+from repro.catalog.catalog import (
+    Catalog,
+    DeviceInfo,
+    DisplayEntry,
+    EngineLocation,
+    NetworkInfo,
+    SourceEntry,
+    SourceKind,
+    SourceStatistics,
+    ViewEntry,
+)
+
+__all__ = [
+    "Catalog",
+    "SourceEntry",
+    "SourceKind",
+    "SourceStatistics",
+    "EngineLocation",
+    "DeviceInfo",
+    "NetworkInfo",
+    "ViewEntry",
+    "DisplayEntry",
+]

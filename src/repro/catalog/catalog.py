@@ -1,0 +1,302 @@
+"""Source and device catalog.
+
+The federated optimizer's cost normalisation (paper §3) relies on
+"catalog information about the sensor network diameter, sampling rates,
+etc." — this module is that catalog. It registers every relation the
+query processor can name, records which engine *hosts* it, and carries
+the statistics both sub-optimizers consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.data.schema import Schema
+from repro.errors import CatalogError
+
+
+class SourceKind(enum.Enum):
+    """Whether a relation is a continuous stream or a stored table."""
+
+    STREAM = "stream"
+    TABLE = "table"
+
+
+class EngineLocation(enum.Enum):
+    """Which ASPEN engine natively hosts a relation.
+
+    SENSOR sources live on motes (light, temperature, RFID sightings);
+    STREAM sources are produced by wrappers on PCs (PDU power, machine
+    state, web feeds); DATABASE sources are stored tables available to
+    the stream engine (machine configs, routing points, coordinates).
+    """
+
+    SENSOR = "sensor"
+    STREAM = "stream"
+    DATABASE = "database"
+
+
+@dataclass
+class SourceStatistics:
+    """Optimizer statistics for one relation.
+
+    Attributes:
+        rate: Mean tuples per second (streams) — drives both engines'
+            cost models.
+        cardinality: Row count (tables) or live-window row estimate.
+        selectivity: Default predicate selectivity for this source when
+            no column-level estimate exists.
+        distinct_values: Per-column number-of-distinct-values estimates,
+            used for join selectivity.
+    """
+
+    rate: float = 0.0
+    cardinality: int = 0
+    selectivity: float = 0.1
+    distinct_values: dict[str, int] = field(default_factory=dict)
+
+    def ndv(self, column: str, default: int = 10) -> int:
+        """Number of distinct values estimate for ``column``."""
+        bare = column.rsplit(".", 1)[-1]
+        return self.distinct_values.get(bare, default)
+
+
+@dataclass
+class DeviceInfo:
+    """Sensor-engine metadata for a relation hosted on motes.
+
+    Attributes:
+        node_ids: Motes producing this relation's tuples.
+        sample_period: Seconds between samples on each mote.
+        attribute: The physical quantity sensed ("temperature", "light", ...).
+    """
+
+    node_ids: tuple[int, ...] = ()
+    sample_period: float = 10.0
+    attribute: str = ""
+
+
+@dataclass
+class SourceEntry:
+    """One catalog registration."""
+
+    name: str
+    schema: Schema
+    kind: SourceKind
+    location: EngineLocation
+    statistics: SourceStatistics = field(default_factory=SourceStatistics)
+    device: DeviceInfo | None = None
+    description: str = ""
+
+    @property
+    def is_sensor(self) -> bool:
+        return self.location is EngineLocation.SENSOR
+
+
+@dataclass
+class ViewEntry:
+    """A named view definition (stored as its defining AST)."""
+
+    name: str
+    query: object  # repro.sql.ast.SelectQuery; object avoids an import cycle
+    description: str = ""
+
+
+@dataclass
+class DisplayEntry:
+    """A registered output display (paper: GUI laptops mapped into the building)."""
+
+    name: str
+    location: str = ""
+    description: str = ""
+
+
+@dataclass
+class NetworkInfo:
+    """Whole-deployment facts used for cost normalisation.
+
+    Attributes:
+        diameter: Hop count across the sensor network (longest shortest
+            path to the basestation).
+        radio_bytes_per_second: Effective mote radio throughput.
+        per_message_overhead_bytes: Header bytes per radio message.
+        lan_latency: One-way latency between stream-engine nodes (s).
+        lan_bandwidth: Bytes/second between stream-engine nodes.
+        radio_seconds_per_message: Time one radio hop adds to delivery.
+    """
+
+    diameter: int = 4
+    radio_bytes_per_second: float = 3000.0
+    per_message_overhead_bytes: int = 11
+    lan_latency: float = 0.001
+    lan_bandwidth: float = 12_500_000.0
+    radio_seconds_per_message: float = 0.02
+
+
+class Catalog:
+    """Registry of sources, views, displays and deployment facts.
+
+    One catalog instance is shared by the parser-analyzer, both engine
+    optimizers and the federated optimizer. Mutation is registration-
+    only; there is no un-registration (matching the demo system, where
+    the deployment is configured once).
+    """
+
+    def __init__(self) -> None:
+        self._sources: dict[str, SourceEntry] = {}
+        self._views: dict[str, ViewEntry] = {}
+        self._displays: dict[str, DisplayEntry] = {}
+        self.network = NetworkInfo()
+
+    # ------------------------------------------------------------------
+    # Sources
+    # ------------------------------------------------------------------
+    def register_source(
+        self,
+        name: str,
+        schema: Schema,
+        kind: SourceKind,
+        location: EngineLocation,
+        *,
+        statistics: SourceStatistics | None = None,
+        device: DeviceInfo | None = None,
+        description: str = "",
+    ) -> SourceEntry:
+        """Register a relation. Raises :class:`CatalogError` on name clashes."""
+        key = name.lower()
+        if key in self._sources or key in self._views:
+            raise CatalogError(f"source or view {name!r} is already registered")
+        if location is EngineLocation.SENSOR and device is None:
+            device = DeviceInfo()
+        entry = SourceEntry(
+            name=name,
+            schema=schema,
+            kind=kind,
+            location=location,
+            statistics=statistics or SourceStatistics(),
+            device=device,
+            description=description,
+        )
+        self._sources[key] = entry
+        return entry
+
+    def register_stream(
+        self, name: str, schema: Schema, *, rate: float = 1.0, **kwargs
+    ) -> SourceEntry:
+        """Shorthand: a wrapper-produced stream hosted on the stream engine."""
+        stats = kwargs.pop("statistics", None) or SourceStatistics(rate=rate)
+        return self.register_source(
+            name, schema, SourceKind.STREAM, EngineLocation.STREAM, statistics=stats, **kwargs
+        )
+
+    def register_table(
+        self, name: str, schema: Schema, *, cardinality: int = 0, **kwargs
+    ) -> SourceEntry:
+        """Shorthand: a stored database table."""
+        stats = kwargs.pop("statistics", None) or SourceStatistics(cardinality=cardinality)
+        return self.register_source(
+            name, schema, SourceKind.TABLE, EngineLocation.DATABASE, statistics=stats, **kwargs
+        )
+
+    def register_sensor_stream(
+        self, name: str, schema: Schema, device: DeviceInfo, *, rate: float | None = None, **kwargs
+    ) -> SourceEntry:
+        """Shorthand: a mote-hosted sensor stream."""
+        if rate is None:
+            per_node = 1.0 / device.sample_period if device.sample_period > 0 else 0.0
+            rate = per_node * max(len(device.node_ids), 1)
+        stats = kwargs.pop("statistics", None) or SourceStatistics(rate=rate)
+        return self.register_source(
+            name,
+            schema,
+            SourceKind.STREAM,
+            EngineLocation.SENSOR,
+            statistics=stats,
+            device=device,
+            **kwargs,
+        )
+
+    def source(self, name: str) -> SourceEntry:
+        """Look up a source by (case-insensitive) name."""
+        entry = self._sources.get(name.lower())
+        if entry is None:
+            raise CatalogError(
+                f"unknown source {name!r}; registered: {sorted(self.source_names())}"
+            )
+        return entry
+
+    def has_source(self, name: str) -> bool:
+        return name.lower() in self._sources
+
+    def source_names(self) -> list[str]:
+        return [entry.name for entry in self._sources.values()]
+
+    def sources_at(self, location: EngineLocation) -> list[SourceEntry]:
+        """All sources hosted by one engine."""
+        return [e for e in self._sources.values() if e.location is location]
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def register_view(self, name: str, query: object, description: str = "") -> ViewEntry:
+        """Register a named view (its definition is a parsed SelectQuery)."""
+        key = name.lower()
+        if key in self._sources or key in self._views:
+            raise CatalogError(f"source or view {name!r} is already registered")
+        entry = ViewEntry(name, query, description)
+        self._views[key] = entry
+        return entry
+
+    def view(self, name: str) -> ViewEntry:
+        entry = self._views.get(name.lower())
+        if entry is None:
+            raise CatalogError(f"unknown view {name!r}")
+        return entry
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    def view_names(self) -> list[str]:
+        return [entry.name for entry in self._views.values()]
+
+    # ------------------------------------------------------------------
+    # Displays
+    # ------------------------------------------------------------------
+    def register_display(self, name: str, location: str = "", description: str = "") -> DisplayEntry:
+        """Register an output display (GUI endpoint)."""
+        key = name.lower()
+        if key in self._displays:
+            raise CatalogError(f"display {name!r} is already registered")
+        entry = DisplayEntry(name, location, description)
+        self._displays[key] = entry
+        return entry
+
+    def display(self, name: str) -> DisplayEntry:
+        entry = self._displays.get(name.lower())
+        if entry is None:
+            raise CatalogError(f"unknown display {name!r}")
+        return entry
+
+    def has_display(self, name: str) -> bool:
+        return name.lower() in self._displays
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable inventory (used by the demo GUI's detail panel)."""
+        lines = ["Catalog:"]
+        for entry in self._sources.values():
+            stats = entry.statistics
+            extra = (
+                f"rate={stats.rate:g}/s" if entry.kind is SourceKind.STREAM
+                else f"rows={stats.cardinality}"
+            )
+            lines.append(
+                f"  {entry.name} [{entry.kind.value}@{entry.location.value}] "
+                f"{len(entry.schema)} cols, {extra}"
+            )
+        for view_entry in self._views.values():
+            lines.append(f"  {view_entry.name} [view]")
+        for display_entry in self._displays.values():
+            lines.append(f"  {display_entry.name} [display] at {display_entry.location or '?'}")
+        return "\n".join(lines)

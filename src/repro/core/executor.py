@@ -1,0 +1,203 @@
+"""Federated plan execution: deploy fragments, wire engines together.
+
+Given a :class:`~repro.core.federated.FederatedPlan`, the executor
+
+1. deploys every pushed fragment on the :class:`SensorEngine`
+   (collection / aggregation / pairwise join, with the optimizer's
+   per-pair join strategies),
+2. wires the basestation delivery callback so fragment results are
+   projected to the fragment's output schema and pushed into the
+   :class:`StreamEngine` as RemoteSource feeds, and
+3. starts the stream plan as a continuous query.
+
+The fragment's non-leaf operators above the in-network primitive
+(Projects and Selects introduced by view expansion) are re-applied at
+the basestation by composing their expressions — the network already
+filtered and joined, so this is just column shaping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.data.tuples import Row
+from repro.errors import ExecutionError
+from repro.plan.logical import (
+    Aggregate,
+    Join,
+    LogicalOp,
+    Project,
+    Scan,
+    Select,
+)
+from repro.core.federated import FederatedPlan, PushedFragment
+from repro.sensor.engine import DeployedQuery, SensorEngine, _DictRow
+from repro.sql.expressions import ColumnRef, Expr, substitute_columns
+from repro.stream.engine import QueryHandle, StreamEngine
+
+
+@dataclass
+class FederatedExecution:
+    """A running federated query."""
+
+    plan: FederatedPlan
+    stream_handle: QueryHandle
+    deployments: list[DeployedQuery] = field(default_factory=list)
+
+    @property
+    def results(self) -> list[Row]:
+        return self.stream_handle.results
+
+    def stop(self) -> None:
+        for deployment in self.deployments:
+            deployment.stop()
+
+
+class FederatedExecutor:
+    """Deploys federated plans across the two engines."""
+
+    def __init__(self, sensor_engine: SensorEngine, stream_engine: StreamEngine):
+        self.sensor_engine = sensor_engine
+        self.stream_engine = stream_engine
+
+    def execute(self, plan: FederatedPlan) -> FederatedExecution:
+        """Deploy fragments, start the stream query, return the handle."""
+        stream_handle = self.stream_engine.execute(plan.stream_plan)
+        execution = FederatedExecution(plan, stream_handle)
+        for fragment in plan.pushed:
+            execution.deployments.append(self._deploy(fragment))
+        return execution
+
+    # ------------------------------------------------------------------
+    def _deploy(self, fragment: PushedFragment) -> DeployedQuery:
+        deployment = fragment.deployment
+        projector = _FragmentProjector(fragment)
+
+        def deliver(name: str, values: dict[str, Any], time: float) -> None:
+            row = projector.project(values)
+            self.stream_engine.push_remote(fragment.name, row, time)
+
+        engine = self.sensor_engine
+        if deployment.kind == "collection":
+            scan = next(n for n in fragment.fragment.walk() if isinstance(n, Scan))
+            return engine.deploy_collection(
+                deployment.relations[0],
+                projector.rewrite_to_base(deployment.predicate),
+                target_name=fragment.name,
+                key_prefix=scan.binding,
+                on_result=deliver,
+            )
+        if deployment.kind == "aggregation":
+            return engine.deploy_aggregation(
+                deployment.relations[0],
+                deployment.attribute or "",
+                deployment.aggregate or "AVG",
+                target_name=fragment.name,
+                on_result=deliver,
+            )
+        if deployment.kind == "join":
+            join = next(n for n in fragment.fragment.walk() if isinstance(n, Join))
+            left_scan = next(n for n in join.left.walk() if isinstance(n, Scan))
+            right_scan = next(n for n in join.right.walk() if isinstance(n, Scan))
+            # Local filters below the join run at the join site together
+            # with the join predicate.
+            local = projector.rewrite_to_base(self._local_predicate(fragment.fragment))
+            return engine.deploy_join(
+                left_scan.entry.name,
+                right_scan.entry.name,
+                deployment.pairs,
+                local,
+                target_name=fragment.name,
+                left_prefix=left_scan.binding,
+                right_prefix=right_scan.binding,
+                on_result=deliver,
+            )
+        raise ExecutionError(f"unknown deployment kind {deployment.kind!r}")
+
+    @staticmethod
+    def _local_predicate(fragment: LogicalOp) -> Expr | None:
+        from repro.sql.expressions import conjoin, split_conjuncts
+
+        conjuncts: list[Expr] = []
+        for node in fragment.walk():
+            if isinstance(node, Select):
+                conjuncts.extend(split_conjuncts(node.predicate))
+            if isinstance(node, Join) and node.predicate is not None:
+                conjuncts.extend(split_conjuncts(node.predicate))
+        return conjoin(conjuncts)
+
+
+class _FragmentProjector:
+    """Re-applies a fragment's column shaping at the basestation.
+
+    The sensor engine delivers tuples keyed by qualified base-column
+    names (``sa.room``) — or ``{agg_0: value}`` for aggregations. The
+    projector composes the fragment's Project layers into one expression
+    per output field and evaluates them per delivery.
+    """
+
+    def __init__(self, fragment: PushedFragment):
+        self._fragment = fragment
+        self._schema = fragment.fragment.schema
+        self._aggregate = next(
+            (n for n in fragment.fragment.walk() if isinstance(n, Aggregate)), None
+        )
+        items = _compose_projection(fragment.fragment)
+        if items is None:
+            items = [(ColumnRef(f.name), f.name) for f in self._schema]
+        self._items = items
+
+    def rewrite_to_base(self, predicate: Expr | None) -> Expr | None:
+        """Rewrite derived-column references in a pushed predicate back to
+        base-column expressions.
+
+        View expansion can leave predicates like ``t.celsius > 0`` above
+        a renaming Project (``wt.temp_c AS t.celsius``); the mote only
+        sees base columns, so the predicate must be substituted through
+        the composed projection before deployment.
+        """
+        if predicate is None:
+            return None
+        mapping = {name: expr for expr, name in self._items}
+        return substitute_columns(predicate, mapping)
+
+    def project(self, values: dict[str, Any]) -> Row:
+        if self._aggregate is not None:
+            values = self._aggregate_values(values)
+        row_view = _DictRow(values)
+        out = [expr.eval(row_view) for expr, _ in self._items]
+        return Row(self._schema, out, validate=False)
+
+    def _aggregate_values(self, values: dict[str, Any]) -> dict[str, Any]:
+        """Map the engine's ``{value, count}`` payload onto the Aggregate
+        node's output column names."""
+        assert self._aggregate is not None
+        if not self._aggregate.aggregates:
+            raise ExecutionError("aggregate fragment without aggregate items")
+        name = self._aggregate.aggregates[0].name
+        call = self._aggregate.aggregates[0].call
+        raw = values.get("value")
+        if call.name.upper() == "COUNT":
+            raw = int(values.get("count", raw or 0))
+        return {name: raw}
+
+
+def _compose_projection(node: LogicalOp) -> list[tuple[Expr, str]] | None:
+    """Flatten stacked Projects into expressions over base columns.
+
+    Returns None when the fragment has no Project (identity over the
+    base schema). Selects are transparent (already applied in-network);
+    Join/Scan/Aggregate terminate composition.
+    """
+    if isinstance(node, Project):
+        inner = _compose_projection(node.child)
+        if inner is None:
+            return [(item.expr, item.name) for item in node.items]
+        mapping = {name: expr for expr, name in inner}
+        return [
+            (substitute_columns(item.expr, mapping), item.name) for item in node.items
+        ]
+    if isinstance(node, Select):
+        return _compose_projection(node.child)
+    return None

@@ -1,0 +1,112 @@
+"""Stream elements and the push-based stream protocol.
+
+ASPEN's stream engine is a push dataflow: sources call
+:meth:`StreamConsumer.push` with :class:`StreamElement` items (a row plus
+its event timestamp) and :class:`Punctuation` markers asserting that no
+element with a smaller timestamp will ever arrive. Punctuations drive
+window closing and allow bounded state in joins and aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Protocol, runtime_checkable
+
+from repro.data.tuples import Row
+
+
+@dataclass(frozen=True)
+class StreamElement:
+    """One timestamped row on a stream.
+
+    Attributes:
+        row: The data tuple.
+        timestamp: Event time in simulation seconds.
+        source: Optional name of the producing source (for tracing).
+    """
+
+    row: Row
+    timestamp: float
+    source: str = ""
+
+    def __repr__(self) -> str:
+        return f"@{self.timestamp:g} {self.row!r}"
+
+
+@dataclass(frozen=True)
+class Punctuation:
+    """Assertion that no element with ``timestamp < watermark`` will follow."""
+
+    watermark: float
+
+    def __repr__(self) -> str:
+        return f"Punct(<{self.watermark:g})"
+
+
+StreamItem = StreamElement | Punctuation
+
+
+@runtime_checkable
+class StreamConsumer(Protocol):
+    """Anything that can receive stream items."""
+
+    def push(self, item: StreamItem) -> None:
+        """Receive one element or punctuation."""
+        ...
+
+
+class CallbackConsumer:
+    """Adapter turning a plain callable into a :class:`StreamConsumer`."""
+
+    def __init__(self, fn: Callable[[StreamItem], None]):
+        self._fn = fn
+
+    def push(self, item: StreamItem) -> None:
+        self._fn(item)
+
+
+class CollectingConsumer:
+    """Consumer that buffers everything it receives — used by tests,
+    benches and as the terminal sink of executed query plans."""
+
+    def __init__(self) -> None:
+        self.elements: list[StreamElement] = []
+        self.punctuations: list[Punctuation] = []
+
+    def push(self, item: StreamItem) -> None:
+        if isinstance(item, Punctuation):
+            self.punctuations.append(item)
+        else:
+            self.elements.append(item)
+
+    @property
+    def rows(self) -> list[Row]:
+        """The received data rows, in arrival order."""
+        return [e.row for e in self.elements]
+
+    def clear(self) -> None:
+        self.elements.clear()
+        self.punctuations.clear()
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+
+class Tee:
+    """Fan an input out to several consumers, preserving order."""
+
+    def __init__(self, consumers: Iterable[StreamConsumer] = ()):
+        self._consumers: list[StreamConsumer] = list(consumers)
+
+    def add(self, consumer: StreamConsumer) -> None:
+        self._consumers.append(consumer)
+
+    def push(self, item: StreamItem) -> None:
+        for consumer in self._consumers:
+            consumer.push(item)
+
+
+def replay(items: Iterable[StreamItem], consumer: StreamConsumer) -> None:
+    """Push every item of an iterable into ``consumer`` (test/bench helper)."""
+    for item in items:
+        consumer.push(item)

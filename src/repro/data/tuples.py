@@ -1,0 +1,141 @@
+"""Row values flowing through ASPEN plans.
+
+A :class:`Row` pairs a :class:`~repro.data.schema.Schema` with a tuple of
+values. Rows are immutable and hashable (required by the provenance
+machinery of the recursive stream-view maintainer, which counts
+derivations per distinct row).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.data.schema import Schema
+from repro.data.types import conforms
+from repro.errors import SchemaError, TypeMismatchError
+
+
+class Row:
+    """An immutable, schema-typed tuple of values.
+
+    Values are validated against the schema's types on construction so
+    that malformed data from a wrapper fails at the boundary, not deep
+    inside an operator.
+    """
+
+    __slots__ = ("_schema", "_values", "_hash")
+
+    def __init__(self, schema: Schema, values: Iterable[Any], *, validate: bool = True):
+        self._schema = schema
+        self._values = tuple(values)
+        if len(self._values) != len(schema):
+            raise SchemaError(
+                f"row has {len(self._values)} values but schema has {len(schema)} fields"
+            )
+        if validate:
+            for field, value in zip(schema, self._values):
+                if not conforms(value, field.dtype):
+                    raise TypeMismatchError(
+                        f"value {value!r} does not conform to {field.name}:{field.dtype.value}"
+                    )
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, schema: Schema, mapping: Mapping[str, Any]) -> "Row":
+        """Build a row by looking up each schema field in ``mapping``.
+
+        Field names are matched on their bare name first, then full name,
+        so wrappers can supply plain column names for qualified schemas.
+        """
+        values = []
+        for field in schema:
+            if field.name in mapping:
+                values.append(mapping[field.name])
+            elif field.bare_name in mapping:
+                values.append(mapping[field.bare_name])
+            else:
+                raise SchemaError(f"mapping is missing field {field.name!r}")
+        return cls(schema, values)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def values(self) -> tuple[Any, ...]:
+        return self._values
+
+    def __getitem__(self, key: str | int) -> Any:
+        if isinstance(key, int):
+            return self._values[key]
+        return self._values[self._schema.index_of(key)]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Value for ``key`` or ``default`` if the field does not exist."""
+        if self._schema.has(key):
+            return self[key]
+        return default
+
+    def as_dict(self) -> dict[str, Any]:
+        """A name→value dict (full field names)."""
+        return dict(zip(self._schema.names, self._values))
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def project(self, names: Iterable[str]) -> "Row":
+        """Row restricted to ``names``, with a correspondingly projected schema."""
+        names = list(names)
+        schema = self._schema.project(names)
+        return Row(schema, (self[name] for name in names), validate=False)
+
+    def concat(self, other: "Row") -> "Row":
+        """The join of two rows (schema and values concatenated)."""
+        return Row(
+            self._schema.concat(other._schema),
+            self._values + other._values,
+            validate=False,
+        )
+
+    def with_schema(self, schema: Schema) -> "Row":
+        """This row's values reinterpreted under an equally-long ``schema``."""
+        return Row(schema, self._values, validate=False)
+
+    def replace(self, **updates: Any) -> "Row":
+        """A copy of this row with the named fields replaced."""
+        values = list(self._values)
+        for name, value in updates.items():
+            values[self._schema.index_of(name)] = value
+        return Row(self._schema, values)
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self._schema.has(name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self._values == other._values and self._schema == other._schema
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._schema, self._values))
+        return self._hash
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{n}={v!r}" for n, v in zip(self._schema.names, self._values))
+        return f"Row({pairs})"

@@ -1,0 +1,191 @@
+"""Primitive data types for the ASPEN data model.
+
+ASPEN integrates values originating from motes (16-bit ADC readings),
+machine monitors (counters, gauges), web wrappers (strings, timestamps)
+and relational tables. A small closed set of logical types keeps the
+type system decidable for the federated optimizer while remaining rich
+enough for every SmartCIS source.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any
+
+from repro.errors import TypeMismatchError
+
+
+class DataType(enum.Enum):
+    """Logical column types understood by every ASPEN engine.
+
+    The sensor engine only supports ``INT``, ``FLOAT``, ``BOOL`` and
+    ``STRING`` (motes have no timestamp registers; times are assigned at
+    the basestation), which the federated optimizer checks when deciding
+    whether a fragment can be pushed into the network.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+    TIMESTAMP = "timestamp"
+    NULL = "null"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DataType.{self.name}"
+
+
+#: Types representable on a mote (no TIMESTAMP: assigned at the basestation).
+SENSOR_SUPPORTED_TYPES = frozenset(
+    {DataType.INT, DataType.FLOAT, DataType.BOOL, DataType.STRING}
+)
+
+#: Types on which ordering comparisons (<, <=, >, >=) are defined.
+ORDERED_TYPES = frozenset(
+    {DataType.INT, DataType.FLOAT, DataType.TIMESTAMP, DataType.STRING}
+)
+
+#: Types on which arithmetic (+, -, *, /) is defined.
+NUMERIC_TYPES = frozenset({DataType.INT, DataType.FLOAT})
+
+
+def infer_type(value: Any) -> DataType:
+    """Infer the :class:`DataType` of a Python value.
+
+    ``bool`` is checked before ``int`` because ``bool`` is a subclass of
+    ``int`` in Python.
+    """
+    if value is None:
+        return DataType.NULL
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, int):
+        return DataType.INT
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, str):
+        return DataType.STRING
+    raise TypeMismatchError(f"cannot infer ASPEN type for {value!r} ({type(value).__name__})")
+
+
+def conforms(value: Any, dtype: DataType) -> bool:
+    """Return True if ``value`` is a legal instance of ``dtype``.
+
+    ``None`` conforms to every type (SQL NULL semantics). An ``int`` is a
+    legal ``FLOAT`` (implicit widening) but a ``float`` is not a legal
+    ``INT``.
+    """
+    if value is None:
+        return True
+    if dtype is DataType.INT:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if dtype is DataType.FLOAT:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if dtype is DataType.STRING:
+        return isinstance(value, str)
+    if dtype is DataType.BOOL:
+        return isinstance(value, bool)
+    if dtype is DataType.TIMESTAMP:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if dtype is DataType.NULL:
+        return value is None
+    raise TypeMismatchError(f"unknown data type {dtype!r}")
+
+
+def coerce(value: Any, dtype: DataType) -> Any:
+    """Coerce ``value`` to ``dtype``, raising :class:`TypeMismatchError` on failure.
+
+    Coercion is intentionally conservative: strings are parsed for
+    numeric types (wrappers scrape text), numerics widen to float, and
+    anything converts to string. Lossy float→int coercion is only
+    permitted when the float is integral.
+    """
+    if value is None:
+        return None
+    try:
+        if dtype is DataType.INT:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, int):
+                return value
+            if isinstance(value, float):
+                if math.isfinite(value) and value.is_integer():
+                    return int(value)
+                raise TypeMismatchError(f"cannot losslessly coerce {value!r} to INT")
+            if isinstance(value, str):
+                return int(value.strip())
+        elif dtype is DataType.FLOAT:
+            if isinstance(value, bool):
+                return float(value)
+            if isinstance(value, (int, float)):
+                return float(value)
+            if isinstance(value, str):
+                return float(value.strip())
+        elif dtype is DataType.STRING:
+            if isinstance(value, str):
+                return value
+            if isinstance(value, bool):
+                return "true" if value else "false"
+            return str(value)
+        elif dtype is DataType.BOOL:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("true", "t", "1", "yes", "on"):
+                    return True
+                if lowered in ("false", "f", "0", "no", "off"):
+                    return False
+            if isinstance(value, (int, float)) and value in (0, 1):
+                return bool(value)
+        elif dtype is DataType.TIMESTAMP:
+            if isinstance(value, bool):
+                raise TypeMismatchError("cannot coerce BOOL to TIMESTAMP")
+            if isinstance(value, (int, float)):
+                return float(value)
+            if isinstance(value, str):
+                return float(value.strip())
+        elif dtype is DataType.NULL:
+            raise TypeMismatchError(f"cannot coerce non-null {value!r} to NULL")
+    except (ValueError, OverflowError) as exc:
+        raise TypeMismatchError(f"cannot coerce {value!r} to {dtype.value}: {exc}") from exc
+    raise TypeMismatchError(f"cannot coerce {value!r} ({type(value).__name__}) to {dtype.value}")
+
+
+def common_type(left: DataType, right: DataType) -> DataType:
+    """Return the least common supertype of two types, for expression typing.
+
+    NULL is absorbed by any type; INT widens to FLOAT; otherwise the
+    types must match exactly.
+    """
+    if left is right:
+        return left
+    if left is DataType.NULL:
+        return right
+    if right is DataType.NULL:
+        return left
+    if {left, right} <= NUMERIC_TYPES:
+        return DataType.FLOAT
+    if {left, right} == {DataType.FLOAT, DataType.TIMESTAMP}:
+        return DataType.TIMESTAMP
+    if {left, right} == {DataType.INT, DataType.TIMESTAMP}:
+        return DataType.TIMESTAMP
+    raise TypeMismatchError(f"no common type for {left.value} and {right.value}")
+
+
+def size_in_bytes(dtype: DataType) -> int:
+    """Wire size of one value of ``dtype`` in the mote message format.
+
+    Used by the sensor-engine cost model: message cost is proportional to
+    payload bytes. Strings are costed at a catalog-configurable average;
+    this returns the default of 16 bytes.
+    """
+    return {
+        DataType.INT: 4,
+        DataType.FLOAT: 4,  # motes use single precision
+        DataType.BOOL: 1,
+        DataType.STRING: 16,
+        DataType.TIMESTAMP: 8,
+        DataType.NULL: 1,
+    }[dtype]

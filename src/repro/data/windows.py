@@ -1,0 +1,147 @@
+"""Window specifications for Stream SQL.
+
+ASPEN's Stream SQL supports the CQL-style window clauses the paper's
+queries use::
+
+    SeatSensors [RANGE 30 SECONDS]
+    Machines    [RANGE 60 SECONDS SLIDE 10 SECONDS]
+    Power       [ROWS 100]
+    Readings    [NOW]
+    Config      [UNBOUNDED]
+
+A :class:`WindowSpec` describes the clause; :func:`assign_windows` maps
+an element timestamp to the set of window end-times it belongs to, which
+is how the aggregate operator buckets elements.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+
+
+class WindowKind(enum.Enum):
+    """The flavours of window clause supported by the parser and engines."""
+
+    RANGE = "range"          # time-based sliding window
+    ROWS = "rows"            # count-based sliding window
+    NOW = "now"              # degenerate zero-width window
+    UNBOUNDED = "unbounded"  # the whole history (relations / static tables)
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A parsed window clause.
+
+    Attributes:
+        kind: The window flavour.
+        size: Window extent — seconds for RANGE, row count for ROWS.
+        slide: Hop between consecutive window ends, in seconds. ``0``
+            means "slide on every element" (a pure sliding window). Only
+            meaningful for RANGE windows.
+    """
+
+    kind: WindowKind
+    size: float = 0.0
+    slide: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind is WindowKind.RANGE and self.size <= 0:
+            raise SchemaError("RANGE window size must be positive")
+        if self.kind is WindowKind.ROWS and (self.size <= 0 or self.size != int(self.size)):
+            raise SchemaError("ROWS window size must be a positive integer")
+        if self.slide < 0:
+            raise SchemaError("window slide must be non-negative")
+        if self.slide and self.kind is not WindowKind.RANGE:
+            raise SchemaError("SLIDE is only valid on RANGE windows")
+
+    # Convenience constructors ------------------------------------------------
+    @classmethod
+    def range(cls, seconds: float, slide: float = 0.0) -> "WindowSpec":
+        """Time-based window covering the last ``seconds`` seconds."""
+        return cls(WindowKind.RANGE, seconds, slide)
+
+    @classmethod
+    def rows(cls, count: int) -> "WindowSpec":
+        """Count-based window over the last ``count`` rows."""
+        return cls(WindowKind.ROWS, count)
+
+    @classmethod
+    def now(cls) -> "WindowSpec":
+        """Zero-width window: only simultaneous elements join."""
+        return cls(WindowKind.NOW)
+
+    @classmethod
+    def unbounded(cls) -> "WindowSpec":
+        """Unbounded window: treat the stream as a growing relation."""
+        return cls(WindowKind.UNBOUNDED)
+
+    # Semantics ---------------------------------------------------------------
+    @property
+    def is_tumbling(self) -> bool:
+        """True for RANGE windows whose slide equals their size."""
+        return self.kind is WindowKind.RANGE and self.slide == self.size
+
+    def contains(self, element_ts: float, reference_ts: float) -> bool:
+        """Would an element at ``element_ts`` still be live at ``reference_ts``?
+
+        Implements the join-window test: for ``RANGE w`` the element is
+        live while ``reference_ts - element_ts <= w``. NOW requires exact
+        timestamp equality; UNBOUNDED always matches.
+        """
+        if self.kind is WindowKind.UNBOUNDED:
+            return True
+        if self.kind is WindowKind.NOW:
+            return element_ts == reference_ts
+        if self.kind is WindowKind.RANGE:
+            return 0 <= reference_ts - element_ts <= self.size
+        # ROWS windows are resolved by the operator's buffer, not by time.
+        return True
+
+    def expiry(self, element_ts: float) -> float:
+        """Timestamp after which an element at ``element_ts`` can be evicted."""
+        if self.kind is WindowKind.RANGE:
+            return element_ts + self.size
+        if self.kind is WindowKind.NOW:
+            return element_ts
+        return math.inf
+
+    def render(self) -> str:
+        """Render back to Stream SQL surface syntax."""
+        if self.kind is WindowKind.UNBOUNDED:
+            return "[UNBOUNDED]"
+        if self.kind is WindowKind.NOW:
+            return "[NOW]"
+        if self.kind is WindowKind.ROWS:
+            return f"[ROWS {int(self.size)}]"
+        if self.slide:
+            return f"[RANGE {self.size:g} SECONDS SLIDE {self.slide:g} SECONDS]"
+        return f"[RANGE {self.size:g} SECONDS]"
+
+
+def assign_windows(timestamp: float, spec: WindowSpec) -> list[float]:
+    """Window end-times that an element at ``timestamp`` contributes to.
+
+    Only meaningful for RANGE windows with a positive slide (hopping /
+    tumbling windows): returns every window end ``e`` with
+    ``e - size < timestamp <= e`` and ``e`` a multiple of ``slide``.
+
+    >>> assign_windows(25.0, WindowSpec.range(30, slide=10))
+    [30.0, 40.0, 50.0]
+    """
+    if spec.kind is not WindowKind.RANGE or not spec.slide:
+        raise SchemaError("assign_windows requires a RANGE window with a SLIDE")
+    first_end = math.floor(timestamp / spec.slide) * spec.slide
+    if first_end < timestamp:
+        first_end += spec.slide
+    ends = []
+    end = first_end
+    while end - spec.size < timestamp:
+        ends.append(end)
+        end += spec.slide
+        if len(ends) > 100000:  # pragma: no cover - guard against bad specs
+            raise SchemaError("window assignment exploded; check size/slide")
+    return ends

@@ -1,0 +1,42 @@
+"""Logical query plans and the AST→plan builder."""
+
+from repro.plan.builder import PlanBuilder, RecursivePlan
+from repro.plan.logical import (
+    Aggregate,
+    AggregateItem,
+    CteRef,
+    Distinct,
+    Join,
+    Limit,
+    LogicalOp,
+    OrderBy,
+    Output,
+    Project,
+    ProjectItem,
+    Recursive,
+    Scan,
+    Select,
+    replace_child,
+    scans_of,
+)
+
+__all__ = [
+    "LogicalOp",
+    "Scan",
+    "CteRef",
+    "Select",
+    "Project",
+    "ProjectItem",
+    "Join",
+    "Aggregate",
+    "AggregateItem",
+    "Distinct",
+    "OrderBy",
+    "Limit",
+    "Recursive",
+    "Output",
+    "PlanBuilder",
+    "RecursivePlan",
+    "scans_of",
+    "replace_child",
+]

@@ -1,0 +1,327 @@
+"""Build logical plans from analyzed queries.
+
+The builder produces a canonical left-deep plan in FROM-clause order
+with every WHERE conjunct attached at the lowest operator whose inputs
+cover it (predicate pushdown happens *during* construction). Join
+reordering is left to the engine optimizers, which enumerate
+alternatives over the canonical plan's join graph.
+
+Views are expanded inline: a FROM entry naming a view becomes the view's
+own plan with a renaming Project on top, exactly the rewrite the paper
+shows in Figure 1 (the ``OpenMachineInfo`` view folded into the free-
+machine query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog import Catalog
+from repro.data.schema import Schema
+from repro.errors import PlanError
+from repro.sql.analyzer import (
+    AnalyzedQuery,
+    AnalyzedRecursive,
+    Analyzer,
+    BoundTable,
+)
+from repro.sql.ast import RecursiveQuery, SelectQuery
+from repro.sql.expressions import (
+    AggregateCall,
+    ColumnRef,
+    Expr,
+    conjoin,
+    split_conjuncts,
+    substitute_columns,
+)
+from repro.plan.logical import (
+    Aggregate,
+    AggregateItem,
+    CteRef,
+    Distinct,
+    Join,
+    Limit,
+    LogicalOp,
+    OrderBy,
+    Output,
+    Project,
+    ProjectItem,
+    Recursive,
+    Scan,
+    Select,
+)
+
+
+@dataclass
+class RecursivePlan:
+    """A planned WITH RECURSIVE query: the fixpoint plus the main query.
+
+    The main plan contains a :class:`CteRef` leaf per reference to the
+    CTE; executors evaluate ``recursive`` to fixpoint and feed its result
+    into those leaves.
+    """
+
+    recursive: Recursive
+    main: LogicalOp
+
+    @property
+    def schema(self) -> Schema:
+        return self.main.schema
+
+    def explain(self) -> str:
+        return (
+            f"RecursivePlan {self.recursive.name}:\n"
+            + self.recursive.explain(1)
+            + "\nMain:\n"
+            + self.main.explain(1)
+        )
+
+
+class PlanBuilder:
+    """Translate analyzed statements into logical plans."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+        self._analyzer = Analyzer(catalog)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def build_select(self, analyzed: AnalyzedQuery) -> LogicalOp:
+        """Build the logical plan for an analyzed SELECT."""
+        return self._build_query(analyzed, cte_schemas={})
+
+    def build_sql(self, sql_text: str) -> LogicalOp | RecursivePlan:
+        """Parse, analyze and plan one statement of Stream SQL text."""
+        from repro.sql.parser import parse
+
+        statement = parse(sql_text)
+        if isinstance(statement, SelectQuery):
+            return self.build_select(self._analyzer.analyze_select(statement))
+        if isinstance(statement, RecursiveQuery):
+            return self.build_recursive(self._analyzer.analyze_recursive(statement))
+        raise PlanError(
+            f"cannot build a standalone plan for {type(statement).__name__}; "
+            "register views via SmartCIS.execute_script"
+        )
+
+    def build_recursive(self, analyzed: AnalyzedRecursive) -> RecursivePlan:
+        """Build the fixpoint + main plan for WITH RECURSIVE."""
+        name = analyzed.statement.name
+        cte_schema = analyzed.cte_schema
+        base = self._build_query(analyzed.base, cte_schemas={})
+        base = self._coerce_arity(base, cte_schema)
+        step = self._build_query(analyzed.step, cte_schemas={name: cte_schema})
+        step = self._coerce_arity(step, cte_schema)
+        recursive = Recursive(name, cte_schema, base, step)
+        main = self._build_query(analyzed.main, cte_schemas={name: cte_schema})
+        return RecursivePlan(recursive, main)
+
+    def _coerce_arity(self, plan: LogicalOp, cte_schema: Schema) -> LogicalOp:
+        """Rename a base/step plan's output columns to the CTE's declared
+        names (positional), so the fixpoint operates over one schema."""
+        if plan.schema == cte_schema:
+            return plan
+        items = [
+            ProjectItem(ColumnRef(inner), outer)
+            for inner, outer in zip(plan.schema.names, cte_schema.names)
+        ]
+        return Project(plan, items)
+
+    # ------------------------------------------------------------------
+    # Core construction
+    # ------------------------------------------------------------------
+    def _build_query(
+        self, analyzed: AnalyzedQuery, cte_schemas: dict[str, Schema]
+    ) -> LogicalOp:
+        query = analyzed.query
+        conjuncts = split_conjuncts(query.where)
+
+        # 1. Leaves, with single-relation conjuncts pushed onto them.
+        plan: LogicalOp | None = None
+        placed: set[int] = set()
+        available: set[str] = set()
+        for bound in analyzed.tables:
+            leaf = self._build_leaf(bound, cte_schemas)
+            leaf, placed_here = self._apply_covered(
+                leaf, conjuncts, placed, available | {bound.binding}, require_new={bound.binding}
+            )
+            placed |= placed_here
+            if plan is None:
+                plan = leaf
+            else:
+                join_indexes = [
+                    i
+                    for i, c in enumerate(conjuncts)
+                    if i not in placed and self._covered(c, available | {bound.binding})
+                ]
+                placed |= set(join_indexes)
+                plan = Join(plan, leaf, conjoin([conjuncts[i] for i in join_indexes]))
+            available.add(bound.binding)
+        assert plan is not None  # analyzer guarantees ≥1 table
+
+        # 2. Any remaining conjuncts (shouldn't usually happen).
+        remaining = [c for i, c in enumerate(conjuncts) if i not in placed]
+        if remaining:
+            plan = Select(plan, conjoin(remaining))  # type: ignore[arg-type]
+
+        # 3. Aggregation.
+        if analyzed.is_aggregate:
+            plan = self._build_aggregate(plan, analyzed)
+        else:
+            items = [
+                ProjectItem(item.expr, name)
+                for item, name in zip(query.items, analyzed.output_schema.names)
+            ]
+            plan = Project(plan, items)
+
+        # 4. DISTINCT / ORDER BY / LIMIT / OUTPUT.
+        if query.distinct:
+            plan = Distinct(plan)
+        if query.order_by:
+            order_items = [self._rebase_order(o, analyzed) for o in query.order_by]
+            plan = OrderBy(plan, order_items)
+        if query.limit is not None:
+            plan = Limit(plan, query.limit)
+        if query.output is not None:
+            plan = Output(plan, query.output.display, query.output.every)
+        return plan
+
+    def _build_leaf(self, bound: BoundTable, cte_schemas: dict[str, Schema]) -> LogicalOp:
+        for name, schema in cte_schemas.items():
+            if name.lower() == bound.ref.name.lower():
+                return CteRef(name, bound.binding, schema)
+        if bound.is_view:
+            view_query = bound.view.query  # type: ignore[union-attr]
+            inner_analyzed = self._analyzer.analyze_select(view_query)  # type: ignore[arg-type]
+            inner = self._build_query(inner_analyzed, cte_schemas)
+            # Rename the view's output columns to binding-qualified names,
+            # positionally matching the schema the analyzer derived.
+            items = [
+                ProjectItem(ColumnRef(inner_name), outer_name)
+                for inner_name, outer_name in zip(inner.schema.names, bound.schema.names)
+            ]
+            return Project(inner, items)
+        assert bound.source is not None
+        return Scan(bound.source, bound.binding, bound.ref.window)
+
+    def _apply_covered(
+        self,
+        plan: LogicalOp,
+        conjuncts: list[Expr],
+        placed: set[int],
+        available: set[str],
+        require_new: set[str],
+    ) -> tuple[LogicalOp, set[int]]:
+        """Attach every unplaced conjunct covered by ``available`` that
+        actually references one of ``require_new`` (so leaf-level pushdown
+        only claims predicates about that leaf)."""
+        here: list[Expr] = []
+        placed_here: set[int] = set()
+        for index, conjunct in enumerate(conjuncts):
+            if index in placed:
+                continue
+            rels = conjunct.relations()
+            if rels and rels <= require_new:
+                # Single-relation predicate about exactly this leaf.
+                here.append(conjunct)
+                placed_here.add(index)
+            elif not rels and len(available) == 1:
+                # Constant predicate: attach to the first leaf.
+                here.append(conjunct)
+                placed_here.add(index)
+        if here:
+            plan = Select(plan, conjoin(here))  # type: ignore[arg-type]
+        return plan, placed_here
+
+    @staticmethod
+    def _covered(conjunct: Expr, available: set[str]) -> bool:
+        rels = conjunct.relations()
+        return bool(rels) and rels <= available
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def _build_aggregate(self, plan: LogicalOp, analyzed: AnalyzedQuery) -> LogicalOp:
+        query = analyzed.query
+        # Collect every distinct aggregate call across items and HAVING.
+        calls: dict[str, AggregateCall] = {}
+        for item in query.items:
+            for node in item.expr.walk():
+                if isinstance(node, AggregateCall):
+                    calls.setdefault(node.render(), node)
+        if query.having is not None:
+            for node in query.having.walk():
+                if isinstance(node, AggregateCall):
+                    calls.setdefault(node.render(), node)
+
+        agg_items = [
+            AggregateItem(call, f"agg_{index}")
+            for index, call in enumerate(calls.values())
+        ]
+        key_names = [f"key_{index}" for index in range(len(query.group_by))]
+        window = self._aggregate_window(analyzed)
+        plan = Aggregate(plan, list(query.group_by), agg_items, window, key_names)
+
+        # Map original expressions onto the aggregate's output columns.
+        mapping: dict[str, Expr] = {}
+        for key_name, key_expr in zip(key_names, query.group_by):
+            mapping[key_expr.render()] = ColumnRef(key_name)
+        for agg_item in agg_items:
+            mapping[agg_item.call.render()] = ColumnRef(agg_item.name)
+
+        if query.having is not None:
+            having = self._remap(query.having, mapping)
+            plan = Select(plan, having)
+
+        project_items = [
+            ProjectItem(self._remap(item.expr, mapping), name)
+            for item, name in zip(query.items, analyzed.output_schema.names)
+        ]
+        return Project(plan, project_items)
+
+    def _aggregate_window(self, analyzed: AnalyzedQuery):
+        """Emission window for aggregation: the (single) windowed input's
+        window, if any."""
+        windows = [b.ref.window for b in analyzed.tables if b.ref.window is not None]
+        return windows[0] if windows else None
+
+    def _remap(self, expr: Expr, mapping: dict[str, Expr]) -> Expr:
+        """Replace whole subexpressions (by rendered text) per ``mapping``.
+
+        Used to rebase post-aggregation expressions onto aggregate output
+        columns: ``SUM(m.cpu) / COUNT(*)`` becomes ``agg_0 / agg_1``.
+        """
+        rendered = expr.render()
+        if rendered in mapping:
+            return mapping[rendered]
+        if isinstance(expr, AggregateCall):
+            raise PlanError(f"aggregate {rendered} not computed by Aggregate node")
+        from repro.sql.expressions import BinaryOp, FunctionCall, Literal, UnaryOp
+
+        if isinstance(expr, (ColumnRef, Literal)):
+            return expr
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(expr.op, self._remap(expr.left, mapping), self._remap(expr.right, mapping))
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(expr.op, self._remap(expr.operand, mapping))
+        if isinstance(expr, FunctionCall):
+            return FunctionCall(expr.name, tuple(self._remap(a, mapping) for a in expr.args))
+        raise PlanError(f"cannot remap {type(expr).__name__}")
+
+    def _rebase_order(self, order_item, analyzed: AnalyzedQuery):
+        """Rewrite ORDER BY expressions to reference output columns when
+        they match a select item (sorting happens above the Project)."""
+        from repro.sql.ast import OrderItem
+
+        rendered = order_item.expr.render()
+        for item, name in zip(analyzed.query.items, analyzed.output_schema.names):
+            if item.expr.render() == rendered or (item.alias and rendered == item.alias):
+                return OrderItem(ColumnRef(name), order_item.ascending)
+        if isinstance(order_item.expr, ColumnRef) and analyzed.output_schema.has(
+            order_item.expr.name
+        ):
+            return order_item
+        raise PlanError(
+            f"ORDER BY {rendered} must reference a select item in stream queries"
+        )

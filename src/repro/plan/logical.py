@@ -1,0 +1,430 @@
+"""Logical query plans.
+
+A logical plan is an operator tree independent of any engine. The
+federated optimizer partitions logical plans between the sensor and
+stream engines; each engine then instantiates physical operators for its
+fragment. Operators are immutable; rewrites build new trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dc_field
+from typing import Iterator
+
+from repro.catalog import SourceEntry
+from repro.data.schema import Field, Schema
+from repro.data.windows import WindowSpec
+from repro.errors import PlanError
+from repro.sql.ast import OrderItem
+from repro.sql.expressions import AggregateCall, Expr
+
+_plan_ids = itertools.count(1)
+
+
+class LogicalOp:
+    """Base class for logical operators."""
+
+    def __init__(self) -> None:
+        self.plan_id = next(_plan_ids)
+
+    @property
+    def schema(self) -> Schema:
+        """Output schema of this operator."""
+        raise NotImplementedError
+
+    @property
+    def children(self) -> tuple["LogicalOp", ...]:
+        return ()
+
+    def relations(self) -> set[str]:
+        """Binding names of all base relations under this operator."""
+        out: set[str] = set()
+        for node in self.walk():
+            if isinstance(node, Scan):
+                out.add(node.binding)
+            elif isinstance(node, CteRef):
+                out.add(node.binding)
+            elif isinstance(node, RemoteSource):
+                quals = {f.qualifier for f in node.schema if f.qualifier is not None}
+                out |= quals or {node.name}
+        return out
+
+    def walk(self) -> Iterator["LogicalOp"]:
+        """Pre-order traversal."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def describe(self) -> str:
+        """One-line description (no children)."""
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        """Multi-line plan rendering, children indented."""
+        lines = ["  " * indent + self.describe()]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} #{self.plan_id} {self.describe()}>"
+
+
+class Scan(LogicalOp):
+    """Leaf: scan one catalog source (stream or table), optionally windowed.
+
+    The schema is the source schema qualified by the query binding, so a
+    plan over ``SeatSensors ss`` produces ``ss.room``, ``ss.desk``, ...
+    """
+
+    def __init__(self, entry: SourceEntry, binding: str, window: WindowSpec | None = None):
+        super().__init__()
+        self.entry = entry
+        self.binding = binding
+        self.window = window
+        self._schema = entry.schema.qualified(binding)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def describe(self) -> str:
+        window = f" {self.window.render()}" if self.window else ""
+        return f"Scan({self.entry.name} AS {self.binding}{window}) @{self.entry.location.value}"
+
+
+class RemoteSource(LogicalOp):
+    """Leaf: a stream arriving from another engine (already qualified).
+
+    The federated optimizer replaces a pushed-down sensor fragment with a
+    RemoteSource carrying the fragment's output schema and estimated
+    arrival rate; the stream engine treats it like any other feed whose
+    port is wired to the basestation delivery callback.
+    """
+
+    def __init__(self, name: str, schema: Schema, rate: float = 1.0):
+        super().__init__()
+        self.name = name
+        self._schema = schema
+        self.rate = rate
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def relations(self) -> set[str]:
+        # A remote source stands in for every relation its fragment read;
+        # expose its own name so join enumeration treats it atomically.
+        quals = {f.qualifier for f in self._schema if f.qualifier is not None}
+        return quals or {self.name}
+
+    def describe(self) -> str:
+        return f"RemoteSource({self.name}, rate={self.rate:g}/s)"
+
+
+class CteRef(LogicalOp):
+    """Leaf: reference to a recursive CTE's working relation."""
+
+    def __init__(self, name: str, binding: str, schema: Schema):
+        super().__init__()
+        self.name = name
+        self.binding = binding
+        self._schema = schema.qualified(binding)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def describe(self) -> str:
+        return f"CteRef({self.name} AS {self.binding})"
+
+
+class Select(LogicalOp):
+    """Filter rows by a boolean predicate."""
+
+    def __init__(self, child: LogicalOp, predicate: Expr):
+        super().__init__()
+        self.child = child
+        self.predicate = predicate
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Select({self.predicate.render()})"
+
+
+@dataclass(frozen=True)
+class ProjectItem:
+    """One computed output column."""
+
+    expr: Expr
+    name: str
+
+
+class Project(LogicalOp):
+    """Compute output columns from input rows."""
+
+    def __init__(self, child: LogicalOp, items: list[ProjectItem]):
+        super().__init__()
+        if not items:
+            raise PlanError("Project requires at least one item")
+        self.child = child
+        self.items = list(items)
+        self._schema = Schema(
+            Field(item.name, item.expr.dtype(child.schema)) for item in items
+        )
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        inner = ", ".join(
+            item.name if item.expr.render() == item.name else f"{item.expr.render()} AS {item.name}"
+            for item in self.items
+        )
+        return f"Project({inner})"
+
+
+class Join(LogicalOp):
+    """Binary (window) join. ``predicate`` may be None for a cross product."""
+
+    def __init__(self, left: LogicalOp, right: LogicalOp, predicate: Expr | None = None):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self._schema = left.schema.concat(right.schema)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        pred = self.predicate.render() if self.predicate is not None else "TRUE"
+        return f"Join({pred})"
+
+
+@dataclass(frozen=True)
+class AggregateItem:
+    """One aggregate output column (``SUM(m.cpu) AS total_cpu``)."""
+
+    call: AggregateCall
+    name: str
+
+
+class Aggregate(LogicalOp):
+    """Grouped (windowed) aggregation.
+
+    Output schema is group keys followed by aggregate columns. The
+    ``window`` controls when groups are emitted: for RANGE windows with a
+    slide, results are produced per window close; otherwise per
+    punctuation.
+    """
+
+    def __init__(
+        self,
+        child: LogicalOp,
+        group_by: list[Expr],
+        aggregates: list[AggregateItem],
+        window: WindowSpec | None = None,
+        key_names: list[str] | None = None,
+    ):
+        super().__init__()
+        self.child = child
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+        self.window = window
+        names = key_names or [e.render() for e in group_by]
+        if len(names) != len(group_by):
+            raise PlanError("key_names must match group_by length")
+        self.key_names = names
+        fields = [
+            Field(name, expr.dtype(child.schema))
+            for name, expr in zip(names, group_by)
+        ]
+        fields += [
+            Field(item.name, item.call.dtype(child.schema)) for item in aggregates
+        ]
+        self._schema = Schema(fields)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(e.render() for e in self.group_by) or "<global>"
+        aggs = ", ".join(f"{i.call.render()} AS {i.name}" for i in self.aggregates)
+        window = f" {self.window.render()}" if self.window else ""
+        return f"Aggregate(keys=[{keys}], aggs=[{aggs}]{window})"
+
+
+class Distinct(LogicalOp):
+    """Duplicate elimination over the full row."""
+
+    def __init__(self, child: LogicalOp):
+        super().__init__()
+        self.child = child
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+class OrderBy(LogicalOp):
+    """Sort (per punctuation batch, since streams never end)."""
+
+    def __init__(self, child: LogicalOp, items: list[OrderItem]):
+        super().__init__()
+        self.child = child
+        self.items = list(items)
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        inner = ", ".join(i.render() for i in self.items)
+        return f"OrderBy({inner})"
+
+
+class Limit(LogicalOp):
+    """Emit at most ``count`` rows per punctuation batch."""
+
+    def __init__(self, child: LogicalOp, count: int):
+        super().__init__()
+        if count < 0:
+            raise PlanError("LIMIT must be non-negative")
+        self.child = child
+        self.count = count
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"
+
+
+class Recursive(LogicalOp):
+    """Fixpoint of ``base UNION step`` — the transitive-closure operator.
+
+    ``step`` contains one or more :class:`CteRef` leaves naming this
+    operator. Output schema is the CTE schema (unqualified column names).
+    """
+
+    def __init__(self, name: str, cte_schema: Schema, base: LogicalOp, step: LogicalOp):
+        super().__init__()
+        self.name = name
+        self.cte_schema = cte_schema
+        self.base = base
+        self.step = step
+        if len(base.schema) != len(cte_schema) or len(step.schema) != len(cte_schema):
+            raise PlanError(
+                f"recursive plan {name}: base/step arity does not match CTE schema"
+            )
+
+    @property
+    def schema(self) -> Schema:
+        return self.cte_schema
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.base, self.step)
+
+    def describe(self) -> str:
+        return f"Recursive({self.name})"
+
+
+class Output(LogicalOp):
+    """Route results to a registered display (the paper's OUTPUT TO extension)."""
+
+    def __init__(self, child: LogicalOp, display: str, every: float | None = None):
+        super().__init__()
+        self.child = child
+        self.display = display
+        self.every = every
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        every = f" EVERY {self.every:g}s" if self.every is not None else ""
+        return f"Output(display={self.display!r}{every})"
+
+
+def scans_of(plan: LogicalOp) -> list[Scan]:
+    """All Scan leaves of a plan, left-to-right."""
+    return [node for node in plan.walk() if isinstance(node, Scan)]
+
+
+def replace_child(op: LogicalOp, old: LogicalOp, new: LogicalOp) -> LogicalOp:
+    """Rebuild ``op`` with ``old`` (an immediate child) replaced by ``new``."""
+    if isinstance(op, Select):
+        return Select(new if op.child is old else op.child, op.predicate)
+    if isinstance(op, Project):
+        return Project(new if op.child is old else op.child, op.items)
+    if isinstance(op, Join):
+        left = new if op.left is old else op.left
+        right = new if op.right is old else op.right
+        return Join(left, right, op.predicate)
+    if isinstance(op, Aggregate):
+        return Aggregate(
+            new if op.child is old else op.child,
+            op.group_by,
+            op.aggregates,
+            op.window,
+            op.key_names,
+        )
+    if isinstance(op, Distinct):
+        return Distinct(new if op.child is old else op.child)
+    if isinstance(op, OrderBy):
+        return OrderBy(new if op.child is old else op.child, op.items)
+    if isinstance(op, Limit):
+        return Limit(new if op.child is old else op.child, op.count)
+    if isinstance(op, Output):
+        return Output(new if op.child is old else op.child, op.display, op.every)
+    if isinstance(op, Recursive):
+        base = new if op.base is old else op.base
+        step = new if op.step is old else op.step
+        return Recursive(op.name, op.cte_schema, base, step)
+    raise PlanError(f"cannot replace child of {type(op).__name__}")

@@ -1,0 +1,11 @@
+"""Deterministic discrete-event simulation kernel shared by all substrates."""
+
+from repro.runtime.simulation import (
+    EventHandle,
+    PeriodicTask,
+    Simulator,
+    Trace,
+    TraceRecord,
+)
+
+__all__ = ["Simulator", "EventHandle", "PeriodicTask", "Trace", "TraceRecord"]

@@ -1,0 +1,230 @@
+"""Discrete-event simulation kernel.
+
+Everything physical in this reproduction — mote radios, PDU polling,
+occupants walking the hallways, machine workloads — runs on one
+:class:`Simulator`. The kernel is a classic event-queue design: callbacks
+are scheduled at absolute simulation times and executed in timestamp
+order (FIFO among equal timestamps, by insertion sequence).
+
+Determinism matters: benches and the Figure 2 regeneration must produce
+identical output run-to-run, so the simulator provides a seeded
+:class:`random.Random` and never consults the wall clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry. Ordering: (time, sequence number)."""
+
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class PeriodicTask:
+    """A self-rescheduling task created by :meth:`Simulator.schedule_periodic`."""
+
+    def __init__(self, simulator: "Simulator", period: float, callback: EventCallback):
+        if period <= 0:
+            raise SimulationError(f"periodic task period must be positive, got {period}")
+        self._simulator = simulator
+        self.period = period
+        self._callback = callback
+        self._stopped = False
+        self.fire_count = 0
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.fire_count += 1
+        self._callback()
+        if not self._stopped:
+            self._simulator.schedule(self._simulator.now + self.period, self._fire)
+
+    def start(self, first_fire: float | None = None) -> None:
+        """Begin firing at ``first_fire`` (default: one period from now)."""
+        when = self._simulator.now + self.period if first_fire is None else first_fire
+        self._simulator.schedule(when, self._fire)
+
+    def stop(self) -> None:
+        """Stop the task; any already-queued firing becomes a no-op."""
+        self._stopped = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Args:
+        seed: Seed for the simulation-owned random generator. All
+            stochastic models (radio loss, workload noise, occupant
+            movement) must draw from :attr:`rng` so one seed reproduces
+            one world.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self.rng = random.Random(seed)
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, time: float, callback: EventCallback) -> EventHandle:
+        """Run ``callback`` at absolute simulation ``time``.
+
+        Raises :class:`SimulationError` if ``time`` is in the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:g}; simulation time is already {self._now:g}"
+            )
+        event = _ScheduledEvent(time, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_in(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, callback)
+
+    def schedule_periodic(
+        self, period: float, callback: EventCallback, *, first_fire: float | None = None
+    ) -> PeriodicTask:
+        """Run ``callback`` every ``period`` seconds, starting at ``first_fire``."""
+        task = PeriodicTask(self, period, callback)
+        task.start(first_fire)
+        return task
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single earliest event. Returns False if queue empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Execute all events with timestamp <= ``time``; advance clock to ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards to {time:g} from {self._now:g}")
+        while self._queue and not self._queue[0].cancelled and self._queue[0].time <= time:
+            self.step()
+        # Drop leading cancelled events, then check again (cancellations may hide real ones).
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+            while self._queue and not self._queue[0].cancelled and self._queue[0].time <= time:
+                self.step()
+        self._now = time
+
+    def run_for(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        self.run_until(self._now + duration)
+
+    def run_all(self, max_events: int = 1_000_000) -> None:
+        """Drain the queue entirely (guarded against runaway schedules)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(f"run_all exceeded {max_events} events; likely a loop")
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+
+@dataclass
+class TraceRecord:
+    """One recorded trace entry: a timestamped, categorised observation."""
+
+    time: float
+    category: str
+    payload: Any
+
+
+class Trace:
+    """Append-only record of simulation observations.
+
+    Subsystems log into a shared trace so benches can reconstruct
+    time-series (e.g. messages per second, localisation fixes) without
+    coupling to subsystem internals.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def log(self, time: float, category: str, payload: Any) -> None:
+        """Append one record."""
+        self.records.append(TraceRecord(time, category, payload))
+
+    def category(self, category: str) -> list[TraceRecord]:
+        """All records of one category, in time order."""
+        return [r for r in self.records if r.category == category]
+
+    def count(self, category: str) -> int:
+        """Number of records of one category."""
+        return sum(1 for r in self.records if r.category == category)
+
+    def between(self, start: float, end: float, category: str | None = None) -> list[TraceRecord]:
+        """Records with ``start <= time < end``, optionally filtered by category."""
+        return [
+            r
+            for r in self.records
+            if start <= r.time < end and (category is None or r.category == category)
+        ]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

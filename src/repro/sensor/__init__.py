@@ -1,0 +1,62 @@
+"""The in-network sensor engine and its simulated substrate.
+
+Motes, radios, batteries, collection trees, TAG-style aggregation,
+per-pair in-network joins, RFID detection and the message-minimizing
+optimizer.
+"""
+
+from repro.sensor.energy import DEFAULT_ENERGY_MODEL, Battery, EnergyModel
+from repro.sensor.engine import (
+    DeployedQuery,
+    JoinPair,
+    JoinStrategy,
+    SensorEngine,
+    SensorRelation,
+)
+from repro.sensor.mote import Mote, MoteRole, Position
+from repro.sensor.network import (
+    HEADER_BYTES,
+    HOP_LATENCY,
+    MAX_RETRIES,
+    MessageStats,
+    SensorNetwork,
+)
+from repro.sensor.optimizer import (
+    JoinSiteDecision,
+    SensorCost,
+    SensorCostModel,
+    SensorDeployment,
+    SensorEngineOptimizer,
+)
+from repro.sensor.radio import LinkQuality, RadioModel
+from repro.sensor.rfid import Beacon, Localizer, RFIDService, Sighting
+
+__all__ = [
+    "Mote",
+    "MoteRole",
+    "Position",
+    "Battery",
+    "EnergyModel",
+    "DEFAULT_ENERGY_MODEL",
+    "RadioModel",
+    "LinkQuality",
+    "SensorNetwork",
+    "MessageStats",
+    "HOP_LATENCY",
+    "HEADER_BYTES",
+    "MAX_RETRIES",
+    "SensorEngine",
+    "SensorRelation",
+    "DeployedQuery",
+    "JoinPair",
+    "JoinStrategy",
+    "SensorCost",
+    "SensorCostModel",
+    "SensorEngineOptimizer",
+    "SensorDeployment",
+    "JoinSiteDecision",
+    "Beacon",
+    "RFIDService",
+    "Localizer",
+    "Sighting",
+]

@@ -1,0 +1,92 @@
+"""Mote energy model.
+
+Constants follow the usual IRIS / iMote2-class figures used in sensor
+network simulators: radio transmission dominates, reception costs
+nearly as much, sensing and CPU are comparatively cheap. The absolute
+numbers matter less than their *ratios* — the in-network join optimizer
+trades extra local computation for fewer radio messages, which only
+makes sense under radio-dominated budgets (paper §1: computation pushed
+to where it is appropriate "taking into account capabilities, battery
+life, and network bandwidth").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EnergyExhaustedError
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-operation energy costs in millijoules.
+
+    Attributes:
+        tx_per_byte: Radio transmit cost per payload byte.
+        rx_per_byte: Radio receive cost per payload byte.
+        tx_fixed: Fixed per-message transmit cost (preamble, turnaround).
+        rx_fixed: Fixed per-message receive cost.
+        sample: One sensor acquisition (ADC read).
+        cpu_per_tuple: Evaluating a predicate / combining one tuple.
+        idle_per_second: Baseline drain while duty-cycled.
+    """
+
+    tx_per_byte: float = 0.0035
+    rx_per_byte: float = 0.0018
+    tx_fixed: float = 0.06
+    rx_fixed: float = 0.045
+    sample: float = 0.02
+    cpu_per_tuple: float = 0.0005
+    idle_per_second: float = 0.008
+
+    def tx_cost(self, payload_bytes: int) -> float:
+        """Energy to transmit one message with ``payload_bytes`` of payload."""
+        return self.tx_fixed + self.tx_per_byte * payload_bytes
+
+    def rx_cost(self, payload_bytes: int) -> float:
+        """Energy to receive one message."""
+        return self.rx_fixed + self.rx_per_byte * payload_bytes
+
+
+#: Default model shared by the whole network unless overridden per mote.
+DEFAULT_ENERGY_MODEL = EnergyModel()
+
+
+class Battery:
+    """A finite energy store with spend tracking by category."""
+
+    def __init__(self, capacity_mj: float = 10_000_000.0):
+        if capacity_mj <= 0:
+            raise ValueError("battery capacity must be positive")
+        self.capacity_mj = capacity_mj
+        self.remaining_mj = capacity_mj
+        self.spent_by_category: dict[str, float] = {}
+
+    @property
+    def depleted(self) -> bool:
+        return self.remaining_mj <= 0
+
+    @property
+    def fraction_remaining(self) -> float:
+        return max(self.remaining_mj, 0.0) / self.capacity_mj
+
+    def spend(self, amount_mj: float, category: str) -> None:
+        """Consume energy; raises :class:`EnergyExhaustedError` once empty.
+
+        The raising operation still records its spend so post-mortem
+        accounting adds up.
+        """
+        if amount_mj < 0:
+            raise ValueError("cannot spend negative energy")
+        if self.depleted:
+            raise EnergyExhaustedError("battery is depleted")
+        self.remaining_mj -= amount_mj
+        self.spent_by_category[category] = (
+            self.spent_by_category.get(category, 0.0) + amount_mj
+        )
+
+    def spent(self, category: str | None = None) -> float:
+        """Total energy spent, optionally for one category."""
+        if category is None:
+            return sum(self.spent_by_category.values())
+        return self.spent_by_category.get(category, 0.0)

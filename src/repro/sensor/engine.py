@@ -1,0 +1,432 @@
+"""The in-network sensor query engine.
+
+Reproduces the DMSN'08 substrate the paper builds on: selection and
+aggregation over sensor devices *plus in-network joins between devices*,
+with the join site chosen per sensor pair.
+
+Three deployment primitives:
+
+* :meth:`SensorEngine.deploy_collection` — each mote samples every
+  epoch, applies the pushed-down predicate locally, and routes passing
+  tuples up the collection tree (acquisitional processing à la TinyDB).
+* :meth:`SensorEngine.deploy_aggregation` — TAG-style tree aggregation:
+  partial state records are combined at every tree level, one message
+  per tree edge per epoch regardless of fan-in.
+* :meth:`SensorEngine.deploy_join` — pairwise in-network join (e.g.
+  seat-light ⋈ machine-temperature on the same desk). Each pair runs one
+  of three strategies; the per-pair choice is the sensor optimizer's
+  output (paper §3: "decides, on a sensor-by-sensor basis, where to
+  perform the join").
+
+Results arrive at the basestation and are handed to the engine's
+``on_result`` callback — in SmartCIS that callback pushes into the
+stream engine, closing the federation loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.data.schema import Schema
+from repro.data.types import size_in_bytes
+from repro.errors import SensorNetworkError
+from repro.runtime import PeriodicTask
+from repro.sensor.mote import Mote
+from repro.sensor.network import SensorNetwork
+from repro.sql.expressions import Expr
+
+#: Callback type for results surfacing at the basestation:
+#: (relation name, tuple values, delivery timestamp).
+ResultCallback = Callable[[str, dict[str, Any], float], None]
+
+
+class JoinStrategy(enum.Enum):
+    """Where a pairwise in-network join executes."""
+
+    AT_BASE = "at-base"      # ship both sides to the basestation
+    AT_LEFT = "at-left"      # ship the right tuple to the left mote
+    AT_RIGHT = "at-right"    # ship the left tuple to the right mote
+
+
+@dataclass
+class SensorRelation:
+    """A sensor-hosted relation: which motes produce it and how.
+
+    Attributes:
+        name: Catalog name (``SeatSensors``, ``WorkstationTemps``, ...).
+        schema: Tuple layout (bare column names).
+        mote_ids: Producing motes.
+        sampler: ``sampler(mote) -> dict`` builds one tuple from the
+            mote's sensors plus its static metadata (room, desk, ...).
+        period: Seconds between samples (the epoch).
+    """
+
+    name: str
+    schema: Schema
+    mote_ids: list[int]
+    sampler: Callable[[Mote], dict[str, Any]]
+    period: float
+
+    def row_bytes(self) -> int:
+        return sum(size_in_bytes(f.dtype) for f in self.schema)
+
+
+@dataclass
+class JoinPair:
+    """One joinable mote pair with its chosen execution site."""
+
+    left_mote: int
+    right_mote: int
+    strategy: JoinStrategy = JoinStrategy.AT_BASE
+
+
+@dataclass
+class DeployedQuery:
+    """Handle over a running in-network query.
+
+    ``on_result`` overrides the engine-wide callback for this query's
+    deliveries (the federated executor uses this to project fragment
+    outputs before handing them to the stream engine).
+    """
+
+    name: str
+    tasks: list[PeriodicTask] = field(default_factory=list)
+    results_delivered: int = 0
+    epochs: int = 0
+    on_result: ResultCallback | None = None
+
+    def stop(self) -> None:
+        for task in self.tasks:
+            task.stop()
+
+
+class SensorEngine:
+    """Runs queries inside the simulated sensor network."""
+
+    def __init__(self, network: SensorNetwork, on_result: ResultCallback | None = None):
+        self.network = network
+        self.on_result = on_result or (lambda name, values, time: None)
+        self._relations: dict[str, SensorRelation] = {}
+        self.deployed: list[DeployedQuery] = []
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+    def register_relation(self, relation: SensorRelation) -> SensorRelation:
+        key = relation.name.lower()
+        if key in self._relations:
+            raise SensorNetworkError(f"sensor relation {relation.name!r} already registered")
+        for mote_id in relation.mote_ids:
+            self.network.mote(mote_id)  # validates existence
+        self._relations[key] = relation
+        return relation
+
+    def relation(self, name: str) -> SensorRelation:
+        rel = self._relations.get(name.lower())
+        if rel is None:
+            raise SensorNetworkError(
+                f"unknown sensor relation {name!r}; have {sorted(self._relations)}"
+            )
+        return rel
+
+    # ------------------------------------------------------------------
+    # Collection (selection pushed to the mote)
+    # ------------------------------------------------------------------
+    def deploy_collection(
+        self,
+        relation_name: str,
+        predicate: Expr | None = None,
+        *,
+        target_name: str | None = None,
+        key_prefix: str | None = None,
+        on_result: ResultCallback | None = None,
+    ) -> DeployedQuery:
+        """Sample-filter-forward. ``predicate`` evaluates over the tuple
+        (qualified references fall back to bare names); only passing
+        tuples are transmitted. ``key_prefix`` qualifies the delivered
+        tuple's keys (``room`` → ``sa.room``) so federated plans can bind
+        them positionally."""
+        relation = self.relation(relation_name)
+        deployed = DeployedQuery(target_name or relation.name, on_result=on_result)
+        out_name = deployed.name
+
+        def make_epoch(mote_id: int) -> Callable[[], None]:
+            def epoch() -> None:
+                mote = self.network.mote(mote_id)
+                if not mote.alive:
+                    return
+                values = relation.sampler(mote)
+                if key_prefix:
+                    values = {f"{key_prefix}.{k}": v for k, v in values.items()}
+                mote.account_cpu()
+                if predicate is not None and predicate.eval(_DictRow(values)) is not True:
+                    return
+                # Deliver with the *sample* timestamp: downstream latency
+                # measurements then include real network delay.
+                sample_time = self.network.simulator.now
+                self.network.send_to_base(
+                    mote_id,
+                    relation.row_bytes(),
+                    payload=values,
+                    on_delivered=lambda payload, time, sample_time=sample_time: self._deliver(
+                        deployed, out_name, payload, sample_time
+                    ),
+                )
+            return epoch
+
+        for mote_id in relation.mote_ids:
+            task = self.network.simulator.schedule_periodic(relation.period, make_epoch(mote_id))
+            deployed.tasks.append(task)
+        self.deployed.append(deployed)
+        return deployed
+
+    # ------------------------------------------------------------------
+    # Aggregation (TAG-style tree combining)
+    # ------------------------------------------------------------------
+    def deploy_aggregation(
+        self,
+        relation_name: str,
+        attribute: str,
+        aggregate: str,
+        *,
+        target_name: str | None = None,
+        on_result: ResultCallback | None = None,
+    ) -> DeployedQuery:
+        """One message per collection-tree edge per epoch: every mote
+        samples, combines its children's partial state records with its
+        own reading, and forwards a single PSR to its parent.
+
+        Supported aggregates: COUNT, SUM, AVG, MIN, MAX (all decompose
+        into (count, sum, min, max) partial states).
+        """
+        aggregate = aggregate.upper()
+        if aggregate not in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            raise SensorNetworkError(f"aggregate {aggregate!r} is not tree-decomposable")
+        relation = self.relation(relation_name)
+        deployed = DeployedQuery(
+            target_name or f"{relation.name}_{aggregate.lower()}", on_result=on_result
+        )
+        member_ids = set(relation.mote_ids)
+        base_id = self.network.basestation.mote_id
+        #: Partial state record: (count, sum, min, max).
+        psr_bytes = 4 * 8
+
+        def epoch() -> None:
+            deployed.epochs += 1
+            self.network._ensure_topology()
+            # Post-order over the collection tree: children before parents,
+            # so a mote's inbox is complete by the time it runs. The inbox
+            # is keyed by *recipient*: child PSRs accumulate at the parent.
+            order = self._postorder()
+            inbox: dict[int, tuple[int, float, float, float]] = {}
+            for mote_id in order:
+                mote = self.network.mote(mote_id)
+                if not mote.alive:
+                    continue
+                psr: tuple[int, float, float, float] | None = inbox.pop(mote_id, None)
+                if mote_id in member_ids:
+                    values = relation.sampler(mote)
+                    reading = float(values[attribute])
+                    psr = self._merge_psr(psr, (1, reading, reading, reading))
+                if psr is not None and psr != inbox.get(mote_id):
+                    mote.account_cpu()
+                if mote_id == base_id:
+                    inbox[base_id] = psr if psr is not None else (0, 0.0, 0.0, 0.0)
+                    continue
+                if psr is None or psr[0] == 0:
+                    continue  # nothing to report this epoch
+                parent = self.network.parent_of(mote_id)
+                # One PSR message up the tree edge (loss modelled as a
+                # single-hop send).
+                self.network.send(
+                    mote_id,
+                    parent,
+                    psr_bytes,
+                    payload=None,
+                    on_delivered=None,
+                )
+                inbox[parent] = self._merge_psr(inbox.get(parent), psr)
+            final = inbox.get(base_id)
+            if final is None or final[0] == 0:
+                return
+            count, total, minimum, maximum = final
+            value = {
+                "COUNT": float(count),
+                "SUM": total,
+                "AVG": total / count,
+                "MIN": minimum,
+                "MAX": maximum,
+            }[aggregate]
+            self._deliver(
+                deployed,
+                deployed.name,
+                {"value": value, "count": count},
+                self.network.simulator.now,
+            )
+
+        task = self.network.simulator.schedule_periodic(relation.period, epoch)
+        deployed.tasks.append(task)
+        self.deployed.append(deployed)
+        return deployed
+
+    @staticmethod
+    def _merge_psr(
+        existing: tuple[int, float, float, float] | None,
+        incoming: tuple[int, float, float, float],
+    ) -> tuple[int, float, float, float]:
+        if existing is None:
+            return incoming
+        return (
+            existing[0] + incoming[0],
+            existing[1] + incoming[1],
+            min(existing[2], incoming[2]),
+            max(existing[3], incoming[3]),
+        )
+
+    def _postorder(self) -> list[int]:
+        """Collection-tree post-order (children before parents)."""
+        base_id = self.network.basestation.mote_id
+        order: list[int] = []
+
+        def visit(mote_id: int) -> None:
+            for child in sorted(self.network.children_of(mote_id)):
+                visit(child)
+            order.append(mote_id)
+
+        visit(base_id)
+        return order
+
+    # ------------------------------------------------------------------
+    # In-network pairwise join
+    # ------------------------------------------------------------------
+    def deploy_join(
+        self,
+        left_relation: str,
+        right_relation: str,
+        pairs: list[JoinPair],
+        predicate: Expr | None,
+        *,
+        target_name: str,
+        period: float | None = None,
+        left_prefix: str | None = None,
+        right_prefix: str | None = None,
+        on_result: ResultCallback | None = None,
+    ) -> DeployedQuery:
+        """Join tuples of paired motes every epoch.
+
+        The joined tuple is the union of both sides' values. When
+        ``left_prefix``/``right_prefix`` are given (the scan bindings),
+        keys are qualified — ``sa.room``, ``ss.room`` — so the predicate
+        and downstream federated bindings resolve unambiguously; without
+        prefixes, colliding right-side keys get a ``right_`` prefix.
+        """
+        left = self.relation(left_relation)
+        right = self.relation(right_relation)
+        epoch_period = period or max(left.period, right.period)
+        deployed = DeployedQuery(target_name, on_result=on_result)
+        joined_bytes = left.row_bytes() + right.row_bytes()
+
+        def run_pair(pair: JoinPair) -> None:
+            left_mote = self.network.mote(pair.left_mote)
+            right_mote = self.network.mote(pair.right_mote)
+            if not (left_mote.alive and right_mote.alive):
+                return
+            sample_time = self.network.simulator.now
+            left_values = left.sampler(left_mote)
+            right_values = right.sampler(right_mote)
+            if left_prefix:
+                left_values = {f"{left_prefix}.{k}": v for k, v in left_values.items()}
+            if right_prefix:
+                right_values = {f"{right_prefix}.{k}": v for k, v in right_values.items()}
+
+            def merged() -> dict[str, Any]:
+                out = dict(left_values)
+                for key, value in right_values.items():
+                    out[key if key not in out else f"right_{key}"] = value
+                return out
+
+            if pair.strategy is JoinStrategy.AT_BASE:
+                # Both tuples travel to the base independently; the base
+                # performs the join.
+                state: dict[str, Any] = {"left": None, "right": None}
+
+                def on_side(side: str) -> Callable[[Any, float], None]:
+                    def callback(payload: Any, time: float) -> None:
+                        state[side] = payload
+                        if state["left"] is not None and state["right"] is not None:
+                            row = merged()
+                            if predicate is None or predicate.eval(_DictRow(row)) is True:
+                                self._deliver(deployed, target_name, row, sample_time)
+                    return callback
+
+                self.network.send_to_base(
+                    pair.left_mote, left.row_bytes(), left_values, on_side("left")
+                )
+                self.network.send_to_base(
+                    pair.right_mote, right.row_bytes(), right_values, on_side("right")
+                )
+                return
+
+            # Local join: ship one side to the other, evaluate there, and
+            # forward matches to the base.
+            if pair.strategy is JoinStrategy.AT_LEFT:
+                carrier, join_site = pair.right_mote, pair.left_mote
+                carried_bytes = right.row_bytes()
+            else:
+                carrier, join_site = pair.left_mote, pair.right_mote
+                carried_bytes = left.row_bytes()
+
+            def at_join_site(payload: Any, time: float) -> None:
+                site_mote = self.network.mote(join_site)
+                site_mote.account_cpu()
+                row = merged()
+                if predicate is None or predicate.eval(_DictRow(row)) is True:
+                    self.network.send_to_base(
+                        join_site,
+                        joined_bytes,
+                        row,
+                        lambda p, t: self._deliver(deployed, target_name, p, sample_time),
+                    )
+
+            self.network.send(carrier, join_site, carried_bytes, None, at_join_site)
+
+        def epoch() -> None:
+            deployed.epochs += 1
+            for pair in pairs:
+                run_pair(pair)
+
+        task = self.network.simulator.schedule_periodic(epoch_period, epoch)
+        deployed.tasks.append(task)
+        self.deployed.append(deployed)
+        return deployed
+
+    # ------------------------------------------------------------------
+    def _deliver(
+        self, deployed: DeployedQuery, name: str, values: dict[str, Any], time: float
+    ) -> None:
+        deployed.results_delivered += 1
+        callback = deployed.on_result or self.on_result
+        callback(name, values, time)
+
+
+class _DictRow:
+    """Adapter letting expressions evaluate over plain dicts.
+
+    Qualified references fall back to their bare name, so a predicate
+    written as ``ss.light < 50`` also works on mote-local tuples.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: dict[str, Any]):
+        self._values = values
+
+    def __getitem__(self, name: str) -> Any:
+        if name in self._values:
+            return self._values[name]
+        bare = name.rsplit(".", 1)[-1]
+        if bare in self._values:
+            return self._values[bare]
+        raise KeyError(name)

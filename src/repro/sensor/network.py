@@ -1,0 +1,316 @@
+"""The sensor network: topology, collection tree and message routing.
+
+Motes form a connectivity graph from their positions and radio ranges.
+A collection tree (hop-count shortest paths, ETX tie-break) roots every
+mote at the basestation, exactly like TinyOS collection — the sensor
+engine's aggregation and data collection run over this tree, and the
+optimizer's "hops to base" cost input is the tree depth.
+
+Message delivery is simulated hop by hop: each hop charges transmit /
+receive energy, draws losses from the seeded RNG, retransmits up to a
+retry bound, and adds per-hop latency on the shared simulator clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import EnergyExhaustedError, SensorNetworkError
+from repro.runtime import Simulator, Trace
+from repro.sensor.mote import Mote, MoteRole, Position
+from repro.sensor.radio import RadioModel
+
+#: Seconds added per radio hop (MAC + propagation + processing).
+HOP_LATENCY = 0.02
+#: Default cap on per-hop retransmissions before a message is dropped.
+MAX_RETRIES = 3
+#: Radio header bytes added to every message payload.
+HEADER_BYTES = 11
+
+
+@dataclass
+class MessageStats:
+    """Network-wide radio accounting."""
+
+    transmissions: int = 0        # every tx attempt, including retries
+    deliveries: int = 0           # messages that reached their next hop
+    drops: int = 0                # messages abandoned after retries
+    bytes_transmitted: int = 0
+
+    def snapshot(self) -> "MessageStats":
+        return MessageStats(
+            self.transmissions, self.deliveries, self.drops, self.bytes_transmitted
+        )
+
+    def delta(self, earlier: "MessageStats") -> "MessageStats":
+        """Stats accumulated since ``earlier``."""
+        return MessageStats(
+            self.transmissions - earlier.transmissions,
+            self.deliveries - earlier.deliveries,
+            self.drops - earlier.drops,
+            self.bytes_transmitted - earlier.bytes_transmitted,
+        )
+
+
+class SensorNetwork:
+    """A deployed network of motes with one basestation.
+
+    Args:
+        simulator: Shared discrete-event clock.
+        radio: Link model; default :class:`RadioModel`.
+        trace: Optional shared trace for time-series benches.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        radio: RadioModel | None = None,
+        trace: Trace | None = None,
+    ):
+        self.simulator = simulator
+        self.radio = radio or RadioModel()
+        self.trace = trace
+        self.motes: dict[int, Mote] = {}
+        self.stats = MessageStats()
+        self._neighbors: dict[int, list[int]] = {}
+        self._parent: dict[int, int] = {}
+        self._hops: dict[int, int] = {}
+        self._topology_stale = True
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_mote(self, mote: Mote) -> Mote:
+        if mote.mote_id in self.motes:
+            raise SensorNetworkError(f"duplicate mote id {mote.mote_id}")
+        self.motes[mote.mote_id] = mote
+        self._topology_stale = True
+        return mote
+
+    def add_basestation(self, position: Position, radio_range: float = 150.0) -> Mote:
+        """Add the basestation as mote 0."""
+        mote = Mote(0, position, MoteRole.BASESTATION, radio_range)
+        return self.add_mote(mote)
+
+    @property
+    def basestation(self) -> Mote:
+        base = self.motes.get(0)
+        if base is None or base.role is not MoteRole.BASESTATION:
+            raise SensorNetworkError("network has no basestation (mote 0)")
+        return base
+
+    def mote(self, mote_id: int) -> Mote:
+        mote = self.motes.get(mote_id)
+        if mote is None:
+            raise SensorNetworkError(f"unknown mote {mote_id}")
+        return mote
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def rebuild_topology(self) -> None:
+        """Recompute neighbor lists and the collection tree."""
+        self._neighbors = {mote_id: [] for mote_id in self.motes}
+        for a_id, a in self.motes.items():
+            for b_id, b in self.motes.items():
+                if a_id < b_id and a.can_hear(b) and b.can_hear(a):
+                    self._neighbors[a_id].append(b_id)
+                    self._neighbors[b_id].append(a_id)
+        # BFS from the basestation → hop counts and parents.
+        self._parent = {}
+        self._hops = {}
+        base_id = self.basestation.mote_id
+        self._hops[base_id] = 0
+        queue = deque([base_id])
+        while queue:
+            current = queue.popleft()
+            for neighbor in sorted(self._neighbors[current]):
+                if neighbor not in self._hops:
+                    self._hops[neighbor] = self._hops[current] + 1
+                    self._parent[neighbor] = current
+                    queue.append(neighbor)
+        self._topology_stale = False
+
+    def _ensure_topology(self) -> None:
+        if self._topology_stale:
+            self.rebuild_topology()
+
+    def neighbors(self, mote_id: int) -> list[int]:
+        self._ensure_topology()
+        return list(self._neighbors.get(mote_id, []))
+
+    def hops_to_base(self, mote_id: int) -> int:
+        """Collection-tree depth of a mote; raises if disconnected."""
+        self._ensure_topology()
+        if mote_id not in self._hops:
+            raise SensorNetworkError(f"mote {mote_id} is disconnected from the basestation")
+        return self._hops[mote_id]
+
+    def parent_of(self, mote_id: int) -> int:
+        """Collection-tree parent (towards the basestation)."""
+        self._ensure_topology()
+        if mote_id == self.basestation.mote_id:
+            raise SensorNetworkError("basestation has no parent")
+        if mote_id not in self._parent:
+            raise SensorNetworkError(f"mote {mote_id} is disconnected from the basestation")
+        return self._parent[mote_id]
+
+    def children_of(self, mote_id: int) -> list[int]:
+        """Collection-tree children."""
+        self._ensure_topology()
+        return [m for m, p in self._parent.items() if p == mote_id]
+
+    @property
+    def diameter(self) -> int:
+        """Deepest collection-tree level — the catalog's network diameter."""
+        self._ensure_topology()
+        return max(self._hops.values(), default=0)
+
+    def is_connected(self) -> bool:
+        self._ensure_topology()
+        return len(self._hops) == len(self.motes)
+
+    def route(self, source_id: int, target_id: int) -> list[int]:
+        """Shortest hop path between two motes (BFS over connectivity)."""
+        self._ensure_topology()
+        if source_id == target_id:
+            return [source_id]
+        previous: dict[int, int] = {source_id: source_id}
+        queue = deque([source_id])
+        while queue:
+            current = queue.popleft()
+            for neighbor in sorted(self._neighbors[current]):
+                if neighbor not in previous:
+                    previous[neighbor] = current
+                    if neighbor == target_id:
+                        path = [target_id]
+                        while path[-1] != source_id:
+                            path.append(previous[path[-1]])
+                        return list(reversed(path))
+                    queue.append(neighbor)
+        raise SensorNetworkError(f"no route from mote {source_id} to mote {target_id}")
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        source_id: int,
+        target_id: int,
+        payload_bytes: int,
+        payload: Any = None,
+        on_delivered: Callable[[Any, float], None] | None = None,
+    ) -> None:
+        """Send a message along the shortest path, hop by hop.
+
+        Energy, retries, losses and latency are simulated per hop. On
+        end-to-end success ``on_delivered(payload, time)`` fires at the
+        delivery timestamp. Drops (retry exhaustion, dead relay) are
+        counted and traced but not retried end-to-end — matching the
+        best-effort collection semantics of real deployments.
+        """
+        path = self.route(source_id, target_id)
+        if len(path) == 1:
+            if on_delivered is not None:
+                on_delivered(payload, self.simulator.now)
+            return
+        self._hop(path, 0, payload_bytes, payload, on_delivered)
+
+    def send_to_base(
+        self,
+        source_id: int,
+        payload_bytes: int,
+        payload: Any = None,
+        on_delivered: Callable[[Any, float], None] | None = None,
+    ) -> None:
+        """Send up the collection tree to the basestation."""
+        self._ensure_topology()
+        base_id = self.basestation.mote_id
+        self.hops_to_base(source_id)  # raises when disconnected
+        # Tree path: follow parents.
+        path = [source_id]
+        while path[-1] != base_id:
+            path.append(self._parent[path[-1]])
+        self._hop(path, 0, payload_bytes, payload, on_delivered)
+
+    def _hop(
+        self,
+        path: list[int],
+        index: int,
+        payload_bytes: int,
+        payload: Any,
+        on_delivered: Callable[[Any, float], None] | None,
+        retry: int = 0,
+    ) -> None:
+        sender = self.motes[path[index]]
+        receiver = self.motes[path[index + 1]]
+        if not sender.alive:
+            self.stats.drops += 1
+            self._trace("drop", {"reason": "dead-sender", "mote": sender.mote_id})
+            return
+        total_bytes = payload_bytes + HEADER_BYTES
+        try:
+            sender.account_tx(total_bytes)
+        except EnergyExhaustedError:
+            self.stats.drops += 1
+            self._trace("drop", {"reason": "dead-sender", "mote": sender.mote_id})
+            return
+        self.stats.transmissions += 1
+        self.stats.bytes_transmitted += total_bytes
+
+        link = self.radio.link(sender, receiver)
+        delivered = (
+            link is not None
+            and receiver.alive
+            and self.radio.attempt_delivery(link, self.simulator.rng)
+        )
+
+        def arrive() -> None:
+            # The receiver may have died while the message was in flight.
+            if delivered and receiver.alive:
+                try:
+                    receiver.account_rx(total_bytes)
+                except EnergyExhaustedError:
+                    self.stats.drops += 1
+                    self._trace("drop", {"reason": "dead-receiver", "mote": receiver.mote_id})
+                    return
+                self.stats.deliveries += 1
+                if path[index + 1] == path[-1]:
+                    if on_delivered is not None:
+                        on_delivered(payload, self.simulator.now)
+                else:
+                    self._hop(path, index + 1, payload_bytes, payload, on_delivered)
+            elif retry < MAX_RETRIES:
+                self._hop(path, index, payload_bytes, payload, on_delivered, retry + 1)
+            else:
+                self.stats.drops += 1
+                self._trace(
+                    "drop",
+                    {"reason": "retries", "from": sender.mote_id, "to": receiver.mote_id},
+                )
+
+        self.simulator.schedule_in(HOP_LATENCY, arrive)
+
+    # ------------------------------------------------------------------
+    def total_energy_spent(self) -> float:
+        """Sum of all motes' spent energy (mJ), basestation excluded."""
+        return sum(
+            m.battery.spent()
+            for m in self.motes.values()
+            if m.role is not MoteRole.BASESTATION
+        )
+
+    def min_battery_fraction(self) -> float:
+        """Worst remaining battery fraction — the network-lifetime proxy."""
+        fractions = [
+            m.battery.fraction_remaining
+            for m in self.motes.values()
+            if m.role is not MoteRole.BASESTATION
+        ]
+        return min(fractions, default=1.0)
+
+    def _trace(self, category: str, payload: Any) -> None:
+        if self.trace is not None:
+            self.trace.log(self.simulator.now, f"net.{category}", payload)

@@ -1,0 +1,92 @@
+"""Radio link model.
+
+Links are derived from mote positions: within ``radio_range`` feet the
+link exists, and its delivery probability degrades smoothly with
+distance (free-space-like falloff with a reliable inner disc). Loss is
+drawn per message from the simulation RNG, so one seed reproduces one
+sequence of losses.
+
+The model is deliberately simple — the algorithms under test (collection
+trees, in-network join placement, RFID localisation) react to *loss
+rates and connectivity*, not to fading physics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sensor.mote import Mote
+
+
+@dataclass(frozen=True)
+class LinkQuality:
+    """Quality of a directed radio link.
+
+    Attributes:
+        distance: Euclidean distance between endpoints (feet).
+        delivery_probability: Chance one message crosses the link.
+    """
+
+    distance: float
+    delivery_probability: float
+
+    @property
+    def expected_transmissions(self) -> float:
+        """ETX — expected transmissions per delivered message."""
+        if self.delivery_probability <= 0:
+            return float("inf")
+        return 1.0 / self.delivery_probability
+
+
+class RadioModel:
+    """Computes link qualities and draws per-message outcomes.
+
+    Args:
+        reliable_fraction: Fraction of the radio range that is loss-free
+            (the "inner disc").
+        floor_probability: Delivery probability exactly at the range edge.
+    """
+
+    def __init__(self, reliable_fraction: float = 0.6, floor_probability: float = 0.65):
+        if not 0 < reliable_fraction <= 1:
+            raise ValueError("reliable_fraction must be in (0, 1]")
+        if not 0 <= floor_probability <= 1:
+            raise ValueError("floor_probability must be in [0, 1]")
+        self.reliable_fraction = reliable_fraction
+        self.floor_probability = floor_probability
+
+    def link(self, sender: Mote, receiver: Mote) -> LinkQuality | None:
+        """Link quality from sender to receiver, or None if out of range."""
+        distance = sender.position.distance_to(receiver.position)
+        if distance > sender.radio_range:
+            return None
+        reliable_radius = sender.radio_range * self.reliable_fraction
+        if distance <= reliable_radius:
+            probability = 1.0
+        else:
+            # Linear falloff from 1.0 at the inner disc edge to the floor
+            # at maximum range.
+            span = sender.radio_range - reliable_radius
+            fraction = (distance - reliable_radius) / span if span > 0 else 1.0
+            probability = 1.0 - fraction * (1.0 - self.floor_probability)
+        return LinkQuality(distance, probability)
+
+    def attempt_delivery(self, link: LinkQuality, rng: random.Random) -> bool:
+        """Draw one message outcome over ``link``."""
+        return rng.random() < link.delivery_probability
+
+    def rssi(self, sender: Mote, receiver: Mote, tx_power_dbm: float = 0.0) -> float | None:
+        """Received signal strength (dBm) for RFID-style proximity ranking.
+
+        Log-distance path loss with exponent 2.2 (indoor line-of-sight-ish);
+        None when out of range. Used by the localiser to pick the nearest
+        detector when several hear the same beacon.
+        """
+        import math
+
+        distance = max(sender.position.distance_to(receiver.position), 1.0)
+        if distance > sender.radio_range:
+            return None
+        path_loss = 40.0 + 10.0 * 2.2 * math.log10(distance)
+        return tx_power_dbm - path_loss

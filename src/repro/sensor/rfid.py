@@ -1,0 +1,187 @@
+"""Active RFID beacons and occupant detection.
+
+Paper §2: "'Mote' sensors are embedded in the hallways at major
+intersection points, and every 100 feet. These sensors listen for a
+'beacon' transmission from an active RFID device (also a mote) carried
+by an occupant and determine where that person is positioned."
+
+A :class:`Beacon` transmits periodically at low power; hallway motes
+within its (short) range detect it with an RSSI, and each detection is
+sent up the collection tree as a sighting tuple. The
+:class:`Localizer` keeps the freshest sightings per beacon and estimates
+the occupant's position as the strongest detector's coordinates —
+exactly the granularity the demo needs (which hallway segment the
+visitor is in), since detector coordinates come from the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.runtime import PeriodicTask
+from repro.sensor.mote import Mote, MoteRole, Position
+from repro.sensor.network import SensorNetwork
+
+#: Wire size of one sighting tuple (detector id, beacon id, rssi, time).
+SIGHTING_BYTES = 4 + 4 + 4 + 8
+
+#: Callback: (sighting dict, delivery time at basestation).
+SightingCallback = Callable[[dict[str, Any], float], None]
+
+
+@dataclass
+class Beacon:
+    """An active RFID tag carried by an occupant.
+
+    Attributes:
+        beacon_id: Identifier broadcast in every transmission.
+        position_fn: Returns the carrier's current position (the building
+            occupant model drives this).
+        period: Seconds between transmissions.
+        tx_range: Detection radius in feet (low-power transmission).
+    """
+
+    beacon_id: int
+    position_fn: Callable[[], Position]
+    period: float = 2.0
+    tx_range: float = 40.0
+    transmissions: int = 0
+
+
+@dataclass
+class Sighting:
+    """One detection of a beacon by a hallway mote."""
+
+    detector_id: int
+    beacon_id: int
+    rssi: float
+    time: float
+
+
+class RFIDService:
+    """Runs beacons against a network's hallway detectors.
+
+    Every beacon period: find detector motes in range, compute RSSI per
+    detector, and forward each detection to the basestation as a
+    sighting tuple (consuming real network messages). Deduplication and
+    position estimation happen in :class:`Localizer` on the PC side.
+    """
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        on_sighting: SightingCallback | None = None,
+        detector_roles: tuple[MoteRole, ...] = (MoteRole.HALLWAY,),
+    ):
+        self.network = network
+        self.on_sighting = on_sighting or (lambda values, time: None)
+        self.detector_roles = detector_roles
+        self.beacons: dict[int, Beacon] = {}
+        self._tasks: list[PeriodicTask] = []
+        self.sightings_generated = 0
+
+    def detectors(self) -> list[Mote]:
+        """All motes acting as RFID detectors."""
+        return [
+            m for m in self.network.motes.values() if m.role in self.detector_roles
+        ]
+
+    def add_beacon(self, beacon: Beacon) -> Beacon:
+        """Register a beacon and start its periodic transmission."""
+        self.beacons[beacon.beacon_id] = beacon
+        task = self.network.simulator.schedule_periodic(
+            beacon.period, lambda: self._transmit(beacon)
+        )
+        self._tasks.append(task)
+        return beacon
+
+    def stop(self) -> None:
+        for task in self._tasks:
+            task.stop()
+
+    # ------------------------------------------------------------------
+    def _transmit(self, beacon: Beacon) -> None:
+        beacon.transmissions += 1
+        position = beacon.position_fn()
+        for detector in self.detectors():
+            if not detector.alive:
+                continue
+            distance = detector.position.distance_to(position)
+            if distance > beacon.tx_range:
+                continue
+            rssi = self._rssi(distance)
+            values = {
+                "detector": detector.mote_id,
+                "beacon": beacon.beacon_id,
+                "rssi": rssi,
+                "heard_at": self.network.simulator.now,
+            }
+            self.sightings_generated += 1
+            self.network.send_to_base(
+                detector.mote_id,
+                SIGHTING_BYTES,
+                values,
+                lambda payload, time: self.on_sighting(payload, time),
+            )
+
+    @staticmethod
+    def _rssi(distance: float) -> float:
+        """Log-distance RSSI (dBm) at ``distance`` feet, tx power 0 dBm."""
+        import math
+
+        clamped = max(distance, 1.0)
+        return -(40.0 + 22.0 * math.log10(clamped))
+
+
+class Localizer:
+    """Estimates occupant positions from sightings.
+
+    Keeps, per beacon, every sighting within ``horizon`` seconds and
+    reports the position of the strongest-RSSI detector. Detector
+    coordinates come from the building database (the motes themselves
+    have no positioning capability — paper §2).
+    """
+
+    def __init__(
+        self,
+        detector_positions: dict[int, Position],
+        horizon: float = 6.0,
+    ):
+        self.detector_positions = dict(detector_positions)
+        self.horizon = horizon
+        self._sightings: dict[int, list[Sighting]] = {}
+        self.fixes_computed = 0
+
+    def observe(self, values: dict[str, Any], time: float) -> None:
+        """Ingest one sighting tuple (as delivered at the basestation)."""
+        sighting = Sighting(
+            detector_id=int(values["detector"]),
+            beacon_id=int(values["beacon"]),
+            rssi=float(values["rssi"]),
+            time=time,
+        )
+        self._sightings.setdefault(sighting.beacon_id, []).append(sighting)
+
+    def locate(self, beacon_id: int, now: float) -> Position | None:
+        """Best position estimate for a beacon, or None if unseen lately."""
+        sightings = self._sightings.get(beacon_id, [])
+        live = [s for s in sightings if now - s.time <= self.horizon]
+        # Prune stored history to the live horizon while we are here.
+        self._sightings[beacon_id] = live
+        if not live:
+            return None
+        best = max(live, key=lambda s: (s.rssi, s.time))
+        position = self.detector_positions.get(best.detector_id)
+        if position is not None:
+            self.fixes_computed += 1
+        return position
+
+    def strongest_detector(self, beacon_id: int, now: float) -> int | None:
+        """Id of the detector currently hearing the beacon best."""
+        sightings = [
+            s for s in self._sightings.get(beacon_id, []) if now - s.time <= self.horizon
+        ]
+        if not sightings:
+            return None
+        return max(sightings, key=lambda s: (s.rssi, s.time)).detector_id

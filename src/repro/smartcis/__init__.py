@@ -1,0 +1,40 @@
+"""The SmartCIS application: monitors, queries, alarms, GUI, facade."""
+
+from repro.smartcis import queries
+from repro.smartcis.alarms import AlarmEvent, AlarmRule, AlarmService
+from repro.smartcis.display import Display, DisplayManager
+from repro.smartcis.gui import (
+    AsciiMap,
+    GuiScene,
+    interpolate_route,
+    render_app,
+    render_scene,
+    scene_from_app,
+)
+from repro.smartcis.monitoring import (
+    SEAT_FREE_LIGHT_THRESHOLD,
+    BuildingStateStore,
+    Observation,
+)
+from repro.smartcis.app import ROOM_OPEN_LIGHT_THRESHOLD, Guidance, SmartCIS
+
+__all__ = [
+    "SmartCIS",
+    "Guidance",
+    "ROOM_OPEN_LIGHT_THRESHOLD",
+    "SEAT_FREE_LIGHT_THRESHOLD",
+    "BuildingStateStore",
+    "Observation",
+    "AlarmService",
+    "AlarmRule",
+    "AlarmEvent",
+    "DisplayManager",
+    "Display",
+    "GuiScene",
+    "AsciiMap",
+    "render_scene",
+    "render_app",
+    "scene_from_app",
+    "interpolate_route",
+    "queries",
+]

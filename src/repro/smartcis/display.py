@@ -1,0 +1,72 @@
+"""Display routing: the OUTPUT TO DISPLAY extension's endpoint.
+
+Paper §2: "Our graphical displays are located on laptops with wireless
+access, which may be virtually 'mapped' to positions in the building."
+
+A :class:`DisplayManager` owns named displays; the stream engine's
+OutputOp delivers result elements here, and each display keeps a bounded
+history plus optional live subscribers (the GUI panel redraws on
+delivery).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.data.streams import StreamElement
+from repro.errors import ExecutionError
+
+
+@dataclass
+class Display:
+    """One registered display (a laptop somewhere in the building)."""
+
+    name: str
+    location: str = ""
+    history_limit: int = 200
+    history: deque = field(default_factory=lambda: deque(maxlen=200))
+    subscribers: list[Callable[[StreamElement], None]] = field(default_factory=list)
+    deliveries: int = 0
+
+    def deliver(self, element: StreamElement) -> None:
+        self.history.append(element)
+        self.deliveries += 1
+        for subscriber in self.subscribers:
+            subscriber(element)
+
+    def latest(self, count: int = 10) -> list[StreamElement]:
+        """Most recent ``count`` deliveries, oldest first."""
+        items = list(self.history)
+        return items[-count:]
+
+
+class DisplayManager:
+    """Registry of displays; implements the engine's deliver callback."""
+
+    def __init__(self) -> None:
+        self._displays: dict[str, Display] = {}
+
+    def register(self, name: str, location: str = "") -> Display:
+        key = name.lower()
+        if key in self._displays:
+            raise ExecutionError(f"display {name!r} already registered")
+        display = Display(name, location)
+        self._displays[key] = display
+        return display
+
+    def display(self, name: str) -> Display:
+        display = self._displays.get(name.lower())
+        if display is None:
+            raise ExecutionError(
+                f"unknown display {name!r}; have {sorted(self._displays)}"
+            )
+        return display
+
+    def names(self) -> list[str]:
+        return [d.name for d in self._displays.values()]
+
+    def deliver(self, name: str, element: StreamElement) -> None:
+        """The callback handed to :class:`repro.stream.StreamEngine`."""
+        self.display(name).deliver(element)

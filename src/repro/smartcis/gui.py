@@ -1,0 +1,181 @@
+"""The SmartCIS GUI, rendered as deterministic text.
+
+Paper Figure 2 shows "building layout, open and closed (shaded with
+dashed lines) labs, free and unavailable machines, and a path to and
+details about the nearest machine with Fedora Linux". This renderer
+regenerates the same scene as ASCII: rooms as boxes (closed labs hatched
+with dashes), desks as ``F``/``U`` markers (free / unavailable), the
+visitor as ``@``, the suggested route as ``*`` dots, plus a details
+panel for the chosen machine and the live query/partition information
+the demo projects.
+
+Output is deterministic for a given application state, so the Figure 2
+bench can assert on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.building.model import Room, RoomKind
+from repro.building.routing import Route
+from repro.sensor.mote import Position
+
+#: Character cell size in feet (x, y). The Moore layout is ~400×120 ft;
+#: at 5×6 ft per cell the map is ~80×20 characters.
+CELL_X = 5.0
+CELL_Y = 6.0
+
+
+@dataclass
+class GuiScene:
+    """Everything the GUI draws, collected from the application."""
+
+    width_ft: float
+    height_ft: float
+    rooms: list[Room]
+    room_open: dict[str, bool]
+    seat_free: dict[tuple[str, str], bool]
+    visitor_position: Position | None = None
+    route_positions: list[Position] | None = None
+    details: list[str] | None = None
+
+
+class AsciiMap:
+    """A character canvas addressed in building coordinates."""
+
+    def __init__(self, width_ft: float, height_ft: float):
+        self.columns = int(width_ft / CELL_X) + 2
+        self.rows = int(height_ft / CELL_Y) + 2
+        self._grid = [[" "] * self.columns for _ in range(self.rows)]
+
+    def cell(self, position: Position) -> tuple[int, int]:
+        column = min(max(int(position.x / CELL_X), 0), self.columns - 1)
+        # y grows upward in building coordinates; rows grow downward.
+        row = min(max(self.rows - 1 - int(position.y / CELL_Y), 0), self.rows - 1)
+        return row, column
+
+    def put(self, position: Position, char: str, overwrite: bool = True) -> None:
+        row, column = self.cell(position)
+        if overwrite or self._grid[row][column] == " ":
+            self._grid[row][column] = char
+
+    def put_if_space(self, position: Position, char: str) -> None:
+        self.put(position, char, overwrite=False)
+
+    def box(self, origin: Position, width: float, height: float, fill: str | None) -> None:
+        top_left = Position(origin.x, origin.y + height)
+        bottom_right = Position(origin.x + width, origin.y)
+        r0, c0 = self.cell(top_left)
+        r1, c1 = self.cell(bottom_right)
+        for column in range(c0, c1 + 1):
+            self._grid[r0][column] = "-"
+            self._grid[r1][column] = "-"
+        for row in range(r0, r1 + 1):
+            self._grid[row][c0] = "|"
+            self._grid[row][c1] = "|"
+        self._grid[r0][c0] = self._grid[r0][c1] = "+"
+        self._grid[r1][c0] = self._grid[r1][c1] = "+"
+        if fill:
+            for row in range(r0 + 1, r1):
+                for column in range(c0 + 1, c1):
+                    self._grid[row][column] = fill
+
+    def label(self, position: Position, text: str) -> None:
+        row, column = self.cell(position)
+        for offset, char in enumerate(text):
+            if column + offset < self.columns:
+                self._grid[row][column + offset] = char
+
+    def render(self) -> str:
+        return "\n".join("".join(row).rstrip() for row in self._grid)
+
+
+def render_scene(scene: GuiScene) -> str:
+    """Draw the scene: map, then the details panel."""
+    canvas = AsciiMap(scene.width_ft, scene.height_ft)
+
+    for room in scene.rooms:
+        is_open = scene.room_open.get(room.room_id, room.is_open)
+        hatch = None if is_open else "-"  # paper: closed labs shaded with dashes
+        canvas.box(room.origin, room.width, room.height, hatch)
+        label_pos = Position(room.origin.x + 4.0, room.origin.y + room.height - 8.0)
+        canvas.label(label_pos, room.room_id[: max(int(room.width / CELL_X) - 2, 4)])
+
+    # Desk markers: F free, U unavailable (busy seat or closed room).
+    for room in scene.rooms:
+        for desk in room.desks.values():
+            free = scene.seat_free.get((room.room_id, desk.desk_id), False)
+            free = free and scene.room_open.get(room.room_id, False)
+            canvas.put(desk.position, "F" if free else "U")
+
+    if scene.route_positions:
+        for position in scene.route_positions:
+            canvas.put_if_space(position, "*")
+
+    if scene.visitor_position is not None:
+        canvas.put(scene.visitor_position, "@")
+
+    out = [canvas.render()]
+    if scene.details:
+        out.append("")
+        out.append("+-- details " + "-" * 46)
+        for line in scene.details:
+            out.append("| " + line)
+        out.append("+" + "-" * 58)
+    return "\n".join(out)
+
+
+def interpolate_route(route_points: list[Position], step_ft: float = 8.0) -> list[Position]:
+    """Densify a polyline so the route paints as a continuous dotted path."""
+    if not route_points:
+        return []
+    out = [route_points[0]]
+    for start, end in zip(route_points, route_points[1:]):
+        distance = start.distance_to(end)
+        steps = max(int(distance / step_ft), 1)
+        for i in range(1, steps + 1):
+            fraction = i / steps
+            out.append(
+                Position(
+                    start.x + fraction * (end.x - start.x),
+                    start.y + fraction * (end.y - start.y),
+                )
+            )
+    return out
+
+
+def scene_from_app(app, visitor: str | None = None, route: Route | None = None,
+                   details: list[str] | None = None) -> GuiScene:
+    """Collect a :class:`GuiScene` from a running SmartCIS application."""
+    building = app.building
+    rooms = [r for r in building.rooms.values() if r.kind is not RoomKind.HALLWAY]
+    room_open = {room_id: app.state.room_is_open(room_id) for room_id in building.rooms}
+    seat_free = {
+        key: app.state.seat_is_free(*key) for key in app.state.seat_status
+    }
+    visitor_position = None
+    if visitor is not None and visitor in app.occupants:
+        visitor_position = app.occupants[visitor].position
+    route_positions = None
+    if route is not None:
+        points = [app.deployment.graph.point(p).position for p in route.points]
+        route_positions = interpolate_route(points)
+    extent_x = max(r.origin.x + r.width for r in rooms) + 20
+    extent_y = max(r.origin.y + r.height for r in rooms) + 10
+    return GuiScene(
+        width_ft=extent_x,
+        height_ft=extent_y,
+        rooms=rooms,
+        room_open=room_open,
+        seat_free=seat_free,
+        visitor_position=visitor_position,
+        route_positions=route_positions,
+        details=details,
+    )
+
+
+def render_app(app, visitor: str | None = None, route: Route | None = None,
+               details: list[str] | None = None) -> str:
+    """One-call Figure-2 rendering of a running application."""
+    return render_scene(scene_from_app(app, visitor, route, details))

@@ -1,0 +1,111 @@
+"""Monitoring state: the control-logic tier's view of the building.
+
+Paper §2 separates a smart building into "data acquisition and
+integration, control logic, and a user-interface view". This module is
+the control-logic tier's state: the latest observation from every
+monitoring stream (room status, seat status, machine temperatures,
+machine state, power), timestamped, with staleness accounting.
+
+The store is fed by the acquisition substrate — sensor tuples surfacing
+at the basestation and wrapper tuples entering the stream engine — and
+read by the GUI, the free-machine finder and the visitor guide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Seat light threshold: below this the chair is shadowed (someone seated)
+#: or the room is dark; either way the machine is not "free".
+SEAT_FREE_LIGHT_THRESHOLD = 100.0
+
+
+@dataclass
+class Observation:
+    """One latest-value cell."""
+
+    value: Any
+    time: float
+
+
+class BuildingStateStore:
+    """Latest-value cache over the monitoring streams.
+
+    Keys are chosen to match the demo's questions: room status by room,
+    seat status by (room, desk), machine temperature by host, machine
+    state by host, power by host.
+    """
+
+    def __init__(self) -> None:
+        self.room_status: dict[str, Observation] = {}
+        self.seat_status: dict[tuple[str, str], Observation] = {}
+        self.machine_temp: dict[str, Observation] = {}
+        self.machine_state: dict[str, Observation] = {}
+        self.power: dict[str, Observation] = {}
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion (wired to streams by the application)
+    # ------------------------------------------------------------------
+    def on_area_sensor(self, values: dict[str, Any], time: float) -> None:
+        self.room_status[str(values["room"])] = Observation(str(values["status"]), time)
+        self.updates += 1
+
+    def on_seat_sensor(self, values: dict[str, Any], time: float) -> None:
+        key = (str(values["room"]), str(values["desk"]))
+        self.seat_status[key] = Observation(str(values["status"]), time)
+        self.updates += 1
+
+    def on_workstation_temp(self, values: dict[str, Any], time: float) -> None:
+        self.machine_temp[str(values["host"])] = Observation(float(values["temp_c"]), time)
+        self.updates += 1
+
+    def on_machine_state(self, values: dict[str, Any], time: float) -> None:
+        self.machine_state[str(values["host"])] = Observation(dict(values), time)
+        self.updates += 1
+
+    def on_power(self, values: dict[str, Any], time: float) -> None:
+        self.power[str(values["host"])] = Observation(float(values["watts"]), time)
+        self.updates += 1
+
+    # ------------------------------------------------------------------
+    # Queries the control logic asks
+    # ------------------------------------------------------------------
+    def room_is_open(self, room: str) -> bool:
+        observation = self.room_status.get(room)
+        return observation is not None and observation.value == "open"
+
+    def seat_is_free(self, room: str, desk: str) -> bool:
+        observation = self.seat_status.get((room, desk))
+        return observation is not None and observation.value == "free"
+
+    def open_rooms(self) -> list[str]:
+        return sorted(r for r in self.room_status if self.room_is_open(r))
+
+    def free_seats(self) -> list[tuple[str, str]]:
+        """(room, desk) pairs that are free *and* in an open room."""
+        return sorted(
+            key
+            for key in self.seat_status
+            if self.seat_is_free(*key) and self.room_is_open(key[0])
+        )
+
+    def hottest_machines(self, count: int = 5) -> list[tuple[str, float]]:
+        pairs = [(host, obs.value) for host, obs in self.machine_temp.items()]
+        pairs.sort(key=lambda p: (-p[1], p[0]))
+        return pairs[:count]
+
+    def staleness(self, now: float) -> dict[str, float]:
+        """Age of the oldest observation per category (bench E9 input)."""
+        out: dict[str, float] = {}
+        for label, table in (
+            ("room_status", self.room_status),
+            ("seat_status", self.seat_status),
+            ("machine_temp", self.machine_temp),
+            ("machine_state", self.machine_state),
+            ("power", self.power),
+        ):
+            if table:
+                out[label] = max(now - obs.time for obs in table.values())
+        return out

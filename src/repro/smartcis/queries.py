@@ -1,0 +1,118 @@
+"""Canned SmartCIS queries — the demo's repertoire in Stream SQL.
+
+These are the statements the paper's Sections 2-4 describe: the
+Figure-1 free-machine query (both its view form and the folded form),
+alarms, per-user resource accounting, room monitoring and routing.
+Applications get them from here so examples, tests and benches share one
+set of texts.
+"""
+
+from __future__ import annotations
+
+#: Paper Figure 1, bottom-left: the view over the sensor relations.
+OPEN_MACHINE_INFO_VIEW = """
+CREATE VIEW OpenMachineInfo AS (
+  SELECT ss.room, ss.desk
+  FROM AreaSensors sa, SeatSensors ss
+  WHERE sa.room = ss.room ^ sa.status = 'open' ^ ss.status = 'free'
+)
+"""
+
+#: Paper Figure 1, middle: the query over the federated system, using
+#: the view (the optimizer folds the view and pushes it in-network).
+#: One deviation from the figure's text: the figure writes ``p.needed
+#: like m.software``, reading LIKE as "is satisfied by"; standard SQL
+#: LIKE takes the pattern on the right, so we write ``m.software LIKE
+#: p.needed`` — the machine's software list must match the visitor's
+#: requested pattern (e.g. ``%Fedora%``).
+FREE_MACHINE_QUERY = """
+SELECT p.id, O.room, O.desk, r.path
+FROM Person p, Route r, OpenMachineInfo O, Machines m
+WHERE O.room = m.room ^ O.desk = m.desk ^ m.software LIKE p.needed ^
+      r.start = p.room ^ r.end = O.room
+ORDER BY p.id
+"""
+
+#: Paper Figure 1, top: the same query with the view written out inline.
+FREE_MACHINE_QUERY_INLINE = """
+SELECT p.id, ss.room, ss.desk, r.path
+FROM Person p, Route r, AreaSensors sa, SeatSensors ss, Machines m
+WHERE r.start = p.room ^ r.end = sa.room ^ m.software LIKE p.needed ^
+      sa.room = ss.room ^ m.desk = ss.desk ^ sa.status = 'open' ^
+      ss.status = 'free'
+ORDER BY p.id
+"""
+
+#: §3: machine temperatures for workstations in use — the in-network
+#: proximity join between temperature and light (seat) sensors.
+TEMPS_OF_MACHINES_IN_USE = """
+SELECT wt.host, wt.room, wt.desk, wt.temp_c
+FROM WorkstationTemps wt, SeatSensors ss
+WHERE wt.room = ss.room ^ wt.desk = ss.desk ^ ss.status = 'busy'
+"""
+
+#: §2 alarms: machines exceeding a temperature threshold.
+OVERTEMP_ALARM = """
+SELECT wt.host, wt.temp_c
+FROM WorkstationTemps wt
+WHERE wt.temp_c > {threshold}
+"""
+
+#: §2 alarms: machines exceeding a load factor.
+OVERLOAD_ALARM = """
+SELECT ms.host, ms.cpu, ms.jobs
+FROM MachineState ms
+WHERE ms.cpu > {threshold}
+"""
+
+#: §2: total resources used by any user/application across machines.
+RESOURCES_BY_ROOM = """
+SELECT ms.room, SUM(ms.cpu) AS total_cpu, SUM(ms.memory_mb) AS total_mem,
+       COUNT(*) AS samples
+FROM MachineState ms [RANGE {window} SECONDS SLIDE {window} SECONDS]
+GROUP BY ms.room
+"""
+
+#: Total power per room via the PDU stream joined to machine locations.
+POWER_BY_ROOM = """
+SELECT m.room, SUM(p.watts) AS total_watts, COUNT(*) AS readings
+FROM Power p [RANGE {window} SECONDS SLIDE {window} SECONDS], Machines m
+WHERE p.host = m.host
+GROUP BY m.room
+"""
+
+#: Room monitoring for the GUI panel.
+ROOM_STATUS = """
+SELECT sa.room, sa.status FROM AreaSensors sa
+"""
+
+#: Current visitor sightings (for the who-is-where panel).
+RECENT_SIGHTINGS = """
+SELECT rs.beacon, rs.detector, rs.rssi
+FROM RFIDSightings rs [RANGE {window} SECONDS]
+"""
+
+
+def overtemp_alarm_sql(threshold_c: float = 35.0) -> str:
+    """The over-temperature alarm filter at a given threshold."""
+    return OVERTEMP_ALARM.format(threshold=threshold_c)
+
+
+def overload_alarm_sql(threshold: float = 0.85) -> str:
+    """The CPU load-factor alarm filter at a given threshold."""
+    return OVERLOAD_ALARM.format(threshold=threshold)
+
+
+def resources_by_room_sql(window_seconds: float = 60.0) -> str:
+    """Windowed per-room resource totals."""
+    return RESOURCES_BY_ROOM.format(window=window_seconds)
+
+
+def power_by_room_sql(window_seconds: float = 60.0) -> str:
+    """Windowed per-room power totals from the PDU stream."""
+    return POWER_BY_ROOM.format(window=window_seconds)
+
+
+def recent_sightings_sql(window_seconds: float = 30.0) -> str:
+    """Sightings within the last window."""
+    return RECENT_SIGHTINGS.format(window=window_seconds)

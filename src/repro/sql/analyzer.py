@@ -1,0 +1,390 @@
+"""Semantic analysis: name resolution, typing and scope construction.
+
+The analyzer binds a parsed query against a
+:class:`~repro.catalog.Catalog`: each FROM entry is resolved to a source
+or view, every column reference is rewritten to its fully-qualified
+``binding.column`` form, expressions are type-checked, and the query's
+output schema is computed. Downstream (plan builder, optimizers) only
+ever sees *resolved* queries, so later passes never re-do name lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog import Catalog, SourceEntry, SourceKind, ViewEntry
+from repro.data.schema import Field, Schema
+from repro.data.types import DataType
+from repro.errors import AnalysisError, TypeMismatchError
+from repro.sql.ast import (
+    CreateView,
+    OrderItem,
+    RecursiveQuery,
+    SelectItem,
+    SelectQuery,
+    Statement,
+)
+from repro.sql.expressions import (
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+)
+
+
+@dataclass
+class BoundTable:
+    """One resolved FROM entry.
+
+    Attributes:
+        ref: The original (surface) table reference.
+        binding: Scope name — alias if present, else the relation name.
+        schema: The relation's schema qualified by ``binding``.
+        source: The catalog source entry, or None when the entry is a view.
+        view: The catalog view entry, or None when the entry is a base source.
+    """
+
+    ref: object
+    binding: str
+    schema: Schema
+    source: SourceEntry | None = None
+    view: ViewEntry | None = None
+
+    @property
+    def is_view(self) -> bool:
+        return self.view is not None
+
+
+@dataclass
+class AnalyzedQuery:
+    """A semantically validated SELECT with resolution results.
+
+    Attributes:
+        query: The resolved query — all column refs fully qualified.
+        tables: Bound FROM entries in declaration order.
+        output_schema: Schema of the rows this query produces.
+        is_aggregate: Whether the query computes grouped aggregates.
+    """
+
+    query: SelectQuery
+    tables: list[BoundTable]
+    output_schema: Schema
+    is_aggregate: bool = False
+    scope: dict[str, BoundTable] = field(default_factory=dict)
+
+
+class Analyzer:
+    """Binds and type-checks statements against a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def analyze(self, statement: Statement) -> "AnalyzedQuery | AnalyzedCreateView | AnalyzedRecursive":
+        """Analyze any supported statement type."""
+        if isinstance(statement, SelectQuery):
+            return self.analyze_select(statement)
+        if isinstance(statement, CreateView):
+            return self.analyze_create_view(statement)
+        if isinstance(statement, RecursiveQuery):
+            return self.analyze_recursive(statement)
+        raise AnalysisError(f"unsupported statement type {type(statement).__name__}")
+
+    def analyze_select(
+        self, query: SelectQuery, extra_relations: dict[str, Schema] | None = None
+    ) -> AnalyzedQuery:
+        """Analyze a SELECT. ``extra_relations`` adds temporary names to
+        the resolvable namespace (used for the recursive-CTE working
+        relation)."""
+        if not query.tables:
+            raise AnalysisError("query has no FROM clause")
+
+        tables = [self._bind_table(ref, extra_relations or {}) for ref in query.tables]
+        scope: dict[str, BoundTable] = {}
+        for bound in tables:
+            if bound.binding.lower() in scope:
+                raise AnalysisError(f"duplicate relation binding {bound.binding!r} in FROM")
+            scope[bound.binding.lower()] = bound
+
+        combined = Schema(
+            [f for bound in tables for f in bound.schema]
+        )
+
+        resolver = _ColumnResolver(scope, combined)
+
+        where = resolver.resolve(query.where) if query.where is not None else None
+        if where is not None:
+            try:
+                where_type = where.dtype(combined)
+            except TypeMismatchError as exc:
+                raise AnalysisError(f"type error in WHERE: {exc}") from exc
+            if where_type not in (DataType.BOOL, DataType.NULL):
+                raise AnalysisError(f"WHERE must be boolean, got {where_type.value}")
+            if where.contains_aggregate():
+                raise AnalysisError("aggregates are not allowed in WHERE")
+
+        group_by = tuple(resolver.resolve(e) for e in query.group_by)
+        for expr in group_by:
+            expr.dtype(combined)  # type check
+
+        items = self._resolve_items(query, tables, resolver)
+
+        is_aggregate = bool(group_by) or any(i.expr.contains_aggregate() for i in items)
+        if is_aggregate:
+            self._check_aggregation_validity(items, group_by)
+
+        output_schema = self._output_schema(items, combined)
+
+        having = resolver.resolve(query.having) if query.having is not None else None
+        if having is not None:
+            if not is_aggregate:
+                raise AnalysisError("HAVING requires GROUP BY or aggregate select items")
+            # HAVING may reference aggregates and group keys; each plain
+            # column must be resolvable in the input or the output schema.
+            self._check_having(having, group_by, combined, output_schema)
+
+        order_by = []
+        for item in query.order_by:
+            resolved = resolver.resolve(item.expr, allow_output=output_schema)
+            order_by.append(OrderItem(resolved, item.ascending))
+
+        resolved_query = SelectQuery(
+            items=tuple(items),
+            tables=query.tables,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=tuple(order_by),
+            limit=query.limit,
+            distinct=query.distinct,
+            output=query.output,
+        )
+        if query.output is not None and not self._catalog.has_display(query.output.display):
+            raise AnalysisError(f"unknown display {query.output.display!r} in OUTPUT TO")
+
+        return AnalyzedQuery(
+            query=resolved_query,
+            tables=tables,
+            output_schema=output_schema,
+            is_aggregate=is_aggregate,
+            scope=scope,
+        )
+
+    def analyze_create_view(self, statement: CreateView) -> "AnalyzedCreateView":
+        """Analyze a CREATE VIEW (the paper's OpenMachineInfo pattern)."""
+        if self._catalog.has_source(statement.name) or self._catalog.has_view(statement.name):
+            raise AnalysisError(f"relation {statement.name!r} already exists")
+        analyzed = self.analyze_select(statement.query)
+        return AnalyzedCreateView(statement, analyzed)
+
+    def analyze_recursive(self, statement: RecursiveQuery) -> "AnalyzedRecursive":
+        """Analyze a WITH RECURSIVE transitive-closure query.
+
+        The base query defines the working relation's column types; the
+        step query may reference the CTE by name; the main query sees
+        the CTE as an ordinary relation.
+        """
+        base = self.analyze_select(statement.base)
+        if len(base.output_schema) != len(statement.columns):
+            raise AnalysisError(
+                f"recursive CTE {statement.name} declares {len(statement.columns)} columns "
+                f"but base query produces {len(base.output_schema)}"
+            )
+        cte_schema = Schema(
+            Field(name, f.dtype)
+            for name, f in zip(statement.columns, base.output_schema)
+        )
+        extra = {statement.name: cte_schema}
+        step = self.analyze_select(statement.step, extra_relations=extra)
+        if len(step.output_schema) != len(cte_schema):
+            raise AnalysisError(
+                f"recursive step of {statement.name} produces {len(step.output_schema)} "
+                f"columns, expected {len(cte_schema)}"
+            )
+        for step_field, cte_field in zip(step.output_schema, cte_schema):
+            if step_field.dtype is not cte_field.dtype and DataType.NULL not in (
+                step_field.dtype,
+                cte_field.dtype,
+            ):
+                raise AnalysisError(
+                    f"recursive step column {cte_field.name} type mismatch: "
+                    f"{step_field.dtype.value} vs {cte_field.dtype.value}"
+                )
+        main = self.analyze_select(statement.main, extra_relations=extra)
+        return AnalyzedRecursive(statement, base, step, main, cte_schema)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _bind_table(self, ref, extra_relations: dict[str, Schema]) -> BoundTable:
+        binding = ref.binding
+        for name, schema in extra_relations.items():
+            if name.lower() == ref.name.lower():
+                return BoundTable(ref, binding, schema.qualified(binding))
+        if self._catalog.has_view(ref.name):
+            view = self._catalog.view(ref.name)
+            inner = self.analyze_select(view.query)  # type: ignore[arg-type]
+            schema = inner.output_schema.unqualified().qualified(binding)
+            return BoundTable(ref, binding, schema, view=view)
+        entry = self._catalog.source(ref.name)  # raises CatalogError with hint
+        if ref.window is not None and entry.kind is SourceKind.TABLE:
+            raise AnalysisError(f"window on stored table {ref.name!r} is not allowed")
+        return BoundTable(ref, binding, entry.schema.qualified(binding), source=entry)
+
+    def _resolve_items(self, query: SelectQuery, tables: list[BoundTable], resolver) -> list[SelectItem]:
+        if query.is_star:
+            items = []
+            for bound in tables:
+                for f in bound.schema:
+                    items.append(SelectItem(ColumnRef(f.name), None))
+            return items
+        return [SelectItem(resolver.resolve(i.expr), i.alias) for i in query.items]
+
+    def _output_schema(self, items: list[SelectItem], combined: Schema) -> Schema:
+        fields = []
+        seen: set[str] = set()
+        for item in items:
+            name = item.output_name
+            if name in seen:
+                # Disambiguate duplicate output names positionally, like
+                # most engines do for SELECT a.x, b.x.
+                suffix = 2
+                while f"{name}_{suffix}" in seen:
+                    suffix += 1
+                name = f"{name}_{suffix}"
+            seen.add(name)
+            fields.append(Field(name, item.expr.dtype(combined)))
+        return Schema(fields)
+
+    def _check_aggregation_validity(self, items: list[SelectItem], group_by: tuple[Expr, ...]) -> None:
+        group_renders = {e.render() for e in group_by}
+        for item in items:
+            self._check_item_grouped(item.expr, group_renders, item.output_name)
+
+    def _check_item_grouped(self, expr: Expr, group_renders: set[str], item_name: str) -> None:
+        if expr.render() in group_renders:
+            return
+        if isinstance(expr, AggregateCall):
+            return
+        if isinstance(expr, Literal):
+            return
+        if isinstance(expr, ColumnRef):
+            raise AnalysisError(
+                f"select item {item_name!r} references {expr.name} which is neither "
+                "grouped nor aggregated"
+            )
+        for child in expr.children():
+            self._check_item_grouped(child, group_renders, item_name)
+
+    def _check_having(
+        self,
+        having: Expr,
+        group_by: tuple[Expr, ...],
+        combined: Schema,
+        output_schema: Schema,
+    ) -> None:
+        group_renders = {e.render() for e in group_by}
+        for node in having.walk():
+            if isinstance(node, ColumnRef) and node.render() not in group_renders:
+                # Must be resolvable against the input schema or name an
+                # output column (it is evaluated post-aggregation against
+                # group keys + aggregates).
+                if not combined.has(node.name) and not output_schema.has(node.name):
+                    raise AnalysisError(f"HAVING references unknown column {node.name!r}")
+
+
+class _ColumnResolver:
+    """Rewrites column references to fully-qualified form within a scope."""
+
+    def __init__(self, scope: dict[str, BoundTable], combined: Schema):
+        self._scope = scope
+        self._combined = combined
+
+    def resolve(self, expr: Expr, allow_output: Schema | None = None) -> Expr:
+        """Return ``expr`` with every ColumnRef fully qualified.
+
+        ``allow_output`` lets ORDER BY reference SELECT-item aliases.
+        """
+        if isinstance(expr, ColumnRef):
+            return self._resolve_column(expr, allow_output)
+        if isinstance(expr, Literal):
+            return expr
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(
+                expr.op,
+                self.resolve(expr.left, allow_output),
+                self.resolve(expr.right, allow_output),
+            )
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(expr.op, self.resolve(expr.operand, allow_output))
+        if isinstance(expr, FunctionCall):
+            return FunctionCall(
+                expr.name, tuple(self.resolve(a, allow_output) for a in expr.args)
+            )
+        if isinstance(expr, AggregateCall):
+            arg = None if expr.argument is None else self.resolve(expr.argument, allow_output)
+            return AggregateCall(expr.name, arg, expr.distinct)
+        raise AnalysisError(f"cannot resolve expression {type(expr).__name__}")
+
+    def _resolve_column(self, ref: ColumnRef, allow_output: Schema | None) -> ColumnRef:
+        if ref.qualifier is not None:
+            bound = self._scope.get(ref.qualifier.lower())
+            if bound is None:
+                raise AnalysisError(
+                    f"unknown relation {ref.qualifier!r} in column {ref.name!r}; "
+                    f"in scope: {sorted(b.binding for b in self._scope.values())}"
+                )
+            qualified = f"{bound.binding}.{ref.bare_name}"
+            if not bound.schema.has(qualified):
+                raise AnalysisError(
+                    f"relation {bound.binding!r} has no column {ref.bare_name!r}; "
+                    f"columns: {[f.bare_name for f in bound.schema]}"
+                )
+            return ColumnRef(qualified)
+        # Bare name: find exactly one table providing it.
+        matches = [
+            bound for bound in self._scope.values()
+            if any(f.bare_name == ref.name for f in bound.schema)
+        ]
+        if len(matches) == 1:
+            return ColumnRef(f"{matches[0].binding}.{ref.name}")
+        if len(matches) > 1:
+            raise AnalysisError(
+                f"ambiguous column {ref.name!r}: provided by "
+                f"{sorted(b.binding for b in matches)}"
+            )
+        if allow_output is not None and allow_output.has(ref.name):
+            return ref  # refers to a SELECT-item alias; leave bare
+        raise AnalysisError(f"unknown column {ref.name!r}")
+
+
+@dataclass
+class AnalyzedCreateView:
+    """Result of analyzing CREATE VIEW."""
+
+    statement: CreateView
+    body: AnalyzedQuery
+
+    @property
+    def name(self) -> str:
+        return self.statement.name
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.body.output_schema
+
+
+@dataclass
+class AnalyzedRecursive:
+    """Result of analyzing WITH RECURSIVE."""
+
+    statement: RecursiveQuery
+    base: AnalyzedQuery
+    step: AnalyzedQuery
+    main: AnalyzedQuery
+    cte_schema: Schema

@@ -1,0 +1,184 @@
+"""Abstract syntax tree for ASPEN Stream SQL statements.
+
+The AST mirrors the surface syntax closely; semantic information (bound
+schemas, resolved aliases, typed expressions) is added by the analyzer
+without mutating these nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.windows import WindowSpec
+from repro.sql.expressions import Expr
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """One FROM-clause entry: relation name, optional alias and window.
+
+    ``Person p`` parses to ``TableRef("Person", "p", None)``;
+    ``Readings [RANGE 30 SECONDS] r`` carries a window spec.
+    """
+
+    name: str
+    alias: str | None = None
+    window: WindowSpec | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name this relation is known by in the query's scope."""
+        return self.alias or self.name
+
+    def render(self) -> str:
+        parts = [self.name]
+        if self.window is not None:
+            parts.append(self.window.render())
+        if self.alias:
+            parts.append(self.alias)
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One SELECT-list entry: an expression with an optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        """The column name this item produces."""
+        if self.alias:
+            return self.alias
+        from repro.sql.expressions import ColumnRef
+
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        return self.expr.render()
+
+    def render(self) -> str:
+        rendered = self.expr.render()
+        return f"{rendered} AS {self.alias}" if self.alias else rendered
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY entry."""
+
+    expr: Expr
+    ascending: bool = True
+
+    def render(self) -> str:
+        return f"{self.expr.render()}{'' if self.ascending else ' DESC'}"
+
+
+@dataclass(frozen=True)
+class OutputClause:
+    """The paper's display-routing extension: ``OUTPUT TO DISPLAY 'name' [EVERY n SECONDS]``."""
+
+    display: str
+    every: float | None = None
+
+    def render(self) -> str:
+        suffix = f" EVERY {self.every:g} SECONDS" if self.every is not None else ""
+        return f"OUTPUT TO DISPLAY '{self.display}'{suffix}"
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A (possibly windowed, possibly star) SELECT statement."""
+
+    items: tuple[SelectItem, ...]          # empty tuple means SELECT *
+    tables: tuple[TableRef, ...]
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+    output: OutputClause | None = None
+
+    @property
+    def is_star(self) -> bool:
+        return not self.items
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True if this query computes aggregates (GROUP BY or aggregate items)."""
+        if self.group_by:
+            return True
+        return any(item.expr.contains_aggregate() for item in self.items)
+
+    def render(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append("*" if self.is_star else ", ".join(i.render() for i in self.items))
+        parts.append("FROM " + ", ".join(t.render() for t in self.tables))
+        if self.where is not None:
+            parts.append("WHERE " + self.where.render())
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(e.render() for e in self.group_by))
+        if self.having is not None:
+            parts.append("HAVING " + self.having.render())
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.render() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.output is not None:
+            parts.append(self.output.render())
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """``query UNION [ALL] query`` — used inside recursive views."""
+
+    left: "SelectQuery | UnionQuery"
+    right: SelectQuery
+    all: bool = True
+
+    def render(self) -> str:
+        keyword = "UNION ALL" if self.all else "UNION"
+        return f"{self.left.render()} {keyword} {self.right.render()}"
+
+
+@dataclass(frozen=True)
+class CreateView:
+    """``CREATE VIEW name AS (query)`` — the paper's OpenMachineInfo pattern."""
+
+    name: str
+    query: SelectQuery
+
+    def render(self) -> str:
+        return f"CREATE VIEW {self.name} AS ({self.query.render()})"
+
+
+@dataclass(frozen=True)
+class RecursiveQuery:
+    """``WITH RECURSIVE name(cols) AS (base UNION [ALL] step) main``.
+
+    This is the surface form of the stream engine's transitive-closure
+    support (paper §3: "transitive closure queries that enable
+    computation of neighborhoods and paths").
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    base: SelectQuery
+    step: SelectQuery
+    main: SelectQuery
+    union_all: bool = False
+
+    def render(self) -> str:
+        cols = ", ".join(self.columns)
+        keyword = "UNION ALL" if self.union_all else "UNION"
+        return (
+            f"WITH RECURSIVE {self.name}({cols}) AS "
+            f"({self.base.render()} {keyword} {self.step.render()}) "
+            f"{self.main.render()}"
+        )
+
+
+Statement = SelectQuery | CreateView | RecursiveQuery

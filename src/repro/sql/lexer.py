@@ -1,0 +1,196 @@
+"""Tokenizer for ASPEN Stream SQL.
+
+The dialect is SQL-92 SELECT syntax plus the stream extensions the paper
+uses: window clauses in brackets, ``CREATE VIEW``, ``WITH RECURSIVE``
+for transitive-closure queries, ``OUTPUT TO DISPLAY`` for routing
+results, and ``^`` as an alternative spelling of ``AND`` (the paper's
+Figure 1 writes its demo query with ``^``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+        "DESC", "LIMIT", "AS", "AND", "OR", "NOT", "LIKE", "IS", "NULL",
+        "TRUE", "FALSE", "CREATE", "VIEW", "WITH", "RECURSIVE", "UNION",
+        "ALL", "DISTINCT", "RANGE", "ROWS", "SLIDE", "SECONDS", "NOW",
+        "UNBOUNDED", "OUTPUT", "TO", "DISPLAY", "EVERY", "ON", "JOIN",
+        "INNER", "INSERT", "INTO", "VALUES",
+    }
+)
+
+_MULTI_CHAR_OPERATORS = ("<=", ">=", "!=", "<>")
+_SINGLE_CHAR_OPERATORS = "=<>+-*/%^"
+_PUNCTUATION = "(),.[];"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in words
+
+    def __repr__(self) -> str:
+        return f"{self.type.value}:{self.value!r}@{self.line}:{self.column}"
+
+
+class Lexer:
+    """Hand-written scanner producing a list of :class:`Token`.
+
+    Comments: ``--`` to end of line. String literals: single quotes with
+    ``''`` as the escape for a quote. Identifiers are case-preserved;
+    keywords are recognised case-insensitively and normalised to upper
+    case.
+    """
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Scan the whole input, returning tokens ending with EOF."""
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.type is TokenType.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._text[index] if index < len(self._text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        consumed = self._text[self._pos : self._pos + count]
+        for ch in consumed:
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return consumed
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < len(self._text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        line, column = self._line, self._column
+        if self._pos >= len(self._text):
+            return Token(TokenType.EOF, "", line, column)
+
+        ch = self._peek()
+
+        if ch == "'":
+            return self._string_literal(line, column)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._word(line, column)
+        for op in _MULTI_CHAR_OPERATORS:
+            if self._text.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token(TokenType.OPERATOR, op, line, column)
+        if ch in _SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return Token(TokenType.OPERATOR, ch, line, column)
+        if ch in _PUNCTUATION:
+            self._advance()
+            return Token(TokenType.PUNCTUATION, ch, line, column)
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+
+    def _string_literal(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        out: list[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise ParseError("unterminated string literal", line, column)
+            ch = self._advance()
+            if ch == "'":
+                if self._peek() == "'":  # escaped quote
+                    out.append("'")
+                    self._advance()
+                else:
+                    return Token(TokenType.STRING, "".join(out), line, column)
+            else:
+                out.append(ch)
+
+    def _number(self, line: int, column: int) -> Token:
+        out: list[str] = []
+        seen_dot = False
+        seen_exp = False
+        while self._pos < len(self._text):
+            ch = self._peek()
+            if ch.isdigit():
+                out.append(self._advance())
+            elif ch == "." and not seen_dot and not seen_exp:
+                # A dot followed by a non-digit is punctuation (qualified name).
+                if not self._peek(1).isdigit():
+                    break
+                seen_dot = True
+                out.append(self._advance())
+            elif ch in "eE" and not seen_exp and out and out[-1].isdigit():
+                nxt = self._peek(1)
+                if nxt.isdigit() or (nxt in "+-" and self._peek(2).isdigit()):
+                    seen_exp = True
+                    out.append(self._advance())
+                    if self._peek() in "+-":
+                        out.append(self._advance())
+                else:
+                    break
+            else:
+                break
+        return Token(TokenType.NUMBER, "".join(out), line, column)
+
+    def _word(self, line: int, column: int) -> Token:
+        out: list[str] = []
+        while self._pos < len(self._text):
+            ch = self._peek()
+            if ch.isalnum() or ch == "_":
+                out.append(self._advance())
+            else:
+                break
+        word = "".join(out)
+        if word.upper() in KEYWORDS:
+            return Token(TokenType.KEYWORD, word.upper(), line, column)
+        return Token(TokenType.IDENTIFIER, word, line, column)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; convenience wrapper over :class:`Lexer`."""
+    return Lexer(text).tokenize()

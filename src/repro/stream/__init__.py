@@ -1,0 +1,69 @@
+"""The PC-side distributed stream engine.
+
+Windowed Stream SQL operators, a push-based executor, recursive views
+with incremental maintenance, a latency-oriented optimizer and a
+simulated distributed runtime.
+"""
+
+from repro.stream.batch import evaluate, fixpoint
+from repro.stream.compiler import (
+    DEFAULT_STREAM_WINDOW,
+    CompiledPlan,
+    PlanCompiler,
+    ScanPort,
+)
+from repro.stream.distributed import (
+    DistributedQuery,
+    DistributedStreamEngine,
+    Exchange,
+    Placement,
+    StreamNode,
+)
+from repro.stream.engine import QueryHandle, StreamEngine
+from repro.stream.operators import (
+    AggregateOp,
+    DistinctOp,
+    FilterOp,
+    LimitOp,
+    Operator,
+    OrderByOp,
+    OutputOp,
+    ProjectOp,
+    SymmetricHashJoin,
+)
+from repro.stream.optimizer import (
+    StreamCost,
+    StreamCostModel,
+    StreamEngineOptimizer,
+)
+from repro.stream.recursive import RecursiveView, recompute
+
+__all__ = [
+    "StreamEngine",
+    "QueryHandle",
+    "PlanCompiler",
+    "CompiledPlan",
+    "ScanPort",
+    "DEFAULT_STREAM_WINDOW",
+    "Operator",
+    "FilterOp",
+    "ProjectOp",
+    "SymmetricHashJoin",
+    "AggregateOp",
+    "DistinctOp",
+    "OrderByOp",
+    "LimitOp",
+    "OutputOp",
+    "RecursiveView",
+    "recompute",
+    "evaluate",
+    "fixpoint",
+    "StreamCost",
+    "StreamCostModel",
+    "StreamEngineOptimizer",
+    "DistributedStreamEngine",
+    "DistributedQuery",
+    "StreamNode",
+    "Exchange",
+    "Placement",
+]

@@ -1,0 +1,186 @@
+"""Set-oriented evaluation of logical plans over in-memory tables.
+
+The recursive-view maintainer (semi-naive fixpoint, DRed deletion
+rewrites) repeatedly evaluates the *step* plan over deltas; a push
+pipeline is the wrong tool for that, so this module provides a direct
+batch evaluator. It is also the oracle that integration tests compare
+the streaming operators against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.data.schema import Schema
+from repro.data.tuples import Row
+from repro.errors import ExecutionError
+from repro.plan.logical import (
+    Aggregate,
+    CteRef,
+    Distinct,
+    Join,
+    Limit,
+    LogicalOp,
+    OrderBy,
+    Output,
+    Project,
+    Recursive,
+    RemoteSource,
+    Scan,
+    Select,
+)
+from repro.sql.expressions import is_equijoin_conjunct, split_conjuncts
+from repro.stream.operators import _Accumulator, _Descending
+
+
+def evaluate(plan: LogicalOp, tables: dict[str, Iterable[Row]]) -> list[Row]:
+    """Evaluate ``plan`` against ``tables``.
+
+    ``tables`` maps *source names* (and CTE names) to row collections;
+    Scan leaves look up by their catalog entry name, CteRef leaves by
+    their CTE name. Rows are re-qualified to the plan's binding names.
+    """
+    if isinstance(plan, Scan):
+        return _scan_rows(plan.entry.name, plan.schema, tables)
+    if isinstance(plan, CteRef):
+        return _scan_rows(plan.name, plan.schema, tables)
+    if isinstance(plan, RemoteSource):
+        return _scan_rows(plan.name, plan.schema, tables)
+    if isinstance(plan, Select):
+        rows = evaluate(plan.child, tables)
+        return [row for row in rows if plan.predicate.eval(row) is True]
+    if isinstance(plan, Project):
+        rows = evaluate(plan.child, tables)
+        schema = plan.schema
+        return [
+            Row(schema, [item.expr.eval(row) for item in plan.items], validate=False)
+            for row in rows
+        ]
+    if isinstance(plan, Join):
+        return _join(plan, tables)
+    if isinstance(plan, Aggregate):
+        return _aggregate(plan, tables)
+    if isinstance(plan, Distinct):
+        seen: set[tuple] = set()
+        out = []
+        for row in evaluate(plan.child, tables):
+            if row.values not in seen:
+                seen.add(row.values)
+                out.append(row)
+        return out
+    if isinstance(plan, OrderBy):
+        rows = evaluate(plan.child, tables)
+        def key(row: Row) -> tuple:
+            parts = []
+            for item in plan.items:
+                value = item.expr.eval(row)
+                null_rank = 0 if value is None else 1
+                base = (null_rank, value if value is not None else 0)
+                parts.append(base if item.ascending else _Descending(base))
+            return tuple(parts)
+        return sorted(rows, key=key)
+    if isinstance(plan, Limit):
+        return evaluate(plan.child, tables)[: plan.count]
+    if isinstance(plan, Output):
+        return evaluate(plan.child, tables)
+    if isinstance(plan, Recursive):
+        return fixpoint(plan, tables)
+    raise ExecutionError(f"batch evaluator cannot handle {type(plan).__name__}")
+
+
+def _scan_rows(name: str, schema: Schema, tables: dict[str, Iterable[Row]]) -> list[Row]:
+    for key, rows in tables.items():
+        if key.lower() == name.lower():
+            return [row.with_schema(schema) for row in rows]
+    raise ExecutionError(f"no table provided for {name!r}; have {sorted(tables)}")
+
+
+def _join(plan: Join, tables: dict[str, Iterable[Row]]) -> list[Row]:
+    left_rows = evaluate(plan.left, tables)
+    right_rows = evaluate(plan.right, tables)
+    conjuncts = split_conjuncts(plan.predicate)
+    left_schema = plan.left.schema
+    right_schema = plan.right.schema
+
+    # Hash join on any usable equi-key pair; nested loop otherwise.
+    equi: list[tuple[str, str]] = []
+    residual = []
+    for conjunct in conjuncts:
+        pair = is_equijoin_conjunct(conjunct)
+        if pair is not None:
+            a, b = pair
+            if left_schema.has(a) and right_schema.has(b):
+                equi.append((a, b))
+                continue
+            if left_schema.has(b) and right_schema.has(a):
+                equi.append((b, a))
+                continue
+        residual.append(conjunct)
+
+    out: list[Row] = []
+    if equi:
+        index: dict[tuple, list[Row]] = {}
+        for row in right_rows:
+            key = tuple(row[rk] for _, rk in equi)
+            index.setdefault(key, []).append(row)
+        for left_row in left_rows:
+            key = tuple(left_row[lk] for lk, _ in equi)
+            for right_row in index.get(key, ()):  # hash probe
+                joined = left_row.concat(right_row)
+                if all(c.eval(joined) is True for c in residual):
+                    out.append(joined)
+    else:
+        for left_row in left_rows:
+            for right_row in right_rows:
+                joined = left_row.concat(right_row)
+                if all(c.eval(joined) is True for c in residual):
+                    out.append(joined)
+    return out
+
+
+def _aggregate(plan: Aggregate, tables: dict[str, Iterable[Row]]) -> list[Row]:
+    rows = evaluate(plan.child, tables)
+    groups: dict[tuple, list[_Accumulator]] = {}
+    for row in rows:
+        key = tuple(expr.eval(row) for expr in plan.group_by)
+        accumulators = groups.get(key)
+        if accumulators is None:
+            accumulators = [_Accumulator(item.call) for item in plan.aggregates]
+            groups[key] = accumulators
+        for accumulator in accumulators:
+            accumulator.add(row)
+    if not groups and not plan.group_by:
+        # Global aggregate over empty input still produces one row.
+        groups[()] = [_Accumulator(item.call) for item in plan.aggregates]
+    out = []
+    for key, accumulators in groups.items():
+        values = list(key) + [a.result() for a in accumulators]
+        out.append(Row(plan.schema, values, validate=False))
+    return out
+
+
+def fixpoint(plan: Recursive, tables: dict[str, Iterable[Row]]) -> list[Row]:
+    """Naive-from-scratch fixpoint of a Recursive plan (set semantics).
+
+    Used as the recomputation baseline for the incremental maintainer
+    and for correctness oracles in tests.
+    """
+    base_rows = evaluate(plan.base, tables)
+    total: set[Row] = {row.with_schema(plan.cte_schema) for row in base_rows}
+    delta = set(total)
+    iterations = 0
+    while delta:
+        iterations += 1
+        if iterations > 10_000:
+            raise ExecutionError(f"recursive plan {plan.name} did not converge")
+        step_tables = dict(tables)
+        step_tables[plan.name] = list(delta)
+        produced = evaluate(plan.step, step_tables)
+        new_delta: set[Row] = set()
+        for row in produced:
+            rebased = row.with_schema(plan.cte_schema)
+            if rebased not in total:
+                total.add(rebased)
+                new_delta.add(rebased)
+        delta = new_delta
+    return list(total)

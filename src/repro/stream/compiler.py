@@ -1,0 +1,285 @@
+"""Compile logical plans into stream-operator pipelines.
+
+The compiler walks a logical plan bottom-up, instantiating the physical
+operator for each node and wiring downstream links. Scan leaves become
+*ports*: named entry points the engine connects to source feeds.
+
+Window inference: a Scan's explicit window wins; otherwise streams get
+the engine's default window and stored tables get UNBOUNDED. A join
+side's window is the widest RANGE window beneath it (a join of windowed
+streams stays windowed; a join against a table side is unbounded on that
+side only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.catalog import SourceKind
+from repro.data.streams import StreamConsumer, StreamElement
+from repro.data.windows import WindowKind, WindowSpec
+from repro.errors import PlanError
+from repro.plan.logical import (
+    Aggregate,
+    CteRef,
+    Distinct,
+    Join,
+    Limit,
+    LogicalOp,
+    OrderBy,
+    Output,
+    Project,
+    RemoteSource,
+    Scan,
+    Select,
+)
+from repro.sql.expressions import is_equijoin_conjunct, split_conjuncts
+from repro.stream.operators import (
+    AggregateOp,
+    DistinctOp,
+    FilterOp,
+    LimitOp,
+    Operator,
+    OrderByOp,
+    OutputOp,
+    ProjectOp,
+    SymmetricHashJoin,
+)
+
+#: Default window applied to stream scans that carry no window clause.
+DEFAULT_STREAM_WINDOW = WindowSpec.range(60.0)
+
+
+@dataclass
+class ScanPort:
+    """A compiled source leaf: where the engine feeds source elements.
+
+    ``scan`` is None for :class:`~repro.plan.logical.RemoteSource` leaves
+    (streams arriving from another engine, fed by name).
+    """
+
+    source_name: str
+    binding: str
+    consumer: StreamConsumer
+    scan: Scan | None = None
+
+
+@dataclass
+class CompiledPlan:
+    """The result of compiling one logical plan.
+
+    Attributes:
+        root: The plan that was compiled.
+        ports: Scan entry points, in left-to-right plan order.
+        operators: Every instantiated operator (for introspection/stats).
+    """
+
+    root: LogicalOp
+    ports: list[ScanPort] = field(default_factory=list)
+    operators: list[Operator] = field(default_factory=list)
+
+    def ports_for(self, source_name: str) -> list[ScanPort]:
+        """All ports fed by one source (a source may be scanned twice)."""
+        return [p for p in self.ports if p.source_name.lower() == source_name.lower()]
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Total rows in/out per operator class."""
+        out: dict[str, int] = {}
+        for op in self.operators:
+            name = type(op).__name__
+            out[f"{name}.in"] = out.get(f"{name}.in", 0) + op.rows_in
+            out[f"{name}.out"] = out.get(f"{name}.out", 0) + op.rows_out
+        return out
+
+
+class _ReschemaConsumer:
+    """Rebases incoming rows positionally onto a fixed schema."""
+
+    def __init__(self, schema, downstream: StreamConsumer):
+        self._schema = schema
+        self._downstream = downstream
+
+    def push(self, item) -> None:
+        if isinstance(item, StreamElement):
+            item = StreamElement(
+                item.row.with_schema(self._schema), item.timestamp, item.source
+            )
+        self._downstream.push(item)
+
+
+class _RenamingConsumer:
+    """Rebases incoming rows onto the scan's qualified schema.
+
+    Sources emit rows under their catalog schema (bare names); plans
+    reference ``binding.column``. Positional re-schema is free — values
+    are untouched.
+    """
+
+    def __init__(self, scan: Scan, downstream: StreamConsumer):
+        self._schema = scan.schema
+        self._downstream = downstream
+
+    def push(self, item) -> None:
+        if isinstance(item, StreamElement):
+            item = StreamElement(item.row.with_schema(self._schema), item.timestamp, item.source)
+        self._downstream.push(item)
+
+
+class PlanCompiler:
+    """Compiles logical plans to operator pipelines."""
+
+    def __init__(
+        self,
+        deliver: Callable[[str, StreamElement], None] | None = None,
+        default_window: WindowSpec = DEFAULT_STREAM_WINDOW,
+    ):
+        self._deliver = deliver or (lambda display, element: None)
+        self._default_window = default_window
+
+    def compile(self, plan: LogicalOp, sink: StreamConsumer) -> CompiledPlan:
+        """Compile ``plan`` so results flow into ``sink``."""
+        compiled = CompiledPlan(root=plan)
+        self._compile_node(plan, sink, compiled)
+        return compiled
+
+    # ------------------------------------------------------------------
+    def _compile_node(
+        self, node: LogicalOp, downstream: StreamConsumer, compiled: CompiledPlan
+    ) -> StreamConsumer:
+        """Returns the consumer that accepts this node's *input* items.
+
+        For Scan leaves the returned consumer is registered as a port and
+        also returned (the engine pushes into it).
+        """
+        if isinstance(node, Scan):
+            renamer = _RenamingConsumer(node, downstream)
+            compiled.ports.append(
+                ScanPort(node.entry.name, node.binding, renamer, scan=node)
+            )
+            return renamer
+        if isinstance(node, RemoteSource):
+            # Rows from remote engines already carry the plan schema.
+            shim = _ReschemaConsumer(node.schema, downstream)
+            compiled.ports.append(ScanPort(node.name, node.name, shim))
+            return shim
+        if isinstance(node, CteRef):
+            raise PlanError(
+                "CteRef cannot run inside a streaming pipeline; use "
+                "repro.stream.recursive.RecursiveView for recursive queries"
+            )
+        if isinstance(node, Select):
+            op = FilterOp(node.predicate, downstream)
+            compiled.operators.append(op)
+            return self._compile_node(node.child, op, compiled)
+        if isinstance(node, Project):
+            items = [(item.expr, item.name) for item in node.items]
+            op = ProjectOp(items, node.schema, downstream)
+            compiled.operators.append(op)
+            return self._compile_node(node.child, op, compiled)
+        if isinstance(node, Join):
+            return self._compile_join(node, downstream, compiled)
+        if isinstance(node, Aggregate):
+            group_by = [(expr, name) for expr, name in zip(node.group_by, node.key_names)]
+            aggregates = [(item.call, item.name) for item in node.aggregates]
+            # An explicit window (from the windowed FROM entry) gives
+            # window-at-a-time emission; otherwise run continuous running
+            # aggregates emitted on every punctuation.
+            window = node.window if (
+                node.window is not None and node.window.kind is WindowKind.RANGE
+            ) else None
+            op = AggregateOp(group_by, aggregates, node.schema, downstream, window)
+            compiled.operators.append(op)
+            return self._compile_node(node.child, op, compiled)
+        if isinstance(node, Distinct):
+            op = DistinctOp(downstream)
+            compiled.operators.append(op)
+            return self._compile_node(node.child, op, compiled)
+        if isinstance(node, OrderBy):
+            op = OrderByOp(node.items, downstream)
+            compiled.operators.append(op)
+            return self._compile_node(node.child, op, compiled)
+        if isinstance(node, Limit):
+            op = LimitOp(node.count, downstream)
+            compiled.operators.append(op)
+            return self._compile_node(node.child, op, compiled)
+        if isinstance(node, Output):
+            op = OutputOp(node.display, self._deliver, downstream, node.every)
+            compiled.operators.append(op)
+            return self._compile_node(node.child, op, compiled)
+        raise PlanError(f"stream compiler cannot handle {type(node).__name__}")
+
+    def _compile_join(
+        self, node: Join, downstream: StreamConsumer, compiled: CompiledPlan
+    ) -> StreamConsumer:
+        left_schema = node.left.schema
+        right_schema = node.right.schema
+        equi: list[tuple[str, str]] = []
+        residual = []
+        for conjunct in split_conjuncts(node.predicate):
+            pair = is_equijoin_conjunct(conjunct)
+            placed = False
+            if pair is not None:
+                a, b = pair
+                if left_schema.has(a) and right_schema.has(b):
+                    equi.append((a, b))
+                    placed = True
+                elif left_schema.has(b) and right_schema.has(a):
+                    equi.append((b, a))
+                    placed = True
+            if not placed:
+                residual.append(conjunct)
+        from repro.sql.expressions import conjoin
+
+        join = SymmetricHashJoin(
+            left_schema,
+            right_schema,
+            self._side_window(node.left),
+            self._side_window(node.right),
+            conjoin(residual),
+            equi,
+            downstream,
+        )
+        compiled.operators.append(join)
+        self._compile_node(node.left, join.left_port, compiled)
+        self._compile_node(node.right, join.right_port, compiled)
+        return join  # not used as an input port
+
+    # ------------------------------------------------------------------
+    # Window inference
+    # ------------------------------------------------------------------
+    def _scan_window(self, scan: Scan) -> WindowSpec:
+        if scan.window is not None:
+            return scan.window
+        if scan.entry.kind is SourceKind.TABLE:
+            return WindowSpec.unbounded()
+        return self._default_window
+
+    def _side_window(self, node: LogicalOp) -> WindowSpec:
+        """Widest RANGE/ROWS window beneath ``node``; UNBOUNDED if the
+        subtree reads only stored tables."""
+        ranges: list[WindowSpec] = []
+        unbounded_only = True
+        for leaf in node.walk():
+            if isinstance(leaf, RemoteSource):
+                ranges.append(self._default_window)
+                unbounded_only = False
+            elif isinstance(leaf, Scan):
+                window = self._scan_window(leaf)
+                if window.kind in (WindowKind.RANGE, WindowKind.ROWS, WindowKind.NOW):
+                    ranges.append(window)
+                    unbounded_only = False
+        if unbounded_only:
+            return WindowSpec.unbounded()
+        range_windows = [w for w in ranges if w.kind is WindowKind.RANGE]
+        if range_windows:
+            return max(range_windows, key=lambda w: w.size)
+        rows_windows = [w for w in ranges if w.kind is WindowKind.ROWS]
+        if rows_windows:
+            return max(rows_windows, key=lambda w: w.size)
+        return ranges[0]
+
+    def _inherited_window(self, node: LogicalOp) -> WindowSpec | None:
+        window = self._side_window(node)
+        return None if window.kind is WindowKind.UNBOUNDED else window

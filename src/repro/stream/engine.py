@@ -1,0 +1,219 @@
+"""The PC-side stream engine: continuous queries over wrapper feeds.
+
+One :class:`StreamEngine` hosts any number of continuous queries. Source
+feeds (wrappers, the sensor-engine basestation, database tables) are
+registered once; each running query's Scan ports subscribe to the feeds
+they read. Stored tables are replayed into newly started queries so a
+query joining streams against ``Machines`` sees the full table.
+
+The engine is deliberately synchronous: pushing an element runs the
+whole operator pipeline inline. Distribution (operators placed on
+different PCs with LAN latency) is layered on top in
+:mod:`repro.stream.distributed`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.catalog import Catalog, SourceKind
+from repro.data.streams import (
+    CollectingConsumer,
+    Punctuation,
+    StreamConsumer,
+    StreamElement,
+)
+from repro.data.tuples import Row
+from repro.data.windows import WindowSpec
+from repro.errors import ExecutionError
+from repro.plan.logical import LogicalOp
+from repro.stream.compiler import DEFAULT_STREAM_WINDOW, CompiledPlan, PlanCompiler
+
+_query_ids = itertools.count(1)
+
+
+@dataclass
+class QueryHandle:
+    """A running continuous query.
+
+    Attributes:
+        query_id: Engine-assigned identifier.
+        plan: The logical plan being executed.
+        compiled: The operator pipeline.
+        sink: Collects every result row the query emits.
+    """
+
+    query_id: int
+    plan: LogicalOp
+    compiled: CompiledPlan
+    sink: CollectingConsumer
+
+    @property
+    def results(self) -> list[Row]:
+        """All result rows emitted so far."""
+        return self.sink.rows
+
+    def latest_batch(self) -> list[Row]:
+        """Rows emitted since the last punctuation boundary observed."""
+        return [e.row for e in self.sink.elements if e.timestamp >= self._last_watermark()]
+
+    def _last_watermark(self) -> float:
+        if not self.sink.punctuations:
+            return float("-inf")
+        return self.sink.punctuations[-1].watermark
+
+
+class StreamEngine:
+    """Hosts continuous queries and routes source data into them.
+
+    Args:
+        catalog: Shared catalog (source schemas and kinds).
+        deliver: Optional display callback for OUTPUT TO plans
+            ``(display_name, element) -> None``.
+        default_window: Window applied to un-windowed stream scans.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        deliver: Callable[[str, StreamElement], None] | None = None,
+        default_window: WindowSpec = DEFAULT_STREAM_WINDOW,
+    ):
+        self._catalog = catalog
+        self._compiler = PlanCompiler(deliver, default_window)
+        self._queries: dict[int, QueryHandle] = {}
+        self._tables: dict[str, list[StreamElement]] = {}
+        self._watermarks: dict[str, float] = {}
+        self.elements_ingested = 0
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def load_table(self, name: str, rows: list[Row | Mapping[str, Any]], timestamp: float = 0.0) -> None:
+        """Load (or extend) a stored table; replayed into future queries
+        and pushed into currently running ones."""
+        entry = self._catalog.source(name)
+        if entry.kind is not SourceKind.TABLE:
+            raise ExecutionError(f"{name!r} is a stream; push elements instead")
+        elements = [
+            StreamElement(self._coerce_row(entry.schema, row), timestamp, name)
+            for row in rows
+        ]
+        self._tables.setdefault(entry.name, []).extend(elements)
+        for handle in self._queries.values():
+            for port in handle.compiled.ports_for(name):
+                for element in elements:
+                    port.consumer.push(element)
+
+    def table_rows(self, name: str) -> list[Row]:
+        """Current contents of a loaded table."""
+        entry = self._catalog.source(name)
+        return [e.row for e in self._tables.get(entry.name, [])]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def execute(self, plan: LogicalOp) -> QueryHandle:
+        """Start a continuous query; returns its handle immediately."""
+        sink = CollectingConsumer()
+        compiled = self._compiler.compile(plan, sink)
+        handle = QueryHandle(next(_query_ids), plan, compiled, sink)
+        self._queries[handle.query_id] = handle
+        # Replay stored tables into the new query's table scans.
+        for port in compiled.ports:
+            if port.scan is None:
+                continue
+            stored = self._tables.get(port.scan.entry.name)
+            if stored:
+                for element in stored:
+                    port.consumer.push(element)
+        return handle
+
+    def stop(self, handle: QueryHandle) -> None:
+        """Stop routing data into a query."""
+        self._queries.pop(handle.query_id, None)
+
+    @property
+    def running_queries(self) -> list[QueryHandle]:
+        return list(self._queries.values())
+
+    # ------------------------------------------------------------------
+    # Stream ingestion
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        source: str,
+        row: Row | Mapping[str, Any],
+        timestamp: float,
+    ) -> None:
+        """Push one element of ``source`` into every query scanning it."""
+        entry = self._catalog.source(source)
+        element = StreamElement(self._coerce_row(entry.schema, row), timestamp, entry.name)
+        self.elements_ingested += 1
+        for handle in self._queries.values():
+            for port in handle.compiled.ports_for(source):
+                port.consumer.push(element)
+
+    def push_remote(
+        self, name: str, values: Mapping[str, Any] | Row, timestamp: float
+    ) -> None:
+        """Push an element into RemoteSource ports (no catalog entry).
+
+        ``values`` may be a mapping over the remote schema's bare or full
+        names, or an already-shaped Row; positional reschema happens at
+        the port.
+        """
+        self.elements_ingested += 1
+        for handle in self._queries.values():
+            for port in handle.compiled.ports_for(name):
+                if port.scan is not None:
+                    continue
+                schema = self._remote_schema(handle, name)
+                if isinstance(values, Row):
+                    row = values.with_schema(schema)
+                else:
+                    row = self._remote_row(schema, values)
+                port.consumer.push(StreamElement(row, timestamp, name))
+
+    def _remote_schema(self, handle: QueryHandle, name: str):
+        from repro.plan.logical import RemoteSource
+
+        for node in handle.plan.walk():
+            if isinstance(node, RemoteSource) and node.name.lower() == name.lower():
+                return node.schema
+        raise ExecutionError(f"query {handle.query_id} has no remote source {name!r}")
+
+    @staticmethod
+    def _remote_row(schema, values: Mapping[str, Any]) -> Row:
+        out = []
+        for f in schema:
+            if f.name in values:
+                out.append(values[f.name])
+            elif f.bare_name in values:
+                out.append(values[f.bare_name])
+            else:
+                raise ExecutionError(f"remote tuple is missing field {f.name!r}")
+        return Row(schema, out, validate=False)
+
+    def punctuate(self, watermark: float, sources: list[str] | None = None) -> None:
+        """Advance the watermark on ``sources`` (default: every source any
+        running query reads, including table scans)."""
+        punctuation = Punctuation(watermark)
+        for handle in self._queries.values():
+            for port in handle.compiled.ports:
+                if sources is None or any(
+                    port.source_name.lower() == s.lower() for s in sources
+                ):
+                    port.consumer.push(punctuation)
+
+    # ------------------------------------------------------------------
+    def _coerce_row(self, schema, row: Row | Mapping[str, Any]) -> Row:
+        if isinstance(row, Row):
+            if len(row) != len(schema):
+                raise ExecutionError(
+                    f"row arity {len(row)} does not match schema arity {len(schema)}"
+                )
+            return row.with_schema(schema) if row.schema != schema else row
+        return Row.from_mapping(schema, row)

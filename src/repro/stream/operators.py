@@ -1,0 +1,511 @@
+"""Physical operators of the PC-side stream engine.
+
+The engine is a push dataflow over
+:class:`~repro.data.streams.StreamElement` items. Every operator is a
+:class:`~repro.data.streams.StreamConsumer` that transforms elements and
+pushes results to its downstream consumer. Punctuations (watermarks)
+flow through every operator and drive state eviction, window emission
+and batch boundaries for ORDER BY / LIMIT.
+
+State bounds: window joins evict expired rows on punctuation, so memory
+is proportional to window size times input rate — the property the paper
+relies on for long-running monitoring queries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.data.schema import Schema
+from repro.data.streams import (
+    Punctuation,
+    StreamConsumer,
+    StreamElement,
+    StreamItem,
+)
+from repro.data.tuples import Row
+from repro.data.windows import WindowKind, WindowSpec
+from repro.errors import ExecutionError
+from repro.sql.ast import OrderItem
+from repro.sql.expressions import AggregateCall, Expr
+
+
+class Operator:
+    """Base class: a consumer with one downstream and simple counters."""
+
+    def __init__(self, downstream: StreamConsumer):
+        self.downstream = downstream
+        self.rows_in = 0
+        self.rows_out = 0
+
+    def push(self, item: StreamItem) -> None:
+        if isinstance(item, Punctuation):
+            self.on_punctuation(item)
+        else:
+            self.rows_in += 1
+            self.on_element(item)
+
+    def on_element(self, element: StreamElement) -> None:
+        raise NotImplementedError
+
+    def on_punctuation(self, punctuation: Punctuation) -> None:
+        """Default: forward the watermark unchanged."""
+        self.downstream.push(punctuation)
+
+    def emit(self, element: StreamElement) -> None:
+        self.rows_out += 1
+        self.downstream.push(element)
+
+
+class FilterOp(Operator):
+    """Row filter: forwards elements whose predicate evaluates to TRUE.
+
+    SQL three-valued logic: NULL (unknown) does not pass.
+    """
+
+    def __init__(self, predicate: Expr, downstream: StreamConsumer):
+        super().__init__(downstream)
+        self.predicate = predicate
+
+    def on_element(self, element: StreamElement) -> None:
+        if self.predicate.eval(element.row) is True:
+            self.emit(element)
+
+
+class ProjectOp(Operator):
+    """Compute output columns; one output row per input row."""
+
+    def __init__(
+        self,
+        items: list[tuple[Expr, str]],
+        output_schema: Schema,
+        downstream: StreamConsumer,
+    ):
+        super().__init__(downstream)
+        if len(items) != len(output_schema):
+            raise ExecutionError("project items and output schema disagree")
+        self.items = items
+        self.output_schema = output_schema
+
+    def on_element(self, element: StreamElement) -> None:
+        values = [expr.eval(element.row) for expr, _ in self.items]
+        row = Row(self.output_schema, values, validate=False)
+        self.emit(StreamElement(row, element.timestamp, element.source))
+
+
+class SymmetricHashJoin(Operator):
+    """Windowed symmetric (hash) join.
+
+    Each side buffers its live window. An arriving element probes the
+    opposite buffer; matches are emitted with the *later* of the two
+    timestamps (standard stream-join event time). Equi-join keys, when
+    present, index the buffers so probing is O(matches); the residual
+    predicate is applied to each candidate pair.
+
+    Punctuation handling: the operator tracks the latest watermark per
+    side and forwards ``min(left, right)`` when it advances, evicting
+    expired rows from both buffers first.
+    """
+
+    def __init__(
+        self,
+        left_schema: Schema,
+        right_schema: Schema,
+        left_window: WindowSpec,
+        right_window: WindowSpec,
+        predicate: Expr | None,
+        equi_keys: list[tuple[str, str]],
+        downstream: StreamConsumer,
+    ):
+        super().__init__(downstream)
+        self.left_schema = left_schema
+        self.right_schema = right_schema
+        self.left_window = left_window
+        self.right_window = right_window
+        self.predicate = predicate
+        # Keys resolvable on each side, in matched order.
+        self.left_keys = [lk for lk, _ in equi_keys]
+        self.right_keys = [rk for _, rk in equi_keys]
+        self._left_buffer: dict[tuple, deque[StreamElement]] = {}
+        self._right_buffer: dict[tuple, deque[StreamElement]] = {}
+        self._left_fifo: deque[tuple[tuple, StreamElement]] = deque()
+        self._right_fifo: deque[tuple[tuple, StreamElement]] = deque()
+        self._left_watermark = float("-inf")
+        self._right_watermark = float("-inf")
+        self._sent_watermark = float("-inf")
+
+    # -- plumbing ------------------------------------------------------
+    def push_left(self, item: StreamItem) -> None:
+        """Receive an item on the left input."""
+        self._push_side(item, left=True)
+
+    def push_right(self, item: StreamItem) -> None:
+        """Receive an item on the right input."""
+        self._push_side(item, left=False)
+
+    def push(self, item: StreamItem) -> None:  # pragma: no cover - guarded misuse
+        raise ExecutionError("SymmetricHashJoin requires push_left/push_right")
+
+    class _SidePort:
+        """Adapter presenting one side of the join as a StreamConsumer."""
+
+        def __init__(self, join: "SymmetricHashJoin", left: bool):
+            self._join = join
+            self._left = left
+
+        def push(self, item: StreamItem) -> None:
+            self._join._push_side(item, left=self._left)
+
+    @property
+    def left_port(self) -> StreamConsumer:
+        return SymmetricHashJoin._SidePort(self, True)
+
+    @property
+    def right_port(self) -> StreamConsumer:
+        return SymmetricHashJoin._SidePort(self, False)
+
+    # -- core ----------------------------------------------------------
+    def _key(self, row: Row, names: list[str]) -> tuple:
+        return tuple(row[name] for name in names)
+
+    def _push_side(self, item: StreamItem, left: bool) -> None:
+        if isinstance(item, Punctuation):
+            if left:
+                self._left_watermark = max(self._left_watermark, item.watermark)
+            else:
+                self._right_watermark = max(self._right_watermark, item.watermark)
+            merged = min(self._left_watermark, self._right_watermark)
+            if merged > self._sent_watermark:
+                self._sent_watermark = merged
+                self._evict(merged)
+                self.downstream.push(Punctuation(merged))
+            return
+
+        self.rows_in += 1
+        own_buffer = self._left_buffer if left else self._right_buffer
+        other_buffer = self._right_buffer if left else self._left_buffer
+        own_keys = self.left_keys if left else self.right_keys
+        other_window = self.right_window if left else self.left_window
+
+        key = self._key(item.row, own_keys)
+        own_buffer.setdefault(key, deque()).append(item)
+
+        # ROWS windows bound the buffer by count, not time.
+        own_window = self.left_window if left else self.right_window
+        if own_window.kind is WindowKind.ROWS:
+            fifo = self._left_fifo if left else self._right_fifo
+            fifo.append((key, item))
+            while len(fifo) > int(own_window.size):
+                old_key, old_item = fifo.popleft()
+                bucket = own_buffer.get(old_key)
+                if bucket:
+                    try:
+                        bucket.remove(old_item)
+                    except ValueError:
+                        pass
+                    if not bucket:
+                        del own_buffer[old_key]
+
+        for other in other_buffer.get(key, ()):  # equi-key candidates
+            if not other_window.contains(other.timestamp, item.timestamp) and not (
+                item.timestamp <= other.timestamp
+            ):
+                continue
+            # Symmetric window check: each row must be live relative to the other.
+            own_window = self.left_window if left else self.right_window
+            if other.timestamp > item.timestamp and not own_window.contains(
+                item.timestamp, other.timestamp
+            ):
+                continue
+            if left:
+                joined = item.row.concat(other.row)
+            else:
+                joined = other.row.concat(item.row)
+            if self.predicate is not None and self.predicate.eval(joined) is not True:
+                continue
+            timestamp = max(item.timestamp, other.timestamp)
+            self.emit(StreamElement(joined, timestamp))
+
+    def _evict(self, watermark: float) -> None:
+        for buffer, window in (
+            (self._left_buffer, self.left_window),
+            (self._right_buffer, self.right_window),
+        ):
+            if window.kind is WindowKind.UNBOUNDED:
+                continue
+            empty_keys = []
+            for key, elements in buffer.items():
+                while elements and window.expiry(elements[0].timestamp) < watermark:
+                    elements.popleft()
+                if not elements:
+                    empty_keys.append(key)
+            for key in empty_keys:
+                del buffer[key]
+
+    @property
+    def buffered_rows(self) -> int:
+        """Current state size (both sides) — used by state-bound tests."""
+        return sum(len(d) for d in self._left_buffer.values()) + sum(
+            len(d) for d in self._right_buffer.values()
+        )
+
+
+class _Accumulator:
+    """Incremental state for one aggregate call within one group."""
+
+    def __init__(self, call: AggregateCall):
+        self.call = call
+        self.name = call.name.upper()
+        self.count = 0
+        self.total: Any = 0
+        self.values: list[Any] = []  # only kept for MIN/MAX/DISTINCT
+        self.distinct: set[Any] = set()
+
+    def add(self, row: Row) -> None:
+        if self.call.argument is None:  # COUNT(*)
+            self.count += 1
+            return
+        value = self.call.argument.eval(row)
+        if value is None:
+            return
+        if self.call.distinct:
+            if value in self.distinct:
+                return
+            self.distinct.add(value)
+        self.count += 1
+        if self.name in ("SUM", "AVG"):
+            self.total += value
+        elif self.name in ("MIN", "MAX"):
+            self.values.append(value)
+
+    def result(self) -> Any:
+        if self.name == "COUNT":
+            return self.count
+        if self.count == 0:
+            return None
+        if self.name == "SUM":
+            return self.total
+        if self.name == "AVG":
+            return self.total / self.count
+        if self.name == "MIN":
+            return min(self.values)
+        if self.name == "MAX":
+            return max(self.values)
+        raise ExecutionError(f"unknown aggregate {self.name}")
+
+
+class AggregateOp(Operator):
+    """Grouped, windowed aggregation.
+
+    Two emission modes:
+
+    * **Windowed** (RANGE window): elements are buffered; when the
+      watermark passes a window boundary the window's groups are computed
+      and emitted with the boundary timestamp. Slide defaults to the
+      window size (tumbling) when unset.
+    * **Punctuation-driven** (no window): on every punctuation, emit the
+      aggregate over *all* rows seen so far (continuous running totals —
+      the semantics SmartCIS uses for "total resources by user").
+    """
+
+    def __init__(
+        self,
+        group_by: list[tuple[Expr, str]],
+        aggregates: list[tuple[AggregateCall, str]],
+        output_schema: Schema,
+        downstream: StreamConsumer,
+        window: WindowSpec | None = None,
+    ):
+        super().__init__(downstream)
+        self.group_by = group_by
+        self.aggregates = aggregates
+        self.output_schema = output_schema
+        self.window = window
+        self._buffer: list[StreamElement] = []  # windowed mode
+        self._groups: dict[tuple, list[_Accumulator]] = {}  # running mode
+        self._next_boundary: float | None = None
+
+    # -- running mode ---------------------------------------------------
+    def _running_add(self, element: StreamElement) -> None:
+        key = tuple(expr.eval(element.row) for expr, _ in self.group_by)
+        accumulators = self._groups.get(key)
+        if accumulators is None:
+            accumulators = [_Accumulator(call) for call, _ in self.aggregates]
+            self._groups[key] = accumulators
+        for accumulator in accumulators:
+            accumulator.add(element.row)
+
+    def _emit_groups(self, timestamp: float, groups: dict[tuple, list[_Accumulator]]) -> None:
+        for key, accumulators in groups.items():
+            values = list(key) + [a.result() for a in accumulators]
+            row = Row(self.output_schema, values, validate=False)
+            self.emit(StreamElement(row, timestamp))
+
+    # -- windowed mode ----------------------------------------------------
+    def _window_slide(self) -> float:
+        assert self.window is not None
+        return self.window.slide or self.window.size
+
+    def _emit_windows_until(self, watermark: float) -> None:
+        assert self.window is not None
+        slide = self._window_slide()
+        if self._next_boundary is None:
+            if not self._buffer:
+                return
+            first = min(e.timestamp for e in self._buffer)
+            boundary = (int(first / slide) + 1) * slide
+            self._next_boundary = boundary
+        while self._next_boundary is not None and self._next_boundary <= watermark:
+            boundary = self._next_boundary
+            start = boundary - self.window.size
+            groups: dict[tuple, list[_Accumulator]] = {}
+            for element in self._buffer:
+                if start < element.timestamp <= boundary:
+                    key = tuple(expr.eval(element.row) for expr, _ in self.group_by)
+                    accumulators = groups.get(key)
+                    if accumulators is None:
+                        accumulators = [_Accumulator(call) for call, _ in self.aggregates]
+                        groups[key] = accumulators
+                    for accumulator in accumulators:
+                        accumulator.add(element.row)
+            self._emit_groups(boundary, groups)
+            self._next_boundary = boundary + slide
+            # Evict rows no longer needed by any future window.
+            horizon = self._next_boundary - self.window.size
+            self._buffer = [e for e in self._buffer if e.timestamp > horizon]
+
+    # -- operator protocol -------------------------------------------------
+    def on_element(self, element: StreamElement) -> None:
+        if self.window is not None and self.window.kind is WindowKind.RANGE:
+            self._buffer.append(element)
+        else:
+            self._running_add(element)
+
+    def on_punctuation(self, punctuation: Punctuation) -> None:
+        if self.window is not None and self.window.kind is WindowKind.RANGE:
+            self._emit_windows_until(punctuation.watermark)
+        else:
+            self._emit_groups(punctuation.watermark, self._groups)
+        self.downstream.push(punctuation)
+
+
+class DistinctOp(Operator):
+    """Forward only the first occurrence of each distinct row.
+
+    State is the set of seen rows; for windowed queries put the window
+    upstream (the join/aggregate) so distinct state stays proportional to
+    the distinct-value count, which is small for SmartCIS queries (rooms,
+    desks, machine names).
+    """
+
+    def __init__(self, downstream: StreamConsumer):
+        super().__init__(downstream)
+        self._seen: set[tuple] = set()
+
+    def on_element(self, element: StreamElement) -> None:
+        key = element.row.values
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.emit(element)
+
+
+class OrderByOp(Operator):
+    """Sort each punctuation-delimited batch.
+
+    Streams never end, so a total sort is impossible; CQL-style engines
+    sort per report. Elements arriving between two punctuations form one
+    batch, sorted and re-emitted when the punctuation arrives.
+    """
+
+    def __init__(self, items: list[OrderItem], downstream: StreamConsumer):
+        super().__init__(downstream)
+        self.items = items
+        self._batch: list[StreamElement] = []
+
+    def on_element(self, element: StreamElement) -> None:
+        self._batch.append(element)
+
+    def on_punctuation(self, punctuation: Punctuation) -> None:
+        decorated = []
+        for index, element in enumerate(self._batch):
+            decorated.append((self._sort_key(element.row), index, element))
+        decorated.sort(key=lambda entry: (entry[0], entry[1]))
+        for _, _, element in decorated:
+            self.emit(element)
+        self._batch.clear()
+        self.downstream.push(punctuation)
+
+    def _sort_key(self, row: Row) -> tuple:
+        key: list[Any] = []
+        for item in self.items:
+            value = item.expr.eval(row)
+            # NULLs sort first ascending, last descending.
+            null_rank = 0 if value is None else 1
+            if item.ascending:
+                key.append((null_rank, value if value is not None else 0))
+            else:
+                key.append(_Descending((null_rank, value if value is not None else 0)))
+        return tuple(key)
+
+
+class _Descending:
+    """Wrapper inverting comparison order for DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Descending) and self.value == other.value
+
+
+class LimitOp(Operator):
+    """Emit at most ``count`` rows per punctuation batch."""
+
+    def __init__(self, count: int, downstream: StreamConsumer):
+        super().__init__(downstream)
+        self.count = count
+        self._emitted_in_batch = 0
+
+    def on_element(self, element: StreamElement) -> None:
+        if self._emitted_in_batch < self.count:
+            self._emitted_in_batch += 1
+            self.emit(element)
+
+    def on_punctuation(self, punctuation: Punctuation) -> None:
+        self._emitted_in_batch = 0
+        self.downstream.push(punctuation)
+
+
+class OutputOp(Operator):
+    """Deliver results to a display callback and forward them downstream.
+
+    ``every`` throttles delivery: at most one batch per ``every`` seconds
+    of stream time (the OUTPUT TO ... EVERY clause).
+    """
+
+    def __init__(
+        self,
+        display: str,
+        deliver: Callable[[str, StreamElement], None],
+        downstream: StreamConsumer,
+        every: float | None = None,
+    ):
+        super().__init__(downstream)
+        self.display = display
+        self.deliver = deliver
+        self.every = every
+        self._last_delivery = float("-inf")
+
+    def on_element(self, element: StreamElement) -> None:
+        if self.every is None or element.timestamp - self._last_delivery >= self.every:
+            self.deliver(self.display, element)
+            if self.every is not None:
+                self._last_delivery = element.timestamp
+        self.emit(element)

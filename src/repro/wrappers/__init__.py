@@ -1,0 +1,61 @@
+"""Wrappers over machines, PDUs, web sources and database tables."""
+
+from repro.wrappers.base import CallbackWrapper, Punctuator, Wrapper
+from repro.wrappers.database import (
+    DETECTOR_COORDS_SCHEMA,
+    MACHINES_SCHEMA,
+    ROOMS_SCHEMA,
+    ROUTING_POINTS_SCHEMA,
+    load_table,
+    register_database_tables,
+)
+from repro.wrappers.machine import (
+    AMBIENT_C,
+    HEAT_PER_CPU,
+    IDLE_WATTS,
+    WATTS_PER_CPU,
+    MachineSpec,
+    MachineStateWrapper,
+    SimulatedMachine,
+)
+from repro.wrappers.pdu import (
+    PDU_POLL_SECONDS,
+    PduWrapper,
+    PowerDistributionUnit,
+    parse_status_page,
+)
+from repro.wrappers.web import (
+    CalendarEvent,
+    CalendarService,
+    CalendarWrapper,
+    WeatherService,
+    WeatherWrapper,
+)
+
+__all__ = [
+    "Wrapper",
+    "CallbackWrapper",
+    "Punctuator",
+    "MachineSpec",
+    "SimulatedMachine",
+    "MachineStateWrapper",
+    "PowerDistributionUnit",
+    "PduWrapper",
+    "parse_status_page",
+    "PDU_POLL_SECONDS",
+    "WeatherService",
+    "WeatherWrapper",
+    "CalendarService",
+    "CalendarWrapper",
+    "CalendarEvent",
+    "register_database_tables",
+    "load_table",
+    "MACHINES_SCHEMA",
+    "DETECTOR_COORDS_SCHEMA",
+    "ROUTING_POINTS_SCHEMA",
+    "ROOMS_SCHEMA",
+    "IDLE_WATTS",
+    "WATTS_PER_CPU",
+    "AMBIENT_C",
+    "HEAT_PER_CPU",
+]

@@ -1,0 +1,81 @@
+"""Database-source helpers: the static tables SmartCIS integrates.
+
+Paper §2: "We incorporate database information specifying the
+coordinates on the map of each RFID detector ..., a list of machine
+configurations and locations in each laboratory, and a table of
+'routing points' describing possible path segments and distances."
+
+These helpers declare the standard schemas, register them with a
+catalog, and load rows into the stream engine. They are thin by design —
+the stream engine treats stored tables as bounded streams — but they
+centralise schema definitions so tests, examples and the SmartCIS app
+agree on column layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.catalog import Catalog, SourceStatistics
+from repro.data.schema import Schema
+from repro.data.types import DataType
+from repro.stream.engine import StreamEngine
+
+#: Machines(host, room, desk, software): configurations and locations.
+MACHINES_SCHEMA = Schema.of(
+    ("host", DataType.STRING),
+    ("room", DataType.STRING),
+    ("desk", DataType.STRING),
+    ("software", DataType.STRING),
+)
+
+#: DetectorCoords(detector, x, y): map coordinates of RFID detectors.
+DETECTOR_COORDS_SCHEMA = Schema.of(
+    ("detector", DataType.INT),
+    ("x", DataType.FLOAT),
+    ("y", DataType.FLOAT),
+)
+
+#: RoutingPoints(src, dst, distance): path segments through the building.
+ROUTING_POINTS_SCHEMA = Schema.of(
+    ("src", DataType.STRING),
+    ("dst", DataType.STRING),
+    ("distance", DataType.FLOAT),
+)
+
+#: Rooms(room, kind, label): room inventory for the GUI.
+ROOMS_SCHEMA = Schema.of(
+    ("room", DataType.STRING),
+    ("kind", DataType.STRING),
+    ("label", DataType.STRING),
+)
+
+
+def register_database_tables(catalog: Catalog) -> None:
+    """Register the four standard SmartCIS tables (idempotent per name)."""
+    specs = [
+        ("Machines", MACHINES_SCHEMA, {"room": 12, "desk": 60, "software": 8}),
+        ("DetectorCoords", DETECTOR_COORDS_SCHEMA, {"detector": 40}),
+        ("RoutingPoints", ROUTING_POINTS_SCHEMA, {"src": 40, "dst": 40}),
+        ("Rooms", ROOMS_SCHEMA, {"room": 12, "kind": 4}),
+    ]
+    for name, schema, ndv in specs:
+        if not catalog.has_source(name):
+            catalog.register_table(
+                name,
+                schema,
+                statistics=SourceStatistics(cardinality=0, distinct_values=dict(ndv)),
+            )
+
+
+def load_table(
+    engine: StreamEngine,
+    catalog: Catalog,
+    name: str,
+    rows: list[Mapping[str, Any]],
+) -> int:
+    """Load rows into a registered table, updating catalog cardinality."""
+    engine.load_table(name, list(rows))
+    entry = catalog.source(name)
+    entry.statistics.cardinality += len(rows)
+    return len(rows)

@@ -1,0 +1,184 @@
+"""Simulated machines and the machine-state "soft sensor" wrapper.
+
+Paper §2 (machine-state monitoring): "Servers and workstations run
+software that monitors machine activity: jobs executing, users logged
+in, CPU utilization, memory, number of requests being handled in a Web
+server application."
+
+:class:`SimulatedMachine` is the device model: a small stochastic
+workload process whose intensity reflects whether someone is seated at
+the machine (the building occupant model toggles :attr:`occupied`) plus
+a background server load. CPU drives power draw and case temperature, so
+the PDU wrapper and the workstation temperature motes observe a
+consistent physical world.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.runtime import Simulator
+from repro.stream.engine import StreamEngine
+from repro.wrappers.base import Wrapper
+
+#: Watts drawn at idle and per unit of CPU utilisation.
+IDLE_WATTS = 45.0
+WATTS_PER_CPU = 85.0
+#: Case temperature: ambient plus CPU-proportional heating.
+AMBIENT_C = 21.0
+HEAT_PER_CPU = 24.0
+
+
+@dataclass
+class MachineSpec:
+    """Static configuration of one machine (the ``Machines`` table row).
+
+    Attributes:
+        host: Machine name ("lab1-ws3").
+        room: Room / laboratory identifier.
+        desk: Desk identifier within the room.
+        software: Installed software, comma-separated ("Fedora,Word").
+        is_server: Servers carry background load even when unoccupied.
+    """
+
+    host: str
+    room: str
+    desk: str
+    software: str
+    is_server: bool = False
+
+    def as_row(self) -> dict[str, Any]:
+        return {
+            "host": self.host,
+            "room": self.room,
+            "desk": self.desk,
+            "software": self.software,
+        }
+
+
+class SimulatedMachine:
+    """Workload, power and thermal model for one machine.
+
+    The model advances lazily: every observation calls
+    :meth:`_advance`, which steps the workload process up to the current
+    simulation time in one-second ticks. All randomness flows through
+    the machine's own RNG (seeded from the spec name) so deployments are
+    reproducible regardless of observation order.
+    """
+
+    def __init__(self, spec: MachineSpec, simulator: Simulator, seed: int | None = None):
+        self.spec = spec
+        self.simulator = simulator
+        self.rng = random.Random(seed if seed is not None else hash(spec.host) & 0xFFFF)
+        self.occupied = False
+        self.users = 0
+        self.jobs = 0
+        self.cpu = 0.02
+        self.memory_mb = 400.0
+        self.web_requests = 0
+        self._last_advance = simulator.now
+        self._failed = False
+
+    # ------------------------------------------------------------------
+    # World interaction
+    # ------------------------------------------------------------------
+    def set_occupied(self, occupied: bool) -> None:
+        """Occupancy toggles the interactive workload (building model calls this)."""
+        self.occupied = occupied
+
+    def fail(self) -> None:
+        """Hard failure: CPU pegs then the machine goes dark (for E4 alarms)."""
+        self._failed = True
+
+    def repair(self) -> None:
+        self._failed = False
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def observe(self) -> dict[str, Any]:
+        """Current machine-state tuple (advances the model first)."""
+        self._advance()
+        return {
+            "host": self.spec.host,
+            "room": self.spec.room,
+            "desk": self.spec.desk,
+            "jobs": self.jobs,
+            "users": self.users,
+            "cpu": round(self.cpu, 4),
+            "memory_mb": round(self.memory_mb, 1),
+            "web_requests": self.web_requests,
+        }
+
+    def power_watts(self) -> float:
+        """Instantaneous power draw (the PDU's view of this machine)."""
+        self._advance()
+        return IDLE_WATTS + WATTS_PER_CPU * self.cpu
+
+    def temperature_c(self) -> float:
+        """Case temperature (the workstation mote's view)."""
+        self._advance()
+        return AMBIENT_C + HEAT_PER_CPU * self.cpu + self.rng.gauss(0, 0.3)
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        now = self.simulator.now
+        while self._last_advance + 1.0 <= now:
+            self._last_advance += 1.0
+            self._tick()
+
+    def _tick(self) -> None:
+        rng = self.rng
+        if self._failed:
+            self.cpu = min(1.0, self.cpu + 0.2)
+            self.jobs = max(self.jobs, 50)
+            return
+        # Interactive workload follows occupancy.
+        target_users = 1 if self.occupied else 0
+        if self.spec.is_server:
+            target_users += 2
+        if self.users < target_users and rng.random() < 0.5:
+            self.users += 1
+        elif self.users > target_users and rng.random() < 0.3:
+            self.users -= 1
+        # Jobs: arrivals proportional to users, departures proportional to jobs.
+        arrivals = sum(1 for _ in range(self.users) if rng.random() < 0.4)
+        if self.spec.is_server:
+            arrivals += sum(1 for _ in range(3) if rng.random() < 0.5)
+        departures = sum(1 for _ in range(self.jobs) if rng.random() < 0.35)
+        self.jobs = max(0, self.jobs + arrivals - departures)
+        # CPU tracks job pressure with noise; memory tracks jobs slowly.
+        target_cpu = min(0.95, 0.03 + 0.12 * self.jobs)
+        self.cpu += 0.5 * (target_cpu - self.cpu) + rng.gauss(0, 0.01)
+        self.cpu = min(1.0, max(0.0, self.cpu))
+        self.memory_mb += 0.3 * ((400.0 + 150.0 * self.jobs) - self.memory_mb)
+        if self.spec.is_server:
+            self.web_requests = max(
+                0, self.web_requests + rng.randint(-3, 5)
+            )
+        else:
+            self.web_requests = 0
+
+
+class MachineStateWrapper(Wrapper):
+    """Publishes one ``MachineState`` tuple per machine per poll."""
+
+    def __init__(
+        self,
+        engine: StreamEngine,
+        simulator: Simulator,
+        machines: list[SimulatedMachine],
+        period: float = 5.0,
+        source_name: str = "MachineState",
+    ):
+        super().__init__(source_name, engine, simulator, period)
+        self.machines = list(machines)
+
+    def poll(self) -> list[Mapping[str, Any]]:
+        return [machine.observe() for machine in self.machines]

@@ -1,0 +1,117 @@
+"""Power distribution units and their scraping wrapper.
+
+Paper §2 (workstation monitoring): "Servers and workstations are plugged
+into power distribution units (PDUs) with Web interfaces showing current
+power consumption. A 'wrapper' periodically (every 10s) extracts this
+value and sends it along a data stream."
+
+The reproduction keeps the full code path: the simulated PDU *renders an
+HTML status page* per poll, and the wrapper *parses that page* with a
+regex scraper — the same extract-from-markup work a real PDU wrapper
+does — then emits one ``Power(host, outlet, watts)`` tuple per outlet.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+from repro.errors import WrapperError
+from repro.runtime import Simulator
+from repro.stream.engine import StreamEngine
+from repro.wrappers.base import Wrapper
+from repro.wrappers.machine import SimulatedMachine
+
+#: The paper's polling period.
+PDU_POLL_SECONDS = 10.0
+
+
+class PowerDistributionUnit:
+    """A rack PDU with named outlets feeding simulated machines."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._outlets: dict[int, SimulatedMachine] = {}
+
+    def plug(self, outlet: int, machine: SimulatedMachine) -> None:
+        """Attach a machine to an outlet."""
+        if outlet in self._outlets:
+            raise WrapperError(f"PDU {self.name} outlet {outlet} is occupied")
+        self._outlets[outlet] = machine
+
+    @property
+    def outlets(self) -> dict[int, SimulatedMachine]:
+        return dict(self._outlets)
+
+    def render_status_page(self) -> str:
+        """The PDU's web interface: an HTML table of outlet wattages."""
+        rows = []
+        for outlet in sorted(self._outlets):
+            machine = self._outlets[outlet]
+            watts = machine.power_watts()
+            rows.append(
+                f"<tr><td>{outlet}</td><td>{machine.spec.host}</td>"
+                f"<td>{watts:.1f} W</td></tr>"
+            )
+        body = "\n".join(rows)
+        return (
+            f"<html><head><title>PDU {self.name}</title></head><body>\n"
+            f"<table id='outlets'>\n"
+            f"<tr><th>Outlet</th><th>Device</th><th>Power</th></tr>\n"
+            f"{body}\n</table>\n</body></html>"
+        )
+
+
+_OUTLET_ROW = re.compile(
+    r"<tr><td>(?P<outlet>\d+)</td><td>(?P<host>[^<]+)</td>"
+    r"<td>(?P<watts>[0-9.]+) W</td></tr>"
+)
+
+
+def parse_status_page(html: str) -> list[dict[str, Any]]:
+    """Extract (outlet, host, watts) records from a PDU status page.
+
+    Raises :class:`WrapperError` when the page has no outlet table —
+    the wrapper treats a malformed page as a scrape failure rather than
+    silently emitting nothing.
+    """
+    if "<table" not in html:
+        raise WrapperError("PDU page has no outlet table")
+    records = []
+    for match in _OUTLET_ROW.finditer(html):
+        records.append(
+            {
+                "outlet": int(match.group("outlet")),
+                "host": match.group("host"),
+                "watts": float(match.group("watts")),
+            }
+        )
+    return records
+
+
+class PduWrapper(Wrapper):
+    """Scrapes one PDU's web page every ``period`` (default 10 s)."""
+
+    def __init__(
+        self,
+        engine: StreamEngine,
+        simulator: Simulator,
+        pdu: PowerDistributionUnit,
+        period: float = PDU_POLL_SECONDS,
+        source_name: str = "Power",
+    ):
+        super().__init__(source_name, engine, simulator, period)
+        self.pdu = pdu
+
+    def poll(self) -> list[Mapping[str, Any]]:
+        page = self.pdu.render_status_page()
+        records = parse_status_page(page)
+        return [
+            {
+                "pdu": self.pdu.name,
+                "outlet": record["outlet"],
+                "host": record["host"],
+                "watts": record["watts"],
+            }
+            for record in records
+        ]

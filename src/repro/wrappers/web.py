@@ -1,0 +1,138 @@
+"""Web-source wrappers: weather forecasts and calendars.
+
+Paper §1 lists "data from the Web (e.g., weather forecasts, calendars)"
+among the sources an intelligent building integrates. The simulated
+endpoints serve JSON-ish documents the wrappers parse — exercising the
+fetch-and-translate path without a network.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import WrapperError
+from repro.runtime import Simulator
+from repro.stream.engine import StreamEngine
+from repro.wrappers.base import Wrapper
+
+
+class WeatherService:
+    """A fake forecast endpoint: diurnal sinusoid plus seeded noise."""
+
+    def __init__(self, simulator: Simulator, base_temp_c: float = 16.0, swing_c: float = 7.0):
+        self.simulator = simulator
+        self.base_temp_c = base_temp_c
+        self.swing_c = swing_c
+
+    def fetch(self) -> str:
+        """The document a real wrapper would GET."""
+        now = self.simulator.now
+        hour_angle = 2 * math.pi * ((now / 3600.0) % 24.0) / 24.0
+        temp = (
+            self.base_temp_c
+            + self.swing_c * math.sin(hour_angle - math.pi / 2)
+            + self.simulator.rng.gauss(0, 0.4)
+        )
+        return json.dumps(
+            {
+                "observed_at": now,
+                "outdoor_temp_c": round(temp, 2),
+                "condition": "clear" if temp > self.base_temp_c else "cloudy",
+            }
+        )
+
+
+class WeatherWrapper(Wrapper):
+    """Polls the weather endpoint and emits ``Weather`` tuples."""
+
+    def __init__(
+        self,
+        engine: StreamEngine,
+        simulator: Simulator,
+        service: WeatherService,
+        period: float = 300.0,
+        source_name: str = "Weather",
+    ):
+        super().__init__(source_name, engine, simulator, period)
+        self.service = service
+
+    def poll(self) -> list[Mapping[str, Any]]:
+        document = self.service.fetch()
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise WrapperError(f"weather endpoint returned invalid JSON: {exc}") from exc
+        return [
+            {
+                "observed_at": float(payload["observed_at"]),
+                "outdoor_temp_c": float(payload["outdoor_temp_c"]),
+                "condition": str(payload["condition"]),
+            }
+        ]
+
+
+@dataclass(frozen=True)
+class CalendarEvent:
+    """One scheduled event (a meeting a visitor may be heading to)."""
+
+    title: str
+    room: str
+    start: float        # simulation seconds
+    duration: float
+    organizer: str = ""
+
+
+class CalendarService:
+    """A fake calendar endpoint serving upcoming events."""
+
+    def __init__(self, events: list[CalendarEvent]):
+        self.events = sorted(events, key=lambda e: e.start)
+
+    def fetch(self, now: float, horizon: float = 3600.0) -> str:
+        upcoming = [
+            {
+                "title": e.title,
+                "room": e.room,
+                "start": e.start,
+                "duration": e.duration,
+                "organizer": e.organizer,
+            }
+            for e in self.events
+            if now <= e.start <= now + horizon or e.start <= now < e.start + e.duration
+        ]
+        return json.dumps({"events": upcoming})
+
+
+class CalendarWrapper(Wrapper):
+    """Emits one ``Calendar`` tuple per live-or-upcoming event per poll."""
+
+    def __init__(
+        self,
+        engine: StreamEngine,
+        simulator: Simulator,
+        service: CalendarService,
+        period: float = 600.0,
+        source_name: str = "Calendar",
+    ):
+        super().__init__(source_name, engine, simulator, period)
+        self.service = service
+
+    def poll(self) -> list[Mapping[str, Any]]:
+        document = self.service.fetch(self.simulator.now)
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise WrapperError(f"calendar endpoint returned invalid JSON: {exc}") from exc
+        return [
+            {
+                "title": str(e["title"]),
+                "room": str(e["room"]),
+                "start": float(e["start"]),
+                "duration": float(e["duration"]),
+                "organizer": str(e.get("organizer", "")),
+            }
+            for e in payload["events"]
+        ]

@@ -1,0 +1,214 @@
+"""Unit tests for semantic analysis (binding, typing, scoping)."""
+
+import pytest
+
+from repro.data import DataType
+from repro.errors import AnalysisError, CatalogError
+from repro.sql import Analyzer, parse, parse_select
+
+
+@pytest.fixture
+def analyzer(catalog):
+    return Analyzer(catalog)
+
+
+class TestBinding:
+    def test_output_schema_and_qualification(self, analyzer):
+        analyzed = analyzer.analyze_select(
+            parse_select("select id, room from Person")
+        )
+        assert analyzed.output_schema.names == ["Person.id", "Person.room"]
+        assert analyzed.output_schema.dtype("Person.id") is DataType.INT
+
+    def test_alias_binding(self, analyzer):
+        analyzed = analyzer.analyze_select(parse_select("select p.id from Person p"))
+        assert analyzed.tables[0].binding == "p"
+        assert analyzed.output_schema.names == ["p.id"]
+
+    def test_bare_column_resolved_across_tables(self, analyzer):
+        analyzed = analyzer.analyze_select(
+            parse_select("select needed from Person p, Machines m where p.room = m.room")
+        )
+        assert analyzed.query.items[0].expr.name == "p.needed"
+
+    def test_ambiguous_bare_column(self, analyzer):
+        with pytest.raises(AnalysisError, match="ambiguous"):
+            analyzer.analyze_select(
+                parse_select("select room from Person p, Machines m")
+            )
+
+    def test_unknown_source(self, analyzer):
+        with pytest.raises(CatalogError, match="Nonexistent"):
+            analyzer.analyze_select(parse_select("select a from Nonexistent"))
+
+    def test_unknown_column(self, analyzer):
+        with pytest.raises(AnalysisError, match="no column"):
+            analyzer.analyze_select(parse_select("select p.bogus from Person p"))
+
+    def test_unknown_relation_qualifier(self, analyzer):
+        with pytest.raises(AnalysisError, match="unknown relation"):
+            analyzer.analyze_select(parse_select("select q.id from Person p"))
+
+    def test_duplicate_binding_rejected(self, analyzer):
+        with pytest.raises(AnalysisError, match="duplicate"):
+            analyzer.analyze_select(
+                parse_select("select p.id from Person p, Machines p")
+            )
+
+    def test_star_expands_all_tables(self, analyzer):
+        analyzed = analyzer.analyze_select(
+            parse_select("select * from Person p, Machines m where p.room = m.room")
+        )
+        assert len(analyzed.output_schema) == 3 + 4
+
+    def test_duplicate_output_names_disambiguated(self, analyzer):
+        analyzed = analyzer.analyze_select(
+            parse_select("select p.id as v, p.id as v from Person p")
+        )
+        assert analyzed.output_schema.names == ["v", "v_2"]
+
+    def test_window_on_table_rejected(self, analyzer):
+        with pytest.raises(AnalysisError, match="window"):
+            analyzer.analyze_select(
+                parse_select("select m.host from Machines m [RANGE 10 SECONDS]")
+            )
+
+
+class TestPredicates:
+    def test_where_must_be_boolean(self, analyzer):
+        with pytest.raises(AnalysisError, match="boolean"):
+            analyzer.analyze_select(parse_select("select id from Person where id + 1"))
+
+    def test_aggregate_in_where_rejected(self, analyzer):
+        with pytest.raises(AnalysisError, match="WHERE"):
+            analyzer.analyze_select(
+                parse_select("select id from Person where count(*) > 1")
+            )
+
+    def test_type_error_in_predicate(self, analyzer):
+        with pytest.raises(AnalysisError):
+            analyzer.analyze_select(
+                parse_select("select id from Person where needed > 3")
+            )
+
+
+class TestAggregation:
+    def test_grouped_query(self, analyzer):
+        analyzed = analyzer.analyze_select(
+            parse_select("select room, count(*) as n from Person group by room")
+        )
+        assert analyzed.is_aggregate
+        assert analyzed.output_schema.names == ["Person.room", "n"]
+
+    def test_ungrouped_column_rejected(self, analyzer):
+        with pytest.raises(AnalysisError, match="neither grouped nor aggregated"):
+            analyzer.analyze_select(
+                parse_select("select id, count(*) from Person group by room")
+            )
+
+    def test_global_aggregate_without_group_by(self, analyzer):
+        analyzed = analyzer.analyze_select(parse_select("select count(*) from Person"))
+        assert analyzed.is_aggregate
+
+    def test_having_requires_aggregation(self, analyzer):
+        with pytest.raises(AnalysisError, match="HAVING"):
+            analyzer.analyze_select(
+                parse_select("select id from Person having id > 1")
+            )
+
+    def test_having_unknown_column(self, analyzer):
+        with pytest.raises(AnalysisError):
+            analyzer.analyze_select(
+                parse_select(
+                    "select room, count(*) from Person group by room having zzz > 1"
+                )
+            )
+
+    def test_expression_over_aggregate_allowed(self, analyzer):
+        analyzed = analyzer.analyze_select(
+            parse_select(
+                "select room, sum(id) / count(*) as avg_id from Person group by room"
+            )
+        )
+        assert "avg_id" in analyzed.output_schema.names
+
+
+class TestOrderByAndOutput:
+    def test_order_by_alias(self, analyzer):
+        analyzed = analyzer.analyze_select(
+            parse_select("select room, count(*) as n from Person group by room order by n desc")
+        )
+        assert analyzed.query.order_by[0].expr.render() == "n"
+
+    def test_order_by_unknown_column(self, analyzer):
+        with pytest.raises(AnalysisError):
+            analyzer.analyze_select(parse_select("select id from Person order by zzz"))
+
+    def test_output_to_unknown_display(self, analyzer):
+        with pytest.raises(AnalysisError, match="display"):
+            analyzer.analyze_select(
+                parse_select("select id from Person output to display 'nope'")
+            )
+
+    def test_output_to_registered_display(self, catalog, analyzer):
+        catalog.register_display("lobby")
+        analyzed = analyzer.analyze_select(
+            parse_select("select id from Person output to display 'lobby'")
+        )
+        assert analyzed.query.output.display == "lobby"
+
+
+class TestViewsAndRecursion:
+    def test_view_binding(self, catalog, analyzer):
+        view = parse(
+            "create view Open as (select sa.room from AreaSensors sa where sa.status = 'open')"
+        )
+        catalog.register_view(view.name, view.query)
+        analyzed = analyzer.analyze_select(parse_select("select o.room from Open o"))
+        assert analyzed.tables[0].is_view
+        assert analyzed.output_schema.names == ["o.room"]
+
+    def test_create_view_name_clash(self, catalog, analyzer):
+        statement = parse("create view Person as select m.host from Machines m")
+        with pytest.raises(AnalysisError, match="already exists"):
+            analyzer.analyze_create_view(statement)
+
+    def test_recursive_arity_mismatch(self, analyzer):
+        statement = parse(
+            """
+            WITH RECURSIVE tc(src) AS (
+              SELECT e.src, e.dst FROM Edges e
+              UNION
+              SELECT t.src, e.dst FROM tc t, Edges e WHERE t.src = e.src
+            ) SELECT src FROM tc
+            """
+        )
+        with pytest.raises(AnalysisError, match="columns"):
+            analyzer.analyze_recursive(statement)
+
+    def test_recursive_ok(self, analyzer):
+        statement = parse(
+            """
+            WITH RECURSIVE tc(src, dst) AS (
+              SELECT e.src, e.dst FROM Edges e
+              UNION
+              SELECT t.src, e.dst FROM tc t, Edges e WHERE t.dst = e.src
+            ) SELECT src, dst FROM tc WHERE src = 'a'
+            """
+        )
+        analyzed = analyzer.analyze_recursive(statement)
+        assert analyzed.cte_schema.names == ["src", "dst"]
+        assert analyzed.main.output_schema.names == ["tc.src", "tc.dst"]
+
+    def test_recursive_step_type_mismatch(self, analyzer):
+        statement = parse(
+            """
+            WITH RECURSIVE tc(src, dst) AS (
+              SELECT e.src, e.dst FROM Edges e
+              UNION
+              SELECT t.src, e.dist FROM tc t, Edges e WHERE t.dst = e.src
+            ) SELECT src, dst FROM tc
+            """
+        )
+        with pytest.raises(AnalysisError, match="type mismatch"):
+            analyzer.analyze_recursive(statement)

@@ -1,0 +1,187 @@
+"""Tests for the batch evaluator and incrementally maintained recursive views."""
+
+import random
+
+import pytest
+
+from repro.data import DataType, Row, Schema
+from repro.errors import ExecutionError
+from repro.stream import RecursiveView, evaluate, fixpoint, recompute
+
+EDGES = Schema.of(("src", DataType.STRING), ("dst", DataType.STRING))
+
+
+def edge(src: str, dst: str) -> Row:
+    return Row(EDGES, (src, dst))
+
+
+@pytest.fixture
+def tc_plan(builder):
+    """Transitive closure plan over the conftest Edges table (src,dst only)."""
+    plan = builder.build_sql(
+        """
+        WITH RECURSIVE tc(src, dst) AS (
+          SELECT e.src, e.dst FROM Edges2 e
+          UNION
+          SELECT t.src, e.dst FROM tc t, Edges2 e WHERE t.dst = e.src
+        ) SELECT src, dst FROM tc
+        """
+    )
+    return plan
+
+
+@pytest.fixture(autouse=True)
+def _register_edges2(catalog):
+    catalog.register_table("Edges2", EDGES, cardinality=10)
+
+
+def pairs(rows) -> set[tuple]:
+    return {(r["src"], r["dst"]) for r in rows}
+
+
+class TestBatchEvaluator:
+    def test_select_project(self, builder, catalog):
+        plan = builder.build_sql("select e.src from Edges2 e where e.src = 'a'")
+        rows = evaluate(plan, {"Edges2": [edge("a", "b"), edge("b", "c")]})
+        assert [r["e.src"] for r in rows] == ["a"]
+
+    def test_hash_join_used_for_equi_keys(self, builder, catalog):
+        plan = builder.build_sql(
+            "select a.src, b.dst from Edges2 a, Edges2 b where a.dst = b.src"
+        )
+        rows = evaluate(plan, {"Edges2": [edge("a", "b"), edge("b", "c")]})
+        assert {(r["a.src"], r["b.dst"]) for r in rows} == {("a", "c")}
+
+    def test_cross_product_without_predicate(self, builder, catalog):
+        plan = builder.build_sql("select a.src, b.src from Edges2 a, Edges2 b")
+        rows = evaluate(plan, {"Edges2": [edge("a", "b"), edge("b", "c")]})
+        assert len(rows) == 4
+
+    def test_aggregate_and_order(self, builder, catalog):
+        plan = builder.build_sql(
+            "select e.src, count(*) as n from Edges2 e group by e.src order by n desc"
+        )
+        rows = evaluate(
+            plan, {"Edges2": [edge("a", "b"), edge("a", "c"), edge("b", "c")]}
+        )
+        assert [(r["e.src"], r["n"]) for r in rows] == [("a", 2), ("b", 1)]
+
+    def test_global_aggregate_on_empty_input(self, builder, catalog):
+        plan = builder.build_sql("select count(*) as n from Edges2 e")
+        rows = evaluate(plan, {"Edges2": []})
+        assert rows[0]["n"] == 0
+
+    def test_distinct_limit(self, builder, catalog):
+        plan = builder.build_sql("select distinct e.src from Edges2 e limit 1")
+        rows = evaluate(plan, {"Edges2": [edge("a", "b"), edge("a", "c"), edge("b", "x")]})
+        assert len(rows) == 1
+
+    def test_missing_table_raises(self, builder, catalog):
+        plan = builder.build_sql("select e.src from Edges2 e")
+        with pytest.raises(ExecutionError, match="Edges2"):
+            evaluate(plan, {"Other": []})
+
+
+class TestFixpoint:
+    def test_chain_closure(self, tc_plan):
+        rows = fixpoint(tc_plan.recursive, {"Edges2": [edge("a", "b"), edge("b", "c"), edge("c", "d")]})
+        assert pairs(rows) == {
+            ("a", "b"), ("b", "c"), ("c", "d"),
+            ("a", "c"), ("b", "d"), ("a", "d"),
+        }
+
+    def test_cycle_terminates(self, tc_plan):
+        rows = fixpoint(tc_plan.recursive, {"Edges2": [edge("a", "b"), edge("b", "a")]})
+        assert pairs(rows) == {("a", "b"), ("b", "a"), ("a", "a"), ("b", "b")}
+
+    def test_empty_base(self, tc_plan):
+        assert fixpoint(tc_plan.recursive, {"Edges2": []}) == []
+
+
+class TestRecursiveView:
+    def test_initial_contents_match_fixpoint(self, tc_plan):
+        edges = [edge("a", "b"), edge("b", "c")]
+        view = RecursiveView(tc_plan.recursive, {"Edges2": edges})
+        assert view.rows() == recompute(tc_plan.recursive, {"Edges2": edges})
+
+    def test_insert_extends_closure(self, tc_plan):
+        view = RecursiveView(tc_plan.recursive, {"Edges2": [edge("a", "b")]})
+        added = view.insert("Edges2", [edge("b", "c")])
+        assert added == 2  # (b,c) and (a,c)
+        assert ("a", "c") in {(r["src"], r["dst"]) for r in view.rows()}
+
+    def test_delete_removes_derived_facts(self, tc_plan):
+        edges = [edge("a", "b"), edge("b", "c"), edge("c", "d")]
+        view = RecursiveView(tc_plan.recursive, {"Edges2": edges})
+        removed = view.delete("Edges2", [edge("b", "c")])
+        assert removed == 4  # (b,c), (a,c), (b,d), (a,d)
+        assert view.rows() == recompute(
+            tc_plan.recursive, {"Edges2": [edge("a", "b"), edge("c", "d")]}
+        )
+
+    def test_delete_keeps_alternative_derivations(self, tc_plan):
+        # Two paths a->c; deleting one keeps (a,c).
+        edges = [edge("a", "b"), edge("b", "c"), edge("a", "x"), edge("x", "c")]
+        view = RecursiveView(tc_plan.recursive, {"Edges2": edges})
+        view.delete("Edges2", [edge("b", "c")])
+        assert ("a", "c") in {(r["src"], r["dst"]) for r in view.rows()}
+
+    def test_delete_on_cycle(self, tc_plan):
+        edges = [edge("a", "b"), edge("b", "a"), edge("b", "c")]
+        view = RecursiveView(tc_plan.recursive, {"Edges2": edges})
+        view.delete("Edges2", [edge("b", "a")])
+        assert view.rows() == recompute(
+            tc_plan.recursive, {"Edges2": [edge("a", "b"), edge("b", "c")]}
+        )
+
+    def test_delete_absent_row_is_noop(self, tc_plan):
+        view = RecursiveView(tc_plan.recursive, {"Edges2": [edge("a", "b")]})
+        assert view.delete("Edges2", [edge("x", "y")]) == 0
+        assert len(view) == 1
+
+    def test_update_is_delete_plus_insert(self, tc_plan):
+        view = RecursiveView(tc_plan.recursive, {"Edges2": [edge("a", "b")]})
+        view.update("Edges2", remove=[edge("a", "b")], add=[edge("a", "c")])
+        assert pairs(view.rows()) == {("a", "c")}
+
+    def test_unknown_relation_rejected(self, tc_plan):
+        view = RecursiveView(tc_plan.recursive, {"Edges2": []})
+        with pytest.raises(ExecutionError, match="relation"):
+            view.insert("Nope", [edge("a", "b")])
+
+    def test_contains_and_len(self, tc_plan):
+        view = RecursiveView(tc_plan.recursive, {"Edges2": [edge("a", "b")]})
+        cte_row = Row(tc_plan.recursive.cte_schema, ("a", "b"))
+        assert cte_row in view and len(view) == 1
+
+    def test_nonlinear_step_rejected(self, builder, catalog):
+        plan = builder.build_sql(
+            """
+            WITH RECURSIVE tc(src, dst) AS (
+              SELECT e.src, e.dst FROM Edges2 e
+              UNION
+              SELECT a.src, b.dst FROM tc a, tc b WHERE a.dst = b.src
+            ) SELECT src, dst FROM tc
+            """
+        )
+        with pytest.raises(ExecutionError, match="linear"):
+            RecursiveView(plan.recursive, {"Edges2": []})
+
+    def test_randomised_churn_matches_recompute(self, tc_plan):
+        """Property: after any insert/delete sequence the view equals the
+        from-scratch fixpoint over the same table."""
+        rng = random.Random(7)
+        nodes = ["a", "b", "c", "d", "e"]
+        current: list[Row] = []
+        view = RecursiveView(tc_plan.recursive, {"Edges2": current})
+        for step in range(40):
+            if current and rng.random() < 0.4:
+                victim = rng.choice(current)
+                current.remove(victim)
+                view.delete("Edges2", [victim])
+            else:
+                new = edge(rng.choice(nodes), rng.choice(nodes))
+                current.append(new)
+                view.insert("Edges2", [new])
+            expected = recompute(tc_plan.recursive, {"Edges2": current})
+            assert view.rows() == expected, f"diverged at step {step}"

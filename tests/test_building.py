@@ -1,0 +1,253 @@
+"""Tests for the building model, routing graph, routers and occupants."""
+
+import pytest
+
+from repro.building import (
+    Building,
+    Desk,
+    Occupant,
+    Room,
+    RoomKind,
+    RoutingGraph,
+    StreamRouter,
+    build_moore_deployment,
+    shortest_path,
+)
+from repro.errors import BuildingModelError, RoutingError
+from repro.sensor.mote import Position
+
+
+@pytest.fixture
+def room():
+    room = Room("lab1", RoomKind.LAB, Position(0, 0), 80, 50)
+    room.add_desk(Desk("d1", Position(10, 10), machine_host="ws1"))
+    return room
+
+
+@pytest.fixture
+def diamond() -> RoutingGraph:
+    """a -> (b|c) -> d with one short and one long side."""
+    graph = RoutingGraph()
+    graph.add_point("a", Position(0, 0))
+    graph.add_point("b", Position(10, 10))
+    graph.add_point("c", Position(50, -50))
+    graph.add_point("d", Position(20, 0))
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "d")
+    graph.add_edge("a", "c")
+    graph.add_edge("c", "d")
+    return graph
+
+
+class TestRooms:
+    def test_open_requires_lights_and_door(self, room):
+        assert room.is_open and room.status == "open"
+        room.lights_on = False
+        assert not room.is_open
+        room.lights_on = True
+        room.door_open = False
+        assert room.status == "closed"
+
+    def test_seat_light_shadows_occupied_chair(self, room):
+        free_light = room.seat_light("d1")
+        room.desk("d1").occupied = True
+        assert room.seat_light("d1") < 100 < free_light
+
+    def test_dark_room_reads_dark_at_seat(self, room):
+        room.lights_on = False
+        assert room.seat_light("d1") < 100
+
+    def test_contains(self, room):
+        assert room.contains(Position(40, 25))
+        assert not room.contains(Position(100, 25))
+
+    def test_duplicate_desk_rejected(self, room):
+        with pytest.raises(BuildingModelError):
+            room.add_desk(Desk("d1", Position(0, 0)))
+
+    def test_building_lookup(self, room):
+        building = Building()
+        building.add_room(room)
+        assert building.room("lab1") is room
+        assert building.labs() == [room]
+        with pytest.raises(BuildingModelError, match="lab1"):
+            building.room("nope")
+        with pytest.raises(BuildingModelError):
+            building.add_room(room)
+
+    def test_desk_of_machine(self, room):
+        building = Building()
+        building.add_room(room)
+        found = building.desk_of_machine("ws1")
+        assert found is not None and found[1].desk_id == "d1"
+        assert building.desk_of_machine("zzz") is None
+
+    def test_room_at(self, room):
+        building = Building()
+        building.add_room(room)
+        assert building.room_at(Position(5, 5)) is room
+        assert building.room_at(Position(500, 5)) is None
+
+
+class TestRoutingGraph:
+    def test_euclidean_default_distance(self, diamond):
+        assert diamond.neighbors("a")["b"] == pytest.approx((200) ** 0.5)
+
+    def test_duplicate_point_rejected(self, diamond):
+        with pytest.raises(BuildingModelError):
+            diamond.add_point("a", Position(0, 0))
+
+    def test_self_loop_rejected(self, diamond):
+        with pytest.raises(BuildingModelError):
+            diamond.add_edge("a", "a")
+
+    def test_edge_rows_are_bidirectional(self, diamond):
+        rows = diamond.edge_rows()
+        assert len(rows) == 8  # 4 undirected edges
+        assert {"src": "a", "dst": "b", "distance": rows[0]["distance"]} in rows
+
+    def test_nearest_point(self, diamond):
+        assert diamond.nearest_point(Position(11, 11)).name == "b"
+
+    def test_remove_edge(self, diamond):
+        diamond.remove_edge("a", "b")
+        assert "b" not in diamond.neighbors("a")
+
+
+class TestShortestPath:
+    def test_picks_short_side(self, diamond):
+        route = shortest_path(diamond, "a", "d")
+        assert route.points == ("a", "b", "d")
+
+    def test_same_point(self, diamond):
+        route = shortest_path(diamond, "a", "a")
+        assert route.points == ("a",) and route.distance == 0
+
+    def test_unreachable(self, diamond):
+        diamond.add_point("island", Position(999, 999))
+        with pytest.raises(RoutingError):
+            shortest_path(diamond, "a", "island")
+
+    def test_render(self, diamond):
+        assert "->" in shortest_path(diamond, "a", "d").render()
+
+
+class TestStreamRouter:
+    def test_agrees_with_dijkstra(self, diamond):
+        router = StreamRouter(diamond, max_hops=6)
+        mine = router.route("a", "d")
+        oracle = shortest_path(diamond, "a", "d")
+        assert mine.points == oracle.points
+        assert mine.distance == pytest.approx(oracle.distance)
+
+    def test_agrees_on_moore_building(self):
+        from repro.runtime import Simulator
+
+        deployment = build_moore_deployment(Simulator(3), lab_count=2)
+        router = StreamRouter(deployment.graph, max_hops=10)
+        for start, end in [("lobby", "lab1.d1"), ("lab2.door", "lab1.center")]:
+            mine = router.route(start, end)
+            oracle = shortest_path(deployment.graph, start, end)
+            assert mine.distance == pytest.approx(oracle.distance)
+
+    def test_close_segment_reroutes(self, diamond):
+        router = StreamRouter(diamond, max_hops=6)
+        router.close_segment("a", "b")
+        route = router.route("a", "d")
+        assert route.points == ("a", "c", "d")
+
+    def test_close_then_open_restores(self, diamond):
+        router = StreamRouter(diamond, max_hops=6)
+        router.close_segment("a", "b")
+        router.open_segment("a", "b")
+        assert router.route("a", "d").points == ("a", "b", "d")
+
+    def test_unreachable_after_closures(self, diamond):
+        router = StreamRouter(diamond, max_hops=6)
+        router.close_segment("b", "d")
+        router.close_segment("c", "d")
+        with pytest.raises(RoutingError):
+            router.route("a", "d")
+
+    def test_closure_contains_simple_paths_only(self, diamond):
+        router = StreamRouter(diamond, max_hops=8)
+        for row in router.view.rows():
+            names = [p for p in row["path"].split("|") if p]
+            assert len(names) == len(set(names)), f"cycle in {row['path']}"
+
+
+class TestOccupants:
+    def test_walk_reaches_destination(self, simulator, diamond):
+        occupant = Occupant("v", 1, simulator, diamond, "a", speed=10.0)
+        route = occupant.walk_to("d")
+        assert occupant.walking
+        simulator.run_for(route.distance / 10.0 + 1.0)
+        assert occupant.current_point == "d"
+        assert not occupant.walking
+
+    def test_position_interpolates(self, simulator, diamond):
+        graph = RoutingGraph()
+        graph.add_point("x", Position(0, 0))
+        graph.add_point("y", Position(100, 0))
+        graph.add_edge("x", "y")
+        occupant = Occupant("v", 1, simulator, graph, "x", speed=10.0)
+        occupant.walk_to("y")
+        simulator.run_for(5.0)
+        assert occupant.position.x == pytest.approx(50.0)
+
+    def test_arrival_callback(self, simulator, diamond):
+        arrived = []
+        occupant = Occupant("v", 1, simulator, diamond, "a", speed=50.0)
+        occupant.on_arrival = arrived.append
+        occupant.walk_to("d")
+        simulator.run_for(10.0)
+        assert arrived == ["d"]
+
+    def test_sit_and_stand(self, simulator, diamond, room):
+        building = Building()
+        building.add_room(room)
+        occupant = Occupant("v", 1, simulator, diamond, "a")
+        occupant.sit_at(building, "lab1", "d1")
+        assert room.desk("d1").occupied
+        occupant.walk_to("b", building)  # standing up frees the desk
+        assert not room.desk("d1").occupied
+
+    def test_invalid_speed(self, simulator, diamond):
+        with pytest.raises(BuildingModelError):
+            Occupant("v", 1, simulator, diamond, "a", speed=0)
+
+
+class TestMooreLayout:
+    def test_default_deployment_invariants(self, simulator):
+        deployment = build_moore_deployment(simulator)
+        network = deployment.network
+        assert network.is_connected()
+        assert deployment.building.labs()
+        # Every desk has a seat mote; every lab desk has a machine + mote.
+        for (room_id, desk_id), (seat, ws) in deployment.desk_motes.items():
+            assert seat in network.motes
+            room = deployment.building.room(room_id)
+            if room.kind is RoomKind.LAB:
+                assert ws is not None and ws in network.motes
+                assert room.desk(desk_id).machine_host in deployment.machines
+        # Detector coordinates cover every hallway point.
+        assert len(deployment.detector_coord_rows()) == len(deployment.detector_points)
+
+    def test_scaling_with_lab_count(self, simulator):
+        small = build_moore_deployment(simulator, lab_count=2, desks_per_lab=2)
+        assert len(small.building.labs()) == 2
+        assert len(small.machines) == 2 * 2 + 4  # lab machines + servers
+
+    def test_routing_reaches_every_desk(self, simulator):
+        deployment = build_moore_deployment(simulator, lab_count=3)
+        for room, desk in deployment.building.all_desks():
+            route = shortest_path(
+                deployment.graph, "lobby", f"{room.room_id}.{desk.desk_id}"
+            )
+            assert route.distance > 0
+
+    def test_machine_rows_match_specs(self, simulator):
+        deployment = build_moore_deployment(simulator)
+        rows = deployment.machine_rows()
+        assert len(rows) == len(deployment.machine_specs)
+        assert all(set(r) == {"host", "room", "desk", "software"} for r in rows)

@@ -1,0 +1,113 @@
+"""Unit tests for the source & device catalog."""
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    DeviceInfo,
+    EngineLocation,
+    SourceKind,
+    SourceStatistics,
+)
+from repro.data import DataType, Schema
+from repro.errors import CatalogError
+
+SCHEMA = Schema.of(("a", DataType.INT))
+
+
+class TestRegistration:
+    def test_stream_shorthand(self):
+        cat = Catalog()
+        entry = cat.register_stream("S", SCHEMA, rate=2.5)
+        assert entry.kind is SourceKind.STREAM
+        assert entry.location is EngineLocation.STREAM
+        assert entry.statistics.rate == 2.5
+
+    def test_table_shorthand(self):
+        cat = Catalog()
+        entry = cat.register_table("T", SCHEMA, cardinality=99)
+        assert entry.kind is SourceKind.TABLE
+        assert entry.statistics.cardinality == 99
+
+    def test_sensor_stream_rate_derived_from_device(self):
+        cat = Catalog()
+        entry = cat.register_sensor_stream(
+            "X", SCHEMA, DeviceInfo(node_ids=(1, 2, 3, 4), sample_period=2.0)
+        )
+        assert entry.statistics.rate == pytest.approx(2.0)
+        assert entry.is_sensor
+
+    def test_duplicate_name_rejected_case_insensitively(self):
+        cat = Catalog()
+        cat.register_stream("S", SCHEMA)
+        with pytest.raises(CatalogError):
+            cat.register_table("s", SCHEMA)
+
+    def test_lookup_case_insensitive(self):
+        cat = Catalog()
+        cat.register_stream("SeatSensors", SCHEMA)
+        assert cat.source("seatsensors").name == "SeatSensors"
+
+    def test_unknown_source_lists_known(self):
+        cat = Catalog()
+        cat.register_stream("Known", SCHEMA)
+        with pytest.raises(CatalogError, match="Known"):
+            cat.source("Unknown")
+
+    def test_sources_at(self):
+        cat = Catalog()
+        cat.register_stream("S", SCHEMA)
+        cat.register_table("T", SCHEMA)
+        assert [e.name for e in cat.sources_at(EngineLocation.DATABASE)] == ["T"]
+
+
+class TestViewsAndDisplays:
+    def test_view_registration(self):
+        cat = Catalog()
+        cat.register_view("V", object())
+        assert cat.has_view("v")
+        assert cat.view("V").name == "V"
+
+    def test_view_name_clashes_with_source(self):
+        cat = Catalog()
+        cat.register_stream("S", SCHEMA)
+        with pytest.raises(CatalogError):
+            cat.register_view("S", object())
+
+    def test_source_name_clashes_with_view(self):
+        cat = Catalog()
+        cat.register_view("V", object())
+        with pytest.raises(CatalogError):
+            cat.register_stream("V", SCHEMA)
+
+    def test_displays(self):
+        cat = Catalog()
+        cat.register_display("lobby", "front door")
+        assert cat.has_display("LOBBY")
+        assert cat.display("lobby").location == "front door"
+        with pytest.raises(CatalogError):
+            cat.register_display("lobby")
+        with pytest.raises(CatalogError):
+            cat.display("nope")
+
+
+class TestStatistics:
+    def test_ndv_by_bare_name(self):
+        stats = SourceStatistics(distinct_values={"room": 12})
+        assert stats.ndv("ss.room") == 12
+        assert stats.ndv("unknown") == 10  # default
+
+    def test_summary_mentions_everything(self):
+        cat = Catalog()
+        cat.register_stream("S", SCHEMA, rate=1.0)
+        cat.register_table("T", SCHEMA, cardinality=5)
+        cat.register_view("V", object())
+        cat.register_display("D")
+        text = cat.summary()
+        for name in ("S", "T", "V", "D"):
+            assert name in text
+
+    def test_network_info_defaults(self):
+        cat = Catalog()
+        assert cat.network.diameter >= 1
+        assert cat.network.radio_seconds_per_message > 0

@@ -1,0 +1,137 @@
+"""Tests for the distributed stream engine layer."""
+
+import pytest
+
+from repro.data import CollectingConsumer, DataType, Punctuation, Row, Schema, StreamElement
+from repro.errors import ExecutionError
+from repro.plan import scans_of
+from repro.stream import DistributedStreamEngine, Exchange, Placement
+
+
+@pytest.fixture
+def distributed(catalog, simulator):
+    return DistributedStreamEngine(catalog, simulator, ["coord", "w1", "w2"])
+
+
+SCHEMA = Schema.of(("x", DataType.INT))
+
+
+class TestExchange:
+    def test_adds_latency(self, catalog, simulator, distributed):
+        sink = CollectingConsumer()
+        exchange = Exchange(
+            simulator, sink,
+            distributed.nodes["w1"], distributed.nodes["coord"],
+            latency=0.5, bandwidth=1e6, row_bytes=100,
+        )
+        exchange.push(StreamElement(Row(SCHEMA, (1,)), 0.0))
+        assert len(sink) == 0  # not yet delivered
+        simulator.run_for(1.0)
+        assert len(sink) == 1
+        assert exchange.bytes_sent == 100
+
+    def test_punctuation_crosses_too(self, simulator, distributed):
+        sink = CollectingConsumer()
+        exchange = Exchange(
+            simulator, sink,
+            distributed.nodes["w1"], distributed.nodes["coord"],
+            latency=0.1, bandwidth=1e6, row_bytes=10,
+        )
+        exchange.push(Punctuation(5.0))
+        simulator.run_for(0.2)
+        assert sink.punctuations == [Punctuation(5.0)]
+        assert exchange.elements_sent == 0  # punctuation not counted as data
+
+
+class TestPlacement:
+    def test_default_placement_spreads_scans(self, distributed, builder):
+        plan = builder.build_sql(
+            "select p.id from Person p, Machines m where p.room = m.room"
+        )
+        placement = distributed.default_placement(plan)
+        scan_nodes = {placement.assignments[s.plan_id] for s in scans_of(plan)}
+        assert scan_nodes <= {"w1", "w2"}
+        assert placement.coordinator == "coord"
+
+    def test_wrap_edges_interposes_exchanges(self, distributed, builder):
+        plan = builder.build_sql(
+            "select p.id from Person p, Machines m where p.room = m.room"
+        )
+        placement = distributed.default_placement(plan)
+        consumers = {
+            node.plan_id: CollectingConsumer() for node in plan.walk()
+        }
+        wrapped = distributed.wrap_edges(plan, consumers, placement)
+        # Scans live on workers, their parents on the coordinator: both
+        # scan edges cross nodes.
+        crossing = [w for w in wrapped.values() if isinstance(w, Exchange)]
+        assert len(crossing) == 2
+        assert distributed.total_network_bytes() == 0  # nothing sent yet
+
+    def test_report_lists_nodes(self, distributed, builder):
+        plan = builder.build_sql("select p.id from Person p")
+        placement = distributed.default_placement(plan)
+        consumers = {node.plan_id: CollectingConsumer() for node in plan.walk()}
+        distributed.wrap_edges(plan, consumers, placement)
+        report = distributed.report()
+        assert "coord" in report and "w1" in report
+
+    def test_requires_at_least_one_node(self, catalog, simulator):
+        with pytest.raises(ExecutionError):
+            DistributedStreamEngine(catalog, simulator, [])
+
+    def test_traffic_accounting(self, distributed, simulator):
+        sink = CollectingConsumer()
+        exchange = Exchange(
+            simulator, sink,
+            distributed.nodes["w1"], distributed.nodes["coord"],
+            latency=0.01, bandwidth=1e6, row_bytes=50,
+        )
+        distributed.exchanges.append(exchange)
+        for i in range(4):
+            exchange.push(StreamElement(Row(SCHEMA, (i,)), 0.0))
+        simulator.run_for(1.0)
+        assert distributed.total_network_elements() == 4
+        assert distributed.total_network_bytes() == 200
+
+
+class TestDistributedExecution:
+    def test_end_to_end_query_crosses_lan(self, catalog, simulator, distributed, builder):
+        plan = builder.build_sql("select t.room, t.temp from Temps t where t.temp > 20")
+        query = distributed.execute(plan)
+        query.push("Temps", {"room": "lab1", "temp": 25.0}, 0.0)
+        assert len(query.results) == 0  # still in flight on the LAN
+        simulator.run_for(1.0)
+        assert len(query.results) == 1
+        assert distributed.total_network_bytes() > 0
+
+    def test_coordinator_placement_avoids_exchanges(self, catalog, simulator, builder):
+        from repro.stream import DistributedStreamEngine, Placement
+
+        single = DistributedStreamEngine(catalog, simulator, ["solo"])
+        plan = builder.build_sql("select t.temp from Temps t")
+        query = single.execute(plan, Placement("solo"))
+        query.push("Temps", {"room": "x", "temp": 1.0}, 0.0)
+        # Same-node edge: delivered synchronously, no traffic.
+        assert len(query.results) == 1
+        assert single.total_network_bytes() == 0
+
+    def test_distributed_join_merges_after_delivery(self, catalog, simulator, distributed, builder):
+        plan = builder.build_sql(
+            "select t.temp, p.id from Temps t, Person p where t.room = p.room"
+        )
+        query = distributed.execute(plan)
+        query.push("Temps", {"room": "lab1", "temp": 24.0}, 0.0)
+        query.push("Person", {"id": 1, "room": "lab1", "needed": "%"}, 0.0)
+        simulator.run_for(1.0)
+        assert len(query.results) == 1
+
+    def test_punctuation_flows_distributed(self, catalog, simulator, distributed, builder):
+        plan = builder.build_sql(
+            "select t.room, count(*) as n from Temps t group by t.room"
+        )
+        query = distributed.execute(plan)
+        query.push("Temps", {"room": "a", "temp": 1.0}, 0.0)
+        query.punctuate(5.0)
+        simulator.run_for(1.0)
+        assert [r["n"] for r in query.results] == [1]

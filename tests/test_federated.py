@@ -1,0 +1,181 @@
+"""Tests for the federated optimizer, cost normalisation and execution."""
+
+import pytest
+
+from repro.core import (
+    FederatedOptimizer,
+    naive_cost,
+    normalize_sensor_cost,
+    normalize_stream_cost,
+)
+from repro.core.cost import RADIO_WEIGHT
+from repro.catalog import NetworkInfo
+from repro.errors import OptimizerError
+from repro.plan.logical import RemoteSource, Scan
+from repro.sensor.optimizer import SensorCost
+from repro.stream.optimizer import StreamCost
+
+
+@pytest.fixture
+def fed(catalog, line_network):
+    return FederatedOptimizer(catalog, line_network)
+
+
+class TestNormalization:
+    def test_sensor_cost_conversion(self):
+        network = NetworkInfo(diameter=4, radio_seconds_per_message=0.02)
+        cost = SensorCost(messages_per_epoch=10, bytes_per_epoch=100, epoch_seconds=10)
+        normalized = normalize_sensor_cost(cost, network)
+        assert normalized.latency_seconds == pytest.approx(4 * 0.02)
+        assert normalized.resource_rate == pytest.approx(RADIO_WEIGHT * 1.0 * 0.02)
+
+    def test_stream_cost_conversion(self):
+        network = NetworkInfo()
+        cost = StreamCost(latency=0.01, rows_per_second=1000, state_rows=10)
+        normalized = normalize_stream_cost(cost, network)
+        assert normalized.latency_seconds == 0.01
+        assert normalized.resource_rate == pytest.approx(1000 * 2e-6)
+
+    def test_radio_seconds_priced_far_above_cpu(self):
+        """One message per second must cost more than thousands of rows of
+        CPU — otherwise the optimizer would never bother pushing."""
+        network = NetworkInfo()
+        radio = normalize_sensor_cost(SensorCost(1, 10, 1.0), network)
+        cpu = normalize_stream_cost(StreamCost(0.0, 1000, 0), network)
+        assert radio.resource_rate > cpu.resource_rate
+
+    def test_plus_and_ordering(self):
+        from repro.core import NormalizedCost
+
+        a = NormalizedCost(0.1, 0.2)
+        b = NormalizedCost(0.3, 0.4)
+        total = a.plus(b)
+        assert total.latency_seconds == pytest.approx(0.4)
+        assert a < b
+
+    def test_naive_cost_mixes_units(self):
+        sensor = SensorCost(10, 100, 10)
+        stream = StreamCost(0.5, 100, 0)
+        assert naive_cost([sensor], stream) == pytest.approx(10.5)
+
+
+class TestPartitioning:
+    def test_pure_stream_query_single_alternative(self, fed, builder):
+        plan = builder.build_sql("select p.id from Person p")
+        federated = fed.optimize(plan)
+        assert federated.pushed == []
+        assert len(federated.alternatives) == 1
+
+    def test_sensor_filter_offered_both_ways(self, fed, builder):
+        plan = builder.build_sql(
+            "select sa.room from AreaSensors sa where sa.status = 'open'"
+        )
+        federated = fed.optimize(plan)
+        assert len(federated.alternatives) == 2
+        kinds = sorted(
+            tuple(f.deployment.kind for f in alt.pushed)
+            for alt in federated.alternatives
+        )
+        assert kinds == [("collection",), ("collection",)]  # raw vs filtered push
+
+    def test_chosen_is_minimum_cost(self, fed, builder):
+        plan = builder.build_sql(
+            "select sa.room from AreaSensors sa, SeatSensors ss, Machines m "
+            "where sa.room = ss.room and ss.room = m.room and sa.status = 'open'"
+        )
+        federated = fed.optimize(plan)
+        best = min(a.normalized.total for a in federated.alternatives)
+        assert federated.cost.total == pytest.approx(best)
+
+    def test_pushdown_wins_for_selective_sensor_join(self, fed, builder):
+        plan = builder.build_sql(
+            "select sa.room from AreaSensors sa, SeatSensors ss "
+            "where sa.room = ss.room and sa.status = 'open' and ss.status = 'free'"
+        )
+        federated = fed.optimize(plan)
+        assert [f.deployment.kind for f in federated.pushed] == ["join"]
+
+    def test_unpushed_sensor_scans_become_raw_collections(self, fed, builder):
+        plan = builder.build_sql(
+            "select sa.room from AreaSensors sa, Person p where sa.room = p.room"
+        )
+        federated = fed.optimize(plan)
+        # The sensor scan cannot be pushed with Person; it must still be
+        # pulled out of the network as a raw collection.
+        assert len(federated.pushed) == 1
+        assert federated.pushed[0].deployment.kind == "collection"
+        remotes = [
+            n for n in federated.stream_plan.walk() if isinstance(n, RemoteSource)
+        ]
+        assert len(remotes) == 1
+
+    def test_no_sensor_scans_left_in_stream_plan(self, fed, builder):
+        from repro.catalog import EngineLocation
+
+        plan = builder.build_sql(
+            "select sa.room from AreaSensors sa, SeatSensors ss where sa.room = ss.room"
+        )
+        federated = fed.optimize(plan)
+        for node in federated.stream_plan.walk():
+            if isinstance(node, Scan):
+                assert node.entry.location is not EngineLocation.SENSOR
+
+    def test_explain_mentions_engines_and_alternatives(self, fed, builder):
+        plan = builder.build_sql(
+            "select sa.room from AreaSensors sa where sa.status = 'open'"
+        )
+        text = fed.optimize(plan).explain()
+        assert "[sensor]" in text and "[stream]" in text
+        assert "alternatives considered" in text
+
+    def test_remote_source_rate_estimated(self, fed, builder):
+        plan = builder.build_sql(
+            "select sa.room from AreaSensors sa where sa.status = 'open'"
+        )
+        federated = fed.optimize(plan)
+        pushed = federated.pushed[0]
+        # 3 motes / 10 s period × selectivity (1/2 for status='open').
+        assert 0 < pushed.result_rate <= 0.3
+
+    def test_ablation_switch_changes_objective(self, catalog, line_network, builder):
+        normalised = FederatedOptimizer(catalog, line_network, use_normalization=True)
+        naive = FederatedOptimizer(catalog, line_network, use_normalization=False)
+        plan = builder.build_sql(
+            "select sa.room from AreaSensors sa where sa.status = 'open'"
+        )
+        a = normalised.optimize(plan)
+        b = naive.optimize(plan)
+        # Same alternatives enumerated either way.
+        assert len(a.alternatives) == len(b.alternatives)
+
+
+class TestFigure1:
+    def test_paper_query_partitions_view_in_network(self, catalog, fed, builder):
+        from repro.sql import parse
+
+        view = parse(
+            "create view OpenMachineInfo as (select ss.room, ss.desk "
+            "from AreaSensors sa, SeatSensors ss where sa.room = ss.room "
+            "^ sa.status = 'open' ^ ss.status = 'free')"
+        )
+        catalog.register_view(view.name, view.query)
+        plan = builder.build_sql(
+            "select p.id, O.room, O.desk, r.path "
+            "from Person p, Route r, OpenMachineInfo O, Machines m "
+            "where O.room = m.room ^ O.desk = m.desk ^ m.software LIKE p.needed ^ "
+            "r.start = p.room ^ r.end = O.room order by p.id"
+        )
+        federated = fed.optimize(plan)
+        # The view's sensor join goes in-network; Person/Route/Machines stay.
+        assert [f.deployment.kind for f in federated.pushed] == ["join"]
+        assert {"AreaSensors", "SeatSensors"} == set(
+            federated.pushed[0].deployment.relations
+        )
+        stream_scans = {
+            n.entry.name
+            for n in federated.stream_plan.walk()
+            if isinstance(n, Scan)
+        }
+        assert stream_scans == {"Person", "Route", "Machines"}
+        # Per-pair decisions were made.
+        assert federated.pushed[0].deployment.decisions

@@ -1,0 +1,96 @@
+"""Unit tests for the Stream SQL tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import Token, TokenType, tokenize
+
+
+def kinds(text: str) -> list[tuple[TokenType, str]]:
+    return [(t.type, t.value) for t in tokenize(text) if t.type is not TokenType.EOF]
+
+
+class TestBasics:
+    def test_keywords_normalised_upper(self):
+        assert kinds("select From WHERE")[0] == (TokenType.KEYWORD, "SELECT")
+        assert kinds("select From WHERE")[1] == (TokenType.KEYWORD, "FROM")
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("SeatSensors")[0] == (TokenType.IDENTIFIER, "SeatSensors")
+
+    def test_qualified_name_is_three_tokens(self):
+        tokens = kinds("ss.room")
+        assert tokens == [
+            (TokenType.IDENTIFIER, "ss"),
+            (TokenType.PUNCTUATION, "."),
+            (TokenType.IDENTIFIER, "room"),
+        ]
+
+    def test_eof_terminates(self):
+        tokens = tokenize("x")
+        assert tokens[-1].type is TokenType.EOF
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42")[0] == (TokenType.NUMBER, "42")
+
+    def test_float(self):
+        assert kinds("4.25")[0] == (TokenType.NUMBER, "4.25")
+
+    def test_scientific(self):
+        assert kinds("1e3")[0] == (TokenType.NUMBER, "1e3")
+        assert kinds("2.5E-2")[0] == (TokenType.NUMBER, "2.5E-2")
+
+    def test_number_then_dot_identifier(self):
+        # "3.x" must not eat the dot into the number
+        tokens = kinds("3 .room")
+        assert tokens[0] == (TokenType.NUMBER, "3")
+
+
+class TestStrings:
+    def test_simple(self):
+        assert kinds("'open'")[0] == (TokenType.STRING, "open")
+
+    def test_escaped_quote(self):
+        assert kinds("'it''s'")[0] == (TokenType.STRING, "it's")
+
+    def test_unterminated_raises_with_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("select 'oops")
+        assert excinfo.value.line == 1
+
+    def test_string_keeps_keywords_inside(self):
+        assert kinds("'select'")[0] == (TokenType.STRING, "select")
+
+
+class TestOperatorsAndComments:
+    def test_multi_char_operators(self):
+        values = [v for _, v in kinds("a <= b >= c != d <> e")]
+        assert "<=" in values and ">=" in values and "!=" in values and "<>" in values
+
+    def test_caret_conjunction(self):
+        assert (TokenType.OPERATOR, "^") in kinds("a = 1 ^ b = 2")
+
+    def test_comment_to_end_of_line(self):
+        tokens = kinds("select -- this is ignored\n x")
+        assert (TokenType.IDENTIFIER, "x") in tokens
+        assert all("ignored" not in v for _, v in tokens)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("select !")   # lone ! is not an operator
+
+    def test_positions_tracked(self):
+        tokens = tokenize("select\n  room")
+        room = [t for t in tokens if t.value == "room"][0]
+        assert room.line == 2 and room.column == 3
+
+    def test_is_keyword_helper(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 1, 1)
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("WHERE")
+
+    def test_brackets_for_windows(self):
+        values = [v for _, v in kinds("[RANGE 30 SECONDS]")]
+        assert values == ["[", "RANGE", "30", "SECONDS", "]"]

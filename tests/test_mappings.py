@@ -1,0 +1,176 @@
+"""Tests for schema mappings and query reformulation (paper future work)."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.core import MappingRegistry, MediatedExecution
+from repro.data import DataType, Schema
+from repro.errors import AnalysisError, CatalogError
+from repro.plan import PlanBuilder
+from repro.sql.analyzer import Analyzer
+from repro.stream import StreamEngine
+
+
+@pytest.fixture
+def world():
+    catalog = Catalog()
+    catalog.register_stream(
+        "WsTemps",
+        Schema.of(
+            ("host", DataType.STRING),
+            ("room", DataType.STRING),
+            ("temp_c", DataType.FLOAT),
+        ),
+        rate=1.0,
+    )
+    catalog.register_stream(
+        "RoomTemps",
+        Schema.of(("room", DataType.STRING), ("celsius", DataType.FLOAT)),
+        rate=0.5,
+    )
+    catalog.register_table(
+        "Zones", Schema.of(("room", DataType.STRING), ("zone", DataType.STRING)),
+        cardinality=4,
+    )
+    registry = MappingRegistry(catalog)
+    registry.register(
+        "Temperatures",
+        [
+            "select w.room as location, w.temp_c as celsius from WsTemps w",
+            "select r.room as location, r.celsius from RoomTemps r",
+        ],
+    )
+    return catalog, registry
+
+
+class TestRegistration:
+    def test_schema_derived_from_definitions(self, world):
+        _, registry = world
+        relation = registry.mediated("Temperatures")
+        assert relation.schema.names == ["location", "celsius"]
+        assert len(relation.view_names) == 2
+
+    def test_definitions_become_catalog_views(self, world):
+        catalog, registry = world
+        for view_name in registry.mediated("Temperatures").view_names:
+            assert catalog.has_view(view_name)
+
+    def test_arity_mismatch_rejected(self, world):
+        catalog, registry = world
+        with pytest.raises(AnalysisError, match="columns"):
+            registry.register(
+                "Broken",
+                [
+                    "select w.room as a from WsTemps w",
+                    "select r.room as a, r.celsius as b from RoomTemps r",
+                ],
+            )
+
+    def test_type_mismatch_rejected(self, world):
+        catalog, registry = world
+        with pytest.raises(AnalysisError, match="expected"):
+            registry.register(
+                "Broken2",
+                [
+                    "select w.room as a, w.temp_c as b from WsTemps w",
+                    "select r.room as a, r.room as b from RoomTemps r",
+                ],
+            )
+
+    def test_duplicate_and_clashing_names_rejected(self, world):
+        catalog, registry = world
+        with pytest.raises(CatalogError):
+            registry.register("Temperatures", ["select r.room as x from RoomTemps r"])
+        with pytest.raises(CatalogError):
+            registry.register("WsTemps", ["select r.room as x from RoomTemps r"])
+
+    def test_empty_definitions_rejected(self, world):
+        _, registry = world
+        with pytest.raises(CatalogError):
+            registry.register("Empty", [])
+
+    def test_unknown_mediated(self, world):
+        _, registry = world
+        with pytest.raises(CatalogError, match="Temperatures"):
+            registry.mediated("Nope")
+
+
+class TestReformulation:
+    def test_variant_per_definition(self, world):
+        _, registry = world
+        variants = registry.reformulate(
+            "select t.location from Temperatures t where t.celsius > 24"
+        )
+        assert len(variants) == 2
+        names = {v.tables[0].name for v in variants}
+        assert names == {"_map_Temperatures_0", "_map_Temperatures_1"}
+        # Binding preserved so t.location still resolves.
+        assert all(v.tables[0].binding == "t" for v in variants)
+
+    def test_plain_query_passes_through(self, world):
+        _, registry = world
+        variants = registry.reformulate("select w.host from WsTemps w")
+        assert len(variants) == 1
+
+    def test_joins_with_ordinary_tables_preserved(self, world):
+        catalog, registry = world
+        variants = registry.reformulate(
+            "select t.location, z.zone from Temperatures t, Zones z "
+            "where t.location = z.room"
+        )
+        assert len(variants) == 2
+        for variant in variants:
+            assert variant.tables[1].name == "Zones"
+            assert variant.where is not None
+
+    def test_two_mediated_relations_cross_product_of_choices(self, world):
+        catalog, registry = world
+        registry.register(
+            "Readings",
+            [
+                "select r.room as place from RoomTemps r",
+                "select w.room as place from WsTemps w",
+            ],
+        )
+        count = registry.variant_count(
+            "select t.location from Temperatures t, Readings r "
+            "where t.location = r.place"
+        )
+        assert count == 4
+
+    def test_variants_are_executable(self, world):
+        catalog, registry = world
+        builder = PlanBuilder(catalog)
+        engine = StreamEngine(catalog)
+        analyzer = Analyzer(catalog)
+        variants = registry.reformulate(
+            "select t.location, t.celsius from Temperatures t where t.celsius > 24"
+        )
+        handles = [
+            engine.execute(builder.build_select(analyzer.analyze_select(v)))
+            for v in variants
+        ]
+        mediated = MediatedExecution(handles)
+        engine.push("WsTemps", {"host": "h", "room": "lab1", "temp_c": 26.0}, 1.0)
+        engine.push("RoomTemps", {"room": "lab2", "celsius": 25.0}, 1.0)
+        engine.push("RoomTemps", {"room": "lab3", "celsius": 10.0}, 1.0)
+        locations = {r[0] for r in (tuple(x.values) for x in mediated.results)}
+        assert locations == {"lab1", "lab2"}
+        mediated.stop()
+
+    def test_mediated_over_sensor_sources_still_pushes_in_network(self, catalog):
+        """Mapping definitions over sensor relations keep their
+        federated pushability after reformulation."""
+        from repro.core import FederatedOptimizer
+
+        registry = MappingRegistry(catalog)
+        registry.register(
+            "OpenRooms",
+            ["select sa.room from AreaSensors sa where sa.status = 'open'"],
+        )
+        variants = registry.reformulate("select o.room from OpenRooms o")
+        builder = PlanBuilder(catalog)
+        analyzer = Analyzer(catalog)
+        plan = builder.build_select(analyzer.analyze_select(variants[0]))
+        federated = FederatedOptimizer(catalog).optimize(plan)
+        assert federated.pushed  # the sensor fragment went in-network

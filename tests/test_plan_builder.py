@@ -1,0 +1,174 @@
+"""Unit tests for logical plan construction and predicate placement."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plan import (
+    Aggregate,
+    Join,
+    Limit,
+    OrderBy,
+    Output,
+    PlanBuilder,
+    Project,
+    RecursivePlan,
+    Scan,
+    Select,
+    scans_of,
+)
+from repro.sql import parse
+
+
+def find(plan, kind):
+    return [n for n in plan.walk() if isinstance(n, kind)]
+
+
+class TestStructure:
+    def test_single_table_filter_project(self, builder):
+        plan = builder.build_sql("select t.room from Temps t where t.temp > 30")
+        assert isinstance(plan, Project)
+        select = plan.child
+        assert isinstance(select, Select)
+        assert isinstance(select.child, Scan)
+
+    def test_single_relation_predicates_pushed_to_leaf(self, builder):
+        plan = builder.build_sql(
+            "select p.id from Person p, Machines m "
+            "where p.room = m.room and p.id > 3 and m.software = 'x'"
+        )
+        joins = find(plan, Join)
+        assert len(joins) == 1
+        # Each leaf filter only references its own relation.
+        for select in find(plan, Select):
+            rels = select.predicate.relations()
+            assert len(rels) == 1
+
+    def test_join_predicate_attached_at_join(self, builder):
+        plan = builder.build_sql(
+            "select p.id from Person p, Machines m where p.room = m.room"
+        )
+        join = find(plan, Join)[0]
+        assert join.predicate is not None
+        assert join.predicate.relations() == {"p", "m"}
+
+    def test_no_predicate_below_its_relations(self, builder):
+        """A conjunct must never land where its columns don't exist."""
+        plan = builder.build_sql(
+            "select p.id from Person p, Machines m, Route r "
+            "where r.start = p.room and r.end = m.room and p.needed = m.software"
+        )
+        for select in find(plan, Select):
+            for column in select.predicate.columns():
+                assert select.child.schema.has(column)
+        for join in find(plan, Join):
+            if join.predicate is None:
+                continue
+            for column in join.predicate.columns():
+                assert join.schema.has(column)
+
+    def test_order_limit_output(self, catalog, builder):
+        catalog.register_display("lobby")
+        plan = builder.build_sql(
+            "select p.id from Person p order by p.id limit 3 "
+            "output to display 'lobby' every 2 seconds"
+        )
+        assert isinstance(plan, Output)
+        assert plan.every == 2.0
+        assert isinstance(plan.child, Limit)
+        assert isinstance(plan.child.child, OrderBy)
+
+    def test_scans_of_order(self, builder):
+        plan = builder.build_sql(
+            "select p.id from Person p, Machines m where p.room = m.room"
+        )
+        assert [s.binding for s in scans_of(plan)] == ["p", "m"]
+
+
+class TestViews:
+    def test_view_expanded_inline(self, catalog, builder):
+        view = parse(
+            "create view Open as (select sa.room from AreaSensors sa "
+            "where sa.status = 'open')"
+        )
+        catalog.register_view(view.name, view.query)
+        plan = builder.build_sql("select o.room from Open o")
+        # The view's sensor scan appears in the expanded plan.
+        scans = scans_of(plan)
+        assert [s.entry.name for s in scans] == ["AreaSensors"]
+        # Output is renamed to the outer binding.
+        assert plan.schema.names == ["o.room"]
+
+    def test_view_used_twice_gets_independent_bindings(self, catalog, builder):
+        view = parse("create view V as (select sa.room from AreaSensors sa)")
+        catalog.register_view(view.name, view.query)
+        plan = builder.build_sql(
+            "select a.room, b.room from V a, V b where a.room = b.room"
+        )
+        assert len(scans_of(plan)) == 2
+        assert plan.schema.names == ["a.room", "b.room"]
+
+
+class TestAggregates:
+    def test_aggregate_plan_shape(self, builder):
+        plan = builder.build_sql(
+            "select t.room, avg(t.temp) as avg_t from Temps t group by t.room"
+        )
+        assert isinstance(plan, Project)
+        aggregate = find(plan, Aggregate)[0]
+        assert len(aggregate.aggregates) == 1
+        assert aggregate.schema.names == ["key_0", "agg_0"]
+        assert plan.schema.names == ["t.room", "avg_t"]
+
+    def test_having_becomes_post_aggregate_select(self, builder):
+        plan = builder.build_sql(
+            "select t.room, count(*) as n from Temps t group by t.room "
+            "having count(*) > 2"
+        )
+        aggregate = find(plan, Aggregate)[0]
+        selects_above = [
+            s for s in find(plan, Select) if aggregate in list(s.walk())
+        ]
+        assert selects_above, "HAVING must sit above the Aggregate"
+
+    def test_shared_aggregate_computed_once(self, builder):
+        plan = builder.build_sql(
+            "select count(*) as a, count(*) + 1 as b from Temps t"
+        )
+        aggregate = find(plan, Aggregate)[0]
+        assert len(aggregate.aggregates) == 1  # COUNT(*) deduplicated
+
+    def test_expression_over_aggregates(self, builder):
+        plan = builder.build_sql(
+            "select sum(t.temp) / count(*) as mean from Temps t"
+        )
+        aggregate = find(plan, Aggregate)[0]
+        assert len(aggregate.aggregates) == 2
+        assert plan.schema.names == ["mean"]
+
+    def test_windowed_aggregate_carries_window(self, builder):
+        plan = builder.build_sql(
+            "select t.room, count(*) from Temps t [RANGE 30 SECONDS] group by t.room"
+        )
+        aggregate = find(plan, Aggregate)[0]
+        assert aggregate.window is not None and aggregate.window.size == 30
+
+
+class TestRecursive:
+    def test_recursive_plan(self, builder):
+        plan = builder.build_sql(
+            """
+            WITH RECURSIVE tc(src, dst) AS (
+              SELECT e.src, e.dst FROM Edges e
+              UNION
+              SELECT t.src, e.dst FROM tc t, Edges e WHERE t.dst = e.src
+            ) SELECT src, dst FROM tc WHERE src = 'a'
+            """
+        )
+        assert isinstance(plan, RecursivePlan)
+        assert plan.recursive.cte_schema.names == ["src", "dst"]
+        assert plan.schema.names == ["tc.src", "tc.dst"]
+        assert "CteRef" in plan.explain()
+
+    def test_order_by_non_output_rejected(self, builder):
+        with pytest.raises(PlanError, match="ORDER BY"):
+            builder.build_sql("select p.id from Person p order by p.room")

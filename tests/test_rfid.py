@@ -1,0 +1,117 @@
+"""Tests for RFID beacons, detection and localisation."""
+
+import pytest
+
+from repro.runtime import Simulator
+from repro.sensor import (
+    Beacon,
+    Localizer,
+    Mote,
+    MoteRole,
+    Position,
+    RFIDService,
+    SensorNetwork,
+)
+
+
+@pytest.fixture
+def hallway(simulator):
+    """Base plus three hallway detectors at x = 100, 200, 300."""
+    net = SensorNetwork(simulator)
+    net.add_basestation(Position(200, 0), radio_range=150)
+    for i, x in enumerate((100, 200, 300), start=1):
+        net.add_mote(Mote(i, Position(x, 0), MoteRole.HALLWAY, radio_range=150))
+    net.rebuild_topology()
+    return net
+
+
+class TestDetection:
+    def test_only_detectors_in_range_hear(self, hallway, simulator):
+        sightings = []
+        service = RFIDService(hallway, lambda v, t: sightings.append(v))
+        position = Position(110, 0)
+        service.add_beacon(Beacon(7, lambda: position, period=2.0, tx_range=40))
+        simulator.run_for(2.5)
+        detectors = {s["detector"] for s in sightings}
+        assert detectors == {1}  # only x=100 within 40 ft of x=110
+
+    def test_multiple_detectors_rank_by_rssi(self, hallway, simulator):
+        sightings = []
+        service = RFIDService(hallway, lambda v, t: sightings.append(v))
+        position = Position(180, 0)  # 80 ft from det1, 20 ft from det2
+        service.add_beacon(Beacon(7, lambda: position, period=2.0, tx_range=100))
+        simulator.run_for(2.5)
+        by_detector = {s["detector"]: s["rssi"] for s in sightings}
+        assert by_detector[2] > by_detector[1]
+
+    def test_moving_beacon_changes_detector(self, hallway, simulator):
+        sightings = []
+        service = RFIDService(hallway, lambda v, t: sightings.append((v, t)))
+        state = {"pos": Position(100, 0)}
+        service.add_beacon(Beacon(7, lambda: state["pos"], period=2.0, tx_range=30))
+        simulator.run_for(2.5)
+        state["pos"] = Position(300, 0)
+        simulator.run_for(2.0)
+        detectors = [v["detector"] for v, _ in sightings]
+        assert detectors[0] == 1 and detectors[-1] == 3
+
+    def test_sightings_consume_network_messages(self, hallway, simulator):
+        service = RFIDService(hallway, lambda v, t: None)
+        service.add_beacon(Beacon(7, lambda: Position(100, 0), period=2.0, tx_range=30))
+        before = hallway.stats.transmissions
+        simulator.run_for(2.5)
+        assert hallway.stats.transmissions > before
+
+    def test_stop_halts_transmissions(self, hallway, simulator):
+        service = RFIDService(hallway, lambda v, t: None)
+        beacon = service.add_beacon(
+            Beacon(7, lambda: Position(100, 0), period=2.0, tx_range=30)
+        )
+        simulator.run_for(2.5)
+        count = beacon.transmissions
+        service.stop()
+        simulator.run_for(10.0)
+        assert beacon.transmissions == count
+
+
+class TestLocalizer:
+    POSITIONS = {1: Position(100, 0), 2: Position(200, 0), 3: Position(300, 0)}
+
+    def test_strongest_recent_detector_wins(self):
+        localizer = Localizer(self.POSITIONS, horizon=5.0)
+        localizer.observe({"detector": 1, "beacon": 7, "rssi": -60.0}, time=1.0)
+        localizer.observe({"detector": 2, "beacon": 7, "rssi": -40.0}, time=1.5)
+        assert localizer.locate(7, now=2.0) == Position(200, 0)
+        assert localizer.strongest_detector(7, now=2.0) == 2
+
+    def test_stale_sightings_expire(self):
+        localizer = Localizer(self.POSITIONS, horizon=5.0)
+        localizer.observe({"detector": 1, "beacon": 7, "rssi": -40.0}, time=1.0)
+        assert localizer.locate(7, now=10.0) is None
+
+    def test_unseen_beacon(self):
+        localizer = Localizer(self.POSITIONS)
+        assert localizer.locate(99, now=0.0) is None
+        assert localizer.strongest_detector(99, now=0.0) is None
+
+    def test_per_beacon_isolation(self):
+        localizer = Localizer(self.POSITIONS)
+        localizer.observe({"detector": 1, "beacon": 7, "rssi": -40.0}, time=1.0)
+        localizer.observe({"detector": 3, "beacon": 8, "rssi": -40.0}, time=1.0)
+        assert localizer.locate(7, now=2.0) == Position(100, 0)
+        assert localizer.locate(8, now=2.0) == Position(300, 0)
+
+    def test_ties_broken_by_recency(self):
+        localizer = Localizer(self.POSITIONS)
+        localizer.observe({"detector": 1, "beacon": 7, "rssi": -40.0}, time=1.0)
+        localizer.observe({"detector": 2, "beacon": 7, "rssi": -40.0}, time=2.0)
+        assert localizer.strongest_detector(7, now=3.0) == 2
+
+
+class TestEndToEndLocalisation:
+    def test_detect_then_locate(self, hallway, simulator):
+        localizer = Localizer(TestLocalizer.POSITIONS, horizon=6.0)
+        service = RFIDService(hallway, lambda v, t: localizer.observe(v, t))
+        service.add_beacon(Beacon(7, lambda: Position(195, 0), period=2.0, tx_range=50))
+        simulator.run_for(3.0)
+        assert localizer.locate(7, simulator.now) == Position(200, 0)

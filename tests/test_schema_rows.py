@@ -1,0 +1,172 @@
+"""Unit tests for schemas and rows."""
+
+import pytest
+
+from repro.data import DataType, Field, Row, Schema
+from repro.errors import SchemaError, TypeMismatchError, UnknownFieldError
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.of(
+        ("room", DataType.STRING),
+        ("desk", DataType.STRING),
+        ("temp", DataType.FLOAT),
+    )
+
+
+class TestField:
+    def test_bare_and_qualifier(self):
+        field = Field("ss.room", DataType.STRING)
+        assert field.bare_name == "room"
+        assert field.qualifier == "ss"
+
+    def test_unqualified_field(self):
+        field = Field("room", DataType.STRING)
+        assert field.bare_name == "room"
+        assert field.qualifier is None
+
+    def test_qualified_copy(self):
+        field = Field("room", DataType.STRING).qualified("sa")
+        assert field.name == "sa.room"
+
+    def test_requalify_strips_old_qualifier(self):
+        field = Field("ss.room", DataType.STRING).qualified("O")
+        assert field.name == "O.room"
+
+    def test_renamed(self):
+        field = Field("room", DataType.STRING).renamed("location")
+        assert field.name == "location" and field.dtype is DataType.STRING
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("", DataType.INT)
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", DataType.INT), ("a", DataType.INT))
+
+    def test_lookup_by_bare_and_full(self, schema):
+        qualified = schema.qualified("t")
+        assert qualified.index_of("t.room") == 0
+        assert qualified.index_of("room") == 0
+        assert qualified.dtype("temp") is DataType.FLOAT
+
+    def test_unknown_field(self, schema):
+        with pytest.raises(UnknownFieldError) as excinfo:
+            schema.index_of("missing")
+        assert "room" in str(excinfo.value)  # lists available fields
+
+    def test_ambiguous_bare_name(self):
+        joined = Schema.of(("a.room", DataType.STRING), ("b.room", DataType.STRING))
+        with pytest.raises(SchemaError, match="ambiguous"):
+            joined.index_of("room")
+        # Qualified lookup still works.
+        assert joined.index_of("a.room") == 0
+
+    def test_concat(self, schema):
+        left = schema.qualified("l")
+        right = schema.qualified("r")
+        combined = left.concat(right)
+        assert len(combined) == 6
+        assert combined.index_of("r.temp") == 5
+
+    def test_concat_duplicate_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.concat(schema)
+
+    def test_project_preserves_order(self, schema):
+        projected = schema.project(["temp", "room"])
+        assert projected.names == ["temp", "room"]
+
+    def test_unqualified(self, schema):
+        assert schema.qualified("x").unqualified() == schema
+
+    def test_unqualified_collision_raises(self):
+        joined = Schema.of(("a.room", DataType.STRING), ("b.room", DataType.STRING))
+        with pytest.raises(SchemaError):
+            joined.unqualified()
+
+    def test_has(self, schema):
+        assert schema.has("room")
+        assert not schema.has("nope")
+
+    def test_row_size_bytes(self, schema):
+        assert schema.row_size_bytes() == 16 + 16 + 4
+
+    def test_equality_and_hash(self, schema):
+        again = Schema.of(
+            ("room", DataType.STRING),
+            ("desk", DataType.STRING),
+            ("temp", DataType.FLOAT),
+        )
+        assert schema == again and hash(schema) == hash(again)
+        assert schema != schema.qualified("q")
+
+
+class TestRow:
+    def test_construction_validates(self, schema):
+        with pytest.raises(TypeMismatchError):
+            Row(schema, ("lab1", "d1", "hot"))
+
+    def test_arity_checked(self, schema):
+        with pytest.raises(SchemaError):
+            Row(schema, ("lab1", "d1"))
+
+    def test_getitem_by_name_and_index(self, schema):
+        row = Row(schema, ("lab1", "d1", 22.5))
+        assert row["room"] == "lab1"
+        assert row[2] == 22.5
+
+    def test_get_with_default(self, schema):
+        row = Row(schema, ("lab1", "d1", 22.5))
+        assert row.get("nope", "fallback") == "fallback"
+
+    def test_from_mapping_bare_names(self, schema):
+        qualified = schema.qualified("t")
+        row = Row.from_mapping(qualified, {"room": "lab1", "desk": "d1", "temp": 20.0})
+        assert row["t.room"] == "lab1"
+
+    def test_from_mapping_missing_raises(self, schema):
+        with pytest.raises(SchemaError):
+            Row.from_mapping(schema, {"room": "lab1"})
+
+    def test_project(self, schema):
+        row = Row(schema, ("lab1", "d1", 22.5)).project(["temp"])
+        assert row.values == (22.5,)
+        assert row.schema.names == ["temp"]
+
+    def test_concat(self, schema):
+        left = Row(schema.qualified("l"), ("lab1", "d1", 20.0))
+        right = Row(schema.qualified("r"), ("lab2", "d2", 25.0))
+        joined = left.concat(right)
+        assert joined["l.room"] == "lab1" and joined["r.room"] == "lab2"
+        assert len(joined) == 6
+
+    def test_replace(self, schema):
+        row = Row(schema, ("lab1", "d1", 20.0)).replace(temp=30.0)
+        assert row["temp"] == 30.0 and row["room"] == "lab1"
+
+    def test_equality_and_hash(self, schema):
+        a = Row(schema, ("lab1", "d1", 20.0))
+        b = Row(schema, ("lab1", "d1", 20.0))
+        assert a == b and hash(a) == hash(b)
+        assert a != Row(schema, ("lab1", "d1", 21.0))
+
+    def test_rows_usable_in_sets(self, schema):
+        rows = {Row(schema, ("lab1", "d1", 20.0)), Row(schema, ("lab1", "d1", 20.0))}
+        assert len(rows) == 1
+
+    def test_contains(self, schema):
+        row = Row(schema, ("lab1", "d1", 20.0))
+        assert "room" in row and "zzz" not in row
+
+    def test_as_dict(self, schema):
+        row = Row(schema, ("lab1", "d1", 20.0))
+        assert row.as_dict() == {"room": "lab1", "desk": "d1", "temp": 20.0}
+
+    def test_null_values_allowed(self, schema):
+        row = Row(schema, (None, "d1", None))
+        assert row["room"] is None

@@ -1,0 +1,200 @@
+"""Tests for in-network query execution: collection, aggregation, joins."""
+
+import pytest
+
+from repro.data import DataType, Schema
+from repro.sensor import (
+    JoinPair,
+    JoinStrategy,
+    SensorEngine,
+    SensorRelation,
+)
+from repro.sql.expressions import BinaryOp, ColumnRef, Literal
+
+TEMPS_SCHEMA = Schema.of(("node", DataType.INT), ("temp", DataType.FLOAT))
+
+
+@pytest.fixture
+def sensor_engine(line_network):
+    results = []
+    engine = SensorEngine(
+        line_network, on_result=lambda n, v, t: results.append((n, v, t))
+    )
+    engine.results = results  # test-side handle
+    engine.register_relation(
+        SensorRelation(
+            "Temps",
+            TEMPS_SCHEMA,
+            [1, 2, 3, 4, 5],
+            lambda m: {"node": m.mote_id, "temp": m.sample("temp")},
+            period=10.0,
+        )
+    )
+    return engine
+
+
+class TestCollection:
+    def test_all_tuples_collected_without_predicate(self, sensor_engine, simulator):
+        sensor_engine.deploy_collection("Temps")
+        simulator.run_until(11.0)
+        nodes = sorted(v["node"] for _, v, _ in sensor_engine.results)
+        assert nodes == [1, 2, 3, 4, 5]
+
+    def test_predicate_filters_at_mote(self, sensor_engine, line_network, simulator):
+        predicate = BinaryOp(">", ColumnRef("temp"), Literal(23.5))
+        before = line_network.stats.snapshot()
+        sensor_engine.deploy_collection("Temps", predicate)
+        simulator.run_until(11.0)
+        nodes = sorted(v["node"] for _, v, _ in sensor_engine.results)
+        assert nodes == [4, 5]  # temps 24, 25
+        # Filtering happened before transmission: fewer messages than
+        # collecting everything (Σ hops = 15 without filter).
+        assert line_network.stats.delta(before).transmissions < 15
+
+    def test_key_prefix_qualifies_tuples(self, sensor_engine, simulator):
+        sensor_engine.deploy_collection("Temps", key_prefix="t")
+        simulator.run_until(11.0)
+        _, values, _ = sensor_engine.results[0]
+        assert set(values) == {"t.node", "t.temp"}
+
+    def test_delivery_timestamp_is_sample_time(self, sensor_engine, simulator):
+        sensor_engine.deploy_collection("Temps")
+        simulator.run_until(11.0)
+        assert all(t == 10.0 for _, _, t in sensor_engine.results)
+
+    def test_stop_halts_epochs(self, sensor_engine, simulator):
+        deployed = sensor_engine.deploy_collection("Temps")
+        simulator.run_until(11.0)
+        first = len(sensor_engine.results)
+        deployed.stop()
+        simulator.run_until(31.0)
+        assert len(sensor_engine.results) == first
+
+    def test_dead_mote_skips_epoch(self, sensor_engine, line_network, simulator):
+        mote = line_network.motes[5]
+        mote.battery.spend(mote.battery.capacity_mj + 1, "idle")
+        sensor_engine.deploy_collection("Temps")
+        simulator.run_until(11.0)
+        nodes = sorted(v["node"] for _, v, _ in sensor_engine.results)
+        assert 5 not in nodes
+
+
+class TestAggregation:
+    @pytest.mark.parametrize(
+        "aggregate,expected",
+        [("AVG", 23.0), ("SUM", 115.0), ("MIN", 21.0), ("MAX", 25.0), ("COUNT", 5.0)],
+    )
+    def test_aggregates_correct(self, sensor_engine, simulator, aggregate, expected):
+        sensor_engine.deploy_aggregation("Temps", "temp", aggregate)
+        simulator.run_until(10.5)
+        name, values, _ = sensor_engine.results[-1]
+        assert values["value"] == pytest.approx(expected)
+        assert values["count"] == 5
+
+    def test_unsupported_aggregate_rejected(self, sensor_engine):
+        from repro.errors import SensorNetworkError
+
+        with pytest.raises(SensorNetworkError):
+            sensor_engine.deploy_aggregation("Temps", "temp", "MEDIAN")
+
+    def test_message_count_one_per_tree_edge(self, sensor_engine, line_network, simulator):
+        sensor_engine.deploy_aggregation("Temps", "temp", "AVG")
+        before = line_network.stats.snapshot()
+        simulator.run_until(10.5)
+        delta = line_network.stats.delta(before)
+        # Line of 5 motes: exactly 5 PSR transmissions (plus possible retries).
+        assert 5 <= delta.transmissions <= 8
+
+    def test_aggregation_cheaper_than_collection(self, sensor_engine, line_network, simulator):
+        """TAG's point: tree aggregation sends one PSR per edge; raw
+        collection pays full depth per tuple."""
+        agg = sensor_engine.deploy_aggregation("Temps", "temp", "AVG")
+        before = line_network.stats.snapshot()
+        simulator.run_until(10.5)
+        agg_msgs = line_network.stats.delta(before).transmissions
+        agg.stop()
+        sensor_engine.deploy_collection("Temps")
+        before = line_network.stats.snapshot()
+        simulator.run_until(22.0)  # epoch at 20.5 plus multihop relays
+        collect_msgs = line_network.stats.delta(before).transmissions
+        assert agg_msgs < collect_msgs
+
+
+class TestJoins:
+    def predicate(self):
+        # right side's temp below threshold (like the light-level check)
+        return BinaryOp("<", ColumnRef("r.temp"), Literal(23.5))
+
+    def deploy(self, sensor_engine, strategy, pairs=None):
+        pairs = pairs or [JoinPair(4, 1, strategy), JoinPair(5, 2, strategy)]
+        return sensor_engine.deploy_join(
+            "Temps",
+            "Temps",
+            pairs,
+            self.predicate(),
+            target_name="joined",
+            left_prefix="l",
+            right_prefix="r",
+        )
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [JoinStrategy.AT_BASE, JoinStrategy.AT_LEFT, JoinStrategy.AT_RIGHT],
+    )
+    def test_join_semantics_identical_across_strategies(
+        self, sensor_engine, simulator, strategy
+    ):
+        self.deploy(sensor_engine, strategy)
+        simulator.run_until(12.0)
+        rows = [v for n, v, _ in sensor_engine.results if n == "joined"]
+        # Both pairs pass: right temps are 21 and 22 (< 23.5).
+        assert len(rows) == 2
+        assert {r["l.node"] for r in rows} == {4, 5}
+        assert all(set(r) == {"l.node", "l.temp", "r.node", "r.temp"} for r in rows)
+
+    def test_local_join_filters_before_uplink(self, sensor_engine, line_network, simulator):
+        # Predicate failing for every pair: local strategies send almost
+        # nothing to the base.
+        predicate = BinaryOp("<", ColumnRef("r.temp"), Literal(0.0))
+        sensor_engine.deploy_join(
+            "Temps", "Temps",
+            [JoinPair(4, 5, JoinStrategy.AT_RIGHT)],
+            predicate,
+            target_name="never",
+            left_prefix="l", right_prefix="r",
+        )
+        before = line_network.stats.snapshot()
+        simulator.run_until(11.0)
+        delta = line_network.stats.delta(before)
+        # Only the 1-hop ship between neighbors 4→5; no uplink.
+        assert delta.transmissions <= 2
+        assert not [v for n, v, _ in sensor_engine.results if n == "never"]
+
+    def test_at_base_sends_both_sides_up(self, sensor_engine, line_network, simulator):
+        sensor_engine.deploy_join(
+            "Temps", "Temps",
+            [JoinPair(4, 5, JoinStrategy.AT_BASE)],
+            None,
+            target_name="allup",
+            left_prefix="l", right_prefix="r",
+        )
+        before = line_network.stats.snapshot()
+        simulator.run_until(11.0)
+        delta = line_network.stats.delta(before)
+        # 4 hops + 5 hops = 9 transmissions minimum.
+        assert delta.transmissions >= 9
+        assert [v for n, v, _ in sensor_engine.results if n == "allup"]
+
+    def test_unknown_relation_rejected(self, sensor_engine):
+        from repro.errors import SensorNetworkError
+
+        with pytest.raises(SensorNetworkError, match="unknown sensor relation"):
+            sensor_engine.deploy_collection("Nope")
+
+    def test_duplicate_relation_rejected(self, sensor_engine):
+        from repro.errors import SensorNetworkError
+
+        with pytest.raises(SensorNetworkError, match="already registered"):
+            sensor_engine.register_relation(
+                SensorRelation("Temps", TEMPS_SCHEMA, [1], lambda m: {}, 1.0)
+            )

@@ -1,0 +1,210 @@
+"""Tests for motes, batteries, radios and the sensor network."""
+
+import pytest
+
+from repro.errors import EnergyExhaustedError, SensorNetworkError
+from repro.runtime import Simulator
+from repro.sensor import (
+    Battery,
+    DEFAULT_ENERGY_MODEL,
+    LinkQuality,
+    Mote,
+    MoteRole,
+    Position,
+    RadioModel,
+    SensorNetwork,
+)
+
+
+class TestBattery:
+    def test_spend_tracks_categories(self):
+        battery = Battery(100.0)
+        battery.spend(10.0, "tx")
+        battery.spend(5.0, "tx")
+        battery.spend(1.0, "cpu")
+        assert battery.spent("tx") == 15.0
+        assert battery.spent() == 16.0
+        assert battery.remaining_mj == 84.0
+
+    def test_depletion_raises(self):
+        battery = Battery(1.0)
+        battery.spend(1.5, "tx")  # allowed to overdraw once
+        with pytest.raises(EnergyExhaustedError):
+            battery.spend(0.1, "tx")
+        assert battery.depleted
+
+    def test_negative_spend_rejected(self):
+        with pytest.raises(ValueError):
+            Battery(1.0).spend(-1.0, "tx")
+
+    def test_fraction_remaining(self):
+        battery = Battery(100.0)
+        battery.spend(25.0, "rx")
+        assert battery.fraction_remaining == pytest.approx(0.75)
+
+
+class TestEnergyModel:
+    def test_tx_costs_more_than_rx(self):
+        assert DEFAULT_ENERGY_MODEL.tx_cost(20) > DEFAULT_ENERGY_MODEL.rx_cost(20)
+
+    def test_cost_grows_with_payload(self):
+        assert DEFAULT_ENERGY_MODEL.tx_cost(100) > DEFAULT_ENERGY_MODEL.tx_cost(10)
+
+
+class TestMote:
+    def test_sampling_costs_energy(self):
+        mote = Mote(1, Position(0, 0), MoteRole.SEAT)
+        mote.attach_sensor("light", lambda: 700.0)
+        before = mote.battery.remaining_mj
+        assert mote.sample("light") == 700.0
+        assert mote.battery.remaining_mj < before
+        assert mote.samples_taken == 1
+
+    def test_missing_sensor(self):
+        mote = Mote(1, Position(0, 0), MoteRole.SEAT)
+        with pytest.raises(SensorNetworkError, match="light"):
+            mote.sample("light")
+
+    def test_can_hear_range(self):
+        a = Mote(1, Position(0, 0), MoteRole.SEAT, radio_range=100)
+        b = Mote(2, Position(99, 0), MoteRole.SEAT, radio_range=100)
+        c = Mote(3, Position(101, 0), MoteRole.SEAT, radio_range=100)
+        assert a.can_hear(b) and not a.can_hear(c)
+
+    def test_basestation_effectively_infinite_battery(self):
+        base = Mote(0, Position(0, 0), MoteRole.BASESTATION)
+        assert base.battery.capacity_mj >= 1e11
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(SensorNetworkError):
+            Mote(-1, Position(0, 0), MoteRole.SEAT)
+
+
+class TestRadioModel:
+    def test_inner_disc_lossless(self):
+        radio = RadioModel(reliable_fraction=0.5)
+        a = Mote(1, Position(0, 0), MoteRole.SEAT, radio_range=100)
+        b = Mote(2, Position(40, 0), MoteRole.SEAT, radio_range=100)
+        link = radio.link(a, b)
+        assert link.delivery_probability == 1.0
+        assert link.expected_transmissions == 1.0
+
+    def test_degrades_toward_edge(self):
+        radio = RadioModel(reliable_fraction=0.5, floor_probability=0.6)
+        a = Mote(1, Position(0, 0), MoteRole.SEAT, radio_range=100)
+        near = Mote(2, Position(60, 0), MoteRole.SEAT)
+        far = Mote(3, Position(99, 0), MoteRole.SEAT)
+        assert radio.link(a, near).delivery_probability > radio.link(a, far).delivery_probability
+        assert radio.link(a, far).delivery_probability >= 0.6
+
+    def test_out_of_range_is_none(self):
+        radio = RadioModel()
+        a = Mote(1, Position(0, 0), MoteRole.SEAT, radio_range=100)
+        b = Mote(2, Position(150, 0), MoteRole.SEAT)
+        assert radio.link(a, b) is None
+
+    def test_rssi_decreases_with_distance(self):
+        radio = RadioModel()
+        a = Mote(1, Position(0, 0), MoteRole.BEACON, radio_range=100)
+        near = Mote(2, Position(10, 0), MoteRole.HALLWAY)
+        far = Mote(3, Position(80, 0), MoteRole.HALLWAY)
+        assert radio.rssi(a, near) > radio.rssi(a, far)
+
+    def test_expected_transmissions_infinite_at_zero(self):
+        assert LinkQuality(1.0, 0.0).expected_transmissions == float("inf")
+
+
+class TestTopology:
+    def test_collection_tree_depths(self, line_network):
+        for i in range(1, 6):
+            assert line_network.hops_to_base(i) == i
+        assert line_network.diameter == 5
+
+    def test_parents_point_toward_base(self, line_network):
+        for i in range(2, 6):
+            assert line_network.parent_of(i) == i - 1
+        assert line_network.parent_of(1) == 0
+
+    def test_basestation_has_no_parent(self, line_network):
+        with pytest.raises(SensorNetworkError):
+            line_network.parent_of(0)
+
+    def test_children(self, line_network):
+        assert line_network.children_of(0) == [1]
+        assert line_network.children_of(5) == []
+
+    def test_route_between_arbitrary_motes(self, line_network):
+        assert line_network.route(2, 5) == [2, 3, 4, 5]
+        assert line_network.route(3, 3) == [3]
+
+    def test_disconnected_mote_detected(self, simulator):
+        net = SensorNetwork(simulator)
+        net.add_basestation(Position(0, 0))
+        net.add_mote(Mote(1, Position(1000, 0), MoteRole.SEAT))
+        net.rebuild_topology()
+        assert not net.is_connected()
+        with pytest.raises(SensorNetworkError, match="disconnected"):
+            net.hops_to_base(1)
+
+    def test_duplicate_mote_id_rejected(self, line_network):
+        with pytest.raises(SensorNetworkError):
+            line_network.add_mote(Mote(1, Position(0, 0), MoteRole.SEAT))
+
+    def test_missing_basestation(self, simulator):
+        net = SensorNetwork(simulator)
+        net.add_mote(Mote(1, Position(0, 0), MoteRole.SEAT))
+        with pytest.raises(SensorNetworkError, match="basestation"):
+            net.basestation
+
+
+class TestMessaging:
+    def test_delivery_charges_both_ends(self, line_network, simulator):
+        delivered = []
+        line_network.send(2, 0, 10, "hello", lambda p, t: delivered.append((p, t)))
+        simulator.run_for(1.0)
+        assert delivered and delivered[0][0] == "hello"
+        assert line_network.motes[2].messages_sent >= 1
+        assert line_network.motes[1].messages_received >= 1
+        assert line_network.motes[1].messages_sent >= 1  # relay
+
+    def test_latency_proportional_to_hops(self, line_network, simulator):
+        times = {}
+        line_network.send(1, 0, 10, "near", lambda p, t: times.__setitem__("near", t))
+        line_network.send(5, 0, 10, "far", lambda p, t: times.__setitem__("far", t))
+        simulator.run_for(2.0)
+        assert times["far"] > times["near"]
+
+    def test_send_to_base_follows_tree(self, line_network, simulator):
+        got = []
+        line_network.send_to_base(4, 8, {"v": 1}, lambda p, t: got.append(p))
+        simulator.run_for(1.0)
+        assert got == [{"v": 1}]
+        assert line_network.stats.deliveries >= 4
+
+    def test_same_node_delivery_is_immediate(self, line_network, simulator):
+        got = []
+        line_network.send(0, 0, 5, "self", lambda p, t: got.append(t))
+        assert got == [simulator.now]
+
+    def test_stats_snapshot_delta(self, line_network, simulator):
+        before = line_network.stats.snapshot()
+        line_network.send(3, 0, 10)
+        simulator.run_for(1.0)
+        delta = line_network.stats.delta(before)
+        assert delta.transmissions >= 3
+        assert delta.bytes_transmitted > 0
+
+    def test_dead_sender_drops(self, line_network, simulator):
+        mote = line_network.motes[3]
+        mote.battery.spend(mote.battery.capacity_mj + 1, "tx")
+        before_drops = line_network.stats.drops
+        line_network.send(3, 0, 10)
+        simulator.run_for(1.0)
+        assert line_network.stats.drops > before_drops
+
+    def test_total_energy_excludes_basestation(self, line_network, simulator):
+        line_network.send(5, 0, 10)
+        simulator.run_for(1.0)
+        total = line_network.total_energy_spent()
+        assert total > 0
+        assert line_network.min_battery_fraction() < 1.0

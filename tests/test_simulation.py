@@ -1,0 +1,157 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime import Simulator, Trace
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_equal_timestamps(self):
+        sim = Simulator()
+        order = []
+        for label in "abc":
+            sim.schedule(1.0, lambda label=label: order.append(label))
+        sim.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_run_until_target(self):
+        sim = Simulator()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule(5.0, lambda: None)
+
+    def test_cannot_run_backwards(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_events_scheduled_during_execution_run(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.schedule_in(1.0, lambda: seen.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run_until(5.0)
+        assert seen == ["first", "second"]
+
+    def test_boundary_event_included(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(1))
+        sim.run_until(5.0)
+        assert seen == [1]
+
+    def test_cancellation(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, lambda: seen.append(1))
+        handle.cancel()
+        sim.run_until(2.0)
+        assert seen == [] and handle.cancelled
+
+    def test_run_all_guards_against_runaway(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule_in(0.1, reschedule)
+
+        sim.schedule_in(0.1, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run_all(max_events=100)
+
+    def test_pending_count(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        handle.cancel()
+        assert sim.pending == 1
+
+
+class TestPeriodicTasks:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(10.0, lambda: ticks.append(sim.now))
+        sim.run_until(35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_custom_first_fire(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(10.0, lambda: ticks.append(sim.now), first_fire=2.0)
+        sim.run_until(25.0)
+        assert ticks == [2.0, 12.0, 22.0]
+
+    def test_stop(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.schedule_periodic(10.0, lambda: ticks.append(sim.now))
+        sim.run_until(15.0)
+        task.stop()
+        sim.run_until(50.0)
+        assert ticks == [10.0]
+        assert task.fire_count == 1
+
+    def test_zero_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_periodic(0.0, lambda: None)
+
+
+class TestDeterminism:
+    def test_same_seed_same_randoms(self):
+        a, b = Simulator(seed=5), Simulator(seed=5)
+        assert [a.rng.random() for _ in range(10)] == [b.rng.random() for _ in range(10)]
+
+    def test_different_seed_differs(self):
+        a, b = Simulator(seed=5), Simulator(seed=6)
+        assert a.rng.random() != b.rng.random()
+
+
+class TestTrace:
+    def test_categories_and_counts(self):
+        trace = Trace()
+        trace.log(1.0, "net.drop", {"x": 1})
+        trace.log(2.0, "net.drop", {"x": 2})
+        trace.log(3.0, "fix", "lobby")
+        assert trace.count("net.drop") == 2
+        assert [r.payload for r in trace.category("fix")] == ["lobby"]
+
+    def test_between(self):
+        trace = Trace()
+        for t in (1.0, 2.0, 3.0):
+            trace.log(t, "tick", t)
+        records = trace.between(1.5, 3.0)
+        assert [r.time for r in records] == [2.0]
+
+    def test_clear_and_len(self):
+        trace = Trace()
+        trace.log(1.0, "a", None)
+        assert len(trace) == 1
+        trace.clear()
+        assert len(trace) == 0

@@ -1,0 +1,138 @@
+"""Integration tests for the stream engine facade."""
+
+import pytest
+
+from repro.data import DataType, Row, Schema
+from repro.errors import ExecutionError
+from repro.plan.logical import RemoteSource
+from repro.stream import StreamEngine
+
+
+class TestTables:
+    def test_load_and_read_back(self, catalog, engine):
+        engine.load_table("Machines", [
+            {"host": "h1", "room": "lab1", "desk": "d1", "software": "Fedora"},
+        ])
+        assert len(engine.table_rows("Machines")) == 1
+
+    def test_load_stream_as_table_rejected(self, catalog, engine):
+        with pytest.raises(ExecutionError, match="stream"):
+            engine.load_table("Temps", [])
+
+    def test_table_replayed_into_new_query(self, catalog, builder, engine):
+        engine.load_table("Machines", [
+            {"host": "h1", "room": "lab1", "desk": "d1", "software": "Fedora"},
+        ])
+        handle = engine.execute(builder.build_sql("select m.host from Machines m"))
+        assert [r["m.host"] for r in handle.results] == ["h1"]
+
+    def test_table_loaded_after_query_start_still_arrives(self, catalog, builder, engine):
+        handle = engine.execute(builder.build_sql("select m.host from Machines m"))
+        engine.load_table("Machines", [
+            {"host": "h2", "room": "lab1", "desk": "d1", "software": "X"},
+        ])
+        assert [r["m.host"] for r in handle.results] == ["h2"]
+
+
+class TestStreams:
+    def test_push_routes_to_matching_scans_only(self, catalog, builder, engine):
+        temps = engine.execute(builder.build_sql("select t.temp from Temps t"))
+        people = engine.execute(builder.build_sql("select p.id from Person p"))
+        engine.push("Temps", {"room": "lab1", "temp": 20.0}, 1.0)
+        assert len(temps.results) == 1
+        assert len(people.results) == 0
+
+    def test_mapping_coerced_against_schema(self, catalog, engine, builder):
+        handle = engine.execute(builder.build_sql("select t.temp from Temps t"))
+        with pytest.raises(Exception):
+            engine.push("Temps", {"room": "lab1"}, 1.0)  # missing field
+
+    def test_stop_detaches_query(self, catalog, builder, engine):
+        handle = engine.execute(builder.build_sql("select t.temp from Temps t"))
+        engine.stop(handle)
+        engine.push("Temps", {"room": "lab1", "temp": 20.0}, 1.0)
+        assert len(handle.results) == 0
+        assert handle not in engine.running_queries
+
+    def test_punctuate_specific_sources(self, catalog, builder, engine):
+        handle = engine.execute(
+            builder.build_sql("select t.room, count(*) as n from Temps t group by t.room")
+        )
+        engine.push("Temps", {"room": "a", "temp": 1.0}, 1.0)
+        engine.punctuate(5.0, sources=["Person"])  # wrong source: no emission
+        assert len(handle.results) == 0
+        engine.punctuate(5.0, sources=["Temps"])
+        assert len(handle.results) == 1
+
+    def test_latest_batch(self, catalog, builder, engine):
+        handle = engine.execute(builder.build_sql("select t.temp from Temps t"))
+        engine.push("Temps", {"room": "a", "temp": 1.0}, 1.0)
+        engine.punctuate(2.0)
+        engine.push("Temps", {"room": "a", "temp": 2.0}, 3.0)
+        assert [r["t.temp"] for r in handle.latest_batch()] == [2.0]
+
+
+class TestRemoteSources:
+    def test_push_remote_feeds_remote_ports(self, catalog, engine):
+        schema = Schema.of(("O.room", DataType.STRING), ("O.desk", DataType.STRING))
+        plan = RemoteSource("remote_x", schema, rate=1.0)
+        handle = engine.execute(plan)
+        engine.push_remote("remote_x", {"room": "lab1", "desk": "d1"}, 1.0)
+        assert handle.results[0]["O.room"] == "lab1"
+
+    def test_push_remote_accepts_rows(self, catalog, engine):
+        schema = Schema.of(("O.room", DataType.STRING),)
+        plan = RemoteSource("remote_y", schema, rate=1.0)
+        handle = engine.execute(plan)
+        engine.push_remote("remote_y", Row(schema, ("lab2",)), 1.0)
+        assert handle.results[0]["O.room"] == "lab2"
+
+    def test_missing_field_rejected(self, catalog, engine):
+        schema = Schema.of(("O.room", DataType.STRING),)
+        plan = RemoteSource("remote_z", schema, rate=1.0)
+        engine.execute(plan)
+        with pytest.raises(ExecutionError, match="missing field"):
+            engine.push_remote("remote_z", {"wrong": 1}, 1.0)
+
+
+class TestEndToEnd:
+    def test_stream_table_join(self, catalog, builder, engine):
+        engine.load_table("Machines", [
+            {"host": "h1", "room": "lab1", "desk": "d1", "software": "Fedora"},
+            {"host": "h2", "room": "lab2", "desk": "d1", "software": "Word"},
+        ])
+        plan = builder.build_sql(
+            "select t.temp, m.host from Temps t, Machines m where t.room = m.room"
+        )
+        handle = engine.execute(plan)
+        engine.push("Temps", {"room": "lab1", "temp": 30.0}, 1.0)
+        engine.push("Temps", {"room": "lab9", "temp": 30.0}, 1.0)
+        assert [r["m.host"] for r in handle.results] == ["h1"]
+
+    def test_windowed_join_expires_rows(self, catalog, builder, engine):
+        plan = builder.build_sql(
+            "select a.temp, b.temp from Temps a [RANGE 5 SECONDS], "
+            "Temps b [RANGE 5 SECONDS] where a.room = b.room"
+        )
+        handle = engine.execute(plan)
+        engine.push("Temps", {"room": "x", "temp": 1.0}, 0.0)
+        engine.punctuate(100.0)
+        engine.push("Temps", {"room": "x", "temp": 2.0}, 100.0)
+        # Self-join sees each element on both sides; the old element must
+        # not join the new one across the expired window.
+        pairs = {(r["a.temp"], r["b.temp"]) for r in handle.results}
+        assert (1.0, 2.0) not in pairs and (2.0, 1.0) not in pairs
+
+    def test_three_way_join_with_aggregation(self, catalog, builder, engine):
+        engine.load_table("Machines", [
+            {"host": "h1", "room": "lab1", "desk": "d1", "software": "Fedora"},
+            {"host": "h2", "room": "lab1", "desk": "d2", "software": "Word"},
+        ])
+        plan = builder.build_sql(
+            "select m.room, count(*) as n from Temps t, Machines m "
+            "where t.room = m.room group by m.room"
+        )
+        handle = engine.execute(plan)
+        engine.push("Temps", {"room": "lab1", "temp": 20.0}, 1.0)
+        engine.punctuate(2.0)
+        assert handle.results[0]["n"] == 2  # one reading × two machines

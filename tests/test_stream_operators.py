@@ -1,0 +1,336 @@
+"""Unit tests for the stream engine's physical operators."""
+
+import pytest
+
+from repro.data import (
+    CollectingConsumer,
+    DataType,
+    Punctuation,
+    Row,
+    Schema,
+    StreamElement,
+    WindowSpec,
+)
+from repro.sql.ast import OrderItem
+from repro.sql.expressions import AggregateCall, BinaryOp, ColumnRef, Literal
+from repro.stream.operators import (
+    AggregateOp,
+    DistinctOp,
+    FilterOp,
+    LimitOp,
+    OrderByOp,
+    OutputOp,
+    ProjectOp,
+    SymmetricHashJoin,
+)
+
+XY = Schema.of(("x", DataType.INT), ("y", DataType.STRING))
+
+
+def element(x: int, y: str, ts: float) -> StreamElement:
+    return StreamElement(Row(XY, (x, y)), ts)
+
+
+class TestFilter:
+    def test_passes_true_only(self):
+        sink = CollectingConsumer()
+        op = FilterOp(BinaryOp(">", ColumnRef("x"), Literal(2)), sink)
+        for i in range(5):
+            op.push(element(i, "a", float(i)))
+        assert [r["x"] for r in sink.rows] == [3, 4]
+
+    def test_null_does_not_pass(self):
+        sink = CollectingConsumer()
+        op = FilterOp(BinaryOp(">", ColumnRef("x"), Literal(None)), sink)
+        op.push(element(5, "a", 0.0))
+        assert len(sink) == 0
+
+    def test_punctuation_forwarded(self):
+        sink = CollectingConsumer()
+        op = FilterOp(Literal(False), sink)
+        op.push(Punctuation(3.0))
+        assert sink.punctuations == [Punctuation(3.0)]
+
+    def test_counters(self):
+        sink = CollectingConsumer()
+        op = FilterOp(BinaryOp(">", ColumnRef("x"), Literal(0)), sink)
+        op.push(element(0, "a", 0.0))
+        op.push(element(1, "a", 1.0))
+        assert op.rows_in == 2 and op.rows_out == 1
+
+
+class TestProject:
+    def test_computes_columns(self):
+        out_schema = Schema.of(("doubled", DataType.INT))
+        sink = CollectingConsumer()
+        op = ProjectOp(
+            [(BinaryOp("*", ColumnRef("x"), Literal(2)), "doubled")], out_schema, sink
+        )
+        op.push(element(3, "a", 1.0))
+        assert sink.rows[0]["doubled"] == 6
+        assert sink.rows[0].schema == out_schema
+
+    def test_timestamp_preserved(self):
+        out_schema = Schema.of(("x", DataType.INT))
+        sink = CollectingConsumer()
+        op = ProjectOp([(ColumnRef("x"), "x")], out_schema, sink)
+        op.push(element(1, "a", 42.5))
+        assert sink.elements[0].timestamp == 42.5
+
+
+class TestSymmetricHashJoin:
+    def make_join(self, left_window=None, right_window=None, predicate=None):
+        left = Schema.of(("l.k", DataType.INT), ("l.v", DataType.STRING))
+        right = Schema.of(("r.k", DataType.INT), ("r.w", DataType.STRING))
+        self.left_schema, self.right_schema = left, right
+        self.sink = CollectingConsumer()
+        return SymmetricHashJoin(
+            left,
+            right,
+            left_window or WindowSpec.range(10),
+            right_window or WindowSpec.range(10),
+            predicate,
+            [("l.k", "r.k")],
+            self.sink,
+        )
+
+    def push_left(self, join, k, v, ts):
+        join.push_left(StreamElement(Row(self.left_schema, (k, v)), ts))
+
+    def push_right(self, join, k, w, ts):
+        join.push_right(StreamElement(Row(self.right_schema, (k, w)), ts))
+
+    def test_equi_match(self):
+        join = self.make_join()
+        self.push_left(join, 1, "a", 1.0)
+        self.push_right(join, 1, "b", 2.0)
+        self.push_right(join, 2, "c", 2.0)
+        assert len(self.sink) == 1
+        row = self.sink.rows[0]
+        assert row["l.v"] == "a" and row["r.w"] == "b"
+
+    def test_result_timestamp_is_max(self):
+        join = self.make_join()
+        self.push_left(join, 1, "a", 1.0)
+        self.push_right(join, 1, "b", 4.0)
+        assert self.sink.elements[0].timestamp == 4.0
+
+    def test_window_excludes_stale_rows(self):
+        join = self.make_join()
+        self.push_left(join, 1, "old", 0.0)
+        self.push_right(join, 1, "new", 20.0)  # 20 > window 10
+        assert len(self.sink) == 0
+
+    def test_out_of_order_arrival_still_joins(self):
+        join = self.make_join()
+        self.push_left(join, 1, "later", 5.0)
+        self.push_right(join, 1, "earlier", 2.0)  # arrives after but ts before
+        assert len(self.sink) == 1
+
+    def test_residual_predicate(self):
+        predicate = BinaryOp("=", ColumnRef("l.v"), Literal("a"))
+        join = self.make_join(predicate=predicate)
+        self.push_left(join, 1, "a", 1.0)
+        self.push_left(join, 1, "zz", 1.0)
+        self.push_right(join, 1, "b", 2.0)
+        assert len(self.sink) == 1
+
+    def test_punctuation_min_of_sides_and_eviction(self):
+        join = self.make_join()
+        self.push_left(join, 1, "a", 1.0)
+        join.push_left(Punctuation(50.0))
+        assert self.sink.punctuations == []  # right side not punctuated yet
+        join.push_right(Punctuation(30.0))
+        assert self.sink.punctuations == [Punctuation(30.0)]
+        assert join.buffered_rows == 0  # expiry 1+10 < 30 evicted
+
+    def test_unbounded_side_never_evicts(self):
+        join = self.make_join(right_window=WindowSpec.unbounded())
+        self.push_right(join, 1, "table-row", 0.0)
+        join.push_left(Punctuation(1000.0))
+        join.push_right(Punctuation(1000.0))
+        self.push_left(join, 1, "probe", 2000.0)
+        assert len(self.sink) == 1
+
+    def test_rows_window_bounds_buffer(self):
+        join = self.make_join(left_window=WindowSpec.rows(2))
+        for i in range(5):
+            self.push_left(join, i, "v", float(i))
+        # Only the last two left rows are live.
+        self.push_right(join, 2, "w", 10.0)
+        self.push_right(join, 4, "w", 10.0)
+        assert len(self.sink) == 1  # k=4 matched; k=2 was evicted by count
+
+    def test_duplicate_keys_all_match(self):
+        join = self.make_join()
+        self.push_left(join, 1, "a1", 1.0)
+        self.push_left(join, 1, "a2", 1.0)
+        self.push_right(join, 1, "b", 2.0)
+        assert len(self.sink) == 2
+
+
+class TestAggregateOp:
+    def make(self, window=None):
+        schema = Schema.of(("key_0", DataType.STRING), ("agg_0", DataType.INT))
+        self.sink = CollectingConsumer()
+        return AggregateOp(
+            [(ColumnRef("y"), "key_0")],
+            [(AggregateCall("COUNT", None), "agg_0")],
+            schema,
+            self.sink,
+            window,
+        )
+
+    def test_running_mode_emits_on_punctuation(self):
+        op = self.make()
+        op.push(element(1, "a", 1.0))
+        op.push(element(2, "a", 2.0))
+        op.push(element(3, "b", 3.0))
+        assert len(self.sink) == 0
+        op.push(Punctuation(5.0))
+        counts = {r["key_0"]: r["agg_0"] for r in self.sink.rows}
+        assert counts == {"a": 2, "b": 1}
+
+    def test_running_totals_grow(self):
+        op = self.make()
+        op.push(element(1, "a", 1.0))
+        op.push(Punctuation(2.0))
+        op.push(element(2, "a", 3.0))
+        op.push(Punctuation(4.0))
+        assert [r["agg_0"] for r in self.sink.rows] == [1, 2]
+
+    def test_tumbling_window_mode(self):
+        op = self.make(window=WindowSpec.range(10, slide=10))
+        for ts in (1.0, 5.0, 11.0):
+            op.push(element(1, "a", ts))
+        op.push(Punctuation(20.0))
+        # Window (0,10] has 2 elements; (10,20] has 1.
+        assert [(e.timestamp, e.row["agg_0"]) for e in self.sink.elements] == [
+            (10.0, 2),
+            (20.0, 1),
+        ]
+
+    def test_sliding_window_counts_overlap(self):
+        op = self.make(window=WindowSpec.range(10, slide=5))
+        op.push(element(1, "a", 7.0))
+        op.push(Punctuation(20.0))
+        counts = [(e.timestamp, e.row["agg_0"]) for e in self.sink.elements]
+        # Element at 7 belongs to windows ending at 10 and 15.
+        assert (10.0, 1) in counts and (15.0, 1) in counts
+
+    def test_avg_sum_min_max(self):
+        schema = Schema.of(
+            ("s", DataType.INT), ("a", DataType.FLOAT),
+            ("lo", DataType.INT), ("hi", DataType.INT),
+        )
+        sink = CollectingConsumer()
+        op = AggregateOp(
+            [],
+            [
+                (AggregateCall("SUM", ColumnRef("x")), "s"),
+                (AggregateCall("AVG", ColumnRef("x")), "a"),
+                (AggregateCall("MIN", ColumnRef("x")), "lo"),
+                (AggregateCall("MAX", ColumnRef("x")), "hi"),
+            ],
+            schema,
+            sink,
+        )
+        for i in (1, 2, 3):
+            op.push(element(i, "z", float(i)))
+        op.push(Punctuation(10.0))
+        row = sink.rows[0]
+        assert (row["s"], row["a"], row["lo"], row["hi"]) == (6, 2.0, 1, 3)
+
+    def test_distinct_aggregate(self):
+        schema = Schema.of(("n", DataType.INT))
+        sink = CollectingConsumer()
+        op = AggregateOp(
+            [],
+            [(AggregateCall("COUNT", ColumnRef("x"), distinct=True), "n")],
+            schema,
+            sink,
+        )
+        for x in (1, 1, 2, 2, 3):
+            op.push(element(x, "z", 1.0))
+        op.push(Punctuation(2.0))
+        assert sink.rows[0]["n"] == 3
+
+    def test_nulls_ignored_by_aggregates(self):
+        schema = Schema.of(("n", DataType.INT), ("s", DataType.INT))
+        sink = CollectingConsumer()
+        op = AggregateOp(
+            [],
+            [
+                (AggregateCall("COUNT", ColumnRef("x")), "n"),
+                (AggregateCall("SUM", ColumnRef("x")), "s"),
+            ],
+            schema,
+            sink,
+        )
+        op.push(StreamElement(Row(XY, (None, "a")), 1.0))
+        op.push(StreamElement(Row(XY, (4, "a")), 1.0))
+        op.push(Punctuation(2.0))
+        assert sink.rows[0]["n"] == 1 and sink.rows[0]["s"] == 4
+
+
+class TestDistinctOrderLimitOutput:
+    def test_distinct(self):
+        sink = CollectingConsumer()
+        op = DistinctOp(sink)
+        for x in (1, 1, 2):
+            op.push(element(x, "a", 1.0))
+        assert [r["x"] for r in sink.rows] == [1, 2]
+
+    def test_order_by_batches_on_punctuation(self):
+        sink = CollectingConsumer()
+        op = OrderByOp([OrderItem(ColumnRef("x"), ascending=False)], sink)
+        for x in (2, 5, 1):
+            op.push(element(x, "a", 1.0))
+        assert len(sink) == 0
+        op.push(Punctuation(2.0))
+        assert [r["x"] for r in sink.rows] == [5, 2, 1]
+
+    def test_order_by_stable_on_ties(self):
+        sink = CollectingConsumer()
+        op = OrderByOp([OrderItem(ColumnRef("x"))], sink)
+        op.push(element(1, "first", 1.0))
+        op.push(element(1, "second", 1.0))
+        op.push(Punctuation(2.0))
+        assert [r["y"] for r in sink.rows] == ["first", "second"]
+
+    def test_order_by_nulls(self):
+        sink = CollectingConsumer()
+        op = OrderByOp([OrderItem(ColumnRef("x"))], sink)
+        op.push(StreamElement(Row(XY, (None, "n")), 1.0))
+        op.push(element(1, "one", 1.0))
+        op.push(Punctuation(2.0))
+        assert sink.rows[0]["y"] == "n"  # NULLs first ascending
+
+    def test_limit_resets_per_batch(self):
+        sink = CollectingConsumer()
+        op = LimitOp(2, sink)
+        for x in range(5):
+            op.push(element(x, "a", 1.0))
+        op.push(Punctuation(2.0))
+        for x in range(5):
+            op.push(element(x, "b", 3.0))
+        op.push(Punctuation(4.0))
+        assert len(sink) == 4
+
+    def test_output_delivers_and_forwards(self):
+        sink = CollectingConsumer()
+        delivered = []
+        op = OutputOp("lobby", lambda d, e: delivered.append((d, e)), sink)
+        op.push(element(1, "a", 1.0))
+        assert len(delivered) == 1 and delivered[0][0] == "lobby"
+        assert len(sink) == 1
+
+    def test_output_every_throttles(self):
+        sink = CollectingConsumer()
+        delivered = []
+        op = OutputOp("d", lambda d, e: delivered.append(e), sink, every=10.0)
+        op.push(element(1, "a", 0.0))
+        op.push(element(2, "a", 5.0))   # throttled
+        op.push(element(3, "a", 12.0))  # delivered
+        assert [e.row["x"] for e in delivered] == [1, 3]
+        assert len(sink) == 3  # downstream sees everything

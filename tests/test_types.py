@@ -1,0 +1,160 @@
+"""Unit tests for the primitive type system."""
+
+import math
+
+import pytest
+
+from repro.data.types import (
+    NUMERIC_TYPES,
+    SENSOR_SUPPORTED_TYPES,
+    DataType,
+    coerce,
+    common_type,
+    conforms,
+    infer_type,
+    size_in_bytes,
+)
+from repro.errors import TypeMismatchError
+
+
+class TestInferType:
+    def test_int(self):
+        assert infer_type(3) is DataType.INT
+
+    def test_float(self):
+        assert infer_type(3.5) is DataType.FLOAT
+
+    def test_bool_before_int(self):
+        assert infer_type(True) is DataType.BOOL
+
+    def test_string(self):
+        assert infer_type("hi") is DataType.STRING
+
+    def test_none(self):
+        assert infer_type(None) is DataType.NULL
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type([1, 2])
+
+
+class TestConforms:
+    def test_none_conforms_to_everything(self):
+        for dtype in DataType:
+            assert conforms(None, dtype)
+
+    def test_int_conforms_to_float(self):
+        assert conforms(3, DataType.FLOAT)
+
+    def test_float_not_int(self):
+        assert not conforms(3.5, DataType.INT)
+
+    def test_bool_is_not_int(self):
+        assert not conforms(True, DataType.INT)
+        assert not conforms(True, DataType.FLOAT)
+
+    def test_string(self):
+        assert conforms("x", DataType.STRING)
+        assert not conforms(3, DataType.STRING)
+
+    def test_timestamp_accepts_numbers(self):
+        assert conforms(12.5, DataType.TIMESTAMP)
+        assert conforms(12, DataType.TIMESTAMP)
+        assert not conforms("12", DataType.TIMESTAMP)
+
+
+class TestCoerce:
+    def test_none_passthrough(self):
+        assert coerce(None, DataType.INT) is None
+
+    def test_string_to_int(self):
+        assert coerce(" 42 ", DataType.INT) == 42
+
+    def test_string_to_float(self):
+        assert coerce("3.25", DataType.FLOAT) == 3.25
+
+    def test_int_widens_to_float(self):
+        value = coerce(7, DataType.FLOAT)
+        assert value == 7.0 and isinstance(value, float)
+
+    def test_integral_float_narrows(self):
+        assert coerce(4.0, DataType.INT) == 4
+
+    def test_fractional_float_to_int_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(4.5, DataType.INT)
+
+    def test_nan_to_int_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(math.nan, DataType.INT)
+
+    def test_anything_to_string(self):
+        assert coerce(42, DataType.STRING) == "42"
+        assert coerce(True, DataType.STRING) == "true"
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("true", True), ("FALSE", False), ("1", True), ("no", False), ("On", True)],
+    )
+    def test_string_to_bool(self, text, expected):
+        assert coerce(text, DataType.BOOL) is expected
+
+    def test_garbage_to_bool_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("maybe", DataType.BOOL)
+
+    def test_garbage_to_int_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("abc", DataType.INT)
+
+    def test_bool_to_timestamp_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(True, DataType.TIMESTAMP)
+
+    def test_to_timestamp(self):
+        assert coerce(5, DataType.TIMESTAMP) == 5.0
+        assert coerce("5.5", DataType.TIMESTAMP) == 5.5
+
+    def test_nonnull_to_null_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(1, DataType.NULL)
+
+
+class TestCommonType:
+    def test_same(self):
+        assert common_type(DataType.INT, DataType.INT) is DataType.INT
+
+    def test_null_absorbed(self):
+        assert common_type(DataType.NULL, DataType.STRING) is DataType.STRING
+        assert common_type(DataType.FLOAT, DataType.NULL) is DataType.FLOAT
+
+    def test_numeric_widening(self):
+        assert common_type(DataType.INT, DataType.FLOAT) is DataType.FLOAT
+
+    def test_timestamp_with_numeric(self):
+        assert common_type(DataType.INT, DataType.TIMESTAMP) is DataType.TIMESTAMP
+        assert common_type(DataType.FLOAT, DataType.TIMESTAMP) is DataType.TIMESTAMP
+
+    def test_incompatible_raises(self):
+        with pytest.raises(TypeMismatchError):
+            common_type(DataType.STRING, DataType.INT)
+
+    def test_bool_string_incompatible(self):
+        with pytest.raises(TypeMismatchError):
+            common_type(DataType.BOOL, DataType.STRING)
+
+
+class TestSizes:
+    def test_all_types_have_sizes(self):
+        for dtype in DataType:
+            assert size_in_bytes(dtype) > 0
+
+    def test_mote_floats_are_single_precision(self):
+        assert size_in_bytes(DataType.FLOAT) == 4
+
+    def test_sensor_supported_excludes_timestamp(self):
+        assert DataType.TIMESTAMP not in SENSOR_SUPPORTED_TYPES
+        assert DataType.INT in SENSOR_SUPPORTED_TYPES
+
+    def test_numeric_set(self):
+        assert NUMERIC_TYPES == {DataType.INT, DataType.FLOAT}

@@ -1,0 +1,209 @@
+"""Tests for wrappers: machines, PDUs, web sources, punctuation."""
+
+import pytest
+
+from repro.errors import WrapperError
+from repro.wrappers import (
+    CalendarEvent,
+    CalendarService,
+    CalendarWrapper,
+    CallbackWrapper,
+    IDLE_WATTS,
+    MachineSpec,
+    MachineStateWrapper,
+    PduWrapper,
+    PowerDistributionUnit,
+    Punctuator,
+    SimulatedMachine,
+    WeatherService,
+    WeatherWrapper,
+    parse_status_page,
+)
+
+
+@pytest.fixture
+def machine(simulator):
+    return SimulatedMachine(MachineSpec("ws1", "lab1", "d1", "Fedora"), simulator, seed=1)
+
+
+class TestSimulatedMachine:
+    def test_idle_machine_is_quiet(self, machine, simulator):
+        simulator.run_until(60.0)
+        state = machine.observe()
+        assert state["users"] == 0
+        assert state["cpu"] < 0.2
+
+    def test_occupancy_raises_load(self, machine, simulator):
+        machine.set_occupied(True)
+        simulator.run_until(120.0)
+        busy = machine.observe()
+        machine.set_occupied(False)
+        simulator.run_until(400.0)
+        idle = machine.observe()
+        assert busy["users"] >= 1
+        assert busy["cpu"] > idle["cpu"]
+
+    def test_power_tracks_cpu(self, machine, simulator):
+        machine.set_occupied(True)
+        simulator.run_until(120.0)
+        assert machine.power_watts() > IDLE_WATTS
+
+    def test_temperature_tracks_cpu(self, machine, simulator):
+        cool = machine.temperature_c()
+        machine.fail()
+        simulator.run_until(60.0)
+        assert machine.temperature_c() > cool + 10
+
+    def test_failure_pegs_cpu(self, machine, simulator):
+        machine.fail()
+        simulator.run_until(30.0)
+        assert machine.observe()["cpu"] == 1.0
+        machine.repair()
+        simulator.run_until(300.0)
+        assert machine.observe()["cpu"] < 0.9
+
+    def test_server_has_background_load(self, simulator):
+        server = SimulatedMachine(
+            MachineSpec("srv", "mr", "r1", "Apache", is_server=True), simulator, seed=2
+        )
+        simulator.run_until(120.0)
+        state = server.observe()
+        assert state["users"] >= 1 and state["jobs"] >= 0
+
+    def test_deterministic_given_seed(self):
+        from repro.runtime import Simulator
+
+        readings = []
+        for _ in range(2):
+            sim = Simulator(9)
+            m = SimulatedMachine(MachineSpec("x", "r", "d", "s"), sim, seed=5)
+            m.set_occupied(True)
+            sim.run_until(100.0)
+            readings.append(m.observe())
+        assert readings[0] == readings[1]
+
+
+class TestPdu:
+    def test_page_renders_and_parses(self, machine):
+        pdu = PowerDistributionUnit("pdu1")
+        pdu.plug(1, machine)
+        page = pdu.render_status_page()
+        records = parse_status_page(page)
+        assert len(records) == 1
+        assert records[0]["host"] == "ws1"
+        assert records[0]["watts"] >= IDLE_WATTS * 0.9
+
+    def test_duplicate_outlet_rejected(self, machine):
+        pdu = PowerDistributionUnit("pdu1")
+        pdu.plug(1, machine)
+        with pytest.raises(WrapperError):
+            pdu.plug(1, machine)
+
+    def test_malformed_page_rejected(self):
+        with pytest.raises(WrapperError, match="outlet table"):
+            parse_status_page("<html><body>under maintenance</body></html>")
+
+    def test_wrapper_emits_power_tuples(self, catalog, engine, simulator, machine, builder):
+        catalog.register_stream(
+            "Power",
+            __import__("repro.data", fromlist=["Schema"]).Schema.of(
+                ("pdu", __import__("repro.data", fromlist=["DataType"]).DataType.STRING),
+                ("outlet", __import__("repro.data", fromlist=["DataType"]).DataType.INT),
+                ("host", __import__("repro.data", fromlist=["DataType"]).DataType.STRING),
+                ("watts", __import__("repro.data", fromlist=["DataType"]).DataType.FLOAT),
+            ),
+        )
+        handle = engine.execute(builder.build_sql("select p.host, p.watts from Power p"))
+        pdu = PowerDistributionUnit("pdu1")
+        pdu.plug(1, machine)
+        wrapper = PduWrapper(engine, simulator, pdu, period=10.0)
+        wrapper.start()
+        simulator.run_until(31.0)
+        assert wrapper.polls == 3
+        assert len(handle.results) == 3
+        assert handle.results[0]["p.host"] == "ws1"
+
+
+class TestWebWrappers:
+    def test_weather_tuples(self, catalog, engine, simulator, builder):
+        from repro.data import DataType, Schema
+
+        catalog.register_stream(
+            "Weather",
+            Schema.of(
+                ("observed_at", DataType.FLOAT),
+                ("outdoor_temp_c", DataType.FLOAT),
+                ("condition", DataType.STRING),
+            ),
+        )
+        handle = engine.execute(
+            builder.build_sql("select w.outdoor_temp_c from Weather w")
+        )
+        wrapper = WeatherWrapper(engine, simulator, WeatherService(simulator), period=300.0)
+        wrapper.start()
+        simulator.run_until(601.0)
+        assert len(handle.results) == 2
+
+    def test_calendar_filters_to_horizon(self, simulator):
+        service = CalendarService(
+            [
+                CalendarEvent("standup", "lab1", start=100.0, duration=900.0),
+                CalendarEvent("later", "lab2", start=90000.0, duration=900.0),
+            ]
+        )
+        import json
+
+        payload = json.loads(service.fetch(now=0.0, horizon=3600.0))
+        assert [e["title"] for e in payload["events"]] == ["standup"]
+
+    def test_calendar_includes_in_progress_event(self):
+        service = CalendarService(
+            [CalendarEvent("running", "lab1", start=0.0, duration=1000.0)]
+        )
+        import json
+
+        payload = json.loads(service.fetch(now=500.0))
+        assert payload["events"]
+
+
+class TestWrapperFramework:
+    def test_period_must_be_positive(self, engine, simulator):
+        with pytest.raises(WrapperError):
+            CallbackWrapper("Temps", engine, simulator, 0.0, lambda now: [])
+
+    def test_double_start_rejected(self, catalog, engine, simulator):
+        wrapper = CallbackWrapper("Temps", engine, simulator, 5.0, lambda now: [])
+        wrapper.start()
+        with pytest.raises(WrapperError):
+            wrapper.start()
+
+    def test_stop_halts_polling(self, catalog, engine, simulator):
+        wrapper = CallbackWrapper(
+            "Temps", engine, simulator, 5.0, lambda now: [{"room": "x", "temp": now}]
+        )
+        wrapper.start()
+        simulator.run_until(11.0)
+        wrapper.stop()
+        simulator.run_until(60.0)
+        assert wrapper.polls == 2
+        assert not wrapper.running
+
+    def test_poll_failure_translated(self, catalog, engine, simulator):
+        def boom(now):
+            raise ValueError("scrape exploded")
+
+        wrapper = CallbackWrapper("Temps", engine, simulator, 5.0, boom)
+        wrapper.start()
+        with pytest.raises(WrapperError, match="scrape exploded"):
+            simulator.run_until(6.0)
+
+    def test_punctuator_advances_watermarks(self, catalog, engine, simulator, builder):
+        handle = engine.execute(
+            builder.build_sql("select t.room, count(*) as n from Temps t group by t.room")
+        )
+        engine.push("Temps", {"room": "a", "temp": 1.0}, 0.5)
+        punctuator = Punctuator(engine, simulator, period=1.0)
+        punctuator.start()
+        simulator.run_until(2.0)
+        assert handle.results  # running aggregate emitted on punctuation
+        punctuator.stop()
