@@ -1,0 +1,19 @@
+# Repository entry points. PYTHONPATH=src is required everywhere: the
+# package is laid out src/repro without an installed distribution.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-expr
+
+## Tier-1 verification: the full unit/integration suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Run every bench_*.py non-interactively; writes BENCH_*.json artifacts.
+bench:
+	$(PYTHON) -m benchmarks
+
+## Just the expression-compilation microbenchmark (fast feedback).
+bench-expr:
+	$(PYTHON) -m benchmarks.bench_expr_compile

@@ -1,0 +1,8 @@
+"""Experiment benches regenerating the paper's artifacts.
+
+Each ``bench_*.py`` module is runnable under pytest (the files are
+passed explicitly; they do not match the default ``test_*`` collection
+pattern, so the tier-1 suite stays fast). ``python -m benchmarks`` runs
+every bench non-interactively and writes the ``BENCH_*.json`` artifacts
+— see :mod:`benchmarks.__main__`.
+"""

@@ -1,0 +1,49 @@
+"""Non-interactive bench runner: ``python -m benchmarks`` (or ``make bench``).
+
+Runs every ``benchmarks/bench_*.py`` under pytest with output shown,
+writes a ``BENCH_run_summary.json`` artifact recording per-file status
+and duration, and exits non-zero if any bench fails. Individual benches
+may write their own ``BENCH_*.json`` artifacts (e.g.
+``bench_expr_compile.py`` → ``BENCH_expr_compile.json``).
+
+Extra arguments are passed through to pytest, e.g.::
+
+    python -m benchmarks -k expr_compile
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(argv or [])
+    bench_files = sorted(BENCH_DIR.glob("bench_*.py"))
+    artifact_dir = Path(os.environ.get("REPRO_BENCH_DIR", REPO_ROOT))
+    summary: dict[str, dict] = {}
+    worst = 0
+    for bench in bench_files:
+        start = time.perf_counter()
+        code = pytest.main([str(bench), "-q", "-s", *argv])
+        summary[bench.name] = {
+            "exit_code": int(code),
+            "seconds": round(time.perf_counter() - start, 2),
+        }
+        worst = max(worst, int(code))
+    path = artifact_dir / "BENCH_run_summary.json"
+    path.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"\nbench summary written to {path}")
+    return worst
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

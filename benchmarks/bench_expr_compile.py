@@ -1,0 +1,269 @@
+"""Microbenchmark — interpreted vs compiled expression evaluation.
+
+Measures the rows/sec the stream engine's hot path sustains with the
+tree-walking interpreter (``Expr.eval`` + per-access ``Schema.index_of``)
+against the schema-bound compiled closures of :mod:`repro.sql.compiled`,
+on three workloads:
+
+* **filter_project** — a Filter+Project pipeline over a machine-load
+  stream (the alarm-query shape: conjunctive predicate with a LIKE,
+  arithmetic projections);
+* **join** — a windowed symmetric hash join with a residual predicate;
+* **recursive_fixpoint** — the transitive-closure fixpoint of the
+  recursive-view maintainer (the batch evaluator's inner loop).
+
+Both paths run the *same* logical plan through the same operators; the
+only difference is ``PlanCompiler(compiled_exprs=...)`` /
+``fixpoint(..., compiled=...)``. Result equality is asserted, so this
+doubles as an end-to-end agreement check.
+
+Results are printed as a table and written to ``BENCH_expr_compile.json``
+(override the directory with ``REPRO_BENCH_DIR``) so the perf trajectory
+is tracked across PRs. ``REPRO_BENCH_SCALE`` scales the workload for
+smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.catalog import Catalog
+from repro.data import DataType, Row, Schema
+from repro.data.streams import CollectingConsumer, Punctuation, StreamElement
+from repro.plan import PlanBuilder
+from repro.stream.batch import fixpoint
+from repro.stream.compiler import PlanCompiler
+
+ARTIFACT_NAME = "BENCH_expr_compile.json"
+
+READINGS = Schema.of(
+    ("room", DataType.STRING),
+    ("host", DataType.STRING),
+    ("temp", DataType.FLOAT),
+    ("load", DataType.FLOAT),
+)
+MACHINES = Schema.of(
+    ("host", DataType.STRING),
+    ("room", DataType.STRING),
+    ("software", DataType.STRING),
+)
+EDGES = Schema.of(("src", DataType.STRING), ("dst", DataType.STRING))
+
+
+def _catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register_stream("Readings", READINGS, rate=10.0)
+    catalog.register_stream("Loads", READINGS, rate=10.0)
+    catalog.register_table("Machines", MACHINES, cardinality=64)
+    catalog.register_table("E", EDGES, cardinality=64)
+    return catalog
+
+
+def _reading_elements(count: int) -> list[StreamElement]:
+    rooms = ["lab1", "lab2", "office3", "lab4"]
+    out = []
+    for i in range(count):
+        row = Row.raw(
+            READINGS,
+            (rooms[i % 4], f"ws{i % 512}", 10.0 + (i % 90), (i % 100) / 100.0),
+        )
+        out.append(StreamElement(row, float(i) / 100.0, "Readings"))
+    return out
+
+
+def _time_pipeline(plan, elements: list[StreamElement], compiled: bool) -> tuple[float, list[Row]]:
+    sink = CollectingConsumer()
+    pipeline = PlanCompiler(compiled_exprs=compiled).compile(plan, sink)
+    ports = [p.consumer for p in pipeline.ports_for("Readings")]
+    start = time.perf_counter()
+    for port in ports:
+        for element in elements:
+            port.push(element)
+    elapsed = time.perf_counter() - start
+    for port in pipeline.ports:
+        port.consumer.push(Punctuation(1e9))
+    return elapsed, sink.rows
+
+
+def bench_filter_project(n: int) -> dict:
+    plan = PlanBuilder(_catalog()).build_sql(
+        """
+        SELECT r.host,
+               r.temp * 1.8 + 32.0 AS fahrenheit,
+               r.load * 100.0 AS pct,
+               (r.temp - 20.0) * (r.temp - 20.0) AS dev,
+               UPPER(r.room) AS room,
+               COALESCE(r.load, 0.0) + r.temp / 10.0 AS score
+        FROM Readings r
+        WHERE r.temp > 15.0 AND r.temp < 90.0 AND r.room LIKE 'lab%'
+              AND r.load >= 0.0 AND r.load <= 1.0
+              AND r.temp * r.load < 85.0 AND LENGTH(r.host) > 2
+        """
+    )
+    elements = _reading_elements(n)
+    interpreted_s, interpreted_rows = _best_of(
+        lambda: _time_pipeline(plan, elements, compiled=False)
+    )
+    compiled_s, compiled_rows = _best_of(
+        lambda: _time_pipeline(plan, elements, compiled=True)
+    )
+    assert compiled_rows == interpreted_rows, "compiled and interpreted pipelines disagree"
+    return _entry(n, interpreted_s, compiled_s)
+
+
+def bench_join(n: int) -> dict:
+    plan = PlanBuilder(_catalog()).build_sql(
+        """
+        SELECT r.host, r.temp, l.load
+        FROM Readings r, Loads l
+        WHERE r.host = l.host AND r.temp > l.load * 20.0 AND r.room = l.room
+        """
+    )
+    elements = _reading_elements(n)
+    load_elements = [
+        StreamElement(e.row, e.timestamp, "Loads") for e in _reading_elements(n)
+    ]
+
+    def run(compiled: bool) -> tuple[float, list[Row]]:
+        sink = CollectingConsumer()
+        pipeline = PlanCompiler(compiled_exprs=compiled).compile(plan, sink)
+        readings = [p.consumer for p in pipeline.ports_for("Readings")]
+        loads = [p.consumer for p in pipeline.ports_for("Loads")]
+        start = time.perf_counter()
+        for reading, load in zip(elements, load_elements):
+            for port in readings:
+                port.push(reading)
+            for port in loads:
+                port.push(load)
+        elapsed = time.perf_counter() - start
+        return elapsed, sink.rows
+
+    interpreted_s, interpreted_rows = _best_of(lambda: run(compiled=False))
+    compiled_s, compiled_rows = _best_of(lambda: run(compiled=True))
+    assert compiled_rows == interpreted_rows, "compiled and interpreted joins disagree"
+    return _entry(2 * n, interpreted_s, compiled_s)
+
+
+def bench_recursive_fixpoint(chain: int, repeats: int) -> dict:
+    plan = PlanBuilder(_catalog()).build_sql(
+        """
+        WITH RECURSIVE tc(src, dst) AS (
+          SELECT e.src, e.dst FROM E e
+          UNION
+          SELECT t.src, e.dst FROM tc t, E e WHERE t.dst = e.src
+        ) SELECT src, dst FROM tc
+        """
+    )
+    # A chain graph: the fixpoint runs ~chain iterations and the closure
+    # has chain*(chain+1)/2 rows — a dense workload for the evaluator.
+    edges = [Row.raw(EDGES, (f"n{i}", f"n{i + 1}")) for i in range(chain)]
+    tables = {"E": edges}
+
+    def run(compiled: bool) -> tuple[float, int]:
+        start = time.perf_counter()
+        size = 0
+        for _ in range(repeats):
+            size = len(fixpoint(plan.recursive, tables, compiled=compiled))
+        return time.perf_counter() - start, size
+
+    interpreted_s, interpreted_size = _best_of(lambda: run(compiled=False))
+    compiled_s, compiled_size = _best_of(lambda: run(compiled=True))
+    assert compiled_size == interpreted_size, "fixpoint results disagree"
+    derived = repeats * interpreted_size
+    return _entry(derived, interpreted_s, compiled_s)
+
+
+def _best_of(measure, repetitions: int = 3):
+    """Run a (seconds, payload) measurement repeatedly; keep the fastest.
+
+    Minimum-of-N is the standard defence against scheduler noise in
+    microbenchmarks: the fastest run is the one least perturbed. GC is
+    paused around each measurement so collections triggered by earlier
+    workloads don't land inside a timed region.
+    """
+    import gc
+
+    best = None
+    for _ in range(repetitions):
+        gc.collect()
+        gc.disable()
+        try:
+            elapsed, payload = measure()
+        finally:
+            gc.enable()
+        if best is None or elapsed < best[0]:
+            best = (elapsed, payload)
+    return best
+
+
+def _entry(rows: int, interpreted_s: float, compiled_s: float) -> dict:
+    return {
+        "rows": rows,
+        "interpreted_s": round(interpreted_s, 6),
+        "compiled_s": round(compiled_s, 6),
+        "interpreted_rows_per_s": round(rows / interpreted_s) if interpreted_s else None,
+        "compiled_rows_per_s": round(rows / compiled_s) if compiled_s else None,
+        "speedup": round(interpreted_s / compiled_s, 2) if compiled_s else None,
+    }
+
+
+def run_benchmarks(scale: float | None = None) -> dict:
+    """Run all three workloads; ``scale`` shrinks them for smoke tests."""
+    if scale is None:
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    n = max(200, int(40_000 * scale))
+    chain = max(6, int(55 * scale))
+    repeats = max(1, int(3 * scale))
+    return {
+        "benchmark": "expr_compile",
+        "scale": scale,
+        "pipelines": {
+            "filter_project": bench_filter_project(n),
+            "join": bench_join(max(100, n // 8)),
+            "recursive_fixpoint": bench_recursive_fixpoint(chain, repeats),
+        },
+    }
+
+
+def write_artifact(results: dict, directory: str | os.PathLike | None = None) -> Path:
+    """Write the JSON artifact; returns its path."""
+    if directory is None:
+        directory = os.environ.get(
+            "REPRO_BENCH_DIR", Path(__file__).resolve().parent.parent
+        )
+    path = Path(directory) / ARTIFACT_NAME
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def test_expr_compile_speedup(table_printer):
+    results = run_benchmarks()
+    path = write_artifact(results)
+    pipelines = results["pipelines"]
+    table_printer(
+        f"expr compile: interpreted vs compiled (artifact: {path})",
+        ["workload", "rows", "interp rows/s", "compiled rows/s", "speedup"],
+        [
+            [
+                name,
+                entry["rows"],
+                entry["interpreted_rows_per_s"],
+                entry["compiled_rows_per_s"],
+                f'{entry["speedup"]:.2f}x',
+            ]
+            for name, entry in pipelines.items()
+        ],
+    )
+    # The acceptance thresholds of the compile-the-hot-path change.
+    assert pipelines["filter_project"]["speedup"] >= 3.0
+    assert pipelines["recursive_fixpoint"]["speedup"] >= 2.0
+    assert pipelines["join"]["speedup"] >= 1.1
+
+
+if __name__ == "__main__":
+    from benchmarks.conftest import print_table
+
+    test_expr_compile_speedup(print_table)

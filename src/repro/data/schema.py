@@ -9,6 +9,7 @@ when unambiguous, mirroring SQL name resolution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
+from functools import lru_cache
 from typing import Iterable, Iterator
 
 from repro.data.types import DataType, size_in_bytes
@@ -66,12 +67,13 @@ class Schema:
     same behaviour as SQL.
     """
 
-    __slots__ = ("_fields", "_by_name", "_by_bare")
+    __slots__ = ("_fields", "_by_name", "_by_bare", "_hash")
 
     def __init__(self, fields: Iterable[Field]):
         self._fields: tuple[Field, ...] = tuple(fields)
         self._by_name: dict[str, int] = {}
         self._by_bare: dict[str, list[int]] = {}
+        self._hash: int | None = None
         for index, f in enumerate(self._fields):
             if f.name in self._by_name:
                 raise SchemaError(f"duplicate field name {f.name!r} in schema")
@@ -102,8 +104,12 @@ class Schema:
         return Schema(Field(f.bare_name, f.dtype, f.doc) for f in self._fields)
 
     def concat(self, other: "Schema") -> "Schema":
-        """Schema of the cross product / join of two inputs."""
-        return Schema(tuple(self._fields) + tuple(other._fields))
+        """Schema of the cross product / join of two inputs.
+
+        Memoized: joins concatenate the same two schemas once per output
+        row, so rebuilding the lookup dicts each time is hot-path cost.
+        """
+        return _concat_schemas(self, other)
 
     def project(self, names: Iterable[str]) -> "Schema":
         """Schema containing only the named fields, in the given order."""
@@ -113,19 +119,31 @@ class Schema:
     # Lookup
     # ------------------------------------------------------------------
     def index_of(self, name: str) -> int:
-        """Position of field ``name``, resolving bare names like SQL does."""
-        if name in self._by_name:
-            return self._by_name[name]
-        candidates = self._by_bare.get(name.rsplit(".", 1)[-1], [])
-        if name.rsplit(".", 1)[-1] != name:
-            # A qualified name that wasn't found exactly: match fields whose
-            # bare name and qualifier suffix agree (e.g. "ss.room" matching
-            # field "SeatSensors.ss.room" is not supported; exact only).
+        """Position of field ``name``, resolving bare names like SQL does.
+
+        Resolution rules (intentional, mirroring SQL):
+
+        * A **qualified** name (``"ss.room"``) must match a field's full
+          name exactly; it is never resolved against bare names, and a
+          partial qualifier match (``"ss.room"`` against a field named
+          ``"SeatSensors.ss.room"``) is not supported. A miss raises
+          :class:`UnknownFieldError`.
+        * A **bare** name matches a unique field with that bare name;
+          zero matches raise :class:`UnknownFieldError` and several raise
+          :class:`SchemaError` (ambiguous, as in SQL).
+        """
+        index = self._by_name.get(name)
+        if index is not None:
+            return index
+        bare = name.rsplit(".", 1)[-1]
+        if bare != name:
+            # Qualified lookup is exact-only (rule above).
+            raise UnknownFieldError(name, self.names)
+        candidates = self._by_bare.get(bare)
+        if not candidates:
             raise UnknownFieldError(name, self.names)
         if len(candidates) == 1:
             return candidates[0]
-        if not candidates:
-            raise UnknownFieldError(name, self.names)
         matches = [self._fields[i].name for i in candidates]
         raise SchemaError(f"ambiguous field {name!r}: matches {matches}")
 
@@ -168,16 +186,26 @@ class Schema:
         return iter(self._fields)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Schema):
             return NotImplemented
         return self._fields == other._fields
 
     def __hash__(self) -> int:
-        return hash(self._fields)
+        # Cached: Row.__hash__ hashes its schema per row on hot paths.
+        if self._hash is None:
+            self._hash = hash(self._fields)
+        return self._hash
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(f) for f in self._fields)
         return f"Schema({inner})"
+
+
+@lru_cache(maxsize=1024)
+def _concat_schemas(a: "Schema", b: "Schema") -> "Schema":
+    return Schema(a._fields + b._fields)
 
 
 EMPTY_SCHEMA = Schema(())

@@ -15,9 +15,12 @@ from typing import Callable, Iterable, Protocol, runtime_checkable
 from repro.data.tuples import Row
 
 
-@dataclass(frozen=True)
 class StreamElement:
     """One timestamped row on a stream.
+
+    A slotted plain class rather than a dataclass: elements are created
+    once per row per pipeline stage, so construction cost is hot-path
+    cost. Treat instances as immutable.
 
     Attributes:
         row: The data tuple.
@@ -25,9 +28,24 @@ class StreamElement:
         source: Optional name of the producing source (for tracing).
     """
 
-    row: Row
-    timestamp: float
-    source: str = ""
+    __slots__ = ("row", "timestamp", "source")
+
+    def __init__(self, row: Row, timestamp: float, source: str = ""):
+        self.row = row
+        self.timestamp = timestamp
+        self.source = source
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamElement):
+            return NotImplemented
+        return (
+            self.row == other.row
+            and self.timestamp == other.timestamp
+            and self.source == other.source
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.row, self.timestamp, self.source))
 
     def __repr__(self) -> str:
         return f"@{self.timestamp:g} {self.row!r}"
@@ -72,6 +90,9 @@ class CollectingConsumer:
     def __init__(self) -> None:
         self.elements: list[StreamElement] = []
         self.punctuations: list[Punctuation] = []
+        #: Times clear() has run — lets incremental readers (e.g.
+        #: QueryHandle.latest_batch) detect a reset even after a refill.
+        self.clears = 0
 
     def push(self, item: StreamItem) -> None:
         if isinstance(item, Punctuation):
@@ -87,6 +108,7 @@ class CollectingConsumer:
     def clear(self) -> None:
         self.elements.clear()
         self.punctuations.clear()
+        self.clears += 1
 
     def __len__(self) -> int:
         return len(self.elements)

@@ -44,6 +44,22 @@ class Row:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
+    def raw(cls, schema: Schema, values: tuple) -> "Row":
+        """Unchecked hot-path constructor.
+
+        ``values`` must already be a tuple of the schema's arity; no
+        copy, arity check or type validation happens. Operators use this
+        for rows they derive from already-validated inputs — malformed
+        external data must still enter through ``Row(...)`` or
+        :meth:`from_mapping`.
+        """
+        row = object.__new__(cls)
+        row._schema = schema
+        row._values = values
+        row._hash = None
+        return row
+
+    @classmethod
     def from_mapping(cls, schema: Schema, mapping: Mapping[str, Any]) -> "Row":
         """Build a row by looking up each schema field in ``mapping``.
 
@@ -97,15 +113,16 @@ class Row:
 
     def concat(self, other: "Row") -> "Row":
         """The join of two rows (schema and values concatenated)."""
-        return Row(
-            self._schema.concat(other._schema),
-            self._values + other._values,
-            validate=False,
-        )
+        return Row.raw(self._schema.concat(other._schema), self._values + other._values)
 
     def with_schema(self, schema: Schema) -> "Row":
         """This row's values reinterpreted under an equally-long ``schema``."""
-        return Row(schema, self._values, validate=False)
+        values = self._values
+        if len(values) != len(schema._fields):
+            raise SchemaError(
+                f"row has {len(values)} values but schema has {len(schema)} fields"
+            )
+        return Row.raw(schema, values)
 
     def replace(self, **updates: Any) -> "Row":
         """A copy of this row with the named fields replaced."""

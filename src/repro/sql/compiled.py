@@ -1,0 +1,547 @@
+"""Schema-bound expression compilation: the engine's hot-path evaluator.
+
+The interpreted path (:meth:`Expr.eval`) resolves every column reference
+by name — a ``Schema.index_of`` dictionary walk per column access of
+every row — and re-dispatches on node type at each tree level. For a
+continuous query that touches millions of elements this interpretation
+overhead dominates per-tuple cost. This module compiles an expression
+tree *once* against the operator's input schema into a single Python
+function over the row's value tuple:
+
+* **Column references** are resolved to positional indexes at compile
+  time (``v[3]`` instead of two dict lookups per access).
+* **Constant subtrees** (no column references, no aggregates) are folded
+  to their value at compile time.
+* **The whole tree is lowered to generated Python source** — one
+  ``def`` per expression, with temps and branches implementing exactly
+  the interpreter's SQL semantics (three-valued AND/OR with the same
+  short-circuiting, NULL propagation through comparisons and
+  arithmetic, division/modulo by zero yielding NULL, ``TypeError``
+  surfaced as :class:`~repro.errors.ExecutionError`) — and compiled
+  with ``exec``. Evaluating a predicate then costs one Python call
+  instead of one per tree node.
+* **LIKE patterns** that are compile-time constants get their regex
+  compiled once; dynamic patterns go through a bounded regex cache.
+* **Scalar functions** are resolved to their implementation once.
+
+The compile/fallback contract
+-----------------------------
+``compile_expr(expr, schema)`` returns a callable ``f`` such that for
+every row ``r`` with ``r.schema == schema``::
+
+    f(r.values)  ==  expr.eval(r)          # same value, or
+    f(r.values)  raises the same exception type as expr.eval(r)
+
+Anything code generation does not cover — :class:`AggregateCall` (whose
+per-row evaluation is intentionally an error; aggregates keep their
+accumulator path in the operators) and any future exotic node — is
+compiled as a call to a closure that rehydrates a :class:`Row` via
+:meth:`Row.raw` and delegates to ``expr.eval``, so the contract holds
+for *every* expression, just without the speedup. If code generation
+itself fails for a tree, :func:`compile_expr` falls back to a
+closure-combinator compiler with identical semantics, and ultimately to
+the interpreter. Name-resolution errors (unknown or ambiguous columns)
+surface at compile time rather than per row; plans that reach the
+physical operators have already been validated by the analyzer, so this
+only moves the failure earlier.
+
+Every evaluation site compiles once and keeps the closure: operators
+compile at construction, and the batch evaluator memoizes per plan
+node (``repro.stream.batch._node_compiled``). :func:`compile_projection`
+lowers a whole projection list into one generated function returning
+the output value tuple — one call per row instead of one per column.
+"""
+
+from __future__ import annotations
+
+import math as _math
+import operator as _operator
+from functools import lru_cache
+from typing import Any, Callable, Sequence
+
+from repro.data.schema import Schema
+from repro.data.tuples import Row
+from repro.errors import ExecutionError
+from repro.sql.expressions import (
+    _ARITHMETIC,
+    _COMPARISONS,
+    _SCALAR_FUNCTIONS,
+    _like_to_regex,
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+)
+
+#: A compiled evaluator: row value tuple -> result.
+CompiledExpr = Callable[[tuple], Any]
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+def compile_expr(expr: Expr, schema: Schema) -> CompiledExpr:
+    """Compile ``expr`` against ``schema`` into a value-tuple function.
+
+    See the module docstring for the compile/fallback contract.
+    """
+    folded, value = _fold_constant(expr)
+    if folded:
+        return lambda values, _v=value: _v
+    try:
+        return _codegen([expr], schema, single=True)
+    except Exception:
+        return _compile(expr, schema)
+
+
+def compile_projection(exprs: Sequence[Expr], schema: Schema) -> Callable[[tuple], tuple]:
+    """Compile a projection list to one values-tuple -> values-tuple call.
+
+    The generated function computes every output expression and returns
+    them as a tuple — a single Python call per row.
+    """
+    exprs = tuple(exprs)
+    if exprs and all(isinstance(e, ColumnRef) for e in exprs):
+        # Pure column projection: C-level itemgetter beats generated code.
+        indexes = [schema.index_of(e.name) for e in exprs]
+        if len(indexes) == 1:
+            return lambda values, _i=indexes[0]: (values[_i],)
+        return _operator.itemgetter(*indexes)
+    try:
+        return _codegen(list(exprs), schema, single=False)
+    except Exception:
+        fns = tuple(compile_expr(e, schema) for e in exprs)
+
+        def project(values: tuple, _fns=fns) -> tuple:
+            return tuple(f(values) for f in _fns)
+
+        return project
+
+
+# ---------------------------------------------------------------------------
+# Constant folding
+# ---------------------------------------------------------------------------
+def _fold_constant(expr: Expr) -> tuple[bool, Any]:
+    """Evaluate a column-free, aggregate-free subtree once at compile time.
+
+    Returns ``(True, value)`` when folded. Subtrees whose evaluation
+    raises are *not* folded — they compile structurally so the error
+    surfaces (with its original type) on each evaluation, matching the
+    interpreter.
+    """
+    for node in expr.walk():
+        if isinstance(node, (ColumnRef, AggregateCall)):
+            return False, None
+    try:
+        # Column-free evaluation never touches the row argument.
+        return True, expr.eval(None)
+    except Exception:
+        return False, None
+
+
+@lru_cache(maxsize=512)
+def _like_regex_cached(pattern: str):
+    return _like_to_regex(pattern)
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+_CMP_SOURCE = {"=": "==", "!=": "!=", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+_ARITH_SOURCE = {"+": "+", "-": "-", "*": "*", "/": "/", "%": "%"}
+_INLINE_CONSTS = (bool, int, float, str, type(None))
+
+
+class _CodeGen:
+    """Lowers expression trees to the body of one generated function.
+
+    Every node becomes a handful of statements assigning its result to a
+    fresh temp; AND/OR lower to branches so short-circuit evaluation and
+    three-valued logic match the interpreter statement for statement.
+    Constants that round-trip through ``repr`` are inlined; everything
+    else (regexes, function objects, fallback closures) is bound in the
+    generated function's global namespace.
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self.lines: list[str] = []
+        self.env: dict[str, Any] = {"ExecutionError": ExecutionError}
+        self.counter = 0
+        # Atoms statically known non-NULL (inlined/bound constants):
+        # their `is None` checks are elided from generated code.
+        self.non_null: set[str] = set()
+
+    def name(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def bind(self, value: Any, prefix: str = "g") -> str:
+        name = self.name(prefix)
+        self.env[name] = value
+        return name
+
+    def emit(self, indent: int, line: str) -> None:
+        self.lines.append("    " * indent + line)
+
+    # -- node lowering -------------------------------------------------
+    def gen(self, expr: Expr, indent: int) -> str:
+        """Emit statements computing ``expr``; returns the temp/atom."""
+        folded, value = _fold_constant(expr)
+        if folded:
+            return self.atom(value)
+        if isinstance(expr, ColumnRef):
+            return f"v[{self.schema.index_of(expr.name)}]"
+        if isinstance(expr, BinaryOp):
+            return self.gen_binary(expr, indent)
+        if isinstance(expr, UnaryOp):
+            return self.gen_unary(expr, indent)
+        if isinstance(expr, FunctionCall):
+            return self.gen_function(expr, indent)
+        # AggregateCall and anything exotic: delegate to the interpreter.
+        return self.gen_fallback(expr, indent)
+
+    def atom(self, value: Any) -> str:
+        if isinstance(value, _INLINE_CONSTS) and not (
+            isinstance(value, float) and not _math.isfinite(value)
+        ):
+            # repr round-trips these as source literals; non-finite
+            # floats repr as bare `inf`/`nan` names and must be bound.
+            text = repr(value)
+        else:
+            text = self.bind(value, "c")
+        if value is not None:
+            self.non_null.add(text)
+        return text
+
+    def as_var(self, atom: str, indent: int) -> str:
+        """Bind literal atoms to a temp so identity tests read a variable
+        (``0.5 is False`` is a SyntaxWarning; ``t1 is False`` is not)."""
+        if atom.isidentifier() or atom.startswith("v["):
+            return atom
+        tmp = self.name("t")
+        self.emit(indent, f"{tmp} = {atom}")
+        if atom in self.non_null:
+            self.non_null.add(tmp)
+        return tmp
+
+    def null_check(self, *atoms: str) -> str:
+        """``a is None or b is None`` with known-non-NULL atoms elided."""
+        return " or ".join(f"{a} is None" for a in atoms if a not in self.non_null)
+
+    def gen_fallback(self, expr: Expr, indent: int) -> str:
+        fallback = self.bind(_fallback(expr, self.schema), "fb")
+        out = self.name("t")
+        self.emit(indent, f"{out} = {fallback}(v)")
+        return out
+
+    def gen_binary(self, expr: BinaryOp, indent: int) -> str:
+        op = expr.op
+        out = self.name("t")
+        if op in ("AND", "OR"):
+            # Exactly the interpreter's short-circuit order: the right
+            # side only evaluates when the left is not decisive.
+            decisive, exhausted = ("False", "True") if op == "AND" else ("True", "False")
+            a = self.as_var(self.gen(expr.left, indent), indent)
+            self.emit(indent, f"if {a} is {decisive}:")
+            self.emit(indent + 1, f"{out} = {decisive}")
+            self.emit(indent, "else:")
+            b = self.as_var(self.gen(expr.right, indent + 1), indent + 1)
+            self.emit(indent + 1, f"if {b} is {decisive}:")
+            self.emit(indent + 2, f"{out} = {decisive}")
+            self.emit(indent + 1, f"elif {a} is None or {b} is None:")
+            self.emit(indent + 2, f"{out} = None")
+            self.emit(indent + 1, "else:")
+            self.emit(indent + 2, f"{out} = {exhausted}")
+            return out
+
+        a = self.gen(expr.left, indent)
+        b = self.gen(expr.right, indent)
+        if op in _CMP_SOURCE or op in _ARITH_SOURCE:
+            symbol = _CMP_SOURCE.get(op) or _ARITH_SOURCE[op]
+            checks = self.null_check(a, b)
+            body = indent
+            if checks:
+                self.emit(indent, f"if {checks}:")
+                self.emit(indent + 1, f"{out} = None")
+            if op in ("/", "%"):
+                self.emit(indent, f"{'elif' if checks else 'if'} {b} == 0:")
+                self.emit(indent + 1, f"{out} = None  # SQL: division by zero is NULL")
+                checks = True
+            if checks:
+                self.emit(indent, "else:")
+                body = indent + 1
+            self.emit(body, "try:")
+            self.emit(body + 1, f"{out} = {a} {symbol} {b}")
+            self.emit(body, "except TypeError as exc:")
+            self.emit(
+                body + 1,
+                "raise ExecutionError("
+                f"f\"cannot apply {op} to {{{a}!r}} and {{{b}!r}}\") from exc",
+            )
+            return out
+        if op in ("LIKE", "NOT LIKE"):
+            pattern_const, pattern = _fold_constant(expr.right)
+            if pattern_const and pattern is not None:
+                regex = self.bind(_like_to_regex(str(pattern)), "rx")
+                match = f"{regex}.match(str({a}))"
+                checks = self.null_check(a)
+            else:
+                like = self.bind(_like_regex_cached, "lk")
+                match = f"{like}(str({b})).match(str({a}))"
+                checks = self.null_check(a, b)
+            body = indent
+            if checks:
+                self.emit(indent, f"if {checks}:")
+                self.emit(indent + 1, f"{out} = None")
+                self.emit(indent, "else:")
+                body = indent + 1
+            if op == "NOT LIKE":
+                self.emit(body, f"{out} = not {match}")
+            else:
+                self.emit(body, f"{out} = bool({match})")
+            return out
+        # Unknown operator: operands evaluate first, as in the interpreter.
+        checks = self.null_check(a, b)
+        body = indent
+        if checks:
+            self.emit(indent, f"if {checks}:")
+            self.emit(indent + 1, f"{out} = None")
+            self.emit(indent, "else:")
+            body = indent + 1
+        self.emit(body, f"raise ExecutionError('unknown binary operator {op!r}')")
+        self.non_null.discard(out)
+        return out
+
+    def gen_unary(self, expr: UnaryOp, indent: int) -> str:
+        op = expr.op
+        a = self.as_var(self.gen(expr.operand, indent), indent)
+        out = self.name("t")
+        if op == "NOT":
+            if a in self.non_null:
+                self.emit(indent, f"{out} = not {a}")
+            else:
+                self.emit(indent, f"{out} = None if {a} is None else (not {a})")
+        elif op == "-":
+            if a in self.non_null:
+                self.emit(indent, f"{out} = -{a}")
+            else:
+                self.emit(indent, f"{out} = None if {a} is None else (-{a})")
+        elif op == "IS NULL":
+            self.emit(indent, f"{out} = {a} is None")
+        elif op == "IS NOT NULL":
+            self.emit(indent, f"{out} = {a} is not None")
+        else:
+            self.emit(indent, f"raise ExecutionError('unknown unary operator {op!r}')")
+            return "None"
+        return out
+
+    def gen_function(self, expr: FunctionCall, indent: int) -> str:
+        upper = expr.name.upper()
+        out = self.name("t")
+        if upper not in _SCALAR_FUNCTIONS:
+            # The interpreter raises before evaluating arguments.
+            self.emit(indent, f"raise ExecutionError('unknown function {expr.name!r}')")
+            return "None"
+        impl, _ = _SCALAR_FUNCTIONS[upper]
+        fn = self.bind(impl, "fn")
+        args = [self.gen(a, indent) for a in expr.args]
+        call = f"{fn}({', '.join(args)})"
+        if upper == "COALESCE" or not args:
+            self.emit(indent, f"{out} = {call}")
+            return out
+        checks = self.null_check(*args)
+        if checks:
+            self.emit(indent, f"if {checks}:")
+            self.emit(indent + 1, f"{out} = None")
+            self.emit(indent, "else:")
+            self.emit(indent + 1, f"{out} = {call}")
+        else:
+            self.emit(indent, f"{out} = {call}")
+        return out
+
+
+def _codegen(exprs: list[Expr], schema: Schema, single: bool) -> Callable:
+    gen = _CodeGen(schema)
+    results = [gen.gen(e, 1) for e in exprs]
+    if single:
+        gen.emit(1, f"return {results[0]}")
+    else:
+        gen.emit(1, f"return ({', '.join(results)}{',' if len(results) == 1 else ''})")
+    source = "def _compiled(v):\n" + "\n".join(gen.lines) + "\n"
+    code = compile(source, "<repro.sql.compiled>", "exec")
+    exec(code, gen.env)
+    fn = gen.env["_compiled"]
+    fn.__compiled_source__ = source  # introspection / debugging aid
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Closure-combinator fallback (same semantics, one call per node)
+# ---------------------------------------------------------------------------
+def _compile(expr: Expr, schema: Schema) -> CompiledExpr:
+    if isinstance(expr, Literal):
+        return lambda values, _v=expr.value: _v
+    if isinstance(expr, ColumnRef):
+        return _operator.itemgetter(schema.index_of(expr.name))
+    if isinstance(expr, BinaryOp):
+        return _compile_binary(expr, schema)
+    if isinstance(expr, UnaryOp):
+        return _compile_unary(expr, schema)
+    if isinstance(expr, FunctionCall):
+        return _compile_function(expr, schema)
+    # AggregateCall and anything exotic: delegate to the interpreter.
+    return _fallback(expr, schema)
+
+
+def _fallback(expr: Expr, schema: Schema) -> CompiledExpr:
+    def run(values: tuple, _e=expr, _s=schema) -> Any:
+        return _e.eval(Row.raw(_s, values))
+
+    return run
+
+
+def _compile_binary(expr: BinaryOp, schema: Schema) -> CompiledExpr:
+    op = expr.op
+    left = compile_expr(expr.left, schema)
+    right = compile_expr(expr.right, schema)
+
+    if op == "AND":
+
+        def and_(values: tuple, _l=left, _r=right) -> Any:
+            a = _l(values)
+            if a is False:
+                return False
+            b = _r(values)
+            if b is False:
+                return False
+            if a is None or b is None:
+                return None
+            return True
+
+        return and_
+
+    if op == "OR":
+
+        def or_(values: tuple, _l=left, _r=right) -> Any:
+            a = _l(values)
+            if a is True:
+                return True
+            b = _r(values)
+            if b is True:
+                return True
+            if a is None or b is None:
+                return None
+            return False
+
+        return or_
+
+    fn = _COMPARISONS.get(op) or (_ARITHMETIC.get(op) if op in ("+", "-", "*") else None)
+    if fn is not None:
+
+        def apply(values: tuple, _l=left, _r=right, _f=fn, _op=op) -> Any:
+            a = _l(values)
+            b = _r(values)
+            if a is None or b is None:
+                return None
+            try:
+                return _f(a, b)
+            except TypeError as exc:
+                raise ExecutionError(f"cannot apply {_op} to {a!r} and {b!r}") from exc
+
+        return apply
+
+    if op in ("/", "%"):
+        fn = _ARITHMETIC[op]
+
+        def divide(values: tuple, _l=left, _r=right, _f=fn, _op=op) -> Any:
+            a = _l(values)
+            b = _r(values)
+            if a is None or b is None:
+                return None
+            if b == 0:
+                return None  # SQL: division by zero yields NULL here
+            try:
+                return _f(a, b)
+            except TypeError as exc:
+                raise ExecutionError(f"cannot apply {_op} to {a!r} and {b!r}") from exc
+
+        return divide
+
+    if op in ("LIKE", "NOT LIKE"):
+        negate = op == "NOT LIKE"
+
+        def like(values: tuple, _l=left, _r=right, _neg=negate) -> Any:
+            a = _l(values)
+            b = _r(values)
+            if a is None or b is None:
+                return None
+            matched = _like_regex_cached(str(b)).match(str(a))
+            return (not matched) if _neg else bool(matched)
+
+        return like
+
+    def unknown(values: tuple, _l=left, _r=right, _op=op) -> Any:
+        # Match the interpreter: operands evaluate first, then the raise.
+        a = _l(values)
+        b = _r(values)
+        if a is None or b is None:
+            return None
+        raise ExecutionError(f"unknown binary operator {_op!r}")
+
+    return unknown
+
+
+def _compile_unary(expr: UnaryOp, schema: Schema) -> CompiledExpr:
+    op = expr.op
+    operand = compile_expr(expr.operand, schema)
+
+    if op == "NOT":
+        return lambda values, _f=operand: (
+            None if (v := _f(values)) is None else (not v)
+        )
+    if op == "-":
+        return lambda values, _f=operand: (None if (v := _f(values)) is None else -v)
+    if op == "IS NULL":
+        return lambda values, _f=operand: _f(values) is None
+    if op == "IS NOT NULL":
+        return lambda values, _f=operand: _f(values) is not None
+
+    def unknown(values: tuple, _f=operand, _op=op) -> Any:
+        _f(values)
+        raise ExecutionError(f"unknown unary operator {_op!r}")
+
+    return unknown
+
+
+def _compile_function(expr: FunctionCall, schema: Schema) -> CompiledExpr:
+    upper = expr.name.upper()
+    if upper not in _SCALAR_FUNCTIONS:
+        # The interpreter raises before evaluating arguments; match it.
+        def unknown(values: tuple, _name=expr.name) -> Any:
+            raise ExecutionError(f"unknown function {_name!r}")
+
+        return unknown
+
+    fn, _ = _SCALAR_FUNCTIONS[upper]
+    arg_fns = tuple(compile_expr(a, schema) for a in expr.args)
+
+    if upper == "COALESCE":
+        # COALESCE evaluates every argument (as the interpreter does) and
+        # the implementation picks the first non-NULL.
+        def coalesce(values: tuple, _fns=arg_fns, _fn=fn) -> Any:
+            return _fn(*[f(values) for f in _fns])
+
+        return coalesce
+
+    def call(values: tuple, _fns=arg_fns, _fn=fn) -> Any:
+        args = [f(values) for f in _fns]
+        for v in args:
+            if v is None:
+                return None
+        return _fn(*args)
+
+    return call

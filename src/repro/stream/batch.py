@@ -5,15 +5,23 @@ rewrites) repeatedly evaluates the *step* plan over deltas; a push
 pipeline is the wrong tool for that, so this module provides a direct
 batch evaluator. It is also the oracle that integration tests compare
 the streaming operators against.
+
+Evaluation uses the schema-bound compiled evaluators of
+:mod:`repro.sql.compiled` by default (``compiled=True``): predicates,
+projections, join keys and group keys resolve column positions once per
+plan node instead of per row, and compilation is memoized so the
+fixpoint's repeated step evaluations reuse the same closures.
+``compiled=False`` keeps the original tree-walking interpreter — the
+ablation baseline measured by ``benchmarks/bench_expr_compile.py``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.data.schema import Schema
 from repro.data.tuples import Row
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, SchemaError
 from repro.plan.logical import (
     Aggregate,
     CteRef,
@@ -29,16 +37,35 @@ from repro.plan.logical import (
     Scan,
     Select,
 )
-from repro.sql.expressions import is_equijoin_conjunct, split_conjuncts
-from repro.stream.operators import _Accumulator, _Descending
+from repro.sql.compiled import compile_expr, compile_projection
+from repro.sql.expressions import conjoin, is_equijoin_conjunct, split_conjuncts
+from repro.stream.operators import _Accumulator, _Descending, _positional_key
 
 
-def evaluate(plan: LogicalOp, tables: dict[str, Iterable[Row]]) -> list[Row]:
+def _node_compiled(node, factory):
+    """Compiled artifacts memoized on the plan node itself.
+
+    The recursive-view maintainer evaluates the same (immutable) plan
+    tree thousands of times over tiny deltas; an attribute read per call
+    is the only per-call cost this cache adds, unlike key-hashing the
+    expression tree.
+    """
+    cached = node.__dict__.get("_batch_compiled")
+    if cached is None:
+        cached = factory()
+        node.__dict__["_batch_compiled"] = cached
+    return cached
+
+
+def evaluate(
+    plan: LogicalOp, tables: dict[str, Iterable[Row]], compiled: bool = True
+) -> list[Row]:
     """Evaluate ``plan`` against ``tables``.
 
     ``tables`` maps *source names* (and CTE names) to row collections;
     Scan leaves look up by their catalog entry name, CteRef leaves by
     their CTE name. Rows are re-qualified to the plan's binding names.
+    ``compiled=False`` forces interpreted expression evaluation.
     """
     if isinstance(plan, Scan):
         return _scan_rows(plan.entry.name, plan.schema, tables)
@@ -47,65 +74,119 @@ def evaluate(plan: LogicalOp, tables: dict[str, Iterable[Row]]) -> list[Row]:
     if isinstance(plan, RemoteSource):
         return _scan_rows(plan.name, plan.schema, tables)
     if isinstance(plan, Select):
-        rows = evaluate(plan.child, tables)
+        rows = evaluate(plan.child, tables, compiled)
+        if compiled:
+            predicate = _node_compiled(
+                plan, lambda: compile_expr(plan.predicate, plan.child.schema)
+            )
+            return [row for row in rows if predicate(row.values) is True]
         return [row for row in rows if plan.predicate.eval(row) is True]
     if isinstance(plan, Project):
-        rows = evaluate(plan.child, tables)
         schema = plan.schema
+        if compiled:
+            rows = _input_rows(plan.child, tables, compiled)
+            project = _node_compiled(
+                plan,
+                lambda: compile_projection(
+                    [item.expr for item in plan.items], plan.child.schema
+                ),
+            )
+            raw = Row.raw
+            return [raw(schema, project(row.values)) for row in rows]
+        rows = evaluate(plan.child, tables, compiled)
         return [
             Row(schema, [item.expr.eval(row) for item in plan.items], validate=False)
             for row in rows
         ]
     if isinstance(plan, Join):
-        return _join(plan, tables)
+        return _join(plan, tables, compiled)
     if isinstance(plan, Aggregate):
-        return _aggregate(plan, tables)
+        return _aggregate(plan, tables, compiled)
     if isinstance(plan, Distinct):
         seen: set[tuple] = set()
         out = []
-        for row in evaluate(plan.child, tables):
+        for row in evaluate(plan.child, tables, compiled):
             if row.values not in seen:
                 seen.add(row.values)
                 out.append(row)
         return out
     if isinstance(plan, OrderBy):
-        rows = evaluate(plan.child, tables)
+        rows = evaluate(plan.child, tables, compiled)
+        key_fns = (
+            _node_compiled(
+                plan,
+                lambda: [
+                    compile_expr(item.expr, plan.child.schema) for item in plan.items
+                ],
+            )
+            if compiled
+            else None
+        )
+
         def key(row: Row) -> tuple:
             parts = []
-            for item in plan.items:
-                value = item.expr.eval(row)
+            for position, item in enumerate(plan.items):
+                if key_fns is not None:
+                    value = key_fns[position](row.values)
+                else:
+                    value = item.expr.eval(row)
                 null_rank = 0 if value is None else 1
                 base = (null_rank, value if value is not None else 0)
                 parts.append(base if item.ascending else _Descending(base))
             return tuple(parts)
+
         return sorted(rows, key=key)
     if isinstance(plan, Limit):
-        return evaluate(plan.child, tables)[: plan.count]
+        return evaluate(plan.child, tables, compiled)[: plan.count]
     if isinstance(plan, Output):
-        return evaluate(plan.child, tables)
+        return evaluate(plan.child, tables, compiled)
     if isinstance(plan, Recursive):
-        return fixpoint(plan, tables)
+        return fixpoint(plan, tables, compiled)
     raise ExecutionError(f"batch evaluator cannot handle {type(plan).__name__}")
 
 
 def _scan_rows(name: str, schema: Schema, tables: dict[str, Iterable[Row]]) -> list[Row]:
+    rows = _table_rows(name, tables)
+    return [row if row.schema is schema else row.with_schema(schema) for row in rows]
+
+
+def _table_rows(name: str, tables: dict[str, Iterable[Row]]) -> list[Row]:
     for key, rows in tables.items():
         if key.lower() == name.lower():
-            return [row.with_schema(schema) for row in rows]
+            return rows if isinstance(rows, list) else list(rows)
     raise ExecutionError(f"no table provided for {name!r}; have {sorted(tables)}")
 
 
-def _join(plan: Join, tables: dict[str, Iterable[Row]]) -> list[Row]:
-    left_rows = evaluate(plan.left, tables)
-    right_rows = evaluate(plan.right, tables)
-    conjuncts = split_conjuncts(plan.predicate)
+def _input_rows(node: LogicalOp, tables: dict[str, Iterable[Row]], compiled: bool) -> list[Row]:
+    """Child rows for an operator that *rebuilds* its output rows.
+
+    Compiled (positional) evaluation never consults row schemas, and a
+    Project/Join parent constructs fresh rows under its own schema — so
+    leaf rows can skip the per-row binding rebase entirely. Arity is
+    checked once per table instead of once per row.
+    """
+    if isinstance(node, Scan):
+        rows = _table_rows(node.entry.name, tables)
+    elif isinstance(node, (CteRef, RemoteSource)):
+        rows = _table_rows(node.name, tables)
+    else:
+        return evaluate(node, tables, compiled)
+    arity = len(node.schema.fields)
+    if any(len(row.values) != arity for row in rows):
+        bad = next(row for row in rows if len(row.values) != arity)
+        raise SchemaError(
+            f"row has {len(bad.values)} values but schema has {arity} fields"
+        )
+    return rows
+
+
+def _classify_join(plan: Join) -> tuple[list[tuple[str, str]], list]:
+    """Split the join predicate into usable equi-key pairs + residual."""
     left_schema = plan.left.schema
     right_schema = plan.right.schema
-
-    # Hash join on any usable equi-key pair; nested loop otherwise.
     equi: list[tuple[str, str]] = []
     residual = []
-    for conjunct in conjuncts:
+    for conjunct in split_conjuncts(plan.predicate):
         pair = is_equijoin_conjunct(conjunct)
         if pair is not None:
             a, b = pair
@@ -116,6 +197,28 @@ def _join(plan: Join, tables: dict[str, Iterable[Row]]) -> list[Row]:
                 equi.append((b, a))
                 continue
         residual.append(conjunct)
+    return equi, residual
+
+
+def _compile_join(plan: Join):
+    """One-time compiled state for a Join node: key extractors and the
+    residual predicate, bound to the children's schemas."""
+    equi, residual = _classify_join(plan)
+    left_key = _positional_key(plan.left.schema, [lk for lk, _ in equi])
+    right_key = _positional_key(plan.right.schema, [rk for _, rk in equi])
+    residual_fn = compile_expr(conjoin(residual), plan.schema) if residual else None
+    return bool(equi), left_key, right_key, residual_fn
+
+
+def _join(plan: Join, tables: dict[str, Iterable[Row]], compiled: bool) -> list[Row]:
+    if compiled:
+        return _join_compiled(plan, tables)
+    left_rows = evaluate(plan.left, tables, compiled)
+    right_rows = evaluate(plan.right, tables, compiled)
+    equi, residual = _classify_join(plan)
+
+    def keep(joined: Row) -> bool:
+        return all(c.eval(joined) is True for c in residual)
 
     out: list[Row] = []
     if equi:
@@ -127,22 +230,67 @@ def _join(plan: Join, tables: dict[str, Iterable[Row]]) -> list[Row]:
             key = tuple(left_row[lk] for lk, _ in equi)
             for right_row in index.get(key, ()):  # hash probe
                 joined = left_row.concat(right_row)
-                if all(c.eval(joined) is True for c in residual):
+                if keep(joined):
                     out.append(joined)
     else:
         for left_row in left_rows:
             for right_row in right_rows:
                 joined = left_row.concat(right_row)
-                if all(c.eval(joined) is True for c in residual):
+                if keep(joined):
                     out.append(joined)
     return out
 
 
-def _aggregate(plan: Aggregate, tables: dict[str, Iterable[Row]]) -> list[Row]:
-    rows = evaluate(plan.child, tables)
+def _join_compiled(plan: Join, tables: dict[str, Iterable[Row]]) -> list[Row]:
+    left_rows = _input_rows(plan.left, tables, True)
+    right_rows = _input_rows(plan.right, tables, True)
+    has_equi, left_key, right_key, residual_fn = _node_compiled(
+        plan, lambda: _compile_join(plan)
+    )
+    joined_schema = plan.schema  # == left.concat(right), built once
+    raw = Row.raw
+    out: list[Row] = []
+    if has_equi:
+        index: dict[Any, list[Row]] = {}
+        for row in right_rows:
+            index.setdefault(right_key(row.values), []).append(row)
+        if residual_fn is not None:
+            for left_row in left_rows:
+                left_values = left_row.values
+                for right_row in index.get(left_key(left_values), ()):  # hash probe
+                    joined = raw(joined_schema, left_values + right_row.values)
+                    if residual_fn(joined.values) is True:
+                        out.append(joined)
+        else:
+            for left_row in left_rows:
+                left_values = left_row.values
+                for right_row in index.get(left_key(left_values), ()):
+                    out.append(raw(joined_schema, left_values + right_row.values))
+    else:
+        for left_row in left_rows:
+            left_values = left_row.values
+            for right_row in right_rows:
+                joined = raw(joined_schema, left_values + right_row.values)
+                if residual_fn is None or residual_fn(joined.values) is True:
+                    out.append(joined)
+    return out
+
+
+def _aggregate(plan: Aggregate, tables: dict[str, Iterable[Row]], compiled: bool) -> list[Row]:
+    rows = evaluate(plan.child, tables, compiled)
+    key_fn = (
+        _node_compiled(
+            plan, lambda: compile_projection(plan.group_by, plan.child.schema)
+        )
+        if compiled
+        else None
+    )
     groups: dict[tuple, list[_Accumulator]] = {}
     for row in rows:
-        key = tuple(expr.eval(row) for expr in plan.group_by)
+        if key_fn is not None:
+            key = key_fn(row.values)
+        else:
+            key = tuple(expr.eval(row) for expr in plan.group_by)
         accumulators = groups.get(key)
         if accumulators is None:
             accumulators = [_Accumulator(item.call) for item in plan.aggregates]
@@ -159,14 +307,24 @@ def _aggregate(plan: Aggregate, tables: dict[str, Iterable[Row]]) -> list[Row]:
     return out
 
 
-def fixpoint(plan: Recursive, tables: dict[str, Iterable[Row]]) -> list[Row]:
+def fixpoint(
+    plan: Recursive, tables: dict[str, Iterable[Row]], compiled: bool = True
+) -> list[Row]:
     """Naive-from-scratch fixpoint of a Recursive plan (set semantics).
 
     Used as the recomputation baseline for the incremental maintainer
     and for correctness oracles in tests.
     """
-    base_rows = evaluate(plan.base, tables)
-    total: set[Row] = {row.with_schema(plan.cte_schema) for row in base_rows}
+    cte_schema = plan.cte_schema
+    # When a branch already produces the CTE schema (the planner's
+    # _coerce_arity usually guarantees it), the per-row rebase is a no-op
+    # for set semantics (Row equality/hash treat equal schemas alike).
+    base_rebase = plan.base.schema != cte_schema
+    step_rebase = plan.step.schema != cte_schema
+    base_rows = evaluate(plan.base, tables, compiled)
+    if base_rebase:
+        base_rows = [row.with_schema(cte_schema) for row in base_rows]
+    total: set[Row] = set(base_rows)
     delta = set(total)
     iterations = 0
     while delta:
@@ -175,10 +333,10 @@ def fixpoint(plan: Recursive, tables: dict[str, Iterable[Row]]) -> list[Row]:
             raise ExecutionError(f"recursive plan {plan.name} did not converge")
         step_tables = dict(tables)
         step_tables[plan.name] = list(delta)
-        produced = evaluate(plan.step, step_tables)
+        produced = evaluate(plan.step, step_tables, compiled)
         new_delta: set[Row] = set()
         for row in produced:
-            rebased = row.with_schema(plan.cte_schema)
+            rebased = row.with_schema(cte_schema) if step_rebase else row
             if rebased not in total:
                 total.add(rebased)
                 new_delta.add(rebased)

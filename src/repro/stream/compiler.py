@@ -95,7 +95,11 @@ class CompiledPlan:
 
 
 class _ReschemaConsumer:
-    """Rebases incoming rows positionally onto a fixed schema."""
+    """Rebases incoming rows positionally onto a fixed schema.
+
+    ``with_schema`` reuses the value tuple untouched, so the
+    per-element cost is one arity check plus one allocation per port.
+    """
 
     def __init__(self, schema, downstream: StreamConsumer):
         self._schema = schema
@@ -109,7 +113,7 @@ class _ReschemaConsumer:
         self._downstream.push(item)
 
 
-class _RenamingConsumer:
+class _RenamingConsumer(_ReschemaConsumer):
     """Rebases incoming rows onto the scan's qualified schema.
 
     Sources emit rows under their catalog schema (bare names); plans
@@ -118,13 +122,7 @@ class _RenamingConsumer:
     """
 
     def __init__(self, scan: Scan, downstream: StreamConsumer):
-        self._schema = scan.schema
-        self._downstream = downstream
-
-    def push(self, item) -> None:
-        if isinstance(item, StreamElement):
-            item = StreamElement(item.row.with_schema(self._schema), item.timestamp, item.source)
-        self._downstream.push(item)
+        super().__init__(scan.schema, downstream)
 
 
 class PlanCompiler:
@@ -134,9 +132,18 @@ class PlanCompiler:
         self,
         deliver: Callable[[str, StreamElement], None] | None = None,
         default_window: WindowSpec = DEFAULT_STREAM_WINDOW,
+        compiled_exprs: bool = True,
     ):
         self._deliver = deliver or (lambda display, element: None)
         self._default_window = default_window
+        # When True (default), operators evaluate expressions via the
+        # schema-bound compiled closures of repro.sql.compiled; False
+        # keeps the tree-walking interpreter (the A/B baseline used by
+        # benchmarks/bench_expr_compile.py).
+        self._compiled_exprs = compiled_exprs
+
+    def _input_schema(self, child: LogicalOp):
+        return child.schema if self._compiled_exprs else None
 
     def compile(self, plan: LogicalOp, sink: StreamConsumer) -> CompiledPlan:
         """Compile ``plan`` so results flow into ``sink``."""
@@ -170,12 +177,12 @@ class PlanCompiler:
                 "repro.stream.recursive.RecursiveView for recursive queries"
             )
         if isinstance(node, Select):
-            op = FilterOp(node.predicate, downstream)
+            op = FilterOp(node.predicate, downstream, self._input_schema(node.child))
             compiled.operators.append(op)
             return self._compile_node(node.child, op, compiled)
         if isinstance(node, Project):
             items = [(item.expr, item.name) for item in node.items]
-            op = ProjectOp(items, node.schema, downstream)
+            op = ProjectOp(items, node.schema, downstream, self._input_schema(node.child))
             compiled.operators.append(op)
             return self._compile_node(node.child, op, compiled)
         if isinstance(node, Join):
@@ -189,7 +196,14 @@ class PlanCompiler:
             window = node.window if (
                 node.window is not None and node.window.kind is WindowKind.RANGE
             ) else None
-            op = AggregateOp(group_by, aggregates, node.schema, downstream, window)
+            op = AggregateOp(
+                group_by,
+                aggregates,
+                node.schema,
+                downstream,
+                window,
+                self._input_schema(node.child),
+            )
             compiled.operators.append(op)
             return self._compile_node(node.child, op, compiled)
         if isinstance(node, Distinct):
@@ -197,7 +211,7 @@ class PlanCompiler:
             compiled.operators.append(op)
             return self._compile_node(node.child, op, compiled)
         if isinstance(node, OrderBy):
-            op = OrderByOp(node.items, downstream)
+            op = OrderByOp(node.items, downstream, self._input_schema(node.child))
             compiled.operators.append(op)
             return self._compile_node(node.child, op, compiled)
         if isinstance(node, Limit):
@@ -240,6 +254,7 @@ class PlanCompiler:
             conjoin(residual),
             equi,
             downstream,
+            compile_exprs=self._compiled_exprs,
         )
         compiled.operators.append(join)
         self._compile_node(node.left, join.left_port, compiled)

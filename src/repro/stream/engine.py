@@ -6,6 +6,12 @@ registered once; each running query's Scan ports subscribe to the feeds
 they read. Stored tables are replayed into newly started queries so a
 query joining streams against ``Machines`` sees the full table.
 
+Ingestion is routed through a **source → ports index** maintained on
+:meth:`execute`/:meth:`stop`, so pushing an element costs a dictionary
+lookup plus one push per subscribed port — not a scan of every query's
+every port. :meth:`push_many` amortizes the lookup (and the catalog
+resolution) across a whole batch of rows.
+
 The engine is deliberately synchronous: pushing an element runs the
 whole operator pipeline inline. Distribution (operators placed on
 different PCs with LAN latency) is layered on top in
@@ -16,9 +22,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.catalog import Catalog, SourceKind
+from repro.data.schema import Schema
 from repro.data.streams import (
     CollectingConsumer,
     Punctuation,
@@ -28,8 +35,8 @@ from repro.data.streams import (
 from repro.data.tuples import Row
 from repro.data.windows import WindowSpec
 from repro.errors import ExecutionError
-from repro.plan.logical import LogicalOp
-from repro.stream.compiler import DEFAULT_STREAM_WINDOW, CompiledPlan, PlanCompiler
+from repro.plan.logical import LogicalOp, RemoteSource
+from repro.stream.compiler import DEFAULT_STREAM_WINDOW, CompiledPlan, PlanCompiler, ScanPort
 
 _query_ids = itertools.count(1)
 
@@ -49,6 +56,13 @@ class QueryHandle:
     plan: LogicalOp
     compiled: CompiledPlan
     sink: CollectingConsumer
+    # latest_batch incremental state: sink elements before _scan_pos have
+    # been classified against _cached_watermark; _batch keeps the ones
+    # at-or-after it. Repeated polling (the GUI case) is O(new elements).
+    _cached_watermark: float = field(default=float("-inf"), init=False, repr=False)
+    _scan_pos: int = field(default=0, init=False, repr=False)
+    _seen_clears: int = field(default=0, init=False, repr=False)
+    _batch: list[StreamElement] = field(default_factory=list, init=False, repr=False)
 
     @property
     def results(self) -> list[Row]:
@@ -57,12 +71,43 @@ class QueryHandle:
 
     def latest_batch(self) -> list[Row]:
         """Rows emitted since the last punctuation boundary observed."""
-        return [e.row for e in self.sink.elements if e.timestamp >= self._last_watermark()]
+        watermark = self._last_watermark()
+        elements = self.sink.elements
+        if (
+            self._seen_clears != getattr(self.sink, "clears", 0)
+            or self._scan_pos > len(elements)
+            or watermark < self._cached_watermark
+        ):
+            # Sink was cleared, or the watermark regressed: rescan.
+            self._seen_clears = getattr(self.sink, "clears", 0)
+            self._scan_pos = 0
+            self._batch = []
+            self._cached_watermark = watermark
+        elif watermark > self._cached_watermark:
+            # Watermark advanced monotonically: previously excluded
+            # elements stay excluded; prune the kept ones.
+            self._batch = [e for e in self._batch if e.timestamp >= watermark]
+            self._cached_watermark = watermark
+        while self._scan_pos < len(elements):
+            element = elements[self._scan_pos]
+            self._scan_pos += 1
+            if element.timestamp >= watermark:
+                self._batch.append(element)
+        return [e.row for e in self._batch]
 
     def _last_watermark(self) -> float:
         if not self.sink.punctuations:
             return float("-inf")
         return self.sink.punctuations[-1].watermark
+
+
+@dataclass
+class _Route:
+    """One subscription of a running query's port to a source feed."""
+
+    query_id: int
+    port: ScanPort
+    remote_schema: Schema | None = None  # set for RemoteSource ports
 
 
 class StreamEngine:
@@ -86,6 +131,9 @@ class StreamEngine:
         self._queries: dict[int, QueryHandle] = {}
         self._tables: dict[str, list[StreamElement]] = {}
         self._watermarks: dict[str, float] = {}
+        #: Routing index: lowercased source name -> subscribed ports.
+        #: Maintained on execute/stop so ingestion never scans queries.
+        self._routes: dict[str, list[_Route]] = {}
         self.elements_ingested = 0
 
     # ------------------------------------------------------------------
@@ -102,10 +150,9 @@ class StreamEngine:
             for row in rows
         ]
         self._tables.setdefault(entry.name, []).extend(elements)
-        for handle in self._queries.values():
-            for port in handle.compiled.ports_for(name):
-                for element in elements:
-                    port.consumer.push(element)
+        for route in self._routes.get(entry.name.lower(), ()):
+            for element in elements:
+                route.port.consumer.push(element)
 
     def table_rows(self, name: str) -> list[Row]:
         """Current contents of a loaded table."""
@@ -121,6 +168,7 @@ class StreamEngine:
         compiled = self._compiler.compile(plan, sink)
         handle = QueryHandle(next(_query_ids), plan, compiled, sink)
         self._queries[handle.query_id] = handle
+        self._register_routes(handle)
         # Replay stored tables into the new query's table scans.
         for port in compiled.ports:
             if port.scan is None:
@@ -133,11 +181,27 @@ class StreamEngine:
 
     def stop(self, handle: QueryHandle) -> None:
         """Stop routing data into a query."""
-        self._queries.pop(handle.query_id, None)
+        if self._queries.pop(handle.query_id, None) is None:
+            return
+        for key in list(self._routes):
+            kept = [r for r in self._routes[key] if r.query_id != handle.query_id]
+            if kept:
+                self._routes[key] = kept
+            else:
+                del self._routes[key]
 
     @property
     def running_queries(self) -> list[QueryHandle]:
         return list(self._queries.values())
+
+    def _register_routes(self, handle: QueryHandle) -> None:
+        for port in handle.compiled.ports:
+            remote_schema = None
+            if port.scan is None:
+                remote_schema = self._remote_schema(handle, port.source_name)
+            self._routes.setdefault(port.source_name.lower(), []).append(
+                _Route(handle.query_id, port, remote_schema)
+            )
 
     # ------------------------------------------------------------------
     # Stream ingestion
@@ -152,9 +216,47 @@ class StreamEngine:
         entry = self._catalog.source(source)
         element = StreamElement(self._coerce_row(entry.schema, row), timestamp, entry.name)
         self.elements_ingested += 1
-        for handle in self._queries.values():
-            for port in handle.compiled.ports_for(source):
-                port.consumer.push(element)
+        for route in self._routes.get(entry.name.lower(), ()):
+            route.port.consumer.push(element)
+
+    def push_many(
+        self,
+        source: str,
+        rows: Sequence[Row | Mapping[str, Any]],
+        timestamps: float | Sequence[float] = 0.0,
+    ) -> int:
+        """Batched ingestion: push many elements of ``source`` at once.
+
+        The catalog entry and the routing-index lookup are resolved once
+        for the whole batch. ``timestamps`` is either one timestamp
+        applied to every row or a sequence aligned with ``rows``.
+        Elements are delivered in row order, each to every subscribed
+        port (the same interleaving as repeated :meth:`push` calls).
+        Returns the number of elements ingested.
+        """
+        entry = self._catalog.source(source)
+        schema = entry.schema
+        rows = list(rows)
+        if isinstance(timestamps, (int, float)):
+            stamps: Sequence[float] = [float(timestamps)] * len(rows)
+        else:
+            stamps = timestamps
+            if len(stamps) != len(rows):
+                raise ExecutionError(
+                    f"push_many got {len(rows)} rows but {len(stamps)} timestamps"
+                )
+        name = entry.name
+        elements = [
+            StreamElement(self._coerce_row(schema, row), stamp, name)
+            for row, stamp in zip(rows, stamps)
+        ]
+        self.elements_ingested += len(elements)
+        consumers = [r.port.consumer for r in self._routes.get(name.lower(), ())]
+        if consumers:
+            for element in elements:
+                for consumer in consumers:
+                    consumer.push(element)
+        return len(elements)
 
     def push_remote(
         self, name: str, values: Mapping[str, Any] | Row, timestamp: float
@@ -166,20 +268,17 @@ class StreamEngine:
         the port.
         """
         self.elements_ingested += 1
-        for handle in self._queries.values():
-            for port in handle.compiled.ports_for(name):
-                if port.scan is not None:
-                    continue
-                schema = self._remote_schema(handle, name)
-                if isinstance(values, Row):
-                    row = values.with_schema(schema)
-                else:
-                    row = self._remote_row(schema, values)
-                port.consumer.push(StreamElement(row, timestamp, name))
+        for route in self._routes.get(name.lower(), ()):
+            if route.port.scan is not None:
+                continue
+            schema = route.remote_schema
+            if isinstance(values, Row):
+                row = values.with_schema(schema)
+            else:
+                row = self._remote_row(schema, values)
+            route.port.consumer.push(StreamElement(row, timestamp, name))
 
-    def _remote_schema(self, handle: QueryHandle, name: str):
-        from repro.plan.logical import RemoteSource
-
+    def _remote_schema(self, handle: QueryHandle, name: str) -> Schema:
         for node in handle.plan.walk():
             if isinstance(node, RemoteSource) and node.name.lower() == name.lower():
                 return node.schema
@@ -201,12 +300,14 @@ class StreamEngine:
         """Advance the watermark on ``sources`` (default: every source any
         running query reads, including table scans)."""
         punctuation = Punctuation(watermark)
-        for handle in self._queries.values():
-            for port in handle.compiled.ports:
-                if sources is None or any(
-                    port.source_name.lower() == s.lower() for s in sources
-                ):
+        if sources is None:
+            for handle in self._queries.values():
+                for port in handle.compiled.ports:
                     port.consumer.push(punctuation)
+            return
+        for source in sources:
+            for route in self._routes.get(source.lower(), ()):
+                route.port.consumer.push(punctuation)
 
     # ------------------------------------------------------------------
     def _coerce_row(self, schema, row: Row | Mapping[str, Any]) -> Row:

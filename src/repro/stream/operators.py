@@ -26,9 +26,24 @@ from repro.data.streams import (
 )
 from repro.data.tuples import Row
 from repro.data.windows import WindowKind, WindowSpec
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, SchemaError, UnknownFieldError
 from repro.sql.ast import OrderItem
+from repro.sql.compiled import compile_expr, compile_projection
 from repro.sql.expressions import AggregateCall, Expr
+
+
+def _positional_key(schema: Schema, names: list[str]) -> Callable[[tuple], Any]:
+    """A values-tuple -> hash-key function with names resolved once.
+
+    Single-column keys hash the bare value (both join sides use the same
+    convention within one operator, so grouping is unaffected).
+    """
+    from operator import itemgetter
+
+    indexes = [schema.index_of(name) for name in names]
+    if not indexes:
+        return lambda values: ()
+    return itemgetter(*indexes)
 
 
 class Operator:
@@ -64,13 +79,30 @@ class FilterOp(Operator):
     SQL three-valued logic: NULL (unknown) does not pass.
     """
 
-    def __init__(self, predicate: Expr, downstream: StreamConsumer):
+    def __init__(
+        self,
+        predicate: Expr,
+        downstream: StreamConsumer,
+        input_schema: Schema | None = None,
+    ):
         super().__init__(downstream)
         self.predicate = predicate
+        # Schema-bound compilation: with the input schema known, the
+        # predicate runs as a closure over the row's value tuple.
+        self._compiled = (
+            compile_expr(predicate, input_schema) if input_schema is not None else None
+        )
 
     def on_element(self, element: StreamElement) -> None:
-        if self.predicate.eval(element.row) is True:
-            self.emit(element)
+        compiled = self._compiled
+        if compiled is not None:
+            if compiled(element.row.values) is True:
+                # emit() inlined: this is the hottest call site.
+                self.rows_out += 1
+                self.downstream.push(element)
+        elif self.predicate.eval(element.row) is True:
+            self.rows_out += 1
+            self.downstream.push(element)
 
 
 class ProjectOp(Operator):
@@ -81,17 +113,33 @@ class ProjectOp(Operator):
         items: list[tuple[Expr, str]],
         output_schema: Schema,
         downstream: StreamConsumer,
+        input_schema: Schema | None = None,
     ):
         super().__init__(downstream)
         if len(items) != len(output_schema):
             raise ExecutionError("project items and output schema disagree")
         self.items = items
         self.output_schema = output_schema
+        # One generated function computes the whole output tuple.
+        self._compiled = (
+            compile_projection([expr for expr, _ in items], input_schema)
+            if input_schema is not None
+            else None
+        )
 
     def on_element(self, element: StreamElement) -> None:
-        values = [expr.eval(element.row) for expr, _ in self.items]
-        row = Row(self.output_schema, values, validate=False)
-        self.emit(StreamElement(row, element.timestamp, element.source))
+        compiled = self._compiled
+        if compiled is not None:
+            row = Row.raw(self.output_schema, compiled(element.row.values))
+        else:
+            row = Row(
+                self.output_schema,
+                [expr.eval(element.row) for expr, _ in self.items],
+                validate=False,
+            )
+        # emit() inlined: this is the hottest call site.
+        self.rows_out += 1
+        self.downstream.push(StreamElement(row, element.timestamp, element.source))
 
 
 class SymmetricHashJoin(Operator):
@@ -117,6 +165,7 @@ class SymmetricHashJoin(Operator):
         predicate: Expr | None,
         equi_keys: list[tuple[str, str]],
         downstream: StreamConsumer,
+        compile_exprs: bool = True,
     ):
         super().__init__(downstream)
         self.left_schema = left_schema
@@ -127,6 +176,27 @@ class SymmetricHashJoin(Operator):
         # Keys resolvable on each side, in matched order.
         self.left_keys = [lk for lk, _ in equi_keys]
         self.right_keys = [rk for _, rk in equi_keys]
+        # Schema-bound compilation: key columns resolve to positions once
+        # and the residual predicate runs over the joined value tuple.
+        # Schemas the compiler cannot bind (duplicate names in the
+        # concatenated schema, keys resolvable only per-row) fall back
+        # to interpretation; anything else propagates.
+        self._left_key_fn: Callable[[tuple], Any] | None = None
+        self._right_key_fn: Callable[[tuple], Any] | None = None
+        self._compiled_predicate = None
+        self._joined_schema: Schema | None = None
+        if compile_exprs:
+            try:
+                joined_schema = left_schema.concat(right_schema)
+                self._left_key_fn = _positional_key(left_schema, self.left_keys)
+                self._right_key_fn = _positional_key(right_schema, self.right_keys)
+                if predicate is not None:
+                    self._compiled_predicate = compile_expr(predicate, joined_schema)
+                self._joined_schema = joined_schema
+            except (SchemaError, UnknownFieldError):
+                self._left_key_fn = self._right_key_fn = None
+                self._compiled_predicate = None
+                self._joined_schema = None
         self._left_buffer: dict[tuple, deque[StreamElement]] = {}
         self._right_buffer: dict[tuple, deque[StreamElement]] = {}
         self._left_fifo: deque[tuple[tuple, StreamElement]] = deque()
@@ -185,10 +255,13 @@ class SymmetricHashJoin(Operator):
         self.rows_in += 1
         own_buffer = self._left_buffer if left else self._right_buffer
         other_buffer = self._right_buffer if left else self._left_buffer
-        own_keys = self.left_keys if left else self.right_keys
         other_window = self.right_window if left else self.left_window
 
-        key = self._key(item.row, own_keys)
+        key_fn = self._left_key_fn if left else self._right_key_fn
+        if key_fn is not None:
+            key = key_fn(item.row.values)
+        else:
+            key = self._key(item.row, self.left_keys if left else self.right_keys)
         own_buffer.setdefault(key, deque()).append(item)
 
         # ROWS windows bound the buffer by count, not time.
@@ -218,12 +291,17 @@ class SymmetricHashJoin(Operator):
                 item.timestamp, other.timestamp
             ):
                 continue
-            if left:
-                joined = item.row.concat(other.row)
+            left_row, right_row = (item.row, other.row) if left else (other.row, item.row)
+            if self._joined_schema is not None:
+                joined = Row.raw(self._joined_schema, left_row.values + right_row.values)
             else:
-                joined = other.row.concat(item.row)
-            if self.predicate is not None and self.predicate.eval(joined) is not True:
-                continue
+                joined = left_row.concat(right_row)
+            if self.predicate is not None:
+                if self._compiled_predicate is not None:
+                    if self._compiled_predicate(joined.values) is not True:
+                        continue
+                elif self.predicate.eval(joined) is not True:
+                    continue
             timestamp = max(item.timestamp, other.timestamp)
             self.emit(StreamElement(joined, timestamp))
 
@@ -316,19 +394,32 @@ class AggregateOp(Operator):
         output_schema: Schema,
         downstream: StreamConsumer,
         window: WindowSpec | None = None,
+        input_schema: Schema | None = None,
     ):
         super().__init__(downstream)
         self.group_by = group_by
         self.aggregates = aggregates
         self.output_schema = output_schema
         self.window = window
+        # Group keys compile to one positional key function; the aggregate
+        # calls themselves keep their interpreted accumulator path.
+        self._key_fn = (
+            compile_projection([expr for expr, _ in group_by], input_schema)
+            if input_schema is not None
+            else None
+        )
         self._buffer: list[StreamElement] = []  # windowed mode
         self._groups: dict[tuple, list[_Accumulator]] = {}  # running mode
         self._next_boundary: float | None = None
 
+    def _group_key(self, row: Row) -> tuple:
+        if self._key_fn is not None:
+            return self._key_fn(row.values)
+        return tuple(expr.eval(row) for expr, _ in self.group_by)
+
     # -- running mode ---------------------------------------------------
     def _running_add(self, element: StreamElement) -> None:
-        key = tuple(expr.eval(element.row) for expr, _ in self.group_by)
+        key = self._group_key(element.row)
         accumulators = self._groups.get(key)
         if accumulators is None:
             accumulators = [_Accumulator(call) for call, _ in self.aggregates]
@@ -362,7 +453,7 @@ class AggregateOp(Operator):
             groups: dict[tuple, list[_Accumulator]] = {}
             for element in self._buffer:
                 if start < element.timestamp <= boundary:
-                    key = tuple(expr.eval(element.row) for expr, _ in self.group_by)
+                    key = self._group_key(element.row)
                     accumulators = groups.get(key)
                     if accumulators is None:
                         accumulators = [_Accumulator(call) for call, _ in self.aggregates]
@@ -419,10 +510,20 @@ class OrderByOp(Operator):
     batch, sorted and re-emitted when the punctuation arrives.
     """
 
-    def __init__(self, items: list[OrderItem], downstream: StreamConsumer):
+    def __init__(
+        self,
+        items: list[OrderItem],
+        downstream: StreamConsumer,
+        input_schema: Schema | None = None,
+    ):
         super().__init__(downstream)
         self.items = items
         self._batch: list[StreamElement] = []
+        self._key_fns = (
+            [compile_expr(item.expr, input_schema) for item in items]
+            if input_schema is not None
+            else None
+        )
 
     def on_element(self, element: StreamElement) -> None:
         self._batch.append(element)
@@ -439,8 +540,10 @@ class OrderByOp(Operator):
 
     def _sort_key(self, row: Row) -> tuple:
         key: list[Any] = []
-        for item in self.items:
-            value = item.expr.eval(row)
+        fns = self._key_fns
+        values = row.values if fns is not None else ()
+        for position, item in enumerate(self.items):
+            value = fns[position](values) if fns is not None else item.expr.eval(row)
             # NULLs sort first ascending, last descending.
             null_rank = 0 if value is None else 1
             if item.ascending:

@@ -1,0 +1,34 @@
+"""Tier-1 smoke for the bench tooling (`make bench` / python -m benchmarks).
+
+Runs the expression-compilation bench at a tiny scale and checks the
+artifact contract — not the speedup thresholds, which are asserted by
+the bench itself when run at full scale (timing assertions would be
+flaky inside the CI test suite).
+"""
+
+import json
+
+
+def test_bench_expr_compile_smoke(tmp_path):
+    from benchmarks.bench_expr_compile import run_benchmarks, write_artifact
+
+    results = run_benchmarks(scale=0.01)
+    path = write_artifact(results, tmp_path)
+
+    data = json.loads(path.read_text())
+    assert data["benchmark"] == "expr_compile"
+    pipelines = data["pipelines"]
+    for name in ("filter_project", "join", "recursive_fixpoint"):
+        entry = pipelines[name]
+        assert entry["rows"] > 0
+        assert entry["compiled_rows_per_s"] > 0
+        assert entry["interpreted_rows_per_s"] > 0
+        assert entry["speedup"] is not None
+
+
+def test_bench_runner_module_lists_all_benches():
+    from benchmarks.__main__ import BENCH_DIR
+
+    names = sorted(p.name for p in BENCH_DIR.glob("bench_*.py"))
+    assert "bench_expr_compile.py" in names
+    assert len(names) >= 12

@@ -106,6 +106,40 @@ class TestSchema:
         assert schema != schema.qualified("q")
 
 
+class TestQualifiedLookup:
+    """Schema.index_of resolution rules for qualified names.
+
+    Qualified names must match a full field name exactly; they are never
+    resolved against bare names, and partial qualifier matches are not
+    supported (intentional, mirroring SQL name resolution).
+    """
+
+    def test_qualified_exact_match(self):
+        schema = Schema.of(("ss.room", DataType.STRING), ("m.room", DataType.STRING))
+        assert schema.index_of("ss.room") == 0
+        assert schema.index_of("m.room") == 1
+
+    def test_qualified_miss_raises_unknown_not_ambiguous(self):
+        # "x.room" shares the bare name with two fields, but qualified
+        # lookup is exact-only: it must raise UnknownFieldError, never
+        # fall back to the (ambiguous) bare-name candidates.
+        schema = Schema.of(("ss.room", DataType.STRING), ("m.room", DataType.STRING))
+        with pytest.raises(UnknownFieldError):
+            schema.index_of("x.room")
+
+    def test_partial_qualifier_not_supported(self):
+        schema = Schema.of(("SeatSensors.ss.room", DataType.STRING))
+        # Exact full name works; the suffix "ss.room" does not resolve.
+        assert schema.index_of("SeatSensors.ss.room") == 0
+        with pytest.raises(UnknownFieldError):
+            schema.index_of("ss.room")
+
+    def test_bare_lookup_still_resolves_unique_qualified_field(self):
+        schema = Schema.of(("ss.room", DataType.STRING), ("ss.desk", DataType.STRING))
+        assert schema.index_of("room") == 0
+        assert schema.index_of("desk") == 1
+
+
 class TestRow:
     def test_construction_validates(self, schema):
         with pytest.raises(TypeMismatchError):
