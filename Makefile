@@ -4,11 +4,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-expr
+.PHONY: test check bench bench-expr bench-session
 
 ## Tier-1 verification: the full unit/integration suite.
 test:
 	$(PYTHON) -m pytest -x -q
+
+## CI gate: tier-1 tests plus every bench at smoke scale.
+check: test
+	$(PYTHON) -m benchmarks --smoke
 
 ## Run every bench_*.py non-interactively; writes BENCH_*.json artifacts.
 bench:
@@ -17,3 +21,7 @@ bench:
 ## Just the expression-compilation microbenchmark (fast feedback).
 bench-expr:
 	$(PYTHON) -m benchmarks.bench_expr_compile
+
+## Just the session-facade overhead benchmark (writes BENCH_session.json).
+bench-session:
+	$(PYTHON) -m pytest benchmarks/bench_session.py -q -s

@@ -22,12 +22,10 @@ def main() -> None:
     app = SmartCIS(seed=3)
     app.start()
 
-    power_handle = app.stream_engine.execute(
-        app.builder.build_sql(power_by_room_sql(window_seconds=60))
-    )
-    resources_handle = app.stream_engine.execute(
-        app.builder.build_sql(resources_by_room_sql(window_seconds=60))
-    )
+    # SQL text straight into the session facade — no plan builder,
+    # no engine plumbing at the call site.
+    power_handle = app.query(power_by_room_sql(window_seconds=60))
+    resources_handle = app.query(resources_by_room_sql(window_seconds=60))
     app.add_overtemp_alarm(threshold_c=33.0)
     app.add_overload_alarm(threshold=0.9)
     app.alarms.on_alarm = lambda event: print(
@@ -80,6 +78,10 @@ def main() -> None:
     print(f"\ntotal alarms fired: {len(app.alarms.events)}")
     print(f"mean alarm latency: {app.alarms.mean_latency()*1000:.1f} ms")
     print(f"sensor network energy spent: {app.network.total_energy_spent()/1000:.1f} J")
+
+    # Deterministic shutdown: every wrapper, punctuator and session
+    # query stops (the old version leaked running poll loops).
+    app.stop()
 
 
 if __name__ == "__main__":

@@ -39,11 +39,9 @@ def main() -> None:
     print("=" * 70)
     naive = FederatedOptimizer(app.catalog, app.network, use_normalization=False)
     naive.sensor_optimizer.pairing_provider = app._sensor_pairing
-    from repro.sql.analyzer import Analyzer
-    from repro.sql import parse
-
-    analyzed = Analyzer(app.catalog).analyze_select(parse(TEMPS_OF_MACHINES_IN_USE))
-    logical = app.builder.build_select(analyzed)
+    # The session compiles SQL text to the logical plan both optimizer
+    # variants consume — no parser/analyzer imports at the call site.
+    logical = app.session.plan(TEMPS_OF_MACHINES_IN_USE)
     naive_plan = naive.optimize(logical)
     normalized_plan = app.optimizer.optimize(logical)
     print(f"normalised optimizer pushes: {[f.deployment.kind for f in normalized_plan.pushed]}")
@@ -53,6 +51,7 @@ def main() -> None:
         f"{normalized_plan.cost.total:.4f} vs naive choice (re-costed) "
         f"{naive_plan.chosen.normalized.total:.4f}"
     )
+    app.stop()
 
 
 if __name__ == "__main__":

@@ -1,22 +1,20 @@
 """Data integration features beyond the demo: schema mappings and
-distributed stream execution.
+distributed stream execution — driven through the Session API.
 
 Paper §3 notes "Ultimately ASPEN will also include support for schema
 mappings and query reformulation" — implemented here as a GAV mapping
 layer — and describes the stream engine as running "over PC-style
 servers and workstations", shown here with operators placed across
-simulated LAN nodes.
+simulated LAN nodes. Both sections run every query as SQL text through
+``session.query``; no parser, analyzer or plan builder is imported.
 
 Run:  python examples/integration_substrate.py
 """
 
-from repro.catalog import Catalog
+from repro.api import StreamSource, connect
 from repro.core import MappingRegistry, MediatedExecution
 from repro.data import DataType, Schema
-from repro.plan import PlanBuilder
 from repro.runtime import Simulator
-from repro.sql.analyzer import Analyzer
-from repro.stream import DistributedStreamEngine, StreamEngine
 
 
 def schema_mappings() -> None:
@@ -25,25 +23,31 @@ def schema_mappings() -> None:
     print("three heterogeneous physical feeds")
     print("=" * 64)
 
-    catalog = Catalog()
-    catalog.register_stream(
-        "WorkstationTemps",
-        Schema.of(("host", DataType.STRING), ("room", DataType.STRING),
-                  ("temp_c", DataType.FLOAT)),
-        rate=1.0,
+    session = connect()
+    session.attach(
+        StreamSource(
+            "WorkstationTemps",
+            Schema.of(("host", DataType.STRING), ("room", DataType.STRING),
+                      ("temp_c", DataType.FLOAT)),
+            rate=1.0,
+        )
     )
-    catalog.register_stream(
-        "RoomTemps",
-        Schema.of(("room", DataType.STRING), ("celsius", DataType.FLOAT)),
-        rate=0.5,
+    session.attach(
+        StreamSource(
+            "RoomTemps",
+            Schema.of(("room", DataType.STRING), ("celsius", DataType.FLOAT)),
+            rate=0.5,
+        )
     )
-    catalog.register_stream(
-        "Weather",
-        Schema.of(("observed_at", DataType.FLOAT), ("outdoor_f", DataType.FLOAT)),
-        rate=0.01,
+    session.attach(
+        StreamSource(
+            "Weather",
+            Schema.of(("observed_at", DataType.FLOAT), ("outdoor_f", DataType.FLOAT)),
+            rate=0.01,
+        )
     )
 
-    registry = MappingRegistry(catalog)
+    registry = MappingRegistry(session.catalog)
     registry.register(
         "Temperatures",
         [
@@ -63,20 +67,18 @@ def schema_mappings() -> None:
     for variant in variants:
         print("  ", variant.tables[0].name)
 
-    engine = StreamEngine(catalog)
-    builder = PlanBuilder(catalog)
-    analyzer = Analyzer(catalog)
-    mediated = MediatedExecution(
-        [engine.execute(builder.build_select(analyzer.analyze_select(v))) for v in variants]
-    )
-    engine.push("WorkstationTemps", {"host": "ws1", "room": "lab1", "temp_c": 27.5}, 1.0)
-    engine.push("RoomTemps", {"room": "lab2", "celsius": 22.0}, 1.0)
-    engine.push("RoomTemps", {"room": "lab3", "celsius": 17.0}, 1.0)
-    engine.push("Weather", {"observed_at": 1.0, "outdoor_f": 80.6}, 1.0)
+    # Each reformulated variant renders back to SQL text and runs
+    # through the same session facade.
+    mediated = MediatedExecution([session.query(v.render()) for v in variants])
+    session.push("WorkstationTemps", {"host": "ws1", "room": "lab1", "temp_c": 27.5}, 1.0)
+    session.push("RoomTemps", {"room": "lab2", "celsius": 22.0}, 1.0)
+    session.push("RoomTemps", {"room": "lab3", "celsius": 17.0}, 1.0)
+    session.push("Weather", {"observed_at": 1.0, "outdoor_f": 80.6}, 1.0)
 
     print("\nmediated answer (union over sources):")
     for row in mediated.results:
         print(f"  {row['t.location']:<10} {row['t.celsius']:.1f} C")
+    session.close()
 
 
 def distributed_execution() -> None:
@@ -86,31 +88,41 @@ def distributed_execution() -> None:
     print("coordinator, traffic crossing simulated LAN links")
     print("=" * 64)
 
-    catalog = Catalog()
-    catalog.register_stream(
-        "Temps", Schema.of(("room", DataType.STRING), ("temp", DataType.FLOAT)), rate=1.0
-    )
-    catalog.register_stream(
-        "Occupancy", Schema.of(("room", DataType.STRING), ("people", DataType.INT)), rate=1.0
-    )
     simulator = Simulator(4)
-    engine = DistributedStreamEngine(catalog, simulator, ["coordinator", "worker-1", "worker-2"])
-    plan = PlanBuilder(catalog).build_sql(
-        "select t.room, t.temp, o.people from Temps t, Occupancy o "
-        "where t.room = o.room and t.temp > 24"
-    )
-    query = engine.execute(plan)
+    with connect(
+        simulator=simulator, nodes=["coordinator", "worker-1", "worker-2"]
+    ) as session:
+        session.attach(
+            StreamSource(
+                "Temps",
+                Schema.of(("room", DataType.STRING), ("temp", DataType.FLOAT)),
+                rate=1.0,
+            )
+        )
+        session.attach(
+            StreamSource(
+                "Occupancy",
+                Schema.of(("room", DataType.STRING), ("people", DataType.INT)),
+                rate=1.0,
+            )
+        )
+        query = session.query(
+            "select t.room, t.temp, o.people from Temps t, Occupancy o "
+            "where t.room = o.room and t.temp > 24",
+            placement="auto",
+        )
 
-    for i in range(5):
-        query.push("Temps", {"room": f"lab{i % 2 + 1}", "temp": 23.0 + i}, float(i))
-        query.push("Occupancy", {"room": f"lab{i % 2 + 1}", "people": i}, float(i))
-    simulator.run_for(2.0)
+        for i in range(5):
+            session.push("Temps", {"room": f"lab{i % 2 + 1}", "temp": 23.0 + i}, float(i))
+            session.push("Occupancy", {"room": f"lab{i % 2 + 1}", "people": i}, float(i))
+        simulator.run_for(2.0)
 
-    print(f"\nresults after LAN delivery: {len(query.results)} joined rows")
-    for row in query.results[:4]:
-        print(f"  {row['t.room']}: {row['t.temp']:.0f} C with {row['o.people']} people")
-    print()
-    print(engine.report())
+        results = query.results()
+        print(f"\nresults after LAN delivery: {len(results)} joined rows")
+        for row in results[:4]:
+            print(f"  {row['t.room']}: {row['t.temp']:.0f} C with {row['o.people']} people")
+        print()
+        print(session.distributed.report())
 
 
 if __name__ == "__main__":

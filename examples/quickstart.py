@@ -1,52 +1,99 @@
-"""Quickstart: the SmartCIS demo in ~40 lines.
+"""Quickstart: the unified Session API in ~60 lines.
 
-Builds the simulated Moore building, starts monitoring, walks a visitor
-in, and reproduces the paper's headline interaction — "guide me to the
-nearest free machine with Fedora Linux" — rendering the Figure-2 style
-map with the route plotted.
+One ``connect()`` call opens a :class:`~repro.api.Session`; SQL text
+goes in, live results come out — the session compiles each statement
+(lex/parse/analyze/plan) and routes it to the right backend:
+
+* continuous SELECTs        -> the stream engine,
+* table-only / WITH RECURSIVE -> the one-shot batch evaluator,
+* ``placement=...``         -> the distributed stream engine.
+
+No caller ever touches a parser, analyzer or plan builder. For the
+full SmartCIS building demo, see ``examples/visitor_guide.py``.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import SmartCIS
-from repro.smartcis import render_app
+from repro.api import StreamSource, TableSource, connect
+from repro.data import DataType, Schema
+
+READINGS = Schema.of(("room", DataType.STRING), ("temp", DataType.FLOAT))
+MACHINES = Schema.of(("host", DataType.STRING), ("room", DataType.STRING))
+EDGES = Schema.of(("src", DataType.STRING), ("dst", DataType.STRING))
 
 
 def main() -> None:
-    app = SmartCIS(seed=7)
-    app.start()
+    with connect() as session:
+        # Attach sources: catalog registration, engine routing and
+        # lifecycle ownership in one call each.
+        session.attach(StreamSource("Readings", READINGS, rate=2.0))
+        session.attach(
+            TableSource(
+                "Machines",
+                MACHINES,
+                rows=[
+                    {"host": "ws1", "room": "lab1"},
+                    {"host": "ws2", "room": "lab2"},
+                ],
+            )
+        )
+        session.attach(
+            TableSource(
+                "Edges",
+                EDGES,
+                rows=[
+                    {"src": "lobby", "dst": "hall"},
+                    {"src": "hall", "dst": "lab1"},
+                    {"src": "lab1", "dst": "lab2"},
+                ],
+            )
+        )
 
-    # Let the sensor network and wrappers report for half a minute.
-    app.simulator.run_for(30)
+        # 1. A continuous query: SQL text in, cursor out; results
+        #    accumulate as elements are pushed.
+        with session.query(
+            "select r.room, m.host, r.temp from Readings r, Machines m "
+            "where r.room = m.room and r.temp > 24.0"
+        ) as hot:
+            for i, (room, temp) in enumerate(
+                [("lab1", 22.0), ("lab1", 27.5), ("lab2", 25.1), ("lab2", 23.9)]
+            ):
+                session.push("Readings", {"room": room, "temp": temp}, float(i))
+            print("hot machines (continuous):")
+            for row in hot:
+                print(f"  {row['m.host']}: {row['r.temp']:.1f} C in {row['r.room']}")
 
-    # A visitor arrives at the lobby needing Fedora Linux.
-    app.add_visitor("alice", needed="%Fedora%")
-    app.simulator.run_for(10)  # beacon transmissions get detected
+        # 2. A prepared statement: compiled once, re-bound per execution.
+        warm = session.prepare(
+            "select r.room from Readings r where r.temp > :limit"
+        )
+        print("prepared route:", warm.route, "params:", warm.parameters)
 
-    print("visitor located at:", app.locate_visitor("alice"))
-    print("free Fedora machines:", app.find_free_machines("%Fedora%"))
+        # 3. One-shot: a table-only query routes to the batch evaluator.
+        cursor = session.query("select m.host from Machines m where m.room = 'lab1'")
+        print("batch:", [row["m.host"] for row in cursor], f"(kind={cursor.kind})")
 
-    guidance = app.guide_visitor("alice", "%Fedora%")
-    print()
-    print(guidance.render())
-    print()
+        # 4. WITH RECURSIVE: the transitive closure, materialised now.
+        reach = session.query(
+            "with recursive Reach(src, dst) as ("
+            "  select e.src, e.dst from Edges e"
+            "  union"
+            "  select r.src, e.dst from Reach r, Edges e where r.dst = e.src"
+            ") select t.dst from Reach t where t.src = 'lobby'"
+        )
+        print("reachable from lobby:", sorted(row["t.dst"] for row in reach))
 
-    details = [
-        guidance.render(),
-        f"labs open: {', '.join(app.state.open_rooms())}",
-        f"sensor messages so far: {app.network.stats.transmissions}",
-    ]
-    print(render_app(app, visitor="alice", route=guidance.route, details=details))
-
-    # Walk there; the seat flips to busy and the next visitor is routed
-    # elsewhere.
-    alice = app.occupants["alice"]
-    alice.walk_route(guidance.route)
-    app.simulator.run_for(90)
-    alice.sit_at(app.building, guidance.room, guidance.desk)
-    app.simulator.run_for(15)
-    print(f"\nalice seated at {guidance.room}/{guidance.desk};")
-    print("free Fedora machines now:", app.find_free_machines("%Fedora%"))
+        # 5. CREATE VIEW registers in the catalog; queries fold it in.
+        session.query(
+            "create view Lab1Machines as "
+            "(select m.host from Machines m where m.room = 'lab1')"
+        )
+        print(
+            "via view:",
+            [row["v.host"] for row in session.query("select v.host from Lab1Machines v")],
+        )
+    # Leaving the with-block closed the session: every query stopped,
+    # every attached source detached — nothing leaks.
 
 
 if __name__ == "__main__":

@@ -4,7 +4,8 @@ The demo scenario of paper §4, extended: two visitors with different
 software needs move through the building; a lab closes (door shut,
 lights off) while one of them is en route, and the system re-guides
 using the incrementally maintained routing closure and fresh sensor
-state.
+state. Live SQL goes through ``app.query`` (the Session facade), and
+the ``with`` block guarantees every wrapper stops on exit.
 
 Run:  python examples/visitor_guide.py
 """
@@ -19,9 +20,20 @@ def report(app: SmartCIS, name: str) -> None:
 
 
 def main() -> None:
-    app = SmartCIS(seed=11)
+    # The context manager guarantees wrapper/punctuator shutdown on exit.
+    with SmartCIS(seed=11) as app:
+        _run(app)
+
+
+def _run(app: SmartCIS) -> None:
     app.start()
     app.simulator.run_for(30)
+
+    # A live dashboard query through the session facade: which rooms
+    # currently read "open" per the area sensors.
+    open_rooms_cursor = app.query(
+        "select sa.room, sa.status from AreaSensors sa where sa.status = 'open'"
+    )
 
     app.add_visitor("alice", needed="%Fedora%")
     app.add_visitor("bob", needed="%Word%")
@@ -30,6 +42,10 @@ def main() -> None:
     print("— visitors arrive —")
     report(app, "alice")
     report(app, "bob")
+    print(
+        "  open labs per live SQL query:",
+        ", ".join(sorted({row["sa.room"] for row in open_rooms_cursor.results()})),
+    )
 
     alice_guidance = app.guide_visitor("alice", "%Fedora%")
     bob_guidance = app.guide_visitor("bob", "%Word%")

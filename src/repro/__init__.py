@@ -8,7 +8,14 @@ with recursive views, federated optimizer with cross-engine cost
 normalisation — plus the SmartCIS smart-building application over a
 simulated Moore-building deployment.
 
-Quickstart::
+Quickstart (the unified Session API)::
+
+    from repro import connect
+
+    with connect() as session:
+        cursor = session.query("select r.room from Readings r where r.temp > 30")
+
+Or the full SmartCIS demo application::
 
     from repro import SmartCIS
 
@@ -20,8 +27,9 @@ Quickstart::
     print(app.guide_visitor("alice").render())
 """
 
+from repro.api import Session, connect
 from repro.smartcis.app import Guidance, SmartCIS
 
 __version__ = "1.0.0"
 
-__all__ = ["SmartCIS", "Guidance", "__version__"]
+__all__ = ["SmartCIS", "Guidance", "Session", "connect", "__version__"]

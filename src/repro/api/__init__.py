@@ -1,0 +1,43 @@
+"""The unified Session API: one façade from SQL text to live results.
+
+::
+
+    from repro.api import connect, StreamSource
+
+    with connect() as session:
+        session.attach(StreamSource("Readings", schema, rate=10.0))
+        with session.query("select r.room from Readings r where r.temp > 30") as cur:
+            session.push("Readings", {"room": "lab1", "temp": 31.0}, 1.0)
+            print(cur.results())
+
+See :mod:`repro.api.session` for the routing rules and the error
+contract (:class:`~repro.errors.QueryError`,
+:class:`~repro.errors.SourceError`,
+:class:`~repro.errors.SessionClosedError`).
+"""
+
+from repro.errors import QueryError, SessionClosedError, SourceError
+from repro.api.cursor import Cursor, PreparedStatement
+from repro.api.session import Session, connect
+from repro.api.sources import (
+    SensorSource,
+    SourceAdapter,
+    StreamSource,
+    TableSource,
+    WrapperSource,
+)
+
+__all__ = [
+    "connect",
+    "Session",
+    "Cursor",
+    "PreparedStatement",
+    "SourceAdapter",
+    "StreamSource",
+    "TableSource",
+    "WrapperSource",
+    "SensorSource",
+    "QueryError",
+    "SourceError",
+    "SessionClosedError",
+]

@@ -1,0 +1,298 @@
+"""Cursors and prepared statements: the result side of the Session API.
+
+A :class:`Cursor` is the one handle a caller holds over a running (or
+completed) statement, whichever backend executes it:
+
+* ``kind == "stream"``       — a continuous StreamEngine query; results
+  accumulate as elements are pushed.
+* ``kind == "distributed"``  — a continuous query with operators placed
+  across simulated LAN nodes; pump the session's simulator to deliver.
+* ``kind == "batch"``        — a one-shot evaluation; rows were
+  materialized when the cursor was created.
+* ``kind == "view"``         — a CREATE VIEW registration; no rows.
+
+A :class:`PreparedStatement` is parsed, analyzed and planned **once**,
+with ``:name`` placeholders left in the plan as
+:class:`~repro.sql.expressions.Parameter` slots. Batch executions rebind
+the slots and re-run the same plan — the compiled closures the batch
+evaluator memoizes on plan nodes are reused across executions, so only
+the first execution pays compilation. Continuous executions (stream /
+distributed) bake the bindings in as literals instead: a running
+pipeline must own immutable parameter values, or a later ``execute()``
+would mutate a live query's predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.data.schema import Schema
+from repro.data.streams import StreamElement
+from repro.data.tuples import Row
+from repro.errors import QueryError
+from repro.sql.ast import (
+    CreateView,
+    OrderItem,
+    RecursiveQuery,
+    SelectItem,
+    SelectQuery,
+)
+from repro.sql.analyzer import AnalyzedQuery, AnalyzedRecursive
+from repro.sql.expressions import collect_parameters, substitute_parameters
+
+
+class Cursor:
+    """Handle over one executed statement. Iterate it, poll
+    :meth:`results` / :meth:`latest_batch`, or :meth:`subscribe` a
+    callback; ``close()`` (or the ``with`` statement) stops a continuous
+    query and is always idempotent."""
+
+    def __init__(
+        self,
+        session,
+        sql: str,
+        kind: str,
+        schema: Schema | None,
+        *,
+        handle=None,
+        query=None,
+        rows: list[Row] | None = None,
+        view_name: str | None = None,
+    ):
+        self.session = session
+        self.sql = sql
+        self.kind = kind
+        self._schema = schema
+        self._handle = handle  # stream: QueryHandle
+        self._query = query  # distributed: DistributedQuery
+        self._rows = rows  # batch: materialized rows
+        self.view_name = view_name
+        self._closed = False
+        self._subscribers: list[tuple[Callable, bool]] = []
+        self._tapped = False
+
+    # -- constructors (used by Session) --------------------------------
+    @classmethod
+    def _stream(cls, session, sql: str, handle) -> "Cursor":
+        return cls(session, sql, "stream", handle.plan.schema, handle=handle)
+
+    @classmethod
+    def _distributed(cls, session, sql: str, query) -> "Cursor":
+        return cls(session, sql, "distributed", query.plan.schema, query=query)
+
+    @classmethod
+    def _materialized(cls, session, rows: list[Row], schema: Schema, sql: str) -> "Cursor":
+        return cls(session, sql, "batch", schema, rows=list(rows))
+
+    @classmethod
+    def _view(cls, session, sql: str, name: str, schema: Schema) -> "Cursor":
+        return cls(session, sql, "view", schema, view_name=name, rows=[])
+
+    # -- results -------------------------------------------------------
+    @property
+    def schema(self) -> Schema | None:
+        """Output schema of the statement (None for statements without one)."""
+        return self._schema
+
+    @property
+    def description(self) -> list[str] | None:
+        """Output column names (DB-API flavoured convenience)."""
+        return None if self._schema is None else list(self._schema.names)
+
+    def results(self) -> list[Row]:
+        """Every result row produced so far (all rows, for one-shots)."""
+        if self._handle is not None:
+            return list(self._handle.results)
+        if self._query is not None:
+            return list(self._query.results)
+        return list(self._rows or [])
+
+    def latest_batch(self) -> list[Row]:
+        """Rows since the last punctuation boundary (one-shots: all rows)."""
+        if self._handle is not None:
+            return self._handle.latest_batch()
+        if self._query is not None:
+            sink = self._query.sink
+            watermark = (
+                sink.punctuations[-1].watermark if sink.punctuations else float("-inf")
+            )
+            return [e.row for e in sink.elements if e.timestamp >= watermark]
+        return self.results()
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.results())
+
+    def __len__(self) -> int:
+        return len(self.results())
+
+    # -- subscriptions -------------------------------------------------
+    def subscribe(self, callback: Callable, *, elements: bool = False) -> None:
+        """Invoke ``callback`` for every result row as it is emitted.
+
+        ``elements=True`` delivers the full :class:`StreamElement`
+        (row + timestamp) instead of the bare row. On one-shot cursors
+        the already-materialized rows are replayed immediately.
+        """
+        if self._rows is not None:
+            for row in self._rows:
+                callback(StreamElement(row, 0.0) if elements else row)
+            return
+        self._subscribers.append((callback, elements))
+        self._install_tap()
+
+    def _install_tap(self) -> None:
+        if self._tapped:
+            return
+        sink = self._handle.sink if self._handle is not None else self._query.sink
+        original = sink.push
+        subscribers = self._subscribers
+
+        def observing_push(item):
+            original(item)
+            if isinstance(item, StreamElement):
+                for callback, want_elements in list(subscribers):
+                    callback(item if want_elements else item.row)
+
+        sink.push = observing_push  # type: ignore[method-assign]
+        self._tapped = True
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop the query (idempotent; results remain readable)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._handle is not None:
+            self._handle.stop()
+        self.session._forget_cursor(self)
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<Cursor {self.kind} {state} rows={len(self.results())}>"
+
+
+class PreparedStatement:
+    """A statement compiled once and executed many times. See the
+    module docstring for the rebinding contract."""
+
+    def __init__(self, session, sql: str, *, placement=None, engine=None):
+        self.session = session
+        self.sql = sql
+        self._placement = placement
+        statement = session._parse(sql)
+        if isinstance(statement, CreateView):
+            raise QueryError("CREATE VIEW cannot be prepared; run it directly", sql=sql)
+        with session._compiling(sql):
+            if isinstance(statement, RecursiveQuery):
+                if engine not in (None, "batch") or placement is not None:
+                    raise QueryError(
+                        "WITH RECURSIVE always evaluates on the batch engine; "
+                        f"engine={engine!r}, placement={placement!r} cannot apply",
+                        sql=sql,
+                    )
+                self._analyzed: AnalyzedQuery | AnalyzedRecursive = (
+                    session.analyzer.analyze_recursive(statement)
+                )
+                self._plan = session.builder.build_recursive(self._analyzed)
+                self._route = "batch"
+            else:
+                self._analyzed = session.analyzer.analyze_select(statement)
+                self._plan = session.builder.build_select(self._analyzed)
+                self._route = session._route(self._plan, placement, engine, sql)
+        self._params = collect_parameters(self._expressions())
+        self._schema = self._plan.schema
+
+    @property
+    def parameters(self) -> list[str]:
+        """Declared parameter names, sorted."""
+        return sorted(self._params)
+
+    @property
+    def route(self) -> str:
+        """Backend this statement executes on ("stream"/"batch"/"distributed")."""
+        return self._route
+
+    def execute(self, **params: Any) -> Cursor:
+        """Bind ``:name`` placeholders and run, returning a Cursor."""
+        self.session._ensure_open()
+        missing = sorted(set(self._params) - set(params))
+        unknown = sorted(set(params) - set(self._params))
+        if missing or unknown:
+            problems = []
+            if missing:
+                problems.append(f"missing parameters: {', '.join(missing)}")
+            if unknown:
+                problems.append(f"unknown parameters: {', '.join(unknown)}")
+            raise QueryError("; ".join(problems), sql=self.sql)
+        if self._route == "batch":
+            return self._execute_batch(params)
+        return self._execute_continuous(params)
+
+    def _execute_batch(self, params: dict[str, Any]) -> Cursor:
+        # Rebind the shared slots; the plan (and the compiled closures
+        # memoized on its nodes) is reused as-is.
+        for name, occurrences in self._params.items():
+            for parameter in occurrences:
+                parameter.bind(params[name])
+        try:
+            rows = self.session._evaluate(self._plan)
+        finally:
+            for occurrences in self._params.values():
+                for parameter in occurrences:
+                    parameter.unbind()
+        return Cursor._materialized(self.session, rows, self._schema, self.sql)
+
+    def _execute_continuous(self, params: dict[str, Any]) -> Cursor:
+        analyzed = self._analyzed
+        bound = _bind_query(analyzed.query, params) if params else analyzed.query
+        rebound = AnalyzedQuery(
+            query=bound,
+            tables=analyzed.tables,
+            output_schema=analyzed.output_schema,
+            is_aggregate=analyzed.is_aggregate,
+            scope=analyzed.scope,
+        )
+        with self.session._compiling(self.sql):
+            plan = self.session.builder.build_select(rebound)
+        return self.session._start(plan, self._route, self._placement, self.sql)
+
+    def _expressions(self):
+        if isinstance(self._analyzed, AnalyzedRecursive):
+            queries = [
+                self._analyzed.base.query,
+                self._analyzed.step.query,
+                self._analyzed.main.query,
+            ]
+        else:
+            queries = [self._analyzed.query]
+        return [expr for query in queries for expr in query.expressions()]
+
+    def __repr__(self) -> str:
+        names = ", ".join(self.parameters) or "-"
+        return f"<PreparedStatement route={self._route} params=[{names}]>"
+
+
+def _bind_query(query: SelectQuery, values: dict[str, Any]) -> SelectQuery:
+    """A copy of ``query`` with parameters replaced by literal values."""
+    sub = lambda e: substitute_parameters(e, values)  # noqa: E731
+    return SelectQuery(
+        items=tuple(SelectItem(sub(i.expr), i.alias) for i in query.items),
+        tables=query.tables,
+        where=sub(query.where) if query.where is not None else None,
+        group_by=tuple(sub(e) for e in query.group_by),
+        having=sub(query.having) if query.having is not None else None,
+        order_by=tuple(OrderItem(sub(o.expr), o.ascending) for o in query.order_by),
+        limit=query.limit,
+        distinct=query.distinct,
+        output=query.output,
+    )

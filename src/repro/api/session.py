@@ -1,0 +1,611 @@
+"""The Session façade: one stable surface from SQL text to live results.
+
+``connect(...)`` returns a :class:`Session` that owns the whole query
+lifecycle the rest of the package implements in layers: lexing/parsing
+(:mod:`repro.sql`), semantic analysis, plan construction
+(:mod:`repro.plan`), and execution on whichever backend fits the
+statement. Callers never import a parser, an analyzer or a builder —
+they hand the session SQL text and get a :class:`~repro.api.Cursor`
+back.
+
+Routing rules (``session.query(text)``):
+
+* ``CREATE VIEW``            → registered in the catalog; the cursor is
+  complete immediately (``kind == "view"``).
+* ``WITH RECURSIVE``         → one-shot fixpoint over the current stored
+  tables via the batch evaluator (``kind == "batch"``).
+* ``SELECT`` over stored tables only → one-shot batch evaluation
+  (``kind == "batch"``; rows are materialized at call time).
+* any other ``SELECT``       → continuous query on the
+  :class:`~repro.stream.engine.StreamEngine` (``kind == "stream"``).
+* ``placement=...`` (or ``engine="distributed"``) → operators placed
+  across the LAN-simulated :class:`DistributedStreamEngine`
+  (``kind == "distributed"``; requires ``connect(nodes=[...])``).
+
+``engine="stream" | "batch" | "distributed"`` overrides the automatic
+choice. Every failure surfaces as :class:`~repro.errors.QueryError`
+(compile-time, with source position when the parser provides one),
+:class:`~repro.errors.SourceError` (attach/detach/ingest) or
+:class:`~repro.errors.SessionClosedError` — all
+:class:`~repro.errors.AspenError` subclasses.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.catalog import Catalog, SourceKind
+from repro.data.tuples import Row
+from repro.errors import (
+    AnalysisError,
+    AspenError,
+    CatalogError,
+    ExecutionError,
+    OptimizerError,
+    ParseError,
+    PlanError,
+    QueryError,
+    SchemaError,
+    SessionClosedError,
+    SourceError,
+)
+from repro.plan import PlanBuilder
+from repro.plan.builder import RecursivePlan
+from repro.plan.logical import LogicalOp, Output, RemoteSource, Scan
+from repro.runtime import Simulator
+from repro.sql.analyzer import Analyzer
+from repro.sql.ast import CreateView, RecursiveQuery, SelectQuery
+from repro.sql.expressions import collect_parameters
+from repro.sql.parser import parse
+from repro.stream.batch import evaluate, fixpoint
+from repro.stream.engine import StreamEngine
+from repro.wrappers.base import Punctuator
+
+from repro.api.cursor import Cursor, PreparedStatement
+
+
+def connect(
+    *,
+    catalog: Catalog | None = None,
+    simulator: Simulator | None = None,
+    engine: StreamEngine | None = None,
+    sensor_engine: Any | None = None,
+    network: Any | None = None,
+    nodes: Sequence[str] | None = None,
+    deliver: Any | None = None,
+    seed: int = 0,
+) -> "Session":
+    """Open a :class:`Session`.
+
+    With no arguments a fresh catalog, simulator and stream engine are
+    created. Existing components can be injected (the SmartCIS app binds
+    a session over the engines it already assembled). ``nodes`` enables
+    distributed routing; ``network`` (a ``SensorNetwork``) enables
+    :class:`~repro.api.SensorSource` attachments.
+    """
+    return Session(
+        catalog=catalog,
+        simulator=simulator,
+        engine=engine,
+        sensor_engine=sensor_engine,
+        network=network,
+        nodes=nodes,
+        deliver=deliver,
+        seed=seed,
+    )
+
+
+class Session:
+    """A connection-like façade over the ASPEN engines. See :func:`connect`."""
+
+    def __init__(
+        self,
+        *,
+        catalog: Catalog | None = None,
+        simulator: Simulator | None = None,
+        engine: StreamEngine | None = None,
+        sensor_engine: Any | None = None,
+        network: Any | None = None,
+        nodes: Sequence[str] | None = None,
+        deliver: Any | None = None,
+        seed: int = 0,
+    ):
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.simulator = simulator if simulator is not None else Simulator(seed)
+        self.engine = (
+            engine
+            if engine is not None
+            else StreamEngine(self.catalog, deliver=deliver)
+        )
+        self.builder = PlanBuilder(self.catalog)
+        self.analyzer = Analyzer(self.catalog)
+        self._network = network
+        self._sensor_engine = sensor_engine
+        self._nodes = list(nodes) if nodes else []
+        self._distributed = None  # lazily built DistributedStreamEngine
+        self._cursors: list[Cursor] = []  # open stream cursors
+        self._distributed_cursors: list[Cursor] = []  # receive push forwards
+        self._attachments: dict[str, Any] = {}  # name.lower() -> adapter
+        self._attach_order: list[str] = []
+        self._punctuators: list[Punctuator] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the session: stop every open cursor, detach every
+        source (stopping its wrapper / sensor collection), stop owned
+        punctuators. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for cursor in list(self._cursors) + list(self._distributed_cursors):
+            cursor.close()
+        for name in reversed(self._attach_order):
+            adapter = self._attachments.pop(name, None)
+            if adapter is None:
+                continue
+            try:
+                adapter.detach(self)
+            except Exception:
+                # Shutdown must reach every adapter and the punctuators;
+                # one failing detach (of any exception type) must not
+                # leave the rest of the runtime running.
+                pass
+        self._attach_order.clear()
+        for punctuator in self._punctuators:
+            punctuator.stop()
+        self._punctuators.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError("session is closed")
+
+    # ------------------------------------------------------------------
+    # Compilation (SQL text -> plan), with the QueryError funnel
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _compiling(self, sql: str):
+        """Translate front-end failures into QueryError with position."""
+        try:
+            yield
+        except ParseError as exc:
+            raise QueryError(str(exc), line=exc.line, column=exc.column, sql=sql) from exc
+        except (AnalysisError, CatalogError, PlanError, OptimizerError) as exc:
+            raise QueryError(str(exc), sql=sql) from exc
+
+    def _parse(self, sql: str):
+        with self._compiling(sql):
+            return parse(sql)
+
+    def plan(self, sql: str) -> LogicalOp | RecursivePlan:
+        """Compile SQL text to a logical plan without executing it.
+
+        The EXPLAIN building block: the federated optimizer (or any other
+        planner layered on top) consumes the returned plan.
+        """
+        self._ensure_open()
+        with self._compiling(sql):
+            return self.builder.build_sql(sql)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        sql: str,
+        *,
+        params: Mapping[str, Any] | None = None,
+        placement: Any | None = None,
+        engine: str | None = None,
+    ) -> Cursor:
+        """Compile and run one statement of Stream SQL text.
+
+        ``params`` binds ``:name`` placeholders for this one execution
+        (equivalent to ``prepare(sql).execute(**params)``). ``placement``
+        routes a SELECT to the distributed engine (pass a
+        :class:`~repro.stream.distributed.Placement` or ``"auto"``);
+        ``engine`` overrides routing with ``"stream"``, ``"batch"`` or
+        ``"distributed"``.
+        """
+        self._ensure_open()
+        if params:
+            return self.prepare(sql, placement=placement, engine=engine).execute(**params)
+        statement = self._parse(sql)
+        unbound = _statement_parameter_names(statement)
+        if unbound:
+            # Reject at compile time: an unbound Parameter reaching a
+            # running pipeline would raise mid-ingestion, poisoning
+            # every other query on the same source.
+            raise QueryError(
+                f"statement has unbound parameters: {', '.join(sorted(unbound))}; "
+                "pass params=... or use prepare()",
+                sql=sql,
+            )
+        if isinstance(statement, CreateView):
+            if engine is not None or placement is not None:
+                raise QueryError(
+                    "CREATE VIEW only registers a definition; "
+                    f"engine={engine!r}, placement={placement!r} cannot apply",
+                    sql=sql,
+                )
+            with self._compiling(sql):
+                analyzed = self.analyzer.analyze_create_view(statement)
+            self.catalog.register_view(statement.name, statement.query)
+            return Cursor._view(self, sql, statement.name, analyzed.output_schema)
+        if isinstance(statement, RecursiveQuery):
+            if engine not in (None, "batch") or placement is not None:
+                raise QueryError(
+                    "WITH RECURSIVE always evaluates on the batch engine; "
+                    f"engine={engine!r}, placement={placement!r} cannot apply",
+                    sql=sql,
+                )
+            with self._compiling(sql):
+                plan = self.builder.build_recursive(
+                    self.analyzer.analyze_recursive(statement)
+                )
+            return Cursor._materialized(self, self._evaluate(plan), plan.schema, sql)
+        if isinstance(statement, SelectQuery):
+            with self._compiling(sql):
+                plan = self.builder.build_select(self.analyzer.analyze_select(statement))
+            route = self._route(plan, placement, engine, sql)
+            return self._start(plan, route, placement, sql)
+        raise QueryError(
+            f"unsupported statement {type(statement).__name__}", sql=sql
+        )
+
+    def prepare(
+        self,
+        sql: str,
+        *,
+        placement: Any | None = None,
+        engine: str | None = None,
+    ) -> PreparedStatement:
+        """Compile once; execute many times with named parameters.
+
+        ``session.prepare("select ... where t.temp > :limit").execute(limit=30)``
+        """
+        self._ensure_open()
+        return PreparedStatement(self, sql, placement=placement, engine=engine)
+
+    # -- routing -------------------------------------------------------
+    def _route(
+        self,
+        plan: LogicalOp,
+        placement: Any | None,
+        engine: str | None,
+        sql: str,
+    ) -> str:
+        if engine is not None:
+            if engine not in ("stream", "batch", "distributed"):
+                raise QueryError(
+                    f"unknown engine {engine!r}; expected 'stream', 'batch' or 'distributed'",
+                    sql=sql,
+                )
+            if placement is not None and engine != "distributed":
+                raise QueryError(
+                    f"placement=... requires the distributed engine, not engine={engine!r}",
+                    sql=sql,
+                )
+            route = engine
+        elif placement is not None:
+            route = "distributed"
+        else:
+            # OUTPUT TO DISPLAY needs the stream engine's deliver hook;
+            # the batch evaluator has no display path, so a table-only
+            # SELECT with an OUTPUT clause still runs continuous.
+            if self._has_output(plan) or not self._is_table_only(plan):
+                return "stream"
+            return "batch"
+        if route == "batch":
+            if self._has_output(plan):
+                raise QueryError(
+                    "OUTPUT TO DISPLAY requires the stream engine "
+                    "(the batch evaluator has no display delivery)",
+                    sql=sql,
+                )
+            if not self._is_table_only(plan):
+                raise QueryError(
+                    "engine='batch' requires every scanned source to be a stored table",
+                    sql=sql,
+                )
+        return route
+
+    @staticmethod
+    def _has_output(plan: LogicalOp) -> bool:
+        return any(isinstance(node, Output) for node in plan.walk())
+
+    @staticmethod
+    def _is_table_only(plan: LogicalOp) -> bool:
+        has_scan = False
+        for node in plan.walk():
+            if isinstance(node, RemoteSource):
+                return False
+            if isinstance(node, Scan):
+                has_scan = True
+                if node.entry.kind is not SourceKind.TABLE:
+                    return False
+        return has_scan
+
+    # -- execution -----------------------------------------------------
+    def _start(
+        self, plan: LogicalOp, route: str, placement: Any | None, sql: str
+    ) -> Cursor:
+        if route == "batch":
+            return Cursor._materialized(self, self._evaluate(plan), plan.schema, sql)
+        if route == "stream":
+            handle = self.engine.execute(plan)
+            cursor = Cursor._stream(self, sql, handle)
+            self._cursors.append(cursor)
+            return cursor
+        distributed = self._distributed_engine(sql)
+        if placement is None or placement == "auto" or placement is True:
+            placement = distributed.default_placement(plan)
+        query = distributed.execute(plan, placement)
+        cursor = Cursor._distributed(self, sql, query)
+        self._distributed_cursors.append(cursor)
+        return cursor
+
+    def _evaluate(self, plan: LogicalOp | RecursivePlan) -> list[Row]:
+        """One-shot batch evaluation over the current stored tables."""
+        tables = self._scanned_tables(plan)
+        if isinstance(plan, RecursivePlan):
+            closure = fixpoint(plan.recursive, tables)
+            tables[plan.recursive.name] = closure
+            return evaluate(plan.main, tables)
+        return evaluate(plan, tables)
+
+    def _scanned_tables(self, plan: LogicalOp | RecursivePlan) -> dict[str, list[Row]]:
+        """Current rows of just the stored tables ``plan`` scans.
+
+        Copying only the scanned tables keeps repeated prepared-batch
+        executions O(rows actually read), not O(all stored rows).
+        Non-table scans are omitted, so the evaluator still raises its
+        usual "no table provided" error for them.
+        """
+        if isinstance(plan, RecursivePlan):
+            nodes = list(plan.recursive.walk()) + list(plan.main.walk())
+        else:
+            nodes = list(plan.walk())
+        names = {
+            node.entry.name
+            for node in nodes
+            if isinstance(node, Scan) and node.entry.kind is SourceKind.TABLE
+        }
+        return {name: self.engine.table_rows(name) for name in names}
+
+    def _distributed_engine(self, sql: str = ""):
+        if self._distributed is None:
+            if not self._nodes:
+                raise QueryError(
+                    "distributed routing requires connect(nodes=[...])", sql=sql
+                )
+            from repro.stream.distributed import DistributedStreamEngine
+
+            self._distributed = DistributedStreamEngine(
+                self.catalog, self.simulator, self._nodes
+            )
+        return self._distributed
+
+    @property
+    def distributed(self):
+        """The session's DistributedStreamEngine (built on first use)."""
+        self._ensure_open()
+        return self._distributed_engine()
+
+    def _forget_cursor(self, cursor: Cursor) -> None:
+        for registry in (self._cursors, self._distributed_cursors):
+            try:
+                registry.remove(cursor)
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        source: str,
+        row: Row | Mapping[str, Any],
+        timestamp: float | None = None,
+    ) -> None:
+        """Push one element of ``source`` into every query reading it —
+        stream-engine queries and open distributed cursors alike."""
+        if self._closed:
+            raise SessionClosedError("session is closed")
+        ts = self.simulator.now if timestamp is None else timestamp
+        try:
+            self.engine.push(source, row, ts)
+        except (CatalogError, SchemaError, ExecutionError) as exc:
+            raise SourceError(str(exc)) from exc
+        if self._distributed_cursors:
+            for cursor in self._distributed_cursors:
+                cursor._query.push(source, row, ts)
+
+    def push_many(
+        self,
+        source: str,
+        rows: Sequence[Row | Mapping[str, Any]],
+        timestamps: float | Sequence[float] | None = None,
+    ) -> int:
+        """Batched ingestion (see :meth:`StreamEngine.push_many`).
+
+        Like :meth:`push`, ``timestamps`` defaults to the simulator's
+        current time — switching between the two never changes stamps.
+        """
+        self._ensure_open()
+        if timestamps is None:
+            timestamps = self.simulator.now
+        try:
+            count = self.engine.push_many(source, rows, timestamps)
+        except (CatalogError, SchemaError, ExecutionError) as exc:
+            raise SourceError(str(exc)) from exc
+        if self._distributed_cursors:
+            stamps = (
+                [float(timestamps)] * len(rows)
+                if isinstance(timestamps, (int, float))
+                else list(timestamps)
+            )
+            for cursor in self._distributed_cursors:
+                for row, stamp in zip(rows, stamps):
+                    cursor._query.push(source, row, stamp)
+        return count
+
+    def punctuate(self, watermark: float, sources: list[str] | None = None) -> None:
+        """Advance watermarks on stream-engine queries and distributed
+        cursors (windows close, reports fire)."""
+        self._ensure_open()
+        self.engine.punctuate(watermark, sources)
+        for cursor in self._distributed_cursors:
+            cursor._query.punctuate(watermark, sources)
+
+    def load(self, name: str, rows: Iterable[Row | Mapping[str, Any]]) -> int:
+        """Load rows into a registered stored table (and update the
+        catalog's cardinality statistics)."""
+        from repro.wrappers.database import load_table
+
+        self._ensure_open()
+        try:
+            return load_table(self.engine, self.catalog, name, list(rows))
+        except (CatalogError, ExecutionError) as exc:
+            raise SourceError(str(exc)) from exc
+
+    def table_rows(self, name: str) -> list[Row]:
+        """Current contents of a stored table."""
+        self._ensure_open()
+        return self.engine.table_rows(name)
+
+    # ------------------------------------------------------------------
+    # Sources
+    # ------------------------------------------------------------------
+    def attach(self, source: Any) -> Any:
+        """Attach one source behind the :class:`~repro.api.SourceAdapter`
+        protocol: catalog registration, engine routing and wrapper /
+        collection start happen in this one call.
+
+        Accepts a SourceAdapter, or a bare
+        :class:`~repro.wrappers.base.Wrapper` /
+        :class:`~repro.sensor.SensorRelation` which is wrapped in the
+        matching adapter. Returns the adapter (keyed by ``name`` for
+        :meth:`detach`)."""
+        self._ensure_open()
+        adapter = self._coerce_adapter(source)
+        key = adapter.name.lower()
+        if key in self._attachments:
+            raise SourceError(f"source {adapter.name!r} is already attached")
+        try:
+            adapter.attach(self)
+        except BaseException as exc:
+            # Roll back whatever the adapter managed to register before
+            # failing — a half-attached source would be unreachable by
+            # both retry and close() otherwise.
+            try:
+                adapter.detach(self)
+            except Exception:
+                pass
+            if isinstance(exc, SourceError) or not isinstance(exc, AspenError):
+                raise  # non-Aspen exceptions are bugs; surface them raw
+            raise SourceError(f"attaching {adapter.name!r} failed: {exc}") from exc
+        self._attachments[key] = adapter
+        self._attach_order.append(key)
+        return adapter
+
+    def detach(self, name: str) -> None:
+        """Symmetric inverse of :meth:`attach`: stops the source's
+        runtime (wrapper poll loop, sensor collection), drops loaded
+        rows and removes catalog registrations the attach created."""
+        self._ensure_open()
+        key = name.lower()
+        adapter = self._attachments.get(key)
+        if adapter is None:
+            raise SourceError(f"no attached source named {name!r}")
+        try:
+            adapter.detach(self)
+        except SourceError:
+            raise
+        except AspenError as exc:
+            raise SourceError(f"detaching {name!r} failed: {exc}") from exc
+        # Deregister only after a successful detach: a failing detach
+        # leaves the source attached (and its runtime tracked) so close()
+        # or a retry can still stop it.
+        del self._attachments[key]
+        self._attach_order.remove(key)
+
+    def attached(self) -> list[str]:
+        """Names of currently attached sources, in attach order."""
+        return [self._attachments[key].name for key in self._attach_order]
+
+    def _coerce_adapter(self, source: Any):
+        from repro.api.sources import SensorSource, WrapperSource, _is_adapter
+        from repro.sensor import SensorRelation
+        from repro.wrappers.base import Wrapper
+
+        if _is_adapter(source):
+            return source
+        if isinstance(source, Wrapper):
+            return WrapperSource(wrapper=source)
+        if isinstance(source, SensorRelation):
+            return SensorSource(source)
+        raise SourceError(
+            f"cannot attach {type(source).__name__}; expected a SourceAdapter, "
+            "Wrapper or SensorRelation"
+        )
+
+    def add_punctuator(self, period: float = 1.0, slack: float = 0.0) -> Punctuator:
+        """Start a periodic watermark emitter owned by this session
+        (stopped on :meth:`close`)."""
+        self._ensure_open()
+        punctuator = Punctuator(self.engine, self.simulator, period=period, slack=slack)
+        punctuator.start()
+        self._punctuators.append(punctuator)
+        return punctuator
+
+    # -- sensor integration --------------------------------------------
+    @property
+    def sensor_engine(self):
+        """The session's SensorEngine (built on first use; requires
+        ``connect(network=...)`` unless one was injected)."""
+        if self._sensor_engine is None:
+            if self._network is None:
+                raise SourceError(
+                    "sensor sources require connect(network=...) or an injected "
+                    "sensor_engine"
+                )
+            from repro.sensor import SensorEngine
+
+            self._sensor_engine = SensorEngine(
+                self._network, on_result=self._on_sensor_result
+            )
+        return self._sensor_engine
+
+    def _on_sensor_result(self, name: str, values: dict[str, Any], time: float) -> None:
+        if self.catalog.has_source(name):
+            self.engine.push(name, values, time)
+        else:
+            self.engine.push_remote(name, values, time)
+
+
+def _statement_parameter_names(statement) -> set[str]:
+    """Names of every ``:parameter`` occurring in a parsed statement."""
+    if isinstance(statement, SelectQuery):
+        queries = [statement]
+    elif isinstance(statement, CreateView):
+        queries = [statement.query]
+    elif isinstance(statement, RecursiveQuery):
+        queries = [statement.base, statement.step, statement.main]
+    else:
+        return set()
+    exprs = [expr for query in queries for expr in query.expressions()]
+    return set(collect_parameters(exprs))

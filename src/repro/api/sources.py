@@ -1,0 +1,314 @@
+"""Source adapters: one ``session.attach(...)`` call per source.
+
+Before the Session API, binding a source meant three separate
+registrations — the catalog (schema + statistics), the engine that hosts
+it (stream routing, table loading or sensor deployment) and the runtime
+component that produces data (wrapper poll loop, mote collection). A
+:class:`SourceAdapter` bundles those into one attach with a symmetric
+detach, so ``Session.close`` can deterministically stop everything it
+started (the wrapper-lifecycle leak the old ``SmartCISApp`` had).
+
+Adapters:
+
+* :class:`StreamSource`  — a wrapper-fed stream relation (registration only).
+* :class:`TableSource`   — a stored table, optionally pre-loaded with rows.
+* :class:`WrapperSource` — a stream plus the :class:`Wrapper` that feeds
+  it; attach starts polling, detach stops it.
+* :class:`SensorSource`  — a mote-hosted relation; attach registers it
+  with the sensor engine and deploys the collection, detach stops it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Protocol, Sequence, runtime_checkable
+
+from repro.catalog import DeviceInfo, SourceKind, SourceStatistics
+from repro.data.schema import Schema
+from repro.errors import SensorNetworkError, SourceError
+
+
+@runtime_checkable
+class SourceAdapter(Protocol):
+    """Anything attachable to a :class:`~repro.api.Session`.
+
+    ``attach(session)`` must perform every registration the source needs
+    (catalog, engines, runtime start); ``detach(session)`` must undo
+    exactly what attach did, and both must be safe to call through
+    ``Session.close``.
+    """
+
+    name: str
+
+    def attach(self, session) -> None: ...
+
+    def detach(self, session) -> None: ...
+
+
+def _is_adapter(obj: Any) -> bool:
+    return (
+        hasattr(obj, "attach")
+        and hasattr(obj, "detach")
+        and isinstance(getattr(obj, "name", None), str)
+    )
+
+
+class StreamSource:
+    """A wrapper-fed stream relation: catalog registration with symmetric
+    unregistration. Data arrives via ``session.push`` (or a separately
+    attached :class:`WrapperSource`)."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        *,
+        rate: float = 1.0,
+        statistics: SourceStatistics | None = None,
+        description: str = "",
+    ):
+        self.name = name
+        self.schema = schema
+        self._rate = rate
+        self._statistics = statistics
+        self._description = description
+        self._registered = False
+
+    def attach(self, session) -> None:
+        catalog = session.catalog
+        if catalog.has_source(self.name):
+            entry = catalog.source(self.name)
+            if entry.kind is not SourceKind.STREAM:
+                raise SourceError(f"{self.name!r} is already registered as a table")
+            return
+        catalog.register_stream(
+            self.name,
+            self.schema,
+            rate=self._rate,
+            statistics=self._statistics,
+            description=self._description,
+        )
+        self._registered = True
+
+    def detach(self, session) -> None:
+        if self._registered:
+            session.catalog.unregister_source(self.name)
+            self._registered = False
+
+
+class TableSource:
+    """A stored table: catalog registration plus initial rows loaded into
+    the stream engine; detach drops the rows and the registration.
+
+    Detach undoes only what attach did: when the table already existed
+    in the catalog (someone else owns it), detach leaves its contents
+    and registration in place — rows this attach appended to a
+    pre-existing table stay, since the engine's table store has no
+    per-owner removal."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema | None = None,
+        rows: Sequence[Mapping[str, Any]] = (),
+        *,
+        cardinality: int = 0,
+        statistics: SourceStatistics | None = None,
+        description: str = "",
+    ):
+        self.name = name
+        self.schema = schema
+        self.rows = list(rows)
+        self._cardinality = cardinality
+        self._statistics = statistics
+        self._description = description
+        self._registered = False
+
+    def attach(self, session) -> None:
+        catalog = session.catalog
+        if catalog.has_source(self.name):
+            entry = catalog.source(self.name)
+            if entry.kind is not SourceKind.TABLE:
+                raise SourceError(f"{self.name!r} is already registered as a stream")
+        else:
+            if self.schema is None:
+                raise SourceError(
+                    f"table {self.name!r} is not in the catalog; a schema is required"
+                )
+            catalog.register_table(
+                self.name,
+                self.schema,
+                cardinality=self._cardinality,
+                statistics=self._statistics,
+                description=self._description,
+            )
+            self._registered = True
+        if self.rows:
+            session.load(self.name, self.rows)
+
+    def detach(self, session) -> None:
+        if self._registered:
+            session.engine.drop_table(self.name)
+            session.catalog.unregister_source(self.name)
+            self._registered = False
+
+
+class WrapperSource:
+    """A stream fed by a :class:`~repro.wrappers.base.Wrapper` whose
+    lifecycle the session owns: attach registers the relation and starts
+    polling; detach (and therefore ``Session.close``) stops it.
+
+    Three construction modes:
+
+    * ``WrapperSource(wrapper=w)`` — adopt an existing wrapper instance;
+    * ``WrapperSource(name=..., schema=..., produce=fn, period=s)`` —
+      build a :class:`CallbackWrapper` over ``fn(now) -> [tuples]``;
+    * ``WrapperSource(name=..., schema=..., factory=f)`` — defer
+      construction to ``f(engine, simulator) -> Wrapper`` at attach time.
+
+    ``name`` is the *attachment* key; the catalog relation is the
+    wrapper's own feed name. They usually coincide, but several wrappers
+    may feed one relation (e.g. one PDU wrapper per room all pushing
+    ``Power``) — give each a distinct attachment name then.
+    """
+
+    def __init__(
+        self,
+        wrapper=None,
+        *,
+        name: str | None = None,
+        schema: Schema | None = None,
+        factory: Callable[..., Any] | None = None,
+        produce: Callable[[float], list[Mapping[str, Any]]] | None = None,
+        period: float = 1.0,
+        rate: float | None = None,
+        statistics: SourceStatistics | None = None,
+        description: str = "",
+    ):
+        if wrapper is None and factory is None and produce is None:
+            raise SourceError(
+                "WrapperSource needs a wrapper, a factory or a produce callable"
+            )
+        if wrapper is not None:
+            self._source_name = wrapper.name
+            name = name or wrapper.name
+        else:
+            self._source_name = name
+        if name is None:
+            raise SourceError("WrapperSource needs a source name")
+        self.name = name
+        self.schema = schema
+        self.wrapper = wrapper
+        self._factory = factory
+        self._produce = produce
+        self._period = period
+        self._rate = rate
+        self._statistics = statistics
+        self._description = description
+        self._registered = False
+        self._attached = False
+        self._started_wrapper = False
+
+    def attach(self, session) -> None:
+        catalog = session.catalog
+        if not catalog.has_source(self._source_name):
+            if self.schema is None:
+                raise SourceError(
+                    f"stream {self._source_name!r} is not in the catalog; "
+                    "a schema is required"
+                )
+            rate = self._rate if self._rate is not None else 1.0 / self._period
+            catalog.register_stream(
+                self._source_name,
+                self.schema,
+                rate=rate,
+                statistics=self._statistics,
+                description=self._description,
+            )
+            self._registered = True
+        if self.wrapper is None:
+            if self._factory is not None:
+                self.wrapper = self._factory(session.engine, session.simulator)
+            else:
+                from repro.wrappers.base import CallbackWrapper
+
+                self.wrapper = CallbackWrapper(
+                    self._source_name,
+                    session.engine,
+                    session.simulator,
+                    self._period,
+                    self._produce,
+                )
+        if not self.wrapper.running:
+            self.wrapper.start()
+            self._started_wrapper = True
+        self._attached = True
+
+    def detach(self, session) -> None:
+        # After a successful attach the session owns the wrapper's
+        # shutdown regardless of who started it. During attach-failure
+        # rollback (_attached is False) only undo what attach itself
+        # did — never stop a wrapper the caller was already running.
+        if self.wrapper is not None and (self._attached or self._started_wrapper):
+            self.wrapper.stop()  # idempotent
+            self._started_wrapper = False
+        self._attached = False
+        if self._registered:
+            session.catalog.unregister_source(self._source_name)
+            self._registered = False
+
+
+class SensorSource:
+    """A mote-hosted relation deployed as an in-network collection.
+
+    Attach registers the relation with the catalog (as a sensor stream)
+    and the session's :class:`~repro.sensor.SensorEngine`, then deploys
+    the periodic collection; detach stops the collection's mote tasks.
+    """
+
+    def __init__(
+        self,
+        relation,
+        *,
+        device: DeviceInfo | None = None,
+        statistics: SourceStatistics | None = None,
+        description: str = "",
+        deploy: bool = True,
+    ):
+        self.relation = relation
+        self.name = relation.name
+        self._device = device
+        self._statistics = statistics
+        self._description = description
+        self._deploy = deploy
+        self._deployed = None
+        self._registered = False
+
+    def attach(self, session) -> None:
+        engine = session.sensor_engine  # raises SourceError when unavailable
+        catalog = session.catalog
+        if not catalog.has_source(self.name):
+            device = self._device or DeviceInfo(
+                tuple(self.relation.mote_ids), self.relation.period, ""
+            )
+            catalog.register_sensor_stream(
+                self.name,
+                self.relation.schema,
+                device,
+                statistics=self._statistics,
+                description=self._description,
+            )
+            self._registered = True
+        try:
+            engine.relation(self.name)
+        except SensorNetworkError:
+            engine.register_relation(self.relation)
+        if self._deploy:
+            self._deployed = engine.deploy_collection(self.name)
+
+    def detach(self, session) -> None:
+        if self._deployed is not None:
+            self._deployed.stop()
+            self._deployed = None
+        if self._registered:
+            session.catalog.unregister_source(self.name)
+            self._registered = False

@@ -138,9 +138,10 @@ class Catalog:
     """Registry of sources, views, displays and deployment facts.
 
     One catalog instance is shared by the parser-analyzer, both engine
-    optimizers and the federated optimizer. Mutation is registration-
-    only; there is no un-registration (matching the demo system, where
-    the deployment is configured once).
+    optimizers and the federated optimizer. Mutation is registration
+    plus :meth:`unregister_source` (used by ``Session.detach`` for
+    symmetric attach/detach); deployments that are configured once never
+    need the latter.
     """
 
     def __init__(self) -> None:
@@ -225,6 +226,15 @@ class Catalog:
                 f"unknown source {name!r}; registered: {sorted(self.source_names())}"
             )
         return entry
+
+    def unregister_source(self, name: str) -> bool:
+        """Remove a source registration; returns whether it existed.
+
+        The inverse of :meth:`register_source`, used for symmetric
+        ``Session.attach``/``detach``. Running queries keep their bound
+        schemas; only future name resolution is affected.
+        """
+        return self._sources.pop(name.lower(), None) is not None
 
     def has_source(self, name: str) -> bool:
         return name.lower() in self._sources

@@ -173,18 +173,22 @@ class MappingRegistry:
 class MediatedExecution:
     """Handles of every variant of a reformulated continuous query."""
 
-    variants: list[object]  # QueryHandle or FederatedExecution
+    variants: list[object]  # QueryHandle, FederatedExecution or api.Cursor
 
     @property
     def results(self):
         """Union (concatenation) of all variants' results."""
         out = []
         for handle in self.variants:
-            out.extend(handle.results)
+            rows = handle.results
+            # QueryHandle/FederatedExecution expose a property; the
+            # Session API's Cursor exposes a results() method.
+            out.extend(rows() if callable(rows) else rows)
         return out
 
     def stop(self) -> None:
         for handle in self.variants:
-            stop = getattr(handle, "stop", None)
+            # Cursors spell it close(); engine handles spell it stop().
+            stop = getattr(handle, "stop", None) or getattr(handle, "close", None)
             if stop is not None:
                 stop()

@@ -97,3 +97,31 @@ class RoutingError(BuildingModelError):
 
 class SimulationError(AspenError):
     """The discrete-event simulator was misused (e.g. scheduling in the past)."""
+
+
+# ---------------------------------------------------------------------------
+# Session API (repro.api): every failure a Session surfaces is one of these
+# (or another AspenError subclass raised by the layer that failed).
+# ---------------------------------------------------------------------------
+class QueryError(AspenError):
+    """A SQL statement failed to compile or route (lex/parse/analyze/plan).
+
+    Attributes:
+        line: 1-based source line of the failure (0 when unknown).
+        column: 1-based source column of the failure (0 when unknown).
+        sql: The statement text that failed.
+    """
+
+    def __init__(self, message: str, *, line: int = 0, column: int = 0, sql: str = ""):
+        self.line = line
+        self.column = column
+        self.sql = sql
+        super().__init__(message)
+
+
+class SourceError(AspenError):
+    """Attaching, detaching or feeding a session source failed."""
+
+
+class SessionClosedError(AspenError):
+    """An operation was attempted on a closed :class:`repro.api.Session`."""

@@ -297,9 +297,9 @@ class PlanBuilder:
             return mapping[rendered]
         if isinstance(expr, AggregateCall):
             raise PlanError(f"aggregate {rendered} not computed by Aggregate node")
-        from repro.sql.expressions import BinaryOp, FunctionCall, Literal, UnaryOp
+        from repro.sql.expressions import BinaryOp, FunctionCall, Literal, Parameter, UnaryOp
 
-        if isinstance(expr, (ColumnRef, Literal)):
+        if isinstance(expr, (ColumnRef, Literal, Parameter)):
             return expr
         if isinstance(expr, BinaryOp):
             return BinaryOp(expr.op, self._remap(expr.left, mapping), self._remap(expr.right, mapping))

@@ -7,15 +7,22 @@ executor, wrappers over machines / PDUs / web sources, RFID
 localisation, the routing service, alarms, displays and the GUI's state
 store.
 
+Query access and source lifecycle go through a
+:class:`repro.api.Session` bound over the app's catalog and engines:
+``app.query(sql)`` / ``app.prepare(sql)`` run SQL text end-to-end
+(:meth:`execute_sql` keeps the federated-optimizer path for
+cross-engine plans), and wrappers/punctuation attach through the
+session so :meth:`stop` shuts everything down deterministically.
+
 Typical use::
 
-    app = SmartCIS(seed=7)
-    app.start()
-    app.simulator.run_for(30)                     # let sensors report
-    visitor = app.add_visitor("alice", needed="%Fedora%")
-    app.simulator.run_for(10)                     # beacon gets detected
-    guidance = app.guide_visitor("alice")         # nearest free Fedora box
-    print(guidance.route.render())
+    with SmartCIS(seed=7) as app:
+        app.start()
+        app.simulator.run_for(30)                 # let sensors report
+        visitor = app.add_visitor("alice", needed="%Fedora%")
+        app.simulator.run_for(10)                 # beacon gets detected
+        guidance = app.guide_visitor("alice")     # nearest free Fedora box
+        print(guidance.route.render())
 """
 
 from __future__ import annotations
@@ -119,6 +126,15 @@ class SmartCIS:
         self.state = BuildingStateStore()
         self.stream_engine = StreamEngine(self.catalog, deliver=self.displays.deliver)
         self.sensor_engine = SensorEngine(self.network, on_result=self._on_sensor_result)
+        from repro.api import Session
+
+        #: The unified query/source façade over this app's components.
+        self.session = Session(
+            catalog=self.catalog,
+            simulator=self.simulator,
+            engine=self.stream_engine,
+            sensor_engine=self.sensor_engine,
+        )
         self.builder = PlanBuilder(self.catalog)
         self.optimizer = FederatedOptimizer(self.catalog, self.network)
         self.optimizer.sensor_optimizer.pairing_provider = self._sensor_pairing
@@ -137,7 +153,9 @@ class SmartCIS:
         self._beacon_of: dict[str, int] = {}
         self.wrappers: list[Any] = []
         self.punctuator: Punctuator | None = None
+        self._collections: list[Any] = []  # deployed sensor collections
         self._started = False
+        self._stopped = False
 
         self._register_catalog()
         self._register_sensor_relations()
@@ -351,22 +369,28 @@ class SmartCIS:
     # Lifecycle
     # ==================================================================
     def start(self) -> None:
-        """Deploy monitoring collections, start wrappers and punctuation."""
+        """Deploy monitoring collections, start wrappers and punctuation.
+
+        Every wrapper is attached through :attr:`session`, which owns the
+        shutdown: :meth:`stop` (or closing the session) stops each
+        wrapper's poll loop and the punctuator deterministically.
+        """
         if self._started:
             raise AspenError("SmartCIS is already started")
         self._started = True
 
         # Raw monitoring collections (the state store and canned stream
         # queries feed off these).
-        self.sensor_engine.deploy_collection("AreaSensors")
-        self.sensor_engine.deploy_collection("SeatSensors")
-        self.sensor_engine.deploy_collection("WorkstationTemps")
+        for relation in ("AreaSensors", "SeatSensors", "WorkstationTemps"):
+            self._collections.append(self.sensor_engine.deploy_collection(relation))
+
+        from repro.api import WrapperSource
 
         machines = list(self.deployment.machines.values())
         machine_wrapper = MachineStateWrapper(
             self.stream_engine, self.simulator, machines, period=5.0
         )
-        machine_wrapper.start()
+        self.session.attach(WrapperSource(wrapper=machine_wrapper))
         self.wrappers.append(machine_wrapper)
 
         # One PDU per room that has machines.
@@ -378,20 +402,17 @@ class SmartCIS:
             for outlet, machine in enumerate(room_machines, start=1):
                 pdu.plug(outlet, machine)
             wrapper = PduWrapper(self.stream_engine, self.simulator, pdu)
-            wrapper.start()
+            self.session.attach(WrapperSource(wrapper=wrapper, name=f"Power-{room_id}"))
             self.wrappers.append(wrapper)
 
         weather = WeatherWrapper(
             self.stream_engine, self.simulator, WeatherService(self.simulator)
         )
-        weather.start()
+        self.session.attach(WrapperSource(wrapper=weather))
         self.wrappers.append(weather)
 
         # Slack covers sensor delivery delay (elements carry sample time).
-        self.punctuator = Punctuator(
-            self.stream_engine, self.simulator, period=1.0, slack=0.5
-        )
-        self.punctuator.start()
+        self.punctuator = self.session.add_punctuator(period=1.0, slack=0.5)
 
         # Feed the control-logic state store from the wrapper streams.
         self._observe_stream("MachineState", self.state.on_machine_state)
@@ -399,25 +420,38 @@ class SmartCIS:
 
         self._load_tables()
 
+    def stop(self) -> None:
+        """Shut the application down deterministically: stop deployed
+        sensor collections, every attached wrapper, the punctuator and
+        all running session queries. Idempotent; safe after an explicit
+        wrapper stop (Wrapper.stop and StreamEngine.stop both are)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for deployed in self._collections:
+            deployed.stop()
+        self._collections.clear()
+        self.session.close()
+
+    def __enter__(self) -> "SmartCIS":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
     def _observe_stream(self, source: str, handler) -> None:
         """Run an internal SELECT * over ``source`` whose results update
         the monitoring state store."""
-        from repro.data.streams import StreamElement
+        cursor = self.session.query(f"select * from {source} s")
 
-        plan = self.builder.build_sql(f"select * from {source} s")
-        handle = self.stream_engine.execute(plan)
-        original_push = handle.sink.push
+        def on_element(element) -> None:
+            values = {
+                f.bare_name: v
+                for f, v in zip(element.row.schema, element.row.values)
+            }
+            handler(values, element.timestamp)
 
-        def observing_push(item):
-            original_push(item)
-            if isinstance(item, StreamElement):
-                values = {
-                    f.bare_name: v
-                    for f, v in zip(item.row.schema, item.row.values)
-                }
-                handler(values, item.timestamp)
-
-        handle.sink.push = observing_push  # type: ignore[method-assign]
+        cursor.subscribe(on_element, elements=True)
 
     def _load_tables(self) -> None:
         from repro.wrappers.database import load_table
@@ -617,6 +651,20 @@ class SmartCIS:
     # ==================================================================
     # Query interface
     # ==================================================================
+    def query(self, text: str, **kwargs):
+        """Run SQL text through the unified Session API; returns a
+        :class:`repro.api.Cursor` (continuous SELECTs run on the stream
+        engine; table-only and recursive statements evaluate one-shot).
+
+        Use :meth:`execute_sql` when the federated optimizer should
+        partition the plan across the sensor and stream engines.
+        """
+        return self.session.query(text, **kwargs)
+
+    def prepare(self, text: str, **kwargs):
+        """Prepare SQL text with ``:name`` parameters, compiled once."""
+        return self.session.prepare(text, **kwargs)
+
     def explain_sql(self, text: str) -> FederatedPlan:
         """Optimize a SELECT federatedly and return the partitioned plan."""
         from repro.sql.analyzer import Analyzer
@@ -634,27 +682,17 @@ class SmartCIS:
         return self.executor.execute(federated)
 
     def execute_statement(self, text: str):
-        """Execute any statement: CREATE VIEW registers a view; SELECT
-        starts a federated query; WITH RECURSIVE materialises a view
-        snapshot over current table contents and returns its rows."""
+        """Execute any statement (deprecation shim over the Session API
+        plus the federated path): CREATE VIEW registers a view and
+        returns its name; SELECT starts a *federated* query; WITH
+        RECURSIVE materialises a snapshot and returns its rows."""
         statement = parse(text)
         if isinstance(statement, CreateView):
-            self.catalog.register_view(statement.name, statement.query)
-            return statement.name
+            return self.session.query(text).view_name
         if isinstance(statement, SelectQuery):
             return self.execute_sql(text)
         if isinstance(statement, RecursiveQuery):
-            from repro.stream.batch import evaluate
-            plan = self.builder.build_sql(text)
-            tables = {
-                name: self.stream_engine.table_rows(name)
-                for name in self.catalog.source_names()
-                if self.catalog.source(name).kind.value == "table"
-            }
-            from repro.stream.batch import fixpoint
-            closure = fixpoint(plan.recursive, tables)
-            tables[plan.recursive.name] = closure
-            return evaluate(plan.main, tables)
+            return self.session.query(text).results()
         raise AspenError(f"unsupported statement {type(statement).__name__}")
 
     # ==================================================================

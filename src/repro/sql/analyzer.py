@@ -31,6 +31,7 @@ from repro.sql.expressions import (
     Expr,
     FunctionCall,
     Literal,
+    Parameter,
     UnaryOp,
 )
 
@@ -312,7 +313,9 @@ class _ColumnResolver:
         """
         if isinstance(expr, ColumnRef):
             return self._resolve_column(expr, allow_output)
-        if isinstance(expr, Literal):
+        if isinstance(expr, (Literal, Parameter)):
+            # Parameters resolve to themselves: the same node instance
+            # flows into the plan so prepared statements can rebind it.
             return expr
         if isinstance(expr, BinaryOp):
             return BinaryOp(

@@ -103,6 +103,22 @@ class SelectQuery:
     def is_star(self) -> bool:
         return not self.items
 
+    def expressions(self) -> list[Expr]:
+        """Every expression this query holds, across all clauses.
+
+        The single authority for clause enumeration: parameter
+        collection and other whole-statement expression walks use this,
+        so a future expression-bearing clause only needs adding here.
+        """
+        out: list[Expr] = [item.expr for item in self.items]
+        if self.where is not None:
+            out.append(self.where)
+        out.extend(self.group_by)
+        if self.having is not None:
+            out.append(self.having)
+        out.extend(item.expr for item in self.order_by)
+        return out
+
     @property
     def is_aggregate(self) -> bool:
         """True if this query computes aggregates (GROUP BY or aggregate items)."""

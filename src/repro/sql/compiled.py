@@ -73,6 +73,7 @@ from repro.sql.expressions import (
     Expr,
     FunctionCall,
     Literal,
+    Parameter,
     UnaryOp,
 )
 
@@ -133,7 +134,9 @@ def _fold_constant(expr: Expr) -> tuple[bool, Any]:
     interpreter.
     """
     for node in expr.walk():
-        if isinstance(node, (ColumnRef, AggregateCall)):
+        # Parameters are runtime-bound slots: folding one would bake the
+        # current binding into the compiled closure forever.
+        if isinstance(node, (ColumnRef, AggregateCall, Parameter)):
             return False, None
     try:
         # Column-free evaluation never touches the row argument.
@@ -195,6 +198,13 @@ class _CodeGen:
             return self.atom(value)
         if isinstance(expr, ColumnRef):
             return f"v[{self.schema.index_of(expr.name)}]"
+        if isinstance(expr, Parameter):
+            # Compiled once, re-bound per execution: the generated code
+            # reads the parameter's current slot on every call.
+            slot = self.bind(expr, "p")
+            out = self.name("t")
+            self.emit(indent, f"{out} = {slot}.value()")
+            return out
         if isinstance(expr, BinaryOp):
             return self.gen_binary(expr, indent)
         if isinstance(expr, UnaryOp):
@@ -387,6 +397,8 @@ def _compile(expr: Expr, schema: Schema) -> CompiledExpr:
         return lambda values, _v=expr.value: _v
     if isinstance(expr, ColumnRef):
         return _operator.itemgetter(schema.index_of(expr.name))
+    if isinstance(expr, Parameter):
+        return lambda values, _p=expr: _p.value()
     if isinstance(expr, BinaryOp):
         return _compile_binary(expr, schema)
     if isinstance(expr, UnaryOp):

@@ -129,6 +129,66 @@ class ColumnRef(Expr):
         return self.name.rsplit(".", 1)[0] if "." in self.name else None
 
 
+class Parameter(Expr):
+    """A named placeholder (``:name``) bound at execution time.
+
+    Prepared statements (:meth:`repro.api.Session.prepare`) parse, analyze
+    and plan a statement once with Parameter leaves left in place. Each
+    execution rebinds the parameter's value slot; compiled evaluators
+    (:mod:`repro.sql.compiled`) read the slot per call, so the plan — and
+    its memoized compiled closures — are reused across executions.
+
+    Instances are identity-equal: every ``:name`` occurrence in the text
+    is its own node, and a prepared statement binds all occurrences of a
+    name together. Evaluating an unbound parameter raises
+    :class:`~repro.errors.ExecutionError`.
+    """
+
+    _UNBOUND = object()
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: Any = Parameter._UNBOUND
+
+    @property
+    def bound(self) -> bool:
+        return self._value is not Parameter._UNBOUND
+
+    def bind(self, value: Any) -> None:
+        self._value = value
+
+    def unbind(self) -> None:
+        self._value = Parameter._UNBOUND
+
+    def value(self) -> Any:
+        """Current binding; raises when unbound (used by compiled code)."""
+        if self._value is Parameter._UNBOUND:
+            raise ExecutionError(f"parameter :{self.name} is not bound")
+        return self._value
+
+    def eval(self, row: Any) -> Any:
+        return self.value()
+
+    def dtype(self, schema: Schema) -> DataType:
+        # The value's type is unknown until execution; NULL is absorbed
+        # by every type in common_type, so parameters compose with any
+        # comparison or arithmetic context.
+        return DataType.NULL
+
+    def render(self) -> str:
+        return f":{self.name}"
+
+
+def collect_parameters(exprs: "Iterator[Expr] | list[Expr]") -> dict[str, list[Parameter]]:
+    """Group every :class:`Parameter` occurrence in ``exprs`` by name."""
+    out: dict[str, list[Parameter]] = {}
+    for expr in exprs:
+        for node in expr.walk():
+            if isinstance(node, Parameter):
+                out.setdefault(node.name, []).append(node)
+    return out
+
+
 def _like_to_regex(pattern: str) -> re.Pattern[str]:
     """Compile a SQL LIKE pattern (``%``, ``_``) to an anchored regex."""
     out = []
@@ -455,7 +515,7 @@ def substitute_columns(expr: Expr, mapping: dict[str, Expr]) -> Expr:
     """
     if isinstance(expr, ColumnRef):
         return mapping.get(expr.name, expr)
-    if isinstance(expr, Literal):
+    if isinstance(expr, (Literal, Parameter)):
         return expr
     if isinstance(expr, BinaryOp):
         return BinaryOp(
@@ -471,6 +531,37 @@ def substitute_columns(expr: Expr, mapping: dict[str, Expr]) -> Expr:
         arg = None if expr.argument is None else substitute_columns(expr.argument, mapping)
         return AggregateCall(expr.name, arg, expr.distinct)
     raise TypeMismatchError(f"cannot substitute into {type(expr).__name__}")
+
+
+def substitute_parameters(expr: Expr, values: dict[str, Any]) -> Expr:
+    """Replace :class:`Parameter` nodes with literal values per ``values``.
+
+    Used when a prepared statement starts a *continuous* query: a running
+    pipeline must own immutable bindings (a later execute() re-binding
+    shared slots would otherwise change a live query's predicate), so the
+    plan for a continuous execution gets parameters baked in as literals.
+    Unmapped parameters are preserved.
+    """
+    if isinstance(expr, Parameter):
+        return Literal(values[expr.name]) if expr.name in values else expr
+    if isinstance(expr, (ColumnRef, Literal)):
+        return expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            substitute_parameters(expr.left, values),
+            substitute_parameters(expr.right, values),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, substitute_parameters(expr.operand, values))
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            expr.name, tuple(substitute_parameters(a, values) for a in expr.args)
+        )
+    if isinstance(expr, AggregateCall):
+        arg = None if expr.argument is None else substitute_parameters(expr.argument, values)
+        return AggregateCall(expr.name, arg, expr.distinct)
+    raise TypeMismatchError(f"cannot substitute parameters into {type(expr).__name__}")
 
 
 def rename_relations(expr: Expr, mapping: dict[str, str]) -> Expr:

@@ -3,8 +3,9 @@
 The dialect is SQL-92 SELECT syntax plus the stream extensions the paper
 uses: window clauses in brackets, ``CREATE VIEW``, ``WITH RECURSIVE``
 for transitive-closure queries, ``OUTPUT TO DISPLAY`` for routing
-results, and ``^`` as an alternative spelling of ``AND`` (the paper's
-Figure 1 writes its demo query with ``^``).
+results, ``^`` as an alternative spelling of ``AND`` (the paper's
+Figure 1 writes its demo query with ``^``), and named parameters
+(``:name``) for prepared statements.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ class TokenType(enum.Enum):
     STRING = "string"
     OPERATOR = "operator"
     PUNCTUATION = "punctuation"
+    PARAMETER = "parameter"
     EOF = "eof"
 
 
@@ -122,6 +124,16 @@ class Lexer:
             return self._number(line, column)
         if ch.isalpha() or ch == "_":
             return self._word(line, column)
+        if ch == ":":
+            self._advance()
+            if not (self._peek().isalpha() or self._peek() == "_"):
+                raise ParseError("expected parameter name after ':'", line, column)
+            out: list[str] = []
+            while self._peek().isalnum() or self._peek() == "_":
+                out.append(self._advance())
+            # Case-preserved even when the name collides with a keyword
+            # (":limit" is a fine parameter name).
+            return Token(TokenType.PARAMETER, "".join(out), line, column)
         for op in _MULTI_CHAR_OPERATORS:
             if self._text.startswith(op, self._pos):
                 self._advance(len(op))

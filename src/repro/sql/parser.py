@@ -41,6 +41,7 @@ from repro.sql.expressions import (
     Expr,
     FunctionCall,
     Literal,
+    Parameter,
     UnaryOp,
 )
 from repro.sql.lexer import Token, TokenType, tokenize
@@ -391,6 +392,9 @@ class Parser:
             return inner
         if token.type is TokenType.IDENTIFIER:
             return self._identifier_expr()
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            return Parameter(token.value)
         raise self._error("expected expression")
 
     def _identifier_expr(self) -> Expr:

@@ -124,9 +124,13 @@ class DistributedQuery:
                 element_row = RowType.from_mapping(schema, row)
             port.consumer.push(StreamElement(element_row, timestamp, source_name))
 
-    def punctuate(self, watermark: float) -> None:
+    def punctuate(self, watermark: float, sources: list[str] | None = None) -> None:
+        """Advance the watermark on every port (default) or only on the
+        named sources' ports, matching StreamEngine.punctuate."""
+        lowered = None if sources is None else {s.lower() for s in sources}
         for port in self.compiled.ports:
-            port.consumer.push(Punctuation(watermark))
+            if lowered is None or port.source_name.lower() in lowered:
+                port.consumer.push(Punctuation(watermark))
 
     @property
     def results(self):

@@ -50,12 +50,15 @@ class QueryHandle:
         plan: The logical plan being executed.
         compiled: The operator pipeline.
         sink: Collects every result row the query emits.
+        engine: The hosting engine (set by :meth:`StreamEngine.execute`);
+            enables :meth:`stop` and use as a context manager.
     """
 
     query_id: int
     plan: LogicalOp
     compiled: CompiledPlan
     sink: CollectingConsumer
+    engine: "StreamEngine | None" = field(default=None, repr=False)
     # latest_batch incremental state: sink elements before _scan_pos have
     # been classified against _cached_watermark; _batch keeps the ones
     # at-or-after it. Repeated polling (the GUI case) is O(new elements).
@@ -68,6 +71,19 @@ class QueryHandle:
     def results(self) -> list[Row]:
         """All result rows emitted so far."""
         return self.sink.rows
+
+    def stop(self) -> None:
+        """Stop this query on its engine. Safe to call repeatedly."""
+        if self.engine is not None:
+            self.engine.stop(self)
+
+    def __enter__(self) -> "QueryHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # Idempotent: an explicit stop() followed by context exit (or a
+        # Session.close after either) never raises.
+        self.stop()
 
     def latest_batch(self) -> list[Row]:
         """Rows emitted since the last punctuation boundary observed."""
@@ -159,6 +175,14 @@ class StreamEngine:
         entry = self._catalog.source(name)
         return [e.row for e in self._tables.get(entry.name, [])]
 
+    def drop_table(self, name: str) -> None:
+        """Forget a stored table's contents (Session.detach). The name is
+        matched case-insensitively; unknown names are a no-op so detach
+        stays symmetric even when nothing was ever loaded."""
+        for key in list(self._tables):
+            if key.lower() == name.lower():
+                del self._tables[key]
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -166,7 +190,7 @@ class StreamEngine:
         """Start a continuous query; returns its handle immediately."""
         sink = CollectingConsumer()
         compiled = self._compiler.compile(plan, sink)
-        handle = QueryHandle(next(_query_ids), plan, compiled, sink)
+        handle = QueryHandle(next(_query_ids), plan, compiled, sink, self)
         self._queries[handle.query_id] = handle
         self._register_routes(handle)
         # Replay stored tables into the new query's table scans.
@@ -180,7 +204,8 @@ class StreamEngine:
         return handle
 
     def stop(self, handle: QueryHandle) -> None:
-        """Stop routing data into a query."""
+        """Stop routing data into a query. Idempotent: stopping a query
+        that is already stopped (or was never started here) is a no-op."""
         if self._queries.pop(handle.query_id, None) is None:
             return
         for key in list(self._routes):
