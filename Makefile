@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test check bench bench-expr bench-session
+.PHONY: test check bench bench-expr bench-fusion bench-session
 
 ## Tier-1 verification: the full unit/integration suite.
 test:
@@ -21,6 +21,10 @@ bench:
 ## Just the expression-compilation microbenchmark (fast feedback).
 bench-expr:
 	$(PYTHON) -m benchmarks.bench_expr_compile
+
+## Just the fusion + batched-push microbenchmark (writes BENCH_fusion.json).
+bench-fusion:
+	$(PYTHON) -m benchmarks.bench_fusion
 
 ## Just the session-facade overhead benchmark (writes BENCH_session.json).
 bench-session:

@@ -14,7 +14,10 @@ on three workloads:
 
 Both paths run the *same* logical plan through the same operators; the
 only difference is ``PlanCompiler(compiled_exprs=...)`` /
-``fixpoint(..., compiled=...)``. Result equality is asserted, so this
+``fixpoint(..., compiled=...)``. Operator fusion is pinned off
+(``fuse=False``) on both arms so this stays a single-variable A/B of
+expression compilation alone — ``bench_fusion.py`` tracks the fusion
+and batched-push levers on top. Result equality is asserted, so this
 doubles as an end-to-end agreement check.
 
 Results are printed as a table and written to ``BENCH_expr_compile.json``
@@ -76,7 +79,7 @@ def _reading_elements(count: int) -> list[StreamElement]:
 
 def _time_pipeline(plan, elements: list[StreamElement], compiled: bool) -> tuple[float, list[Row]]:
     sink = CollectingConsumer()
-    pipeline = PlanCompiler(compiled_exprs=compiled).compile(plan, sink)
+    pipeline = PlanCompiler(compiled_exprs=compiled, fuse=False).compile(plan, sink)
     ports = [p.consumer for p in pipeline.ports_for("Readings")]
     start = time.perf_counter()
     for port in ports:
@@ -129,7 +132,7 @@ def bench_join(n: int) -> dict:
 
     def run(compiled: bool) -> tuple[float, list[Row]]:
         sink = CollectingConsumer()
-        pipeline = PlanCompiler(compiled_exprs=compiled).compile(plan, sink)
+        pipeline = PlanCompiler(compiled_exprs=compiled, fuse=False).compile(plan, sink)
         readings = [p.consumer for p in pipeline.ports_for("Readings")]
         loads = [p.consumer for p in pipeline.ports_for("Loads")]
         start = time.perf_counter()

@@ -1,0 +1,246 @@
+"""Microbenchmark — operator fusion and the vectorized batched push path.
+
+Measures the rows/sec the stream engine sustains on the filter→project
+benchmark pipeline (the same shape as ``bench_expr_compile``) across
+three execution strategies, all with compiled expressions:
+
+* **unfused_push** — one FilterOp + one ProjectOp, per-element ``push``
+  (``PlanCompiler(fuse=False)``): the pre-fusion compiled baseline;
+* **fused_push** — the Select/Project chain collapsed into one
+  :class:`~repro.stream.operators.FusedOp`, still per-element ``push``;
+* **fused_batch** — the fused pipeline fed through ``push_batch`` in
+  ingest-sized chunks: one dispatch per operator per batch, the path
+  :meth:`StreamEngine.push_many` takes.
+
+A fourth workload, **engine_ingest**, runs the same query end-to-end on
+a :class:`StreamEngine` and compares repeated :meth:`push` against one
+:meth:`push_many` call — the whole ingest stack, not just the pipeline.
+
+Result equality is asserted across every strategy, so this doubles as a
+fused-vs-unfused agreement check. Results are written to
+``BENCH_fusion.json`` (override the directory with ``REPRO_BENCH_DIR``);
+``REPRO_BENCH_SCALE`` shrinks the workload for smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.catalog import Catalog
+from repro.data import DataType, Row, Schema
+from repro.data.streams import CollectingConsumer, Punctuation, StreamElement
+from repro.plan import PlanBuilder
+from repro.stream.compiler import PlanCompiler
+from repro.stream.engine import StreamEngine
+
+ARTIFACT_NAME = "BENCH_fusion.json"
+
+#: Ingest batch size for the chunked push_batch measurement — the shape
+#: a wrapper poll or push_many call delivers.
+BATCH_SIZE = 4096
+
+READINGS = Schema.of(
+    ("room", DataType.STRING),
+    ("host", DataType.STRING),
+    ("temp", DataType.FLOAT),
+    ("load", DataType.FLOAT),
+)
+
+SQL = """
+    SELECT r.host,
+           r.temp * 1.8 + 32.0 AS fahrenheit,
+           r.load * 100.0 AS pct,
+           (r.temp - 20.0) * (r.temp - 20.0) AS dev,
+           UPPER(r.room) AS room,
+           COALESCE(r.load, 0.0) + r.temp / 10.0 AS score
+    FROM Readings r
+    WHERE r.temp > 15.0 AND r.temp < 90.0 AND r.room LIKE 'lab%'
+          AND r.load >= 0.0 AND r.load <= 1.0
+          AND r.temp * r.load < 85.0 AND LENGTH(r.host) > 2
+"""
+
+
+def _catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register_stream("Readings", READINGS, rate=10.0)
+    return catalog
+
+
+def _reading_elements(count: int) -> list[StreamElement]:
+    rooms = ["lab1", "lab2", "office3", "lab4"]
+    out = []
+    for i in range(count):
+        row = Row.raw(
+            READINGS,
+            (rooms[i % 4], f"ws{i % 512}", 10.0 + (i % 90), (i % 100) / 100.0),
+        )
+        out.append(StreamElement(row, float(i) / 100.0, "Readings"))
+    return out
+
+
+def _time_push(plan, elements, fuse: bool) -> tuple[float, list[Row]]:
+    sink = CollectingConsumer()
+    pipeline = PlanCompiler(fuse=fuse).compile(plan, sink)
+    port = pipeline.ports[0].consumer
+    start = time.perf_counter()
+    for element in elements:
+        port.push(element)
+    elapsed = time.perf_counter() - start
+    port.push(Punctuation(1e9))
+    return elapsed, sink.rows
+
+
+def _time_batch(plan, elements, fuse: bool) -> tuple[float, list[Row]]:
+    sink = CollectingConsumer()
+    pipeline = PlanCompiler(fuse=fuse).compile(plan, sink)
+    port = pipeline.ports[0].consumer
+    start = time.perf_counter()
+    for offset in range(0, len(elements), BATCH_SIZE):
+        port.push_batch(elements[offset : offset + BATCH_SIZE])
+    elapsed = time.perf_counter() - start
+    port.push(Punctuation(1e9))
+    return elapsed, sink.rows
+
+
+def bench_pipeline(n: int) -> dict:
+    plan = PlanBuilder(_catalog()).build_sql(SQL)
+    elements = _reading_elements(n)
+    unfused_s, unfused_rows = _best_of(lambda: _time_push(plan, elements, fuse=False))
+    fused_s, fused_rows = _best_of(lambda: _time_push(plan, elements, fuse=True))
+    batch_s, batch_rows = _best_of(lambda: _time_batch(plan, elements, fuse=True))
+    assert fused_rows == unfused_rows, "fused and unfused pipelines disagree"
+    assert batch_rows == unfused_rows, "batched and per-element paths disagree"
+    return {
+        "rows": n,
+        "unfused_push_s": round(unfused_s, 6),
+        "fused_push_s": round(fused_s, 6),
+        "fused_batch_s": round(batch_s, 6),
+        "unfused_push_rows_per_s": round(n / unfused_s) if unfused_s else None,
+        "fused_push_rows_per_s": round(n / fused_s) if fused_s else None,
+        "fused_batch_rows_per_s": round(n / batch_s) if batch_s else None,
+        "fused_push_speedup": round(unfused_s / fused_s, 2) if fused_s else None,
+        "fused_batch_speedup": round(unfused_s / batch_s, 2) if batch_s else None,
+    }
+
+
+def bench_engine_ingest(n: int) -> dict:
+    """End-to-end: StreamEngine.push one-by-one vs one push_many call."""
+    rows = [e.row for e in _reading_elements(n)]
+    stamps = [float(i) / 100.0 for i in range(n)]
+
+    def run(batched: bool) -> tuple[float, list[Row]]:
+        catalog = _catalog()
+        engine = StreamEngine(catalog)
+        handle = engine.execute(PlanBuilder(catalog).build_sql(SQL))
+        start = time.perf_counter()
+        if batched:
+            engine.push_many("Readings", rows, stamps)
+        else:
+            for row, stamp in zip(rows, stamps):
+                engine.push("Readings", row, stamp)
+        elapsed = time.perf_counter() - start
+        return elapsed, handle.results
+
+    push_s, push_rows = _best_of(lambda: run(batched=False))
+    many_s, many_rows = _best_of(lambda: run(batched=True))
+    assert many_rows == push_rows, "push_many and repeated push disagree"
+    return {
+        "rows": n,
+        "push_s": round(push_s, 6),
+        "push_many_s": round(many_s, 6),
+        "push_rows_per_s": round(n / push_s) if push_s else None,
+        "push_many_rows_per_s": round(n / many_s) if many_s else None,
+        "speedup": round(push_s / many_s, 2) if many_s else None,
+    }
+
+
+def _best_of(measure, repetitions: int = 3):
+    """Fastest of N (seconds, payload) measurements, GC paused (see
+    ``bench_expr_compile._best_of`` for the rationale)."""
+    import gc
+
+    best = None
+    for _ in range(repetitions):
+        gc.collect()
+        gc.disable()
+        try:
+            elapsed, payload = measure()
+        finally:
+            gc.enable()
+        if best is None or elapsed < best[0]:
+            best = (elapsed, payload)
+    return best
+
+
+def run_benchmarks(scale: float | None = None) -> dict:
+    if scale is None:
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    n = max(200, int(40_000 * scale))
+    return {
+        "benchmark": "fusion",
+        "scale": scale,
+        "batch_size": BATCH_SIZE,
+        "pipelines": {
+            "filter_project": bench_pipeline(n),
+            "engine_ingest": bench_engine_ingest(max(100, n // 4)),
+        },
+    }
+
+
+def write_artifact(results: dict, directory: str | os.PathLike | None = None) -> Path:
+    if directory is None:
+        directory = os.environ.get(
+            "REPRO_BENCH_DIR", Path(__file__).resolve().parent.parent
+        )
+    path = Path(directory) / ARTIFACT_NAME
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def test_fusion_speedup(table_printer):
+    results = run_benchmarks()
+    path = write_artifact(results)
+    pipeline = results["pipelines"]["filter_project"]
+    ingest = results["pipelines"]["engine_ingest"]
+    table_printer(
+        f"operator fusion + batched push (artifact: {path})",
+        ["workload", "rows", "baseline rows/s", "best rows/s", "speedup"],
+        [
+            [
+                "filter_project fused push",
+                pipeline["rows"],
+                pipeline["unfused_push_rows_per_s"],
+                pipeline["fused_push_rows_per_s"],
+                f'{pipeline["fused_push_speedup"]:.2f}x',
+            ],
+            [
+                "filter_project fused batch",
+                pipeline["rows"],
+                pipeline["unfused_push_rows_per_s"],
+                pipeline["fused_batch_rows_per_s"],
+                f'{pipeline["fused_batch_speedup"]:.2f}x',
+            ],
+            [
+                "engine push_many",
+                ingest["rows"],
+                ingest["push_rows_per_s"],
+                ingest["push_many_rows_per_s"],
+                f'{ingest["speedup"]:.2f}x',
+            ],
+        ],
+    )
+    # The acceptance threshold of the fusion change: fused + batched is
+    # at least 1.5x the unfused compiled per-element path. Only enforced
+    # at full scale — smoke workloads are timing noise.
+    if results["scale"] >= 1.0:
+        assert pipeline["fused_batch_speedup"] >= 1.5
+        assert pipeline["fused_push_speedup"] >= 1.1
+
+
+if __name__ == "__main__":
+    from benchmarks.conftest import print_table
+
+    test_fusion_speedup(print_table)

@@ -442,12 +442,22 @@ class Session:
     ) -> int:
         """Batched ingestion (see :meth:`StreamEngine.push_many`).
 
-        Like :meth:`push`, ``timestamps`` defaults to the simulator's
-        current time — switching between the two never changes stamps.
+        The batch reaches the engine's vectorized ``push_batch`` path:
+        each query's operator pipeline traverses the whole batch with
+        one dispatch per operator instead of one per element. Like
+        :meth:`push`, ``timestamps`` defaults to the simulator's current
+        time — switching between the two never changes stamps.
         """
         self._ensure_open()
         if timestamps is None:
             timestamps = self.simulator.now
+        # Materialize up front: generators would otherwise be consumed
+        # by the engine before the distributed forwarding below (and a
+        # generator of rows has no len()). Lists pass through uncopied.
+        if not isinstance(rows, list):
+            rows = list(rows)
+        if not isinstance(timestamps, (int, float, list)):
+            timestamps = list(timestamps)
         try:
             count = self.engine.push_many(source, rows, timestamps)
         except (CatalogError, SchemaError, ExecutionError) as exc:

@@ -66,7 +66,17 @@ StreamItem = StreamElement | Punctuation
 
 @runtime_checkable
 class StreamConsumer(Protocol):
-    """Anything that can receive stream items."""
+    """Anything that can receive stream items.
+
+    Consumers may additionally implement the optional batched protocol
+    ``push_batch(items: list[StreamItem])`` — receive a whole batch in
+    arrival order with one call. Producers discover it by duck typing
+    (``getattr(consumer, "push_batch", None)``) and fall back to
+    per-item :meth:`push`, so the batched path degrades gracefully at
+    any pipeline edge. ``push_batch`` is deliberately *not* part of this
+    runtime-checkable protocol: a plain ``push``-only consumer is still
+    a StreamConsumer.
+    """
 
     def push(self, item: StreamItem) -> None:
         """Receive one element or punctuation."""
@@ -81,6 +91,11 @@ class CallbackConsumer:
 
     def push(self, item: StreamItem) -> None:
         self._fn(item)
+
+    def push_batch(self, items: Iterable[StreamItem]) -> None:
+        fn = self._fn
+        for item in items:
+            fn(item)
 
 
 class CollectingConsumer:
@@ -99,6 +114,15 @@ class CollectingConsumer:
             self.punctuations.append(item)
         else:
             self.elements.append(item)
+
+    def push_batch(self, items: Iterable[StreamItem]) -> None:
+        elements = self.elements
+        punctuations = self.punctuations
+        for item in items:
+            if isinstance(item, Punctuation):
+                punctuations.append(item)
+            else:
+                elements.append(item)
 
     @property
     def rows(self) -> list[Row]:
@@ -126,6 +150,38 @@ class Tee:
     def push(self, item: StreamItem) -> None:
         for consumer in self._consumers:
             consumer.push(item)
+
+    def push_batch(self, items: list[StreamItem]) -> None:
+        consumers = self._consumers
+        if len(consumers) == 1:
+            push_all(consumers[0], items)
+            return
+        # Several consumers: keep push()'s element-major interleaving —
+        # consumer-major delivery would reorder arrivals across consumers,
+        # which order-sensitive fan-outs (e.g. both side ports of a
+        # ROWS-window self-join) can observe.
+        for item in items:
+            for consumer in consumers:
+                consumer.push(item)
+
+
+def push_all(consumer: StreamConsumer, items: list[StreamItem]) -> None:
+    """Deliver a batch via the optional ``push_batch`` protocol.
+
+    The single definition of the duck-typed batched dispatch: consumers
+    with ``push_batch`` get the whole list in one call, push-only
+    consumers get per-item pushes in order. Hot paths that dispatch to a
+    fixed consumer may cache ``getattr(consumer, "push_batch", None)``
+    themselves (see ``Operator.emit_batch``); everything else should go
+    through here so the fallback contract lives in one place.
+    """
+    batch = getattr(consumer, "push_batch", None)
+    if batch is not None:
+        batch(items)
+    else:
+        push = consumer.push
+        for item in items:
+            push(item)
 
 
 def replay(items: Iterable[StreamItem], consumer: StreamConsumer) -> None:

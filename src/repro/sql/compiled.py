@@ -50,6 +50,15 @@ compile at construction, and the batch evaluator memoizes per plan
 node (``repro.stream.batch._node_compiled``). :func:`compile_projection`
 lowers a whole projection list into one generated function returning
 the output value tuple — one call per row instead of one per column.
+
+Operator fusion builds on the same code generator:
+:func:`compile_fused` lowers a whole Filter/Project *chain* — every
+predicate and every projection list, in dataflow order — into one
+generated function over the input value tuple (filters become early
+returns, projections rebind the tuple), and :func:`compile_fused_batch`
+wraps that chain in a generated loop over a list of stream elements so
+a whole ingest batch clears an N-stage chain with a single Python call.
+Both honour the compile/fallback contract stage by stage.
 """
 
 from __future__ import annotations
@@ -60,6 +69,7 @@ from functools import lru_cache
 from typing import Any, Callable, Sequence
 
 from repro.data.schema import Schema
+from repro.data.streams import StreamElement as _StreamElement
 from repro.data.tuples import Row
 from repro.errors import ExecutionError
 from repro.sql.expressions import (
@@ -79,6 +89,10 @@ from repro.sql.expressions import (
 
 #: A compiled evaluator: row value tuple -> result.
 CompiledExpr = Callable[[tuple], Any]
+
+#: One stage of a fused Filter/Project chain, in dataflow order:
+#: ``("filter", predicate)`` or ``("project", exprs, output_schema)``.
+FusedStage = tuple
 
 
 # ---------------------------------------------------------------------------
@@ -120,6 +134,173 @@ def compile_projection(exprs: Sequence[Expr], schema: Schema) -> Callable[[tuple
             return tuple(f(values) for f in _fns)
 
         return project
+
+
+def compile_fused(
+    stages: Sequence[FusedStage], schema: Schema
+) -> Callable[[tuple], tuple | None]:
+    """Compile a Filter/Project chain into one generated function.
+
+    ``stages`` lists the chain in dataflow order. Each stage is either
+
+    * ``("filter", predicate)`` — drop the row unless the predicate is
+      exactly TRUE (SQL three-valued logic: NULL does not pass), or
+    * ``("project", exprs, output_schema)`` — replace the value tuple
+      with the computed output columns; subsequent stages resolve column
+      references against ``output_schema``.
+
+    The returned function maps the input value tuple to the final value
+    tuple, or ``None`` when any filter stage rejected the row. The whole
+    chain runs as one Python call: filters lower to early returns and
+    projections to a tuple rebind, so no intermediate
+    :class:`~repro.data.tuples.Row` or ``StreamElement`` is ever
+    allocated between fused stages. Per-stage semantics are exactly
+    those of :func:`compile_expr` / :func:`compile_projection` — if code
+    generation fails for the chain, the fallback composes those
+    per-stage closures inside one Python-level loop, so the contract
+    (same values, same exception types as the unfused operators) holds
+    for every chain.
+    """
+    stages = tuple(stages)
+    try:
+        return _codegen_fused(stages, schema)
+    except Exception:
+        return _fused_fallback(stages, schema)
+
+
+def compile_fused_batch(
+    stages: Sequence[FusedStage], schema: Schema, output_schema: Schema
+) -> Callable[[list, list], None]:
+    """Compile a Filter/Project chain into one generated *batch* function.
+
+    The returned function has signature ``fn(elements, out)``: it runs
+    the whole fused chain over a list of ``StreamElement`` items inside
+    a single generated loop, appending the surviving output elements to
+    ``out``. Compared with calling the :func:`compile_fused` closure per
+    element this removes the remaining per-element Python dispatch — the
+    call itself, the isinstance test and the append all live inside the
+    generated code. Chains with a projection stage construct the output
+    ``StreamElement`` (over ``output_schema``) in generated code; pure
+    filter chains append the original element, preserving row identity.
+
+    Semantics per element are identical to :func:`compile_fused`; if
+    code generation fails, the fallback loops the fused closure in
+    Python.
+    """
+    stages = tuple(stages)
+    projects = any(stage[0] == "project" for stage in stages)
+    try:
+        return _codegen_fused_batch(stages, schema, output_schema, projects)
+    except Exception:
+        fused = compile_fused(stages, schema)
+
+        def run_batch(elements: list, out: list, _fused=fused) -> None:
+            append = out.append
+            if projects:
+                for element in elements:
+                    values = _fused(element.row.values)
+                    if values is not None:
+                        append(
+                            _StreamElement(
+                                Row.raw(output_schema, values),
+                                element.timestamp,
+                                element.source,
+                            )
+                        )
+            else:
+                for element in elements:
+                    if _fused(element.row.values) is not None:
+                        append(element)
+
+        return run_batch
+
+
+def _codegen_fused_batch(
+    stages: tuple[FusedStage, ...],
+    schema: Schema,
+    output_schema: Schema,
+    projects: bool,
+) -> Callable[[list, list], None]:
+    gen = _CodeGen(schema)
+    gen.emit(1, "append = out.append")
+    gen.emit(1, "for _e in elements:")
+    gen.emit(2, "v = _e.row.values")
+    for stage in stages:
+        if stage[0] == "filter":
+            atom = gen.as_var(gen.gen(stage[1], 2), 2)
+            gen.emit(2, f"if {atom} is not True:")
+            gen.emit(3, "continue")
+        else:
+            _, exprs, out_schema = stage
+            results = [gen.gen(e, 2) for e in exprs]
+            trailing = "," if len(results) == 1 else ""
+            gen.emit(2, f"v = ({', '.join(results)}{trailing})")
+            gen.schema = out_schema
+    if projects:
+        raw = gen.bind(Row.raw, "raw")
+        element_cls = gen.bind(_StreamElement, "se")
+        schema_name = gen.bind(output_schema, "os")
+        gen.emit(
+            2, f"append({element_cls}({raw}({schema_name}, v), _e.timestamp, _e.source))"
+        )
+    else:
+        gen.emit(2, "append(_e)")
+    source = "def _fused_batch(elements, out):\n" + "\n".join(gen.lines) + "\n"
+    code = compile(source, "<repro.sql.compiled.fused_batch>", "exec")
+    exec(code, gen.env)
+    fn = gen.env["_fused_batch"]
+    fn.__compiled_source__ = source  # introspection / debugging aid
+    return fn
+
+
+def _codegen_fused(
+    stages: tuple[FusedStage, ...], schema: Schema
+) -> Callable[[tuple], tuple | None]:
+    gen = _CodeGen(schema)
+    for stage in stages:
+        if stage[0] == "filter":
+            atom = gen.as_var(gen.gen(stage[1], 1), 1)
+            gen.emit(1, f"if {atom} is not True:")
+            gen.emit(2, "return None")
+        else:
+            _, exprs, out_schema = stage
+            results = [gen.gen(e, 1) for e in exprs]
+            trailing = "," if len(results) == 1 else ""
+            gen.emit(1, f"v = ({', '.join(results)}{trailing})")
+            # Later stages reference columns of the projected tuple.
+            gen.schema = out_schema
+    gen.emit(1, "return v")
+    source = "def _fused(v):\n" + "\n".join(gen.lines) + "\n"
+    code = compile(source, "<repro.sql.compiled.fused>", "exec")
+    exec(code, gen.env)
+    fn = gen.env["_fused"]
+    fn.__compiled_source__ = source  # introspection / debugging aid
+    return fn
+
+
+def _fused_fallback(
+    stages: tuple[FusedStage, ...], schema: Schema
+) -> Callable[[tuple], tuple | None]:
+    steps: list[tuple[bool, Callable]] = []
+    current = schema
+    for stage in stages:
+        if stage[0] == "filter":
+            steps.append((True, compile_expr(stage[1], current)))
+        else:
+            _, exprs, out_schema = stage
+            steps.append((False, compile_projection(exprs, current)))
+            current = out_schema
+
+    def fused(values: tuple, _steps=tuple(steps)) -> tuple | None:
+        for is_filter, fn in _steps:
+            if is_filter:
+                if fn(values) is not True:
+                    return None
+            else:
+                values = fn(values)
+        return values
+
+    return fused
 
 
 # ---------------------------------------------------------------------------

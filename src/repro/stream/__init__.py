@@ -24,6 +24,7 @@ from repro.stream.operators import (
     AggregateOp,
     DistinctOp,
     FilterOp,
+    FusedOp,
     LimitOp,
     Operator,
     OrderByOp,
@@ -47,6 +48,7 @@ __all__ = [
     "DEFAULT_STREAM_WINDOW",
     "Operator",
     "FilterOp",
+    "FusedOp",
     "ProjectOp",
     "SymmetricHashJoin",
     "AggregateOp",

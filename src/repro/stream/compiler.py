@@ -4,6 +4,14 @@ The compiler walks a logical plan bottom-up, instantiating the physical
 operator for each node and wiring downstream links. Scan leaves become
 *ports*: named entry points the engine connects to source feeds.
 
+Operator fusion: with ``fuse=True`` (the default), maximal runs of
+adjacent Select/Project nodes — Filter/Project, Filter/Filter,
+Project/Project, and longer mixed chains — lower to a single
+:class:`~repro.stream.operators.FusedOp` whose generated closure runs
+the whole chain per element (see
+:func:`~repro.sql.compiled.compile_fused`). ``fuse=False`` keeps one
+physical operator per logical node as the A/B baseline.
+
 Window inference: a Scan's explicit window wins; otherwise streams get
 the engine's default window and stored tables get UNBOUNDED. A join
 side's window is the widest RANGE window beneath it (a join of windowed
@@ -17,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.catalog import SourceKind
-from repro.data.streams import StreamConsumer, StreamElement
+from repro.data.streams import StreamConsumer, StreamElement, push_all
 from repro.data.windows import WindowKind, WindowSpec
 from repro.errors import PlanError
 from repro.plan.logical import (
@@ -39,6 +47,7 @@ from repro.stream.operators import (
     AggregateOp,
     DistinctOp,
     FilterOp,
+    FusedOp,
     LimitOp,
     Operator,
     OrderByOp,
@@ -112,6 +121,16 @@ class _ReschemaConsumer:
             )
         self._downstream.push(item)
 
+    def push_batch(self, items: list) -> None:
+        schema = self._schema
+        rebased = [
+            StreamElement(item.row.with_schema(schema), item.timestamp, item.source)
+            if isinstance(item, StreamElement)
+            else item
+            for item in items
+        ]
+        push_all(self._downstream, rebased)
+
 
 class _RenamingConsumer(_ReschemaConsumer):
     """Rebases incoming rows onto the scan's qualified schema.
@@ -133,6 +152,7 @@ class PlanCompiler:
         deliver: Callable[[str, StreamElement], None] | None = None,
         default_window: WindowSpec = DEFAULT_STREAM_WINDOW,
         compiled_exprs: bool = True,
+        fuse: bool = True,
     ):
         self._deliver = deliver or (lambda display, element: None)
         self._default_window = default_window
@@ -141,6 +161,15 @@ class PlanCompiler:
         # keeps the tree-walking interpreter (the A/B baseline used by
         # benchmarks/bench_expr_compile.py).
         self._compiled_exprs = compiled_exprs
+        # When True (default), maximal runs of adjacent Select/Project
+        # nodes lower to one FusedOp running the whole chain as a single
+        # generated closure, and scan ports feeding a fully positional
+        # chain skip the renaming shim. False keeps one operator per
+        # node and a renaming port per scan — the pre-fusion pipeline,
+        # kept as the A/B baseline for benchmarks/bench_fusion.py and
+        # the fused-vs-unfused identity tests. Fusion requires the
+        # compiled expression path (the fused closure is schema-bound).
+        self._fuse = fuse and compiled_exprs
 
     def _input_schema(self, child: LogicalOp):
         return child.schema if self._compiled_exprs else None
@@ -161,11 +190,18 @@ class PlanCompiler:
         also returned (the engine pushes into it).
         """
         if isinstance(node, Scan):
-            renamer = _RenamingConsumer(node, downstream)
+            if self._fuse and getattr(downstream, "consumes_values_only", False):
+                # The operator chain above this scan is fully positional
+                # (compiled closures, projected output schemas): feeding
+                # catalog-schema rows straight in saves one Row and one
+                # StreamElement allocation per element at the port.
+                consumer: StreamConsumer = downstream
+            else:
+                consumer = _RenamingConsumer(node, downstream)
             compiled.ports.append(
-                ScanPort(node.entry.name, node.binding, renamer, scan=node)
+                ScanPort(node.entry.name, node.binding, consumer, scan=node)
             )
-            return renamer
+            return consumer
         if isinstance(node, RemoteSource):
             # Rows from remote engines already carry the plan schema.
             shim = _ReschemaConsumer(node.schema, downstream)
@@ -176,13 +212,18 @@ class PlanCompiler:
                 "CteRef cannot run inside a streaming pipeline; use "
                 "repro.stream.recursive.RecursiveView for recursive queries"
             )
-        if isinstance(node, Select):
-            op = FilterOp(node.predicate, downstream, self._input_schema(node.child))
-            compiled.operators.append(op)
-            return self._compile_node(node.child, op, compiled)
-        if isinstance(node, Project):
-            items = [(item.expr, item.name) for item in node.items]
-            op = ProjectOp(items, node.schema, downstream, self._input_schema(node.child))
+        if isinstance(node, (Select, Project)):
+            if self._fuse:
+                fused = self._try_fuse(node, downstream, compiled)
+                if fused is not None:
+                    return fused
+            if isinstance(node, Select):
+                op = FilterOp(node.predicate, downstream, self._input_schema(node.child))
+            else:
+                items = [(item.expr, item.name) for item in node.items]
+                op = ProjectOp(
+                    items, node.schema, downstream, self._input_schema(node.child)
+                )
             compiled.operators.append(op)
             return self._compile_node(node.child, op, compiled)
         if isinstance(node, Join):
@@ -223,6 +264,34 @@ class PlanCompiler:
             compiled.operators.append(op)
             return self._compile_node(node.child, op, compiled)
         raise PlanError(f"stream compiler cannot handle {type(node).__name__}")
+
+    def _try_fuse(
+        self, node: LogicalOp, downstream: StreamConsumer, compiled: CompiledPlan
+    ) -> StreamConsumer | None:
+        """Collapse a maximal Select/Project run rooted at ``node``.
+
+        Returns the fused pipeline's input consumer, or None when the
+        run is a single node (a dedicated FilterOp/ProjectOp is at least
+        as fast and keeps per-node stats readable).
+        """
+        chain: list[LogicalOp] = []
+        bottom: LogicalOp = node
+        while isinstance(bottom, (Select, Project)):
+            chain.append(bottom)
+            bottom = bottom.child
+        if len(chain) < 2:
+            return None
+        stages = []
+        for link in reversed(chain):  # dataflow order: leaf-most first
+            if isinstance(link, Select):
+                stages.append(("filter", link.predicate))
+            else:
+                stages.append(
+                    ("project", [item.expr for item in link.items], link.schema)
+                )
+        op = FusedOp(stages, node.schema, downstream, bottom.schema)
+        compiled.operators.append(op)
+        return self._compile_node(bottom, op, compiled)
 
     def _compile_join(
         self, node: Join, downstream: StreamConsumer, compiled: CompiledPlan

@@ -10,7 +10,9 @@ Ingestion is routed through a **source → ports index** maintained on
 :meth:`execute`/:meth:`stop`, so pushing an element costs a dictionary
 lookup plus one push per subscribed port — not a scan of every query's
 every port. :meth:`push_many` amortizes the lookup (and the catalog
-resolution) across a whole batch of rows.
+resolution) across a whole batch of rows and hands each port the whole
+batch via the optional ``push_batch`` protocol, so vectorized operators
+(Filter/Project/Fused) traverse it with one dispatch per operator.
 
 The engine is deliberately synchronous: pushing an element runs the
 whole operator pipeline inline. Distribution (operators placed on
@@ -31,6 +33,7 @@ from repro.data.streams import (
     Punctuation,
     StreamConsumer,
     StreamElement,
+    push_all,
 )
 from repro.data.tuples import Row
 from repro.data.windows import WindowSpec
@@ -253,19 +256,33 @@ class StreamEngine:
         """Batched ingestion: push many elements of ``source`` at once.
 
         The catalog entry and the routing-index lookup are resolved once
-        for the whole batch. ``timestamps`` is either one timestamp
-        applied to every row or a sequence aligned with ``rows``.
-        Elements are delivered in row order, each to every subscribed
-        port (the same interleaving as repeated :meth:`push` calls).
+        for the whole batch, and each subscribed port receives the whole
+        batch with one ``push_batch`` call (falling back to per-element
+        ``push`` for consumers without the batched protocol), so the
+        batch traverses each vectorized operator with one dispatch
+        instead of one per element. ``timestamps`` is either one
+        timestamp applied to every row or a sequence (any iterable,
+        including a generator — it is materialized up front) aligned
+        with ``rows``. Every port sees its elements in row order; ports
+        of *different* queries each receive the full batch in turn
+        (queries are independent pipelines, so inter-query interleaving
+        cannot change any query's result). The one order-sensitive case
+        — a single query scanning the same source through several ports
+        (a self-join, whose ROWS windows evict by arrival count) —
+        keeps the element-major interleaving of repeated :meth:`push`.
         Returns the number of elements ingested.
         """
         entry = self._catalog.source(source)
         schema = entry.schema
-        rows = list(rows)
+        rows = rows if isinstance(rows, list) else list(rows)
         if isinstance(timestamps, (int, float)):
             stamps: Sequence[float] = [float(timestamps)] * len(rows)
         else:
-            stamps = timestamps
+            # Materialize before the length check: a generator of
+            # timestamps has no len() and could otherwise fail (or be
+            # half-consumed) mid-ingest. Lists pass through uncopied
+            # (Session.push_many has already materialized them).
+            stamps = timestamps if isinstance(timestamps, list) else list(timestamps)
             if len(stamps) != len(rows):
                 raise ExecutionError(
                     f"push_many got {len(rows)} rows but {len(stamps)} timestamps"
@@ -276,12 +293,32 @@ class StreamEngine:
             for row, stamp in zip(rows, stamps)
         ]
         self.elements_ingested += len(elements)
-        consumers = [r.port.consumer for r in self._routes.get(name.lower(), ())]
-        if consumers:
+        routes = self._routes.get(name.lower(), ())
+        multi_port_queries = self._multi_port_queries(routes)
+        interleaved = []
+        for route in routes:
+            if route.query_id in multi_port_queries:
+                interleaved.append(route.port.consumer)
+            else:
+                push_all(route.port.consumer, elements)
+        if interleaved:
+            # Element-major delivery across this query's ports, exactly
+            # as repeated push() would interleave them.
             for element in elements:
-                for consumer in consumers:
+                for consumer in interleaved:
                     consumer.push(element)
         return len(elements)
+
+    @staticmethod
+    def _multi_port_queries(routes: Sequence["_Route"]) -> set[int]:
+        """Query ids appearing on more than one of ``routes``."""
+        seen: set[int] = set()
+        multi: set[int] = set()
+        for route in routes:
+            if route.query_id in seen:
+                multi.add(route.query_id)
+            seen.add(route.query_id)
+        return multi
 
     def push_remote(
         self, name: str, values: Mapping[str, Any] | Row, timestamp: float

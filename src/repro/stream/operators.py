@@ -7,6 +7,16 @@ pushes results to its downstream consumer. Punctuations (watermarks)
 flow through every operator and drive state eviction, window emission
 and batch boundaries for ORDER BY / LIMIT.
 
+Batched push: every operator also accepts ``push_batch(items)`` — a
+whole list of elements and punctuations in arrival order. Stateless
+row-at-a-time operators (:class:`FilterOp`, :class:`ProjectOp`,
+:class:`FusedOp`) traverse the batch in one dispatch and forward one
+output batch, so a 1000-row ingest costs one Python call per operator
+instead of 1000; stateful operators fall back to per-item ``push``.
+Downstream consumers that don't implement ``push_batch`` (the protocol
+is optional) receive per-item pushes, so batches degrade gracefully at
+any pipeline edge.
+
 State bounds: window joins evict expired rows on punctuation, so memory
 is proportional to window size times input rate — the property the paper
 relies on for long-running monitoring queries.
@@ -14,6 +24,7 @@ relies on for long-running monitoring queries.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Any, Callable
 
@@ -28,7 +39,13 @@ from repro.data.tuples import Row
 from repro.data.windows import WindowKind, WindowSpec
 from repro.errors import ExecutionError, SchemaError, UnknownFieldError
 from repro.sql.ast import OrderItem
-from repro.sql.compiled import compile_expr, compile_projection
+from repro.sql.compiled import (
+    FusedStage,
+    compile_expr,
+    compile_fused,
+    compile_fused_batch,
+    compile_projection,
+)
 from repro.sql.expressions import AggregateCall, Expr
 
 
@@ -51,6 +68,11 @@ class Operator:
 
     def __init__(self, downstream: StreamConsumer):
         self.downstream = downstream
+        # Batched forwarding is duck-typed: resolved once at wiring time,
+        # None when the downstream only speaks per-item push.
+        self._down_batch: Callable[[list[StreamItem]], None] | None = getattr(
+            downstream, "push_batch", None
+        )
         self.rows_in = 0
         self.rows_out = 0
 
@@ -60,6 +82,16 @@ class Operator:
         else:
             self.rows_in += 1
             self.on_element(item)
+
+    def push_batch(self, items: list[StreamItem]) -> None:
+        """Receive a whole batch of items in arrival order.
+
+        Default: per-item dispatch. Vectorized operators override this
+        to traverse the batch with one call and forward output batches.
+        """
+        push = self.push
+        for item in items:
+            push(item)
 
     def on_element(self, element: StreamElement) -> None:
         raise NotImplementedError
@@ -71,6 +103,24 @@ class Operator:
     def emit(self, element: StreamElement) -> None:
         self.rows_out += 1
         self.downstream.push(element)
+
+    def emit_batch(self, elements: list[StreamElement]) -> None:
+        """Forward a batch of output elements, batched when possible."""
+        self.rows_out += len(elements)
+        if self._down_batch is not None:
+            self._down_batch(elements)
+        else:
+            push = self.downstream.push
+            for element in elements:
+                push(element)
+
+    #: True when the operator only ever reads ``element.row.values`` (its
+    #: expressions are positionally compiled) and emits rows whose schema
+    #: does not derive from the incoming row's. The plan compiler elides
+    #: the port's renaming shim for such operators: sources can feed
+    #: catalog-schema rows straight in because nobody downstream will
+    #: ever resolve a column by the incoming names.
+    consumes_values_only = False
 
 
 class FilterOp(Operator):
@@ -92,6 +142,12 @@ class FilterOp(Operator):
         self._compiled = (
             compile_expr(predicate, input_schema) if input_schema is not None else None
         )
+        # A compiled filter never reads the row's schema, but it forwards
+        # the element unchanged — so it is schema-oblivious only when
+        # everything downstream is too (see Operator.consumes_values_only).
+        self.consumes_values_only = self._compiled is not None and getattr(
+            downstream, "consumes_values_only", False
+        )
 
     def on_element(self, element: StreamElement) -> None:
         compiled = self._compiled
@@ -103,6 +159,28 @@ class FilterOp(Operator):
         elif self.predicate.eval(element.row) is True:
             self.rows_out += 1
             self.downstream.push(element)
+
+    def push_batch(self, items: list[StreamItem]) -> None:
+        compiled = self._compiled
+        evaluate = self.predicate.eval
+        out: list[StreamItem] = []
+        seen = 0
+        for item in items:
+            if isinstance(item, Punctuation):
+                if out:
+                    self.emit_batch(out)
+                    out = []
+                self.on_punctuation(item)
+            else:
+                seen += 1
+                if compiled is not None:
+                    if compiled(item.row.values) is True:
+                        out.append(item)
+                elif evaluate(item.row) is True:
+                    out.append(item)
+        self.rows_in += seen
+        if out:
+            self.emit_batch(out)
 
 
 class ProjectOp(Operator):
@@ -126,6 +204,9 @@ class ProjectOp(Operator):
             if input_schema is not None
             else None
         )
+        # A compiled projection is purely positional and every output
+        # row carries output_schema — incoming names are never read.
+        self.consumes_values_only = self._compiled is not None
 
     def on_element(self, element: StreamElement) -> None:
         compiled = self._compiled
@@ -140,6 +221,124 @@ class ProjectOp(Operator):
         # emit() inlined: this is the hottest call site.
         self.rows_out += 1
         self.downstream.push(StreamElement(row, element.timestamp, element.source))
+
+    def push_batch(self, items: list[StreamItem]) -> None:
+        compiled = self._compiled
+        schema = self.output_schema
+        raw = Row.raw
+        out: list[StreamItem] = []
+        seen = 0
+        for item in items:
+            if isinstance(item, Punctuation):
+                if out:
+                    self.emit_batch(out)
+                    out = []
+                self.on_punctuation(item)
+                continue
+            seen += 1
+            if compiled is not None:
+                row = raw(schema, compiled(item.row.values))
+            else:
+                row = Row(
+                    schema,
+                    [expr.eval(item.row) for expr, _ in self.items],
+                    validate=False,
+                )
+            out.append(StreamElement(row, item.timestamp, item.source))
+        self.rows_in += seen
+        if out:
+            self.emit_batch(out)
+
+
+class FusedOp(Operator):
+    """A fused Filter/Project chain: one generated closure per element.
+
+    The plan compiler collapses maximal runs of adjacent Select/Project
+    nodes into one of these (see ``PlanCompiler(fuse=True)``). The whole
+    chain — every predicate and every projection list, in dataflow
+    order — runs as a single compiled function over the input value
+    tuple (:func:`~repro.sql.compiled.compile_fused`), so a row passing
+    an N-stage chain costs one Python call, one output Row and one
+    StreamElement instead of N dispatches and up to N intermediate
+    allocations. Chains without a projection stage forward the original
+    element untouched, preserving row identity like ``FilterOp``.
+    """
+
+    def __init__(
+        self,
+        stages: list[FusedStage],
+        output_schema: Schema,
+        downstream: StreamConsumer,
+        input_schema: Schema,
+    ):
+        super().__init__(downstream)
+        self.stages = list(stages)
+        self.output_schema = output_schema
+        self.input_schema = input_schema
+        self._fused = compile_fused(stages, input_schema)
+        self._fused_batch = compile_fused_batch(stages, input_schema, output_schema)
+        self._projects = any(stage[0] == "project" for stage in stages)
+        # With a projection in the chain the incoming row is consumed
+        # positionally and replaced; filter-only chains forward the
+        # original element, so they are schema-oblivious only when the
+        # downstream is too.
+        self.consumes_values_only = self._projects or getattr(
+            downstream, "consumes_values_only", False
+        )
+
+    @property
+    def fused_stages(self) -> int:
+        """How many Filter/Project stages this operator collapsed."""
+        return len(self.stages)
+
+    def on_element(self, element: StreamElement) -> None:
+        values = self._fused(element.row.values)
+        if values is None:
+            return
+        self.rows_out += 1
+        if self._projects:
+            element = StreamElement(
+                Row.raw(self.output_schema, values), element.timestamp, element.source
+            )
+        self.downstream.push(element)
+
+    def push_batch(self, items: list[StreamItem]) -> None:
+        # Fast path: ingest batches are punctuation-free, so the whole
+        # chain runs inside one generated loop. A Punctuation in the
+        # batch surfaces as AttributeError (no .row) before any output
+        # is emitted; the mixed-path loop then redoes the batch with
+        # per-run splitting.
+        out: list[StreamElement] = []
+        try:
+            self._fused_batch(items, out)
+        except AttributeError:
+            if any(isinstance(item, Punctuation) for item in items):
+                self._push_batch_mixed(items)
+                return
+            raise
+        self.rows_in += len(items)
+        if out:
+            self.emit_batch(out)
+
+    def _push_batch_mixed(self, items: list[StreamItem]) -> None:
+        run: list[StreamElement] = []
+        for item in items:
+            if isinstance(item, Punctuation):
+                if run:
+                    self._flush_run(run)
+                    run = []
+                self.on_punctuation(item)
+            else:
+                run.append(item)
+        if run:
+            self._flush_run(run)
+
+    def _flush_run(self, run: list[StreamElement]) -> None:
+        out: list[StreamElement] = []
+        self._fused_batch(run, out)
+        self.rows_in += len(run)
+        if out:
+            self.emit_batch(out)
 
 
 class SymmetricHashJoin(Operator):
@@ -226,6 +425,12 @@ class SymmetricHashJoin(Operator):
 
         def push(self, item: StreamItem) -> None:
             self._join._push_side(item, left=self._left)
+
+        def push_batch(self, items: list[StreamItem]) -> None:
+            push_side = self._join._push_side
+            left = self._left
+            for item in items:
+                push_side(item, left=left)
 
     @property
     def left_port(self) -> StreamConsumer:
@@ -445,7 +650,12 @@ class AggregateOp(Operator):
             if not self._buffer:
                 return
             first = min(e.timestamp for e in self._buffer)
-            boundary = (int(first / slide) + 1) * slide
+            # The smallest slide multiple >= first. Windows are (start,
+            # boundary], so a row exactly on a slide multiple belongs to
+            # the window *ending* there — ceil keeps it (int()+1 pushed
+            # it past its own window and truncated toward zero, dropping
+            # boundary-exact and negative-timestamp rows entirely).
+            boundary = math.ceil(first / slide) * slide
             self._next_boundary = boundary
         while self._next_boundary is not None and self._next_boundary <= watermark:
             boundary = self._next_boundary

@@ -58,12 +58,16 @@ class TestPorts:
         assert compiled.ports[0].scan is None
         assert compiled.ports[0].source_name == "r1"
 
-    def test_stats_accumulate(self, builder, compiler):
+    @pytest.mark.parametrize(
+        "fuse, op_name", [(True, "FusedOp"), (False, "FilterOp")]
+    )
+    def test_stats_accumulate(self, builder, fuse, op_name):
+        # With fusion the Filter+Project chain is one FusedOp; unfused,
+        # the FilterOp sees both rows and passes one.
         plan = builder.build_sql("select t.temp from Temps t where t.temp > 5")
         sink = CollectingConsumer()
-        compiled = compiler.compile(plan, sink)
+        compiled = PlanCompiler(fuse=fuse).compile(plan, sink)
         schema_port = compiled.ports[0]
-        from repro.catalog import Catalog
 
         temps_schema = Schema.of(("room", DataType.STRING), ("temp", DataType.FLOAT))
         for temp in (1.0, 10.0):
@@ -71,7 +75,7 @@ class TestPorts:
                 StreamElement(Row(temps_schema, ("x", temp)), 0.0)
             )
         stats = compiled.stats
-        assert stats["FilterOp.in"] == 2 and stats["FilterOp.out"] == 1
+        assert stats[f"{op_name}.in"] == 2 and stats[f"{op_name}.out"] == 1
 
 
 class TestWindowInference:

@@ -508,6 +508,28 @@ def test_push_and_push_many_stamp_identically():
         assert stamps == {50.0}
 
 
+def test_push_many_accepts_generators_for_rows_and_timestamps():
+    # Regression: generators were consumed by the stream engine before
+    # the distributed forwarding (and len() on one raised mid-ingest).
+    with connect(nodes=["pc1", "pc2"]) as session:
+        session.attach(StreamSource("Readings", READINGS))
+        cursor = session.query("select r.room from Readings r")
+        distributed = session.query(
+            "select r.temp from Readings r", placement="auto"
+        )
+        count = session.push_many(
+            "Readings",
+            (row for row in READING_ROWS[:3]),
+            (float(i) for i in range(3)),
+        )
+        assert count == 3
+        assert [e.timestamp for e in cursor._handle.sink.elements] == [0.0, 1.0, 2.0]
+        session.simulator.run_for(5.0)
+        session.punctuate(10.0)
+        session.simulator.run_for(5.0)
+        assert len(distributed.results()) == 3
+
+
 def test_failed_attach_rolls_back_registrations():
     def broken_factory(engine, simulator):
         raise SourceError("factory exploded")

@@ -168,6 +168,29 @@ class TestSymmetricHashJoin:
         self.push_right(join, 1, "b", 2.0)
         assert len(self.sink) == 2
 
+    @pytest.mark.parametrize(
+        "left_ts, right_ts, joins",
+        [
+            (0.0, 10.0, True),  # exactly the window size apart: still live
+            (0.0, 10.001, False),
+            (-12.0, -2.0, True),  # negative event times, boundary-exact
+            (-12.0, -1.9, False),
+            (-5.0, 5.0, True),  # spanning zero
+        ],
+    )
+    def test_window_boundary_exact(self, left_ts, right_ts, joins):
+        join = self.make_join()
+        self.push_left(join, 1, "a", left_ts)
+        self.push_right(join, 1, "b", right_ts)
+        assert len(self.sink) == (1 if joins else 0)
+
+    def test_out_of_order_negative_timestamps_join(self):
+        join = self.make_join()
+        self.push_left(join, 1, "later", -1.0)
+        self.push_right(join, 1, "earlier", -9.0)  # arrives after, ts before
+        assert len(self.sink) == 1
+        assert self.sink.elements[0].timestamp == -1.0
+
 
 class TestAggregateOp:
     def make(self, window=None):
@@ -254,6 +277,60 @@ class TestAggregateOp:
             op.push(element(x, "z", 1.0))
         op.push(Punctuation(2.0))
         assert sink.rows[0]["n"] == 3
+
+    @pytest.mark.parametrize(
+        "ts, boundary",
+        [
+            (10.0, 10.0),  # exactly on a slide multiple: window ending there
+            (0.0, 0.0),
+            (20.0, 20.0),
+            (9.999, 10.0),
+            (10.001, 20.0),
+            (-5.0, 0.0),  # negative event times: floor/ceil, not truncation
+            (-10.0, -10.0),
+            (-15.0, -10.0),
+            (-0.001, 0.0),
+        ],
+    )
+    def test_window_boundary_assignment(self, ts, boundary):
+        # Regression: (int(first / slide) + 1) * slide pushed a row at
+        # exactly t=10 past its own (0, 10] window (and truncated
+        # negative timestamps toward zero), silently dropping it.
+        op = self.make(window=WindowSpec.range(10, slide=10))
+        op.push(element(1, "a", ts))
+        op.push(Punctuation(boundary))
+        assert [(e.timestamp, e.row["agg_0"]) for e in self.sink.elements] == [
+            (boundary, 1)
+        ]
+
+    def test_boundary_row_not_double_counted(self):
+        # t=10 belongs to (0, 10] only — not also to (10, 20].
+        op = self.make(window=WindowSpec.range(10, slide=10))
+        op.push(element(1, "a", 10.0))
+        op.push(element(2, "a", 10.5))
+        op.push(Punctuation(20.0))
+        assert [(e.timestamp, e.row["agg_0"]) for e in self.sink.elements] == [
+            (10.0, 1),
+            (20.0, 1),
+        ]
+
+    def test_out_of_order_rows_share_window(self):
+        op = self.make(window=WindowSpec.range(10, slide=10))
+        for ts in (5.0, 3.0, 8.0):  # not in timestamp order
+            op.push(element(1, "a", ts))
+        op.push(Punctuation(10.0))
+        assert [(e.timestamp, e.row["agg_0"]) for e in self.sink.elements] == [
+            (10.0, 3)
+        ]
+
+    def test_negative_out_of_order_and_boundary_mix(self):
+        op = self.make(window=WindowSpec.range(10, slide=10))
+        for ts in (-5.0, -10.0, 0.0, -2.5):
+            op.push(element(1, "a", ts))
+        op.push(Punctuation(5.0))
+        by_boundary = {e.timestamp: e.row["agg_0"] for e in self.sink.elements}
+        # (-20, -10] holds -10; (-10, 0] holds -5, -2.5 and 0 exactly.
+        assert by_boundary == {-10.0: 1, 0.0: 3}
 
     def test_nulls_ignored_by_aggregates(self):
         schema = Schema.of(("n", DataType.INT), ("s", DataType.INT))
