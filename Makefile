@@ -4,14 +4,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test check bench bench-expr bench-fusion bench-session
+.PHONY: test check bench bench-expr bench-fusion bench-session bench-shard
 
 ## Tier-1 verification: the full unit/integration suite.
 test:
 	$(PYTHON) -m pytest -x -q
 
-## CI gate: tier-1 tests plus every bench at smoke scale.
+## CI gate: tier-1 tests, the sharded-vs-unsharded identity corpus at a
+## reduced seed count, then every bench at smoke scale.
 check: test
+	REPRO_SHARD_SEEDS=4 $(PYTHON) -m pytest tests/test_shard_identity.py -q
 	$(PYTHON) -m benchmarks --smoke
 
 ## Run every bench_*.py non-interactively; writes BENCH_*.json artifacts.
@@ -29,3 +31,7 @@ bench-fusion:
 ## Just the session-facade overhead benchmark (writes BENCH_session.json).
 bench-session:
 	$(PYTHON) -m pytest benchmarks/bench_session.py -q -s
+
+## Just the sharded engine-pool benchmark (writes BENCH_shard.json).
+bench-shard:
+	$(PYTHON) -m benchmarks.bench_shard

@@ -95,6 +95,30 @@ def main() -> None:
     # Leaving the with-block closed the session: every query stopped,
     # every attached source detached — nothing leaks.
 
+    # 6. Scale out: the same surface over a sharded engine pool. Rows
+    #    hash-partition by the declared key; partition-safe queries
+    #    (keyed windows, key-aligned joins, filter/project chains) run
+    #    one replica per shard with merged results, and anything else
+    #    transparently falls back to one designated engine.
+    with connect(shards=4) as session:
+        session.attach(
+            StreamSource("Readings", READINGS, rate=2.0, partition_by="room")
+        )
+        with session.query(
+            "select r.room, count(*) as n, avg(r.temp) as mean "
+            "from Readings r [range 10 seconds slide 10 seconds] "
+            "group by r.room"
+        ) as per_room:
+            session.push_many(
+                "Readings",
+                [{"room": f"lab{i % 3}", "temp": 20.0 + i} for i in range(30)],
+                [float(i) for i in range(30)],
+            )
+            session.punctuate(40.0)
+            print("sharded keyed windows:")
+            for row in sorted(per_room, key=lambda r: r["r.room"]):
+                print(f"  {row['r.room']}: n={row['n']} mean={row['mean']:.1f}")
+
 
 if __name__ == "__main__":
     main()

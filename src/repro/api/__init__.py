@@ -17,7 +17,14 @@ contract (:class:`~repro.errors.QueryError`,
 """
 
 from repro.errors import QueryError, SessionClosedError, SourceError
-from repro.api.cursor import Cursor, PreparedStatement
+from repro.api.backends import (
+    BatchBackend,
+    DistributedBackend,
+    ExecutionBackend,
+    ShardedStreamBackend,
+    StreamBackend,
+)
+from repro.api.cursor import Cursor, PreparedStatement, Subscription
 from repro.api.session import Session, connect
 from repro.api.sources import (
     SensorSource,
@@ -32,6 +39,12 @@ __all__ = [
     "Session",
     "Cursor",
     "PreparedStatement",
+    "Subscription",
+    "ExecutionBackend",
+    "StreamBackend",
+    "ShardedStreamBackend",
+    "BatchBackend",
+    "DistributedBackend",
     "SourceAdapter",
     "StreamSource",
     "TableSource",

@@ -1,0 +1,169 @@
+"""Execution backends: the peers behind ``Session.query`` routing.
+
+Until this layer existed, the Session's routing was an if/elif chain
+that knew how to start a query on each engine inline. An
+:class:`ExecutionBackend` makes each path a first-class peer with one
+contract — ``compile_and_run(plan, sql, placement=...) -> Cursor`` plus
+a ``close()`` lifecycle hook — so new execution substrates (the sharded
+pool today; process pools or remote fleets tomorrow) plug in behind the
+unchanged Session surface.
+
+The installed backends:
+
+* :class:`StreamBackend` — continuous queries on the session's single
+  :class:`~repro.stream.engine.StreamEngine`.
+* :class:`ShardedStreamBackend` — continuous queries on a
+  :class:`~repro.stream.sharded.ShardedStreamEngine` pool
+  (``connect(shards=N)``): partition-safe plans run one replica per
+  shard with merged results, everything else transparently falls back
+  to the pool's designated engine. Same Cursor, same routing name
+  (``"stream"``) — callers cannot tell except by throughput.
+* :class:`BatchBackend` — one-shot evaluation over stored tables.
+* :class:`DistributedBackend` — operators placed across the simulated
+  LAN (built lazily; requires ``connect(nodes=[...])``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from repro.errors import QueryError
+from repro.plan.logical import LogicalOp
+from repro.stream.engine import StreamEngine
+from repro.stream.sharded import ShardedStreamEngine
+
+from repro.api.cursor import Cursor
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Anything that can execute a compiled logical plan for a Session.
+
+    ``name`` is the routing key ``Session._route`` resolves
+    (``"stream"``, ``"batch"``, ``"distributed"``). ``compile_and_run``
+    starts (or completes) the plan and returns the uniform
+    :class:`~repro.api.Cursor`; ``close`` releases whatever runtime the
+    backend owns and is always called by ``Session.close``.
+    """
+
+    name: str
+
+    def compile_and_run(
+        self, plan: LogicalOp, sql: str, *, placement: Any | None = None
+    ) -> Cursor: ...
+
+    def close(self) -> None: ...
+
+
+class StreamBackend:
+    """Continuous queries on one in-process stream engine."""
+
+    name = "stream"
+
+    def __init__(self, session, engine: StreamEngine | None = None):
+        self._session = session
+        self._owns_engine = engine is None
+        self.engine = engine if engine is not None else StreamEngine(
+            session.catalog, deliver=session._deliver
+        )
+
+    def compile_and_run(
+        self, plan: LogicalOp, sql: str, *, placement: Any | None = None
+    ) -> Cursor:
+        handle = self.engine.execute(plan)
+        cursor = Cursor._stream(self._session, sql, handle)
+        self._session._cursors.append(cursor)
+        return cursor
+
+    def close(self) -> None:
+        """Stop every query still running on an engine this backend
+        built (cursors the session tracked are already stopped by
+        ``Session.close``; an *injected* engine may host queries the
+        session never started, so it is left untouched)."""
+        if not self._owns_engine:
+            return
+        for handle in self.engine.running_queries:
+            self.engine.stop(handle)
+
+
+class ShardedStreamBackend(StreamBackend):
+    """Partition-parallel continuous queries on an engine pool.
+
+    Routing-compatible with :class:`StreamBackend` (both answer to
+    ``"stream"``): the Session installs exactly one of them, chosen by
+    ``connect(shards=...)``, and ``compile_and_run``/``close`` are the
+    inherited single-engine implementations — the pool mirrors the
+    engine surface, so only construction differs.
+    """
+
+    def __init__(self, session, shards: int):
+        self._session = session
+        self._owns_engine = True  # the pool is always ours to stop
+        self.engine = ShardedStreamEngine(
+            session.catalog, shards=shards, deliver=session._deliver
+        )
+
+    @property
+    def shards(self) -> int:
+        return self.engine.shard_count
+
+
+class BatchBackend:
+    """One-shot evaluation over the current stored tables."""
+
+    name = "batch"
+
+    def __init__(self, session):
+        self._session = session
+
+    def compile_and_run(
+        self, plan: LogicalOp, sql: str, *, placement: Any | None = None
+    ) -> Cursor:
+        rows = self._session._evaluate(plan)
+        return Cursor._materialized(self._session, rows, plan.schema, sql)
+
+    def close(self) -> None:
+        pass  # nothing runs between calls
+
+
+class DistributedBackend:
+    """Continuous queries with operators placed across simulated nodes."""
+
+    name = "distributed"
+
+    def __init__(self, session, nodes):
+        self._session = session
+        self._nodes = list(nodes or [])
+        self._engine = None  # lazily built DistributedStreamEngine
+
+    @property
+    def engine(self):
+        """The DistributedStreamEngine, built on first use."""
+        return self._ensure_engine("")
+
+    def _ensure_engine(self, sql: str):
+        if self._engine is None:
+            if not self._nodes:
+                raise QueryError(
+                    "distributed routing requires connect(nodes=[...])", sql=sql
+                )
+            from repro.stream.distributed import DistributedStreamEngine
+
+            self._engine = DistributedStreamEngine(
+                self._session.catalog, self._session.simulator, self._nodes
+            )
+        return self._engine
+
+    def compile_and_run(
+        self, plan: LogicalOp, sql: str, *, placement: Any | None = None
+    ) -> Cursor:
+        engine = self._ensure_engine(sql)
+        if placement is None or placement == "auto" or placement is True:
+            placement = engine.default_placement(plan)
+        query = engine.execute(plan, placement)
+        cursor = Cursor._distributed(self._session, sql, query)
+        self._session._distributed_cursors.append(cursor)
+        return cursor
+
+    def close(self) -> None:
+        pass  # the simulated LAN holds no external runtime

@@ -24,12 +24,13 @@ would mutate a live query's predicate.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Iterator
 
 from repro.data.schema import Schema
 from repro.data.streams import StreamElement
 from repro.data.tuples import Row
-from repro.errors import QueryError
+from repro.errors import QueryError, SessionClosedError
 from repro.sql.ast import (
     CreateView,
     OrderItem,
@@ -39,6 +40,52 @@ from repro.sql.ast import (
 )
 from repro.sql.analyzer import AnalyzedQuery, AnalyzedRecursive
 from repro.sql.expressions import collect_parameters, substitute_parameters
+
+
+class Subscription:
+    """One callback registered on a :class:`Cursor`.
+
+    Every subscription is queue-backed: the emit path only appends to a
+    deque — user code never runs inside a shard's (or engine's) emit
+    stack. ``mode="direct"`` drains the queue immediately after each
+    delivery, preserving the classic inline-callback behaviour;
+    ``mode="queue"`` leaves draining to the consumer
+    (:meth:`drain`, or :meth:`Cursor.drain` for all subscriptions), so
+    a slow or raising callback can never stall the producer.
+    """
+
+    __slots__ = ("callback", "elements", "mode", "_pending")
+
+    def __init__(self, callback: Callable, *, elements: bool, mode: str):
+        if mode not in ("direct", "queue"):
+            raise QueryError(f"unknown subscription mode {mode!r}; expected 'direct' or 'queue'")
+        self.callback = callback
+        self.elements = elements
+        self.mode = mode
+        self._pending: deque[StreamElement] = deque()
+
+    @property
+    def pending(self) -> int:
+        """Queued deliveries not yet drained."""
+        return len(self._pending)
+
+    def _enqueue(self, element: StreamElement) -> None:
+        self._pending.append(element)
+        if self.mode == "direct":
+            self.drain()
+
+    def drain(self, limit: int | None = None) -> int:
+        """Deliver up to ``limit`` queued items (all, by default) to the
+        callback, in emission order; returns how many were delivered.
+        Callback exceptions surface here — in the consumer's frame, not
+        the producer's — with the failing item already dequeued."""
+        delivered = 0
+        pending = self._pending
+        while pending and (limit is None or delivered < limit):
+            element = pending.popleft()
+            delivered += 1
+            self.callback(element if self.elements else element.row)
+        return delivered
 
 
 class Cursor:
@@ -68,7 +115,7 @@ class Cursor:
         self._rows = rows  # batch: materialized rows
         self.view_name = view_name
         self._closed = False
-        self._subscribers: list[tuple[Callable, bool]] = []
+        self._subscribers: list[Subscription] = []
         self._tapped = False
 
     # -- constructors (used by Session) --------------------------------
@@ -126,34 +173,77 @@ class Cursor:
         return len(self.results())
 
     # -- subscriptions -------------------------------------------------
-    def subscribe(self, callback: Callable, *, elements: bool = False) -> None:
+    def subscribe(
+        self,
+        callback: Callable,
+        *,
+        elements: bool = False,
+        mode: str = "direct",
+    ) -> Subscription:
         """Invoke ``callback`` for every result row as it is emitted.
 
         ``elements=True`` delivers the full :class:`StreamElement`
-        (row + timestamp) instead of the bare row. On one-shot cursors
-        the already-materialized rows are replayed immediately.
+        (row + timestamp) instead of the bare row. ``mode="queue"``
+        defers delivery: emissions are buffered and the consumer drains
+        them (:meth:`Subscription.drain` / :meth:`Cursor.drain`) at its
+        own pace, so a slow callback never stalls the engine's — or a
+        shard's — emit path. Every subscription (sharded merge cursors
+        included) runs through the same queue internally; ``"direct"``
+        simply drains inline after each delivery. On one-shot cursors
+        the already-materialized rows are replayed (direct) or queued
+        (queue) immediately. Returns the :class:`Subscription`.
         """
+        subscription = Subscription(callback, elements=elements, mode=mode)
+        self._subscribers.append(subscription)
         if self._rows is not None:
+            # One-shot cursor: replay (direct) or enqueue (queue) the
+            # materialized rows; the subscription stays registered so
+            # Cursor.drain() reaches it like any other.
             for row in self._rows:
-                callback(StreamElement(row, 0.0) if elements else row)
-            return
-        self._subscribers.append((callback, elements))
+                subscription._enqueue(StreamElement(row, 0.0))
+            return subscription
         self._install_tap()
+        return subscription
+
+    def drain(self, limit: int | None = None) -> int:
+        """Drain every queue-mode subscription (see
+        :meth:`Subscription.drain`); returns total deliveries."""
+        return sum(
+            subscription.drain(limit)
+            for subscription in list(self._subscribers)
+            if subscription.mode == "queue"
+        )
+
+    def _dispatch(self, element: StreamElement) -> None:
+        for subscription in list(self._subscribers):
+            subscription._enqueue(element)
 
     def _install_tap(self) -> None:
         if self._tapped:
             return
         sink = self._handle.sink if self._handle is not None else self._query.sink
-        original = sink.push
-        subscribers = self._subscribers
+        original_push = sink.push
+        original_batch = getattr(sink, "push_batch", None)
+        dispatch = self._dispatch
 
         def observing_push(item):
-            original(item)
+            original_push(item)
             if isinstance(item, StreamElement):
-                for callback, want_elements in list(subscribers):
-                    callback(item if want_elements else item.row)
+                dispatch(item)
 
         sink.push = observing_push  # type: ignore[method-assign]
+        if original_batch is not None:
+            # Batched emissions (push_many through a vectorized
+            # pipeline) must reach subscribers too — producers cache
+            # sink.push_batch at wiring time, so both entry points are
+            # wrapped.
+            def observing_push_batch(items):
+                original_batch(items)
+                for item in items:
+                    if isinstance(item, StreamElement):
+                        dispatch(item)
+
+            sink.push_batch = observing_push_batch  # type: ignore[method-assign]
         self._tapped = True
 
     # -- lifecycle -----------------------------------------------------
@@ -189,6 +279,7 @@ class PreparedStatement:
         self.session = session
         self.sql = sql
         self._placement = placement
+        self._invalidated = False
         statement = session._parse(sql)
         if isinstance(statement, CreateView):
             raise QueryError("CREATE VIEW cannot be prepared; run it directly", sql=sql)
@@ -222,8 +313,23 @@ class PreparedStatement:
         """Backend this statement executes on ("stream"/"batch"/"distributed")."""
         return self._route
 
+    @property
+    def closed(self) -> bool:
+        """True once the owning session closed; execute() then raises."""
+        return self._invalidated
+
+    def _invalidate(self) -> None:
+        """Called by ``Session.close``: the engines this statement was
+        planned against are stopping, so any later execute() must fail
+        loudly instead of running against them."""
+        self._invalidated = True
+
     def execute(self, **params: Any) -> Cursor:
         """Bind ``:name`` placeholders and run, returning a Cursor."""
+        if self._invalidated:
+            raise SessionClosedError(
+                "prepared statement is invalid: its session was closed"
+            )
         self.session._ensure_open()
         missing = sorted(set(self._params) - set(params))
         unknown = sorted(set(params) - set(self._params))

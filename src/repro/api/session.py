@@ -16,11 +16,19 @@ Routing rules (``session.query(text)``):
   tables via the batch evaluator (``kind == "batch"``).
 * ``SELECT`` over stored tables only → one-shot batch evaluation
   (``kind == "batch"``; rows are materialized at call time).
-* any other ``SELECT``       → continuous query on the
-  :class:`~repro.stream.engine.StreamEngine` (``kind == "stream"``).
+* any other ``SELECT``       → continuous query on the session's stream
+  backend (``kind == "stream"``): one
+  :class:`~repro.stream.engine.StreamEngine`, or — with
+  ``connect(shards=N)`` — a partition-parallel
+  :class:`~repro.stream.sharded.ShardedStreamEngine` pool behind the
+  identical surface.
 * ``placement=...`` (or ``engine="distributed"``) → operators placed
   across the LAN-simulated :class:`DistributedStreamEngine`
   (``kind == "distributed"``; requires ``connect(nodes=[...])``).
+
+Each route is served by an :class:`~repro.api.backends.ExecutionBackend`
+peer (see :mod:`repro.api.backends`); ``Session._route`` only picks the
+backend name, and the backend compiles-and-runs the plan.
 
 ``engine="stream" | "batch" | "distributed"`` overrides the automatic
 choice. Every failure surfaces as :class:`~repro.errors.QueryError`
@@ -32,6 +40,7 @@ choice. Every failure surfaces as :class:`~repro.errors.QueryError`
 
 from __future__ import annotations
 
+import weakref
 from contextlib import contextmanager
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -75,6 +84,7 @@ def connect(
     nodes: Sequence[str] | None = None,
     deliver: Any | None = None,
     seed: int = 0,
+    shards: int = 1,
 ) -> "Session":
     """Open a :class:`Session`.
 
@@ -83,6 +93,15 @@ def connect(
     a session over the engines it already assembled). ``nodes`` enables
     distributed routing; ``network`` (a ``SensorNetwork``) enables
     :class:`~repro.api.SensorSource` attachments.
+
+    ``shards=N`` (N > 1) replaces the single stream engine with a
+    partition-parallel pool of N engines: partition-safe continuous
+    queries run one replica per shard with merged results, rows are
+    hash-partitioned by each source's declared key
+    (``StreamSource(partition_by=...)``; round-robin otherwise), and
+    everything else transparently falls back to one designated engine.
+    The Session surface — ``query``/``push``/``push_many``/``Cursor`` —
+    is unchanged.
     """
     return Session(
         catalog=catalog,
@@ -93,6 +112,7 @@ def connect(
         nodes=nodes,
         deliver=deliver,
         seed=seed,
+        shards=shards,
     )
 
 
@@ -110,26 +130,48 @@ class Session:
         nodes: Sequence[str] | None = None,
         deliver: Any | None = None,
         seed: int = 0,
+        shards: int = 1,
     ):
+        from repro.api.backends import (
+            BatchBackend,
+            DistributedBackend,
+            ShardedStreamBackend,
+            StreamBackend,
+        )
+
         self.catalog = catalog if catalog is not None else Catalog()
         self.simulator = simulator if simulator is not None else Simulator(seed)
-        self.engine = (
-            engine
-            if engine is not None
-            else StreamEngine(self.catalog, deliver=deliver)
-        )
-        self.builder = PlanBuilder(self.catalog)
-        self.analyzer = Analyzer(self.catalog)
+        self._deliver = deliver
         self._network = network
         self._sensor_engine = sensor_engine
         self._nodes = list(nodes) if nodes else []
-        self._distributed = None  # lazily built DistributedStreamEngine
         self._cursors: list[Cursor] = []  # open stream cursors
         self._distributed_cursors: list[Cursor] = []  # receive push forwards
         self._attachments: dict[str, Any] = {}  # name.lower() -> adapter
         self._attach_order: list[str] = []
         self._punctuators: list[Punctuator] = []
+        self._statements: "weakref.WeakSet" = weakref.WeakSet()
         self._closed = False
+        if shards > 1:
+            if engine is not None:
+                raise QueryError(
+                    "connect(shards=...) builds its own engine pool; "
+                    "an injected engine cannot be sharded"
+                )
+            stream_backend: Any = ShardedStreamBackend(self, shards)
+        else:
+            stream_backend = StreamBackend(self, engine)
+        #: Routing key -> ExecutionBackend peer. The "stream" slot holds
+        #: either the single-engine or the sharded backend; everything
+        #: downstream of _route is backend-agnostic.
+        self._backends: dict[str, Any] = {
+            "stream": stream_backend,
+            "batch": BatchBackend(self),
+            "distributed": DistributedBackend(self, self._nodes),
+        }
+        self.engine = stream_backend.engine
+        self.builder = PlanBuilder(self.catalog)
+        self.analyzer = Analyzer(self.catalog)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -139,12 +181,18 @@ class Session:
         return self._closed
 
     def close(self) -> None:
-        """Close the session: stop every open cursor, detach every
-        source (stopping its wrapper / sensor collection), stop owned
-        punctuators. Idempotent."""
+        """Close the session: invalidate prepared statements, stop every
+        open cursor, detach every source (stopping its wrapper / sensor
+        collection), stop owned punctuators, and close every execution
+        backend. Idempotent."""
         if self._closed:
             return
         self._closed = True
+        # Invalidate first: an in-flight PreparedStatement must raise
+        # SessionClosedError on its next execute() rather than compile
+        # and run against engines this close() is about to stop.
+        for statement in list(self._statements):
+            statement._invalidate()
         for cursor in list(self._cursors) + list(self._distributed_cursors):
             cursor.close()
         for name in reversed(self._attach_order):
@@ -162,6 +210,8 @@ class Session:
         for punctuator in self._punctuators:
             punctuator.stop()
         self._punctuators.clear()
+        for backend in self._backends.values():
+            backend.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -278,7 +328,11 @@ class Session:
         ``session.prepare("select ... where t.temp > :limit").execute(limit=30)``
         """
         self._ensure_open()
-        return PreparedStatement(self, sql, placement=placement, engine=engine)
+        statement = PreparedStatement(self, sql, placement=placement, engine=engine)
+        # Tracked weakly so close() can invalidate in-flight statements
+        # without keeping every statement ever prepared alive.
+        self._statements.add(statement)
+        return statement
 
     # -- routing -------------------------------------------------------
     def _route(
@@ -340,23 +394,20 @@ class Session:
         return has_scan
 
     # -- execution -----------------------------------------------------
+    def backend(self, route: str) -> Any:
+        """The :class:`~repro.api.backends.ExecutionBackend` serving a
+        routing key ("stream", "batch" or "distributed")."""
+        try:
+            return self._backends[route]
+        except KeyError:
+            raise QueryError(
+                f"unknown engine {route!r}; expected 'stream', 'batch' or 'distributed'"
+            ) from None
+
     def _start(
         self, plan: LogicalOp, route: str, placement: Any | None, sql: str
     ) -> Cursor:
-        if route == "batch":
-            return Cursor._materialized(self, self._evaluate(plan), plan.schema, sql)
-        if route == "stream":
-            handle = self.engine.execute(plan)
-            cursor = Cursor._stream(self, sql, handle)
-            self._cursors.append(cursor)
-            return cursor
-        distributed = self._distributed_engine(sql)
-        if placement is None or placement == "auto" or placement is True:
-            placement = distributed.default_placement(plan)
-        query = distributed.execute(plan, placement)
-        cursor = Cursor._distributed(self, sql, query)
-        self._distributed_cursors.append(cursor)
-        return cursor
+        return self.backend(route).compile_and_run(plan, sql, placement=placement)
 
     def _evaluate(self, plan: LogicalOp | RecursivePlan) -> list[Row]:
         """One-shot batch evaluation over the current stored tables."""
@@ -386,24 +437,16 @@ class Session:
         }
         return {name: self.engine.table_rows(name) for name in names}
 
-    def _distributed_engine(self, sql: str = ""):
-        if self._distributed is None:
-            if not self._nodes:
-                raise QueryError(
-                    "distributed routing requires connect(nodes=[...])", sql=sql
-                )
-            from repro.stream.distributed import DistributedStreamEngine
-
-            self._distributed = DistributedStreamEngine(
-                self.catalog, self.simulator, self._nodes
-            )
-        return self._distributed
-
     @property
     def distributed(self):
         """The session's DistributedStreamEngine (built on first use)."""
         self._ensure_open()
-        return self._distributed_engine()
+        return self._backends["distributed"].engine
+
+    @property
+    def shards(self) -> int:
+        """How many stream shards serve this session (1 = unsharded)."""
+        return getattr(self._backends["stream"], "shards", 1)
 
     def _forget_cursor(self, cursor: Cursor) -> None:
         for registry in (self._cursors, self._distributed_cursors):

@@ -52,10 +52,38 @@ def _is_adapter(obj: Any) -> bool:
     )
 
 
+def _declare_partition(session, source_name: str, column: str) -> bool:
+    """Register a partition key with the session's engine, when sharded.
+
+    On an unsharded session the declaration is a documented no-op — the
+    same attach code works against either backend. Returns whether the
+    engine accepted (and now tracks) the key.
+    """
+    setter = getattr(session.engine, "set_partition_key", None)
+    if setter is None:
+        return False
+    setter(source_name, column)  # raises CatalogError for unknown columns
+    return True
+
+
+def _retract_partition(session, source_name: str) -> None:
+    clearer = getattr(session.engine, "clear_partition_key", None)
+    if clearer is not None:
+        clearer(source_name)
+
+
 class StreamSource:
     """A wrapper-fed stream relation: catalog registration with symmetric
     unregistration. Data arrives via ``session.push`` (or a separately
-    attached :class:`WrapperSource`)."""
+    attached :class:`WrapperSource`).
+
+    ``partition_by`` names the column whose value routes each row to a
+    shard on a sharded session (``connect(shards=N)``): rows sharing the
+    value always land on the same shard, which is what makes keyed
+    windowed aggregation and key-aligned joins partition-safe. Without
+    it rows round-robin (only stateless plans then run partitioned).
+    Unsharded sessions ignore the declaration.
+    """
 
     def __init__(
         self,
@@ -63,15 +91,18 @@ class StreamSource:
         schema: Schema,
         *,
         rate: float = 1.0,
+        partition_by: str | None = None,
         statistics: SourceStatistics | None = None,
         description: str = "",
     ):
         self.name = name
         self.schema = schema
+        self.partition_by = partition_by
         self._rate = rate
         self._statistics = statistics
         self._description = description
         self._registered = False
+        self._partition_declared = False
 
     def attach(self, session) -> None:
         catalog = session.catalog
@@ -79,17 +110,24 @@ class StreamSource:
             entry = catalog.source(self.name)
             if entry.kind is not SourceKind.STREAM:
                 raise SourceError(f"{self.name!r} is already registered as a table")
-            return
-        catalog.register_stream(
-            self.name,
-            self.schema,
-            rate=self._rate,
-            statistics=self._statistics,
-            description=self._description,
-        )
-        self._registered = True
+        else:
+            catalog.register_stream(
+                self.name,
+                self.schema,
+                rate=self._rate,
+                statistics=self._statistics,
+                description=self._description,
+            )
+            self._registered = True
+        if self.partition_by is not None:
+            self._partition_declared = _declare_partition(
+                session, self.name, self.partition_by
+            )
 
     def detach(self, session) -> None:
+        if self._partition_declared:
+            _retract_partition(session, self.name)
+            self._partition_declared = False
         if self._registered:
             session.catalog.unregister_source(self.name)
             self._registered = False
@@ -169,6 +207,10 @@ class WrapperSource:
     wrapper's own feed name. They usually coincide, but several wrappers
     may feed one relation (e.g. one PDU wrapper per room all pushing
     ``Power``) — give each a distinct attachment name then.
+
+    ``partition_by`` declares the relation's shard key exactly as on
+    :class:`StreamSource` (sharded sessions hash rows by it; unsharded
+    sessions ignore it).
     """
 
     def __init__(
@@ -181,6 +223,7 @@ class WrapperSource:
         produce: Callable[[float], list[Mapping[str, Any]]] | None = None,
         period: float = 1.0,
         rate: float | None = None,
+        partition_by: str | None = None,
         statistics: SourceStatistics | None = None,
         description: str = "",
     ):
@@ -197,6 +240,7 @@ class WrapperSource:
             raise SourceError("WrapperSource needs a source name")
         self.name = name
         self.schema = schema
+        self.partition_by = partition_by
         self.wrapper = wrapper
         self._factory = factory
         self._produce = produce
@@ -207,6 +251,7 @@ class WrapperSource:
         self._registered = False
         self._attached = False
         self._started_wrapper = False
+        self._partition_declared = False
 
     def attach(self, session) -> None:
         catalog = session.catalog
@@ -225,6 +270,10 @@ class WrapperSource:
                 description=self._description,
             )
             self._registered = True
+        if self.partition_by is not None:
+            self._partition_declared = _declare_partition(
+                session, self._source_name, self.partition_by
+            )
         if self.wrapper is None:
             if self._factory is not None:
                 self.wrapper = self._factory(session.engine, session.simulator)
@@ -252,6 +301,9 @@ class WrapperSource:
             self.wrapper.stop()  # idempotent
             self._started_wrapper = False
         self._attached = False
+        if self._partition_declared:
+            _retract_partition(session, self._source_name)
+            self._partition_declared = False
         if self._registered:
             session.catalog.unregister_source(self._source_name)
             self._registered = False

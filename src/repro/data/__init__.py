@@ -11,7 +11,7 @@ from repro.data.streams import (
     Tee,
     replay,
 )
-from repro.data.tuples import Row
+from repro.data.tuples import Row, stable_hash
 from repro.data.types import (
     NUMERIC_TYPES,
     ORDERED_TYPES,
@@ -31,6 +31,7 @@ __all__ = [
     "Schema",
     "EMPTY_SCHEMA",
     "Row",
+    "stable_hash",
     "StreamElement",
     "Punctuation",
     "StreamItem",

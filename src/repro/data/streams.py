@@ -116,6 +116,13 @@ class CollectingConsumer:
             self.elements.append(item)
 
     def push_batch(self, items: Iterable[StreamItem]) -> None:
+        if not isinstance(items, list):
+            items = list(items)
+        # Result batches are almost always punctuation-free; one scan
+        # plus a C-level extend beats a Python append loop.
+        if not any(isinstance(item, Punctuation) for item in items):
+            self.elements.extend(items)
+            return
         elements = self.elements
         punctuations = self.punctuations
         for item in items:

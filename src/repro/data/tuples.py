@@ -8,11 +8,54 @@ derivations per distinct row).
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Iterable, Iterator, Mapping
 
 from repro.data.schema import Schema
 from repro.data.types import conforms
 from repro.errors import SchemaError, TypeMismatchError
+
+#: Arbitrary odd constants keeping distinct value kinds apart in
+#: :func:`stable_hash` (None vs 0 vs "" must not collide trivially).
+_NONE_HASH = 0x9E3779B1
+_SEQ_SEED = 0x85EBCA77
+
+
+def stable_hash(value: Any) -> int:
+    """A deterministic, process-independent hash for partition routing.
+
+    Python's builtin ``hash`` is salted per process for ``str`` (and
+    anything built on it), so two engine processes — or two runs of the
+    same test — would disagree about which shard owns ``'lab1'``. This
+    hash is stable across processes and runs:
+
+    * numbers use the builtin hash (CPython does not salt them, and
+      ``hash(1) == hash(1.0)`` keeps int/float join keys co-partitioned);
+    * strings/bytes hash their UTF-8 bytes with CRC-32;
+    * tuples (and :class:`Row` values) mix element hashes order-sensitively;
+    * anything else falls back to the CRC-32 of its ``repr``.
+
+    The result is non-negative, so ``stable_hash(v) % shards`` is a
+    valid shard index.
+    """
+    if type(value) is str:  # the overwhelmingly common partition key kind
+        return zlib.crc32(value.encode("utf-8"))
+    if value is None:
+        return _NONE_HASH
+    if isinstance(value, bytes):
+        return zlib.crc32(value)
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, (int, float)):  # bool included (int subclass)
+        return hash(value) & 0x7FFFFFFFFFFFFFFF
+    if isinstance(value, tuple):
+        acc = _SEQ_SEED
+        for item in value:
+            acc = (acc * 1000003 + stable_hash(item)) & 0x7FFFFFFFFFFFFFFF
+        return acc
+    if isinstance(value, Row):
+        return stable_hash(value.values)
+    return zlib.crc32(repr(value).encode("utf-8"))
 
 
 class Row:

@@ -253,6 +253,118 @@ def _codegen_fused_batch(
     return fn
 
 
+#: Aggregate kinds compile_accumulate can lower. DISTINCT aggregates and
+#: anything else keep the interpreted accumulator path.
+_FOLDABLE_AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+def compile_accumulate(
+    group_exprs: Sequence[Expr],
+    calls: Sequence[AggregateCall],
+    schema: Schema,
+) -> tuple[Callable, Callable] | None:
+    """Compile a grouped-aggregation fold into one generated loop.
+
+    Returns ``(fold, finalize)`` or ``None`` when any call is outside
+    the supported kinds (then the caller keeps its accumulator objects).
+
+    ``fold(elements, groups, lo, hi)`` scans a list of StreamElements,
+    keeps those with ``lo < timestamp <= hi`` (pass ``±inf`` for an
+    unwindowed fold), computes the group key and updates each group's
+    state list in place — group-key extraction, NULL-skipping and every
+    accumulator update all live inside the generated loop, so a whole
+    window scan (or ingest batch, for running aggregates) costs one
+    Python call instead of several per element. ``finalize(state)``
+    returns the aggregate result values in call order with the
+    interpreter's semantics (COUNT of nothing is 0; SUM/AVG/MIN/MAX of
+    nothing — or of only NULLs — is NULL).
+    """
+    for call in calls:
+        if call.distinct or call.name.upper() not in _FOLDABLE_AGGREGATES:
+            return None
+    try:
+        return _codegen_accumulate(tuple(group_exprs), tuple(calls), schema)
+    except Exception:
+        return None
+
+
+def _codegen_accumulate(
+    group_exprs: tuple[Expr, ...],
+    calls: tuple[AggregateCall, ...],
+    schema: Schema,
+) -> tuple[Callable, Callable]:
+    # State layout: one or two slots per call, assigned in call order.
+    #   COUNT            -> [count]
+    #   SUM / AVG        -> [count, total]
+    #   MIN / MAX        -> [best-or-None]
+    slots: list[tuple[str, int]] = []  # (kind, first slot index)
+    init: list[str] = []
+    for call in calls:
+        kind = call.name.upper()
+        slots.append((kind, len(init)))
+        if kind in ("SUM", "AVG"):
+            init.extend(("0", "0"))
+        elif kind == "COUNT":
+            init.append("0")
+        else:  # MIN / MAX
+            init.append("None")
+    init_literal = f"[{', '.join(init)}]"
+
+    gen = _CodeGen(schema)
+    gen.emit(1, "get = groups.get")
+    gen.emit(1, "for _e in elements:")
+    gen.emit(2, "_t = _e.timestamp")
+    gen.emit(2, "if _t <= lo or _t > hi:")
+    gen.emit(3, "continue")
+    gen.emit(2, "v = _e.row.values")
+    key_atoms = [gen.gen(expr, 2) for expr in group_exprs]
+    trailing = "," if len(key_atoms) == 1 else ""
+    gen.emit(2, f"_k = ({', '.join(key_atoms)}{trailing})")
+    gen.emit(2, "_s = get(_k)")
+    gen.emit(2, "if _s is None:")
+    gen.emit(3, f"_s = groups[_k] = {init_literal}")
+    for call, (kind, base) in zip(calls, slots):
+        if kind == "COUNT" and call.argument is None:  # COUNT(*)
+            gen.emit(2, f"_s[{base}] += 1")
+            continue
+        atom = gen.as_var(gen.gen(call.argument, 2), 2)
+        gen.emit(2, f"if {atom} is not None:")
+        if kind == "COUNT":
+            gen.emit(3, f"_s[{base}] += 1")
+        elif kind in ("SUM", "AVG"):
+            gen.emit(3, f"_s[{base}] += 1")
+            gen.emit(3, f"_s[{base + 1}] += {atom}")
+        else:
+            best = gen.name("t")
+            op = "<" if kind == "MIN" else ">"
+            gen.emit(3, f"{best} = _s[{base}]")
+            gen.emit(3, f"if {best} is None or {atom} {op} {best}:")
+            gen.emit(4, f"_s[{base}] = {atom}")
+    source = "def _fold(elements, groups, lo, hi):\n" + "\n".join(gen.lines) + "\n"
+    code = compile(source, "<repro.sql.compiled.accumulate>", "exec")
+    exec(code, gen.env)
+    fold = gen.env["_fold"]
+    fold.__compiled_source__ = source  # introspection / debugging aid
+
+    parts: list[str] = []
+    for kind, base in slots:
+        if kind == "COUNT":
+            parts.append(f"state[{base}]")
+        elif kind in ("SUM", "AVG"):
+            value = f"state[{base + 1}]"
+            if kind == "AVG":
+                value = f"{value} / state[{base}]"
+            parts.append(f"({value}) if state[{base}] else None")
+        else:
+            parts.append(f"state[{base}]")
+    fin_source = f"def _finalize(state):\n    return [{', '.join(parts)}]\n"
+    fin_env: dict[str, Any] = {}
+    exec(compile(fin_source, "<repro.sql.compiled.finalize>", "exec"), fin_env)
+    finalize = fin_env["_finalize"]
+    finalize.__compiled_source__ = fin_source
+    return fold, finalize
+
+
 def _codegen_fused(
     stages: tuple[FusedStage, ...], schema: Schema
 ) -> Callable[[tuple], tuple | None]:

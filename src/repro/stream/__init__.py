@@ -20,6 +20,8 @@ from repro.stream.distributed import (
     StreamNode,
 )
 from repro.stream.engine import QueryHandle, StreamEngine
+from repro.stream.partition import PartitionAnalysis, partition_safe
+from repro.stream.sharded import ShardedQueryHandle, ShardedStreamEngine
 from repro.stream.operators import (
     AggregateOp,
     DistinctOp,
@@ -42,6 +44,10 @@ from repro.stream.recursive import RecursiveView, recompute
 __all__ = [
     "StreamEngine",
     "QueryHandle",
+    "ShardedStreamEngine",
+    "ShardedQueryHandle",
+    "PartitionAnalysis",
+    "partition_safe",
     "PlanCompiler",
     "CompiledPlan",
     "ScanPort",

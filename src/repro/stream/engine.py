@@ -189,9 +189,18 @@ class StreamEngine:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def execute(self, plan: LogicalOp) -> QueryHandle:
-        """Start a continuous query; returns its handle immediately."""
-        sink = CollectingConsumer()
+    def execute(self, plan: LogicalOp, sink: StreamConsumer | None = None) -> QueryHandle:
+        """Start a continuous query; returns its handle immediately.
+
+        ``sink`` overrides the terminal consumer — the sharded engine
+        passes a per-shard merge feed so replica results flow into one
+        merged sink. A custom sink that is not a
+        :class:`~repro.data.streams.CollectingConsumer` leaves the
+        handle's ``results``/``latest_batch`` accessors non-functional;
+        such handles are internal plumbing, not user-facing.
+        """
+        if sink is None:
+            sink = CollectingConsumer()
         compiled = self._compiler.compile(plan, sink)
         handle = QueryHandle(next(_query_ids), plan, compiled, sink, self)
         self._queries[handle.query_id] = handle
@@ -221,6 +230,12 @@ class StreamEngine:
     @property
     def running_queries(self) -> list[QueryHandle]:
         return list(self._queries.values())
+
+    def subscribed(self, source: str) -> bool:
+        """True when any running query reads ``source`` — the sharded
+        engine probes this to skip feeding its designated fallback
+        engine when no fallback query is listening."""
+        return bool(self._routes.get(source.lower()))
 
     def _register_routes(self, handle: QueryHandle) -> None:
         for port in handle.compiled.ports:
@@ -288,8 +303,15 @@ class StreamEngine:
                     f"push_many got {len(rows)} rows but {len(stamps)} timestamps"
                 )
         name = entry.name
+        coerce = self._coerce_row
         elements = [
-            StreamElement(self._coerce_row(schema, row), stamp, name)
+            StreamElement(
+                # Inlined hot path: wrapper/bench rows arrive as Rows
+                # already carrying the catalog schema object.
+                row if (type(row) is Row and row.schema is schema) else coerce(schema, row),
+                stamp,
+                name,
+            )
             for row, stamp in zip(rows, stamps)
         ]
         self.elements_ingested += len(elements)
@@ -374,6 +396,8 @@ class StreamEngine:
     # ------------------------------------------------------------------
     def _coerce_row(self, schema, row: Row | Mapping[str, Any]) -> Row:
         if isinstance(row, Row):
+            if row.schema is schema:  # hot path: wrappers reuse the catalog schema
+                return row
             if len(row) != len(schema):
                 raise ExecutionError(
                     f"row arity {len(row)} does not match schema arity {len(schema)}"

@@ -41,12 +41,17 @@ from repro.errors import ExecutionError, SchemaError, UnknownFieldError
 from repro.sql.ast import OrderItem
 from repro.sql.compiled import (
     FusedStage,
+    compile_accumulate,
     compile_expr,
     compile_fused,
     compile_fused_batch,
     compile_projection,
 )
 from repro.sql.expressions import AggregateCall, Expr
+
+
+_NEG_INF = float("-inf")
+_INF = float("inf")
 
 
 def _positional_key(schema: Schema, names: list[str]) -> Callable[[tuple], Any]:
@@ -104,11 +109,42 @@ class Operator:
         self.rows_out += 1
         self.downstream.push(element)
 
+    def _push_batch_generated(
+        self,
+        batch_fn: Callable[[list, list], None],
+        items: list[StreamItem],
+    ) -> bool:
+        """Run one generated batch loop over ``items``.
+
+        The fast path assumes ingest batches are punctuation-free: a
+        Punctuation in the batch surfaces as AttributeError (no ``.row``)
+        before any output is emitted, and the method returns False so
+        the caller can redo the batch with per-run splitting. Returns
+        True when the whole batch was handled.
+        """
+        out: list[StreamElement] = []
+        try:
+            batch_fn(items, out)
+        except AttributeError:
+            if any(isinstance(item, Punctuation) for item in items):
+                return False
+            raise
+        self.rows_in += len(items)
+        if out:
+            self.emit_batch(out)
+        return True
+
     def emit_batch(self, elements: list[StreamElement]) -> None:
-        """Forward a batch of output elements, batched when possible."""
+        """Forward a batch of output elements, batched when possible.
+
+        ``_down_batch`` only remembers *whether* the downstream speaks
+        the batched protocol; the method itself is resolved per batch so
+        consumers that wrap their entry points after wiring (a Cursor
+        subscription tapping the sink) still observe every element.
+        """
         self.rows_out += len(elements)
         if self._down_batch is not None:
-            self._down_batch(elements)
+            self.downstream.push_batch(elements)
         else:
             push = self.downstream.push
             for element in elements:
@@ -138,9 +174,16 @@ class FilterOp(Operator):
         super().__init__(downstream)
         self.predicate = predicate
         # Schema-bound compilation: with the input schema known, the
-        # predicate runs as a closure over the row's value tuple.
+        # predicate runs as a closure over the row's value tuple, and a
+        # generated batch loop (one Python call per ingest batch) serves
+        # push_batch — the same codegen a fused chain of one uses.
         self._compiled = (
             compile_expr(predicate, input_schema) if input_schema is not None else None
+        )
+        self._batch_fn = (
+            compile_fused_batch([("filter", predicate)], input_schema, input_schema)
+            if input_schema is not None
+            else None
         )
         # A compiled filter never reads the row's schema, but it forwards
         # the element unchanged — so it is schema-oblivious only when
@@ -161,6 +204,12 @@ class FilterOp(Operator):
             self.downstream.push(element)
 
     def push_batch(self, items: list[StreamItem]) -> None:
+        if self._batch_fn is None or not self._push_batch_generated(
+            self._batch_fn, items
+        ):
+            self._push_batch_mixed(items)
+
+    def _push_batch_mixed(self, items: list[StreamItem]) -> None:
         compiled = self._compiled
         evaluate = self.predicate.eval
         out: list[StreamItem] = []
@@ -198,9 +247,19 @@ class ProjectOp(Operator):
             raise ExecutionError("project items and output schema disagree")
         self.items = items
         self.output_schema = output_schema
-        # One generated function computes the whole output tuple.
+        # One generated function computes the whole output tuple; a
+        # generated batch loop serves push_batch (see FilterOp).
         self._compiled = (
             compile_projection([expr for expr, _ in items], input_schema)
+            if input_schema is not None
+            else None
+        )
+        self._batch_fn = (
+            compile_fused_batch(
+                [("project", [expr for expr, _ in items], output_schema)],
+                input_schema,
+                output_schema,
+            )
             if input_schema is not None
             else None
         )
@@ -223,6 +282,12 @@ class ProjectOp(Operator):
         self.downstream.push(StreamElement(row, element.timestamp, element.source))
 
     def push_batch(self, items: list[StreamItem]) -> None:
+        if self._batch_fn is None or not self._push_batch_generated(
+            self._batch_fn, items
+        ):
+            self._push_batch_mixed(items)
+
+    def _push_batch_mixed(self, items: list[StreamItem]) -> None:
         compiled = self._compiled
         schema = self.output_schema
         raw = Row.raw
@@ -303,22 +368,8 @@ class FusedOp(Operator):
         self.downstream.push(element)
 
     def push_batch(self, items: list[StreamItem]) -> None:
-        # Fast path: ingest batches are punctuation-free, so the whole
-        # chain runs inside one generated loop. A Punctuation in the
-        # batch surfaces as AttributeError (no .row) before any output
-        # is emitted; the mixed-path loop then redoes the batch with
-        # per-run splitting.
-        out: list[StreamElement] = []
-        try:
-            self._fused_batch(items, out)
-        except AttributeError:
-            if any(isinstance(item, Punctuation) for item in items):
-                self._push_batch_mixed(items)
-                return
-            raise
-        self.rows_in += len(items)
-        if out:
-            self.emit_batch(out)
+        if not self._push_batch_generated(self._fused_batch, items):
+            self._push_batch_mixed(items)
 
     def _push_batch_mixed(self, items: list[StreamItem]) -> None:
         run: list[StreamElement] = []
@@ -537,6 +588,11 @@ class SymmetricHashJoin(Operator):
 class _Accumulator:
     """Incremental state for one aggregate call within one group."""
 
+    __slots__ = (
+        "call", "name", "count", "total", "values", "distinct",
+        "_counts_rows", "_sums", "_orders", "_dedups",
+    )
+
     def __init__(self, call: AggregateCall):
         self.call = call
         self.name = call.name.upper()
@@ -544,22 +600,33 @@ class _Accumulator:
         self.total: Any = 0
         self.values: list[Any] = []  # only kept for MIN/MAX/DISTINCT
         self.distinct: set[Any] = set()
+        # Kind flags resolved once: add_value runs per row per call on
+        # the hot accumulate path, so no string comparison happens there.
+        self._counts_rows = call.argument is None  # COUNT(*)
+        self._sums = self.name in ("SUM", "AVG")
+        self._orders = self.name in ("MIN", "MAX")
+        self._dedups = call.distinct
 
     def add(self, row: Row) -> None:
-        if self.call.argument is None:  # COUNT(*)
+        if self._counts_rows:
             self.count += 1
             return
-        value = self.call.argument.eval(row)
+        self.add_value(self.call.argument.eval(row))
+
+    def add_value(self, value: Any) -> None:
+        """Fold one already-evaluated argument value (the compiled
+        accumulate path — COUNT(*) receives a non-null dummy, so it
+        lands in the plain count branch)."""
         if value is None:
             return
-        if self.call.distinct:
+        if self._dedups:
             if value in self.distinct:
                 return
             self.distinct.add(value)
         self.count += 1
-        if self.name in ("SUM", "AVG"):
+        if self._sums:
             self.total += value
-        elif self.name in ("MIN", "MAX"):
+        elif self._orders:
             self.values.append(value)
 
     def result(self) -> Any:
@@ -606,12 +673,46 @@ class AggregateOp(Operator):
         self.aggregates = aggregates
         self.output_schema = output_schema
         self.window = window
-        # Group keys compile to one positional key function; the aggregate
-        # calls themselves keep their interpreted accumulator path.
+        # Schema-bound compilation: the group keys and every aggregate
+        # argument lower to one generated projection each, so the
+        # accumulate loop touches only the row's value tuple. COUNT(*)
+        # has no argument; a dummy literal keeps the projection aligned
+        # (add_value ignores it).
         self._key_fn = (
             compile_projection([expr for expr, _ in group_by], input_schema)
             if input_schema is not None
             else None
+        )
+        self._args_fn = None
+        if input_schema is not None:
+            from repro.sql.expressions import Literal
+
+            self._args_fn = compile_projection(
+                [
+                    call.argument if call.argument is not None else Literal(0)
+                    for call, _ in aggregates
+                ],
+                input_schema,
+            )
+        # The whole fold — key extraction, NULL skipping, state update —
+        # as one generated loop: a window scan or a running-mode ingest
+        # batch costs one Python call. None for DISTINCT/exotic calls or
+        # the interpreted baseline; those keep accumulator objects.
+        fold = (
+            compile_accumulate(
+                [expr for expr, _ in group_by],
+                [call for call, _ in aggregates],
+                input_schema,
+            )
+            if input_schema is not None
+            else None
+        )
+        self._fold, self._finalize = fold if fold is not None else (None, None)
+        # Fully compiled aggregation is purely positional and emits rows
+        # under output_schema only, so the scan-port renaming shim can be
+        # elided beneath it (see Operator.consumes_values_only).
+        self.consumes_values_only = (
+            self._key_fn is not None and self._args_fn is not None
         )
         self._buffer: list[StreamElement] = []  # windowed mode
         self._groups: dict[tuple, list[_Accumulator]] = {}  # running mode
@@ -622,21 +723,65 @@ class AggregateOp(Operator):
             return self._key_fn(row.values)
         return tuple(expr.eval(row) for expr, _ in self.group_by)
 
-    # -- running mode ---------------------------------------------------
-    def _running_add(self, element: StreamElement) -> None:
-        key = self._group_key(element.row)
-        accumulators = self._groups.get(key)
+    def _accumulate(
+        self, row: Row, groups: dict[tuple, list[_Accumulator]]
+    ) -> None:
+        """Fold one row into its group's accumulators (shared by the
+        running mode and the windowed boundary scan)."""
+        args_fn = self._args_fn
+        if args_fn is not None:
+            values = row.values
+            key = self._key_fn(values)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [_Accumulator(call) for call, _ in self.aggregates]
+                groups[key] = accumulators
+            for accumulator, value in zip(accumulators, args_fn(values)):
+                accumulator.add_value(value)
+            return
+        key = self._group_key(row)
+        accumulators = groups.get(key)
         if accumulators is None:
             accumulators = [_Accumulator(call) for call, _ in self.aggregates]
-            self._groups[key] = accumulators
+            groups[key] = accumulators
         for accumulator in accumulators:
-            accumulator.add(element.row)
+            accumulator.add(row)
 
-    def _emit_groups(self, timestamp: float, groups: dict[tuple, list[_Accumulator]]) -> None:
-        for key, accumulators in groups.items():
-            values = list(key) + [a.result() for a in accumulators]
-            row = Row(self.output_schema, values, validate=False)
-            self.emit(StreamElement(row, timestamp))
+    # -- running mode ---------------------------------------------------
+    def _running_add(self, element: StreamElement) -> None:
+        if self._fold is not None:
+            self._fold((element,), self._groups, _NEG_INF, _INF)
+        else:
+            self._accumulate(element.row, self._groups)
+
+    def _emit_groups(self, timestamp: float, groups: dict) -> None:
+        if not groups:
+            return
+        schema = self.output_schema
+        finalize = self._finalize
+        if finalize is not None:  # groups hold generated state lists
+            out = [
+                StreamElement(
+                    Row(schema, list(key) + finalize(state), validate=False),
+                    timestamp,
+                )
+                for key, state in groups.items()
+            ]
+        else:  # groups hold _Accumulator objects
+            out = [
+                StreamElement(
+                    Row(
+                        schema,
+                        list(key) + [a.result() for a in accumulators],
+                        validate=False,
+                    ),
+                    timestamp,
+                )
+                for key, accumulators in groups.items()
+            ]
+        # One batched dispatch per report: a window closing over many
+        # groups clears the downstream (project/sink) in one call.
+        self.emit_batch(out)
 
     # -- windowed mode ----------------------------------------------------
     def _window_slide(self) -> float:
@@ -658,18 +803,28 @@ class AggregateOp(Operator):
             boundary = math.ceil(first / slide) * slide
             self._next_boundary = boundary
         while self._next_boundary is not None and self._next_boundary <= watermark:
+            if not self._buffer:
+                # Nothing buffered: every window ending at or before the
+                # watermark is empty (late arrivals would violate the
+                # punctuation contract), so jump to the last boundary at
+                # or before the watermark instead of iterating one slide
+                # at a time — a watermark far in the future (an engine
+                # flush, a long source gap) must not cost O(gap/slide).
+                skip = math.floor(watermark / slide) * slide
+                if skip > self._next_boundary:
+                    self._next_boundary = skip
             boundary = self._next_boundary
             start = boundary - self.window.size
-            groups: dict[tuple, list[_Accumulator]] = {}
-            for element in self._buffer:
-                if start < element.timestamp <= boundary:
-                    key = self._group_key(element.row)
-                    accumulators = groups.get(key)
-                    if accumulators is None:
-                        accumulators = [_Accumulator(call) for call, _ in self.aggregates]
-                        groups[key] = accumulators
-                    for accumulator in accumulators:
-                        accumulator.add(element.row)
+            groups: dict = {}
+            if self._fold is not None:
+                # The whole window scan — time filter, key extraction,
+                # accumulator updates — runs as one generated call.
+                self._fold(self._buffer, groups, start, boundary)
+            else:
+                accumulate = self._accumulate
+                for element in self._buffer:
+                    if start < element.timestamp <= boundary:
+                        accumulate(element.row, groups)
             self._emit_groups(boundary, groups)
             self._next_boundary = boundary + slide
             # Evict rows no longer needed by any future window.
@@ -682,6 +837,42 @@ class AggregateOp(Operator):
             self._buffer.append(element)
         else:
             self._running_add(element)
+
+    def push_batch(self, items: list[StreamItem]) -> None:
+        """Accumulate a whole batch with one dispatch.
+
+        Windowed mode buffers elements until a boundary closes, so a
+        punctuation-free ingest batch is a single C-level ``extend``;
+        running mode folds each element into its group's accumulators
+        within one call. Punctuations keep their in-batch position.
+        """
+        windowed = self.window is not None and self.window.kind is WindowKind.RANGE
+        if not any(isinstance(item, Punctuation) for item in items):
+            if windowed:
+                self._buffer.extend(items)
+            elif self._fold is not None:
+                self._fold(items, self._groups, _NEG_INF, _INF)
+            else:
+                accumulate = self._accumulate
+                groups = self._groups
+                for item in items:
+                    accumulate(item.row, groups)
+            self.rows_in += len(items)
+            return
+        seen = 0
+        for item in items:
+            if isinstance(item, Punctuation):
+                self.on_punctuation(item)
+            elif windowed:
+                seen += 1
+                # Resolved per item: window emission *replaces* the
+                # buffer list during eviction, so a cached bound append
+                # would write into the evicted (dead) list.
+                self._buffer.append(item)
+            else:
+                seen += 1
+                self._running_add(item)
+        self.rows_in += seen
 
     def on_punctuation(self, punctuation: Punctuation) -> None:
         if self.window is not None and self.window.kind is WindowKind.RANGE:
@@ -703,6 +894,9 @@ class DistinctOp(Operator):
     def __init__(self, downstream: StreamConsumer):
         super().__init__(downstream)
         self._seen: set[tuple] = set()
+        # Dedup keys on the value tuple and forwards elements unchanged:
+        # schema-oblivious exactly when everything downstream is.
+        self.consumes_values_only = getattr(downstream, "consumes_values_only", False)
 
     def on_element(self, element: StreamElement) -> None:
         key = element.row.values
@@ -710,6 +904,28 @@ class DistinctOp(Operator):
             return
         self._seen.add(key)
         self.emit(element)
+
+    def push_batch(self, items: list[StreamItem]) -> None:
+        """Deduplicate a whole batch with one dispatch, forwarding the
+        survivors as one output batch per punctuation-free run."""
+        seen = self._seen
+        out: list[StreamElement] = []
+        count = 0
+        for item in items:
+            if isinstance(item, Punctuation):
+                if out:
+                    self.emit_batch(out)
+                    out = []
+                self.on_punctuation(item)
+                continue
+            count += 1
+            key = item.row.values
+            if key not in seen:
+                seen.add(key)
+                out.append(item)
+        self.rows_in += count
+        if out:
+            self.emit_batch(out)
 
 
 class OrderByOp(Operator):
@@ -737,6 +953,18 @@ class OrderByOp(Operator):
 
     def on_element(self, element: StreamElement) -> None:
         self._batch.append(element)
+
+    def push_batch(self, items: list[StreamItem]) -> None:
+        """Buffer a punctuation-free batch with one ``extend``; batches
+        containing punctuations keep per-item order (each punctuation
+        sorts and flushes the rows buffered before it)."""
+        if not any(isinstance(item, Punctuation) for item in items):
+            self._batch.extend(items)
+            self.rows_in += len(items)
+            return
+        push = self.push
+        for item in items:
+            push(item)
 
     def on_punctuation(self, punctuation: Punctuation) -> None:
         decorated = []
@@ -790,6 +1018,26 @@ class LimitOp(Operator):
         if self._emitted_in_batch < self.count:
             self._emitted_in_batch += 1
             self.emit(element)
+
+    def push_batch(self, items: list[StreamItem]) -> None:
+        """Apply the per-report budget across a whole batch in one
+        dispatch; accepted prefixes forward as output batches."""
+        out: list[StreamElement] = []
+        count = 0
+        for item in items:
+            if isinstance(item, Punctuation):
+                if out:
+                    self.emit_batch(out)
+                    out = []
+                self.on_punctuation(item)
+                continue
+            count += 1
+            if self._emitted_in_batch < self.count:
+                self._emitted_in_batch += 1
+                out.append(item)
+        self.rows_in += count
+        if out:
+            self.emit_batch(out)
 
     def on_punctuation(self, punctuation: Punctuation) -> None:
         self._emitted_in_batch = 0

@@ -1,0 +1,273 @@
+"""Partition-safety analysis for sharded continuous queries.
+
+The :class:`~repro.stream.sharded.ShardedStreamEngine` hash-partitions
+each stream source's rows across N shard engines by a declared
+partition key. A plan may run as one replica per shard — with the
+replicas' outputs merged — only when partitioning cannot change its
+result. :func:`partition_safe` decides that, conservatively: anything
+it does not positively recognize as safe falls back to a single
+designated engine that receives the full, unpartitioned feed, so
+**correctness never depends on this analysis being aggressive** — a
+too-timid verdict costs parallelism, never answers.
+
+A plan is partition-safe when every operator is either row-local
+(Filter / Project / Output) or *key-aligned*: all rows that the
+operator must observe together are guaranteed to share the partition
+key value, and therefore the shard. Concretely:
+
+* Filter/Project chains over any partitioned stream (including
+  round-robin sources — no cross-row state);
+* grouped aggregation whose GROUP BY keys *cover* the partition key
+  (every group lives wholly on one shard);
+* equi-joins whose join keys align both sides' partition keys
+  (co-partitioned build/probe), or joins of a partitioned stream
+  against a stored table (tables are replicated to every shard);
+* DISTINCT whose input rows still carry the partition key column.
+
+Everything else is unsafe: ROWS windows (arrival-count semantics need
+the global arrival order), ORDER BY / LIMIT (per-report total order and
+global row budget), global or non-covering aggregates, joins without an
+aligned key, DISTINCT after the key was projected away, remote-source
+feeds, and plans reading only replicated tables (a replica per shard
+would emit N copies).
+
+The analysis tracks the partition key *positionally*: for every node it
+computes which output columns are verbatim copies of a partition key
+column, so projections may rename or reorder freely without losing
+safety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.catalog import SourceKind
+from repro.data.schema import Schema
+from repro.data.windows import WindowKind
+from repro.plan.logical import (
+    Aggregate,
+    Distinct,
+    Join,
+    Limit,
+    LogicalOp,
+    OrderBy,
+    Output,
+    Project,
+    RemoteSource,
+    Scan,
+    Select,
+)
+from repro.sql.expressions import ColumnRef, is_equijoin_conjunct, split_conjuncts
+
+
+@dataclass(frozen=True)
+class PartitionAnalysis:
+    """Verdict of :func:`partition_safe` for one plan.
+
+    Attributes:
+        safe: True when one replica per shard merges to the exact
+            unsharded result.
+        reason: Why the plan is (un)safe — surfaced by EXPLAIN-style
+            introspection and the sharded engine's handle.
+        key_columns: Output column names that carry a partition key
+            value (empty for safe-but-keyless plans, e.g. pure
+            filter/project chains over a round-robin source).
+    """
+
+    safe: bool
+    reason: str
+    key_columns: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class _Part:
+    """Per-node partitioning state during the recursive analysis."""
+
+    #: Positions in the node's output schema holding the partition key.
+    key_positions: frozenset[int] = frozenset()
+    #: Subtree reads at least one hash/round-robin partitioned stream.
+    partitioned: bool = False
+    #: Subtree reads only replicated inputs (stored tables).
+    replicated: bool = False
+
+
+class _Unsafe(Exception):
+    """Internal control flow: carries the human-readable reason."""
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(reason)
+
+
+def partition_safe(
+    plan: LogicalOp, keys: Mapping[str, str]
+) -> PartitionAnalysis:
+    """Decide whether ``plan`` may run one replica per shard.
+
+    ``keys`` maps lowercased source names to their declared bare
+    partition column (sources absent from the mapping are round-robin
+    partitioned). Returns a :class:`PartitionAnalysis`; unrecognized
+    plan shapes are unsafe by construction.
+    """
+    try:
+        part = _analyze(plan, keys)
+    except _Unsafe as verdict:
+        return PartitionAnalysis(False, verdict.reason)
+    if part.replicated:
+        return PartitionAnalysis(
+            False,
+            "plan reads only replicated tables; one designated engine suffices",
+        )
+    if not part.partitioned:
+        return PartitionAnalysis(False, "plan reads no partitioned stream")
+    names = tuple(
+        sorted(plan.schema.names[pos] for pos in part.key_positions)
+    )
+    return PartitionAnalysis(True, "all operators are partition-aligned", names)
+
+
+# ----------------------------------------------------------------------
+def _resolve(schema: Schema, name: str) -> int | None:
+    """Position of ``name`` in ``schema`` — exact name first, then a
+    unique bare-name match. None when absent or ambiguous."""
+    if schema.has(name):
+        return schema.index_of(name)
+    matches = [i for i, f in enumerate(schema) if f.bare_name == name]
+    return matches[0] if len(matches) == 1 else None
+
+
+def _analyze(node: LogicalOp, keys: Mapping[str, str]) -> _Part:
+    if isinstance(node, Scan):
+        return _analyze_scan(node, keys)
+    if isinstance(node, RemoteSource):
+        raise _Unsafe(
+            f"remote source {node.name!r} arrives unpartitioned at the basestation"
+        )
+    if isinstance(node, (Select, Output)):
+        # Row-local: partitioning state flows through untouched.
+        return _analyze(node.child, keys)
+    if isinstance(node, Project):
+        return _analyze_project(node, keys)
+    if isinstance(node, Aggregate):
+        return _analyze_aggregate(node, keys)
+    if isinstance(node, Join):
+        return _analyze_join(node, keys)
+    if isinstance(node, Distinct):
+        child = _analyze(node.child, keys)
+        if child.partitioned and not child.key_positions:
+            raise _Unsafe(
+                "DISTINCT without the partition key would deduplicate per shard only"
+            )
+        return child
+    if isinstance(node, OrderBy):
+        raise _Unsafe("ORDER BY needs a total order per report across all shards")
+    if isinstance(node, Limit):
+        raise _Unsafe("LIMIT budgets rows globally per report")
+    raise _Unsafe(f"{type(node).__name__} is not recognized as partition-safe")
+
+
+def _analyze_scan(node: Scan, keys: Mapping[str, str]) -> _Part:
+    window = node.window
+    if window is not None and window.kind is WindowKind.ROWS:
+        raise _Unsafe(
+            f"ROWS window on {node.entry.name!r} counts global arrivals"
+        )
+    if node.entry.kind is SourceKind.TABLE:
+        return _Part(replicated=True)
+    key = keys.get(node.entry.name.lower())
+    if key is None:
+        return _Part(partitioned=True)
+    position = _resolve(node.schema, f"{node.binding}.{key}")
+    if position is None:
+        position = _resolve(node.schema, key)
+    if position is None:
+        raise _Unsafe(
+            f"partition key {key!r} is not a column of {node.entry.name!r}"
+        )
+    return _Part(key_positions=frozenset([position]), partitioned=True)
+
+
+def _analyze_project(node: Project, keys: Mapping[str, str]) -> _Part:
+    child = _analyze(node.child, keys)
+    kept: set[int] = set()
+    for out_pos, item in enumerate(node.items):
+        if not isinstance(item.expr, ColumnRef):
+            continue
+        in_pos = _resolve(node.child.schema, item.expr.name)
+        if in_pos is not None and in_pos in child.key_positions:
+            kept.add(out_pos)
+    return _Part(
+        key_positions=frozenset(kept),
+        partitioned=child.partitioned,
+        replicated=child.replicated,
+    )
+
+
+def _analyze_aggregate(node: Aggregate, keys: Mapping[str, str]) -> _Part:
+    child = _analyze(node.child, keys)
+    if child.replicated:
+        raise _Unsafe("aggregate over replicated tables would emit once per shard")
+    if not child.key_positions:
+        raise _Unsafe(
+            "aggregate input does not carry the partition key "
+            "(round-robin source or key projected away)"
+        )
+    covered: set[int] = set()
+    for key_pos, expr in enumerate(node.group_by):
+        if not isinstance(expr, ColumnRef):
+            continue
+        in_pos = _resolve(node.child.schema, expr.name)
+        if in_pos is not None and in_pos in child.key_positions:
+            # Output schema lists group keys first, aggregates after.
+            covered.add(key_pos)
+    if not covered:
+        raise _Unsafe(
+            "GROUP BY keys do not cover the partition key; "
+            "groups would straddle shards"
+        )
+    return _Part(key_positions=frozenset(covered), partitioned=True)
+
+
+def _analyze_join(node: Join, keys: Mapping[str, str]) -> _Part:
+    left = _analyze(node.left, keys)
+    right = _analyze(node.right, keys)
+    if left.replicated and right.replicated:
+        return _Part(replicated=True)
+    offset = len(node.left.schema)
+    if left.replicated or right.replicated:
+        # Stream against a replicated table: every shard holds the full
+        # table, so each stream row meets every table row it would have
+        # met on one engine.
+        streamed = right if left.replicated else left
+        positions = (
+            frozenset(pos + offset for pos in streamed.key_positions)
+            if left.replicated
+            else streamed.key_positions
+        )
+        return _Part(key_positions=positions, partitioned=True)
+    # Two partitioned streams: some equi-conjunct must align both
+    # partition keys, or matching rows could live on different shards.
+    aligned = False
+    for conjunct in split_conjuncts(node.predicate):
+        pair = is_equijoin_conjunct(conjunct)
+        if pair is None:
+            continue
+        for a, b in (pair, tuple(reversed(pair))):
+            a_pos = _resolve(node.left.schema, a)
+            b_pos = _resolve(node.right.schema, b)
+            if (
+                a_pos is not None
+                and b_pos is not None
+                and a_pos in left.key_positions
+                and b_pos in right.key_positions
+            ):
+                aligned = True
+    if not aligned:
+        raise _Unsafe(
+            "join predicate does not align the two sides' partition keys"
+        )
+    merged = frozenset(left.key_positions) | frozenset(
+        pos + offset for pos in right.key_positions
+    )
+    return _Part(key_positions=merged, partitioned=True)

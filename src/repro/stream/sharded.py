@@ -1,0 +1,453 @@
+"""A sharded pool of stream engines: partition-parallel continuous queries.
+
+A :class:`ShardedStreamEngine` presents the same surface as one
+:class:`~repro.stream.engine.StreamEngine` — ``execute``/``stop``,
+``push``/``push_many``/``push_remote``, ``punctuate``,
+``load_table``/``table_rows``/``drop_table`` — but hosts a pool of N
+independent shard engines plus one *designated fallback* engine:
+
+* **Ingestion partitions.** ``push``/``push_many`` route each row to
+  the shard owning its partition key
+  (:func:`~repro.data.tuples.stable_hash` of the key value, modulo the
+  shard count); sources without a declared key round-robin. The
+  fallback engine additionally receives the full, unpartitioned feed —
+  but only while a fallback query is actually subscribed to the source.
+* **Safe plans replicate.** ``execute`` runs
+  :func:`~repro.stream.partition.partition_safe`; safe plans start one
+  replica per shard, all feeding a single merged sink through a
+  watermark-merging coordinator (elements stream through; a punctuation
+  is forwarded once the *minimum* watermark across shards advances, so
+  every shard's window emissions for a boundary land before the merged
+  punctuation — exactly the contract
+  :meth:`~repro.stream.engine.QueryHandle.latest_batch` and subscribers
+  rely on).
+* **Unsafe plans fall back.** Anything the analysis cannot prove safe
+  runs whole on the designated fallback engine against the full feed —
+  same results, no parallelism, no correctness dependence on the
+  analysis.
+* **Tables replicate.** ``load_table`` broadcasts to every engine, so
+  stream⋈table joins see the full table on each shard and fallback
+  queries see it too. Punctuation broadcasts likewise.
+
+The pool is deliberately synchronous like the engines it hosts;
+distribution across OS processes or hosts layers on top (see
+:mod:`repro.stream.distributed`), while this layer provides the
+partition routing, replica lifecycle and merge protocol they share.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.catalog import Catalog
+from repro.data.streams import (
+    CollectingConsumer,
+    Punctuation,
+    StreamElement,
+    StreamItem,
+    push_all,
+)
+from repro.data.tuples import Row, stable_hash
+from repro.data.windows import WindowSpec
+from repro.errors import CatalogError, ExecutionError
+from repro.plan.logical import LogicalOp
+from repro.stream.compiler import DEFAULT_STREAM_WINDOW
+from repro.stream.engine import QueryHandle, StreamEngine
+from repro.stream.partition import PartitionAnalysis, partition_safe
+
+_pool_query_ids = itertools.count(1)
+
+
+class _MergeCoordinator:
+    """Funnels N shard replica outputs into one merged sink.
+
+    Elements pass straight through in arrival order. Watermarks merge:
+    each shard's latest watermark is tracked and a punctuation is
+    emitted downstream only when ``min(shard watermarks)`` advances —
+    by then every shard has flushed its window emissions for that
+    boundary into the merged sink.
+
+    The sink's ``push``/``push_batch`` are looked up per call (never
+    cached) so a Cursor's subscription tap installed later still
+    observes merged elements.
+    """
+
+    __slots__ = ("_sink", "_marks", "_sent")
+
+    def __init__(self, sink: CollectingConsumer, shard_count: int):
+        self._sink = sink
+        self._marks = [float("-inf")] * shard_count
+        self._sent = float("-inf")
+
+    def receive(self, index: int, item: StreamItem) -> None:
+        if isinstance(item, Punctuation):
+            self._advance(index, item.watermark)
+        else:
+            self._sink.push(item)
+
+    def receive_batch(self, index: int, items: list[StreamItem]) -> None:
+        # Fast path: result batches are almost always punctuation-free
+        # (watermarks travel per-item through engine.punctuate), so one
+        # C-level scan forwards the whole batch in a single dispatch.
+        if not any(isinstance(item, Punctuation) for item in items):
+            push_all(self._sink, items)
+            return
+        run: list[StreamItem] = []
+        for item in items:
+            if isinstance(item, Punctuation):
+                if run:
+                    push_all(self._sink, run)
+                    run = []
+                self._advance(index, item.watermark)
+            else:
+                run.append(item)
+        if run:
+            push_all(self._sink, run)
+
+    def _advance(self, index: int, watermark: float) -> None:
+        marks = self._marks
+        if watermark > marks[index]:
+            marks[index] = watermark
+        merged = min(marks)
+        if merged > self._sent:
+            self._sent = merged
+            self._sink.push(Punctuation(merged))
+
+
+class _ShardFeed:
+    """The terminal consumer of one shard's replica pipeline."""
+
+    __slots__ = ("_coordinator", "_index")
+
+    def __init__(self, coordinator: _MergeCoordinator, index: int):
+        self._coordinator = coordinator
+        self._index = index
+
+    def push(self, item: StreamItem) -> None:
+        self._coordinator.receive(self._index, item)
+
+    def push_batch(self, items: list[StreamItem]) -> None:
+        self._coordinator.receive_batch(self._index, items)
+
+
+@dataclass
+class ShardedQueryHandle(QueryHandle):
+    """Handle over a pool-hosted continuous query.
+
+    ``results``/``latest_batch``/``sink`` read the *merged* output (for
+    fallback queries, the fallback engine's sink directly).
+    ``partitioned`` tells whether the plan ran one replica per shard or
+    fell back; ``analysis`` carries the safety verdict and reason.
+    """
+
+    inner: list[QueryHandle] = field(default_factory=list)
+    partitioned: bool = False
+    analysis: PartitionAnalysis | None = None
+
+    @property
+    def shard_stats(self) -> list[dict[str, int]]:
+        """Per-replica operator row counters (partition spread probe)."""
+        return [handle.compiled.stats for handle in self.inner]
+
+
+class ShardedStreamEngine:
+    """Pool of N shard engines behind one StreamEngine-shaped surface.
+
+    Args:
+        catalog: Shared catalog (all engines resolve sources in it).
+        shards: Number of partitions (≥ 1).
+        deliver: Display callback, forwarded to every engine.
+        default_window: Forwarded to every engine.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        shards: int = 2,
+        deliver: Callable[[str, StreamElement], None] | None = None,
+        default_window: WindowSpec = DEFAULT_STREAM_WINDOW,
+    ):
+        if shards < 1:
+            raise ExecutionError(f"shard count must be >= 1, got {shards}")
+        self._catalog = catalog
+        self._engines = [
+            StreamEngine(catalog, deliver, default_window) for _ in range(shards)
+        ]
+        self._fallback = StreamEngine(catalog, deliver, default_window)
+        self._keys: dict[str, str] = {}  # source.lower() -> bare column
+        self._key_index: dict[str, int] = {}  # source.lower() -> position
+        self._round_robin: dict[str, int] = {}  # source.lower() -> cursor
+        #: Per-source memo of key value -> owning shard. Partition keys
+        #: are low-cardinality in practice (hosts, rooms, device ids),
+        #: so a dict probe replaces the stable_hash call on the ingest
+        #: hot path; bounded so a high-cardinality key cannot leak.
+        self._owners: dict[str, dict[Any, int]] = {}
+        self._handles: dict[int, ShardedQueryHandle] = {}
+        self.elements_ingested = 0
+
+    # ------------------------------------------------------------------
+    # Pool introspection
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self._engines)
+
+    @property
+    def engines(self) -> list[StreamEngine]:
+        """The shard engines (the designated fallback engine excluded)."""
+        return list(self._engines)
+
+    @property
+    def fallback_engine(self) -> StreamEngine:
+        """The designated engine hosting partition-unsafe queries."""
+        return self._fallback
+
+    @property
+    def running_queries(self) -> list[ShardedQueryHandle]:
+        return list(self._handles.values())
+
+    # ------------------------------------------------------------------
+    # Partition keys
+    # ------------------------------------------------------------------
+    def set_partition_key(self, source: str, column: str) -> None:
+        """Declare that ``source`` partitions by ``column`` (a bare
+        column of its catalog schema). Undeclared sources round-robin."""
+        entry = self._catalog.source(source)
+        lower = entry.name.lower()
+        for position, f in enumerate(entry.schema):
+            if f.name == column or f.bare_name == column:
+                self._keys[lower] = f.bare_name
+                self._key_index[lower] = position
+                return
+        raise CatalogError(
+            f"partition key {column!r} is not a column of {entry.name!r} "
+            f"(available: {', '.join(entry.schema.names)})"
+        )
+
+    def clear_partition_key(self, source: str) -> None:
+        """Forget a declared partition key (detach symmetry); the source
+        reverts to round-robin. Unknown names are a no-op."""
+        lower = source.lower()
+        self._keys.pop(lower, None)
+        self._key_index.pop(lower, None)
+
+    def partition_key(self, source: str) -> str | None:
+        """The declared partition column of ``source`` (None = round-robin)."""
+        return self._keys.get(source.lower())
+
+    def analyze(self, plan: LogicalOp) -> PartitionAnalysis:
+        """The safety verdict ``execute`` would apply to ``plan``."""
+        return partition_safe(plan, self._keys)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def execute(self, plan: LogicalOp) -> ShardedQueryHandle:
+        """Start a continuous query: one replica per shard with a merged
+        sink when the plan is partition-safe, else whole on the
+        designated fallback engine."""
+        analysis = partition_safe(plan, self._keys)
+        if analysis.safe:
+            sink = CollectingConsumer()
+            coordinator = _MergeCoordinator(sink, len(self._engines))
+            inner = [
+                engine.execute(plan, sink=_ShardFeed(coordinator, index))
+                for index, engine in enumerate(self._engines)
+            ]
+            handle = ShardedQueryHandle(
+                next(_pool_query_ids),
+                plan,
+                inner[0].compiled,
+                sink,
+                self,
+                inner=inner,
+                partitioned=True,
+                analysis=analysis,
+            )
+        else:
+            fallback = self._fallback.execute(plan)
+            handle = ShardedQueryHandle(
+                next(_pool_query_ids),
+                plan,
+                fallback.compiled,
+                fallback.sink,
+                self,
+                inner=[fallback],
+                partitioned=False,
+                analysis=analysis,
+            )
+        self._handles[handle.query_id] = handle
+        return handle
+
+    def stop(self, handle: QueryHandle) -> None:
+        """Stop a pool query (all replicas / the fallback). Idempotent."""
+        tracked = self._handles.pop(handle.query_id, None)
+        if tracked is None:
+            return
+        for inner in tracked.inner:
+            if inner.engine is not None:
+                inner.engine.stop(inner)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    _OWNER_CACHE_LIMIT = 8192
+
+    def _owner_of(self, lower: str, value: Any) -> int:
+        """Owning shard for one partition-key value, memoized."""
+        cache = self._owners.get(lower)
+        if cache is None:
+            cache = self._owners[lower] = {}
+        try:
+            owner = cache.get(value)
+        except TypeError:  # unhashable key value: no memo, direct hash
+            return stable_hash(value) % len(self._engines)
+        if owner is None:
+            if len(cache) >= self._OWNER_CACHE_LIMIT:
+                cache.clear()
+            owner = stable_hash(value) % len(self._engines)
+            cache[value] = owner
+        return owner
+
+    def _owner(self, lower: str, row: Row | Mapping[str, Any]) -> int:
+        """Shard index owning ``row`` for the source named ``lower``."""
+        key = self._keys.get(lower)
+        shards = len(self._engines)
+        if key is None:
+            cursor = self._round_robin.get(lower, 0)
+            self._round_robin[lower] = (cursor + 1) % shards
+            return cursor
+        if isinstance(row, Row):
+            # Coercion is positional (``with_schema``), so the declared
+            # key's catalog position is authoritative whatever names the
+            # incoming row carries.
+            value = row.values[self._key_index[lower]]
+        else:
+            # Mappings may be keyed by bare or qualified names; a row
+            # missing the key entirely routes to shard 0, where the
+            # engine's own coercion raises the canonical SchemaError.
+            value = row.get(key)
+        return self._owner_of(lower, value)
+
+    def push(
+        self,
+        source: str,
+        row: Row | Mapping[str, Any],
+        timestamp: float,
+    ) -> None:
+        """Push one element to its owning shard (and the fallback feed)."""
+        entry = self._catalog.source(source)
+        lower = entry.name.lower()
+        self.elements_ingested += 1
+        self._engines[self._owner(lower, row)].push(source, row, timestamp)
+        if self._fallback.subscribed(lower):
+            self._fallback.push(source, row, timestamp)
+
+    def push_many(
+        self,
+        source: str,
+        rows: Sequence[Row | Mapping[str, Any]],
+        timestamps: float | Sequence[float] = 0.0,
+    ) -> int:
+        """Batched ingestion: the batch is split into per-shard
+        sub-batches (preserving arrival order within each shard) and
+        each shard consumes its sub-batch through the vectorized
+        ``push_many`` path. The fallback engine, when subscribed,
+        receives the whole batch unsplit — identical to what a single
+        engine would see."""
+        entry = self._catalog.source(source)
+        lower = entry.name.lower()
+        rows = rows if isinstance(rows, list) else list(rows)
+        scalar = isinstance(timestamps, (int, float))
+        if not scalar:
+            stamps = timestamps if isinstance(timestamps, list) else list(timestamps)
+            if len(stamps) != len(rows):
+                raise ExecutionError(
+                    f"push_many got {len(rows)} rows but {len(stamps)} timestamps"
+                )
+        shards = len(self._engines)
+        key = self._keys.get(lower)
+        per_shard_rows: list[list] = [[] for _ in range(shards)]
+        per_shard_stamps: list[list[float]] = [[] for _ in range(shards)]
+        if key is None:
+            cursor = self._round_robin.get(lower, 0)
+            if scalar:
+                for row in rows:
+                    per_shard_rows[cursor].append(row)
+                    cursor = (cursor + 1) % shards
+            else:
+                for row, stamp in zip(rows, stamps):
+                    per_shard_rows[cursor].append(row)
+                    per_shard_stamps[cursor].append(stamp)
+                    cursor = (cursor + 1) % shards
+            self._round_robin[lower] = cursor
+        else:
+            index = self._key_index[lower]
+            owner_of = self._owner_of
+            if scalar:
+                for row in rows:
+                    value = row.values[index] if isinstance(row, Row) else row.get(key)
+                    per_shard_rows[owner_of(lower, value)].append(row)
+            else:
+                for row, stamp in zip(rows, stamps):
+                    value = row.values[index] if isinstance(row, Row) else row.get(key)
+                    owner = owner_of(lower, value)
+                    per_shard_rows[owner].append(row)
+                    per_shard_stamps[owner].append(stamp)
+        for shard, engine in enumerate(self._engines):
+            if not per_shard_rows[shard]:
+                continue
+            engine.push_many(
+                source,
+                per_shard_rows[shard],
+                timestamps if scalar else per_shard_stamps[shard],
+            )
+        if self._fallback.subscribed(lower):
+            self._fallback.push_many(source, rows, timestamps if scalar else stamps)
+        self.elements_ingested += len(rows)
+        return len(rows)
+
+    def push_remote(
+        self, name: str, values: Mapping[str, Any] | Row, timestamp: float
+    ) -> None:
+        """Remote-source feeds go to the fallback engine only: plans
+        reading a RemoteSource are never partition-safe, so no shard
+        replica ever has a port for one."""
+        self.elements_ingested += 1
+        self._fallback.push_remote(name, values, timestamp)
+
+    def punctuate(self, watermark: float, sources: list[str] | None = None) -> None:
+        """Broadcast the watermark to every engine; merged sinks forward
+        one punctuation once all replicas have processed it."""
+        for engine in self._engines:
+            engine.punctuate(watermark, sources)
+        self._fallback.punctuate(watermark, sources)
+
+    # ------------------------------------------------------------------
+    # Tables (replicated to every engine)
+    # ------------------------------------------------------------------
+    def load_table(
+        self,
+        name: str,
+        rows: list[Row | Mapping[str, Any]],
+        timestamp: float = 0.0,
+    ) -> None:
+        for engine in self._engines:
+            engine.load_table(name, rows, timestamp)
+        self._fallback.load_table(name, rows, timestamp)
+
+    def table_rows(self, name: str) -> list[Row]:
+        return self._engines[0].table_rows(name)
+
+    def drop_table(self, name: str) -> None:
+        for engine in self._engines:
+            engine.drop_table(name)
+        self._fallback.drop_table(name)
+
+    def subscribed(self, source: str) -> bool:
+        """True when any engine of the pool reads ``source``."""
+        return any(
+            engine.subscribed(source) for engine in self._engines
+        ) or self._fallback.subscribed(source)

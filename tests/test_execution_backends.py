@@ -1,0 +1,643 @@
+"""The ExecutionBackend layer, the sharded pool, and this PR's satellites.
+
+Covers: backend routing behind the unchanged Session surface,
+``connect(shards=N)``, ``StreamSource(partition_by=...)`` declarations,
+the ``partition_safe`` analysis verdicts, pool mechanics (hash routing,
+round-robin, table replication, fallback feed, watermark merging, stop),
+queue-backed subscriptions, prepared-statement invalidation on close,
+the batched stateful operators, and the compiled aggregate fold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    BatchBackend,
+    DistributedBackend,
+    ExecutionBackend,
+    SessionClosedError,
+    ShardedStreamBackend,
+    SourceError,
+    StreamBackend,
+    StreamSource,
+    TableSource,
+    connect,
+)
+from repro.catalog import Catalog
+from repro.data import DataType, Row, Schema, stable_hash
+from repro.data.streams import CollectingConsumer, Punctuation, StreamElement
+from repro.errors import CatalogError, QueryError
+from repro.plan import PlanBuilder
+from repro.sql.compiled import compile_accumulate
+from repro.sql.expressions import AggregateCall, ColumnRef
+from repro.stream.engine import StreamEngine
+from repro.stream.partition import partition_safe
+from repro.stream.sharded import ShardedStreamEngine
+from repro.stream.operators import (
+    AggregateOp,
+    DistinctOp,
+    LimitOp,
+    OrderByOp,
+)
+from repro.sql.ast import OrderItem
+
+READINGS = Schema.of(
+    ("room", DataType.STRING),
+    ("host", DataType.STRING),
+    ("temp", DataType.FLOAT),
+    ("load", DataType.FLOAT),
+)
+
+ROWS = [
+    {"room": f"lab{i % 3}", "host": f"ws{i % 8}", "temp": 10.0 + i, "load": (i % 10) / 10.0}
+    for i in range(40)
+]
+
+
+def _catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register_stream("Readings", READINGS, rate=10.0)
+    return catalog
+
+
+def _plan(sql: str, catalog: Catalog | None = None):
+    return PlanBuilder(catalog or _catalog()).build_sql(sql)
+
+
+# ----------------------------------------------------------------------
+# The backend layer behind Session routing
+# ----------------------------------------------------------------------
+class TestBackendLayer:
+    def test_session_installs_three_backend_peers(self):
+        with connect() as session:
+            for name, cls in (
+                ("stream", StreamBackend),
+                ("batch", BatchBackend),
+                ("distributed", DistributedBackend),
+            ):
+                backend = session.backend(name)
+                assert isinstance(backend, cls)
+                assert isinstance(backend, ExecutionBackend)
+                assert backend.name == name
+
+    def test_sharded_session_swaps_the_stream_backend(self):
+        with connect(shards=4) as session:
+            backend = session.backend("stream")
+            assert isinstance(backend, ShardedStreamBackend)
+            assert backend.name == "stream"
+            assert backend.shards == 4
+            assert session.shards == 4
+            assert isinstance(session.engine, ShardedStreamEngine)
+        with connect() as session:
+            assert session.shards == 1
+            assert isinstance(session.engine, StreamEngine)
+
+    def test_unknown_backend_name_raises(self):
+        with connect() as session:
+            with pytest.raises(QueryError, match="unknown engine"):
+                session.backend("warp")
+
+    def test_injected_engine_cannot_be_sharded(self):
+        engine = StreamEngine(Catalog())
+        with pytest.raises(QueryError, match="cannot be sharded"):
+            connect(engine=engine, shards=2)
+
+    def test_stream_backend_close_leaves_injected_engine_running(self):
+        catalog = _catalog()
+        engine = StreamEngine(catalog)
+        outside = engine.execute(_plan("select r.host from Readings r", catalog))
+        session = connect(catalog=catalog, engine=engine)
+        session.close()
+        assert outside in engine.running_queries  # not ours to stop
+
+    def test_owned_engine_queries_stop_on_close(self):
+        session = connect()
+        session.attach(StreamSource("Readings", READINGS))
+        session.query("select r.host from Readings r")
+        engine = session.engine
+        session.close()
+        assert engine.running_queries == []
+
+    def test_same_results_across_shard_counts_via_session(self):
+        sql = (
+            "select r.host, count(*) as n from Readings r "
+            "[range 10 seconds slide 10 seconds] group by r.host"
+        )
+
+        def run(shards):
+            session = connect(shards=shards) if shards > 1 else connect()
+            session.attach(StreamSource("Readings", READINGS, partition_by="host"))
+            cursor = session.query(sql)
+            for index, row in enumerate(ROWS):
+                session.push("Readings", row, float(index))
+            session.punctuate(100.0)
+            rows = sorted(repr(r.values) for r in cursor.results())
+            session.close()
+            return rows
+
+        assert run(2) == run(1)
+        assert run(4) == run(1)
+
+    def test_batch_and_distributed_unaffected_by_sharding(self):
+        with connect(shards=3, nodes=["pc1", "pc2"]) as session:
+            session.attach(TableSource("T", READINGS, rows=ROWS[:10]))
+            batch = session.query("select t.host from T t", engine="batch")
+            assert len(batch.results()) == 10
+            session.attach(StreamSource("Readings", READINGS))
+            distributed = session.query(
+                "select r.host from Readings r", placement="auto"
+            )
+            assert distributed.kind == "distributed"
+
+
+# ----------------------------------------------------------------------
+# Partition-key declarations on sources
+# ----------------------------------------------------------------------
+class TestPartitionByDeclaration:
+    def test_partition_by_reaches_the_pool_and_detaches(self):
+        with connect(shards=2) as session:
+            source = StreamSource("Readings", READINGS, partition_by="host")
+            session.attach(source)
+            assert session.engine.partition_key("Readings") == "host"
+            session.detach("Readings")
+            assert session.engine.partition_key("Readings") is None
+
+    def test_partition_by_is_a_noop_on_unsharded_sessions(self):
+        with connect() as session:
+            session.attach(StreamSource("Readings", READINGS, partition_by="host"))
+            session.push("Readings", ROWS[0], 1.0)  # still ingests fine
+
+    def test_unknown_partition_column_fails_attach(self):
+        with connect(shards=2) as session:
+            with pytest.raises(SourceError, match="nope"):
+                session.attach(
+                    StreamSource("Readings", READINGS, partition_by="nope")
+                )
+            # Rollback left no half-registered source behind.
+            assert "readings" not in [n.lower() for n in session.attached()]
+            session.attach(StreamSource("Readings", READINGS, partition_by="host"))
+
+
+# ----------------------------------------------------------------------
+# The partition-safety analysis
+# ----------------------------------------------------------------------
+class TestPartitionSafe:
+    KEYS = {"readings": "host"}
+
+    def check(self, sql, keys=None):
+        return partition_safe(_plan(sql), self.KEYS if keys is None else keys)
+
+    def test_stateless_chain_is_safe_even_round_robin(self):
+        verdict = self.check(
+            "select r.host, r.temp from Readings r where r.temp > 5.0", keys={}
+        )
+        assert verdict.safe
+
+    def test_keyed_window_aggregate_is_safe_and_tracks_key(self):
+        verdict = self.check(
+            "select r.host, count(*) as n from Readings r "
+            "[range 10 seconds slide 10 seconds] group by r.host"
+        )
+        assert verdict.safe
+
+    def test_aggregate_without_key_coverage_is_unsafe(self):
+        verdict = self.check(
+            "select r.room, count(*) as n from Readings r "
+            "[range 10 seconds slide 10 seconds] group by r.room"
+        )
+        assert not verdict.safe
+        assert "cover" in verdict.reason
+
+    def test_global_aggregate_is_unsafe(self):
+        assert not self.check(
+            "select count(*) as n from Readings r [range 10 seconds slide 10 seconds]"
+        ).safe
+
+    def test_aggregate_over_round_robin_source_is_unsafe(self):
+        assert not self.check(
+            "select r.host, count(*) as n from Readings r "
+            "[range 10 seconds slide 10 seconds] group by r.host",
+            keys={},
+        ).safe
+
+    def test_order_by_and_limit_are_unsafe(self):
+        assert "ORDER BY" in self.check(
+            "select r.temp from Readings r order by r.temp"
+        ).reason
+        assert "LIMIT" in self.check(
+            "select r.temp from Readings r limit 3"
+        ).reason
+
+    def test_rows_window_is_unsafe(self):
+        assert "ROWS window" in self.check(
+            "select r.temp from Readings r [rows 10]"
+        ).reason
+
+    def test_distinct_keeps_safety_only_with_the_key(self):
+        assert self.check("select distinct r.host, r.room from Readings r").safe
+        assert not self.check("select distinct r.room from Readings r").safe
+
+    def test_projection_may_rename_the_key(self):
+        verdict = self.check(
+            "select r.host as machine, r.temp from Readings r where r.temp > 1.0"
+        )
+        assert verdict.safe and "machine" in verdict.key_columns
+
+    def test_table_only_plan_is_unsafe_replicated(self):
+        catalog = Catalog()
+        catalog.register_table("T", READINGS, cardinality=10)
+        verdict = partition_safe(
+            _plan("select t.host from T t", catalog), {"t": "host"}
+        )
+        assert not verdict.safe
+        assert "replicated" in verdict.reason
+
+
+# ----------------------------------------------------------------------
+# Pool mechanics
+# ----------------------------------------------------------------------
+class TestShardedEngine:
+    def _pool(self, shards=3):
+        catalog = _catalog()
+        pool = ShardedStreamEngine(catalog, shards=shards)
+        pool.set_partition_key("Readings", "host")
+        return catalog, pool
+
+    def test_stable_hash_is_deterministic_and_type_bridging(self):
+        assert stable_hash("lab1") == stable_hash("lab1")
+        assert stable_hash(3) == stable_hash(3.0)
+        assert stable_hash(None) == stable_hash(None)
+        assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_same_key_routes_to_same_shard(self):
+        catalog, pool = self._pool()
+        handle = pool.execute(
+            _plan("select r.host, r.temp from Readings r where r.temp > -1e9", catalog)
+        )
+        assert handle.partitioned
+        for i in range(30):
+            pool.push("Readings", {"room": "x", "host": "ws1", "temp": float(i), "load": 0.1}, float(i))
+        owner = stable_hash("ws1") % pool.shard_count
+        assert pool.engines[owner].elements_ingested == 30
+        assert sum(e.elements_ingested for e in pool.engines) == 30
+        assert pool.elements_ingested == 30
+
+    def test_round_robin_spreads_without_a_key(self):
+        catalog = _catalog()
+        pool = ShardedStreamEngine(catalog, shards=3)
+        pool.execute(_plan("select r.temp from Readings r", catalog))
+        pool.push_many("Readings", ROWS[:30], [float(i) for i in range(30)])
+        assert [e.elements_ingested for e in pool.engines] == [10, 10, 10]
+
+    def test_invalid_partition_key_raises(self):
+        _, pool = self._pool()
+        with pytest.raises(CatalogError, match="not a column"):
+            pool.set_partition_key("Readings", "bogus")
+
+    def test_tables_replicate_to_every_engine(self):
+        catalog, pool = self._pool()
+        catalog.register_table("T", READINGS, cardinality=3)
+        pool.load_table("T", ROWS[:3])
+        for engine in pool.engines + [pool.fallback_engine]:
+            assert len(engine.table_rows("T")) == 3
+        assert len(pool.table_rows("T")) == 3
+        pool.drop_table("T")
+        for engine in pool.engines + [pool.fallback_engine]:
+            assert engine.table_rows("T") == []
+
+    def test_fallback_engine_fed_only_while_subscribed(self):
+        catalog, pool = self._pool()
+        pool.push("Readings", ROWS[0], 1.0)
+        assert pool.fallback_engine.elements_ingested == 0  # nobody listening
+        handle = pool.execute(
+            _plan("select r.temp from Readings r order by r.temp", catalog)
+        )
+        assert not handle.partitioned
+        pool.push("Readings", ROWS[1], 2.0)
+        assert pool.fallback_engine.elements_ingested == 1
+        handle.stop()
+        pool.push("Readings", ROWS[2], 3.0)
+        assert pool.fallback_engine.elements_ingested == 1
+
+    def test_merged_sink_forwards_one_punctuation_per_watermark(self):
+        catalog, pool = self._pool(shards=4)
+        handle = pool.execute(
+            _plan("select r.host from Readings r where r.load >= 0.0", catalog)
+        )
+        pool.push_many("Readings", ROWS[:8], [float(i) for i in range(8)])
+        pool.punctuate(10.0)
+        pool.punctuate(20.0)
+        assert [p.watermark for p in handle.sink.punctuations] == [10.0, 20.0]
+
+    def test_stop_unregisters_every_replica(self):
+        catalog, pool = self._pool()
+        handle = pool.execute(_plan("select r.temp from Readings r", catalog))
+        assert pool.running_queries == [handle]
+        handle.stop()
+        handle.stop()  # idempotent
+        assert pool.running_queries == []
+        for engine in pool.engines:
+            assert engine.running_queries == []
+
+    def test_shard_stats_expose_partition_spread(self):
+        catalog, pool = self._pool()
+        handle = pool.execute(
+            _plan("select r.host from Readings r where r.load >= 0.0", catalog)
+        )
+        pool.push_many(
+            "Readings", ROWS[:24], [float(i) for i in range(24)]
+        )
+        stats = handle.shard_stats
+        assert len(stats) == pool.shard_count
+        total = sum(s.get("FusedOp.in", s.get("FilterOp.in", 0)) for s in stats)
+        assert total == 24
+
+    def test_mismatched_timestamp_arity_raises_before_routing(self):
+        catalog, pool = self._pool()
+        with pytest.raises(Exception, match="timestamps"):
+            pool.push_many("Readings", ROWS[:3], [1.0, 2.0])
+
+    def test_shard_count_must_be_positive(self):
+        with pytest.raises(Exception, match="shard count"):
+            ShardedStreamEngine(_catalog(), shards=0)
+
+
+# ----------------------------------------------------------------------
+# Satellite: queue-backed subscriptions
+# ----------------------------------------------------------------------
+class TestQueueSubscriptions:
+    def _session(self, shards=1):
+        session = connect(shards=shards) if shards > 1 else connect()
+        session.attach(StreamSource("Readings", READINGS, partition_by="host"))
+        return session
+
+    def test_direct_mode_still_delivers_inline(self):
+        with self._session() as session:
+            cursor = session.query("select r.host from Readings r")
+            seen = []
+            subscription = cursor.subscribe(seen.append)
+            session.push("Readings", ROWS[0], 1.0)
+            assert [r["r.host"] for r in seen] == ["ws0"]
+            assert subscription.pending == 0
+
+    def test_queue_mode_defers_until_drain(self):
+        with self._session() as session:
+            cursor = session.query("select r.host from Readings r")
+            seen = []
+            subscription = cursor.subscribe(seen.append, mode="queue")
+            session.push_many("Readings", ROWS[:5], 1.0)
+            assert seen == [] and subscription.pending == 5
+            assert subscription.drain(limit=2) == 2
+            assert len(seen) == 2 and subscription.pending == 3
+            assert cursor.drain() == 3
+            assert len(seen) == 5
+
+    def test_raising_callback_cannot_stall_the_emit_path(self):
+        with self._session() as session:
+            cursor = session.query("select r.host from Readings r")
+
+            def explode(row):
+                raise RuntimeError("slow consumer gone wrong")
+
+            subscription = cursor.subscribe(explode, mode="queue")
+            session.push_many("Readings", ROWS[:3], 1.0)  # emit path unaffected
+            assert subscription.pending == 3
+            with pytest.raises(RuntimeError):
+                subscription.drain()
+            assert subscription.pending == 2  # failing item was dequeued
+
+    def test_batched_emissions_reach_subscribers(self):
+        # Regression: producers cache sink.push_batch at wiring time, so
+        # the subscription tap must still observe batched pushes.
+        with self._session() as session:
+            cursor = session.query("select r.host from Readings r")
+            seen = []
+            cursor.subscribe(seen.append)
+            session.push_many("Readings", ROWS[:7], 2.0)
+            assert len(seen) == 7
+
+    def test_sharded_merge_cursor_subscriptions(self):
+        with self._session(shards=3) as session:
+            cursor = session.query(
+                "select r.host, count(*) as n from Readings r "
+                "[range 10 seconds slide 10 seconds] group by r.host"
+            )
+            seen = []
+            subscription = cursor.subscribe(seen.append, mode="queue", elements=True)
+            session.push_many(
+                "Readings", ROWS[:20], [float(i) for i in range(20)]
+            )
+            session.punctuate(50.0)
+            assert seen == []
+            cursor.drain()
+            assert {e.row["r.host"] for e in seen} == {r["host"] for r in ROWS[:20]}
+
+    def test_one_shot_cursor_queue_mode_drains_via_cursor(self):
+        with connect() as session:
+            session.attach(TableSource("T", READINGS, rows=ROWS[:6]))
+            cursor = session.query("select t.host from T t")
+            assert cursor.kind == "batch"
+            seen = []
+            subscription = cursor.subscribe(seen.append, mode="queue")
+            assert seen == [] and subscription.pending == 6
+            assert cursor.drain() == 6
+            assert len(seen) == 6
+
+    def test_unknown_mode_rejected(self):
+        with self._session() as session:
+            cursor = session.query("select r.host from Readings r")
+            with pytest.raises(QueryError, match="unknown subscription mode"):
+                cursor.subscribe(lambda row: None, mode="async")
+
+
+# ----------------------------------------------------------------------
+# Satellite: close() invalidates prepared statements
+# ----------------------------------------------------------------------
+class TestPreparedInvalidation:
+    def test_stream_statement_invalidated_by_close(self):
+        session = connect()
+        session.attach(StreamSource("Readings", READINGS))
+        statement = session.prepare(
+            "select r.host from Readings r where r.temp > :limit"
+        )
+        assert not statement.closed
+        session.close()
+        assert statement.closed
+        with pytest.raises(SessionClosedError, match="prepared statement"):
+            statement.execute(limit=5.0)
+
+    def test_batch_statement_invalidated_by_close(self):
+        session = connect()
+        session.attach(TableSource("T", READINGS, rows=ROWS[:4]))
+        statement = session.prepare("select t.host from T t where t.temp > :x")
+        assert statement.execute(x=0.0).results()
+        session.close()
+        with pytest.raises(SessionClosedError):
+            statement.execute(x=0.0)
+
+
+# ----------------------------------------------------------------------
+# Satellite: batched stateful operators
+# ----------------------------------------------------------------------
+def _elements(count):
+    schema = Schema.of(("x", DataType.INT))
+    return [
+        StreamElement(Row(schema, ((i * 7) % 5,)), float(i)) for i in range(count)
+    ]
+
+
+def _mixed_items(count):
+    items = _elements(count)
+    items.insert(count // 3, Punctuation(float(count // 3)))
+    items.append(Punctuation(float(count + 1)))
+    return items
+
+
+def _ab(operator_factory, items):
+    """Same items per-element vs batched; sinks must match exactly."""
+    single_sink, batched_sink = CollectingConsumer(), CollectingConsumer()
+    single, batched = operator_factory(single_sink), operator_factory(batched_sink)
+    for item in items:
+        single.push(item)
+    batched.push_batch(items)
+    assert batched_sink.elements == single_sink.elements
+    assert batched_sink.punctuations == single_sink.punctuations
+    assert batched.rows_in == single.rows_in
+    assert batched.rows_out == single.rows_out
+
+
+class TestBatchedStatefulOperators:
+    def test_distinct_batched_identity(self):
+        _ab(DistinctOp, _mixed_items(40))
+
+    def test_limit_batched_identity(self):
+        _ab(lambda sink: LimitOp(3, sink), _mixed_items(40))
+
+    def test_orderby_batched_identity(self):
+        schema = Schema.of(("x", DataType.INT))
+        items = _mixed_items(30)
+        _ab(
+            lambda sink: OrderByOp([OrderItem(ColumnRef("x"), False)], sink, schema),
+            items,
+        )
+
+    @pytest.mark.parametrize("windowed", [True, False])
+    def test_aggregate_batched_identity(self, windowed):
+        from repro.data.windows import WindowSpec
+
+        schema = Schema.of(("x", DataType.INT))
+        out = Schema.of(("x", DataType.INT), ("n", DataType.INT))
+        window = WindowSpec.range(10.0, slide=10.0) if windowed else None
+
+        def factory(sink):
+            return AggregateOp(
+                [(ColumnRef("x"), "x")],
+                [(AggregateCall("COUNT", None), "n")],
+                out,
+                sink,
+                window,
+                schema,
+            )
+
+        _ab(factory, _mixed_items(60))
+
+
+class TestCompiledAccumulate:
+    SCHEMA = Schema.of(("k", DataType.STRING), ("a", DataType.FLOAT))
+
+    def _elements(self):
+        rows = [
+            ("p", 1.0), ("q", None), ("p", 3.0), ("q", 2.0), ("p", None), ("r", -1.0),
+        ]
+        return [
+            StreamElement(Row(self.SCHEMA, values, validate=False), float(i))
+            for i, values in enumerate(rows)
+        ]
+
+    def _calls(self):
+        return [
+            AggregateCall("COUNT", None),
+            AggregateCall("COUNT", ColumnRef("a")),
+            AggregateCall("SUM", ColumnRef("a")),
+            AggregateCall("AVG", ColumnRef("a")),
+            AggregateCall("MIN", ColumnRef("a")),
+            AggregateCall("MAX", ColumnRef("a")),
+        ]
+
+    def test_fold_matches_interpreted_accumulators(self):
+        from repro.stream.operators import _Accumulator
+
+        compiled = compile_accumulate([ColumnRef("k")], self._calls(), self.SCHEMA)
+        assert compiled is not None
+        fold, finalize = compiled
+        groups: dict = {}
+        fold(self._elements(), groups, float("-inf"), float("inf"))
+
+        expected: dict = {}
+        for element in self._elements():
+            key = (element.row["k"],)
+            accumulators = expected.setdefault(
+                key, [_Accumulator(call) for call in self._calls()]
+            )
+            for accumulator in accumulators:
+                accumulator.add(element.row)
+        assert set(groups) == set(expected)
+        for key, state in groups.items():
+            assert finalize(state) == [a.result() for a in expected[key]]
+
+    def test_fold_honours_window_bounds(self):
+        compiled = compile_accumulate(
+            [ColumnRef("k")], [AggregateCall("COUNT", None)], self.SCHEMA
+        )
+        fold, finalize = compiled
+        groups: dict = {}
+        fold(self._elements(), groups, 1.0, 4.0)  # (1, 4] -> timestamps 2,3,4
+        assert sum(finalize(state)[0] for state in groups.values()) == 3
+
+    def test_distinct_calls_fall_back(self):
+        calls = [AggregateCall("COUNT", ColumnRef("a"), distinct=True)]
+        assert compile_accumulate([ColumnRef("k")], calls, self.SCHEMA) is None
+
+    def test_empty_groups_no_emission_semantics(self):
+        compiled = compile_accumulate(
+            [], [AggregateCall("SUM", ColumnRef("a"))], self.SCHEMA
+        )
+        fold, finalize = compiled
+        groups: dict = {}
+        fold(
+            [StreamElement(Row(self.SCHEMA, ("p", None), validate=False), 1.0)],
+            groups,
+            float("-inf"),
+            float("inf"),
+        )
+        (state,) = groups.values()
+        assert finalize(state) == [None]  # SUM over only-NULL input is NULL
+
+    def test_compiled_vs_interpreted_pipeline_identity(self):
+        sql = (
+            "select r.host, count(*) as n, sum(r.temp) as total, "
+            "min(r.load) as lo from Readings r "
+            "[range 10 seconds slide 5 seconds] group by r.host"
+        )
+        from repro.stream.compiler import PlanCompiler
+
+        def run(compiled_exprs):
+            catalog = _catalog()
+            sink = CollectingConsumer()
+            compiled = PlanCompiler(compiled_exprs=compiled_exprs).compile(
+                _plan(sql, catalog), sink
+            )
+            port = compiled.ports[0].consumer
+            for index, row in enumerate(ROWS):
+                mapping = dict(row)
+                if index % 7 == 0:
+                    mapping["temp"] = None
+                port.push(
+                    StreamElement(Row.from_mapping(READINGS, mapping), float(index))
+                )
+            port.push(Punctuation(1000.0))
+            return [(e.timestamp, e.row.values) for e in sink.elements]
+
+        assert run(True) == run(False)

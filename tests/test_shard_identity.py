@@ -1,0 +1,311 @@
+"""Sharded-vs-unsharded identity: the acceptance corpus for the pool.
+
+Mirrors ``tests/test_fusion.py``'s A/B style: the same random pipelines
+— partition-safe ones (fused chains, keyed windowed aggregation, keyed
+DISTINCT) and partition-unsafe ones (ORDER BY / LIMIT, global
+aggregates, DISTINCT without the key, ROWS windows) — are driven with
+identical rows, timestamps and punctuation positions through a plain
+:class:`StreamEngine` and through :class:`ShardedStreamEngine` pools of
+N ∈ {1, 2, 4} shards. Sorted results must match exactly, and so must
+every *punctuation segment* (the rows emitted between consecutive
+watermarks — i.e. the window emissions a subscriber or ``latest_batch``
+would observe).
+
+Seed count: ``REPRO_SHARD_SEEDS`` (default 10; ``make check`` runs a
+reduced count for the smoke gate).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.data import DataType, Row, Schema
+from repro.plan import PlanBuilder
+from repro.stream.engine import StreamEngine
+from repro.stream.sharded import ShardedQueryHandle, ShardedStreamEngine
+
+SEEDS = int(os.environ.get("REPRO_SHARD_SEEDS", "10"))
+
+READINGS = Schema.of(
+    ("room", DataType.STRING),
+    ("host", DataType.STRING),
+    ("temp", DataType.FLOAT),
+    ("load", DataType.FLOAT),
+)
+EVENTS = Schema.of(
+    ("host", DataType.STRING),
+    ("kind", DataType.STRING),
+    ("level", DataType.FLOAT),
+)
+MACHINES_ROWS = [
+    {"name": f"ws{i}", "room": f"lab{i % 3}", "cpu": float(i % 7)} for i in range(12)
+]
+MACHINES = Schema.of(
+    ("name", DataType.STRING),
+    ("room", DataType.STRING),
+    ("cpu", DataType.FLOAT),
+)
+
+SAFE_TEMPLATES = [
+    # Stateless fused chains (safe even round-robin).
+    "select r.host, r.temp * 2.0 as t2 from Readings r "
+    "where r.temp > {t0} and r.load >= {l0}",
+    "select r.room, r.host, r.load from Readings r where r.load < {l1}",
+    # Keyed windowed aggregation: GROUP BY covers the partition key.
+    "select r.host, count(*) as n, sum(r.temp) as total from Readings r "
+    "[range {w} seconds slide {w} seconds] where r.load >= 0.0 group by r.host",
+    "select r.host, min(r.temp) as lo, max(r.temp) as hi, avg(r.load) as mean "
+    "from Readings r [range {w2} seconds slide {s2} seconds] group by r.host",
+    # Keyed DISTINCT.
+    "select distinct r.host, r.room from Readings r where r.temp > {t1}",
+]
+
+UNSAFE_TEMPLATES = [
+    "select r.room, r.temp from Readings r order by r.temp",
+    "select r.host from Readings r where r.temp > {t0} limit 5",
+    "select count(*) as n, avg(r.temp) as mean from Readings r "
+    "[range {w} seconds slide {w} seconds]",
+    "select r.room, count(*) as n from Readings r "
+    "[range {w} seconds slide {w} seconds] group by r.room",
+    "select distinct r.room from Readings r",
+    "select r.host, r.temp from Readings r [rows 25] where r.load > {l0}",
+]
+
+
+def _fill(template: str, rng: random.Random) -> str:
+    return template.format(
+        t0=round(rng.uniform(5.0, 40.0), 1),
+        t1=round(rng.uniform(10.0, 60.0), 1),
+        l0=round(rng.uniform(0.0, 0.4), 2),
+        l1=round(rng.uniform(0.4, 1.0), 2),
+        w=rng.choice([10, 20, 40]),
+        w2=rng.choice([20, 30]),
+        s2=rng.choice([10, 20]),
+    )
+
+
+def _rows(count: int, rng: random.Random):
+    """Random rows with NULLs and strictly increasing timestamps."""
+    rooms = ["lab1", "lab2", "office3", None]
+    rows, stamps = [], []
+    clock = 0.0
+    for i in range(count):
+        rows.append(
+            Row(
+                READINGS,
+                (
+                    rooms[rng.randrange(4)],
+                    f"ws{rng.randrange(16)}",
+                    None if rng.random() < 0.08 else round(rng.uniform(-5, 80), 2),
+                    round(rng.uniform(0, 1), 3),
+                ),
+                validate=False,
+            )
+        )
+        clock += rng.uniform(0.05, 1.5)
+        stamps.append(round(clock, 3))
+    return rows, stamps
+
+
+def _catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register_stream("Readings", READINGS, rate=10.0)
+    return catalog
+
+
+def _drive(engine, handles, rows, stamps, plan_rng: random.Random):
+    """Push the feed in chunks (randomly per-element or batched, same
+    split on every engine), punctuating between chunks; returns each
+    handle's emissions per punctuation segment plus the final tail."""
+    segments = [[] for _ in handles]
+    marks = [0 for _ in handles]
+
+    def snapshot():
+        for index, handle in enumerate(handles):
+            elements = handle.sink.elements
+            fresh = elements[marks[index]:]
+            marks[index] = len(elements)
+            segments[index].append(
+                sorted((e.timestamp, repr(e.row.values)) for e in fresh)
+            )
+
+    offset = 0
+    while offset < len(rows):
+        size = plan_rng.randint(5, 60)
+        chunk_rows = rows[offset : offset + size]
+        chunk_stamps = stamps[offset : offset + size]
+        if plan_rng.random() < 0.5:
+            engine.push_many("Readings", chunk_rows, chunk_stamps)
+        else:
+            for row, stamp in zip(chunk_rows, chunk_stamps):
+                engine.push("Readings", row, stamp)
+        offset += size
+        engine.punctuate(chunk_stamps[-1])
+        snapshot()
+    engine.punctuate(stamps[-1] + 200.0)
+    snapshot()
+    return segments
+
+
+def _run_unsharded(queries, rows, stamps, seed):
+    catalog = _catalog()
+    engine = StreamEngine(catalog)
+    builder = PlanBuilder(catalog)
+    handles = [engine.execute(builder.build_sql(sql)) for sql in queries]
+    return _drive(engine, handles, rows, stamps, random.Random(seed * 31 + 7))
+
+
+def _run_sharded(queries, rows, stamps, seed, shards, partition_by="host"):
+    catalog = _catalog()
+    engine = ShardedStreamEngine(catalog, shards=shards)
+    if partition_by is not None:
+        engine.set_partition_key("Readings", partition_by)
+    builder = PlanBuilder(catalog)
+    handles = [engine.execute(builder.build_sql(sql)) for sql in queries]
+    segments = _drive(engine, handles, rows, stamps, random.Random(seed * 31 + 7))
+    return segments, handles
+
+
+class TestShardIdentityCorpus:
+    """Random safe+unsafe pipelines: every shard count must reproduce
+    the single engine's sorted per-segment emissions exactly."""
+
+    @pytest.mark.parametrize("seed", range(SEEDS))
+    def test_identity_corpus(self, seed):
+        rng = random.Random(seed)
+        queries = [
+            _fill(rng.choice(SAFE_TEMPLATES), rng)
+            for _ in range(rng.randint(1, 3))
+        ] + [
+            _fill(rng.choice(UNSAFE_TEMPLATES), rng)
+            for _ in range(rng.randint(1, 2))
+        ]
+        rows, stamps = _rows(rng.randint(150, 400), rng)
+        expected = _run_unsharded(queries, rows, stamps, seed)
+        for shards in (1, 2, 4):
+            got, handles = _run_sharded(queries, rows, stamps, seed, shards)
+            assert got == expected, (
+                f"seed={seed} shards={shards}: emissions diverged"
+            )
+            for handle in handles:
+                assert isinstance(handle, ShardedQueryHandle)
+                assert handle.analysis is not None
+
+    @pytest.mark.parametrize("seed", range(min(SEEDS, 5)))
+    def test_round_robin_identity(self, seed):
+        """Without a declared key only stateless plans stay partitioned;
+        results still match exactly (stateful plans fall back)."""
+        rng = random.Random(1000 + seed)
+        queries = [
+            _fill(SAFE_TEMPLATES[0], rng),
+            _fill(SAFE_TEMPLATES[2], rng),  # keyed agg -> fallback (no key)
+            _fill(UNSAFE_TEMPLATES[0], rng),
+        ]
+        rows, stamps = _rows(200, rng)
+        expected = _run_unsharded(queries, rows, stamps, seed)
+        got, handles = _run_sharded(
+            queries, rows, stamps, seed, shards=3, partition_by=None
+        )
+        assert got == expected
+        assert handles[0].partitioned  # stateless chain stays parallel
+        assert not handles[1].partitioned  # aggregate needs the key
+        assert not handles[2].partitioned
+
+
+class TestShardedJoins:
+    def _catalogs(self):
+        catalog = Catalog()
+        catalog.register_stream("Readings", READINGS, rate=10.0)
+        catalog.register_stream("Events", EVENTS, rate=5.0)
+        catalog.register_table("Machines", MACHINES, cardinality=len(MACHINES_ROWS))
+        return catalog
+
+    def _feed(self, seed: int):
+        rng = random.Random(seed)
+        feed = []  # (source, row, timestamp)
+        clock = 0.0
+        for i in range(300):
+            clock += rng.uniform(0.05, 0.8)
+            if rng.random() < 0.5:
+                row = Row.raw(
+                    READINGS,
+                    (f"lab{i % 3}", f"ws{rng.randrange(8)}",
+                     round(rng.uniform(0, 60), 2), round(rng.uniform(0, 1), 2)),
+                )
+                feed.append(("Readings", row, round(clock, 3)))
+            else:
+                row = Row.raw(
+                    EVENTS,
+                    (f"ws{rng.randrange(8)}", rng.choice(["warn", "err"]),
+                     round(rng.uniform(0, 9), 2)),
+                )
+                feed.append(("Events", row, round(clock, 3)))
+        return feed
+
+    def _run(self, engine_factory, sql, seed):
+        catalog = self._catalogs()
+        engine = engine_factory(catalog)
+        engine.load_table("Machines", MACHINES_ROWS)
+        handle = engine.execute(PlanBuilder(catalog).build_sql(sql))
+        for index, (source, row, stamp) in enumerate(self._feed(seed)):
+            engine.push(source, row, stamp)
+            if index % 40 == 39:
+                engine.punctuate(stamp)
+        engine.punctuate(10_000.0)
+        return sorted(repr(r.values) for r in handle.results), handle
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_key_aligned_stream_join_is_partitioned_and_identical(self, seed):
+        sql = (
+            "select r.host, r.temp, e.kind from Readings r [range 20 seconds], "
+            "Events e [range 20 seconds] "
+            "where r.host = e.host and e.level > 1.0"
+        )
+
+        def sharded(catalog):
+            pool = ShardedStreamEngine(catalog, shards=4)
+            pool.set_partition_key("Readings", "host")
+            pool.set_partition_key("Events", "host")
+            return pool
+
+        expected, _ = self._run(StreamEngine, sql, seed)
+        got, handle = self._run(sharded, sql, seed)
+        assert got == expected
+        assert handle.partitioned, handle.analysis
+
+    def test_stream_table_join_is_partitioned_and_identical(self):
+        sql = (
+            "select r.host, m.room, m.cpu from Readings r [range 30 seconds], "
+            "Machines m where r.host = m.name and r.temp > 10.0"
+        )
+
+        def sharded(catalog):
+            pool = ShardedStreamEngine(catalog, shards=3)
+            pool.set_partition_key("Readings", "host")
+            return pool
+
+        expected, _ = self._run(StreamEngine, sql, 5)
+        got, handle = self._run(sharded, sql, 5)
+        assert got == expected
+        assert handle.partitioned, handle.analysis
+
+    def test_unaligned_stream_join_falls_back_and_is_identical(self):
+        sql = (
+            "select r.host, e.kind from Readings r [range 20 seconds], "
+            "Events e [range 20 seconds] where r.room = e.kind"
+        )
+
+        def sharded(catalog):
+            pool = ShardedStreamEngine(catalog, shards=4)
+            pool.set_partition_key("Readings", "host")
+            pool.set_partition_key("Events", "host")
+            return pool
+
+        expected, _ = self._run(StreamEngine, sql, 9)
+        got, handle = self._run(sharded, sql, 9)
+        assert got == expected
+        assert not handle.partitioned
