@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test check bench bench-expr bench-fusion bench-session bench-shard
+.PHONY: test check bench bench-expr bench-fusion bench-session bench-shard bench-federated
 
 ## Tier-1 verification: the full unit/integration suite.
 test:
@@ -35,3 +35,8 @@ bench-session:
 ## Just the sharded engine-pool benchmark (writes BENCH_shard.json).
 bench-shard:
 	$(PYTHON) -m benchmarks.bench_shard
+
+## Just the in-network vs ship-everything radio-cost benchmark
+## (writes BENCH_federated.json).
+bench-federated:
+	$(PYTHON) -m benchmarks.bench_federated

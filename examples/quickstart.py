@@ -6,7 +6,10 @@ goes in, live results come out — the session compiles each statement
 
 * continuous SELECTs        -> the stream engine,
 * table-only / WITH RECURSIVE -> the one-shot batch evaluator,
-* ``placement=...``         -> the distributed stream engine.
+* ``placement=...``         -> the distributed stream engine,
+* SELECTs over sensor-hosted sources -> the federated optimizer:
+  filters deploy *on the motes*, and only passing samples cross the
+  radio to join the stream side.
 
 No caller ever touches a parser, analyzer or plan builder. For the
 full SmartCIS building demo, see ``examples/visitor_guide.py``.
@@ -118,6 +121,55 @@ def main() -> None:
             print("sharded keyed windows:")
             for row in sorted(per_room, key=lambda r: r["r.room"]):
                 print(f"  {row['r.room']}: n={row['n']} mean={row['mean']:.1f}")
+
+    # 7. Federated: attach a sensor-hosted relation and one mixed query
+    #    partitions itself — the filter runs in-network on the motes,
+    #    the join against the stream side runs on the stream engine.
+    from repro.runtime import Simulator
+    from repro.sensor import Mote, MoteRole, Position, SensorNetwork, SensorRelation
+    from repro.api import SensorSource
+
+    simulator = Simulator(seed=7)
+    network = SensorNetwork(simulator)
+    network.add_basestation(Position(0, 0))
+    for i in (1, 2, 3):
+        mote = Mote(i, Position(i * 10.0, 0.0), MoteRole.ROOM, radio_range=100.0)
+        mote.attach_sensor("temp", lambda i=i, sim=simulator: 18.0 + i * 4 + sim.now % 5)
+        network.add_mote(mote)
+    network.rebuild_topology()
+
+    with connect(network=network, simulator=simulator) as session:
+        session.attach(
+            SensorSource(
+                SensorRelation(
+                    "RoomTemps",
+                    READINGS,  # (room, temp) — same shape as Readings
+                    [1, 2, 3],
+                    lambda mote: {
+                        "room": f"lab{mote.mote_id}",
+                        "temp": round(mote.sample("temp"), 1),
+                    },
+                    period=5.0,
+                ),
+                # The federated query deploys its own (filtered)
+                # in-network collection; deploy=False keeps a raw
+                # ship-everything collection from running beside it.
+                deploy=False,
+            )
+        )
+        session.attach(StreamSource("Readings", READINGS, rate=2.0))
+        with session.query(
+            "select t.room, t.temp, r.temp as indoor from RoomTemps t, Readings r "
+            "where t.room = r.room and t.temp > 24.0"
+        ) as mixed:
+            print(f"mixed sensor+stream query runs {mixed.kind}:")
+            for fragment in mixed.federated_plan.pushed:
+                print(f"  in-network: {fragment.describe()}")
+            simulator.run_for(12.0)  # motes sample; fragments deliver
+            session.push("Readings", {"room": "lab3", "temp": 21.5}, simulator.now)
+            simulator.run_for(6.0)
+            for row in mixed:
+                print(f"  {row['t.room']}: mote {row['t.temp']:.1f} C, indoor {row['indoor']:.1f} C")
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ from repro.api.backends import (
     BatchBackend,
     DistributedBackend,
     ExecutionBackend,
+    FederatedBackend,
     ShardedStreamBackend,
     StreamBackend,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "ShardedStreamBackend",
     "BatchBackend",
     "DistributedBackend",
+    "FederatedBackend",
     "SourceAdapter",
     "StreamSource",
     "TableSource",

@@ -21,13 +21,21 @@ The installed backends:
 * :class:`BatchBackend` — one-shot evaluation over stored tables.
 * :class:`DistributedBackend` — operators placed across the simulated
   LAN (built lazily; requires ``connect(nodes=[...])``).
+* :class:`FederatedBackend` — the paper's core: plans touching
+  sensor-hosted sources are partitioned by the message-cost optimizer
+  (:func:`~repro.sensor.optimizer.partition_plan`); the chosen
+  fragments run *in-network* on the session's
+  :class:`~repro.sensor.SensorEngine` and the residual compiles onto
+  the **delegate** stream backend — the single engine, or the sharded
+  pool under ``connect(shards=N)`` — with the fragments' outputs
+  arriving as RemoteSource feeds.
 """
 
 from __future__ import annotations
 
 from typing import Any, Protocol, runtime_checkable
 
-from repro.errors import QueryError
+from repro.errors import AspenError, QueryError
 from repro.plan.logical import LogicalOp
 from repro.stream.engine import StreamEngine
 from repro.stream.sharded import ShardedStreamEngine
@@ -106,6 +114,126 @@ class ShardedStreamBackend(StreamBackend):
     @property
     def shards(self) -> int:
         return self.engine.shard_count
+
+
+class FederatedBackend:
+    """Cross-engine queries partitioned by the message-cost optimizer.
+
+    The one plan-partitioning implementation in the codebase: every
+    SELECT routed here (automatically, when its scans include a
+    sensor-hosted source; or explicitly via ``engine="federated"``)
+    goes through :class:`~repro.core.federated.FederatedOptimizer` —
+    filters, periodic collection and key-covering aggregation push
+    in-network as sensor fragments, and the residual (joins against
+    streams/tables, windows, ORDER BY/LIMIT) compiles onto the
+    *delegate* stream backend. The delegate is whatever serves the
+    session's ``"stream"`` route, so under ``connect(shards=N)`` the
+    residual composes with the sharded pool: row-local residues over a
+    fragment feed run one replica per shard (round-robin RemoteSource
+    ingestion), everything else on the pool's designated engine.
+
+    The returned cursor is the delegate's stream cursor promoted to
+    ``kind == "federated"``: closing it (or ``Session.close``) stops
+    the in-network fragment deployments along with the residual query.
+    """
+
+    name = "federated"
+
+    def __init__(self, session, delegate: StreamBackend):
+        self._session = session
+        self._delegate = delegate
+        self._optimizer = None  # lazily built FederatedOptimizer
+
+    @property
+    def delegate(self) -> StreamBackend:
+        """The stream backend executing residual plans."""
+        return self._delegate
+
+    @property
+    def engine(self):
+        """The delegate's engine (single or sharded pool)."""
+        return self._delegate.engine
+
+    @property
+    def optimizer(self):
+        """The session's FederatedOptimizer (built on first use).
+
+        Exposed so applications can install deployment knowledge —
+        SmartCIS sets ``optimizer.sensor_optimizer.pairing_provider``
+        for its in-network joins.
+        """
+        if self._optimizer is None:
+            from repro.core.federated import FederatedOptimizer
+
+            session = self._session
+            network = session._network
+            if network is None and session._sensor_engine is not None:
+                network = session._sensor_engine.network
+            self._optimizer = FederatedOptimizer(session.catalog, network)
+        return self._optimizer
+
+    def partition(self, plan: LogicalOp):
+        """Partition ``plan`` without executing it (EXPLAIN); returns
+        the :class:`~repro.core.federated.FederatedPlan`."""
+        from repro.sensor.optimizer import partition_plan
+
+        return partition_plan(plan, optimizer=self.optimizer)
+
+    def compile_and_run(
+        self, plan: LogicalOp, sql: str, *, placement: Any | None = None
+    ) -> Cursor:
+        if placement is not None:
+            raise QueryError(
+                "placement=... requires the distributed engine, "
+                "not the federated optimizer",
+                sql=sql,
+            )
+        with self._session._compiling(sql):
+            federated = self.partition(plan)
+        if federated.pushed and self._session._sensor_engine is None and (
+            self._session._network is None
+        ):
+            raise QueryError(
+                "federated execution needs in-network fragments deployed; "
+                "connect(network=...) or inject a sensor_engine",
+                sql=sql,
+            )
+        # Residual first (exactly like FederatedExecutor.execute): its
+        # RemoteSource ports must exist before the first fragment
+        # delivery, or early results would be dropped.
+        cursor = self._delegate.compile_and_run(federated.stream_plan, sql)
+        if not federated.pushed:
+            # Nothing sensor-hosted: the delegate's plain stream cursor
+            # is the whole execution.
+            return cursor
+        from repro.core.executor import FederatedExecutor
+
+        executor = FederatedExecutor(self._session.sensor_engine, self.engine)
+        deployments = []
+        try:
+            for fragment in federated.pushed:
+                deployments.append(executor.deploy(fragment))
+        except BaseException as exc:
+            # Roll back whatever started — a leaked deployment would
+            # keep motes sampling and transmitting forever, and the
+            # residual query would keep running against a feed that
+            # will never be completed.
+            for deployment in deployments:
+                deployment.stop()
+            cursor.close()
+            if not isinstance(exc, AspenError):
+                raise  # non-Aspen exceptions are bugs; surface them raw
+            raise QueryError(
+                f"deploying federated fragment failed: {exc}", sql=sql
+            ) from exc
+        cursor._promote_federated(federated, deployments)
+        return cursor
+
+    def close(self) -> None:
+        """Nothing owned beyond the cursors: fragment deployments stop
+        with their cursor (``Session.close`` closes every cursor before
+        the backends), and the delegate closes through its own slot in
+        the session's backend registry."""
 
 
 class BatchBackend:

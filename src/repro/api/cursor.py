@@ -5,6 +5,11 @@ completed) statement, whichever backend executes it:
 
 * ``kind == "stream"``       — a continuous StreamEngine query; results
   accumulate as elements are pushed.
+* ``kind == "federated"``    — a continuous query partitioned across the
+  in-network sensor engine and the stream backend: the stream-side
+  residual behaves exactly like a ``"stream"`` cursor, and ``close()``
+  additionally stops the query's in-network fragment deployments
+  (``federated_plan`` / ``fragments`` expose the partitioning).
 * ``kind == "distributed"``  — a continuous query with operators placed
   across simulated LAN nodes; pump the session's simulator to deliver.
 * ``kind == "batch"``        — a one-shot evaluation; rows were
@@ -117,6 +122,10 @@ class Cursor:
         self._closed = False
         self._subscribers: list[Subscription] = []
         self._tapped = False
+        #: Federated execution state (set by FederatedBackend via
+        #: _promote_federated; empty/None everywhere else).
+        self.federated_plan = None
+        self._deployments: list = []
 
     # -- constructors (used by Session) --------------------------------
     @classmethod
@@ -134,6 +143,20 @@ class Cursor:
     @classmethod
     def _view(cls, session, sql: str, name: str, schema: Schema) -> "Cursor":
         return cls(session, sql, "view", schema, view_name=name, rows=[])
+
+    def _promote_federated(self, federated_plan, deployments: list) -> None:
+        """Turn a delegate stream cursor into the handle of a federated
+        execution: same sink/results plumbing, plus ownership of the
+        in-network fragment deployments (stopped on :meth:`close`)."""
+        self.kind = "federated"
+        self.federated_plan = federated_plan
+        self._deployments = list(deployments)
+
+    @property
+    def fragments(self) -> list:
+        """The in-network fragment deployments this cursor owns
+        (empty for non-federated cursors)."""
+        return list(self._deployments)
 
     # -- results -------------------------------------------------------
     @property
@@ -252,12 +275,16 @@ class Cursor:
         return self._closed
 
     def close(self) -> None:
-        """Stop the query (idempotent; results remain readable)."""
+        """Stop the query — the stream residual *and*, for federated
+        cursors, every in-network fragment deployment (idempotent;
+        results remain readable)."""
         if self._closed:
             return
         self._closed = True
         if self._handle is not None:
             self._handle.stop()
+        for deployment in self._deployments:
+            deployment.stop()
         self.session._forget_cursor(self)
 
     def __enter__(self) -> "Cursor":

@@ -16,12 +16,20 @@ Routing rules (``session.query(text)``):
   tables via the batch evaluator (``kind == "batch"``).
 * ``SELECT`` over stored tables only → one-shot batch evaluation
   (``kind == "batch"``; rows are materialized at call time).
+* ``SELECT`` scanning a **sensor-hosted** source (on a session with
+  sensor capability — ``connect(network=...)`` or an injected
+  ``sensor_engine``) → the **federated** backend (``kind ==
+  "federated"``): the message-cost optimizer partitions the plan,
+  pushes filters / periodic collection / key-covering aggregation
+  in-network, and compiles the residual onto the stream backend with
+  the fragments' outputs arriving as RemoteSource feeds.
 * any other ``SELECT``       → continuous query on the session's stream
   backend (``kind == "stream"``): one
   :class:`~repro.stream.engine.StreamEngine`, or — with
   ``connect(shards=N)`` — a partition-parallel
   :class:`~repro.stream.sharded.ShardedStreamEngine` pool behind the
-  identical surface.
+  identical surface. The federated backend's residual runs on this
+  same delegate, so federation composes with sharding.
 * ``placement=...`` (or ``engine="distributed"``) → operators placed
   across the LAN-simulated :class:`DistributedStreamEngine`
   (``kind == "distributed"``; requires ``connect(nodes=[...])``).
@@ -30,8 +38,8 @@ Each route is served by an :class:`~repro.api.backends.ExecutionBackend`
 peer (see :mod:`repro.api.backends`); ``Session._route`` only picks the
 backend name, and the backend compiles-and-runs the plan.
 
-``engine="stream" | "batch" | "distributed"`` overrides the automatic
-choice. Every failure surfaces as :class:`~repro.errors.QueryError`
+``engine="stream" | "batch" | "distributed" | "federated"`` overrides
+the automatic choice. Every failure surfaces as :class:`~repro.errors.QueryError`
 (compile-time, with source position when the parser provides one),
 :class:`~repro.errors.SourceError` (attach/detach/ingest) or
 :class:`~repro.errors.SessionClosedError` — all
@@ -135,6 +143,7 @@ class Session:
         from repro.api.backends import (
             BatchBackend,
             DistributedBackend,
+            FederatedBackend,
             ShardedStreamBackend,
             StreamBackend,
         )
@@ -162,12 +171,14 @@ class Session:
         else:
             stream_backend = StreamBackend(self, engine)
         #: Routing key -> ExecutionBackend peer. The "stream" slot holds
-        #: either the single-engine or the sharded backend; everything
-        #: downstream of _route is backend-agnostic.
+        #: either the single-engine or the sharded backend; the
+        #: federated backend delegates its residual plans to that same
+        #: slot, and everything downstream of _route is backend-agnostic.
         self._backends: dict[str, Any] = {
             "stream": stream_backend,
             "batch": BatchBackend(self),
             "distributed": DistributedBackend(self, self._nodes),
+            "federated": FederatedBackend(self, stream_backend),
         }
         self.engine = stream_backend.engine
         self.builder = PlanBuilder(self.catalog)
@@ -250,6 +261,30 @@ class Session:
         with self._compiling(sql):
             return self.builder.build_sql(sql)
 
+    def explain(self, sql: str):
+        """Partition a SELECT through the federated optimizer without
+        executing it; returns the costed
+        :class:`~repro.core.federated.FederatedPlan` (fragments, stream
+        residual, every alternative considered).
+
+        Works on any session — plans without sensor-hosted scans come
+        back whole as the stream residual with no fragments. Every
+        failure funnels through :class:`~repro.errors.QueryError`:
+        unparsable text carries the source position, and non-SELECT
+        statements are rejected here rather than deep in the optimizer.
+        """
+        self._ensure_open()
+        statement = self._parse(sql)
+        if not isinstance(statement, SelectQuery):
+            raise QueryError(
+                f"explain requires a SELECT statement, got "
+                f"{type(statement).__name__}",
+                sql=sql,
+            )
+        with self._compiling(sql):
+            plan = self.builder.build_select(self.analyzer.analyze_select(statement))
+            return self._backends["federated"].partition(plan)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -267,8 +302,8 @@ class Session:
         (equivalent to ``prepare(sql).execute(**params)``). ``placement``
         routes a SELECT to the distributed engine (pass a
         :class:`~repro.stream.distributed.Placement` or ``"auto"``);
-        ``engine`` overrides routing with ``"stream"``, ``"batch"`` or
-        ``"distributed"``.
+        ``engine`` overrides routing with ``"stream"``, ``"batch"``,
+        ``"distributed"`` or ``"federated"``.
         """
         self._ensure_open()
         if params:
@@ -335,6 +370,8 @@ class Session:
         return statement
 
     # -- routing -------------------------------------------------------
+    _ROUTES = ("stream", "batch", "distributed", "federated")
+
     def _route(
         self,
         plan: LogicalOp,
@@ -343,9 +380,10 @@ class Session:
         sql: str,
     ) -> str:
         if engine is not None:
-            if engine not in ("stream", "batch", "distributed"):
+            if engine not in self._ROUTES:
                 raise QueryError(
-                    f"unknown engine {engine!r}; expected 'stream', 'batch' or 'distributed'",
+                    f"unknown engine {engine!r}; expected one of "
+                    f"{', '.join(repr(r) for r in self._ROUTES)}",
                     sql=sql,
                 )
             if placement is not None and engine != "distributed":
@@ -361,6 +399,12 @@ class Session:
             # the batch evaluator has no display path, so a table-only
             # SELECT with an OUTPUT clause still runs continuous.
             if self._has_output(plan) or not self._is_table_only(plan):
+                # Sensor-hosted scans go through the federated
+                # optimizer when this session can actually deploy
+                # in-network fragments; without sensor capability the
+                # stream engine serves them as plain feeds, as before.
+                if self._sensor_capable and self._has_sensor_scan(plan):
+                    return "federated"
                 return "stream"
             return "batch"
         if route == "batch":
@@ -376,6 +420,20 @@ class Session:
                     sql=sql,
                 )
         return route
+
+    @property
+    def _sensor_capable(self) -> bool:
+        """True when this session can deploy in-network fragments."""
+        return self._sensor_engine is not None or self._network is not None
+
+    @staticmethod
+    def _has_sensor_scan(plan: LogicalOp) -> bool:
+        from repro.catalog import EngineLocation
+
+        return any(
+            isinstance(node, Scan) and node.entry.location is EngineLocation.SENSOR
+            for node in plan.walk()
+        )
 
     @staticmethod
     def _has_output(plan: LogicalOp) -> bool:
@@ -396,12 +454,13 @@ class Session:
     # -- execution -----------------------------------------------------
     def backend(self, route: str) -> Any:
         """The :class:`~repro.api.backends.ExecutionBackend` serving a
-        routing key ("stream", "batch" or "distributed")."""
+        routing key ("stream", "batch", "distributed" or "federated")."""
         try:
             return self._backends[route]
         except KeyError:
             raise QueryError(
-                f"unknown engine {route!r}; expected 'stream', 'batch' or 'distributed'"
+                f"unknown engine {route!r}; expected one of "
+                f"{', '.join(repr(r) for r in self._ROUTES)}"
             ) from None
 
     def _start(

@@ -55,7 +55,18 @@ class FederatedExecution:
 
 
 class FederatedExecutor:
-    """Deploys federated plans across the two engines."""
+    """Deploys federated plans across the two engines.
+
+    ``stream_engine`` is anything with ``push_remote(name, row, time)``
+    (and, for :meth:`execute`, ``execute(plan)``): the single
+    :class:`StreamEngine`, a
+    :class:`~repro.stream.sharded.ShardedStreamEngine` pool, or a test
+    double — fragment deliveries are projected and handed to it as
+    RemoteSource feeds either way. The Session's ``FederatedBackend``
+    uses :meth:`deploy` fragment by fragment (its delegate backend owns
+    the residual's cursor); :meth:`execute` remains the one-call form
+    over a raw engine pair.
+    """
 
     def __init__(self, sensor_engine: SensorEngine, stream_engine: StreamEngine):
         self.sensor_engine = sensor_engine
@@ -66,11 +77,14 @@ class FederatedExecutor:
         stream_handle = self.stream_engine.execute(plan.stream_plan)
         execution = FederatedExecution(plan, stream_handle)
         for fragment in plan.pushed:
-            execution.deployments.append(self._deploy(fragment))
+            execution.deployments.append(self.deploy(fragment))
         return execution
 
     # ------------------------------------------------------------------
-    def _deploy(self, fragment: PushedFragment) -> DeployedQuery:
+    def deploy(self, fragment: PushedFragment) -> DeployedQuery:
+        """Deploy one pushed fragment in-network; its deliveries are
+        projected to the fragment's output schema and pushed into the
+        stream engine as the fragment's RemoteSource feed."""
         deployment = fragment.deployment
         projector = _FragmentProjector(fragment)
 

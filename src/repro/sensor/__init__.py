@@ -27,6 +27,7 @@ from repro.sensor.optimizer import (
     SensorCostModel,
     SensorDeployment,
     SensorEngineOptimizer,
+    partition_plan,
 )
 from repro.sensor.radio import LinkQuality, RadioModel
 from repro.sensor.rfid import Beacon, Localizer, RFIDService, Sighting
@@ -55,6 +56,7 @@ __all__ = [
     "SensorEngineOptimizer",
     "SensorDeployment",
     "JoinSiteDecision",
+    "partition_plan",
     "Beacon",
     "RFIDService",
     "Localizer",

@@ -88,7 +88,11 @@ class DeployedQuery:
 
     ``on_result`` overrides the engine-wide callback for this query's
     deliveries (the federated executor uses this to project fragment
-    outputs before handing them to the stream engine).
+    outputs before handing them to the stream engine). ``engine`` is
+    the deploying :class:`SensorEngine` (set by the deploy methods):
+    :meth:`stop` cancels the mote tasks *and* retires the handle from
+    the engine's ``deployed`` registry, so a federated cursor closing
+    its fragments leaves no ghost deployments behind. Idempotent.
     """
 
     name: str
@@ -96,10 +100,17 @@ class DeployedQuery:
     results_delivered: int = 0
     epochs: int = 0
     on_result: ResultCallback | None = None
+    engine: "SensorEngine | None" = field(default=None, repr=False)
+    stopped: bool = field(default=False, init=False)
 
     def stop(self) -> None:
+        if self.stopped:
+            return
+        self.stopped = True
         for task in self.tasks:
             task.stop()
+        if self.engine is not None:
+            self.engine.undeploy(self)
 
 
 class SensorEngine:
@@ -149,7 +160,9 @@ class SensorEngine:
         tuple's keys (``room`` → ``sa.room``) so federated plans can bind
         them positionally."""
         relation = self.relation(relation_name)
-        deployed = DeployedQuery(target_name or relation.name, on_result=on_result)
+        deployed = DeployedQuery(
+            target_name or relation.name, on_result=on_result, engine=self
+        )
         out_name = deployed.name
 
         def make_epoch(mote_id: int) -> Callable[[], None]:
@@ -206,7 +219,9 @@ class SensorEngine:
             raise SensorNetworkError(f"aggregate {aggregate!r} is not tree-decomposable")
         relation = self.relation(relation_name)
         deployed = DeployedQuery(
-            target_name or f"{relation.name}_{aggregate.lower()}", on_result=on_result
+            target_name or f"{relation.name}_{aggregate.lower()}",
+            on_result=on_result,
+            engine=self,
         )
         member_ids = set(relation.mote_ids)
         base_id = self.network.basestation.mote_id
@@ -325,7 +340,7 @@ class SensorEngine:
         left = self.relation(left_relation)
         right = self.relation(right_relation)
         epoch_period = period or max(left.period, right.period)
-        deployed = DeployedQuery(target_name, on_result=on_result)
+        deployed = DeployedQuery(target_name, on_result=on_result, engine=self)
         joined_bytes = left.row_bytes() + right.row_bytes()
 
         def run_pair(pair: JoinPair) -> None:
@@ -401,6 +416,18 @@ class SensorEngine:
         deployed.tasks.append(task)
         self.deployed.append(deployed)
         return deployed
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def undeploy(self, deployed: DeployedQuery) -> None:
+        """Retire a deployment from the engine's registry (called by
+        :meth:`DeployedQuery.stop`; unknown handles are a no-op so stop
+        stays idempotent)."""
+        try:
+            self.deployed.remove(deployed)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     def _deliver(

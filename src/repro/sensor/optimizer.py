@@ -14,6 +14,12 @@ to perform the join". This module implements both:
 * :meth:`SensorEngineOptimizer.plan_fragment` checks whether a logical
   fragment is executable in-network at all (capability model), and
   produces a deployment descriptor plus its cost.
+* :func:`partition_plan` is the reusable entry point over the federated
+  partitioner: one call from a logical plan to a costed
+  :class:`~repro.core.federated.FederatedPlan` (in-network fragments +
+  stream residual). The Session's ``FederatedBackend`` and
+  ``SmartCIS`` both resolve through it, so there is exactly one
+  plan-partitioning implementation in the codebase.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.catalog import Catalog, EngineLocation
-from repro.errors import UnsupportedQueryError
+from repro.errors import OptimizerError, UnsupportedQueryError
 from repro.plan.logical import (
     Aggregate,
     Join,
@@ -438,3 +444,47 @@ class SensorEngineOptimizer:
             if s.entry.device is not None and s.entry.device.sample_period > 0
         ]
         return max(periods) if periods else 10.0
+
+
+# ---------------------------------------------------------------------------
+# The reusable partitioning entry point
+# ---------------------------------------------------------------------------
+def partition_plan(
+    plan: LogicalOp,
+    catalog: Catalog | None = None,
+    network: SensorNetwork | None = None,
+    *,
+    pairing_provider=None,
+    use_normalization: bool = True,
+    optimizer=None,
+):
+    """Partition a logical plan between the sensor and stream engines.
+
+    Returns a :class:`~repro.core.federated.FederatedPlan`: the chosen
+    in-network fragments (filters, periodic collection, key-covering
+    aggregation, pairwise joins) plus the residual plan the stream
+    engine runs against the fragments' ``RemoteSource`` feeds. Plans
+    without sensor-hosted scans come back whole as the residual with no
+    fragments, so callers can funnel every SELECT through this one
+    function.
+
+    ``network`` supplies live topology for the message-cost model (the
+    catalog's diameter is the fallback); ``pairing_provider`` injects
+    deployment knowledge about joinable mote pairs (see
+    :class:`SensorEngineOptimizer`). ``optimizer`` reuses an existing
+    :class:`~repro.core.federated.FederatedOptimizer` instead of
+    building one — the Session's ``FederatedBackend`` passes its own,
+    so a pairing provider installed on it keeps applying.
+    """
+    if optimizer is None:
+        if catalog is None:
+            raise OptimizerError("partition_plan needs a catalog or an optimizer")
+        # Imported lazily: repro.core.federated imports this module.
+        from repro.core.federated import FederatedOptimizer
+
+        optimizer = FederatedOptimizer(
+            catalog, network, use_normalization=use_normalization
+        )
+        if pairing_provider is not None:
+            optimizer.sensor_optimizer.pairing_provider = pairing_provider
+    return optimizer.optimize(plan)

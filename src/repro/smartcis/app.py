@@ -9,9 +9,11 @@ store.
 
 Query access and source lifecycle go through a
 :class:`repro.api.Session` bound over the app's catalog and engines:
-``app.query(sql)`` / ``app.prepare(sql)`` run SQL text end-to-end
-(:meth:`execute_sql` keeps the federated-optimizer path for
-cross-engine plans), and wrappers/punctuation attach through the
+``app.query(sql)`` / ``app.prepare(sql)`` run SQL text end-to-end —
+plans touching the sensor relations route through the session's
+federated backend automatically, so :meth:`execute_sql` /
+:meth:`explain_sql` are thin aliases kept for the demo scripts, not a
+second query path — and wrappers/punctuation attach through the
 session so :meth:`stop` shuts everything down deterministically.
 
 Typical use::
@@ -39,7 +41,7 @@ from repro.building import (
     build_moore_deployment,
 )
 from repro.catalog import Catalog, DeviceInfo, SourceStatistics
-from repro.core import FederatedExecution, FederatedExecutor, FederatedOptimizer, FederatedPlan
+from repro.core import FederatedPlan
 from repro.data.schema import Schema
 from repro.data.types import DataType
 from repro.errors import AspenError, BuildingModelError
@@ -129,16 +131,20 @@ class SmartCIS:
         from repro.api import Session
 
         #: The unified query/source façade over this app's components.
+        #: Sensor-touching SELECTs route through its federated backend,
+        #: which owns the one plan-partitioning implementation; the app
+        #: only contributes deployment knowledge (the pairing provider).
         self.session = Session(
             catalog=self.catalog,
             simulator=self.simulator,
             engine=self.stream_engine,
             sensor_engine=self.sensor_engine,
+            network=self.network,
         )
         self.builder = PlanBuilder(self.catalog)
-        self.optimizer = FederatedOptimizer(self.catalog, self.network)
-        self.optimizer.sensor_optimizer.pairing_provider = self._sensor_pairing
-        self.executor = FederatedExecutor(self.sensor_engine, self.stream_engine)
+        self.session.backend(
+            "federated"
+        ).optimizer.sensor_optimizer.pairing_provider = self._sensor_pairing
         self.alarms = AlarmService(
             self.stream_engine, self.builder, lambda: self.simulator.now
         )
@@ -651,13 +657,19 @@ class SmartCIS:
     # ==================================================================
     # Query interface
     # ==================================================================
+    @property
+    def optimizer(self):
+        """The session's federated optimizer (one partitioning
+        implementation for the whole app — EXPLAIN tooling reaches the
+        same instance ``app.query`` routes through)."""
+        return self.session.backend("federated").optimizer
+
     def query(self, text: str, **kwargs):
         """Run SQL text through the unified Session API; returns a
-        :class:`repro.api.Cursor` (continuous SELECTs run on the stream
-        engine; table-only and recursive statements evaluate one-shot).
-
-        Use :meth:`execute_sql` when the federated optimizer should
-        partition the plan across the sensor and stream engines.
+        :class:`repro.api.Cursor`. SELECTs touching the sensor
+        relations execute *federated* (in-network fragments + stream
+        residual); other continuous SELECTs run on the stream engine;
+        table-only and recursive statements evaluate one-shot.
         """
         return self.session.query(text, **kwargs)
 
@@ -666,26 +678,21 @@ class SmartCIS:
         return self.session.prepare(text, **kwargs)
 
     def explain_sql(self, text: str) -> FederatedPlan:
-        """Optimize a SELECT federatedly and return the partitioned plan."""
-        from repro.sql.analyzer import Analyzer
+        """Partition a SELECT federatedly and return the costed plan
+        (thin alias of :meth:`repro.api.Session.explain`)."""
+        return self.session.explain(text)
 
-        statement = parse(text)
-        if not isinstance(statement, SelectQuery):
-            raise AspenError("explain_sql requires a SELECT statement")
-        analyzed = Analyzer(self.catalog).analyze_select(statement)
-        plan = self.builder.build_select(analyzed)
-        return self.optimizer.optimize(plan)
-
-    def execute_sql(self, text: str) -> FederatedExecution:
-        """Optimize and start a federated continuous query."""
-        federated = self.explain_sql(text)
-        return self.executor.execute(federated)
+    def execute_sql(self, text: str):
+        """Start a federated continuous query; returns the session's
+        :class:`repro.api.Cursor` (thin alias of ``query`` with the
+        federated route forced — mixed plans take it automatically)."""
+        return self.session.query(text, engine="federated")
 
     def execute_statement(self, text: str):
-        """Execute any statement (deprecation shim over the Session API
-        plus the federated path): CREATE VIEW registers a view and
-        returns its name; SELECT starts a *federated* query; WITH
-        RECURSIVE materialises a snapshot and returns its rows."""
+        """Execute any statement (deprecation shim over the Session
+        API): CREATE VIEW registers a view and returns its name; SELECT
+        starts a *federated* continuous query and returns its Cursor;
+        WITH RECURSIVE materialises a snapshot and returns its rows."""
         statement = parse(text)
         if isinstance(statement, CreateView):
             return self.session.query(text).view_name
@@ -713,17 +720,17 @@ class SmartCIS:
 
     def execute_mediated(self, sql_text: str):
         """Reformulate a query over mediated relations and run every
-        variant federatedly; returns a handle whose ``results`` is the
-        union of the variants'."""
+        variant through the Session (sensor-touching variants execute
+        federated); returns a handle whose ``results`` is the union of
+        the variants'."""
         from repro.core import MediatedExecution
-        from repro.sql.analyzer import Analyzer
 
-        analyzer = Analyzer(self.catalog)
-        handles = []
-        for variant in self.mappings.reformulate(sql_text):
-            plan = self.builder.build_select(analyzer.analyze_select(variant))
-            handles.append(self.executor.execute(self.optimizer.optimize(plan)))
-        return MediatedExecution(handles)
+        return MediatedExecution(
+            [
+                self.session.query(variant.render())
+                for variant in self.mappings.reformulate(sql_text)
+            ]
+        )
 
     # ==================================================================
     # Alarms

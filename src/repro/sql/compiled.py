@@ -253,8 +253,8 @@ def _codegen_fused_batch(
     return fn
 
 
-#: Aggregate kinds compile_accumulate can lower. DISTINCT aggregates and
-#: anything else keep the interpreted accumulator path.
+#: Aggregate kinds compile_accumulate can lower (DISTINCT or not).
+#: Anything else keeps the interpreted accumulator path.
 _FOLDABLE_AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
 
 
@@ -274,14 +274,19 @@ def compile_accumulate(
     state list in place — group-key extraction, NULL-skipping and every
     accumulator update all live inside the generated loop, so a whole
     window scan (or ingest batch, for running aggregates) costs one
-    Python call instead of several per element. ``finalize(state)``
+    Python call instead of several per element. DISTINCT aggregates fold
+    too: each gets a per-group seen-set in the generated state, and only
+    first occurrences update the running totals (values must be hashable
+    — exactly the interpreter's ``set`` requirement). ``finalize(state)``
     returns the aggregate result values in call order with the
     interpreter's semantics (COUNT of nothing is 0; SUM/AVG/MIN/MAX of
     nothing — or of only NULLs — is NULL).
     """
     for call in calls:
-        if call.distinct or call.name.upper() not in _FOLDABLE_AGGREGATES:
+        if call.name.upper() not in _FOLDABLE_AGGREGATES:
             return None
+        if call.distinct and call.argument is None:
+            return None  # COUNT(DISTINCT *) has no value to deduplicate
     try:
         return _codegen_accumulate(tuple(group_exprs), tuple(calls), schema)
     except Exception:
@@ -294,15 +299,21 @@ def _codegen_accumulate(
     schema: Schema,
 ) -> tuple[Callable, Callable]:
     # State layout: one or two slots per call, assigned in call order.
-    #   COUNT            -> [count]
-    #   SUM / AVG        -> [count, total]
-    #   MIN / MAX        -> [best-or-None]
-    slots: list[tuple[str, int]] = []  # (kind, first slot index)
+    #   COUNT                     -> [count]
+    #   SUM / AVG                 -> [count, total]
+    #   MIN / MAX                 -> [best-or-None]
+    #   COUNT/MIN/MAX DISTINCT    -> [seen-set]
+    #   SUM / AVG DISTINCT        -> [seen-set, total]
+    slots: list[tuple[str, int, bool]] = []  # (kind, first slot, distinct)
     init: list[str] = []
     for call in calls:
         kind = call.name.upper()
-        slots.append((kind, len(init)))
-        if kind in ("SUM", "AVG"):
+        slots.append((kind, len(init), call.distinct))
+        if call.distinct:
+            init.append("set()")
+            if kind in ("SUM", "AVG"):
+                init.append("0")
+        elif kind in ("SUM", "AVG"):
             init.extend(("0", "0"))
         elif kind == "COUNT":
             init.append("0")
@@ -323,13 +334,23 @@ def _codegen_accumulate(
     gen.emit(2, "_s = get(_k)")
     gen.emit(2, "if _s is None:")
     gen.emit(3, f"_s = groups[_k] = {init_literal}")
-    for call, (kind, base) in zip(calls, slots):
+    for call, (kind, base, distinct) in zip(calls, slots):
         if kind == "COUNT" and call.argument is None:  # COUNT(*)
             gen.emit(2, f"_s[{base}] += 1")
             continue
         atom = gen.as_var(gen.gen(call.argument, 2), 2)
         gen.emit(2, f"if {atom} is not None:")
-        if kind == "COUNT":
+        if distinct:
+            # Per-group seen-set: only the first occurrence of a value
+            # touches the running state, matching the interpreter's
+            # dedup (including its arrival-order float addition).
+            seen = gen.name("d")
+            gen.emit(3, f"{seen} = _s[{base}]")
+            gen.emit(3, f"if {atom} not in {seen}:")
+            gen.emit(4, f"{seen}.add({atom})")
+            if kind in ("SUM", "AVG"):
+                gen.emit(4, f"_s[{base + 1}] += {atom}")
+        elif kind == "COUNT":
             gen.emit(3, f"_s[{base}] += 1")
         elif kind in ("SUM", "AVG"):
             gen.emit(3, f"_s[{base}] += 1")
@@ -347,8 +368,22 @@ def _codegen_accumulate(
     fold.__compiled_source__ = source  # introspection / debugging aid
 
     parts: list[str] = []
-    for kind, base in slots:
-        if kind == "COUNT":
+    for kind, base, distinct in slots:
+        if distinct:
+            # state[base] is the seen-set; empty set -> NULL (COUNT: 0).
+            if kind == "COUNT":
+                parts.append(f"len(state[{base}])")
+            elif kind == "SUM":
+                parts.append(f"state[{base + 1}] if state[{base}] else None")
+            elif kind == "AVG":
+                parts.append(
+                    f"(state[{base + 1}] / len(state[{base}])) "
+                    f"if state[{base}] else None"
+                )
+            else:
+                fn = "min" if kind == "MIN" else "max"
+                parts.append(f"{fn}(state[{base}]) if state[{base}] else None")
+        elif kind == "COUNT":
             parts.append(f"state[{base}]")
         elif kind in ("SUM", "AVG"):
             value = f"state[{base + 1}]"

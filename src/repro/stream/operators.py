@@ -694,10 +694,11 @@ class AggregateOp(Operator):
                 ],
                 input_schema,
             )
-        # The whole fold — key extraction, NULL skipping, state update —
-        # as one generated loop: a window scan or a running-mode ingest
-        # batch costs one Python call. None for DISTINCT/exotic calls or
-        # the interpreted baseline; those keep accumulator objects.
+        # The whole fold — key extraction, NULL skipping, per-group
+        # seen-sets for DISTINCT calls, state update — as one generated
+        # loop: a window scan or a running-mode ingest batch costs one
+        # Python call. None for exotic calls or the interpreted
+        # baseline; those keep accumulator objects.
         fold = (
             compile_accumulate(
                 [expr for expr, _ in group_by],

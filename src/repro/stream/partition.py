@@ -16,7 +16,10 @@ operator must observe together are guaranteed to share the partition
 key value, and therefore the shard. Concretely:
 
 * Filter/Project chains over any partitioned stream (including
-  round-robin sources — no cross-row state);
+  round-robin sources — no cross-row state). Remote-source feeds (a
+  federated query's in-network fragment outputs) count as round-robin
+  streams here, so a row-local residual over a sensor fragment runs
+  one replica per shard too;
 * grouped aggregation whose GROUP BY keys *cover* the partition key
   (every group lives wholly on one shard);
 * equi-joins whose join keys align both sides' partition keys
@@ -27,9 +30,10 @@ key value, and therefore the shard. Concretely:
 Everything else is unsafe: ROWS windows (arrival-count semantics need
 the global arrival order), ORDER BY / LIMIT (per-report total order and
 global row budget), global or non-covering aggregates, joins without an
-aligned key, DISTINCT after the key was projected away, remote-source
-feeds, and plans reading only replicated tables (a replica per shard
-would emit N copies).
+aligned key (remote sources never carry a key, so joins and aggregates
+over them always fall back), DISTINCT after the key was projected away,
+and plans reading only replicated tables (a replica per shard would
+emit N copies).
 
 The analysis tracks the partition key *positionally*: for every node it
 computes which output columns are verbatim copies of a partition key
@@ -141,9 +145,12 @@ def _analyze(node: LogicalOp, keys: Mapping[str, str]) -> _Part:
     if isinstance(node, Scan):
         return _analyze_scan(node, keys)
     if isinstance(node, RemoteSource):
-        raise _Unsafe(
-            f"remote source {node.name!r} arrives unpartitioned at the basestation"
-        )
+        # A fragment feed has no declared key — the pool round-robins
+        # its rows across shards — so it behaves like a keyless stream:
+        # row-local chains above it stay partition-parallel, anything
+        # needing co-located rows (joins, aggregates, DISTINCT) finds
+        # no key positions here and falls back.
+        return _Part(partitioned=True)
     if isinstance(node, (Select, Output)):
         # Row-local: partitioning state flows through untouched.
         return _analyze(node.child, keys)

@@ -412,11 +412,20 @@ class ShardedStreamEngine:
     def push_remote(
         self, name: str, values: Mapping[str, Any] | Row, timestamp: float
     ) -> None:
-        """Remote-source feeds go to the fallback engine only: plans
-        reading a RemoteSource are never partition-safe, so no shard
-        replica ever has a port for one."""
+        """Route a remote-source element (a federated fragment's output
+        arriving at the basestation) into whichever engines subscribed:
+        a partition-safe residual has one replica per shard, so its
+        remote feed round-robins across them (remote sources declare no
+        key); an unsafe residual's ports live on the fallback engine
+        and receive the full feed there."""
         self.elements_ingested += 1
-        self._fallback.push_remote(name, values, timestamp)
+        lower = name.lower()
+        if any(engine.subscribed(lower) for engine in self._engines):
+            cursor = self._round_robin.get(lower, 0)
+            self._round_robin[lower] = (cursor + 1) % len(self._engines)
+            self._engines[cursor].push_remote(name, values, timestamp)
+        if self._fallback.subscribed(lower):
+            self._fallback.push_remote(name, values, timestamp)
 
     def punctuate(self, watermark: float, sources: list[str] | None = None) -> None:
         """Broadcast the watermark to every engine; merged sinks forward

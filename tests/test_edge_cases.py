@@ -160,7 +160,7 @@ class TestAppStatementHandling:
         app.building.room("lab1").desk("d1").occupied = True
         execution = app.execute_sql("select b.room, b.desk from Busy b")
         app.simulator.run_for(12.0)
-        pairs = {(r["b.room"], r["b.desk"]) for r in execution.results}
+        pairs = {(r["b.room"], r["b.desk"]) for r in execution.results()}
         assert ("lab1", "d1") in pairs
 
 

@@ -156,4 +156,4 @@ class TestMediatedFacade:
         execution = app.execute_mediated("select a.who, a.level from Activity a")
         app.simulator.run_for(25.0)
         assert len(execution.variants) == 2
-        assert all(handle.results for handle in execution.variants)
+        assert all(handle.results() for handle in execution.variants)

@@ -596,9 +596,65 @@ class TestCompiledAccumulate:
         fold(self._elements(), groups, 1.0, 4.0)  # (1, 4] -> timestamps 2,3,4
         assert sum(finalize(state)[0] for state in groups.values()) == 3
 
-    def test_distinct_calls_fall_back(self):
-        calls = [AggregateCall("COUNT", ColumnRef("a"), distinct=True)]
+    def test_distinct_calls_fold_with_seen_sets(self):
+        from repro.stream.operators import _Accumulator
+
+        calls = [
+            AggregateCall("COUNT", ColumnRef("a"), distinct=True),
+            AggregateCall("SUM", ColumnRef("a"), distinct=True),
+            AggregateCall("AVG", ColumnRef("a"), distinct=True),
+            AggregateCall("MIN", ColumnRef("a"), distinct=True),
+            AggregateCall("MAX", ColumnRef("a"), distinct=True),
+            AggregateCall("COUNT", None),  # mixed with non-distinct calls
+        ]
+        compiled = compile_accumulate([ColumnRef("k")], calls, self.SCHEMA)
+        assert compiled is not None
+        fold, finalize = compiled
+        # Duplicate values per group so the seen-sets actually dedup.
+        elements = self._elements() + self._elements()
+        groups: dict = {}
+        fold(elements, groups, float("-inf"), float("inf"))
+        expected: dict = {}
+        for element in elements:
+            key = (element.row["k"],)
+            accumulators = expected.setdefault(
+                key, [_Accumulator(call) for call in calls]
+            )
+            for accumulator in accumulators:
+                accumulator.add(element.row)
+        assert set(groups) == set(expected)
+        for key, state in groups.items():
+            assert finalize(state) == [a.result() for a in expected[key]]
+
+    def test_count_distinct_star_falls_back(self):
+        # COUNT(DISTINCT *) has no value to deduplicate; the fold
+        # declines so the caller keeps interpreted accumulators.
+        calls = [AggregateCall("COUNT", None, distinct=True)]
         assert compile_accumulate([ColumnRef("k")], calls, self.SCHEMA) is None
+
+    def test_distinct_aggregate_pipeline_identity(self):
+        sql = (
+            "select r.host, count(distinct r.room) as rooms, "
+            "sum(distinct r.load) as dload from Readings r "
+            "[range 10 seconds slide 5 seconds] group by r.host"
+        )
+        from repro.stream.compiler import PlanCompiler
+
+        def run(compiled_exprs):
+            catalog = _catalog()
+            sink = CollectingConsumer()
+            compiled = PlanCompiler(compiled_exprs=compiled_exprs).compile(
+                _plan(sql, catalog), sink
+            )
+            port = compiled.ports[0].consumer
+            for index, row in enumerate(ROWS):
+                port.push(
+                    StreamElement(Row.from_mapping(READINGS, dict(row)), float(index))
+                )
+            port.push(Punctuation(1000.0))
+            return [(e.timestamp, e.row.values) for e in sink.elements]
+
+        assert run(True) == run(False)
 
     def test_empty_groups_no_emission_semantics(self):
         compiled = compile_accumulate(

@@ -126,7 +126,7 @@ class TestQueries:
         execution = app.execute_sql(FREE_MACHINE_QUERY)
         app.add_visitor("alice", needed="%Fedora%")
         app.simulator.run_for(30.0)
-        results = {tuple(r.values) for r in execution.results}
+        results = {tuple(r.values) for r in execution.results()}
         assert results
         rooms = {r[1] for r in results}
         assert rooms <= set(app.building.rooms)
@@ -144,7 +144,7 @@ class TestQueries:
         app.building.room("lab1").desk("d1").occupied = True
         execution = app.execute_sql(TEMPS_OF_MACHINES_IN_USE)
         app.simulator.run_for(30.0)
-        hosts = {r["wt.host"] for r in execution.results}
+        hosts = {r["wt.host"] for r in execution.results()}
         assert hosts == {"lab1-ws1"}  # only the occupied desk's machine
 
     def test_power_rollup_query(self):
