@@ -4,16 +4,18 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test check bench bench-expr bench-fusion bench-session bench-shard bench-federated
+.PHONY: test check bench bench-expr bench-fusion bench-session bench-shard bench-federated bench-recovery
 
 ## Tier-1 verification: the full unit/integration suite.
 test:
 	$(PYTHON) -m pytest -x -q
 
-## CI gate: tier-1 tests, the sharded-vs-unsharded identity corpus at a
-## reduced seed count, then every bench at smoke scale.
+## CI gate: tier-1 tests, the sharded-vs-unsharded identity corpus and
+## the fault-injection corpus at reduced seed counts, then every bench
+## at smoke scale.
 check: test
 	REPRO_SHARD_SEEDS=4 $(PYTHON) -m pytest tests/test_shard_identity.py -q
+	REPRO_FAULT_SEEDS=3 $(PYTHON) -m pytest tests/test_fault_recovery.py -q
 	$(PYTHON) -m benchmarks --smoke
 
 ## Run every bench_*.py non-interactively; writes BENCH_*.json artifacts.
@@ -40,3 +42,8 @@ bench-shard:
 ## (writes BENCH_federated.json).
 bench-federated:
 	$(PYTHON) -m benchmarks.bench_federated
+
+## Just the checkpoint-overhead + shard-failover benchmark
+## (writes BENCH_recovery.json).
+bench-recovery:
+	$(PYTHON) -m benchmarks.bench_recovery

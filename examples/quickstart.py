@@ -171,6 +171,49 @@ def main() -> None:
             for row in mixed:
                 print(f"  {row['t.room']}: mote {row['t.temp']:.1f} C, indoor {row['indoor']:.1f} C")
 
+    # 8. Fault tolerance: checkpoint_interval=... takes punctuation-
+    #    aligned snapshots of all operator state, and deployments
+    #    self-heal — kill a mote and the federated backend re-plans
+    #    against the degraded network and redeploys; kill a shard
+    #    engine and the pool restores it from the latest barrier and
+    #    replays only the ingest-log suffix.
+    simulator = Simulator(seed=7)
+    network = SensorNetwork(simulator)
+    network.add_basestation(Position(0, 0), radio_range=12.0)
+    for i in (1, 2):  # two relays: redundancy to heal over
+        network.add_mote(Mote(i, Position((i - 1) * 6.0, 10.0), MoteRole.ROOM, radio_range=12.0))
+    sampler = Mote(3, Position(3.0, 20.0), MoteRole.ROOM, radio_range=12.0)
+    sampler.attach_sensor("temp", lambda sim=simulator: 20.0 + sim.now % 5)
+    network.add_mote(sampler)
+    network.rebuild_topology()
+
+    with connect(
+        network=network, simulator=simulator, checkpoint_interval=30.0
+    ) as session:
+        session.attach(
+            SensorSource(
+                SensorRelation(
+                    "RoomTemps",
+                    READINGS,
+                    [3],
+                    lambda mote: {"room": "lab", "temp": round(mote.sample("temp"), 1)},
+                    period=5.0,
+                ),
+                deploy=False,
+            )
+        )
+        with session.query("select t.room, t.temp from RoomTemps t") as temps:
+            simulator.run_for(12.0)
+            before = len(temps.results())
+            network.mote(1).battery.remaining_mj = 0.0  # the routing relay dies
+            simulator.run_for(12.0)  # death detected; query redeployed via relay 2
+            backend = session.backend("federated")
+            print(
+                f"mote 1 died; repaired {[r['mode'] for r in backend.repairs]}, "
+                f"member now routes via mote {network.parent_of(3)}, "
+                f"{len(temps.results()) - before} samples after recovery"
+            )
+
 
 if __name__ == "__main__":
     main()

@@ -33,6 +33,7 @@ The installed backends:
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, Protocol, runtime_checkable
 
 from repro.errors import AspenError, QueryError
@@ -139,10 +140,20 @@ class FederatedBackend:
 
     name = "federated"
 
+    #: Total tries (first attempt + retries) per fragment deployment.
+    DEPLOY_ATTEMPTS = 3
+    #: Base delay for repair-path redeploys (doubles per attempt).
+    RETRY_BACKOFF = 0.5
+
     def __init__(self, session, delegate: StreamBackend):
         self._session = session
         self._delegate = delegate
         self._optimizer = None  # lazily built FederatedOptimizer
+        #: Transient deployment failures retried away (observability).
+        self.deploy_retries = 0
+        #: Completed self-healing repairs: {"mote", "sql", "mode"} dicts.
+        self.repairs: list[dict] = []
+        self._repair_installed = False
 
     @property
     def delegate(self) -> StreamBackend:
@@ -212,7 +223,7 @@ class FederatedBackend:
         deployments = []
         try:
             for fragment in federated.pushed:
-                deployments.append(executor.deploy(fragment))
+                deployments.append(self._deploy_with_retry(executor, fragment))
         except BaseException as exc:
             # Roll back whatever started — a leaked deployment would
             # keep motes sampling and transmitting forever, and the
@@ -227,13 +238,157 @@ class FederatedBackend:
                 f"deploying federated fragment failed: {exc}", sql=sql
             ) from exc
         cursor._promote_federated(federated, deployments)
+        self._install_repair()
         return cursor
+
+    # ------------------------------------------------------------------
+    # Deployment retries and self-healing repair
+    # ------------------------------------------------------------------
+    def _deploy_with_retry(self, executor, fragment):
+        """Deploy one fragment, absorbing transient failures.
+
+        Up to ``DEPLOY_ATTEMPTS`` synchronous tries: a lost deployment
+        acknowledgement (any :class:`AspenError`) is retried instead of
+        rolling the whole federated query back. A *deterministic*
+        failure still exhausts the attempts and re-raises the last
+        error, so the caller's rollback path is unchanged for real
+        planning bugs.
+        """
+        for attempt in range(self.DEPLOY_ATTEMPTS):
+            try:
+                return executor.deploy(fragment)
+            except AspenError:
+                if attempt + 1 >= self.DEPLOY_ATTEMPTS:
+                    raise
+                self.deploy_retries += 1
+
+    def _install_repair(self) -> None:
+        """Hang the self-healing hook on the sensor engine (once)."""
+        if self._repair_installed:
+            return
+        self._session.sensor_engine.on_mote_death.append(self._on_mote_death)
+        self._repair_installed = True
+
+    def _on_mote_death(self, mote_id: int) -> None:
+        """A mote died: route around the corpse and repair every open
+        federated cursor against the degraded network."""
+        sensor_engine = self._session.sensor_engine
+        sensor_engine.network.rebuild_topology(include_dead=False)
+        for cursor in [
+            c
+            for c in self._session._cursors
+            if c.kind == "federated" and not c.closed
+        ]:
+            mode = self._repair(cursor)
+            self.repairs.append({"mote": mote_id, "sql": cursor.sql, "mode": mode})
+
+    def _repair(self, cursor) -> str:
+        """Re-partition one federated cursor's plan against the degraded
+        network and redeploy.
+
+        Three outcomes, in decreasing order of luck:
+
+        * ``"redeploy"`` — the new partitioning has the same fragment
+          shape (kind + relations); fragments are redeployed under
+          their *old* RemoteSource names, so the running residual (and
+          all its accumulated window/join state) is untouched.
+        * ``"replan"`` — the partitioning changed shape; the residual
+          is restarted on the new stream plan, reusing the cursor's
+          sink so results-so-far survive.
+        * ``"absorb"`` — no in-network partition exists anymore; the
+          original plan runs wholly on the stream delegate (sensor
+          scans become plain feeds) and nothing stays in-network.
+        """
+        from repro.core.executor import FederatedExecutor
+
+        old_plan = cursor.federated_plan
+        old_fragments = list(old_plan.pushed)
+        for deployment in cursor._deployments:
+            deployment.stop()
+        cursor._deployments = []
+
+        try:
+            federated = self.partition(old_plan.original)
+        except AspenError:
+            federated = None
+
+        executor = FederatedExecutor(self._session.sensor_engine, self.engine)
+        if federated is not None:
+            matched = _match_fragments(old_fragments, federated.pushed)
+            if matched is not None:
+                # Same shape: keep the residual, redeploy each fragment
+                # under its old feed name (RemoteSource ports bind by
+                # fragment name, so deliveries keep flowing).
+                for old_fragment, new_fragment in matched:
+                    renamed = dataclasses.replace(new_fragment, name=old_fragment.name)
+                    self._redeploy_with_backoff(executor, renamed, cursor)
+                return "redeploy"
+            # Shape changed: restart the residual on the new stream
+            # plan, then deploy the new fragments.
+            self._restart_residual(cursor, federated.stream_plan)
+            cursor.federated_plan = federated
+            for fragment in federated.pushed:
+                self._redeploy_with_backoff(executor, fragment, cursor)
+            return "replan"
+        # No in-network partition survives the failure: absorb the
+        # whole query into the stream delegate.
+        self._restart_residual(cursor, old_plan.original)
+        return "absorb"
+
+    def _restart_residual(self, cursor, plan) -> None:
+        """Swap the cursor's stream query for ``plan``, reusing its sink
+        (results and subscriptions survive the restart)."""
+        old_handle = cursor._handle
+        old_handle.stop()
+        cursor._handle = self.engine.execute(plan, sink=old_handle.sink)
+
+    def _redeploy_with_backoff(self, executor, fragment, cursor, attempt: int = 0) -> None:
+        """Repair-path deployment: failures reschedule on the simulator
+        with exponential backoff instead of blocking the death event."""
+        try:
+            deployment = executor.deploy(fragment)
+        except AspenError:
+            if attempt + 1 >= self.DEPLOY_ATTEMPTS:
+                return  # gave up; the residual runs degraded
+            self.deploy_retries += 1
+            self._session.simulator.schedule_in(
+                self.RETRY_BACKOFF * (2 ** attempt),
+                lambda: None
+                if cursor.closed
+                else self._redeploy_with_backoff(executor, fragment, cursor, attempt + 1),
+            )
+            return
+        if cursor.closed:
+            deployment.stop()
+            return
+        cursor._deployments.append(deployment)
 
     def close(self) -> None:
         """Nothing owned beyond the cursors: fragment deployments stop
         with their cursor (``Session.close`` closes every cursor before
         the backends), and the delegate closes through its own slot in
         the session's backend registry."""
+
+
+def _match_fragments(old_fragments, new_fragments):
+    """Pair old and new pushed fragments 1:1 by shape (deployment kind
+    + relation set). Returns ``[(old, new), ...]`` covering both lists,
+    or None when the partitioning changed shape."""
+    if len(old_fragments) != len(new_fragments):
+        return None
+
+    def shape(fragment):
+        return (fragment.deployment.kind, tuple(sorted(fragment.deployment.relations)))
+
+    remaining = list(new_fragments)
+    matched = []
+    for old in old_fragments:
+        partner = next((n for n in remaining if shape(n) == shape(old)), None)
+        if partner is None:
+            return None
+        remaining.remove(partner)
+        matched.append((old, partner))
+    return matched
 
 
 class BatchBackend:

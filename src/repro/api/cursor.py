@@ -59,7 +59,7 @@ class Subscription:
     a slow or raising callback can never stall the producer.
     """
 
-    __slots__ = ("callback", "elements", "mode", "_pending")
+    __slots__ = ("callback", "elements", "mode", "_pending", "_draining")
 
     def __init__(self, callback: Callable, *, elements: bool, mode: str):
         if mode not in ("direct", "queue"):
@@ -68,6 +68,7 @@ class Subscription:
         self.elements = elements
         self.mode = mode
         self._pending: deque[StreamElement] = deque()
+        self._draining = False
 
     @property
     def pending(self) -> int:
@@ -82,14 +83,28 @@ class Subscription:
     def drain(self, limit: int | None = None) -> int:
         """Deliver up to ``limit`` queued items (all, by default) to the
         callback, in emission order; returns how many were delivered.
-        Callback exceptions surface here — in the consumer's frame, not
-        the producer's — with the failing item already dequeued."""
+
+        Delivery is at-least-once: callback exceptions surface here —
+        in the consumer's frame, not the producer's — and the failing
+        item stays at the head of the queue (an item is dequeued only
+        *after* its callback returns), so neither it nor anything
+        behind it is lost; the next ``drain()`` retries it. Reentrant
+        drains (a callback that triggers another delivery) are a no-op
+        rather than a double delivery.
+        """
+        if self._draining:
+            return 0
+        self._draining = True
         delivered = 0
         pending = self._pending
-        while pending and (limit is None or delivered < limit):
-            element = pending.popleft()
-            delivered += 1
-            self.callback(element if self.elements else element.row)
+        try:
+            while pending and (limit is None or delivered < limit):
+                element = pending[0]
+                self.callback(element if self.elements else element.row)
+                pending.popleft()
+                delivered += 1
+        finally:
+            self._draining = False
         return delivered
 
 

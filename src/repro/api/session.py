@@ -93,6 +93,7 @@ def connect(
     deliver: Any | None = None,
     seed: int = 0,
     shards: int = 1,
+    checkpoint_interval: float | None = None,
 ) -> "Session":
     """Open a :class:`Session`.
 
@@ -110,6 +111,15 @@ def connect(
     everything else transparently falls back to one designated engine.
     The Session surface — ``query``/``push``/``push_many``/``Cursor`` —
     is unchanged.
+
+    ``checkpoint_interval=W`` (watermark units) attaches a
+    :class:`~repro.stream.checkpoint.CheckpointCoordinator` to the
+    stream engine (or sharded pool): operator state is snapshotted at
+    punctuation-aligned barriers every ``W`` of watermark progress, and
+    a failed engine — ``repro.runtime.faults.kill_shard``, or a real
+    crash in an embedding — is restored from the latest barrier plus a
+    replay of the suffix of ingested elements since it. The coordinator
+    is exposed as ``session.checkpointer``.
     """
     return Session(
         catalog=catalog,
@@ -121,6 +131,7 @@ def connect(
         deliver=deliver,
         seed=seed,
         shards=shards,
+        checkpoint_interval=checkpoint_interval,
     )
 
 
@@ -139,6 +150,7 @@ class Session:
         deliver: Any | None = None,
         seed: int = 0,
         shards: int = 1,
+        checkpoint_interval: float | None = None,
     ):
         from repro.api.backends import (
             BatchBackend,
@@ -181,6 +193,14 @@ class Session:
             "federated": FederatedBackend(self, stream_backend),
         }
         self.engine = stream_backend.engine
+        #: Recovery coordinator (None unless connect(checkpoint_interval=...)).
+        self.checkpointer = None
+        if checkpoint_interval is not None:
+            from repro.stream.checkpoint import CheckpointCoordinator
+
+            self.checkpointer = CheckpointCoordinator(
+                self.engine, interval=checkpoint_interval
+            )
         self.builder = PlanBuilder(self.catalog)
         self.analyzer = Analyzer(self.catalog)
 

@@ -1,5 +1,6 @@
 """Deterministic discrete-event simulation kernel shared by all substrates."""
 
+from repro.runtime import faults
 from repro.runtime.simulation import (
     EventHandle,
     PeriodicTask,
@@ -8,4 +9,11 @@ from repro.runtime.simulation import (
     TraceRecord,
 )
 
-__all__ = ["Simulator", "EventHandle", "PeriodicTask", "Trace", "TraceRecord"]
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "PeriodicTask",
+    "Trace",
+    "TraceRecord",
+    "faults",
+]

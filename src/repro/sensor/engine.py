@@ -121,6 +121,37 @@ class SensorEngine:
         self.on_result = on_result or (lambda name, values, time: None)
         self._relations: dict[str, SensorRelation] = {}
         self.deployed: list[DeployedQuery] = []
+        #: Subscribers called as ``callback(mote_id)`` when a mote is
+        #: first observed dead (each mote is reported exactly once).
+        #: The federated backend hangs its self-healing repair here.
+        self.on_mote_death: list[Callable[[int], None]] = []
+        self._dead_reported: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Failure detection
+    # ------------------------------------------------------------------
+    def _report_mote_death(self, mote_id: int) -> None:
+        """Fire death subscribers the first time ``mote_id`` is seen dead."""
+        if mote_id in self._dead_reported:
+            return
+        self._dead_reported.add(mote_id)
+        for callback in list(self.on_mote_death):
+            callback(mote_id)
+
+    def _scan_for_deaths(self) -> None:
+        """Report every newly dead mote.
+
+        Run at the top of each deployment epoch so deaths surface even
+        for pure-relay motes that no sampler ever touches.
+        """
+        for mote_id, mote in self.network.motes.items():
+            if not mote.alive and mote_id not in self._dead_reported:
+                self._report_mote_death(mote_id)
+
+    def _drop_disconnected(self, mote_id: int) -> None:
+        """Account a message lost because its route no longer exists."""
+        self.network.stats.drops += 1
+        self.network._trace("drop", {"reason": "disconnected", "mote": mote_id})
 
     # ------------------------------------------------------------------
     # Relations
@@ -167,8 +198,10 @@ class SensorEngine:
 
         def make_epoch(mote_id: int) -> Callable[[], None]:
             def epoch() -> None:
+                self._scan_for_deaths()
                 mote = self.network.mote(mote_id)
                 if not mote.alive:
+                    self._report_mote_death(mote_id)
                     return
                 values = relation.sampler(mote)
                 if key_prefix:
@@ -179,14 +212,20 @@ class SensorEngine:
                 # Deliver with the *sample* timestamp: downstream latency
                 # measurements then include real network delay.
                 sample_time = self.network.simulator.now
-                self.network.send_to_base(
-                    mote_id,
-                    relation.row_bytes(),
-                    payload=values,
-                    on_delivered=lambda payload, time, sample_time=sample_time: self._deliver(
-                        deployed, out_name, payload, sample_time
-                    ),
-                )
+                try:
+                    self.network.send_to_base(
+                        mote_id,
+                        relation.row_bytes(),
+                        payload=values,
+                        on_delivered=lambda payload, time, sample_time=sample_time: self._deliver(
+                            deployed, out_name, payload, sample_time
+                        ),
+                    )
+                except SensorNetworkError:
+                    # A dead relay severed the route. Best-effort
+                    # collection drops the tuple; repair (if installed)
+                    # re-routes future epochs.
+                    self._drop_disconnected(mote_id)
             return epoch
 
         for mote_id in relation.mote_ids:
@@ -230,6 +269,7 @@ class SensorEngine:
 
         def epoch() -> None:
             deployed.epochs += 1
+            self._scan_for_deaths()
             self.network._ensure_topology()
             # Post-order over the collection tree: children before parents,
             # so a mote's inbox is complete by the time it runs. The inbox
@@ -239,6 +279,7 @@ class SensorEngine:
             for mote_id in order:
                 mote = self.network.mote(mote_id)
                 if not mote.alive:
+                    self._report_mote_death(mote_id)
                     continue
                 psr: tuple[int, float, float, float] | None = inbox.pop(mote_id, None)
                 if mote_id in member_ids:
@@ -252,16 +293,22 @@ class SensorEngine:
                     continue
                 if psr is None or psr[0] == 0:
                     continue  # nothing to report this epoch
-                parent = self.network.parent_of(mote_id)
-                # One PSR message up the tree edge (loss modelled as a
-                # single-hop send).
-                self.network.send(
-                    mote_id,
-                    parent,
-                    psr_bytes,
-                    payload=None,
-                    on_delivered=None,
-                )
+                try:
+                    parent = self.network.parent_of(mote_id)
+                    # One PSR message up the tree edge (loss modelled as
+                    # a single-hop send).
+                    self.network.send(
+                        mote_id,
+                        parent,
+                        psr_bytes,
+                        payload=None,
+                        on_delivered=None,
+                    )
+                except SensorNetworkError:
+                    # Disconnected from the tree: this mote's partial
+                    # state is lost for the epoch.
+                    self._drop_disconnected(mote_id)
+                    continue
                 inbox[parent] = self._merge_psr(inbox.get(parent), psr)
             final = inbox.get(base_id)
             if final is None or final[0] == 0:
@@ -347,6 +394,9 @@ class SensorEngine:
             left_mote = self.network.mote(pair.left_mote)
             right_mote = self.network.mote(pair.right_mote)
             if not (left_mote.alive and right_mote.alive):
+                for mote in (left_mote, right_mote):
+                    if not mote.alive:
+                        self._report_mote_death(mote.mote_id)
                 return
             sample_time = self.network.simulator.now
             left_values = left.sampler(left_mote)
@@ -376,12 +426,16 @@ class SensorEngine:
                                 self._deliver(deployed, target_name, row, sample_time)
                     return callback
 
-                self.network.send_to_base(
-                    pair.left_mote, left.row_bytes(), left_values, on_side("left")
-                )
-                self.network.send_to_base(
-                    pair.right_mote, right.row_bytes(), right_values, on_side("right")
-                )
+                for mote_id, rel, values, side in (
+                    (pair.left_mote, left, left_values, "left"),
+                    (pair.right_mote, right, right_values, "right"),
+                ):
+                    try:
+                        self.network.send_to_base(
+                            mote_id, rel.row_bytes(), values, on_side(side)
+                        )
+                    except SensorNetworkError:
+                        self._drop_disconnected(mote_id)
                 return
 
             # Local join: ship one side to the other, evaluate there, and
@@ -398,17 +452,24 @@ class SensorEngine:
                 site_mote.account_cpu()
                 row = merged()
                 if predicate is None or predicate.eval(_DictRow(row)) is True:
-                    self.network.send_to_base(
-                        join_site,
-                        joined_bytes,
-                        row,
-                        lambda p, t: self._deliver(deployed, target_name, p, sample_time),
-                    )
+                    try:
+                        self.network.send_to_base(
+                            join_site,
+                            joined_bytes,
+                            row,
+                            lambda p, t: self._deliver(deployed, target_name, p, sample_time),
+                        )
+                    except SensorNetworkError:
+                        self._drop_disconnected(join_site)
 
-            self.network.send(carrier, join_site, carried_bytes, None, at_join_site)
+            try:
+                self.network.send(carrier, join_site, carried_bytes, None, at_join_site)
+            except SensorNetworkError:
+                self._drop_disconnected(carrier)
 
         def epoch() -> None:
             deployed.epochs += 1
+            self._scan_for_deaths()
             for pair in pairs:
                 run_pair(pair)
 
@@ -421,9 +482,18 @@ class SensorEngine:
     # Lifecycle
     # ------------------------------------------------------------------
     def undeploy(self, deployed: DeployedQuery) -> None:
-        """Retire a deployment from the engine's registry (called by
-        :meth:`DeployedQuery.stop`; unknown handles are a no-op so stop
-        stays idempotent)."""
+        """Retire a deployment: cancel its tasks and drop it from the
+        registry. Fully idempotent and entry-order-agnostic — callers
+        may race ``Cursor.close()`` against ``Session.close()``, so
+        both ``undeploy(d)`` and ``d.stop()`` must converge on the same
+        final state (tasks stopped, handle absent) no matter how many
+        times or in which order they run."""
+        if not deployed.stopped:
+            # Route through stop() so tasks are cancelled exactly once;
+            # stop() re-enters undeploy with stopped=True to do the
+            # registry removal below.
+            deployed.stop()
+            return
         try:
             self.deployed.remove(deployed)
         except ValueError:

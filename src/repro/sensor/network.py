@@ -78,6 +78,11 @@ class SensorNetwork:
         self._parent: dict[int, int] = {}
         self._hops: dict[int, int] = {}
         self._topology_stale = True
+        #: Whether dead motes still participate as graph vertices. The
+        #: healthy default keeps them (their links fail at send time,
+        #: charging the energy model); the federated repair path flips
+        #: this off so BFS routes *around* corpses.
+        self._include_dead = True
 
     # ------------------------------------------------------------------
     # Construction
@@ -110,12 +115,29 @@ class SensorNetwork:
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
-    def rebuild_topology(self) -> None:
-        """Recompute neighbor lists and the collection tree."""
+    def rebuild_topology(self, include_dead: bool | None = None) -> None:
+        """Recompute neighbor lists and the collection tree.
+
+        ``include_dead`` controls whether dead motes keep their graph
+        edges. It is sticky: an explicit value persists through later
+        implicit rebuilds (``_ensure_topology``), so a repair that
+        routed around a corpse stays routed around it. Dead motes are
+        always kept as (edge-less) vertices so lookups don't key-error;
+        the basestation is never excluded.
+        """
+        if include_dead is not None:
+            self._include_dead = include_dead
+        base_id = self.basestation.mote_id
+
+        def usable(mote: Mote) -> bool:
+            return self._include_dead or mote.alive or mote.mote_id == base_id
+
         self._neighbors = {mote_id: [] for mote_id in self.motes}
         for a_id, a in self.motes.items():
+            if not usable(a):
+                continue
             for b_id, b in self.motes.items():
-                if a_id < b_id and a.can_hear(b) and b.can_hear(a):
+                if a_id < b_id and usable(b) and a.can_hear(b) and b.can_hear(a):
                     self._neighbors[a_id].append(b_id)
                     self._neighbors[b_id].append(a_id)
         # BFS from the basestation → hop counts and parents.

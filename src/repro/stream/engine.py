@@ -154,6 +154,14 @@ class StreamEngine:
         #: Maintained on execute/stop so ingestion never scans queries.
         self._routes: dict[str, list[_Route]] = {}
         self.elements_ingested = 0
+        #: Recovery plumbing (see :mod:`repro.stream.checkpoint`). A
+        #: coordinator attaches itself here; ingestion then appends to
+        #: its bounded replay log. ``failed`` marks a simulated crash:
+        #: the engine drops all state and ignores ingestion until
+        #: :meth:`restore` brings it back.
+        self.checkpointer = None
+        self.failed = False
+        self._replaying = False
 
     # ------------------------------------------------------------------
     # Tables
@@ -161,9 +169,13 @@ class StreamEngine:
     def load_table(self, name: str, rows: list[Row | Mapping[str, Any]], timestamp: float = 0.0) -> None:
         """Load (or extend) a stored table; replayed into future queries
         and pushed into currently running ones."""
+        if self.failed:
+            return
         entry = self._catalog.source(name)
         if entry.kind is not SourceKind.TABLE:
             raise ExecutionError(f"{name!r} is a stream; push elements instead")
+        if self.checkpointer is not None and not self._replaying:
+            self.checkpointer.record(("table", None, name, list(rows), timestamp))
         elements = [
             StreamElement(self._coerce_row(entry.schema, row), timestamp, name)
             for row in rows
@@ -199,6 +211,10 @@ class StreamEngine:
         handle's ``results``/``latest_batch`` accessors non-functional;
         such handles are internal plumbing, not user-facing.
         """
+        if self.failed:
+            raise ExecutionError(
+                "engine has failed; restore() it from a checkpoint first"
+            )
         if sink is None:
             sink = CollectingConsumer()
         compiled = self._compiler.compile(plan, sink)
@@ -256,7 +272,11 @@ class StreamEngine:
         timestamp: float,
     ) -> None:
         """Push one element of ``source`` into every query scanning it."""
+        if self.failed:
+            return
         entry = self._catalog.source(source)
+        if self.checkpointer is not None and not self._replaying:
+            self.checkpointer.record(("push", None, source, row, timestamp))
         element = StreamElement(self._coerce_row(entry.schema, row), timestamp, entry.name)
         self.elements_ingested += 1
         for route in self._routes.get(entry.name.lower(), ()):
@@ -287,6 +307,8 @@ class StreamEngine:
         keeps the element-major interleaving of repeated :meth:`push`.
         Returns the number of elements ingested.
         """
+        if self.failed:
+            return 0
         entry = self._catalog.source(source)
         schema = entry.schema
         rows = rows if isinstance(rows, list) else list(rows)
@@ -302,6 +324,8 @@ class StreamEngine:
                 raise ExecutionError(
                     f"push_many got {len(rows)} rows but {len(stamps)} timestamps"
                 )
+        if self.checkpointer is not None and not self._replaying:
+            self.checkpointer.record(("many", None, source, rows, stamps))
         name = entry.name
         coerce = self._coerce_row
         elements = [
@@ -351,6 +375,10 @@ class StreamEngine:
         names, or an already-shaped Row; positional reschema happens at
         the port.
         """
+        if self.failed:
+            return
+        if self.checkpointer is not None and not self._replaying:
+            self.checkpointer.record(("remote", None, name, values, timestamp))
         self.elements_ingested += 1
         for route in self._routes.get(name.lower(), ()):
             if route.port.scan is not None:
@@ -383,15 +411,102 @@ class StreamEngine:
     def punctuate(self, watermark: float, sources: list[str] | None = None) -> None:
         """Advance the watermark on ``sources`` (default: every source any
         running query reads, including table scans)."""
+        if self.failed:
+            return
         punctuation = Punctuation(watermark)
         if sources is None:
             for handle in self._queries.values():
                 for port in handle.compiled.ports:
                     port.consumer.push(punctuation)
-            return
-        for source in sources:
-            for route in self._routes.get(source.lower(), ()):
-                route.port.consumer.push(punctuation)
+        else:
+            for source in sources:
+                for route in self._routes.get(source.lower(), ()):
+                    route.port.consumer.push(punctuation)
+        # Punctuation-aligned barriers: the coordinator logs the
+        # watermark (replay must reproduce window emissions) and, when
+        # its interval elapsed, snapshots post-punctuation state.
+        if self.checkpointer is not None and not self._replaying:
+            self.checkpointer.on_punctuation(watermark, sources)
+
+    # ------------------------------------------------------------------
+    # Failure and recovery
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Simulate a crash: every query, route and stored table is lost
+        and the engine ignores ingestion until :meth:`restore` (or
+        :meth:`ShardedStreamEngine` failover replaces it). Driven by
+        :mod:`repro.runtime.faults`."""
+        self.failed = True
+        self._queries.clear()
+        self._routes.clear()
+        self._tables.clear()
+
+    def restore(self, checkpoint, *, sinks=None, replay=()) -> list[QueryHandle]:
+        """Rebuild this engine from an ``EngineCheckpoint``.
+
+        Stops whatever is running, reloads the checkpointed tables,
+        recompiles each checkpointed plan (positionally — plan
+        compilation is deterministic, so operator order matches the
+        snapshot), loads operator and sink state, then replays the log
+        suffix ``replay`` so post-recovery emissions continue exactly
+        where the failure-free run would be.
+
+        ``sinks`` optionally overrides the terminal consumer per query
+        (aligned with ``checkpoint.queries``); entries set to None get a
+        fresh :class:`CollectingConsumer` restored from the snapshot.
+        Returns the new handles in checkpoint order.
+        """
+        for handle in self.running_queries:
+            self.stop(handle)
+        self.failed = False
+        self._tables = {
+            name: list(elements) for name, elements in checkpoint.tables.items()
+        }
+        handles: list[QueryHandle] = []
+        for position, query_cp in enumerate(checkpoint.queries):
+            sink = sinks[position] if sinks is not None else None
+            handle = self.execute(query_cp.plan, sink=sink)
+            operators = handle.compiled.operators
+            if len(operators) != len(query_cp.operators):
+                raise ExecutionError(
+                    "checkpointed operator count does not match the "
+                    "recompiled plan — was the plan edited since the barrier?"
+                )
+            for operator, state in zip(operators, query_cp.operators):
+                operator.state_restore(state)
+            if sink is None and query_cp.sink is not None:
+                handle.sink.elements[:] = list(query_cp.sink["elements"])
+                handle.sink.punctuations[:] = list(query_cp.sink["punctuations"])
+                handle.sink.clears = query_cp.sink["clears"]
+            handles.append(handle)
+        self._replaying = True
+        try:
+            for entry in replay:
+                self.replay_entry(entry)
+        finally:
+            self._replaying = False
+        return handles
+
+    def replay_entry(self, entry: tuple) -> None:
+        """Re-ingest one replay-log entry (see CheckpointCoordinator)."""
+        kind = entry[0]
+        if kind == "push":
+            _, _, source, row, timestamp = entry
+            self.push(source, row, timestamp)
+        elif kind == "many":
+            _, _, source, rows, stamps = entry
+            self.push_many(source, rows, stamps)
+        elif kind == "remote":
+            _, _, name, values, timestamp = entry
+            self.push_remote(name, values, timestamp)
+        elif kind == "punct":
+            _, _, watermark, sources = entry
+            self.punctuate(watermark, sources)
+        elif kind == "table":
+            _, _, name, rows, timestamp = entry
+            self.load_table(name, rows, timestamp)
+        else:  # pragma: no cover - log corruption guard
+            raise ExecutionError(f"unknown replay-log entry kind {kind!r}")
 
     # ------------------------------------------------------------------
     def _coerce_row(self, schema, row: Row | Mapping[str, Any]) -> Row:

@@ -54,6 +54,16 @@ _NEG_INF = float("-inf")
 _INF = float("inf")
 
 
+def _copy_generated_state(state: list) -> list:
+    """Copy one ``compile_accumulate`` group-state list.
+
+    Generated state slots are ints, floats, None, or seen-sets (for
+    DISTINCT calls) — only the sets are mutable, so a shallow copy with
+    per-set duplication detaches the state from the live operator.
+    """
+    return [slot.copy() if isinstance(slot, set) else slot for slot in state]
+
+
 def _positional_key(schema: Schema, names: list[str]) -> Callable[[tuple], Any]:
     """A values-tuple -> hash-key function with names resolved once.
 
@@ -157,6 +167,34 @@ class Operator:
     #: catalog-schema rows straight in because nobody downstream will
     #: ever resolve a column by the incoming names.
     consumes_values_only = False
+
+    # -- checkpointing ----------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Detached recovery state (see :mod:`repro.stream.checkpoint`).
+
+        StreamElements are immutable by convention, so snapshots share
+        them and copy only the containers. Stateless operators carry
+        just their counters.
+        """
+        return {
+            "type": type(self).__name__,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Load a :meth:`state_snapshot` into a freshly compiled operator.
+
+        The snapshot stays usable afterwards (mutable containers are
+        copied in), so one checkpoint can restore several replicas.
+        """
+        if state.get("type") != type(self).__name__:
+            raise ExecutionError(
+                f"checkpoint state for {state.get('type')} cannot restore "
+                f"a {type(self).__name__} — the recompiled plan diverged"
+            )
+        self.rows_in = state["rows_in"]
+        self.rows_out = state["rows_out"]
 
 
 class FilterOp(Operator):
@@ -584,6 +622,31 @@ class SymmetricHashJoin(Operator):
             len(d) for d in self._right_buffer.values()
         )
 
+    def state_snapshot(self) -> dict:
+        state = super().state_snapshot()
+        state["left_buffer"] = {k: list(d) for k, d in self._left_buffer.items()}
+        state["right_buffer"] = {k: list(d) for k, d in self._right_buffer.items()}
+        state["left_fifo"] = list(self._left_fifo)
+        state["right_fifo"] = list(self._right_fifo)
+        state["watermarks"] = (
+            self._left_watermark,
+            self._right_watermark,
+            self._sent_watermark,
+        )
+        return state
+
+    def state_restore(self, state: dict) -> None:
+        super().state_restore(state)
+        self._left_buffer = {k: deque(d) for k, d in state["left_buffer"].items()}
+        self._right_buffer = {k: deque(d) for k, d in state["right_buffer"].items()}
+        self._left_fifo = deque(state["left_fifo"])
+        self._right_fifo = deque(state["right_fifo"])
+        (
+            self._left_watermark,
+            self._right_watermark,
+            self._sent_watermark,
+        ) = state["watermarks"]
+
 
 class _Accumulator:
     """Incremental state for one aggregate call within one group."""
@@ -643,6 +706,15 @@ class _Accumulator:
         if self.name == "MAX":
             return max(self.values)
         raise ExecutionError(f"unknown aggregate {self.name}")
+
+    def clone(self) -> "_Accumulator":
+        """Detached copy for checkpoints (the call itself is immutable)."""
+        dup = _Accumulator(self.call)
+        dup.count = self.count
+        dup.total = self.total
+        dup.values = list(self.values)
+        dup.distinct = set(self.distinct)
+        return dup
 
 
 class AggregateOp(Operator):
@@ -882,6 +954,33 @@ class AggregateOp(Operator):
             self._emit_groups(punctuation.watermark, self._groups)
         self.downstream.push(punctuation)
 
+    def _copy_groups(self, groups: dict) -> dict:
+        if self._finalize is not None:  # generated compile_accumulate state
+            return {key: _copy_generated_state(state) for key, state in groups.items()}
+        return {
+            key: [accumulator.clone() for accumulator in accumulators]
+            for key, accumulators in groups.items()
+        }
+
+    def state_snapshot(self) -> dict:
+        state = super().state_snapshot()
+        state["buffer"] = list(self._buffer)
+        state["next_boundary"] = self._next_boundary
+        state["generated"] = self._finalize is not None
+        state["groups"] = self._copy_groups(self._groups)
+        return state
+
+    def state_restore(self, state: dict) -> None:
+        super().state_restore(state)
+        if state["generated"] != (self._finalize is not None):
+            raise ExecutionError(
+                "checkpointed aggregate state shape does not match the "
+                "recompiled operator (generated vs accumulator groups)"
+            )
+        self._buffer = list(state["buffer"])
+        self._next_boundary = state["next_boundary"]
+        self._groups = self._copy_groups(state["groups"])
+
 
 class DistinctOp(Operator):
     """Forward only the first occurrence of each distinct row.
@@ -927,6 +1026,15 @@ class DistinctOp(Operator):
         self.rows_in += count
         if out:
             self.emit_batch(out)
+
+    def state_snapshot(self) -> dict:
+        state = super().state_snapshot()
+        state["seen"] = set(self._seen)
+        return state
+
+    def state_restore(self, state: dict) -> None:
+        super().state_restore(state)
+        self._seen = set(state["seen"])
 
 
 class OrderByOp(Operator):
@@ -976,6 +1084,15 @@ class OrderByOp(Operator):
             self.emit(element)
         self._batch.clear()
         self.downstream.push(punctuation)
+
+    def state_snapshot(self) -> dict:
+        state = super().state_snapshot()
+        state["batch"] = list(self._batch)
+        return state
+
+    def state_restore(self, state: dict) -> None:
+        super().state_restore(state)
+        self._batch = list(state["batch"])
 
     def _sort_key(self, row: Row) -> tuple:
         key: list[Any] = []
@@ -1044,6 +1161,15 @@ class LimitOp(Operator):
         self._emitted_in_batch = 0
         self.downstream.push(punctuation)
 
+    def state_snapshot(self) -> dict:
+        state = super().state_snapshot()
+        state["emitted_in_batch"] = self._emitted_in_batch
+        return state
+
+    def state_restore(self, state: dict) -> None:
+        super().state_restore(state)
+        self._emitted_in_batch = state["emitted_in_batch"]
+
 
 class OutputOp(Operator):
     """Deliver results to a display callback and forward them downstream.
@@ -1071,3 +1197,12 @@ class OutputOp(Operator):
             if self.every is not None:
                 self._last_delivery = element.timestamp
         self.emit(element)
+
+    def state_snapshot(self) -> dict:
+        state = super().state_snapshot()
+        state["last_delivery"] = self._last_delivery
+        return state
+
+    def state_restore(self, state: dict) -> None:
+        super().state_restore(state)
+        self._last_delivery = state["last_delivery"]

@@ -53,6 +53,7 @@ from repro.data.tuples import Row, stable_hash
 from repro.data.windows import WindowSpec
 from repro.errors import CatalogError, ExecutionError
 from repro.plan.logical import LogicalOp
+from repro.stream.checkpoint import FALLBACK, restore_operators
 from repro.stream.compiler import DEFAULT_STREAM_WINDOW
 from repro.stream.engine import QueryHandle, StreamEngine
 from repro.stream.partition import PartitionAnalysis, partition_safe
@@ -74,17 +75,24 @@ class _MergeCoordinator:
     observes merged elements.
     """
 
-    __slots__ = ("_sink", "_marks", "_sent")
+    __slots__ = ("_sink", "_marks", "_sent", "_counts")
 
     def __init__(self, sink: CollectingConsumer, shard_count: int):
         self._sink = sink
         self._marks = [float("-inf")] * shard_count
         self._sent = float("-inf")
+        # Forwarded-element counts per shard: failover's dedup anchor.
+        # A recovering replica deterministically re-derives its past
+        # emissions during log replay; skipping exactly
+        # ``forwarded(i) - count_at_barrier(i)`` of them restores the
+        # exactly-once merged output.
+        self._counts = [0] * shard_count
 
     def receive(self, index: int, item: StreamItem) -> None:
         if isinstance(item, Punctuation):
             self._advance(index, item.watermark)
         else:
+            self._counts[index] += 1
             self._sink.push(item)
 
     def receive_batch(self, index: int, items: list[StreamItem]) -> None:
@@ -92,19 +100,30 @@ class _MergeCoordinator:
         # (watermarks travel per-item through engine.punctuate), so one
         # C-level scan forwards the whole batch in a single dispatch.
         if not any(isinstance(item, Punctuation) for item in items):
+            self._counts[index] += len(items)
             push_all(self._sink, items)
             return
         run: list[StreamItem] = []
         for item in items:
             if isinstance(item, Punctuation):
                 if run:
+                    self._counts[index] += len(run)
                     push_all(self._sink, run)
                     run = []
                 self._advance(index, item.watermark)
             else:
                 run.append(item)
         if run:
+            self._counts[index] += len(run)
             push_all(self._sink, run)
+
+    @property
+    def counts(self) -> list[int]:
+        """Forwarded-element counts per shard (checkpoint barrier state)."""
+        return list(self._counts)
+
+    def forwarded(self, index: int) -> int:
+        return self._counts[index]
 
     def _advance(self, index: int, watermark: float) -> None:
         marks = self._marks
@@ -117,19 +136,104 @@ class _MergeCoordinator:
 
 
 class _ShardFeed:
-    """The terminal consumer of one shard's replica pipeline."""
+    """The terminal consumer of one shard's replica pipeline.
 
-    __slots__ = ("_coordinator", "_index")
+    ``skip`` arms recovery dedup: the first ``skip`` elements are
+    dropped (they re-derive emissions the dead replica already
+    forwarded to the merged sink), then everything flows through.
+    Punctuations always pass — the coordinator's monotonic merge
+    deduplicates them for free.
+    """
 
-    def __init__(self, coordinator: _MergeCoordinator, index: int):
+    __slots__ = ("_coordinator", "_index", "_skip", "_muted")
+
+    def __init__(self, coordinator: _MergeCoordinator, index: int, skip: int = 0):
         self._coordinator = coordinator
         self._index = index
+        self._skip = skip
+        # Muted while a recovering replica re-executes over checkpointed
+        # tables: those emissions pre-date the barrier and are already
+        # in the merged sink.
+        self._muted = False
+
+    def mute(self) -> None:
+        self._muted = True
+
+    def arm(self, skip: int) -> None:
+        self._muted = False
+        self._skip = skip
 
     def push(self, item: StreamItem) -> None:
+        if self._muted:
+            return
+        if self._skip > 0 and not isinstance(item, Punctuation):
+            self._skip -= 1
+            return
         self._coordinator.receive(self._index, item)
 
     def push_batch(self, items: list[StreamItem]) -> None:
+        if self._muted:
+            return
+        if self._skip > 0:
+            kept: list[StreamItem] = []
+            for item in items:
+                if self._skip > 0 and not isinstance(item, Punctuation):
+                    self._skip -= 1
+                else:
+                    kept.append(item)
+            if not kept:
+                return
+            items = kept
         self._coordinator.receive_batch(self._index, items)
+
+
+class _SinkFeed:
+    """Skip-dedup pass-through onto a surviving fallback sink.
+
+    The fallback engine's sink out-lives the engine (it hangs off the
+    pool handle), so everything emitted before the crash is still in
+    it. A recovering fallback replica re-derives those emissions during
+    log replay; the first ``skip`` elements and ``skip_puncts``
+    punctuations are dropped, and everything after (the output lost to
+    the crash, plus all post-recovery output) flows through.
+    """
+
+    __slots__ = ("_sink", "_skip", "_skip_puncts", "_muted")
+
+    def __init__(self, sink: CollectingConsumer, skip: int, skip_puncts: int):
+        self._sink = sink
+        self._skip = skip
+        self._skip_puncts = skip_puncts
+        self._muted = False
+
+    def mute(self) -> None:
+        self._muted = True
+
+    def arm(self, skip: int, skip_puncts: int) -> None:
+        self._muted = False
+        self._skip = skip
+        self._skip_puncts = skip_puncts
+
+    def push(self, item: StreamItem) -> None:
+        if self._muted:
+            return
+        if isinstance(item, Punctuation):
+            if self._skip_puncts > 0:
+                self._skip_puncts -= 1
+                return
+        elif self._skip > 0:
+            self._skip -= 1
+            return
+        self._sink.push(item)
+
+    def push_batch(self, items: list[StreamItem]) -> None:
+        if self._muted:
+            return
+        if self._skip <= 0 and self._skip_puncts <= 0:
+            push_all(self._sink, items)
+            return
+        for item in items:
+            self.push(item)
 
 
 @dataclass
@@ -145,6 +249,9 @@ class ShardedQueryHandle(QueryHandle):
     inner: list[QueryHandle] = field(default_factory=list)
     partitioned: bool = False
     analysis: PartitionAnalysis | None = None
+    #: The merge coordinator feeding ``sink`` (partitioned handles
+    #: only) — failover reads its per-shard forwarded counts.
+    coordinator: "_MergeCoordinator | None" = field(default=None, repr=False)
 
     @property
     def shard_stats(self) -> list[dict[str, int]]:
@@ -172,10 +279,16 @@ class ShardedStreamEngine:
         if shards < 1:
             raise ExecutionError(f"shard count must be >= 1, got {shards}")
         self._catalog = catalog
+        self._deliver = deliver
+        self._default_window = default_window
         self._engines = [
             StreamEngine(catalog, deliver, default_window) for _ in range(shards)
         ]
         self._fallback = StreamEngine(catalog, deliver, default_window)
+        #: Recovery plumbing: a CheckpointCoordinator attaches itself
+        #: here (same protocol as on a plain engine); failover then
+        #: restores killed shard engines from its barriers + log.
+        self.checkpointer = None
         self._keys: dict[str, str] = {}  # source.lower() -> bare column
         self._key_index: dict[str, int] = {}  # source.lower() -> position
         self._round_robin: dict[str, int] = {}  # source.lower() -> cursor
@@ -244,13 +357,18 @@ class ShardedStreamEngine:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def execute(self, plan: LogicalOp) -> ShardedQueryHandle:
+    def execute(
+        self, plan: LogicalOp, sink: CollectingConsumer | None = None
+    ) -> ShardedQueryHandle:
         """Start a continuous query: one replica per shard with a merged
         sink when the plan is partition-safe, else whole on the
-        designated fallback engine."""
+        designated fallback engine. ``sink`` overrides the merged (or
+        fallback) sink — federated repair reuses a surviving cursor's
+        sink so subscription taps keep observing results."""
         analysis = partition_safe(plan, self._keys)
         if analysis.safe:
-            sink = CollectingConsumer()
+            if sink is None:
+                sink = CollectingConsumer()
             coordinator = _MergeCoordinator(sink, len(self._engines))
             inner = [
                 engine.execute(plan, sink=_ShardFeed(coordinator, index))
@@ -265,9 +383,10 @@ class ShardedStreamEngine:
                 inner=inner,
                 partitioned=True,
                 analysis=analysis,
+                coordinator=coordinator,
             )
         else:
-            fallback = self._fallback.execute(plan)
+            fallback = self._fallback.execute(plan, sink=sink)
             handle = ShardedQueryHandle(
                 next(_pool_query_ids),
                 plan,
@@ -341,8 +460,19 @@ class ShardedStreamEngine:
         entry = self._catalog.source(source)
         lower = entry.name.lower()
         self.elements_ingested += 1
-        self._engines[self._owner(lower, row)].push(source, row, timestamp)
+        owner = self._owner(lower, row)
+        engine = self._engines[owner]
+        if engine.failed:
+            engine = self._recover_shard(owner)
+        if self._fallback.failed:
+            self._recover_fallback()
+        checkpointer = self.checkpointer
+        if checkpointer is not None:
+            checkpointer.record(("push", owner, source, row, timestamp))
+        engine.push(source, row, timestamp)
         if self._fallback.subscribed(lower):
+            if checkpointer is not None:
+                checkpointer.record(("push", FALLBACK, source, row, timestamp))
             self._fallback.push(source, row, timestamp)
 
     def push_many(
@@ -396,15 +526,25 @@ class ShardedStreamEngine:
                     owner = owner_of(lower, value)
                     per_shard_rows[owner].append(row)
                     per_shard_stamps[owner].append(stamp)
+        checkpointer = self.checkpointer
         for shard, engine in enumerate(self._engines):
             if not per_shard_rows[shard]:
                 continue
-            engine.push_many(
-                source,
-                per_shard_rows[shard],
-                timestamps if scalar else per_shard_stamps[shard],
-            )
+            if engine.failed:
+                engine = self._recover_shard(shard)
+            shard_stamps = timestamps if scalar else per_shard_stamps[shard]
+            if checkpointer is not None:
+                checkpointer.record(
+                    ("many", shard, source, per_shard_rows[shard], shard_stamps)
+                )
+            engine.push_many(source, per_shard_rows[shard], shard_stamps)
+        if self._fallback.failed:
+            self._recover_fallback()
         if self._fallback.subscribed(lower):
+            if checkpointer is not None:
+                checkpointer.record(
+                    ("many", FALLBACK, source, rows, timestamps if scalar else stamps)
+                )
             self._fallback.push_many(source, rows, timestamps if scalar else stamps)
         self.elements_ingested += len(rows)
         return len(rows)
@@ -420,19 +560,45 @@ class ShardedStreamEngine:
         and receive the full feed there."""
         self.elements_ingested += 1
         lower = name.lower()
+        # Recover any failed engine first: a dead engine has lost its
+        # routes, so its subscriptions would otherwise read as absent
+        # and the remote feed would silently drop.
+        for index in range(len(self._engines)):
+            if self._engines[index].failed:
+                self._recover_shard(index)
+        if self._fallback.failed:
+            self._recover_fallback()
+        checkpointer = self.checkpointer
         if any(engine.subscribed(lower) for engine in self._engines):
             cursor = self._round_robin.get(lower, 0)
             self._round_robin[lower] = (cursor + 1) % len(self._engines)
+            if checkpointer is not None:
+                checkpointer.record(("remote", cursor, name, values, timestamp))
             self._engines[cursor].push_remote(name, values, timestamp)
         if self._fallback.subscribed(lower):
+            if checkpointer is not None:
+                checkpointer.record(("remote", FALLBACK, name, values, timestamp))
             self._fallback.push_remote(name, values, timestamp)
 
     def punctuate(self, watermark: float, sources: list[str] | None = None) -> None:
         """Broadcast the watermark to every engine; merged sinks forward
-        one punctuation once all replicas have processed it."""
+        one punctuation once all replicas have processed it.
+
+        Failed engines recover *before* the broadcast, so the watermark
+        that triggered detection reaches the restored replicas too and
+        the merged punctuation (held while the dead shard's watermark
+        was frozen) advances in the same segment as a failure-free run.
+        """
+        for index in range(len(self._engines)):
+            if self._engines[index].failed:
+                self._recover_shard(index)
+        if self._fallback.failed:
+            self._recover_fallback()
         for engine in self._engines:
             engine.punctuate(watermark, sources)
         self._fallback.punctuate(watermark, sources)
+        if self.checkpointer is not None:
+            self.checkpointer.on_punctuation(watermark, sources)
 
     # ------------------------------------------------------------------
     # Tables (replicated to every engine)
@@ -443,6 +609,8 @@ class ShardedStreamEngine:
         rows: list[Row | Mapping[str, Any]],
         timestamp: float = 0.0,
     ) -> None:
+        if self.checkpointer is not None:
+            self.checkpointer.record(("table", None, name, list(rows), timestamp))
         for engine in self._engines:
             engine.load_table(name, rows, timestamp)
         self._fallback.load_table(name, rows, timestamp)
@@ -460,3 +628,140 @@ class ShardedStreamEngine:
         return any(
             engine.subscribed(source) for engine in self._engines
         ) or self._fallback.subscribed(source)
+
+    # ------------------------------------------------------------------
+    # Failure and failover
+    # ------------------------------------------------------------------
+    def fail_shard(self, index: int) -> None:
+        """Kill one shard engine (state loss — see ``StreamEngine.fail``).
+        The next ingest touching the shard, or the next ``punctuate``,
+        triggers failover from the attached CheckpointCoordinator."""
+        self._engines[index].fail()
+
+    def fail_fallback(self) -> None:
+        """Kill the designated fallback engine."""
+        self._fallback.fail()
+
+    def _fresh_engine(self) -> StreamEngine:
+        return StreamEngine(self._catalog, self._deliver, self._default_window)
+
+    def _recover_shard(self, index: int) -> StreamEngine:
+        """Failover one dead shard onto a fresh engine.
+
+        Every partitioned handle gets a new replica restored from the
+        latest barrier; the shard's replay-log suffix (its own rows
+        plus all broadcast punctuations and table loads) then brings it
+        to the present. Re-derived emissions are deduplicated by
+        skipping ``forwarded - count_at_barrier`` elements at the new
+        shard feed, so the merged sink sees each result exactly once.
+        """
+        coordinator = self.checkpointer
+        partitioned = [h for h in self._handles.values() if h.partitioned]
+        if coordinator is None:
+            if partitioned:
+                raise ExecutionError(
+                    f"shard {index} failed with partitioned queries running "
+                    "and no CheckpointCoordinator attached — attach one "
+                    "(connect(checkpoint_interval=...)) to enable failover"
+                )
+            fresh = self._fresh_engine()
+            self._engines[index] = fresh
+            return fresh
+        checkpoint = coordinator.latest()
+        fresh = self._fresh_engine()
+        if checkpoint is not None:
+            # Barrier-time tables; post-barrier loads arrive via replay.
+            fresh._tables = {
+                name: list(elements) for name, elements in checkpoint.tables.items()
+            }
+        self._engines[index] = fresh
+        for handle in partitioned:
+            handle_cp = (
+                checkpoint.handles.get(handle.query_id)
+                if checkpoint is not None
+                else None
+            )
+            barrier_count = (
+                handle_cp.merge_counts[index] if handle_cp is not None else 0
+            )
+            skip = handle.coordinator.forwarded(index) - barrier_count
+            feed = _ShardFeed(handle.coordinator, index)
+            feed.mute()  # execute replays barrier tables: pre-barrier output
+            replica = fresh.execute(handle.plan, sink=feed)
+            if handle_cp is not None:
+                restore_operators(replica, handle_cp.replicas[index])
+            feed.arm(skip)
+            handle.inner[index] = replica
+            if index == 0:
+                handle.compiled = replica.compiled
+        from_seq = checkpoint.log_seq if checkpoint is not None else 0
+        replayed = self._replay_into(fresh, coordinator.log.suffix(from_seq), index)
+        coordinator.note_replay(index, from_seq, replayed)
+        return fresh
+
+    def _recover_fallback(self) -> StreamEngine:
+        """Failover the designated fallback engine.
+
+        Fallback replicas see the full feed, so the replay suffix is
+        every fallback-keyed entry plus broadcasts; dedup anchors on
+        the surviving sink's element/punctuation counts at the barrier.
+        """
+        coordinator = self.checkpointer
+        fallback_handles = [h for h in self._handles.values() if not h.partitioned]
+        if coordinator is None:
+            if fallback_handles:
+                raise ExecutionError(
+                    "the fallback engine failed with queries running and no "
+                    "CheckpointCoordinator attached — attach one "
+                    "(connect(checkpoint_interval=...)) to enable failover"
+                )
+            self._fallback = self._fresh_engine()
+            return self._fallback
+        checkpoint = coordinator.latest()
+        fresh = self._fresh_engine()
+        if checkpoint is not None:
+            fresh._tables = {
+                name: list(elements) for name, elements in checkpoint.tables.items()
+            }
+        self._fallback = fresh
+        for handle in fallback_handles:
+            handle_cp = (
+                checkpoint.handles.get(handle.query_id)
+                if checkpoint is not None
+                else None
+            )
+            sink = handle.sink
+            skip = skip_puncts = 0
+            if isinstance(sink, CollectingConsumer):
+                barrier_len = handle_cp.sink_len if handle_cp is not None else 0
+                barrier_puncts = (
+                    handle_cp.sink_punct_len if handle_cp is not None else 0
+                )
+                skip = len(sink.elements) - barrier_len
+                skip_puncts = len(sink.punctuations) - barrier_puncts
+            feed = _SinkFeed(sink, 0, 0)
+            feed.mute()  # execute replays barrier tables: pre-barrier output
+            replica = fresh.execute(handle.plan, sink=feed)
+            if handle_cp is not None:
+                restore_operators(replica, handle_cp.replicas[0])
+            feed.arm(skip, skip_puncts)
+            handle.inner = [replica]
+            handle.compiled = replica.compiled
+        from_seq = checkpoint.log_seq if checkpoint is not None else 0
+        replayed = self._replay_into(
+            fresh, coordinator.log.suffix(from_seq), FALLBACK
+        )
+        coordinator.note_replay(FALLBACK, from_seq, replayed)
+        return fresh
+
+    @staticmethod
+    def _replay_into(engine: StreamEngine, suffix: list[tuple], target) -> int:
+        """Replay the log entries owned by ``target`` (plus broadcasts)
+        into a freshly restored engine; returns the entry count."""
+        replayed = 0
+        for entry in suffix:
+            kind, key = entry[0], entry[1]
+            if kind in ("punct", "table") or key == target:
+                engine.replay_entry(entry)
+                replayed += 1
+        return replayed

@@ -1,0 +1,320 @@
+"""Checkpoint/restore: the recovery spine of standing queries.
+
+Covers the :mod:`repro.stream.checkpoint` primitives (replay log,
+stores, coordinator barriers) and the engine-level contract: a failed
+:class:`StreamEngine` restored from the latest punctuation-aligned
+barrier plus the log suffix emits *exactly* what the failure-free run
+would have — no duplicated and no dropped window emissions — and the
+replay touches only the suffix since the barrier, never the full
+history.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import connect
+from repro.api.sources import StreamSource
+from repro.catalog import Catalog
+from repro.data import DataType, Row, Schema
+from repro.errors import ExecutionError
+from repro.plan import PlanBuilder
+from repro.stream.checkpoint import (
+    CheckpointCoordinator,
+    FileCheckpointStore,
+    MemoryCheckpointStore,
+    ReplayLog,
+)
+from repro.stream.engine import StreamEngine
+from repro.stream.sharded import ShardedStreamEngine
+
+READINGS = Schema.of(
+    ("host", DataType.STRING),
+    ("temp", DataType.FLOAT),
+    ("load", DataType.FLOAT),
+)
+
+QUERIES = [
+    # Windowed aggregation (buffer + groups cross the barrier).
+    "select r.host, count(*) as n, avg(r.temp) as mean from Readings r "
+    "[range 10 seconds slide 10 seconds] group by r.host",
+    # DISTINCT (seen-set state).
+    "select distinct r.host from Readings r where r.temp > 10.0",
+    # Stateless chain (only counters).
+    "select r.host, r.temp * 2.0 as t2 from Readings r where r.load > 0.2",
+]
+
+
+def _catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register_stream("Readings", READINGS, rate=10.0)
+    return catalog
+
+
+def _rows(count: int):
+    rows, stamps = [], []
+    for i in range(count):
+        rows.append(
+            Row(
+                READINGS,
+                (f"ws{i % 4}", float(i % 13), round((i % 10) / 10.0, 1)),
+                validate=False,
+            )
+        )
+        stamps.append(float(i))
+    return rows, stamps
+
+
+def _segments(handle, marks, index, out):
+    elements = handle.sink.elements
+    fresh = elements[marks[index]:]
+    marks[index] = len(elements)
+    out[index].append(sorted((e.timestamp, repr(e.row.values)) for e in fresh))
+
+
+def _drive(engine, handles, rows, stamps, fail_at=None, coordinator=None):
+    """Push in chunks of 10 with punctuation between; optionally fail and
+    recover the engine right before chunk ``fail_at``."""
+    segments = [[] for _ in handles]
+    marks = [0 for _ in handles]
+    chunk = 0
+    for offset in range(0, len(rows), 10):
+        if fail_at is not None and chunk == fail_at:
+            engine.fail()
+            handles[:] = coordinator.recover()
+        engine.push_many(
+            "Readings", rows[offset : offset + 10], stamps[offset : offset + 10]
+        )
+        engine.punctuate(stamps[min(offset + 9, len(stamps) - 1)])
+        chunk += 1
+        for index in range(len(handles)):
+            _segments(handles[index], marks, index, segments)
+    engine.punctuate(stamps[-1] + 100.0)
+    for index in range(len(handles)):
+        _segments(handles[index], marks, index, segments)
+    return segments
+
+
+def _build(interval):
+    catalog = _catalog()
+    engine = StreamEngine(catalog)
+    coordinator = CheckpointCoordinator(engine, interval=interval)
+    builder = PlanBuilder(catalog)
+    handles = [engine.execute(builder.build_sql(sql)) for sql in QUERIES]
+    return engine, coordinator, handles
+
+
+class TestReplayLog:
+    def test_append_prune_suffix(self):
+        log = ReplayLog()
+        for i in range(10):
+            log.append(("push", None, "s", i, float(i)))
+        assert log.next_seq == 10 and log.base_seq == 0
+        log.prune_through(4)
+        assert log.base_seq == 4 and len(log) == 6
+        suffix = log.suffix(7)
+        assert [entry[3] for entry in suffix] == [7, 8, 9]
+        assert log.suffix(10) == []
+
+    def test_truncated_suffix_raises(self):
+        log = ReplayLog()
+        for i in range(5):
+            log.append(("push", None, "s", i, float(i)))
+        log.prune_through(3)
+        with pytest.raises(ExecutionError, match="replay log truncated"):
+            log.suffix(1)
+
+    def test_hard_limit_evicts_oldest(self):
+        log = ReplayLog(limit=3)
+        for i in range(5):
+            log.append(("push", None, "s", i, float(i)))
+        assert len(log) == 3 and log.base_seq == 2 and log.next_seq == 5
+        assert [entry[3] for entry in log.suffix(2)] == [2, 3, 4]
+
+
+class TestStores:
+    def test_memory_store_keeps_last_n(self):
+        store = MemoryCheckpointStore(keep=2)
+        for i in range(5):
+            store.save(i)
+        assert store.checkpoints == [3, 4] and store.latest() == 4
+
+    def test_file_store_roundtrip_and_restart(self, tmp_path):
+        engine, coordinator, _ = _build(interval=None)
+        coordinator.store = FileCheckpointStore(tmp_path, keep=2)
+        rows, stamps = _rows(30)
+        engine.push_many("Readings", rows, stamps)
+        engine.punctuate(stamps[-1])
+        for _ in range(3):
+            coordinator.checkpoint(stamps[-1])
+        files = sorted(tmp_path.glob("checkpoint-*.pkl"))
+        assert len(files) == 2  # pruned to keep
+        # A fresh store over the same directory serves the survivor.
+        reopened = FileCheckpointStore(tmp_path, keep=2)
+        latest = reopened.latest()
+        assert latest.checkpoint_id == 3
+        assert len(latest.queries) == len(QUERIES)
+
+
+class TestCoordinator:
+    def test_interval_zero_checkpoints_every_punctuation(self):
+        engine, coordinator, _ = _build(interval=0.0)
+        rows, stamps = _rows(30)
+        _drive(engine, list(range(0)), rows, stamps)  # no handles: just ingest
+        assert coordinator.checkpoints_taken == 4  # 3 chunks + flush
+
+    def test_interval_none_never_auto_checkpoints(self):
+        engine, coordinator, _ = _build(interval=None)
+        rows, stamps = _rows(30)
+        engine.push_many("Readings", rows, stamps)
+        engine.punctuate(stamps[-1])
+        assert coordinator.checkpoints_taken == 0
+        assert len(coordinator.log) > 0  # the log still accumulates
+
+    def test_barrier_prunes_log(self):
+        engine, coordinator, _ = _build(interval=None)
+        rows, stamps = _rows(20)
+        engine.push_many("Readings", rows, stamps)
+        engine.punctuate(stamps[-1])
+        seq_before = coordinator.log.next_seq
+        checkpoint = coordinator.checkpoint(stamps[-1])
+        assert checkpoint.log_seq == seq_before
+        assert coordinator.log.base_seq == seq_before
+        assert len(coordinator.log) == 0
+
+    def test_recover_without_checkpoint_raises(self):
+        engine, coordinator, _ = _build(interval=None)
+        engine.fail()
+        with pytest.raises(ExecutionError, match="no checkpoint to recover"):
+            coordinator.recover()
+
+    def test_pool_recover_is_per_shard(self):
+        pool = ShardedStreamEngine(_catalog(), shards=2)
+        coordinator = CheckpointCoordinator(pool, interval=10.0)
+        with pytest.raises(ExecutionError, match="per-shard"):
+            coordinator.recover()
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ExecutionError, match="interval"):
+            CheckpointCoordinator(StreamEngine(_catalog()), interval=-1.0)
+
+
+class TestEngineRestore:
+    def test_failed_engine_rejects_work_until_restore(self):
+        engine, coordinator, handles = _build(interval=10.0)
+        rows, stamps = _rows(10)
+        engine.push_many("Readings", rows, stamps)
+        engine.punctuate(stamps[-1])
+        engine.fail()
+        assert engine.failed and not engine.running_queries
+        assert engine.push("Readings", rows[0], 99.0) is None  # swallowed
+        with pytest.raises(ExecutionError, match="restore"):
+            engine.execute(handles[0].plan)
+        coordinator.recover()
+        assert not engine.failed and len(engine.running_queries) == len(QUERIES)
+
+    @pytest.mark.parametrize("fail_at", [1, 2, 3])
+    def test_restore_identity_mid_corpus(self, fail_at):
+        """Post-recovery emissions — including the window that straddles
+        the failure — match the failure-free run exactly."""
+        rows, stamps = _rows(60)
+        engine, _, handles = _build(interval=15.0)
+        expected = _drive(engine, handles, rows, stamps)
+
+        engine2, coordinator2, handles2 = _build(interval=15.0)
+        got = _drive(
+            engine2, handles2, rows, stamps, fail_at=fail_at, coordinator=coordinator2
+        )
+        assert got == expected
+
+    def test_recovery_replays_only_the_suffix(self):
+        rows, stamps = _rows(60)
+        engine, coordinator, handles = _build(interval=15.0)
+        engine.push_many("Readings", rows[:40], stamps[:40])
+        engine.punctuate(stamps[39])
+        barrier = coordinator.latest()
+        assert barrier is not None
+        # Post-barrier traffic, then failure.
+        engine.push_many("Readings", rows[40:50], stamps[40:50])
+        suffix_len = len(coordinator.log.suffix(barrier.log_seq))
+        engine.fail()
+        coordinator.recover()
+        replay = coordinator.last_replay
+        assert replay["target"] == "engine"
+        assert replay["from_seq"] == barrier.log_seq  # suffix, not history
+        assert replay["entries"] == suffix_len
+        # The barrier pruned everything before it out of the log.
+        assert coordinator.log.base_seq >= barrier.log_seq > 0
+
+    def test_restore_rejects_mismatched_operator_state(self):
+        engine, coordinator, handles = _build(interval=None)
+        rows, stamps = _rows(10)
+        engine.push_many("Readings", rows, stamps)
+        engine.punctuate(stamps[-1])
+        checkpoint = coordinator.checkpoint(stamps[-1])
+        # Swap two queries' operator states: recompiling query 0's plan
+        # must refuse query 1's snapshot.
+        checkpoint.queries[0].operators, checkpoint.queries[1].operators = (
+            checkpoint.queries[1].operators,
+            checkpoint.queries[0].operators,
+        )
+        engine.fail()
+        with pytest.raises(ExecutionError):
+            engine.restore(checkpoint)
+
+    def test_restore_preserves_sink_contents(self):
+        engine, coordinator, handles = _build(interval=None)
+        rows, stamps = _rows(30)
+        engine.push_many("Readings", rows, stamps)
+        engine.punctuate(stamps[-1])
+        before = [list(h.sink.elements) for h in handles]
+        coordinator.checkpoint(stamps[-1])
+        engine.fail()
+        restored = coordinator.recover()
+        after = [list(h.sink.elements) for h in restored]
+        assert after == before
+
+
+class TestSessionWiring:
+    def _session(self, **kwargs):
+        session = connect(**kwargs)
+        session.attach(
+            StreamSource("Readings", READINGS, rate=10.0, partition_by="host")
+        )
+        return session
+
+    def test_connect_without_interval_has_no_checkpointer(self):
+        with self._session() as session:
+            assert session.checkpointer is None
+            assert session.engine.checkpointer is None
+
+    def test_connect_attaches_coordinator_to_engine(self):
+        with self._session(checkpoint_interval=10.0) as session:
+            assert session.checkpointer is session.engine.checkpointer
+            assert session.checkpointer.interval == 10.0
+
+    def test_connect_attaches_coordinator_to_pool(self):
+        with self._session(shards=3, checkpoint_interval=10.0) as session:
+            assert session.engine.shard_count == 3
+            assert session.checkpointer is session.engine.checkpointer
+
+    def test_session_recovery_end_to_end(self):
+        rows, stamps = _rows(40)
+
+        def run(fail):
+            with self._session(checkpoint_interval=10.0) as session:
+                cursor = session.query(QUERIES[0])
+                for offset in range(0, len(rows), 10):
+                    if fail and offset == 30:
+                        session.engine.fail()
+                        handles = session.checkpointer.recover()
+                        cursor._handle = handles[0]
+                    for row, stamp in zip(
+                        rows[offset : offset + 10], stamps[offset : offset + 10]
+                    ):
+                        session.push("Readings", row, stamp)
+                    session.punctuate(stamps[min(offset + 9, len(stamps) - 1)])
+                session.punctuate(stamps[-1] + 100.0)
+                return [tuple(r.values) for r in cursor.results()]
+
+        assert run(fail=True) == run(fail=False)

@@ -406,7 +406,15 @@ class TestQueueSubscriptions:
             assert subscription.pending == 3
             with pytest.raises(RuntimeError):
                 subscription.drain()
-            assert subscription.pending == 2  # failing item was dequeued
+            # At-least-once: the failing item stays at the queue head
+            # (nothing behind it is lost either); a recovered consumer
+            # drains the full queue on retry.
+            assert subscription.pending == 3
+            seen = []
+            subscription.callback = seen.append
+            assert subscription.drain() == 3
+            assert [r["r.host"] for r in seen] == ["ws0", "ws1", "ws2"]
+            assert subscription.pending == 0
 
     def test_batched_emissions_reach_subscribers(self):
         # Regression: producers cache sink.push_batch at wiring time, so

@@ -1,0 +1,456 @@
+"""Fault injection: standing queries surviving engine and mote deaths.
+
+The acceptance bar for the recovery subsystem, driven end to end by
+:mod:`repro.runtime.faults`:
+
+* **Kill a shard** mid-corpus: the pool restores the dead engine from
+  the latest checkpoint, replays only the log suffix, and the merged
+  post-recovery emissions are *identical* to the failure-free run — no
+  duplicate and no dropped window emissions across the recovery
+  boundary.
+* **Kill a mote** mid-run: the sensor engine reports the death, the
+  federated backend re-partitions against the degraded network and
+  redeploys (keeping fragment feed names, so residual state survives);
+  once the detection horizon passes, emissions match the failure-free
+  run. When no in-network partition survives, the residual absorbs the
+  whole query.
+* **Drop deployment acks**: transient failures are retried away;
+  deterministic failures still exhaust the attempts and roll back.
+
+Seed count: ``REPRO_FAULT_SEEDS`` (default 6).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.api import SensorSource, connect
+from repro.catalog import Catalog
+from repro.data import DataType, Row, Schema
+from repro.errors import ExecutionError, QueryError
+from repro.plan import PlanBuilder
+from repro.runtime import Simulator
+from repro.runtime.faults import (
+    DropDeploymentAcks,
+    kill_fallback,
+    kill_mote,
+    kill_shard,
+    seeded_point,
+)
+from repro.sensor import (
+    Mote,
+    MoteRole,
+    Position,
+    SensorNetwork,
+    SensorRelation,
+)
+from repro.sensor.radio import RadioModel
+from repro.stream.checkpoint import CheckpointCoordinator
+from repro.stream.engine import StreamEngine
+from repro.stream.sharded import ShardedStreamEngine
+
+SEEDS = int(os.environ.get("REPRO_FAULT_SEEDS", "6"))
+
+READINGS = Schema.of(
+    ("room", DataType.STRING),
+    ("host", DataType.STRING),
+    ("temp", DataType.FLOAT),
+    ("load", DataType.FLOAT),
+)
+
+QUERIES = [
+    # Partition-safe: stateless chain, keyed windowed agg, keyed DISTINCT.
+    "select r.host, r.temp * 2.0 as t2 from Readings r where r.temp > 10.0",
+    "select r.host, count(*) as n, sum(r.temp) as total from Readings r "
+    "[range 20 seconds slide 20 seconds] group by r.host",
+    "select distinct r.host, r.room from Readings r where r.temp > 20.0",
+    # Fallback-only: global ORDER BY.
+    "select r.room, r.temp from Readings r order by r.temp",
+]
+
+
+def _catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register_stream("Readings", READINGS, rate=10.0)
+    return catalog
+
+
+def _rows(count: int, rng: random.Random):
+    rooms = ["lab1", "lab2", "office3", None]
+    rows, stamps, clock = [], [], 0.0
+    for _ in range(count):
+        rows.append(
+            Row(
+                READINGS,
+                (
+                    rooms[rng.randrange(4)],
+                    f"ws{rng.randrange(16)}",
+                    None if rng.random() < 0.08 else round(rng.uniform(-5, 80), 2),
+                    round(rng.uniform(0, 1), 3),
+                ),
+                validate=False,
+            )
+        )
+        clock += rng.uniform(0.05, 1.5)
+        stamps.append(round(clock, 3))
+    return rows, stamps
+
+
+def _chunks(rows, stamps, plan_rng):
+    """The same random chunking on every engine for one seed."""
+    out, offset = [], 0
+    while offset < len(rows):
+        size = plan_rng.randint(5, 60)
+        out.append(
+            (
+                rows[offset : offset + size],
+                stamps[offset : offset + size],
+                plan_rng.random() < 0.5,
+            )
+        )
+        offset += size
+    return out
+
+
+def _drive(engine, handles, chunks, final_stamp, on_chunk=None):
+    """Feed the chunk plan, punctuating between chunks; per-segment
+    sorted snapshots per handle. ``on_chunk(index)`` is the injection
+    hook, called before the chunk is pushed."""
+    segments = [[] for _ in handles]
+    marks = [0 for _ in handles]
+
+    def snapshot():
+        for index, handle in enumerate(handles):
+            elements = handle.sink.elements
+            fresh = elements[marks[index]:]
+            marks[index] = len(elements)
+            segments[index].append(
+                sorted((e.timestamp, repr(e.row.values)) for e in fresh)
+            )
+
+    for chunk_no, (chunk_rows, chunk_stamps, batched) in enumerate(chunks):
+        if on_chunk is not None:
+            on_chunk(chunk_no)
+        if batched:
+            engine.push_many("Readings", chunk_rows, chunk_stamps)
+        else:
+            for row, stamp in zip(chunk_rows, chunk_stamps):
+                engine.push("Readings", row, stamp)
+        engine.punctuate(chunk_stamps[-1])
+        snapshot()
+    engine.punctuate(final_stamp)
+    snapshot()
+    return segments
+
+
+def _run_unsharded(rows, stamps, chunks):
+    catalog = _catalog()
+    engine = StreamEngine(catalog)
+    builder = PlanBuilder(catalog)
+    handles = [engine.execute(builder.build_sql(sql)) for sql in QUERIES]
+    return _drive(engine, handles, chunks, stamps[-1] + 200.0)
+
+
+def _sharded_pool(shards, interval):
+    catalog = _catalog()
+    pool = ShardedStreamEngine(catalog, shards=shards)
+    pool.set_partition_key("Readings", "host")
+    coordinator = (
+        CheckpointCoordinator(pool, interval=interval) if interval is not None else None
+    )
+    builder = PlanBuilder(catalog)
+    handles = [pool.execute(builder.build_sql(sql)) for sql in QUERIES]
+    return pool, coordinator, handles
+
+
+class TestShardFailoverIdentity:
+    """Kill one shard engine mid-corpus: post-recovery emissions must be
+    identical to the failure-free (and the unsharded) run."""
+
+    @pytest.mark.parametrize("seed", range(SEEDS))
+    def test_kill_shard_mid_corpus(self, seed):
+        rng = random.Random(seed)
+        rows, stamps = _rows(rng.randint(150, 350), rng)
+        plan_rng = random.Random(seed * 31 + 7)
+        chunks = _chunks(rows, stamps, plan_rng)
+        expected = _run_unsharded(rows, stamps, chunks)
+
+        shards = 4
+        pool, coordinator, handles = _sharded_pool(shards, interval=25.0)
+        kill_at = seeded_point(seed, len(chunks))
+        victim = seeded_point(seed, shards, salt=1)
+        state = {}
+
+        def inject(chunk_no):
+            if chunk_no == kill_at:
+                state["barrier"] = coordinator.latest()
+                kill_shard(pool, victim)
+
+        got = _drive(pool, handles, chunks, stamps[-1] + 200.0, on_chunk=inject)
+        assert got == expected, f"seed={seed}: emissions diverged across recovery"
+        # Suffix-only replay: recovery started from the newest barrier
+        # (or seq 0 when the kill preceded the first one), never from
+        # pruned history.
+        replay = coordinator.last_replay
+        assert replay is not None and replay["target"] == victim
+        barrier = state["barrier"]
+        assert replay["from_seq"] == (barrier.log_seq if barrier is not None else 0)
+
+    @pytest.mark.parametrize("seed", range(min(SEEDS, 3)))
+    def test_kill_fallback_mid_corpus(self, seed):
+        rng = random.Random(500 + seed)
+        rows, stamps = _rows(250, rng)
+        plan_rng = random.Random(seed * 31 + 7)
+        chunks = _chunks(rows, stamps, plan_rng)
+        expected = _run_unsharded(rows, stamps, chunks)
+
+        pool, coordinator, handles = _sharded_pool(3, interval=25.0)
+        kill_at = seeded_point(seed, len(chunks), salt=2)
+
+        def inject(chunk_no):
+            if chunk_no == kill_at:
+                kill_fallback(pool)
+
+        got = _drive(pool, handles, chunks, stamps[-1] + 200.0, on_chunk=inject)
+        assert got == expected
+        assert coordinator.last_replay is not None
+        assert coordinator.last_replay["target"] == "fb"
+
+    def test_cold_failover_before_first_barrier(self):
+        """A shard killed before any checkpoint replays the full log —
+        the pool's handles outlive the dead engine."""
+        rng = random.Random(42)
+        rows, stamps = _rows(120, rng)
+        chunks = _chunks(rows, stamps, random.Random(42 * 31 + 7))
+        expected = _run_unsharded(rows, stamps, chunks)
+
+        # interval=None: the log accumulates but no barrier ever fires,
+        # so recovery must replay the full log from seq 0.
+        pool, _, handles = _sharded_pool(3, interval=None)
+        coordinator = CheckpointCoordinator(pool, interval=None)
+
+        def inject(chunk_no):
+            if chunk_no == 1:
+                kill_shard(pool, 0)
+
+        got = _drive(pool, handles, chunks, stamps[-1] + 200.0, on_chunk=inject)
+        assert got == expected
+        assert coordinator.last_replay["from_seq"] == 0
+
+    def test_punctuate_recovers_a_dead_shard(self):
+        """Punctuation reaching the pool restores dead shards *before*
+        the broadcast, so the triggering watermark closes windows on the
+        restored replicas too — the merge coordinator's min-watermark
+        hold ends in the same call that repaired the shard."""
+        pool, coordinator, handles = _sharded_pool(3, interval=0.0)
+        rows, stamps = _rows(60, random.Random(7))
+        pool.push_many("Readings", rows, stamps)
+        pool.punctuate(stamps[-1])
+        sink_puncts = len(handles[1].sink.punctuations)
+        kill_shard(pool, 1)
+        assert pool.engines[1].failed
+        pool.punctuate(stamps[-1] + 50.0)
+        assert not pool.engines[1].failed  # restored in-line
+        assert len(handles[1].sink.punctuations) == sink_puncts + 1  # not held back
+        assert coordinator.last_replay["target"] == 1
+
+    def test_failover_without_coordinator_raises(self):
+        pool, _, handles = _sharded_pool(2, interval=None)
+        rows, stamps = _rows(30, random.Random(3))
+        pool.push_many("Readings", rows, stamps)
+        kill_shard(pool, 0)
+        with pytest.raises(ExecutionError, match="CheckpointCoordinator"):
+            pool.punctuate(stamps[-1])
+
+
+# ----------------------------------------------------------------------
+# Federated: mote death and self-healing redeployment
+# ----------------------------------------------------------------------
+TEMPS = Schema.of(("room", DataType.STRING), ("temp", DataType.FLOAT))
+
+
+def _diamond_world(seed: int):
+    """base — {relay1, relay2} — member: the member mote samples, both
+    relays only route. Loss-free links (reliable_fraction=1.0) keep the
+    runs deterministic; the member's BFS parent is relay1 (lower id)."""
+    simulator = Simulator(seed)
+    network = SensorNetwork(simulator, radio=RadioModel(reliable_fraction=1.0))
+    network.add_basestation(Position(0.0, 0.0), radio_range=12.0)
+    network.add_mote(Mote(1, Position(0.0, 10.0), MoteRole.ROOM, radio_range=12.0))
+    network.add_mote(Mote(2, Position(6.0, 10.0), MoteRole.ROOM, radio_range=12.0))
+    member = Mote(3, Position(3.0, 20.0), MoteRole.ROOM, radio_range=12.0)
+    member.attach_sensor("temp", lambda sim=simulator: 20.0 + (sim.now * 1.3) % 7.0)
+    network.add_mote(member)
+    network.rebuild_topology()
+    session = connect(network=network, simulator=simulator)
+    relation = SensorRelation(
+        "RoomTemps",
+        TEMPS,
+        [3],
+        lambda mote: {"room": "lab", "temp": round(mote.sample("temp"), 2)},
+        period=5.0,
+    )
+    session.attach(SensorSource(relation))
+    return session, simulator, network
+
+
+def _drive_federated(session, simulator, cursor, steps, kill_step=None, network=None):
+    segments, mark = [], 0
+    for step in range(steps):
+        if kill_step is not None and step == kill_step:
+            kill_mote(network, 1)
+        simulator.run_for(5.0)
+        simulator.run_for(1.0)  # drain in-flight radio deliveries
+        session.punctuate(simulator.now)
+        elements = cursor._handle.sink.elements
+        segments.append(
+            sorted((round(e.timestamp, 3), repr(e.row.values)) for e in elements[mark:])
+        )
+        mark = len(elements)
+    return segments
+
+
+class TestMoteDeathRepair:
+    SQL = "select rt.room, rt.temp from RoomTemps rt"
+
+    @pytest.mark.parametrize("seed", range(min(SEEDS, 4)))
+    def test_kill_relay_identity_after_recovery(self, seed):
+        steps = 8
+        session, simulator, network = _diamond_world(seed)
+        cursor = session.query(self.SQL)
+        baseline = _drive_federated(session, simulator, cursor, steps)
+        session.close()
+
+        kill_step = 2 + seeded_point(seed, 3, salt=3)  # in [2, 4]
+        session2, simulator2, network2 = _diamond_world(seed)
+        cursor2 = session2.query(self.SQL)
+        got = _drive_federated(
+            session2, simulator2, cursor2, steps, kill_step=kill_step, network=network2
+        )
+        backend = session2.backend("federated")
+        assert [r["mode"] for r in backend.repairs] == ["redeploy"]
+        assert backend.repairs[0]["mote"] == 1
+        # The member now routes through the surviving relay.
+        assert network2.parent_of(3) == 2
+        # Detection happens at the next epoch, so the kill step may lose
+        # one delivery (best-effort collection); everything after the
+        # recovery horizon must match the failure-free run exactly.
+        horizon = kill_step + 2
+        assert got[horizon:] == baseline[horizon:], f"seed={seed}"
+        session2.close()
+
+    def test_dead_sampler_is_reported_and_repair_runs(self):
+        session, simulator, network = _diamond_world(1)
+        cursor = session.query(self.SQL)
+        simulator.run_for(6.0)
+        kill_mote(network, 3)  # the sampling mote itself
+        simulator.run_for(12.0)
+        backend = session.backend("federated")
+        assert any(r["mote"] == 3 for r in backend.repairs)
+        assert not cursor.closed  # the cursor survives, just starved
+        session.close()
+
+    def test_absorb_when_no_partition_survives(self):
+        """Killing both relays disconnects the member: partitioning
+        fails and the residual absorbs the whole plan on the stream
+        delegate instead of crashing the simulation."""
+        session, simulator, network = _diamond_world(1)
+        cursor = session.query(self.SQL)
+        simulator.run_for(6.0)
+        kill_mote(network, 1)
+        kill_mote(network, 2)
+        simulator.run_for(12.0)
+        backend = session.backend("federated")
+        assert "absorb" in [r["mode"] for r in backend.repairs]
+        assert not cursor.closed
+        assert not cursor._deployments  # nothing left in-network
+        simulator.run_for(10.0)  # keeps running quietly
+        session.close()
+
+    def test_death_reported_once(self):
+        session, simulator, network = _diamond_world(1)
+        deaths = []
+        session.sensor_engine.on_mote_death.append(deaths.append)
+        session.query(self.SQL)
+        kill_mote(network, 1)
+        simulator.run_for(30.0)  # many epochs observe the corpse
+        assert deaths == [1]
+        session.close()
+
+
+class TestDeploymentRetry:
+    SQL = "select rt.room, rt.temp from RoomTemps rt"
+
+    def test_transient_ack_drops_are_retried_away(self):
+        session, simulator, _ = _diamond_world(1)
+        backend = session.backend("federated")
+        with DropDeploymentAcks(session.sensor_engine, drops=2) as fault:
+            cursor = session.query(self.SQL)
+        assert fault.dropped == 2
+        assert backend.deploy_retries == 2
+        assert cursor.kind == "federated" and len(cursor.fragments) == 1
+        simulator.run_for(6.0)
+        session.punctuate(simulator.now)
+        assert len(cursor.results()) == 1  # deliveries flow after retry
+        session.close()
+
+    def test_deterministic_failure_still_rolls_back(self):
+        session, _, _ = _diamond_world(1)
+        deployed_before = list(session.sensor_engine.deployed)
+        running_before = len(session.engine.running_queries)
+        with DropDeploymentAcks(session.sensor_engine, drops=100):
+            with pytest.raises(QueryError, match="deployment ack dropped"):
+                session.query(self.SQL)
+        # Nothing leaked: only the attach-time collection remains and
+        # the residual stream query was stopped.
+        assert session.sensor_engine.deployed == deployed_before
+        assert len(session.engine.running_queries) == running_before
+        session.close()
+
+
+class TestUndeployIdempotence:
+    """Satellite: SensorEngine.undeploy / DeployedQuery.stop must be
+    fully idempotent under any interleaving — Cursor.close() racing
+    Session.close() reaches both entry points repeatedly."""
+
+    def _deployed(self):
+        session, simulator, network = _diamond_world(1)
+        engine = session.sensor_engine
+        deployed = engine.deploy_collection("RoomTemps")
+        return session, engine, deployed
+
+    def test_stop_then_undeploy_then_stop(self):
+        session, engine, deployed = self._deployed()
+        assert deployed in engine.deployed
+        deployed.stop()
+        assert deployed.stopped and deployed not in engine.deployed
+        engine.undeploy(deployed)  # second entry: no-op
+        deployed.stop()  # third entry: no-op
+        assert deployed not in engine.deployed
+        session.close()
+
+    def test_undeploy_before_stop_cancels_tasks(self):
+        session, engine, deployed = self._deployed()
+        engine.undeploy(deployed)  # registry entry point first
+        assert deployed.stopped  # routed through stop(): tasks cancelled
+        assert all(task._stopped for task in deployed.tasks)
+        assert deployed not in engine.deployed
+        engine.undeploy(deployed)
+        assert deployed not in engine.deployed
+        session.close()
+
+    def test_cursor_close_racing_session_close(self):
+        session, simulator, _ = _diamond_world(1)
+        cursor = session.query("select rt.room, rt.temp from RoomTemps rt")
+        fragments = cursor.fragments
+        assert fragments
+        cursor.close()  # "thread A"
+        session.close()  # "thread B" re-enters every stop path
+        cursor.close()  # late duplicate close
+        for deployment in fragments:
+            assert deployment.stopped
+            assert deployment not in session.sensor_engine.deployed
+            assert all(task._stopped for task in deployment.tasks)
