@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test check bench bench-expr bench-fusion bench-session bench-shard bench-federated bench-recovery
+.PHONY: test check bench bench-expr bench-fusion bench-session bench-shard bench-federated bench-recovery bench-tenancy
 
 ## Tier-1 verification: the full unit/integration suite.
 test:
@@ -47,3 +47,8 @@ bench-federated:
 ## (writes BENCH_recovery.json).
 bench-recovery:
 	$(PYTHON) -m benchmarks.bench_recovery
+
+## Just the multi-tenancy plan-multiplexing benchmark (writes
+## BENCH_tenancy.json). Also runs at smoke scale as part of `check`.
+bench-tenancy:
+	$(PYTHON) -m pytest benchmarks/bench_tenancy.py -q -s

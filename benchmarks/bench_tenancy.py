@@ -1,0 +1,250 @@
+"""Multi-tenancy benchmark: 1k+ standing queries under plan multiplexing.
+
+The workload is the paper's "millions of users" scenario scaled to a
+process: ~20 statement templates (filter/project tiers, windowed
+aggregates, DISTINCT, row windows) instantiated into 1000+ concurrent
+standing queries over one stream. Each configuration runs twice —
+
+* **shared**   — ``connect()`` (the default): repeated SQL text hits the
+  session plan cache, and structurally identical plans execute one
+  shared operator chain fanned out through a tee
+  (:mod:`repro.stream.multiplex`);
+* **unshared** — ``connect(share_plans=False)``: the same plan cache,
+  but every query builds and runs a private operator pipeline.
+
+Measured per mode: admission rate (``session.query()`` calls/s),
+steady-state ingest throughput with all queries standing, and the
+per-query *marginal* ingest cost (the slope between a small and a full
+tenant population). Result identity between the modes is asserted at
+every scale; the acceptance bars — admission ≥ 5x faster shared and a
+strictly lower shared marginal cost — only at full scale.
+
+Results are printed and written to ``BENCH_tenancy.json`` (directory
+override: ``REPRO_BENCH_DIR``; workload scale: ``REPRO_BENCH_SCALE``).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.api import StreamSource, connect
+from repro.data import DataType, Schema
+
+ARTIFACT_NAME = "BENCH_tenancy.json"
+
+READINGS = Schema.of(
+    ("room", DataType.STRING),
+    ("host", DataType.STRING),
+    ("temp", DataType.FLOAT),
+    ("load", DataType.FLOAT),
+)
+
+#: ~20 distinct statements; 1000 tenants cycle through them, so each
+#: template backs ~50 standing queries. All scan the one stream source,
+#: so every statement is shared-eligible.
+TEMPLATES = [
+    # Filter/project tiers (stateless fused chains).
+    "select r.host, r.temp from Readings r where r.temp > 10.0",
+    "select r.host, r.temp from Readings r where r.temp > 25.0",
+    "select r.host, r.temp from Readings r where r.temp > 40.0",
+    "select r.host, r.temp from Readings r where r.temp > 55.0",
+    "select r.room, r.host from Readings r where r.load < 0.25",
+    "select r.room, r.host from Readings r where r.load < 0.75",
+    "select r.host, r.temp * 1.8 + 32.0 as fahrenheit from Readings r "
+    "where r.temp > 30.0",
+    "select r.host, r.load * 100.0 as pct from Readings r where r.load >= 0.5",
+    "select r.room, r.temp from Readings r where r.room like 'lab%'",
+    "select r.host from Readings r where r.temp > 20.0 and r.load < 0.9",
+    # Windowed aggregates (stateful chains).
+    "select r.room, count(*) as n from Readings r "
+    "[range 10 seconds slide 10 seconds] group by r.room",
+    "select r.room, avg(r.temp) as mean from Readings r "
+    "[range 10 seconds slide 10 seconds] group by r.room",
+    "select r.host, count(*) as n, sum(r.temp) as total from Readings r "
+    "[range 20 seconds slide 20 seconds] group by r.host",
+    "select r.host, min(r.temp) as lo, max(r.temp) as hi from Readings r "
+    "[range 20 seconds slide 10 seconds] group by r.host",
+    "select count(*) as n, avg(r.load) as mean from Readings r "
+    "[range 10 seconds slide 10 seconds]",
+    "select r.room, count(*) as n from Readings r "
+    "[range 20 seconds slide 20 seconds] where r.temp > 15.0 group by r.room",
+    # Keyed DISTINCT.
+    "select distinct r.host, r.room from Readings r where r.temp > 35.0",
+    "select distinct r.room from Readings r where r.load > 0.1",
+    # Row windows.
+    "select r.host, r.temp from Readings r [rows 25] where r.load > 0.3",
+    "select r.room, avg(r.temp) as mean from Readings r "
+    "[rows 50] group by r.room",
+]
+
+
+def _batches(row_count: int, batch_size: int = 100):
+    """Deterministic ingest batches: (rows, stamps, watermark) triples."""
+    rooms = ["lab1", "lab2", "office3", "lab4"]
+    batches = []
+    clock = 0.0
+    for base in range(0, row_count, batch_size):
+        rows, stamps = [], []
+        for i in range(base, min(base + batch_size, row_count)):
+            rows.append(
+                {
+                    "room": rooms[i % 4],
+                    "host": f"ws{i % 16}",
+                    "temp": float(i % 70),
+                    "load": (i % 100) / 100.0,
+                }
+            )
+            clock += 0.1
+            stamps.append(round(clock, 3))
+        batches.append((rows, stamps, round(clock + 0.05, 3)))
+    return batches
+
+
+def _measure(share: bool, n_queries: int, batches) -> dict:
+    """Admit ``n_queries`` standing queries, then drive every batch."""
+    session = connect(share_plans=share)
+    session.attach(StreamSource("Readings", READINGS, rate=10.0))
+    statements = [TEMPLATES[i % len(TEMPLATES)] for i in range(n_queries)]
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        cursors = [session.query(sql) for sql in statements]
+        admit_s = time.perf_counter() - start
+        start = time.perf_counter()
+        for rows, stamps, watermark in batches:
+            session.push_many("Readings", rows, stamps)
+            session.punctuate(watermark)
+        ingest_s = time.perf_counter() - start
+    finally:
+        gc.enable()
+    counts = [len(cursor.results()) for cursor in cursors]
+    stats = session.stats()
+    session.close()
+    return {
+        "share": share,
+        "queries": n_queries,
+        "admit_s": admit_s,
+        "ingest_s": ingest_s,
+        "result_counts": counts,
+        "stats": stats,
+    }
+
+
+def _marginal_us(full: dict, small: dict, rows: int) -> float:
+    """Ingest cost added by each extra standing query, in us per row."""
+    extra_queries = full["queries"] - small["queries"]
+    return (full["ingest_s"] - small["ingest_s"]) / (extra_queries * rows) * 1e6
+
+
+def run_benchmarks(scale: float | None = None) -> dict:
+    if scale is None:
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    n_full = max(40, int(1000 * scale))
+    n_small = max(8, n_full // 10)
+    row_count = max(100, int(600 * scale))
+    batches = _batches(row_count)
+
+    # Warm the compile and ingest code paths so neither mode pays
+    # first-call import/JIT-cache costs inside its timed region.
+    _measure(True, len(TEMPLATES), batches[:1])
+    _measure(False, len(TEMPLATES), batches[:1])
+
+    shared_full = _measure(True, n_full, batches)
+    unshared_full = _measure(False, n_full, batches)
+    shared_small = _measure(True, n_small, batches)
+    unshared_small = _measure(False, n_small, batches)
+
+    assert shared_full["result_counts"] == unshared_full["result_counts"], (
+        "shared execution changed standing-query results"
+    )
+
+    shared_qps = n_full / shared_full["admit_s"]
+    unshared_qps = n_full / unshared_full["admit_s"]
+    rows_total = row_count
+    shared_marginal = _marginal_us(shared_full, shared_small, rows_total)
+    unshared_marginal = _marginal_us(unshared_full, unshared_small, rows_total)
+    return {
+        "benchmark": "tenancy",
+        "scale": scale,
+        "templates": len(TEMPLATES),
+        "queries": n_full,
+        "rows": rows_total,
+        "result_rows": sum(shared_full["result_counts"]),
+        "admission": {
+            "shared_qps": round(shared_qps),
+            "unshared_qps": round(unshared_qps),
+            "speedup": round(shared_qps / unshared_qps, 2),
+        },
+        "ingest": {
+            "shared_s": round(shared_full["ingest_s"], 6),
+            "unshared_s": round(unshared_full["ingest_s"], 6),
+            "shared_rows_per_s": round(rows_total / shared_full["ingest_s"]),
+            "unshared_rows_per_s": round(rows_total / unshared_full["ingest_s"]),
+            "speedup": round(
+                unshared_full["ingest_s"] / shared_full["ingest_s"], 2
+            ),
+        },
+        "marginal_per_query": {
+            "shared_us_per_row": round(shared_marginal, 4),
+            "unshared_us_per_row": round(unshared_marginal, 4),
+            "ratio": round(unshared_marginal / shared_marginal, 2)
+            if shared_marginal > 0
+            else None,
+        },
+        "shared_stats": shared_full["stats"],
+    }
+
+
+def write_artifact(results: dict, directory: str | os.PathLike | None = None) -> Path:
+    if directory is None:
+        directory = os.environ.get(
+            "REPRO_BENCH_DIR", Path(__file__).resolve().parent.parent
+        )
+    path = Path(directory) / ARTIFACT_NAME
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def test_tenancy_multiplexing(table_printer):
+    results = run_benchmarks()
+    path = write_artifact(results)
+    admission = results["admission"]
+    ingest = results["ingest"]
+    marginal = results["marginal_per_query"]
+    table_printer(
+        f"{results['queries']} standing queries from {results['templates']} "
+        f"templates (artifact: {path})",
+        ["mode", "admission q/s", "ingest rows/s", "marginal us/row/query"],
+        [
+            [
+                "shared",
+                admission["shared_qps"],
+                ingest["shared_rows_per_s"],
+                marginal["shared_us_per_row"],
+            ],
+            [
+                "unshared",
+                admission["unshared_qps"],
+                ingest["unshared_rows_per_s"],
+                marginal["unshared_us_per_row"],
+            ],
+        ],
+    )
+    print(
+        f"  admission speedup: {admission['speedup']}x, "
+        f"ingest speedup: {ingest['speedup']}x"
+    )
+    # Acceptance bars hold only at full scale — smoke workloads admit
+    # too few queries for the fixed per-session costs to amortize.
+    if results["scale"] >= 1.0:
+        assert admission["speedup"] >= 5.0, (
+            f"shared admission only {admission['speedup']}x faster; expected >= 5x"
+        )
+        assert marginal["shared_us_per_row"] < marginal["unshared_us_per_row"], (
+            "sharing did not lower the per-query marginal ingest cost"
+        )

@@ -214,6 +214,31 @@ def main() -> None:
                 f"{len(temps.results()) - before} samples after recovery"
             )
 
+    # 9. Multi-tenancy: many standing queries from a few templates.
+    #    Sessions multiplex by default — repeated SQL text hits a
+    #    normalized-text plan cache, and structurally identical plans
+    #    run ONE shared operator chain fanned out to every cursor
+    #    (connect(share_plans=False) restores private pipelines).
+    with connect() as session:
+        session.attach(StreamSource("Readings", READINGS, rate=2.0))
+        templates = [
+            "select r.room, r.temp from Readings r where r.temp > 24.0",
+            "select r.room, count(*) as n from Readings r "
+            "[range 10 seconds slide 10 seconds] group by r.room",
+        ]
+        tenants = [session.query(templates[i % 2]) for i in range(40)]
+        session.push("Readings", {"room": "lab1", "temp": 26.0}, 1.0)
+        session.punctuate(10.0)
+        stats = session.stats()
+        print(
+            f"{len(tenants)} standing queries -> "
+            f"{stats['sharing']['chains']} shared chains "
+            f"(fan-out {stats['sharing']['fan_out']}), "
+            f"plan cache {stats['plan_cache']['hits']} hits / "
+            f"{stats['plan_cache']['misses']} misses; "
+            f"every tenant saw {len(tenants[0].results())} row(s)"
+        )
+
 
 if __name__ == "__main__":
     main()

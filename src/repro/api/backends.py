@@ -69,11 +69,18 @@ class StreamBackend:
 
     name = "stream"
 
-    def __init__(self, session, engine: StreamEngine | None = None):
+    def __init__(
+        self,
+        session,
+        engine: StreamEngine | None = None,
+        share_plans: bool = False,
+    ):
         self._session = session
         self._owns_engine = engine is None
+        # An injected engine keeps its own share_plans setting — it may
+        # already host queries admitted under the opposite policy.
         self.engine = engine if engine is not None else StreamEngine(
-            session.catalog, deliver=session._deliver
+            session.catalog, deliver=session._deliver, share_plans=share_plans
         )
 
     def compile_and_run(
@@ -105,11 +112,14 @@ class ShardedStreamBackend(StreamBackend):
     engine surface, so only construction differs.
     """
 
-    def __init__(self, session, shards: int):
+    def __init__(self, session, shards: int, share_plans: bool = False):
         self._session = session
         self._owns_engine = True  # the pool is always ours to stop
         self.engine = ShardedStreamEngine(
-            session.catalog, shards=shards, deliver=session._deliver
+            session.catalog,
+            shards=shards,
+            deliver=session._deliver,
+            share_plans=share_plans,
         )
 
     @property

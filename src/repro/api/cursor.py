@@ -39,7 +39,6 @@ from repro.errors import QueryError, SessionClosedError
 from repro.sql.ast import (
     CreateView,
     OrderItem,
-    RecursiveQuery,
     SelectItem,
     SelectQuery,
 )
@@ -322,26 +321,16 @@ class PreparedStatement:
         self.sql = sql
         self._placement = placement
         self._invalidated = False
-        statement = session._parse(sql)
-        if isinstance(statement, CreateView):
+        # The same memoized front end as Session.query: a statement
+        # prepared (or queried) twice reuses the cached parse, analysis,
+        # plan and route — Parameter slots live in the shared analyzed
+        # expressions, so rebinding works identically on a cached entry.
+        entry = session._compile_statement(sql, placement=placement, engine=engine)
+        if isinstance(entry.statement, CreateView):
             raise QueryError("CREATE VIEW cannot be prepared; run it directly", sql=sql)
-        with session._compiling(sql):
-            if isinstance(statement, RecursiveQuery):
-                if engine not in (None, "batch") or placement is not None:
-                    raise QueryError(
-                        "WITH RECURSIVE always evaluates on the batch engine; "
-                        f"engine={engine!r}, placement={placement!r} cannot apply",
-                        sql=sql,
-                    )
-                self._analyzed: AnalyzedQuery | AnalyzedRecursive = (
-                    session.analyzer.analyze_recursive(statement)
-                )
-                self._plan = session.builder.build_recursive(self._analyzed)
-                self._route = "batch"
-            else:
-                self._analyzed = session.analyzer.analyze_select(statement)
-                self._plan = session.builder.build_select(self._analyzed)
-                self._route = session._route(self._plan, placement, engine, sql)
+        self._analyzed: AnalyzedQuery | AnalyzedRecursive = entry.analyzed
+        self._plan = entry.plan
+        self._route = entry.route
         self._params = collect_parameters(self._expressions())
         self._schema = self._plan.schema
 

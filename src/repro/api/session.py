@@ -74,9 +74,11 @@ from repro.runtime import Simulator
 from repro.sql.analyzer import Analyzer
 from repro.sql.ast import CreateView, RecursiveQuery, SelectQuery
 from repro.sql.expressions import collect_parameters
+from repro.sql.normalize import normalize_sql
 from repro.sql.parser import parse
 from repro.stream.batch import evaluate, fixpoint
 from repro.stream.engine import StreamEngine
+from repro.stream.multiplex import CachedStatement, PlanCache
 from repro.wrappers.base import Punctuator
 
 from repro.api.cursor import Cursor, PreparedStatement
@@ -94,6 +96,8 @@ def connect(
     seed: int = 0,
     shards: int = 1,
     checkpoint_interval: float | None = None,
+    share_plans: bool = True,
+    plan_cache_size: int = 256,
 ) -> "Session":
     """Open a :class:`Session`.
 
@@ -120,6 +124,17 @@ def connect(
     crash in an embedding — is restored from the latest barrier plus a
     replay of the suffix of ingested elements since it. The coordinator
     is exposed as ``session.checkpointer``.
+
+    ``share_plans`` (default True) turns on standing-query multiplexing
+    on stream engines this session *builds*: continuous queries with a
+    structurally identical plan — or a common scan/filter/aggregate
+    prefix — execute one shared operator chain fanned out to per-query
+    sinks (see :mod:`repro.stream.multiplex`), and repeated SQL text is
+    served from a normalized-text plan cache of ``plan_cache_size``
+    entries that skips lex/parse/analyze/build on a hit.
+    ``share_plans=False`` restores fully private per-query pipelines
+    (the cache stays on — it never changes semantics, only compile
+    cost). An *injected* engine keeps its own ``share_plans`` setting.
     """
     return Session(
         catalog=catalog,
@@ -132,6 +147,8 @@ def connect(
         seed=seed,
         shards=shards,
         checkpoint_interval=checkpoint_interval,
+        share_plans=share_plans,
+        plan_cache_size=plan_cache_size,
     )
 
 
@@ -151,6 +168,8 @@ class Session:
         seed: int = 0,
         shards: int = 1,
         checkpoint_interval: float | None = None,
+        share_plans: bool = True,
+        plan_cache_size: int = 256,
     ):
         from repro.api.backends import (
             BatchBackend,
@@ -173,15 +192,16 @@ class Session:
         self._punctuators: list[Punctuator] = []
         self._statements: "weakref.WeakSet" = weakref.WeakSet()
         self._closed = False
+        self._plan_cache = PlanCache(capacity=plan_cache_size)
         if shards > 1:
             if engine is not None:
                 raise QueryError(
                     "connect(shards=...) builds its own engine pool; "
                     "an injected engine cannot be sharded"
                 )
-            stream_backend: Any = ShardedStreamBackend(self, shards)
+            stream_backend: Any = ShardedStreamBackend(self, shards, share_plans)
         else:
-            stream_backend = StreamBackend(self, engine)
+            stream_backend = StreamBackend(self, engine, share_plans)
         #: Routing key -> ExecutionBackend peer. The "stream" slot holds
         #: either the single-engine or the sharded backend; the
         #: federated backend delegates its residual plans to that same
@@ -271,6 +291,70 @@ class Session:
         with self._compiling(sql):
             return parse(sql)
 
+    def _compile_statement(
+        self,
+        sql: str,
+        *,
+        placement: Any | None = None,
+        engine: str | None = None,
+    ) -> CachedStatement:
+        """SQL text -> :class:`CachedStatement`, memoized in the plan cache.
+
+        The one front-end funnel behind both ``query()`` and
+        ``prepare()``: normalize the text, and on a cache hit skip
+        lexing, parsing, analysis, plan construction *and* routing —
+        the entry carries the statement, analyzed form, plan and route.
+        Entries are keyed on the normalized text and stamped with the
+        catalog's schema epoch, so CREATE VIEW / attach / detach /
+        drop_table (each bumps the epoch) invalidate every plan
+        compiled against the old catalog.
+
+        Not every call is cacheable: ``placement``/``engine`` overrides
+        bake a routing decision into the entry that the default path
+        must not inherit, so overridden calls compile fresh and are
+        never stored. CREATE VIEW is returned uncompiled (``plan=None``,
+        ``route="view"``) and never cached — running it mutates the
+        catalog, and the two callers reject or handle it differently.
+        """
+        cacheable = placement is None and engine is None
+        if cacheable:
+            with self._compiling(sql):
+                key = normalize_sql(sql)
+            entry = self._plan_cache.lookup(key, self.catalog.schema_epoch)
+            if entry is not None:
+                return entry
+        statement = self._parse(sql)
+        parameters = tuple(sorted(_statement_parameter_names(statement)))
+        if isinstance(statement, CreateView):
+            return CachedStatement(
+                statement, None, None, "view", parameters, self.catalog.schema_epoch
+            )
+        with self._compiling(sql):
+            if isinstance(statement, RecursiveQuery):
+                if engine not in (None, "batch") or placement is not None:
+                    raise QueryError(
+                        "WITH RECURSIVE always evaluates on the batch engine; "
+                        f"engine={engine!r}, placement={placement!r} cannot apply",
+                        sql=sql,
+                    )
+                analyzed: Any = self.analyzer.analyze_recursive(statement)
+                plan: Any = self.builder.build_recursive(analyzed)
+                route = "batch"
+            elif isinstance(statement, SelectQuery):
+                analyzed = self.analyzer.analyze_select(statement)
+                plan = self.builder.build_select(analyzed)
+                route = self._route(plan, placement, engine, sql)
+            else:
+                raise QueryError(
+                    f"unsupported statement {type(statement).__name__}", sql=sql
+                )
+        entry = CachedStatement(
+            statement, analyzed, plan, route, parameters, self.catalog.schema_epoch
+        )
+        if cacheable:
+            self._plan_cache.store(key, entry)
+        return entry
+
     def plan(self, sql: str) -> LogicalOp | RecursivePlan:
         """Compile SQL text to a logical plan without executing it.
 
@@ -328,14 +412,14 @@ class Session:
         self._ensure_open()
         if params:
             return self.prepare(sql, placement=placement, engine=engine).execute(**params)
-        statement = self._parse(sql)
-        unbound = _statement_parameter_names(statement)
-        if unbound:
+        entry = self._compile_statement(sql, placement=placement, engine=engine)
+        statement = entry.statement
+        if entry.parameters:
             # Reject at compile time: an unbound Parameter reaching a
             # running pipeline would raise mid-ingestion, poisoning
             # every other query on the same source.
             raise QueryError(
-                f"statement has unbound parameters: {', '.join(sorted(unbound))}; "
+                f"statement has unbound parameters: {', '.join(entry.parameters)}; "
                 "pass params=... or use prepare()",
                 sql=sql,
             )
@@ -351,25 +435,10 @@ class Session:
             self.catalog.register_view(statement.name, statement.query)
             return Cursor._view(self, sql, statement.name, analyzed.output_schema)
         if isinstance(statement, RecursiveQuery):
-            if engine not in (None, "batch") or placement is not None:
-                raise QueryError(
-                    "WITH RECURSIVE always evaluates on the batch engine; "
-                    f"engine={engine!r}, placement={placement!r} cannot apply",
-                    sql=sql,
-                )
-            with self._compiling(sql):
-                plan = self.builder.build_recursive(
-                    self.analyzer.analyze_recursive(statement)
-                )
-            return Cursor._materialized(self, self._evaluate(plan), plan.schema, sql)
-        if isinstance(statement, SelectQuery):
-            with self._compiling(sql):
-                plan = self.builder.build_select(self.analyzer.analyze_select(statement))
-            route = self._route(plan, placement, engine, sql)
-            return self._start(plan, route, placement, sql)
-        raise QueryError(
-            f"unsupported statement {type(statement).__name__}", sql=sql
-        )
+            return Cursor._materialized(
+                self, self._evaluate(entry.plan), entry.plan.schema, sql
+            )
+        return self._start(entry.plan, entry.route, placement, sql)
 
     def prepare(
         self,
@@ -526,6 +595,24 @@ class Session:
     def shards(self) -> int:
         """How many stream shards serve this session (1 = unsharded)."""
         return getattr(self._backends["stream"], "shards", 1)
+
+    def stats(self) -> dict:
+        """Multiplexing observability counters.
+
+        ``{"plan_cache": {...}, "sharing": {...}, "schema_epoch": n}`` —
+        the plan cache's size/hits/misses/evictions/invalidations, the
+        stream engine's shared-subplan counters (live chains, total
+        fan-out, chains created/attached/detached/torn down, declined
+        admissions; summed across every shard and the fallback engine
+        under ``connect(shards=N)``), and the catalog schema epoch the
+        cache keys against.
+        """
+        self._ensure_open()
+        return {
+            "plan_cache": self._plan_cache.stats(),
+            "sharing": self.engine.sharing_stats(),
+            "schema_epoch": self.catalog.schema_epoch,
+        }
 
     def _forget_cursor(self, cursor: Cursor) -> None:
         for registry in (self._cursors, self._distributed_cursors):

@@ -149,6 +149,15 @@ class Catalog:
         self._views: dict[str, ViewEntry] = {}
         self._displays: dict[str, DisplayEntry] = {}
         self.network = NetworkInfo()
+        #: Monotonic counter bumped on every change that can invalidate
+        #: a compiled plan (source attach/detach, view creation, table
+        #: drops). Plan caches compare their stored epoch against this.
+        self.schema_epoch: int = 0
+
+    def bump_epoch(self) -> int:
+        """Advance the schema epoch; returns the new value."""
+        self.schema_epoch += 1
+        return self.schema_epoch
 
     # ------------------------------------------------------------------
     # Sources
@@ -180,6 +189,7 @@ class Catalog:
             description=description,
         )
         self._sources[key] = entry
+        self.bump_epoch()
         return entry
 
     def register_stream(
@@ -234,7 +244,10 @@ class Catalog:
         ``Session.attach``/``detach``. Running queries keep their bound
         schemas; only future name resolution is affected.
         """
-        return self._sources.pop(name.lower(), None) is not None
+        existed = self._sources.pop(name.lower(), None) is not None
+        if existed:
+            self.bump_epoch()
+        return existed
 
     def has_source(self, name: str) -> bool:
         return name.lower() in self._sources
@@ -256,6 +269,7 @@ class Catalog:
             raise CatalogError(f"source or view {name!r} is already registered")
         entry = ViewEntry(name, query, description)
         self._views[key] = entry
+        self.bump_epoch()
         return entry
 
     def view(self, name: str) -> ViewEntry:

@@ -102,6 +102,11 @@ class QueryCheckpoint:
     plan: LogicalOp
     operators: list[dict]
     sink: dict | None  # CollectingConsumer contents, None for custom sinks
+    #: Whether the query ran as tee branches of shared chains at the
+    #: barrier; ``operators`` then holds only its residual pipeline and
+    #: the chain state lives in ``EngineCheckpoint.chains``. Restore
+    #: pins the re-executed query to the same sharing decision.
+    shared: bool = False
 
 
 @dataclass
@@ -113,6 +118,9 @@ class EngineCheckpoint:
     log_seq: int  # replay starts here
     tables: dict[str, list[StreamElement]]
     queries: list[QueryCheckpoint]
+    #: Shared-chain operator states by structural fingerprint — one
+    #: snapshot per chain however many queries fan out of it.
+    chains: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -131,6 +139,9 @@ class HandleCheckpoint:
     #: Merged/fallback sink sizes at the barrier, for fallback dedup.
     sink_len: int
     sink_punct_len: int
+    #: Per-replica sharing decisions (aligned with ``replicas``);
+    #: failover re-executes each replica under the same decision.
+    shared: list[bool] = field(default_factory=list)
 
 
 @dataclass
@@ -142,6 +153,10 @@ class PoolCheckpoint:
     log_seq: int
     tables: dict[str, list[StreamElement]]
     handles: dict[int, HandleCheckpoint] = field(default_factory=dict)
+    #: Per-shard shared-chain snapshots (aligned with pool.engines),
+    #: plus the designated fallback engine's.
+    shard_chains: list[dict] = field(default_factory=list)
+    fallback_chains: dict = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -335,11 +350,19 @@ def _snapshot_engine(engine, checkpoint_id, watermark, log_seq) -> EngineCheckpo
             plan=handle.plan,
             operators=[op.state_snapshot() for op in handle.compiled.operators],
             sink=snapshot_sink(handle.sink),
+            shared=handle.shared,
         )
         for handle in engine.running_queries
     ]
     tables = {name: list(elements) for name, elements in engine._tables.items()}
-    return EngineCheckpoint(checkpoint_id, watermark, log_seq, tables, queries)
+    return EngineCheckpoint(
+        checkpoint_id,
+        watermark,
+        log_seq,
+        tables,
+        queries,
+        chains=engine.subplans.snapshot_chains(),
+    )
 
 
 def _snapshot_pool(pool, checkpoint_id, watermark, log_seq) -> PoolCheckpoint:
@@ -366,8 +389,17 @@ def _snapshot_pool(pool, checkpoint_id, watermark, log_seq) -> PoolCheckpoint:
             sink_punct_len=(
                 len(sink.punctuations) if isinstance(sink, CollectingConsumer) else 0
             ),
+            shared=[inner.shared for inner in handle.inner],
         )
     tables = {
         name: list(elements) for name, elements in pool._engines[0]._tables.items()
     }
-    return PoolCheckpoint(checkpoint_id, watermark, log_seq, tables, handles)
+    return PoolCheckpoint(
+        checkpoint_id,
+        watermark,
+        log_seq,
+        tables,
+        handles,
+        shard_chains=[engine.subplans.snapshot_chains() for engine in pool._engines],
+        fallback_chains=pool._fallback.subplans.snapshot_chains(),
+    )

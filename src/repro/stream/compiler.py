@@ -115,7 +115,9 @@ class _ReschemaConsumer:
         self._downstream = downstream
 
     def push(self, item) -> None:
-        if isinstance(item, StreamElement):
+        # Identity fast path: shared-chain tees feed many shims whose
+        # target schema is often the very object the chain emitted.
+        if isinstance(item, StreamElement) and item.row.schema is not self._schema:
             item = StreamElement(
                 item.row.with_schema(self._schema), item.timestamp, item.source
             )
@@ -125,7 +127,7 @@ class _ReschemaConsumer:
         schema = self._schema
         rebased = [
             StreamElement(item.row.with_schema(schema), item.timestamp, item.source)
-            if isinstance(item, StreamElement)
+            if isinstance(item, StreamElement) and item.row.schema is not schema
             else item
             for item in items
         ]

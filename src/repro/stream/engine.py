@@ -40,6 +40,7 @@ from repro.data.windows import WindowSpec
 from repro.errors import ExecutionError
 from repro.plan.logical import LogicalOp, RemoteSource
 from repro.stream.compiler import DEFAULT_STREAM_WINDOW, CompiledPlan, PlanCompiler, ScanPort
+from repro.stream.multiplex import SubplanRegistry
 
 _query_ids = itertools.count(1)
 
@@ -62,6 +63,10 @@ class QueryHandle:
     compiled: CompiledPlan
     sink: CollectingConsumer
     engine: "StreamEngine | None" = field(default=None, repr=False)
+    #: True when this query runs as a tee branch of shared chains; its
+    #: ``compiled`` then holds only the residual (usually just the
+    #: reschema shim) and the chain operators live in the registry.
+    shared: bool = field(default=False, repr=False)
     # latest_batch incremental state: sink elements before _scan_pos have
     # been classified against _cached_watermark; _batch keeps the ones
     # at-or-after it. Repeated polling (the GUI case) is O(new elements).
@@ -137,6 +142,9 @@ class StreamEngine:
         deliver: Optional display callback for OUTPUT TO plans
             ``(display_name, element) -> None``.
         default_window: Window applied to un-windowed stream scans.
+        share_plans: Run structurally identical plans (and common
+            prefixes) as shared chains via the subplan registry. Off by
+            default at engine level; ``Session`` turns it on.
     """
 
     def __init__(
@@ -144,6 +152,7 @@ class StreamEngine:
         catalog: Catalog,
         deliver: Callable[[str, StreamElement], None] | None = None,
         default_window: WindowSpec = DEFAULT_STREAM_WINDOW,
+        share_plans: bool = False,
     ):
         self._catalog = catalog
         self._compiler = PlanCompiler(deliver, default_window)
@@ -154,6 +163,12 @@ class StreamEngine:
         #: Maintained on execute/stop so ingestion never scans queries.
         self._routes: dict[str, list[_Route]] = {}
         self.elements_ingested = 0
+        self.punctuations_seen = 0
+        self.share_plans = share_plans
+        #: Shared-subplan registry (chains live here; see multiplex.py).
+        self.subplans = SubplanRegistry(self)
+        #: query_id -> [(chain, branch)] references to release on stop.
+        self._attachments: dict[int, list] = {}
         #: Recovery plumbing (see :mod:`repro.stream.checkpoint`). A
         #: coordinator attaches itself here; ingestion then appends to
         #: its bounded replay log. ``failed`` marks a simulated crash:
@@ -197,11 +212,19 @@ class StreamEngine:
         for key in list(self._tables):
             if key.lower() == name.lower():
                 del self._tables[key]
+        # A dropped table changes what a recompiled plan would see:
+        # invalidate cached plans via the catalog's schema epoch.
+        self._catalog.bump_epoch()
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def execute(self, plan: LogicalOp, sink: StreamConsumer | None = None) -> QueryHandle:
+    def execute(
+        self,
+        plan: LogicalOp,
+        sink: StreamConsumer | None = None,
+        share: bool | None = None,
+    ) -> QueryHandle:
         """Start a continuous query; returns its handle immediately.
 
         ``sink`` overrides the terminal consumer — the sharded engine
@@ -210,6 +233,10 @@ class StreamEngine:
         :class:`~repro.data.streams.CollectingConsumer` leaves the
         handle's ``results``/``latest_batch`` accessors non-functional;
         such handles are internal plumbing, not user-facing.
+
+        ``share`` overrides the engine's ``share_plans`` default for
+        this one query (checkpoint restore pins each query to the
+        sharing decision recorded at the barrier).
         """
         if self.failed:
             raise ExecutionError(
@@ -217,9 +244,18 @@ class StreamEngine:
             )
         if sink is None:
             sink = CollectingConsumer()
-        compiled = self._compiler.compile(plan, sink)
+        use_share = self.share_plans if share is None else share
+        admitted = self.subplans.admit(plan, sink) if use_share else None
+        if admitted is not None:
+            compiled, attachments = admitted
+        else:
+            compiled = self._compiler.compile(plan, sink)
+            attachments = []
         handle = QueryHandle(next(_query_ids), plan, compiled, sink, self)
+        handle.shared = bool(attachments)
         self._queries[handle.query_id] = handle
+        if attachments:
+            self._attachments[handle.query_id] = attachments
         self._register_routes(handle)
         # Replay stored tables into the new query's table scans.
         for port in compiled.ports:
@@ -233,11 +269,20 @@ class StreamEngine:
 
     def stop(self, handle: QueryHandle) -> None:
         """Stop routing data into a query. Idempotent: stopping a query
-        that is already stopped (or was never started here) is a no-op."""
+        that is already stopped (or was never started here) is a no-op.
+        A shared query releases only its own tee branches; sibling
+        queries on the same chains are undisturbed."""
         if self._queries.pop(handle.query_id, None) is None:
             return
+        self._drop_routes(handle.query_id)
+        for chain, branch in self._attachments.pop(handle.query_id, ()):
+            self.subplans.release(chain, branch)
+
+    def _drop_routes(self, owner_id: int) -> None:
+        """Remove every routing entry registered under ``owner_id`` (a
+        query id or a shared chain id)."""
         for key in list(self._routes):
-            kept = [r for r in self._routes[key] if r.query_id != handle.query_id]
+            kept = [r for r in self._routes[key] if r.query_id != owner_id]
             if kept:
                 self._routes[key] = kept
             else:
@@ -246,6 +291,10 @@ class StreamEngine:
     @property
     def running_queries(self) -> list[QueryHandle]:
         return list(self._queries.values())
+
+    def sharing_stats(self) -> dict:
+        """Shared-subplan counters (see :meth:`SubplanRegistry.stats`)."""
+        return self.subplans.stats()
 
     def subscribed(self, source: str) -> bool:
         """True when any running query reads ``source`` — the sharded
@@ -260,6 +309,15 @@ class StreamEngine:
                 remote_schema = self._remote_schema(handle, port.source_name)
             self._routes.setdefault(port.source_name.lower(), []).append(
                 _Route(handle.query_id, port, remote_schema)
+            )
+
+    def _register_chain_routes(self, chain) -> None:
+        """Subscribe a shared chain's scan ports to source feeds. Chain
+        ids share the query-id route namespace, so batched ingestion's
+        multi-port interleaving treats a chain like any other query."""
+        for port in chain.compiled.ports:
+            self._routes.setdefault(port.source_name.lower(), []).append(
+                _Route(chain.chain_id, port, None)
             )
 
     # ------------------------------------------------------------------
@@ -414,10 +472,15 @@ class StreamEngine:
         if self.failed:
             return
         punctuation = Punctuation(watermark)
+        self.punctuations_seen += 1
         if sources is None:
-            for handle in self._queries.values():
-                for port in handle.compiled.ports:
-                    port.consumer.push(punctuation)
+            # The routing index holds every subscribed port — private
+            # queries' and shared chains' alike (chains forward the
+            # watermark to their tee branches), so one pass over it
+            # punctuates each port exactly once.
+            for routes in self._routes.values():
+                for route in routes:
+                    route.port.consumer.push(punctuation)
         else:
             for source in sources:
                 for route in self._routes.get(source.lower(), ()):
@@ -440,6 +503,8 @@ class StreamEngine:
         self._queries.clear()
         self._routes.clear()
         self._tables.clear()
+        self._attachments.clear()
+        self.subplans.clear()
 
     def restore(self, checkpoint, *, sinks=None, replay=()) -> list[QueryHandle]:
         """Rebuild this engine from an ``EngineCheckpoint``.
@@ -465,7 +530,13 @@ class StreamEngine:
         handles: list[QueryHandle] = []
         for position, query_cp in enumerate(checkpoint.queries):
             sink = sinks[position] if sinks is not None else None
-            handle = self.execute(query_cp.plan, sink=sink)
+            # Pin each query to the sharing decision recorded at the
+            # barrier: admission is deterministic, so re-executing in
+            # checkpoint order regrows the same chain DAG, which the
+            # chain-state restore below then fills in.
+            handle = self.execute(
+                query_cp.plan, sink=sink, share=getattr(query_cp, "shared", False)
+            )
             operators = handle.compiled.operators
             if len(operators) != len(query_cp.operators):
                 raise ExecutionError(
@@ -479,6 +550,7 @@ class StreamEngine:
                 handle.sink.punctuations[:] = list(query_cp.sink["punctuations"])
                 handle.sink.clears = query_cp.sink["clears"]
             handles.append(handle)
+        self.subplans.restore_chains(getattr(checkpoint, "chains", {}))
         self._replaying = True
         try:
             for entry in replay:

@@ -1,0 +1,607 @@
+"""Standing-query multiplexing: shared subplans and the compiled-plan cache.
+
+Thousands of concurrent standing queries drawn from a few templates
+(the SIGNAL workload shape) make two costs dominate: the front end
+(lex/parse/analyze/plan per statement) and the back end (one full
+operator pipeline per query). This module removes both:
+
+* :class:`PlanCache` memoizes compiled statements keyed on normalized
+  SQL text (:func:`repro.sql.normalize.normalize_sql`) plus the
+  catalog's schema epoch, so a hot statement skips the whole front end.
+  Prepared statements ride the same cache.
+
+* :class:`SubplanRegistry` (one per :class:`~repro.stream.engine
+  .StreamEngine`) detects structurally identical plans and common
+  scan/filter/fused-chain/window prefixes across live queries by
+  structural fingerprint and runs *one* operator chain per distinct
+  structure, fanned out to per-query sinks via :class:`TeeOp` with
+  reference-counted teardown.
+
+Chain model
+-----------
+Every shared-eligible query becomes one tee branch on a *whole-plan*
+chain; whole-plan chains themselves stack on narrower *cut* chains
+(a Select/Project run over a stream scan, optionally capped by the
+Aggregate directly above). Chains therefore form a refcounted DAG:
+two identical templates share everything; two different templates over
+the same filtered scan share the scan+filter prefix. Closing a cursor
+releases exactly its branch; a chain tears down (and releases its
+parents) only when its last reference drops.
+
+Correctness gates: a query shares only if its plan has no Output,
+RemoteSource or CteRef nodes and reads only stream sources (stored
+tables are replayed at execute time, which a late tee attach cannot
+reproduce). A *stateless* chain (Filter/Project/Fused only) accepts
+attaches at any time — a new branch sees exactly the future elements a
+fresh pipeline would. A *stateful* chain (aggregate/join/window state)
+accepts attaches only while cold (no ingest or punctuation since it was
+built); otherwise the query declines sharing at that level and falls
+back to narrower stateless prefixes or a private pipeline, keeping
+shared emissions bit-identical to unshared runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.catalog import SourceKind
+from repro.errors import ExecutionError
+from repro.plan.logical import (
+    Aggregate,
+    CteRef,
+    Distinct,
+    Join,
+    Limit,
+    LogicalOp,
+    OrderBy,
+    Output,
+    Project,
+    RemoteSource,
+    Scan,
+    Select,
+    replace_child,
+)
+from repro.stream.operators import FilterOp, FusedOp, ProjectOp
+
+__all__ = [
+    "PlanCache",
+    "SharedFeed",
+    "SharedChain",
+    "SubplanRegistry",
+    "TeeOp",
+    "plan_fingerprint",
+]
+
+#: Pseudo-source prefix naming a chain's output feed in compiled ports.
+_SHARED_PREFIX = "#shared:"
+
+#: Operators with no cross-element state: safe to tee into at any time.
+_STATELESS_OPS = (FilterOp, ProjectOp, FusedOp)
+
+# Chain ids are negative so they can share the engine's routing index
+# (keyed by query id) without ever colliding with a query.
+_chain_ids = itertools.count(1)
+
+
+def _next_chain_id() -> int:
+    return -next(_chain_ids)
+
+
+class TeeOp:
+    """Fan one element stream out to many per-query consumers.
+
+    The terminal consumer of every shared chain. Branches are the
+    per-query reschema shims (or nested chains' input shims); add and
+    remove are O(1) amortized and never disturb sibling branches.
+
+    Branch methods are resolved per call, not cached at wiring time:
+    a :class:`~repro.api.cursor.Cursor` subscription taps its sink by
+    wrapping ``push``/``push_batch`` *after* the branch is attached, and
+    a cached bound method would bypass the tap (same rationale as
+    ``Operator.emit_batch``).
+    """
+
+    def __init__(self) -> None:
+        self.branches: list[Any] = []
+        self.elements_out = 0
+
+    def add_branch(self, consumer: Any) -> None:
+        self.branches.append(consumer)
+
+    def remove_branch(self, consumer: Any) -> bool:
+        """Detach one branch; returns whether it was attached."""
+        try:
+            self.branches.remove(consumer)
+        except ValueError:
+            return False
+        return True
+
+    @property
+    def fan_out(self) -> int:
+        return len(self.branches)
+
+    def push(self, item: Any) -> None:
+        self.elements_out += 1
+        for branch in self.branches:
+            branch.push(item)
+
+    def push_batch(self, items: list[Any]) -> None:
+        self.elements_out += len(items)
+        for branch in self.branches:
+            push_batch = getattr(branch, "push_batch", None)
+            if push_batch is not None:
+                push_batch(items)
+            else:
+                push = branch.push
+                for item in items:
+                    push(item)
+
+
+class SharedFeed(RemoteSource):
+    """Pseudo-leaf standing in for a subtree executed by a shared chain.
+
+    Compiles through the existing RemoteSource path (a reschema shim
+    port); the registry then strips the port from the compiled plan and
+    attaches its shim as a tee branch instead of routing it to a source.
+
+    ``walk`` yields the *wrapped* subtree's nodes rather than the feed
+    itself so window inference (``PlanCompiler._side_window``) and
+    relation discovery keep seeing the real scans beneath the cut.
+    """
+
+    def __init__(self, wrapped: LogicalOp, chain_id: int):
+        super().__init__(f"{_SHARED_PREFIX}{chain_id}", wrapped.schema)
+        self.wrapped = wrapped
+        self.chain_id = chain_id
+
+    def walk(self) -> Iterator[LogicalOp]:
+        yield from self.wrapped.walk()
+
+    def describe(self) -> str:
+        return f"SharedFeed(chain={self.chain_id}, {self.wrapped.describe()})"
+
+
+def _port_chain_id(source_name: str) -> int | None:
+    """Chain id encoded in a SharedFeed port name, or None."""
+    if source_name.startswith(_SHARED_PREFIX):
+        return int(source_name[len(_SHARED_PREFIX):])
+    return None
+
+
+# ----------------------------------------------------------------------
+# Structural fingerprints
+# ----------------------------------------------------------------------
+def plan_fingerprint(node: LogicalOp) -> tuple | None:
+    """Structural identity of a plan subtree, or None when unshareable.
+
+    Two subtrees with equal fingerprints compile to operator pipelines
+    that transform identical inputs into identical outputs: every
+    semantic detail — source, binding, window, predicate and projection
+    renders, aggregate calls, key names — participates. Bindings matter
+    because the output schema is binding-qualified; sharing across
+    bindings would hand downstream closures rows with wrong field names.
+    """
+    if isinstance(node, SharedFeed):
+        return plan_fingerprint(node.wrapped)
+    if isinstance(node, Scan):
+        return (
+            "scan",
+            node.entry.name.lower(),
+            node.binding,
+            node.window.render() if node.window is not None else None,
+        )
+    if isinstance(node, Select):
+        child = plan_fingerprint(node.child)
+        return None if child is None else ("select", child, node.predicate.render())
+    if isinstance(node, Project):
+        child = plan_fingerprint(node.child)
+        if child is None:
+            return None
+        return (
+            "project",
+            child,
+            tuple((item.expr.render(), item.name) for item in node.items),
+        )
+    if isinstance(node, Join):
+        left = plan_fingerprint(node.left)
+        right = plan_fingerprint(node.right)
+        if left is None or right is None:
+            return None
+        predicate = node.predicate.render() if node.predicate is not None else None
+        return ("join", left, right, predicate)
+    if isinstance(node, Aggregate):
+        child = plan_fingerprint(node.child)
+        if child is None:
+            return None
+        return (
+            "aggregate",
+            child,
+            tuple(expr.render() for expr in node.group_by),
+            tuple(node.key_names),
+            tuple((item.call.render(), item.name) for item in node.aggregates),
+            node.window.render() if node.window is not None else None,
+        )
+    if isinstance(node, Distinct):
+        child = plan_fingerprint(node.child)
+        return None if child is None else ("distinct", child)
+    if isinstance(node, OrderBy):
+        child = plan_fingerprint(node.child)
+        if child is None:
+            return None
+        return ("orderby", child, tuple(item.render() for item in node.items))
+    if isinstance(node, Limit):
+        child = plan_fingerprint(node.child)
+        return None if child is None else ("limit", child, node.count)
+    # Output (display side effects would dedupe), RemoteSource (fed by
+    # name from another engine), CteRef, Recursive: never shared.
+    return None
+
+
+# ----------------------------------------------------------------------
+# Shared chains
+# ----------------------------------------------------------------------
+@dataclass
+class SharedChain:
+    """One live shared operator chain (a node of the sharing DAG).
+
+    Attributes:
+        chain_id: Unique id; also names the chain's routing entries.
+        fingerprint: Structural identity of the *original* subtree.
+        plan: The compiled plan — the subtree with nested cuts replaced
+            by :class:`SharedFeed` leaves.
+        compiled: The chain's pipeline; its ports are the real scan
+            ports only (feed ports are attached to parent tees).
+        tee: Terminal fan-out to branches (query sinks/nested chains).
+        stateless: True when every chain operator is Filter/Project/
+            Fused — attachable at any time.
+        ingest_mark: ``engine.elements_ingested`` when built.
+        punct_mark: ``engine.punctuations_seen`` when built.
+        refs: Live references (query branches + child chains).
+        parents: ``(parent chain, branch consumer)`` attachments this
+            chain holds on narrower chains it consumes from.
+    """
+
+    chain_id: int
+    fingerprint: tuple
+    plan: LogicalOp
+    compiled: Any
+    tee: TeeOp
+    stateless: bool
+    ingest_mark: int
+    punct_mark: int
+    refs: int = 0
+    parents: list[tuple["SharedChain", Any]] = field(default_factory=list)
+
+
+class SubplanRegistry:
+    """Per-engine registry of shared chains, keyed by fingerprint.
+
+    The engine consults :meth:`admit` on execute (when sharing is on)
+    and :meth:`release` on stop; :meth:`snapshot_chains` and
+    :meth:`restore_chains` integrate with punctuation-aligned
+    checkpoints so a shared chain snapshots once and restores once.
+    """
+
+    def __init__(self, engine: Any):
+        self._engine = engine
+        #: fingerprint -> live chains (usually one; a warm stateful
+        #: chain that declined an attach grows a sibling).
+        self._chains: dict[tuple, list[SharedChain]] = {}
+        self._by_id: dict[int, SharedChain] = {}
+        self.created = 0
+        self.attached = 0
+        self.detached = 0
+        self.torn_down = 0
+        self.declined = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def eligible(self, plan: LogicalOp) -> bool:
+        """Whether ``plan`` may run shared at all.
+
+        Plans with display side effects, remote feeds, recursion, or
+        stored-table scans run private pipelines: tables are replayed
+        into fresh queries at execute time, which a late tee attach
+        cannot reproduce, and OUTPUT must fire once per query.
+        """
+        for node in plan.walk():
+            if isinstance(node, (Output, RemoteSource, CteRef)):
+                return False
+            if isinstance(node, Scan) and node.entry.kind is not SourceKind.STREAM:
+                return False
+        return True
+
+    def admit(self, plan: LogicalOp, sink: Any):
+        """Run ``plan`` as a branch of its whole-plan chain.
+
+        Returns ``(compiled, attachments)`` where ``compiled`` is the
+        query's residual pipeline (just the reschema shim from the
+        chain's tee into ``sink``) and ``attachments`` the
+        ``(chain, branch)`` references the caller must release on stop
+        — or None when the plan is ineligible or cannot be
+        fingerprinted, in which case the engine compiles it privately.
+        """
+        if not self.eligible(plan):
+            self.declined += 1
+            return None
+        fingerprint = plan_fingerprint(plan)
+        if fingerprint is None:
+            self.declined += 1
+            return None
+        chain = self._acquire(plan, fingerprint)
+        feed = SharedFeed(plan, chain.chain_id)
+        compiled = self._engine._compiler.compile(feed, sink)
+        attachments: list[tuple[SharedChain, Any]] = []
+        real_ports = []
+        for port in compiled.ports:
+            target = self._port_target(port)
+            if target is None:
+                real_ports.append(port)
+            else:
+                target.tee.add_branch(port.consumer)
+                attachments.append((target, port.consumer))
+        compiled.ports[:] = real_ports
+        return compiled, attachments
+
+    def release(self, chain: SharedChain, branch: Any) -> None:
+        """Drop one reference; tear the chain down at zero.
+
+        Refcounted teardown is what makes cursor lifecycle idempotent
+        under sharing: closing one cursor detaches exactly its branch,
+        and siblings (and the chain's upstream routing) are untouched
+        until the last reference goes.
+        """
+        chain.tee.remove_branch(branch)
+        chain.refs -= 1
+        self.detached += 1
+        if chain.refs <= 0:
+            self._teardown(chain)
+
+    def clear(self) -> None:
+        """Forget every chain (engine crash; routes die with the engine)."""
+        self._chains.clear()
+        self._by_id.clear()
+
+    # ------------------------------------------------------------------
+    def _port_target(self, port: Any) -> SharedChain | None:
+        chain_id = _port_chain_id(port.source_name)
+        return None if chain_id is None else self._by_id[chain_id]
+
+    def _acquire(self, subtree: LogicalOp, fingerprint: tuple | None = None) -> SharedChain:
+        if fingerprint is None:
+            fingerprint = plan_fingerprint(subtree)
+            assert fingerprint is not None
+        for chain in self._chains.get(fingerprint, ()):
+            if self._attachable(chain):
+                chain.refs += 1
+                self.attached += 1
+                return chain
+        return self._create(subtree, fingerprint)
+
+    def _attachable(self, chain: SharedChain) -> bool:
+        """A new branch sees exactly what a fresh pipeline would see.
+
+        Stateless chains qualify always; stateful ones only while cold.
+        The check is transitive — a warm aggregate feeding a stateless
+        projection taints the projection's output too.
+        """
+        if not chain.stateless:
+            engine = self._engine
+            if (
+                engine.elements_ingested != chain.ingest_mark
+                or engine.punctuations_seen != chain.punct_mark
+            ):
+                return False
+        return all(self._attachable(parent) for parent, _ in chain.parents)
+
+    def _create(self, subtree: LogicalOp, fingerprint: tuple) -> SharedChain:
+        engine = self._engine
+        plan = self._rewrite(subtree)
+        tee = TeeOp()
+        compiled = engine._compiler.compile(plan, tee)
+        chain = SharedChain(
+            chain_id=_next_chain_id(),
+            fingerprint=fingerprint,
+            plan=plan,
+            compiled=compiled,
+            tee=tee,
+            stateless=all(isinstance(op, _STATELESS_OPS) for op in compiled.operators),
+            ingest_mark=engine.elements_ingested,
+            punct_mark=engine.punctuations_seen,
+            refs=1,
+        )
+        real_ports = []
+        for port in compiled.ports:
+            target = self._port_target(port)
+            if target is None:
+                real_ports.append(port)
+            else:
+                target.tee.add_branch(port.consumer)
+                chain.parents.append((target, port.consumer))
+        compiled.ports[:] = real_ports
+        self._by_id[chain.chain_id] = chain
+        self._chains.setdefault(fingerprint, []).append(chain)
+        engine._register_chain_routes(chain)
+        self.created += 1
+        return chain
+
+    def _rewrite(self, node: LogicalOp) -> LogicalOp:
+        """Replace cut-eligible child subtrees with SharedFeed leaves.
+
+        Top-down, so each replacement is the *maximal* cut at its
+        position; the node itself is never cut (it is the chain).
+        """
+        for child in node.children:
+            if self._is_cut(child):
+                inner = self._acquire(child)
+                node = replace_child(node, child, SharedFeed(child, inner.chain_id))
+            else:
+                rewritten = self._rewrite(child)
+                if rewritten is not child:
+                    node = replace_child(node, child, rewritten)
+        return node
+
+    @staticmethod
+    def _is_cut(node: LogicalOp) -> bool:
+        """A shareable prefix: [Aggregate] over a Select/Project run
+        over a stream Scan. Bare scans are excluded — a pure fan-out
+        chain saves no compute but adds a tee hop."""
+        inner = node
+        if isinstance(inner, Aggregate):
+            inner = inner.child
+        elif not isinstance(inner, (Select, Project)):
+            return False
+        while isinstance(inner, (Select, Project)):
+            inner = inner.child
+        return (
+            inner is not node
+            and isinstance(inner, Scan)
+            and inner.entry.kind is SourceKind.STREAM
+        )
+
+    def _teardown(self, chain: SharedChain) -> None:
+        self._by_id.pop(chain.chain_id, None)
+        group = self._chains.get(chain.fingerprint)
+        if group is not None:
+            if chain in group:
+                group.remove(chain)
+            if not group:
+                del self._chains[chain.fingerprint]
+        self._engine._drop_routes(chain.chain_id)
+        self.torn_down += 1
+        for parent, branch in chain.parents:
+            self.release(parent, branch)
+
+    # ------------------------------------------------------------------
+    # Introspection / checkpointing
+    # ------------------------------------------------------------------
+    @property
+    def live_chains(self) -> list[SharedChain]:
+        return list(self._by_id.values())
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "chains": len(self._by_id),
+            "fan_out": sum(chain.tee.fan_out for chain in self._by_id.values()),
+            "created": self.created,
+            "attached": self.attached,
+            "detached": self.detached,
+            "torn_down": self.torn_down,
+            "declined": self.declined,
+        }
+
+    def snapshot_chains(self) -> dict[tuple, list[list[dict]]]:
+        """Operator state of every live chain, grouped by fingerprint.
+
+        One snapshot per chain regardless of fan-out — the whole point:
+        N branches over one chain checkpoint one copy of its state.
+        """
+        return {
+            fingerprint: [
+                [op.state_snapshot() for op in chain.compiled.operators]
+                for chain in group
+            ]
+            for fingerprint, group in self._chains.items()
+        }
+
+    def restore_chains(self, snapshot: dict[tuple, list[list[dict]]]) -> None:
+        """Load checkpointed chain state into the recreated chains.
+
+        Callers re-admit every checkpointed query first (admission is
+        deterministic, so the chain DAG regrows with the snapshot's
+        shape); this then pours the state back by fingerprint and
+        position. A multiplicity mismatch means the admission decisions
+        diverged from the barrier (e.g. a warm-decline raced the
+        crash) and is refused rather than silently mis-restored.
+        """
+        for fingerprint, states in snapshot.items():
+            group = self._chains.get(fingerprint, [])
+            if len(group) != len(states):
+                raise ExecutionError(
+                    "checkpointed shared-chain multiplicity does not match "
+                    "the recreated sharing structure"
+                )
+            for chain, operator_states in zip(group, states):
+                operators = chain.compiled.operators
+                if len(operators) != len(operator_states):
+                    raise ExecutionError(
+                        "checkpointed shared-chain operator count does not "
+                        "match the recompiled chain"
+                    )
+                for operator, state in zip(operators, operator_states):
+                    operator.state_restore(state)
+
+
+# ----------------------------------------------------------------------
+# Compiled-plan cache
+# ----------------------------------------------------------------------
+@dataclass
+class CachedStatement:
+    """One memoized front-end result (immutable once stored).
+
+    ``statement``/``analyzed``/``plan`` are shared across hits: plans
+    are immutable and the continuous path re-binds parameters by
+    building bound copies, so reuse is safe.
+    """
+
+    statement: Any
+    analyzed: Any
+    plan: Any
+    route: str
+    parameters: tuple[str, ...]
+    epoch: int
+
+
+class PlanCache:
+    """LRU cache of compiled statements keyed on normalized SQL text.
+
+    Entries carry the catalog schema epoch they were compiled under; a
+    hit whose epoch is stale (CREATE VIEW, attach/detach, drop_table
+    since) is evicted and recompiled, so a stale plan never runs
+    against a changed catalog.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self._capacity = max(1, capacity)
+        self._entries: OrderedDict[str, CachedStatement] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def lookup(self, key: str, epoch: int) -> CachedStatement | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.epoch != epoch:
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: str, entry: CachedStatement) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

@@ -267,6 +267,9 @@ class ShardedStreamEngine:
         shards: Number of partitions (≥ 1).
         deliver: Display callback, forwarded to every engine.
         default_window: Forwarded to every engine.
+        share_plans: Forwarded to every engine (and to failover
+            replacements): replicas of structurally identical plans
+            share one operator chain per shard.
     """
 
     def __init__(
@@ -275,16 +278,19 @@ class ShardedStreamEngine:
         shards: int = 2,
         deliver: Callable[[str, StreamElement], None] | None = None,
         default_window: WindowSpec = DEFAULT_STREAM_WINDOW,
+        share_plans: bool = False,
     ):
         if shards < 1:
             raise ExecutionError(f"shard count must be >= 1, got {shards}")
         self._catalog = catalog
         self._deliver = deliver
         self._default_window = default_window
+        self.share_plans = share_plans
         self._engines = [
-            StreamEngine(catalog, deliver, default_window) for _ in range(shards)
+            StreamEngine(catalog, deliver, default_window, share_plans)
+            for _ in range(shards)
         ]
-        self._fallback = StreamEngine(catalog, deliver, default_window)
+        self._fallback = StreamEngine(catalog, deliver, default_window, share_plans)
         #: Recovery plumbing: a CheckpointCoordinator attaches itself
         #: here (same protocol as on a plain engine); failover then
         #: restores killed shard engines from its barriers + log.
@@ -306,6 +312,16 @@ class ShardedStreamEngine:
     @property
     def shard_count(self) -> int:
         return len(self._engines)
+
+    def sharing_stats(self) -> dict:
+        """Shared-subplan counters summed over every shard engine and
+        the designated fallback (same keys as
+        :meth:`StreamEngine.sharing_stats`)."""
+        totals: dict = {}
+        for engine in [*self._engines, self._fallback]:
+            for key, value in engine.sharing_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     @property
     def engines(self) -> list[StreamEngine]:
@@ -643,7 +659,9 @@ class ShardedStreamEngine:
         self._fallback.fail()
 
     def _fresh_engine(self) -> StreamEngine:
-        return StreamEngine(self._catalog, self._deliver, self._default_window)
+        return StreamEngine(
+            self._catalog, self._deliver, self._default_window, self.share_plans
+        )
 
     def _recover_shard(self, index: int) -> StreamEngine:
         """Failover one dead shard onto a fresh engine.
@@ -675,6 +693,11 @@ class ShardedStreamEngine:
                 name: list(elements) for name, elements in checkpoint.tables.items()
             }
         self._engines[index] = fresh
+        # Pass 1: re-execute every replica muted, pinned to the sharing
+        # decision recorded at the barrier — only once all queries are
+        # re-admitted has the shared-chain DAG regrown to the shape the
+        # chain snapshot describes.
+        restored = []
         for handle in partitioned:
             handle_cp = (
                 checkpoint.handles.get(handle.query_id)
@@ -687,7 +710,17 @@ class ShardedStreamEngine:
             skip = handle.coordinator.forwarded(index) - barrier_count
             feed = _ShardFeed(handle.coordinator, index)
             feed.mute()  # execute replays barrier tables: pre-barrier output
-            replica = fresh.execute(handle.plan, sink=feed)
+            share = (
+                handle_cp.shared[index]
+                if handle_cp is not None and handle_cp.shared
+                else None
+            )
+            replica = fresh.execute(handle.plan, sink=feed, share=share)
+            restored.append((handle, handle_cp, feed, skip, replica))
+        # Pass 2: shared chains restore once per chain, then residuals.
+        if checkpoint is not None and getattr(checkpoint, "shard_chains", None):
+            fresh.subplans.restore_chains(checkpoint.shard_chains[index])
+        for handle, handle_cp, feed, skip, replica in restored:
             if handle_cp is not None:
                 restore_operators(replica, handle_cp.replicas[index])
             feed.arm(skip)
@@ -724,6 +757,10 @@ class ShardedStreamEngine:
                 name: list(elements) for name, elements in checkpoint.tables.items()
             }
         self._fallback = fresh
+        # Two passes, as in _recover_shard: re-admit every query first
+        # so the shared-chain DAG regrows, then restore chain state
+        # once per chain and residual state per query.
+        restored = []
         for handle in fallback_handles:
             handle_cp = (
                 checkpoint.handles.get(handle.query_id)
@@ -741,7 +778,16 @@ class ShardedStreamEngine:
                 skip_puncts = len(sink.punctuations) - barrier_puncts
             feed = _SinkFeed(sink, 0, 0)
             feed.mute()  # execute replays barrier tables: pre-barrier output
-            replica = fresh.execute(handle.plan, sink=feed)
+            share = (
+                handle_cp.shared[0]
+                if handle_cp is not None and handle_cp.shared
+                else None
+            )
+            replica = fresh.execute(handle.plan, sink=feed, share=share)
+            restored.append((handle, handle_cp, feed, skip, skip_puncts, replica))
+        if checkpoint is not None:
+            fresh.subplans.restore_chains(getattr(checkpoint, "fallback_chains", {}))
+        for handle, handle_cp, feed, skip, skip_puncts, replica in restored:
             if handle_cp is not None:
                 restore_operators(replica, handle_cp.replicas[0])
             feed.arm(skip, skip_puncts)

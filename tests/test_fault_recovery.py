@@ -454,3 +454,86 @@ class TestUndeployIdempotence:
             assert deployment.stopped
             assert deployment not in session.sensor_engine.deployed
             assert all(task._stopped for task in deployment.tasks)
+
+
+class TestSharedChainFailover:
+    """Kill an engine hosting *shared* operator chains: recovery must
+    re-admit every replica pinned to its recorded sharing decision,
+    restore each chain's state exactly once, and keep every cursor's
+    post-recovery emissions identical to the failure-free run."""
+
+    # Duplicated texts so shards host multi-branch chains: a stateless
+    # fused chain, a keyed windowed aggregation (stateful chain state
+    # crosses the barrier), and a fallback-only ORDER BY.
+    SHARED_QUERIES = [
+        QUERIES[0], QUERIES[0],
+        QUERIES[1], QUERIES[1],
+        QUERIES[3], QUERIES[3],
+    ]
+
+    def _unshared(self, stamps, chunks):
+        catalog = _catalog()
+        engine = StreamEngine(catalog)
+        builder = PlanBuilder(catalog)
+        handles = [engine.execute(builder.build_sql(sql)) for sql in self.SHARED_QUERIES]
+        return _drive(engine, handles, chunks, stamps[-1] + 200.0)
+
+    def _pool(self, shards, interval):
+        catalog = _catalog()
+        pool = ShardedStreamEngine(catalog, shards=shards, share_plans=True)
+        pool.set_partition_key("Readings", "host")
+        coordinator = CheckpointCoordinator(pool, interval=interval)
+        builder = PlanBuilder(catalog)
+        handles = [pool.execute(builder.build_sql(sql)) for sql in self.SHARED_QUERIES]
+        return pool, coordinator, handles
+
+    @pytest.mark.parametrize("seed", range(SEEDS))
+    def test_kill_shard_hosting_shared_prefix(self, seed):
+        rng = random.Random(900 + seed)
+        rows, stamps = _rows(rng.randint(150, 300), rng)
+        chunks = _chunks(rows, stamps, random.Random(seed * 31 + 7))
+        expected = self._unshared(stamps, chunks)
+
+        pool, coordinator, handles = self._pool(4, interval=25.0)
+        before = pool.sharing_stats()
+        assert before["attached"] > 0, "duplicates were not multiplexed"
+        kill_at = seeded_point(seed, len(chunks))
+        victim = seeded_point(seed, 4, salt=1)
+
+        def inject(chunk_no):
+            if chunk_no == kill_at:
+                kill_shard(pool, victim)
+
+        got = _drive(pool, handles, chunks, stamps[-1] + 200.0, on_chunk=inject)
+        assert got == expected, (
+            f"seed={seed}: shared-chain emissions diverged across recovery"
+        )
+        # The duplicated cursors stayed mutually identical, and the
+        # restored shard regrew its sharing structure (the re-admission
+        # is pinned, so attach counts only grow across a recovery).
+        assert got[0] == got[1] and got[2] == got[3] and got[4] == got[5]
+        after = pool.sharing_stats()
+        assert after["chains"] == before["chains"]
+        assert after["fan_out"] == before["fan_out"]
+        replay = coordinator.last_replay
+        assert replay is not None and replay["target"] == victim
+
+    @pytest.mark.parametrize("seed", range(min(SEEDS, 3)))
+    def test_kill_fallback_with_shared_chains(self, seed):
+        rng = random.Random(1300 + seed)
+        rows, stamps = _rows(200, rng)
+        chunks = _chunks(rows, stamps, random.Random(seed * 31 + 7))
+        expected = self._unshared(stamps, chunks)
+
+        pool, coordinator, handles = self._pool(3, interval=25.0)
+        kill_at = seeded_point(seed, len(chunks), salt=2)
+
+        def inject(chunk_no):
+            if chunk_no == kill_at:
+                kill_fallback(pool)
+
+        got = _drive(pool, handles, chunks, stamps[-1] + 200.0, on_chunk=inject)
+        assert got == expected
+        assert got[4] == got[5]  # fallback-hosted shared chain survived
+        assert coordinator.last_replay is not None
+        assert coordinator.last_replay["target"] == "fb"

@@ -1,0 +1,393 @@
+"""Standing-query multiplexing: the plan cache + shared-subplan layer.
+
+Acceptance for :mod:`repro.stream.multiplex` through the Session
+surface:
+
+* **Identity corpus** — seeded batches of overlapping statements
+  (duplicated texts, shared filter prefixes, stateful windows, and
+  shared-ineligible table joins) run on ``connect(share_plans=False)``
+  and on sharing sessions with 1, 2 and 4 shards; every cursor's sorted
+  per-punctuation-segment emissions must match exactly.
+* **Lifecycle** — interleaved ``Cursor.close`` / ``Session.close`` over
+  cursors sharing one chain: closes are idempotent, siblings keep
+  receiving, and the last release tears the chain DAG down exactly once.
+* **Plan cache** — repeated text (any case/whitespace) hits; CREATE
+  VIEW, attach, detach and drop_table bump the catalog schema epoch and
+  a stale plan is evicted, never run.
+* **Stats** — ``session.stats()`` exposes the cache and sharing
+  counters, summed across shard engines.
+
+Seed count: ``REPRO_MUX_SEEDS`` (default 6).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.api import StreamSource, connect
+from repro.data import DataType, Row, Schema
+from repro.errors import QueryError
+
+SEEDS = int(os.environ.get("REPRO_MUX_SEEDS", "6"))
+
+READINGS = Schema.of(
+    ("room", DataType.STRING),
+    ("host", DataType.STRING),
+    ("temp", DataType.FLOAT),
+    ("load", DataType.FLOAT),
+)
+MACHINES = Schema.of(
+    ("name", DataType.STRING),
+    ("room", DataType.STRING),
+    ("cpu", DataType.FLOAT),
+)
+MACHINES_ROWS = [
+    {"name": f"ws{i}", "room": f"lab{i % 3}", "cpu": float(i % 7)} for i in range(16)
+]
+
+TEMPLATES = [
+    # Two projections over the same filter: shared Select cut.
+    "select r.host, r.temp from Readings r where r.temp > {t0}",
+    "select r.host, r.temp * 2.0 as t2 from Readings r where r.temp > {t0}",
+    # Stateful chains: keyed windowed aggregation, DISTINCT, row window.
+    "select r.room, count(*) as n from Readings r "
+    "[range {w} seconds slide {w} seconds] group by r.room",
+    "select r.host, min(r.temp) as lo, max(r.temp) as hi from Readings r "
+    "[range {w} seconds slide {w} seconds] group by r.host",
+    "select distinct r.host, r.room from Readings r where r.temp > {t0}",
+    "select r.host, r.temp from Readings r [rows 25] where r.load > {l0}",
+    # Fallback-only on a sharded pool.
+    "select r.room, r.temp from Readings r order by r.temp",
+    # Table scan: shared-ineligible (declined), must still be identical.
+    "select r.host, m.room from Readings r [range 30 seconds], Machines m "
+    "where r.host = m.name and r.temp > {t0}",
+]
+
+
+def _fill(template: str, rng: random.Random) -> str:
+    return template.format(
+        t0=round(rng.uniform(5.0, 40.0), 1),
+        l0=round(rng.uniform(0.0, 0.5), 2),
+        w=rng.choice([10, 20, 30]),
+    )
+
+
+def _corpus(rng: random.Random) -> list[str]:
+    """Overlapping statement batch: every chosen text appears 1-3 times,
+    and at least one is guaranteed duplicated (the sharing case)."""
+    chosen = [
+        _fill(template, rng)
+        for template in rng.sample(TEMPLATES, rng.randint(3, 5))
+    ]
+    queries = [sql for sql in chosen for _ in range(rng.randint(1, 3))]
+    queries.append(chosen[0])
+    rng.shuffle(queries)
+    return queries
+
+
+def _rows(count: int, rng: random.Random):
+    rooms = ["lab1", "lab2", "office3", None]
+    rows, stamps, clock = [], [], 0.0
+    for _ in range(count):
+        rows.append(
+            Row(
+                READINGS,
+                (
+                    rooms[rng.randrange(4)],
+                    f"ws{rng.randrange(16)}",
+                    None if rng.random() < 0.08 else round(rng.uniform(-5, 80), 2),
+                    round(rng.uniform(0, 1), 3),
+                ),
+                validate=False,
+            )
+        )
+        clock += rng.uniform(0.05, 1.5)
+        stamps.append(round(clock, 3))
+    return rows, stamps
+
+
+def _open_session(*, share: bool, shards: int = 1):
+    session = connect(share_plans=share, shards=shards)
+    session.attach(StreamSource("Readings", READINGS, rate=10.0, partition_by="host"))
+    session.catalog.register_table("Machines", MACHINES, cardinality=len(MACHINES_ROWS))
+    session.load("Machines", MACHINES_ROWS)
+    return session
+
+
+def _drive(session, cursors, rows, stamps, plan_rng: random.Random):
+    """Feed in seeded chunks (per-element or batched), punctuating
+    between chunks; sorted per-segment emissions per cursor."""
+    segments = [[] for _ in cursors]
+    marks = [0 for _ in cursors]
+
+    def snapshot():
+        for index, cursor in enumerate(cursors):
+            elements = cursor._handle.sink.elements
+            fresh = elements[marks[index]:]
+            marks[index] = len(elements)
+            segments[index].append(
+                sorted((e.timestamp, repr(e.row.values)) for e in fresh)
+            )
+
+    offset = 0
+    while offset < len(rows):
+        size = plan_rng.randint(5, 60)
+        chunk_rows = rows[offset : offset + size]
+        chunk_stamps = stamps[offset : offset + size]
+        if plan_rng.random() < 0.5:
+            session.push_many("Readings", chunk_rows, chunk_stamps)
+        else:
+            for row, stamp in zip(chunk_rows, chunk_stamps):
+                session.push("Readings", row, stamp)
+        offset += size
+        session.punctuate(chunk_stamps[-1])
+        snapshot()
+    session.punctuate(stamps[-1] + 200.0)
+    snapshot()
+    return segments
+
+
+def _run(queries, rows, stamps, seed, *, share: bool, shards: int = 1):
+    session = _open_session(share=share, shards=shards)
+    cursors = [session.query(sql) for sql in queries]
+    segments = _drive(session, cursors, rows, stamps, random.Random(seed * 31 + 7))
+    stats = session.stats()
+    session.close()
+    return segments, stats
+
+
+class TestSharedIdentityCorpus:
+    """Sharing must be invisible in every cursor's emissions — same
+    rows, same timestamps, same punctuation segments as fully private
+    pipelines, at every shard count."""
+
+    @pytest.mark.parametrize("seed", range(SEEDS))
+    def test_identity_corpus(self, seed):
+        rng = random.Random(seed)
+        queries = _corpus(rng)
+        rows, stamps = _rows(rng.randint(120, 300), rng)
+        expected, baseline = _run(queries, rows, stamps, seed, share=False)
+        assert baseline["sharing"]["chains"] == 0  # share_plans=False is private
+        for shards in (1, 2, 4):
+            got, stats = _run(queries, rows, stamps, seed, share=True, shards=shards)
+            assert got == expected, (
+                f"seed={seed} shards={shards}: emissions diverged under sharing"
+            )
+            # The duplicated statements really were multiplexed.
+            assert stats["sharing"]["attached"] > 0
+            assert stats["sharing"]["fan_out"] > stats["sharing"]["chains"]
+
+    def test_table_join_is_declined_but_correct(self):
+        session = _open_session(share=True)
+        sql = (
+            "select r.host, m.cpu from Readings r [range 30 seconds], Machines m "
+            "where r.host = m.name and r.temp > 10.0"
+        )
+        c1 = session.query(sql)
+        c2 = session.query(sql)
+        session.push("Readings", {"room": "lab1", "host": "ws3", "temp": 20.0, "load": 0.5}, 1.0)
+        session.punctuate(5.0)
+        assert [r.values for r in c1.results()] == [r.values for r in c2.results()]
+        assert len(c1.results()) == 1
+        # Table scans cannot be shared (late tee attachment cannot
+        # reproduce execute-time table replay): both admissions declined.
+        assert session.stats()["sharing"]["declined"] == 2
+        assert session.stats()["sharing"]["chains"] == 0
+        session.close()
+
+
+class TestSharedCursorLifecycle:
+    SQL = "select r.host, r.temp from Readings r where r.temp > 20.0"
+
+    def _push(self, session, temp: float, stamp: float):
+        session.push(
+            "Readings", {"room": "lab1", "host": "ws1", "temp": temp, "load": 0.5}, stamp
+        )
+
+    def test_interleaved_close_is_idempotent(self):
+        session = _open_session(share=True)
+        registry = session.engine.subplans
+        c1 = session.query(self.SQL)
+        c2 = session.query(self.SQL)
+        c3 = session.query(self.SQL)
+        assert sum(chain.tee.fan_out for chain in registry.live_chains) >= 3
+        self._push(session, 25.0, 1.0)
+        assert [len(c.results()) for c in (c1, c2, c3)] == [1, 1, 1]
+
+        c1.close()
+        c1.close()  # idempotent: the chain ref is released exactly once
+        self._push(session, 30.0, 2.0)
+        assert len(c1.results()) == 1  # frozen at close
+        assert len(c2.results()) == 2 and len(c3.results()) == 2
+
+        c2.close()
+        self._push(session, 35.0, 3.0)
+        assert len(c3.results()) == 3  # last subscriber still live
+        c3.close()
+        stats = registry.stats()
+        assert stats["chains"] == 0 and stats["fan_out"] == 0
+        assert stats["detached"] == stats["created"] + stats["attached"]
+        session.close()
+        c3.close()  # close after session close stays a no-op
+
+    def test_session_close_releases_remaining_references(self):
+        session = _open_session(share=True)
+        registry = session.engine.subplans
+        c1 = session.query(self.SQL)
+        session.query(self.SQL)  # left open: Session.close must release it
+        c1.close()
+        session.close()
+        stats = registry.stats()
+        assert stats["chains"] == 0 and stats["fan_out"] == 0
+        assert stats["detached"] == stats["created"] + stats["attached"]
+        c1.close()  # still a no-op after everything is gone
+
+    def test_prepared_executions_share_one_chain(self):
+        session = _open_session(share=True)
+        prepared = session.prepare(
+            "select r.host, r.temp from Readings r where r.temp > :limit"
+        )
+        c1 = prepared.execute(limit=20.0)
+        c2 = prepared.execute(limit=20.0)  # identical binding: shares
+        c3 = prepared.execute(limit=40.0)  # different literal: own chain
+        self._push(session, 30.0, 1.0)
+        assert len(c1.results()) == 1 and len(c2.results()) == 1
+        assert len(c3.results()) == 0
+        assert session.stats()["sharing"]["attached"] >= 1
+        for cursor in (c1, c2, c3):
+            cursor.close()
+        session.close()
+
+
+class TestPlanCache:
+    SQL = "select r.host, r.temp from Readings r where r.temp > 20.0"
+
+    def test_normalized_text_hits(self):
+        session = _open_session(share=True)
+        session.query(self.SQL)
+        session.query("SELECT  r.host, r.temp  FROM  readings r  WHERE r.temp > 20.0")
+        stats = session.stats()["plan_cache"]
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        session.prepare(self.SQL)  # prepared statements use the same cache
+        assert session.stats()["plan_cache"]["hits"] == 2
+        session.close()
+
+    def test_cache_survives_but_reflects_table_updates(self):
+        """A batch-routed cached plan re-evaluates current rows: the
+        cache memoizes compilation, never results."""
+        session = _open_session(share=True)
+        sql = "select m.name from Machines m where m.cpu > 5.0"
+        first = len(session.query(sql).results())
+        session.load("Machines", [{"name": "new1", "room": "lab9", "cpu": 6.5}])
+        second = len(session.query(sql).results())
+        assert second == first + 1
+        # load() refreshed catalog statistics without an epoch bump for
+        # the *same* registration; the repeat was still served cached.
+        assert session.stats()["plan_cache"]["hits"] >= 1
+        session.close()
+
+    def test_create_view_invalidates(self):
+        session = _open_session(share=True)
+        session.query(self.SQL)
+        session.query(self.SQL)
+        assert session.stats()["plan_cache"]["hits"] == 1
+        epoch = session.stats()["schema_epoch"]
+        session.query("create view hot as select r.host from Readings r where r.temp > 50.0")
+        assert session.stats()["schema_epoch"] > epoch
+        session.query(self.SQL)  # stale entry evicted, recompiled
+        stats = session.stats()["plan_cache"]
+        assert stats["invalidations"] == 1
+        session.close()
+
+    def test_detach_reattach_never_runs_stale_plan(self):
+        session = _open_session(share=True)
+        cursor = session.query(self.SQL)
+        cursor.close()
+        session.detach("Readings")
+        # Same name, different shape: the old plan reads r.temp which no
+        # longer exists — serving the cached plan would silently emit
+        # rows of a dead schema.
+        session.attach(
+            StreamSource(
+                "Readings",
+                Schema.of(("room", DataType.STRING), ("celsius", DataType.FLOAT)),
+                rate=10.0,
+            )
+        )
+        with pytest.raises(QueryError):
+            session.query(self.SQL)
+        assert session.stats()["plan_cache"]["invalidations"] >= 1
+        session.close()
+
+    def test_drop_table_bumps_epoch(self):
+        session = _open_session(share=True)
+        sql = "select m.name from Machines m where m.cpu > 1.0"
+        session.query(sql)
+        epoch = session.stats()["schema_epoch"]
+        session.engine.drop_table("Machines")
+        assert session.catalog.schema_epoch == epoch + 1
+        session.query(sql)  # recompiles against the (empty) table
+        assert session.stats()["plan_cache"]["invalidations"] == 1
+        session.close()
+
+    def test_unshared_session_still_caches(self):
+        session = _open_session(share=False)
+        c1 = session.query(self.SQL)
+        c2 = session.query(self.SQL)
+        stats = session.stats()
+        assert stats["plan_cache"]["hits"] == 1
+        assert stats["sharing"]["chains"] == 0 and stats["sharing"]["created"] == 0
+        session.push(
+            "Readings", {"room": "lab1", "host": "ws1", "temp": 30.0, "load": 0.1}, 1.0
+        )
+        assert len(c1.results()) == len(c2.results()) == 1
+        session.close()
+
+    def test_capacity_evicts_lru(self):
+        session = connect(plan_cache_size=2)
+        session.attach(StreamSource("Readings", READINGS, rate=10.0))
+        for threshold in (1.0, 2.0, 3.0):
+            session.query(
+                f"select r.host from Readings r where r.temp > {threshold}"
+            ).close()
+        stats = session.stats()["plan_cache"]
+        assert stats["size"] == 2 and stats["evictions"] == 1
+        session.close()
+
+
+class TestStats:
+    def test_stats_shape_and_sharded_aggregation(self):
+        sql = "select r.host, r.temp from Readings r where r.temp > 20.0"
+
+        def run(shards):
+            session = _open_session(share=True, shards=shards)
+            cursors = [session.query(sql), session.query(sql)]
+            stats = session.stats()
+            for cursor in cursors:
+                cursor.close()
+            emptied = session.stats()["sharing"]
+            session.close()
+            return stats, emptied
+
+        single, _ = run(1)
+        sharded, emptied = run(2)
+        assert set(sharded) == {"plan_cache", "sharing", "schema_epoch"}
+        assert set(sharded["sharing"]) == {
+            "chains", "fan_out", "created", "attached",
+            "detached", "torn_down", "declined",
+        }
+        assert single["sharing"]["attached"] > 0
+        # Partition-parallel replicas: every shard engine hosts the same
+        # chain structure, and stats() sums them.
+        for key in ("chains", "fan_out", "created", "attached"):
+            assert sharded["sharing"][key] == 2 * single["sharing"][key]
+        assert emptied["chains"] == 0 and emptied["fan_out"] == 0
+
+    def test_stats_raises_after_close(self):
+        session = connect()
+        session.close()
+        with pytest.raises(Exception):
+            session.stats()
