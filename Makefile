@@ -4,16 +4,21 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test check bench bench-expr bench-fusion bench-session bench-shard bench-federated bench-recovery bench-tenancy
+.PHONY: test lint check bench bench-expr bench-fusion bench-session bench-shard bench-federated bench-recovery bench-tenancy
 
 ## Tier-1 verification: the full unit/integration suite.
 test:
 	$(PYTHON) -m pytest -x -q
 
-## CI gate: tier-1 tests, the sharded-vs-unsharded identity corpus and
-## the fault-injection corpus at reduced seed counts, then every bench
-## at smoke scale.
-check: test
+## Engine-invariant linter: snapshot/restore pairing, push_batch
+## punctuation safety and package layering over src/repro.
+lint:
+	$(PYTHON) -m repro.analysis --self
+
+## CI gate: the invariant linter, tier-1 tests, the sharded-vs-unsharded
+## identity corpus and the fault-injection corpus at reduced seed
+## counts, then every bench at smoke scale.
+check: lint test
 	REPRO_SHARD_SEEDS=4 $(PYTHON) -m pytest tests/test_shard_identity.py -q
 	REPRO_FAULT_SEEDS=3 $(PYTHON) -m pytest tests/test_fault_recovery.py -q
 	$(PYTHON) -m benchmarks --smoke

@@ -19,6 +19,7 @@ Run:  python examples/quickstart.py
 
 from repro.api import StreamSource, TableSource, connect
 from repro.data import DataType, Schema
+from repro.errors import QueryError
 
 READINGS = Schema.of(("room", DataType.STRING), ("temp", DataType.FLOAT))
 MACHINES = Schema.of(("host", DataType.STRING), ("room", DataType.STRING))
@@ -238,6 +239,29 @@ def main() -> None:
             f"{stats['plan_cache']['misses']} misses; "
             f"every tenant saw {len(tenants[0].results())} row(s)"
         )
+
+    # 10. Static analysis: every plan is verified at admission and every
+    #     engine decision explains itself with stable RA### codes.
+    #     connect(analysis="strict") turns unbounded-state findings into
+    #     QueryError before the engine sees a row; session.explain
+    #     reports why a plan would fall back, decline sharing, or push
+    #     fragments in-network.
+    with connect(analysis="strict") as session:
+        session.attach(
+            StreamSource("Readings", READINGS, rate=2.0, partition_by="room")
+        )
+        try:
+            session.query(
+                "select r.room from Readings r [unbounded] group by r.room"
+            )
+        except QueryError as exc:
+            print(f"strict mode rejected: {str(exc).split(' at ')[0]}")
+        federated = session.explain(
+            "select r.room, count(*) as n from Readings r "
+            "[range 10 seconds] group by r.room"
+        )
+        for diagnostic in federated.diagnostics:
+            print(f"  {diagnostic.render()}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,84 @@
+"""Static plan analysis and the diagnostics framework.
+
+:func:`analyze_plan` runs the three admission-time analyses — typed
+plan inference (:mod:`~repro.analysis.typing`), unbounded-state
+detection (:mod:`~repro.analysis.bounds`) and progress/punctuation
+soundness (:mod:`~repro.analysis.progress`) — over a logical plan and
+returns one :class:`AnalysisReport` of stable-coded diagnostics. The
+Session runs it on every cache-miss compile (``connect(analysis=...)``)
+and caches the verdict with the plan; ``session.explain`` adds the
+eligibility explanations from :mod:`~repro.analysis.explain`.
+
+``python -m repro.analysis`` is the CLI: lint a SQL corpus file, or
+``--self`` to run the engine-invariant linter
+(:mod:`~repro.analysis.linter`) over ``src/repro`` itself.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import check_bounds, is_infinite
+from repro.analysis.diagnostics import (
+    CODES,
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisReport,
+    Diagnostic,
+    PlanAnalysisWarning,
+    diag,
+)
+from repro.analysis.explain import (
+    explain_diagnostics,
+    federated_diagnostics,
+    partition_diagnostic,
+    sharing_diagnostic,
+)
+from repro.analysis.linter import LAYERS, lint_engine
+from repro.analysis.progress import check_progress
+from repro.analysis.typing import check_types, typed_schemas
+
+__all__ = [
+    "CODES",
+    "ERROR",
+    "INFO",
+    "WARNING",
+    "AnalysisReport",
+    "Diagnostic",
+    "PlanAnalysisWarning",
+    "LAYERS",
+    "analyze_plan",
+    "check_bounds",
+    "check_progress",
+    "check_types",
+    "diag",
+    "explain_diagnostics",
+    "federated_diagnostics",
+    "is_infinite",
+    "lint_engine",
+    "partition_diagnostic",
+    "sharing_diagnostic",
+    "typed_schemas",
+]
+
+
+def analyze_plan(plan) -> AnalysisReport:
+    """Run every admission-time analysis over ``plan``.
+
+    Accepts a :class:`~repro.plan.logical.LogicalOp` or a
+    :class:`~repro.plan.builder.RecursivePlan` (both halves are
+    analyzed). Returns the combined :class:`AnalysisReport`; never
+    raises — every finding is a diagnostic, and enforcement policy
+    (warn vs strict) belongs to the caller.
+    """
+    roots = []
+    recursive = getattr(plan, "recursive", None)
+    if recursive is not None and hasattr(plan, "main"):
+        roots = [recursive, plan.main]
+    else:
+        roots = [plan]
+    diagnostics = []
+    for root in roots:
+        diagnostics.extend(check_types(root))
+        diagnostics.extend(check_bounds(root))
+        diagnostics.extend(check_progress(root))
+    return AnalysisReport.of(diagnostics)

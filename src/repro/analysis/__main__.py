@@ -1,0 +1,152 @@
+"""CLI: lint a SQL corpus, or the engine itself.
+
+Corpus mode::
+
+    python -m repro.analysis corpus.sql
+
+The corpus file declares its catalog inline and lists statements
+separated by ``;``. Declaration directives are comment lines::
+
+    -- !stream Readings room:string temp:float
+    -- !table  Machines host:string room:string
+
+    select r.room, r.temp from Readings r where r.temp > 24.0;
+    select r.room from Readings r [unbounded] group by r.room;
+
+Every statement is compiled (lex/parse/analyze/plan) and run through
+:func:`repro.analysis.analyze_plan` plus the sharing-eligibility
+explanation; diagnostics print with their stable ``RA###`` codes. Exit
+status 1 when any statement fails to compile or produces an
+error-severity diagnostic (``--strict`` escalates warnings too).
+
+Self mode::
+
+    python -m repro.analysis --self
+
+runs the engine-invariant linter (:mod:`repro.analysis.linter`) over
+the installed ``repro`` package source; exit status 1 on any finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.catalog import Catalog
+from repro.data.schema import Schema
+from repro.data.types import DataType
+from repro.errors import AspenError
+from repro.plan import PlanBuilder
+from repro.sql.parser import parse
+from repro.sql.ast import RecursiveQuery, SelectQuery
+from repro.sql.analyzer import Analyzer
+
+from repro.analysis import analyze_plan, lint_engine, sharing_diagnostic
+
+
+def _parse_directive(line: str, catalog: Catalog) -> None:
+    # "-- !stream Name col:type col:type ..."
+    parts = line.split("!", 1)[1].split()
+    kind, name, columns = parts[0], parts[1], parts[2:]
+    fields = []
+    for column in columns:
+        col_name, _, col_type = column.partition(":")
+        fields.append((col_name, DataType[col_type.strip().upper()]))
+    schema = Schema.of(*fields)
+    if kind == "stream":
+        catalog.register_stream(name, schema)
+    elif kind == "table":
+        catalog.register_table(name, schema)
+    else:
+        raise ValueError(f"unknown corpus directive {kind!r} (stream|table)")
+
+
+def _load_corpus(path: Path) -> tuple[Catalog, list[str]]:
+    catalog = Catalog()
+    sql_lines: list[str] = []
+    for line in path.read_text().splitlines():
+        stripped = line.strip()
+        if stripped.startswith("--"):
+            if stripped.lstrip("- ").startswith("!"):
+                _parse_directive(stripped, catalog)
+            continue
+        sql_lines.append(line)
+    statements = [s.strip() for s in "\n".join(sql_lines).split(";") if s.strip()]
+    return catalog, statements
+
+
+def lint_corpus(path: Path, *, strict: bool = False, out=None) -> int:
+    """Lint every statement in a corpus file; returns the exit status."""
+    out = out if out is not None else sys.stdout
+    catalog, statements = _load_corpus(path)
+    analyzer = Analyzer(catalog)
+    builder = PlanBuilder(catalog)
+    failures = 0
+    for index, sql in enumerate(statements, start=1):
+        print(f"-- [{index}] {' '.join(sql.split())}", file=out)
+        try:
+            statement = parse(sql)
+            if isinstance(statement, RecursiveQuery):
+                plan = builder.build_recursive(analyzer.analyze_recursive(statement))
+            elif isinstance(statement, SelectQuery):
+                plan = builder.build_select(analyzer.analyze_select(statement))
+            else:
+                print("   skipped: not a SELECT", file=out)
+                continue
+        except AspenError as exc:
+            print(f"   compile error: {exc}", file=out)
+            failures += 1
+            continue
+        report = analyze_plan(plan)
+        diagnostics = list(report.diagnostics)
+        select_plan = getattr(plan, "main", plan)
+        diagnostics.append(sharing_diagnostic(select_plan))
+        for diagnostic in diagnostics:
+            print(f"   {diagnostic.render()}", file=out)
+        if report.errors or (strict and report.warnings):
+            failures += 1
+    print(
+        f"-- {len(statements)} statement(s), {failures} with errors",
+        file=out,
+    )
+    return 1 if failures else 0
+
+
+def lint_self(out=None) -> int:
+    """Run the engine-invariant linter; returns the exit status."""
+    out = out if out is not None else sys.stdout
+    findings = lint_engine()
+    for finding in findings:
+        print(finding.render(), file=out)
+    print(f"engine lint: {len(findings)} finding(s)", file=out)
+    return 1 if findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static plan analysis: lint a SQL corpus or the engine itself.",
+    )
+    parser.add_argument("corpus", nargs="?", help="SQL corpus file to lint")
+    parser.add_argument(
+        "--self",
+        action="store_true",
+        dest="self_lint",
+        help="run the engine-invariant linter over src/repro",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="corpus mode: treat warning-severity diagnostics as failures",
+    )
+    args = parser.parse_args(argv)
+    if args.self_lint:
+        return lint_self()
+    if args.corpus is None:
+        parser.error("pass a corpus file or --self")
+    return lint_corpus(Path(args.corpus), strict=args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

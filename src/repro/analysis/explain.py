@@ -1,0 +1,132 @@
+"""Unified eligibility explanation: why a plan fell back, declined, or absorbed.
+
+``session.explain(sql)`` historically returned the federated
+partitioning alone; every *other* eligibility decision — partition-safe
+fallback under ``connect(shards=N)``, shared-subplan decline, raw
+sensor collection — was a scattered boolean with no explanation. This
+module funnels them all through the diagnostics framework:
+
+* ``RA3xx`` — the :func:`~repro.stream.partition.partition_safe`
+  verdict (one replica per shard vs designated-engine fallback), using
+  the stable code the analysis attaches to each reason;
+* ``RA4xx`` — shared-subplan eligibility
+  (:func:`~repro.stream.multiplex.sharing_eligibility`): would this
+  plan join a multiplexed chain, and if not, why;
+* ``RA5xx`` — the federated optimizer's decisions: which fragments were
+  pushed in-network, which sensor scans are collected raw (the
+  "absorbed into the residual" outcome), and what runs as the stream
+  residual.
+
+All of these are *explanations* (severity ``info``): the engine already
+handles every outcome correctly; the diagnostics say which outcome was
+chosen and why.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.catalog import EngineLocation
+from repro.core.federated import FederatedPlan
+from repro.plan.logical import LogicalOp, Scan
+from repro.stream.multiplex import sharing_eligibility
+from repro.stream.partition import partition_safe
+
+from repro.analysis.diagnostics import INFO, Diagnostic, diag
+
+
+def partition_diagnostic(
+    plan: LogicalOp, keys: Mapping[str, str]
+) -> Diagnostic:
+    """The partition-safety verdict as a coded diagnostic."""
+    verdict = partition_safe(plan, keys)
+    if verdict.safe:
+        carried = (
+            f" (key columns: {', '.join(verdict.key_columns)})"
+            if verdict.key_columns
+            else ""
+        )
+        message = f"one replica per shard, results merged{carried}"
+    else:
+        message = f"falls back to one designated engine: {verdict.reason}"
+    return diag(verdict.code, INFO, message)
+
+
+def sharing_diagnostic(plan: LogicalOp) -> Diagnostic:
+    """The shared-subplan eligibility verdict as a coded diagnostic."""
+    shareable, code, reason = sharing_eligibility(plan)
+    prefix = "joins a shared chain" if shareable else "runs a private pipeline"
+    return diag(code, INFO, f"{prefix}: {reason}")
+
+
+def federated_diagnostics(federated: FederatedPlan) -> list[Diagnostic]:
+    """The chosen federated partitioning as coded diagnostics."""
+    out: list[Diagnostic] = []
+    for fragment in federated.pushed:
+        out.append(
+            diag(
+                "RA501",
+                INFO,
+                f"fragment {fragment.name}: {fragment.deployment.kind} over "
+                f"{', '.join(fragment.deployment.relations)} "
+                f"({fragment.cost.messages_per_epoch:.2f} msgs/epoch, "
+                f"{fragment.result_rate:g} rows/s at the base)",
+            )
+        )
+    raw = [
+        node
+        for node in federated.stream_plan.walk()
+        if isinstance(node, Scan) and node.entry.location is EngineLocation.SENSOR
+    ]
+    for scan in raw:
+        out.append(
+            diag(
+                "RA502",
+                INFO,
+                f"sensor scan {scan.entry.name!r} was not pushed; every "
+                "sample ships to the basestation unfiltered",
+                operator=scan.describe(),
+            )
+        )
+    if not federated.pushed and not raw:
+        out.append(
+            diag(
+                "RA500",
+                INFO,
+                "no sensor-executable fragments; the whole plan runs on "
+                "the stream engine",
+            )
+        )
+    out.append(
+        diag(
+            "RA503",
+            INFO,
+            f"stream residual: {federated.stream_plan.describe()} "
+            f"(normalized cost {federated.cost.total:.6f}, "
+            f"{len(federated.alternatives)} alternatives considered)",
+        )
+    )
+    return out
+
+
+def explain_diagnostics(
+    plan: LogicalOp,
+    federated: FederatedPlan,
+    *,
+    shard_keys: Mapping[str, str] | None = None,
+) -> list[Diagnostic]:
+    """Every eligibility explanation for one plan, in report order.
+
+    ``shard_keys`` enables the partition-safety section (pass the
+    sharded engine's declared keys; None on unsharded sessions, where a
+    shard-fallback explanation would be noise).
+    """
+    out: list[Diagnostic] = []
+    if shard_keys is not None:
+        out.append(partition_diagnostic(plan, shard_keys))
+    # Sharing is judged on the stream residual — that is the plan the
+    # stream engine actually admits (a pushed fragment leaves a
+    # RemoteSource behind, which no chain can absorb).
+    out.append(sharing_diagnostic(federated.stream_plan))
+    out.extend(federated_diagnostics(federated))
+    return out

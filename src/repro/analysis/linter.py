@@ -1,0 +1,282 @@
+"""Engine-invariant linter: AST checks over ``src/repro`` itself.
+
+The runtime rests on a few conventions no type checker enforces; this
+linter makes them mechanical (``python -m repro.analysis --self``, run
+by ``make lint`` / ``make check``):
+
+* **RA901 — checkpoint pairing.** The checkpoint/restore spine
+  (:mod:`repro.stream.checkpoint`) snapshots every operator via
+  ``state_snapshot`` and restores via ``state_restore``. An Operator
+  subclass defining one without the other has state that either never
+  survives a failover or silently restores stale defaults.
+
+* **RA902 — batch punctuation safety.** ``Operator.push_batch`` may be
+  overridden for vectorized traversal, but ingest batches can carry
+  :class:`~repro.stream.elements.Punctuation` markers in-position. An
+  override that never dispatches punctuation (no ``Punctuation`` check,
+  no per-item ``push`` fallback, no ``_push_batch_generated`` redo
+  protocol) would drop watermarks — windows never close.
+
+* **RA903 — layering.** Packages import strictly downward through the
+  architecture (``errors → data → catalog → sql → plan → stream/sensor
+  → wrappers/core → building/analysis → api → smartcis``), *at module
+  top level*. Lazy in-function imports are the sanctioned escape hatch
+  (the api layer reaches sensor internals only lazily, keeping the
+  sensor substrate optional); a new top-level edge outside the
+  whitelist is a layering break.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.diagnostics import ERROR, Diagnostic, diag
+
+#: package (or top-level module) -> packages it may import at module
+#: top level. Importing within the same package is always allowed.
+#: This table *is* the layering contract: extend it deliberately, in
+#: review, when an edge is genuinely architectural.
+LAYERS: dict[str, frozenset[str]] = {
+    "errors": frozenset(),
+    "data": frozenset({"errors"}),
+    "runtime": frozenset({"errors"}),
+    "catalog": frozenset({"data", "errors"}),
+    "sql": frozenset({"catalog", "data", "errors"}),
+    "plan": frozenset({"catalog", "data", "errors", "sql"}),
+    "stream": frozenset({"catalog", "data", "errors", "plan", "runtime", "sql"}),
+    "sensor": frozenset({"catalog", "data", "errors", "plan", "runtime", "sql"}),
+    "wrappers": frozenset({"catalog", "data", "errors", "runtime", "stream"}),
+    "core": frozenset(
+        {"catalog", "data", "errors", "plan", "sensor", "sql", "stream"}
+    ),
+    "building": frozenset({"data", "errors", "runtime", "sensor", "wrappers"}),
+    "analysis": frozenset(
+        {"catalog", "core", "data", "errors", "plan", "sql", "stream"}
+    ),
+    "api": frozenset(
+        {
+            "analysis",
+            "catalog",
+            "data",
+            "errors",
+            "plan",
+            "runtime",
+            "sql",
+            "stream",
+            "wrappers",
+        }
+    ),
+    "smartcis": frozenset(
+        {
+            "building",
+            "catalog",
+            "core",
+            "data",
+            "errors",
+            "plan",
+            "runtime",
+            "sensor",
+            "sql",
+            "stream",
+            "wrappers",
+        }
+    ),
+}
+
+#: Attribute calls inside an overridden push_batch that prove it routes
+#: punctuation somewhere sound: per-item dispatch (push / the base
+#: push_batch), explicit punctuation handling, or the generated-batch
+#: redo protocol (which re-dispatches per item on punctuation).
+_PUNCTUATION_SAFE_CALLS = frozenset(
+    {"push", "push_batch", "on_punctuation", "_push_batch_generated"}
+)
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    module: str  # repo-relative path
+    lineno: int
+    bases: tuple[str, ...]
+    methods: frozenset[str]
+    node: ast.ClassDef
+
+
+def repro_root() -> Path:
+    """The ``src/repro`` directory of the running installation."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def lint_engine(root: Path | None = None) -> list[Diagnostic]:
+    """Run every engine-invariant check over the package source."""
+    root = root if root is not None else repro_root()
+    modules: dict[str, ast.Module] = {}
+    for path in sorted(root.rglob("*.py")):
+        rel = str(path.relative_to(root))
+        modules[rel] = ast.parse(path.read_text(), filename=rel)
+    classes = _collect_classes(modules)
+    operator_classes = _subclasses_of("Operator", classes)
+    out: list[Diagnostic] = []
+    _check_snapshot_pairs(operator_classes, out)
+    _check_push_batch(operator_classes, out)
+    _check_layering(modules, out)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Class discovery
+# ----------------------------------------------------------------------
+def _collect_classes(modules: dict[str, ast.Module]) -> list[_ClassInfo]:
+    out: list[_ClassInfo] = []
+    for rel, tree in modules.items():
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = []
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    bases.append(base.id)
+                elif isinstance(base, ast.Attribute):
+                    bases.append(base.attr)
+            methods = frozenset(
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            )
+            out.append(
+                _ClassInfo(node.name, rel, node.lineno, tuple(bases), methods, node)
+            )
+    return out
+
+
+def _subclasses_of(base: str, classes: list[_ClassInfo]) -> list[_ClassInfo]:
+    """Transitive subclasses by name (class names are unique enough in
+    this codebase; a false merge would only widen the check)."""
+    names = {base}
+    grew = True
+    while grew:
+        grew = False
+        for info in classes:
+            if info.name not in names and names.intersection(info.bases):
+                names.add(info.name)
+                grew = True
+    return [info for info in classes if info.name in names and info.name != base]
+
+
+# ----------------------------------------------------------------------
+# RA901: state_snapshot / state_restore pairing
+# ----------------------------------------------------------------------
+def _check_snapshot_pairs(
+    operators: list[_ClassInfo], out: list[Diagnostic]
+) -> None:
+    for info in operators:
+        has_snapshot = "state_snapshot" in info.methods
+        has_restore = "state_restore" in info.methods
+        if has_snapshot != has_restore:
+            missing = "state_restore" if has_snapshot else "state_snapshot"
+            out.append(
+                diag(
+                    "RA901",
+                    ERROR,
+                    f"operator {info.name} defines "
+                    f"{'state_snapshot' if has_snapshot else 'state_restore'} "
+                    f"without {missing}; its state cannot round-trip a "
+                    "checkpoint",
+                    operator=f"{info.module}:{info.lineno}",
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# RA902: overridden push_batch must route punctuation
+# ----------------------------------------------------------------------
+def _check_push_batch(operators: list[_ClassInfo], out: list[Diagnostic]) -> None:
+    for info in operators:
+        if "push_batch" not in info.methods:
+            continue
+        fn = next(
+            item
+            for item in info.node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and item.name == "push_batch"
+        )
+        if not _punctuation_safe(fn):
+            out.append(
+                diag(
+                    "RA902",
+                    ERROR,
+                    f"{info.name}.push_batch never dispatches punctuation: "
+                    "no Punctuation check, per-item push fallback, or "
+                    "generated-batch redo; batched ingest would drop "
+                    "watermarks",
+                    operator=f"{info.module}:{fn.lineno}",
+                )
+            )
+
+
+def _punctuation_safe(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and node.id == "Punctuation":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _PUNCTUATION_SAFE_CALLS:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# RA903: top-level import layering
+# ----------------------------------------------------------------------
+def _module_layer(rel: str) -> str | None:
+    parts = Path(rel).parts
+    if len(parts) == 1:
+        stem = Path(parts[0]).stem
+        return stem if stem in LAYERS else None  # repro/__init__.py: exempt
+    return parts[0]
+
+
+def _top_level_imports(tree: ast.Module):
+    """(lineno, imported repro subpackage) for every module-level import."""
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[0] == "repro" and len(parts) > 1:
+                    yield node.lineno, parts[1]
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue
+            parts = node.module.split(".")
+            if parts[0] != "repro":
+                continue
+            if len(parts) > 1:
+                yield node.lineno, parts[1]
+            else:  # from repro import <subpackage or name>
+                for alias in node.names:
+                    yield node.lineno, alias.name
+
+
+def _check_layering(modules: dict[str, ast.Module], out: list[Diagnostic]) -> None:
+    for rel, tree in modules.items():
+        layer = _module_layer(rel)
+        if layer is None or layer not in LAYERS:
+            continue
+        allowed = LAYERS[layer]
+        for lineno, target in _top_level_imports(tree):
+            if target == layer or target in allowed:
+                continue
+            if target in LAYERS or Path(target).stem in LAYERS:
+                out.append(
+                    diag(
+                        "RA903",
+                        ERROR,
+                        f"{layer!r} imports {target!r} at module top level; "
+                        "the layering contract allows only "
+                        f"{{{', '.join(sorted(allowed)) or 'nothing'}}} "
+                        "(use a lazy in-function import for optional edges)",
+                        operator=f"{rel}:{lineno}",
+                    )
+                )

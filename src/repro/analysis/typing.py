@@ -1,0 +1,175 @@
+"""Typed-plan inference: propagate column types through every LogicalOp.
+
+The SQL front end already type-checks the expressions it *builds*
+(:class:`~repro.sql.analyzer.Analyzer` rejects ill-typed WHERE clauses
+and aggregations), and :class:`~repro.plan.logical.Project` /
+:class:`~repro.plan.logical.Aggregate` re-derive their output schemas at
+construction. What nothing checks today are the plan-level contracts a
+*hand-built* or rewritten tree can violate without the front end:
+Select and Join never type their predicates, OrderBy never types its
+keys, and Recursive only checks base/step *arity* against the CTE
+schema, not the column types. Those gaps surface mid-stream, deep
+inside a generated closure, on the first row that trips them.
+
+:func:`check_types` closes the gaps statically: it walks the tree once,
+types every expression against its child schema via ``Expr.dtype`` —
+the same inference the compiled-expression layer trusts — and turns
+each violation into an ``RA0xx`` diagnostic instead of a runtime
+exception. :func:`typed_schemas` exposes the propagated types per node
+for tooling.
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import Schema
+from repro.data.types import ORDERED_TYPES, DataType, common_type
+from repro.errors import AnalysisError, SchemaError, TypeMismatchError
+from repro.plan.logical import (
+    Aggregate,
+    Join,
+    LogicalOp,
+    OrderBy,
+    Project,
+    Recursive,
+    Select,
+)
+
+from repro.analysis.diagnostics import ERROR, Diagnostic, diag
+
+#: Exceptions ``Expr.dtype`` raises for ill-typed expressions; anything
+#: else is a bug and propagates.
+_TYPE_FAILURES = (AnalysisError, TypeMismatchError, SchemaError)
+
+#: Types a predicate may produce (NULL: a bare NULL literal compares
+#: three-valued, never crashes).
+_BOOLEAN_OK = frozenset({DataType.BOOL, DataType.NULL})
+
+
+def typed_schemas(plan: LogicalOp) -> dict[int, Schema]:
+    """Propagated output schema of every node, keyed by ``plan_id``."""
+    return {node.plan_id: node.schema for node in plan.walk()}
+
+
+def check_types(plan: LogicalOp) -> list[Diagnostic]:
+    """Type every expression in ``plan``; returns ``RA0xx`` diagnostics."""
+    out: list[Diagnostic] = []
+    for node in plan.walk():
+        _check_node(node, out)
+    return out
+
+
+def _check_node(node: LogicalOp, out: list[Diagnostic]) -> None:
+    if isinstance(node, Select):
+        _check_predicate(node.predicate, node.child.schema, node, out)
+    elif isinstance(node, Join):
+        if node.predicate is not None:
+            _check_predicate(node.predicate, node.schema, node, out)
+    elif isinstance(node, Project):
+        for item in node.items:
+            try:
+                item.expr.dtype(node.child.schema)
+            except _TYPE_FAILURES as exc:
+                out.append(
+                    diag(
+                        "RA004",
+                        ERROR,
+                        f"projection {item.name!r}: {exc}",
+                        operator=node.describe(),
+                    )
+                )
+    elif isinstance(node, Aggregate):
+        child_schema = node.child.schema
+        for name, expr in zip(node.key_names, node.group_by):
+            try:
+                expr.dtype(child_schema)
+            except _TYPE_FAILURES as exc:
+                out.append(
+                    diag(
+                        "RA004",
+                        ERROR,
+                        f"group key {name!r}: {exc}",
+                        operator=node.describe(),
+                    )
+                )
+        for item in node.aggregates:
+            try:
+                item.call.dtype(child_schema)
+            except _TYPE_FAILURES as exc:
+                out.append(
+                    diag(
+                        "RA003",
+                        ERROR,
+                        f"aggregate {item.name!r}: {exc}",
+                        operator=node.describe(),
+                    )
+                )
+    elif isinstance(node, OrderBy):
+        for item in node.items:
+            try:
+                dtype = item.expr.dtype(node.child.schema)
+            except _TYPE_FAILURES as exc:
+                out.append(
+                    diag(
+                        "RA001",
+                        ERROR,
+                        f"ORDER BY key {item.expr.render()}: {exc}",
+                        operator=node.describe(),
+                    )
+                )
+                continue
+            if dtype not in ORDERED_TYPES and dtype is not DataType.NULL:
+                out.append(
+                    diag(
+                        "RA006",
+                        ERROR,
+                        f"ORDER BY key {item.expr.render()} has unorderable "
+                        f"type {dtype.value}",
+                        operator=node.describe(),
+                    )
+                )
+    elif isinstance(node, Recursive):
+        _check_recursive(node, out)
+
+
+def _check_predicate(
+    predicate, schema: Schema, node: LogicalOp, out: list[Diagnostic]
+) -> None:
+    try:
+        dtype = predicate.dtype(schema)
+    except _TYPE_FAILURES as exc:
+        out.append(diag("RA001", ERROR, str(exc), operator=node.describe()))
+        return
+    if dtype not in _BOOLEAN_OK:
+        out.append(
+            diag(
+                "RA002",
+                ERROR,
+                f"predicate {predicate.render()} has type {dtype.value}, "
+                "expected bool",
+                operator=node.describe(),
+            )
+        )
+
+
+def _check_recursive(node: Recursive, out: list[Diagnostic]) -> None:
+    """Base and step must produce rows coercible to the CTE schema.
+
+    The constructor checks arity only; a step whose column types drift
+    from the base's would poison the working table on iteration two.
+    """
+    for label, branch in (("base", node.base), ("step", node.step)):
+        for cte_field, branch_field in zip(node.cte_schema, branch.schema):
+            try:
+                common_type(cte_field.dtype, branch_field.dtype)
+            except TypeMismatchError:
+                out.append(
+                    diag(
+                        "RA005",
+                        ERROR,
+                        f"recursive {node.name!r} {label} column "
+                        f"{branch_field.name!r} has type "
+                        f"{branch_field.dtype.value}, CTE declares "
+                        f"{cte_field.dtype.value}",
+                        operator=node.describe(),
+                    )
+                )

@@ -48,10 +48,16 @@ the automatic choice. Every failure surfaces as :class:`~repro.errors.QueryError
 
 from __future__ import annotations
 
+import warnings
 import weakref
 from contextlib import contextmanager
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.analysis import (
+    PlanAnalysisWarning,
+    analyze_plan,
+    explain_diagnostics,
+)
 from repro.catalog import Catalog, SourceKind
 from repro.data.tuples import Row
 from repro.errors import (
@@ -74,6 +80,7 @@ from repro.runtime import Simulator
 from repro.sql.analyzer import Analyzer
 from repro.sql.ast import CreateView, RecursiveQuery, SelectQuery
 from repro.sql.expressions import collect_parameters
+from repro.sql.lexer import tokenize
 from repro.sql.normalize import normalize_sql
 from repro.sql.parser import parse
 from repro.stream.batch import evaluate, fixpoint
@@ -98,6 +105,7 @@ def connect(
     checkpoint_interval: float | None = None,
     share_plans: bool = True,
     plan_cache_size: int = 256,
+    analysis: str = "warn",
 ) -> "Session":
     """Open a :class:`Session`.
 
@@ -135,6 +143,17 @@ def connect(
     ``share_plans=False`` restores fully private per-query pipelines
     (the cache stays on — it never changes semantics, only compile
     cost). An *injected* engine keeps its own ``share_plans`` setting.
+
+    ``analysis`` controls admission-time static analysis
+    (:func:`repro.analysis.analyze_plan`: typed-plan inference,
+    unbounded-state detection, progress soundness). ``"warn"`` (the
+    default) records the verdict — available via ``session.explain``
+    and the plan cache — and surfaces error-severity findings as
+    :class:`~repro.analysis.PlanAnalysisWarning` Python warnings;
+    ``"strict"`` turns them into :class:`~repro.errors.QueryError`
+    before the engine sees a row; ``"off"`` skips analysis entirely.
+    The verdict is cached with the compiled plan, so warm admissions
+    pay nothing (``session.stats()["analysis"]`` counts runs vs hits).
     """
     return Session(
         catalog=catalog,
@@ -149,6 +168,7 @@ def connect(
         checkpoint_interval=checkpoint_interval,
         share_plans=share_plans,
         plan_cache_size=plan_cache_size,
+        analysis=analysis,
     )
 
 
@@ -170,6 +190,7 @@ class Session:
         checkpoint_interval: float | None = None,
         share_plans: bool = True,
         plan_cache_size: int = 256,
+        analysis: str = "warn",
     ):
         from repro.api.backends import (
             BatchBackend,
@@ -193,6 +214,15 @@ class Session:
         self._statements: "weakref.WeakSet" = weakref.WeakSet()
         self._closed = False
         self._plan_cache = PlanCache(capacity=plan_cache_size)
+        if analysis not in ("off", "warn", "strict"):
+            raise QueryError(
+                f"unknown analysis mode {analysis!r}; "
+                "expected 'off', 'warn' or 'strict'"
+            )
+        self._analysis_mode = analysis
+        #: Static-analysis observability: fresh runs, verdicts served
+        #: from the plan cache, and compiles skipped under analysis="off".
+        self._analysis_counters = {"runs": 0, "hits": 0, "skipped": 0}
         if shards > 1:
             if engine is not None:
                 raise QueryError(
@@ -322,6 +352,7 @@ class Session:
                 key = normalize_sql(sql)
             entry = self._plan_cache.lookup(key, self.catalog.schema_epoch)
             if entry is not None:
+                self._analyze_entry(entry, sql, cached=True)
                 return entry
         statement = self._parse(sql)
         parameters = tuple(sorted(_statement_parameter_names(statement)))
@@ -353,7 +384,37 @@ class Session:
         )
         if cacheable:
             self._plan_cache.store(key, entry)
+        self._analyze_entry(entry, sql, cached=False)
         return entry
+
+    def _analyze_entry(self, entry: CachedStatement, sql: str, *, cached: bool) -> None:
+        """Run (or reuse) static analysis for one compiled statement.
+
+        The verdict lives on the cache entry, so a warm admission costs
+        one attribute read. Enforcement runs on every admission — a
+        strict session must reject an unbounded plan whether or not the
+        compile was served from cache. Stored before enforcement: the
+        compile itself is valid, and the cached verdict is what makes
+        the *next* strict rejection free.
+        """
+        if self._analysis_mode == "off":
+            self._analysis_counters["skipped"] += 1
+            return
+        report = entry.analysis
+        if report is None:
+            if entry.plan is None:
+                return  # CREATE VIEW: nothing to analyze until queried
+            report = analyze_plan(entry.plan)
+            entry.analysis = report
+            self._analysis_counters["runs"] += 1
+        elif cached:
+            self._analysis_counters["hits"] += 1
+        if report.ok:
+            return
+        rendered = "; ".join(d.render() for d in report.errors)
+        if self._analysis_mode == "strict":
+            raise QueryError(f"plan analysis failed: {rendered}", sql=sql)
+        warnings.warn(rendered, PlanAnalysisWarning, stacklevel=4)
 
     def plan(self, sql: str) -> LogicalOp | RecursivePlan:
         """Compile SQL text to a logical plan without executing it.
@@ -369,25 +430,44 @@ class Session:
         """Partition a SELECT through the federated optimizer without
         executing it; returns the costed
         :class:`~repro.core.federated.FederatedPlan` (fragments, stream
-        residual, every alternative considered).
+        residual, every alternative considered), with ``diagnostics``
+        populated: the plan's static-analysis report plus the unified
+        eligibility explanations — why the plan would fall back to one
+        shard engine (``RA3xx``, sharded sessions), decline subplan
+        sharing (``RA4xx``), or ship sensor samples raw (``RA5xx``).
 
         Works on any session — plans without sensor-hosted scans come
         back whole as the stream residual with no fragments. Every
         failure funnels through :class:`~repro.errors.QueryError`:
         unparsable text carries the source position, and non-SELECT
-        statements are rejected here rather than deep in the optimizer.
+        statements are rejected here — with the statement's source
+        position, like ``query``/``prepare`` — rather than deep in the
+        optimizer.
         """
         self._ensure_open()
         statement = self._parse(sql)
         if not isinstance(statement, SelectQuery):
+            # The parse succeeded, so the statement's first token is
+            # where the wrong statement kind begins.
+            first = tokenize(sql)[0]
             raise QueryError(
                 f"explain requires a SELECT statement, got "
                 f"{type(statement).__name__}",
+                line=first.line,
+                column=first.column,
                 sql=sql,
             )
         with self._compiling(sql):
             plan = self.builder.build_select(self.analyzer.analyze_select(statement))
-            return self._backends["federated"].partition(plan)
+            federated = self._backends["federated"].partition(plan)
+        report = analyze_plan(plan)
+        shard_keys = (
+            dict(getattr(self.engine, "_keys", {})) if self.shards > 1 else None
+        )
+        federated.diagnostics = list(report.diagnostics) + explain_diagnostics(
+            plan, federated, shard_keys=shard_keys
+        )
+        return federated
 
     # ------------------------------------------------------------------
     # Queries
@@ -599,18 +679,23 @@ class Session:
     def stats(self) -> dict:
         """Multiplexing observability counters.
 
-        ``{"plan_cache": {...}, "sharing": {...}, "schema_epoch": n}`` —
-        the plan cache's size/hits/misses/evictions/invalidations, the
-        stream engine's shared-subplan counters (live chains, total
-        fan-out, chains created/attached/detached/torn down, declined
-        admissions; summed across every shard and the fallback engine
-        under ``connect(shards=N)``), and the catalog schema epoch the
-        cache keys against.
+        ``{"plan_cache": {...}, "sharing": {...}, "analysis": {...},
+        "schema_epoch": n}`` — the plan cache's
+        size/hits/misses/evictions/invalidations, the stream engine's
+        shared-subplan counters (live chains, total fan-out, chains
+        created/attached/detached/torn down, declined admissions; summed
+        across every shard and the fallback engine under
+        ``connect(shards=N)``), the static-analysis counters (``runs``:
+        fresh analyses on cache-miss compiles, ``hits``: cache hits that
+        reused the stored verdict, ``skipped``: compiles under
+        ``analysis="off"``, plus the session's ``mode``), and the
+        catalog schema epoch the cache keys against.
         """
         self._ensure_open()
         return {
             "plan_cache": self._plan_cache.stats(),
             "sharing": self.engine.sharing_stats(),
+            "analysis": dict(self._analysis_counters, mode=self._analysis_mode),
             "schema_epoch": self.catalog.schema_epoch,
         }
 

@@ -97,11 +97,18 @@ class FederatedPlan:
         chosen: The winning alternative.
         alternatives: Every alternative enumerated (including the winner),
             for EXPLAIN output and the E3/E8 benches.
+        diagnostics: Stable-coded explanations
+            (:class:`~repro.analysis.diagnostics.Diagnostic`) attached
+            by ``session.explain``: the plan's static-analysis findings
+            plus partition-safety, sharing-eligibility and federated
+            partitioning decisions. Empty when the plan came straight
+            from the optimizer.
     """
 
     original: LogicalOp
     chosen: Alternative
     alternatives: list[Alternative] = field(default_factory=list)
+    diagnostics: list = field(default_factory=list)
 
     @property
     def stream_plan(self) -> LogicalOp:
@@ -138,6 +145,10 @@ class FederatedPlan:
         for alternative in self.alternatives:
             marker = "*" if alternative is self.chosen else " "
             lines.append(f"   {marker} {alternative.describe()}")
+        if self.diagnostics:
+            lines.append("  diagnostics:")
+            for diagnostic in self.diagnostics:
+                lines.append(f"    {diagnostic.render()}")
         return "\n".join(lines)
 
 

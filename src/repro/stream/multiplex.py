@@ -73,6 +73,7 @@ __all__ = [
     "SubplanRegistry",
     "TeeOp",
     "plan_fingerprint",
+    "sharing_eligibility",
 ]
 
 #: Pseudo-source prefix naming a chain's output feed in compiled ports.
@@ -240,6 +241,56 @@ def plan_fingerprint(node: LogicalOp) -> tuple | None:
     return None
 
 
+def sharing_eligibility(plan: LogicalOp) -> tuple[bool, str, str]:
+    """Why ``plan`` may (or may not) run as a shared chain.
+
+    Returns ``(shareable, code, reason)`` with a stable ``RA4xx`` code
+    (see :mod:`repro.analysis.diagnostics`) so ``session.explain`` and
+    the registry's decline path report the same explanation. Pure
+    function of the plan — the registry applies it at admission;
+    chain-warmth declines are runtime state, not eligibility, and are
+    not reported here.
+    """
+    for node in plan.walk():
+        if isinstance(node, Output):
+            return (
+                False,
+                "RA401",
+                "OUTPUT TO DISPLAY has per-query side effects; a shared "
+                "chain would fire the display once for N queries",
+            )
+        if isinstance(node, CteRef):
+            return (
+                False,
+                "RA403",
+                "recursive CTE references evaluate per query on the batch "
+                "engine and are never shared",
+            )
+        if isinstance(node, RemoteSource):
+            return (
+                False,
+                "RA402",
+                f"remote feed {node.name!r} is delivered per engine; "
+                "tee-sharing it would double-deliver fragment outputs",
+            )
+        if isinstance(node, Scan) and node.entry.kind is not SourceKind.STREAM:
+            return (
+                False,
+                "RA404",
+                f"stored table {node.entry.name!r} is replayed into fresh "
+                "queries at execute time, which a late tee attach cannot "
+                "reproduce",
+            )
+    if plan_fingerprint(plan) is None:
+        return (
+            False,
+            "RA405",
+            "plan shape has no structural fingerprint; identity cannot be "
+            "established across queries",
+        )
+    return True, "RA400", "structurally fingerprintable over stream scans only"
+
+
 # ----------------------------------------------------------------------
 # Shared chains
 # ----------------------------------------------------------------------
@@ -296,6 +347,8 @@ class SubplanRegistry:
         self.detached = 0
         self.torn_down = 0
         self.declined = 0
+        #: ``(code, reason)`` of the most recent admission decline.
+        self.last_decline: tuple[str, str] | None = None
 
     # ------------------------------------------------------------------
     # Admission
@@ -306,14 +359,10 @@ class SubplanRegistry:
         Plans with display side effects, remote feeds, recursion, or
         stored-table scans run private pipelines: tables are replayed
         into fresh queries at execute time, which a late tee attach
-        cannot reproduce, and OUTPUT must fire once per query.
+        cannot reproduce, and OUTPUT must fire once per query. The
+        coded explanation lives in :func:`sharing_eligibility`.
         """
-        for node in plan.walk():
-            if isinstance(node, (Output, RemoteSource, CteRef)):
-                return False
-            if isinstance(node, Scan) and node.entry.kind is not SourceKind.STREAM:
-                return False
-        return True
+        return sharing_eligibility(plan)[0]
 
     def admit(self, plan: LogicalOp, sink: Any):
         """Run ``plan`` as a branch of its whole-plan chain.
@@ -323,15 +372,15 @@ class SubplanRegistry:
         chain's tee into ``sink``) and ``attachments`` the
         ``(chain, branch)`` references the caller must release on stop
         — or None when the plan is ineligible or cannot be
-        fingerprinted, in which case the engine compiles it privately.
+        fingerprinted (``last_decline`` then carries the coded reason),
+        in which case the engine compiles it privately.
         """
-        if not self.eligible(plan):
+        shareable, code, reason = sharing_eligibility(plan)
+        if not shareable:
             self.declined += 1
+            self.last_decline = (code, reason)
             return None
         fingerprint = plan_fingerprint(plan)
-        if fingerprint is None:
-            self.declined += 1
-            return None
         chain = self._acquire(plan, fingerprint)
         feed = SharedFeed(plan, chain.chain_id)
         compiled = self._engine._compiler.compile(feed, sink)
@@ -545,7 +594,11 @@ class CachedStatement:
 
     ``statement``/``analyzed``/``plan`` are shared across hits: plans
     are immutable and the continuous path re-binds parameters by
-    building bound copies, so reuse is safe.
+    building bound copies, so reuse is safe. ``analysis`` carries the
+    static-analysis verdict (an
+    :class:`~repro.analysis.diagnostics.AnalysisReport`, or None when
+    analysis was off at compile time) so warm admissions never
+    re-analyze.
     """
 
     statement: Any
@@ -554,6 +607,7 @@ class CachedStatement:
     route: str
     parameters: tuple[str, ...]
     epoch: int
+    analysis: Any = None
 
 
 class PlanCache:

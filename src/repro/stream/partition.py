@@ -77,11 +77,17 @@ class PartitionAnalysis:
         key_columns: Output column names that carry a partition key
             value (empty for safe-but-keyless plans, e.g. pure
             filter/project chains over a round-robin source).
+        code: The verdict's stable diagnostic code, so
+            ``session.explain`` and tooling report fallback reasons
+            without string-matching ``reason``.
     """
 
     safe: bool
     reason: str
     key_columns: tuple[str, ...] = ()
+    #: Stable diagnostic code (``RA300`` safe; ``RA3xx`` fallback
+    #: reasons — see :mod:`repro.analysis.diagnostics`).
+    code: str = "RA300"
 
 
 @dataclass(frozen=True)
@@ -97,9 +103,10 @@ class _Part:
 
 
 class _Unsafe(Exception):
-    """Internal control flow: carries the human-readable reason."""
+    """Internal control flow: carries the coded, human-readable reason."""
 
-    def __init__(self, reason: str):
+    def __init__(self, code: str, reason: str):
+        self.code = code
         self.reason = reason
         super().__init__(reason)
 
@@ -117,14 +124,17 @@ def partition_safe(
     try:
         part = _analyze(plan, keys)
     except _Unsafe as verdict:
-        return PartitionAnalysis(False, verdict.reason)
+        return PartitionAnalysis(False, verdict.reason, code=verdict.code)
     if part.replicated:
         return PartitionAnalysis(
             False,
             "plan reads only replicated tables; one designated engine suffices",
+            code="RA304",
         )
     if not part.partitioned:
-        return PartitionAnalysis(False, "plan reads no partitioned stream")
+        return PartitionAnalysis(
+            False, "plan reads no partitioned stream", code="RA305"
+        )
     names = tuple(
         sorted(plan.schema.names[pos] for pos in part.key_positions)
     )
@@ -164,21 +174,26 @@ def _analyze(node: LogicalOp, keys: Mapping[str, str]) -> _Part:
         child = _analyze(node.child, keys)
         if child.partitioned and not child.key_positions:
             raise _Unsafe(
-                "DISTINCT without the partition key would deduplicate per shard only"
+                "RA306",
+                "DISTINCT without the partition key would deduplicate per shard only",
             )
         return child
     if isinstance(node, OrderBy):
-        raise _Unsafe("ORDER BY needs a total order per report across all shards")
+        raise _Unsafe(
+            "RA301", "ORDER BY needs a total order per report across all shards"
+        )
     if isinstance(node, Limit):
-        raise _Unsafe("LIMIT budgets rows globally per report")
-    raise _Unsafe(f"{type(node).__name__} is not recognized as partition-safe")
+        raise _Unsafe("RA302", "LIMIT budgets rows globally per report")
+    raise _Unsafe(
+        "RA312", f"{type(node).__name__} is not recognized as partition-safe"
+    )
 
 
 def _analyze_scan(node: Scan, keys: Mapping[str, str]) -> _Part:
     window = node.window
     if window is not None and window.kind is WindowKind.ROWS:
         raise _Unsafe(
-            f"ROWS window on {node.entry.name!r} counts global arrivals"
+            "RA303", f"ROWS window on {node.entry.name!r} counts global arrivals"
         )
     if node.entry.kind is SourceKind.TABLE:
         return _Part(replicated=True)
@@ -190,7 +205,8 @@ def _analyze_scan(node: Scan, keys: Mapping[str, str]) -> _Part:
         position = _resolve(node.schema, key)
     if position is None:
         raise _Unsafe(
-            f"partition key {key!r} is not a column of {node.entry.name!r}"
+            "RA311",
+            f"partition key {key!r} is not a column of {node.entry.name!r}",
         )
     return _Part(key_positions=frozenset([position]), partitioned=True)
 
@@ -214,11 +230,14 @@ def _analyze_project(node: Project, keys: Mapping[str, str]) -> _Part:
 def _analyze_aggregate(node: Aggregate, keys: Mapping[str, str]) -> _Part:
     child = _analyze(node.child, keys)
     if child.replicated:
-        raise _Unsafe("aggregate over replicated tables would emit once per shard")
+        raise _Unsafe(
+            "RA307", "aggregate over replicated tables would emit once per shard"
+        )
     if not child.key_positions:
         raise _Unsafe(
+            "RA308",
             "aggregate input does not carry the partition key "
-            "(round-robin source or key projected away)"
+            "(round-robin source or key projected away)",
         )
     covered: set[int] = set()
     for key_pos, expr in enumerate(node.group_by):
@@ -230,8 +249,9 @@ def _analyze_aggregate(node: Aggregate, keys: Mapping[str, str]) -> _Part:
             covered.add(key_pos)
     if not covered:
         raise _Unsafe(
+            "RA309",
             "GROUP BY keys do not cover the partition key; "
-            "groups would straddle shards"
+            "groups would straddle shards",
         )
     return _Part(key_positions=frozenset(covered), partitioned=True)
 
@@ -272,7 +292,8 @@ def _analyze_join(node: Join, keys: Mapping[str, str]) -> _Part:
                 aligned = True
     if not aligned:
         raise _Unsafe(
-            "join predicate does not align the two sides' partition keys"
+            "RA310",
+            "join predicate does not align the two sides' partition keys",
         )
     merged = frozenset(left.key_positions) | frozenset(
         pos + offset for pos in right.key_positions

@@ -374,7 +374,7 @@ class TestStats:
 
         single, _ = run(1)
         sharded, emptied = run(2)
-        assert set(sharded) == {"plan_cache", "sharing", "schema_epoch"}
+        assert set(sharded) == {"plan_cache", "sharing", "analysis", "schema_epoch"}
         assert set(sharded["sharing"]) == {
             "chains", "fan_out", "created", "attached",
             "detached", "torn_down", "declined",
