@@ -18,15 +18,23 @@ DISTINCTs) — across three ingest strategies, all through the unchanged
   rows hash-partitioned by the source's declared key and every
   partition-safe query running one replica per shard with merged
   results.
+* **process_push_many** — ``connect(shards=N, workers="process")`` for
+  N ∈ {2, 4}: one worker OS process per shard fed value-tuple batches
+  over bounded queues, queries shipped as SQL text and recompiled in
+  the workers (:mod:`repro.stream.procshard`). The artifact records
+  the worker-count trajectory (``process_scaling``) and the host's
+  ``cpu_count``, because what this buys depends entirely on cores.
 
-Honest-comparison note: this container is single-core, so the pool buys
-no OS-level parallelism here — the point proven is that partition
-routing, replica fan-out and the merge protocol preserve the batched
-hot path (``sharding_overhead`` below bounds the loss vs one batched
-engine) while multiplying the *throughput headroom* of the deployment
-the moment shards map to cores or processes. The headline number —
-``speedup_vs_single_push`` — is the end-to-end win of this PR's ingest
-path (sharded + batched + compiled fold) over the per-element
+Honest-comparison note: on a single-core host neither pool buys
+OS-level parallelism — the point proven is that partition routing,
+replica fan-out and the merge protocol preserve the batched hot path
+(``sharding_overhead`` below bounds the loss vs one batched engine),
+and that the process transport's cost stays bounded
+(``process_vs_inprocess_4``: ≥4 cores must show ≥1.5× over the
+in-process pool; fewer cores must keep pickling/queue overhead ≤25%,
+never asserted as a speedup). The headline number —
+``speedup_vs_single_push`` — is the end-to-end win of this repo's
+ingest path (sharded + batched + compiled fold) over the per-element
 single-engine ingest that the seed system served.
 
 Result equality is asserted across every strategy (sorted rows per
@@ -41,6 +49,7 @@ from __future__ import annotations
 import gc
 import json
 import os
+import statistics
 import time
 from pathlib import Path
 
@@ -98,8 +107,10 @@ def _reading_rows(count: int) -> tuple[list[Row], list[float]]:
     return rows, [i / 100.0 for i in range(count)]
 
 
-def _session(shards: int):
-    session = connect(shards=shards) if shards > 1 else connect()
+def _session(shards: int, workers: str = "inline"):
+    session = (
+        connect(shards=shards, workers=workers) if shards > 1 else connect()
+    )
     session.attach(
         StreamSource("Readings", READINGS, rate=10.0, partition_by="host")
     )
@@ -107,10 +118,10 @@ def _session(shards: int):
     return session, cursors
 
 
-def _run(shards: int, batched: bool, rows, stamps):
+def _run(shards: int, batched: bool, rows, stamps, workers: str = "inline"):
     """One measured ingest of the whole feed; returns (seconds, results)."""
     n = len(rows)
-    session, cursors = _session(shards)
+    session, cursors = _session(shards, workers)
     gc.collect()
     gc.disable()
     try:
@@ -138,13 +149,17 @@ def _run(shards: int, batched: bool, rows, stamps):
     return elapsed, results
 
 
-def _best_of(measure, repetitions: int = 3):
-    best = None
-    for _ in range(repetitions):
-        elapsed, payload = measure()
-        if best is None or elapsed < best[0]:
-            best = (elapsed, payload)
-    return best
+#: Measurement rounds per workload. Workloads are interleaved across
+#: rounds (round 1 runs every workload once, then round 2, ...) so the
+#: timings every ratio compares were taken adjacent in time — host-speed
+#: drift over the minutes a full run takes would otherwise dominate the
+#: cross-strategy ratios (same rationale as bench_session's
+#: ``_best_of_interleaved``). The workloads table reports each
+#: workload's best-of floor; the acceptance ratios are medians of the
+#: per-round ratios (see ``ratio`` below). Five rounds: the container's
+#: wall clock jitters by double-digit percentages, so both statistics
+#: need a few samples before they converge.
+REPETITIONS = 7
 
 
 def run_benchmarks(scale: float | None = None) -> dict:
@@ -154,30 +169,44 @@ def run_benchmarks(scale: float | None = None) -> dict:
     rows, stamps = _reading_rows(n)
 
     workloads = {
-        "single_push": (1, False),
-        "single_push_many": (1, True),
-        "sharded_2_push_many": (2, True),
-        "sharded_4_push_many": (4, True),
+        "single_push": (1, False, "inline"),
+        "single_push_many": (1, True, "inline"),
+        "sharded_2_push_many": (2, True, "inline"),
+        "sharded_4_push_many": (4, True, "inline"),
+        "process_2_push_many": (2, True, "process"),
+        "process_4_push_many": (4, True, "process"),
     }
-    seconds: dict[str, float] = {}
+    samples: dict[str, list[float]] = {name: [] for name in workloads}
     payloads: dict[str, tuple] = {}
-    for name, (shards, batched) in workloads.items():
-        elapsed, results = _best_of(lambda s=shards, b=batched: _run(s, b, rows, stamps))
-        seconds[name] = elapsed
-        payloads[name] = results
+    for _ in range(REPETITIONS):
+        for name, (shards, batched, workers) in workloads.items():
+            elapsed, results = _run(shards, batched, rows, stamps, workers)
+            samples[name].append(elapsed)
+            payloads[name] = results
     baseline = payloads["single_push"]
     for name, results in payloads.items():
         assert results == baseline, f"{name} results differ from single_push"
+    seconds = {name: min(times) for name, times in samples.items()}
 
-    push_s = seconds["single_push"]
-    batch_s = seconds["single_push_many"]
-    shard4_s = seconds["sharded_4_push_many"]
+    def ratio(numerator: str, denominator: str) -> float | None:
+        """Median of the per-round ratios between two workloads.
+
+        The two samples of each round ran adjacent in time, so their
+        ratio cancels host-speed drift; dividing the best-of floors
+        instead could compare timings taken minutes apart on what is
+        effectively a different-speed machine. The median then discards
+        the odd round where the scheduler stalled one side.
+        """
+        pairs = zip(samples[numerator], samples[denominator])
+        rounds = [num / den for num, den in pairs if den]
+        return round(statistics.median(rounds), 2) if rounds else None
     return {
         "benchmark": "shard",
         "scale": scale,
         "rows": n,
         "queries": len(QUERIES),
         "batch_size": BATCH_SIZE,
+        "cpu_count": os.cpu_count(),
         "workloads": {
             name: {
                 "seconds": round(elapsed, 6),
@@ -187,10 +216,28 @@ def run_benchmarks(scale: float | None = None) -> dict:
         },
         # The acceptance ratio: the pool's batched hot path vs the
         # per-element single-engine ingest the seed system served.
-        "speedup_vs_single_push": round(push_s / shard4_s, 2) if shard4_s else None,
+        "speedup_vs_single_push": ratio("single_push", "sharded_4_push_many"),
         # Partition routing + replica fan-out + merge must not lose the
         # batched hot path (1.0 = free; this is the single-core bound).
-        "sharding_overhead": round(batch_s / shard4_s, 2) if shard4_s else None,
+        "sharding_overhead": ratio("single_push_many", "sharded_4_push_many"),
+        # Worker-count trajectory of the process pool: rows/s at 1
+        # (batched single engine), 2 and 4 worker processes. On a
+        # multi-core host this curve should rise; on one core it shows
+        # the transport's flat cost.
+        "process_scaling": {
+            str(workers): round(n / seconds[name]) if seconds[name] else None
+            for workers, name in (
+                (1, "single_push_many"),
+                (2, "process_2_push_many"),
+                (4, "process_4_push_many"),
+            )
+        },
+        # Process transport vs the in-process pool at the same shard
+        # count: >= 1.5 is the multi-core speedup claim, >= 0.8 is the
+        # single-core overhead bound (pickling + queues <= 25%).
+        "process_vs_inprocess_4": ratio(
+            "sharded_4_push_many", "process_4_push_many"
+        ),
     }
 
 
@@ -227,6 +274,12 @@ def test_shard_speedup(table_printer):
     if results["scale"] >= 1.0:
         assert results["speedup_vs_single_push"] >= 1.8
         assert results["sharding_overhead"] >= 0.7
+        # Process pool: genuine speedup where cores exist, bounded
+        # transport overhead where they don't (never claimed as a win).
+        if (results["cpu_count"] or 1) >= 4:
+            assert results["process_vs_inprocess_4"] >= 1.5
+        else:
+            assert results["process_vs_inprocess_4"] >= 0.8
 
 
 if __name__ == "__main__":

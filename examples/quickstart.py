@@ -263,6 +263,39 @@ def main() -> None:
         for diagnostic in federated.diagnostics:
             print(f"  {diagnostic.render()}")
 
+    # 11. Process workers: the same pool surface, one OS process per
+    #     shard — connect(shards=N, workers="process") ships each
+    #     partition-safe query to the workers as SQL text and feeds
+    #     them value-tuple batches over bounded queues, so on a
+    #     multi-core host ingest scales with cores instead of sharing
+    #     the GIL. Checkpoints and failover compose: a dead worker is
+    #     restored from the latest barrier. On platforms without
+    #     multiprocessing the session degrades to the in-process pool
+    #     and session.explain carries an RA313 diagnostic.
+    with connect(shards=4, workers="process", checkpoint_interval=30.0) as session:
+        session.attach(
+            StreamSource("Readings", READINGS, rate=2.0, partition_by="room")
+        )
+        with session.query(
+            "select r.room, max(r.temp) as peak "
+            "from Readings r [range 10 seconds slide 10 seconds] "
+            "group by r.room"
+        ) as peaks:
+            session.push_many(
+                "Readings",
+                [{"room": f"lab{i % 3}", "temp": 20.0 + i} for i in range(30)],
+                [float(i) for i in range(30)],
+            )
+            session.punctuate(40.0)
+            workers = session.stats()["workers"]
+            print(
+                f"process pool: {workers['workers']} workers, "
+                f"{workers['rows_shipped']} rows shipped in "
+                f"{workers['batches_shipped']} batches"
+            )
+            for row in sorted(peaks, key=lambda r: r["r.room"]):
+                print(f"  {row['r.room']}: peak={row['peak']:.1f}")
+
 
 if __name__ == "__main__":
     main()

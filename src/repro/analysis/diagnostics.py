@@ -68,6 +68,7 @@ CODES: dict[str, str] = {
     "RA310": "join predicate does not align partition keys",
     "RA311": "partition key is not a column of the source",
     "RA312": "operator not recognized as partition-safe",
+    "RA313": "process workers unavailable; the pool runs in-process",
     # -- RA4xx: shared-subplan eligibility -----------------------------
     "RA400": "plan is shareable",
     "RA401": "OUTPUT TO DISPLAY must fire once per query",
@@ -84,6 +85,7 @@ CODES: dict[str, str] = {
     "RA901": "state_snapshot/state_restore must be defined in pairs",
     "RA902": "overridden push_batch must handle punctuation",
     "RA903": "import crosses a layering boundary",
+    "RA904": "worker boundary must stay pickle-safe",
 }
 
 

@@ -24,6 +24,17 @@ by ``make lint`` / ``make check``):
   (the api layer reaches sensor internals only lazily, keeping the
   sensor substrate optional); a new top-level edge outside the
   whitelist is a layering break.
+
+* **RA904 — worker boundary pickle safety.** Shard worker processes
+  (:mod:`repro.stream.procshard`) import engine modules fresh and
+  exchange only plain tuples over queues. Two statically checkable
+  invariants keep that boundary sound: modules on the worker import
+  path (the layers a worker transitively imports) must not construct
+  engine/session singletons at module top level — each process would
+  duplicate them, and fork/spawn would disagree — and modules that use
+  ``multiprocessing`` must not enqueue lambdas or bound
+  methods/attributes (closures are unpicklable or, worse, drag a
+  parent engine across the boundary).
 """
 
 from __future__ import annotations
@@ -124,6 +135,7 @@ def lint_engine(root: Path | None = None) -> list[Diagnostic]:
     _check_snapshot_pairs(operator_classes, out)
     _check_push_batch(operator_classes, out)
     _check_layering(modules, out)
+    _check_worker_boundary(modules, out)
     return out
 
 
@@ -280,3 +292,110 @@ def _check_layering(modules: dict[str, ast.Module], out: list[Diagnostic]) -> No
                         operator=f"{rel}:{lineno}",
                     )
                 )
+
+
+# ----------------------------------------------------------------------
+# RA904: pickle-safe worker boundary
+# ----------------------------------------------------------------------
+#: Layers a shard worker process transitively imports (procshard's
+#: worker main builds a Catalog, PlanBuilder and StreamEngine): a
+#: module-level engine singleton here would be duplicated per process.
+WORKER_IMPORT_LAYERS = frozenset(
+    {"catalog", "data", "errors", "plan", "runtime", "sql", "stream"}
+)
+
+#: Constructors that embody per-process runtime state. Calling one in a
+#: module-level assignment captures an engine at import time.
+_ENGINE_SINGLETON_CALLS = frozenset(
+    {
+        "StreamEngine",
+        "ShardedStreamEngine",
+        "ProcessShardEngine",
+        "SensorEngine",
+        "Session",
+        "CheckpointCoordinator",
+        "connect",
+    }
+)
+
+
+def _check_worker_boundary(
+    modules: dict[str, ast.Module], out: list[Diagnostic]
+) -> None:
+    for rel, tree in modules.items():
+        layer = _module_layer(rel)
+        on_worker_path = layer in WORKER_IMPORT_LAYERS
+        uses_mp = _imports_multiprocessing(tree)
+        if not on_worker_path and not uses_mp:
+            continue
+        if on_worker_path:
+            for node in tree.body:
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                value = node.value
+                if value is None:
+                    continue
+                name = _engine_singleton_call(value)
+                if name is not None:
+                    out.append(
+                        diag(
+                            "RA904",
+                            ERROR,
+                            f"module-level {name}(...) captures an engine "
+                            "singleton at import time; worker processes "
+                            "import this module fresh and would each build "
+                            "their own copy",
+                            operator=f"{rel}:{node.lineno}",
+                        )
+                    )
+        if uses_mp:
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("put", "put_nowait")
+                ):
+                    continue
+                for arg in node.args[:1]:  # the frame being enqueued
+                    if isinstance(arg, (ast.Lambda, ast.Attribute)):
+                        out.append(
+                            diag(
+                                "RA904",
+                                ERROR,
+                                "queue frame is a "
+                                f"{'lambda' if isinstance(arg, ast.Lambda) else 'bound attribute'}; "
+                                "frames crossing the worker boundary must be "
+                                "plain tuples/dataclasses of picklable values",
+                                operator=f"{rel}:{node.lineno}",
+                            )
+                        )
+
+
+def _imports_multiprocessing(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            if any(alias.name.split(".")[0] == "multiprocessing" for alias in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "multiprocessing":
+                return True
+    return False
+
+
+def _engine_singleton_call(value: ast.AST) -> str | None:
+    """The engine-singleton constructor name called anywhere inside a
+    module-level assignment's value, or None."""
+    for node in ast.walk(value):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in _ENGINE_SINGLETON_CALLS:
+            return name
+    return None

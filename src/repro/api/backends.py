@@ -18,6 +18,10 @@ The installed backends:
   shard with merged results, everything else transparently falls back
   to the pool's designated engine. Same Cursor, same routing name
   (``"stream"``) — callers cannot tell except by throughput.
+* :class:`ProcessShardBackend` — the pool with one worker *process*
+  per shard (``connect(shards=N, workers="process")``): partition-safe
+  plans ship as SQL text to worker processes for true multi-core
+  ingest; everything else falls back exactly like the in-process pool.
 * :class:`BatchBackend` — one-shot evaluation over stored tables.
 * :class:`DistributedBackend` — operators placed across the simulated
   LAN (built lazily; requires ``connect(nodes=[...])``).
@@ -125,6 +129,66 @@ class ShardedStreamBackend(StreamBackend):
     @property
     def shards(self) -> int:
         return self.engine.shard_count
+
+
+class ProcessShardBackend(ShardedStreamBackend):
+    """Process-parallel continuous queries: one worker OS process per
+    shard (``connect(shards=N, workers="process")``).
+
+    Routing-compatible with the in-process pool; the only behavioral
+    addition is the *shippability* gate: workers receive plan **text**
+    (never pickled plan objects), so a plan is shipped only when
+    recompiling the query's SQL reproduces it exactly. Federated
+    residuals, prepared statements with bound parameters and recursive
+    plans fail that check and run on the pool's in-parent fallback
+    engine — same results, no process parallelism.
+    """
+
+    def __init__(
+        self,
+        session,
+        shards: int,
+        share_plans: bool = False,
+        start_method: str | None = None,
+    ):
+        from repro.stream.procshard import ProcessShardEngine
+
+        self._session = session
+        self._owns_engine = True
+        self.engine = ProcessShardEngine(
+            session.catalog,
+            shards=shards,
+            deliver=session._deliver,
+            share_plans=share_plans,
+            start_method=start_method,
+        )
+
+    def compile_and_run(
+        self, plan: LogicalOp, sql: str, *, placement: Any | None = None
+    ) -> Cursor:
+        handle = self.engine.execute(plan, sql=self._shippable_sql(plan, sql))
+        cursor = Cursor._stream(self._session, sql, handle)
+        self._session._cursors.append(cursor)
+        return cursor
+
+    def _shippable_sql(self, plan: LogicalOp, sql: str) -> str | None:
+        """The SQL text to ship to workers, or None when ``plan`` is not
+        what ``sql`` compiles to (the plan was transformed after
+        parsing — federated residual, bound parameters — or is not a
+        plain streaming plan)."""
+        if not sql:
+            return None
+        try:
+            rebuilt = self._session.builder.build_sql(sql)
+        except Exception:
+            return None
+        if not isinstance(rebuilt, LogicalOp) or not isinstance(plan, LogicalOp):
+            return None
+        return sql if rebuilt.explain() == plan.explain() else None
+
+    def close(self) -> None:
+        super().close()
+        self.engine.shutdown()
 
 
 class FederatedBackend:

@@ -102,6 +102,7 @@ def connect(
     deliver: Any | None = None,
     seed: int = 0,
     shards: int = 1,
+    workers: str = "inline",
     checkpoint_interval: float | None = None,
     share_plans: bool = True,
     plan_cache_size: int = 256,
@@ -123,6 +124,17 @@ def connect(
     everything else transparently falls back to one designated engine.
     The Session surface — ``query``/``push``/``push_many``/``Cursor`` —
     is unchanged.
+
+    ``workers="process"`` (with ``shards=N``, N > 1) runs each shard in
+    its own OS process for true multi-core ingest: partition-safe
+    queries ship as SQL text to worker processes that recompile them
+    locally, rows travel as value-tuple batches over bounded queues,
+    and the parent keeps the merge coordinator — results are
+    byte-identical to the in-process pool. When process workers cannot
+    run (no usable multiprocessing start method, or ``shards=1``) the
+    session degrades to the in-process pool and records an ``RA313``
+    info diagnostic, surfaced through ``session.explain``. The default
+    ``workers="inline"`` is the in-process pool.
 
     ``checkpoint_interval=W`` (watermark units) attaches a
     :class:`~repro.stream.checkpoint.CheckpointCoordinator` to the
@@ -165,6 +177,7 @@ def connect(
         deliver=deliver,
         seed=seed,
         shards=shards,
+        workers=workers,
         checkpoint_interval=checkpoint_interval,
         share_plans=share_plans,
         plan_cache_size=plan_cache_size,
@@ -187,6 +200,7 @@ class Session:
         deliver: Any | None = None,
         seed: int = 0,
         shards: int = 1,
+        workers: str = "inline",
         checkpoint_interval: float | None = None,
         share_plans: bool = True,
         plan_cache_size: int = 256,
@@ -196,6 +210,7 @@ class Session:
             BatchBackend,
             DistributedBackend,
             FederatedBackend,
+            ProcessShardBackend,
             ShardedStreamBackend,
             StreamBackend,
         )
@@ -223,14 +238,68 @@ class Session:
         #: Static-analysis observability: fresh runs, verdicts served
         #: from the plan cache, and compiles skipped under analysis="off".
         self._analysis_counters = {"runs": 0, "hits": 0, "skipped": 0}
+        if workers not in ("inline", "process"):
+            raise QueryError(
+                f"unknown workers mode {workers!r}; expected 'inline' or 'process'"
+            )
+        #: Session-level degradation diagnostics (e.g. RA313: process
+        #: workers requested but unavailable), appended to every
+        #: ``session.explain`` report.
+        self._degradations: list[Any] = []
         if shards > 1:
             if engine is not None:
                 raise QueryError(
                     "connect(shards=...) builds its own engine pool; "
                     "an injected engine cannot be sharded"
                 )
-            stream_backend: Any = ShardedStreamBackend(self, shards, share_plans)
+            stream_backend: Any = None
+            if workers == "process":
+                from repro.analysis.diagnostics import INFO, diag
+                from repro.stream.procshard import usable_start_method
+
+                method = usable_start_method()
+                if method is None:
+                    self._degradations.append(
+                        diag(
+                            "RA313",
+                            INFO,
+                            "workers='process' requested but no usable "
+                            "multiprocessing start method exists on this "
+                            "platform; running the in-process shard pool",
+                            hint="results are identical; only throughput differs",
+                        )
+                    )
+                else:
+                    try:
+                        stream_backend = ProcessShardBackend(
+                            self, shards, share_plans, method
+                        )
+                    except OSError as exc:
+                        self._degradations.append(
+                            diag(
+                                "RA313",
+                                INFO,
+                                "workers='process' could not launch worker "
+                                f"processes ({exc}); running the in-process "
+                                "shard pool",
+                                hint="results are identical; only throughput differs",
+                            )
+                        )
+            if stream_backend is None:
+                stream_backend = ShardedStreamBackend(self, shards, share_plans)
         else:
+            if workers == "process":
+                from repro.analysis.diagnostics import INFO, diag
+
+                self._degradations.append(
+                    diag(
+                        "RA313",
+                        INFO,
+                        "workers='process' needs shards > 1; a single shard "
+                        "runs in-process",
+                        hint="connect(shards=N, workers='process') with N > 1",
+                    )
+                )
             stream_backend = StreamBackend(self, engine, share_plans)
         #: Routing key -> ExecutionBackend peer. The "stream" slot holds
         #: either the single-engine or the sharded backend; the
@@ -464,8 +533,10 @@ class Session:
         shard_keys = (
             dict(getattr(self.engine, "_keys", {})) if self.shards > 1 else None
         )
-        federated.diagnostics = list(report.diagnostics) + explain_diagnostics(
-            plan, federated, shard_keys=shard_keys
+        federated.diagnostics = (
+            list(report.diagnostics)
+            + explain_diagnostics(plan, federated, shard_keys=shard_keys)
+            + list(self._degradations)
         )
         return federated
 
@@ -690,14 +761,23 @@ class Session:
         reused the stored verdict, ``skipped``: compiles under
         ``analysis="off"``, plus the session's ``mode``), and the
         catalog schema epoch the cache keys against.
+
+        Under ``connect(workers="process")`` an extra ``"workers"``
+        entry reports the process-transport counters: worker count,
+        queue-depth high-water mark, batches flushed by size / timeout /
+        barrier, rows and batches shipped, and worker restarts.
         """
         self._ensure_open()
-        return {
+        out = {
             "plan_cache": self._plan_cache.stats(),
             "sharing": self.engine.sharing_stats(),
             "analysis": dict(self._analysis_counters, mode=self._analysis_mode),
             "schema_epoch": self.catalog.schema_epoch,
         }
+        worker_stats = getattr(self.engine, "worker_stats", None)
+        if worker_stats is not None:
+            out["workers"] = worker_stats()
+        return out
 
     def _forget_cursor(self, cursor: Cursor) -> None:
         for registry in (self._cursors, self._distributed_cursors):

@@ -51,6 +51,34 @@ class StreamElement:
         return f"@{self.timestamp:g} {self.row!r}"
 
 
+def elements_from_columns(
+    schema, source: str, values_list, timestamps
+) -> list[StreamElement]:
+    """Fused hot-path constructor: one element per (values, timestamp).
+
+    Builds ``StreamElement(Row.raw(schema, values), stamp, source)`` for
+    every pair, but with the ``Row.raw``/``__init__`` call frames
+    flattened into direct slot assignment — at tens of thousands of
+    elements per ingest batch the two frames per element are measurable.
+    Same trust contract as :meth:`Row.raw`: ``values`` must already be
+    tuples of the schema's arity.
+    """
+    new = object.__new__
+    out: list[StreamElement] = []
+    append = out.append
+    for values, stamp in zip(values_list, timestamps):
+        row = new(Row)
+        row._schema = schema
+        row._values = values
+        row._hash = None
+        element = new(StreamElement)
+        element.row = row
+        element.timestamp = stamp
+        element.source = source
+        append(element)
+    return out
+
+
 @dataclass(frozen=True)
 class Punctuation:
     """Assertion that no element with ``timestamp < watermark`` will follow."""

@@ -6,6 +6,8 @@ Three failure modes drive the recovery subsystem end to end:
   :class:`~repro.stream.sharded.ShardedStreamEngine` pool (window and
   join state lost); failover restores it from the attached
   :class:`~repro.stream.checkpoint.CheckpointCoordinator`.
+  :func:`kill_worker` is the process-pool analogue: SIGKILL one worker
+  process of a :class:`~repro.stream.procshard.ProcessShardEngine`.
 * :func:`kill_mote` — deplete a mote's battery mid-run; the sensor
   engine reports the death and the federated backend re-partitions
   around the corpse.
@@ -35,6 +37,17 @@ def kill_shard(pool, index: int):
     engine = pool.engines[index]
     pool.fail_shard(index)
     return engine
+
+
+def kill_worker(pool, index: int):
+    """SIGKILL worker process ``index`` of a process-shard pool
+    (:class:`~repro.stream.procshard.ProcessShardEngine`).
+
+    Returns the dead process. Recovery is lazy, like :func:`kill_shard`:
+    the next ingest or punctuate finds the corpse and restores a fresh
+    worker from the latest barrier plus the replay-log suffix.
+    """
+    return pool.fail_worker(index)
 
 
 def kill_fallback(pool):

@@ -267,7 +267,12 @@ class CheckpointCoordinator:
         """
         log_seq = self.log.next_seq
         checkpoint_id = next(self._ids)
-        if hasattr(self.engine, "shard_count"):
+        build = getattr(self.engine, "build_checkpoint", None)
+        if build is not None:
+            # Engines whose replicas the coordinator cannot introspect
+            # (process-worker pools) assemble their own barrier.
+            checkpoint = build(checkpoint_id, watermark, log_seq)
+        elif hasattr(self.engine, "shard_count"):
             checkpoint = _snapshot_pool(self.engine, checkpoint_id, watermark, log_seq)
         else:
             checkpoint = _snapshot_engine(self.engine, checkpoint_id, watermark, log_seq)

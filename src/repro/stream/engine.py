@@ -33,6 +33,7 @@ from repro.data.streams import (
     Punctuation,
     StreamConsumer,
     StreamElement,
+    elements_from_columns,
     push_all,
 )
 from repro.data.tuples import Row
@@ -396,6 +397,31 @@ class StreamEngine:
             )
             for row, stamp in zip(rows, stamps)
         ]
+        return self._dispatch_batch(name, elements)
+
+    def push_values(
+        self,
+        source: str,
+        values: Sequence[tuple],
+        timestamps: Sequence[float],
+    ) -> int:
+        """Trusted hot-path batch ingest: positional value tuples.
+
+        ``values`` must already be tuples of the source's catalog-schema
+        arity — no coercion, validation or replay-log recording happens.
+        This is the process-shard worker boundary: the parent has
+        coerced and logged every row before shipping its values, so the
+        worker rebuilds Row and StreamElement in a single pass.
+        """
+        if self.failed:
+            return 0
+        entry = self._catalog.source(source)
+        elements = elements_from_columns(
+            entry.schema, entry.name, values, timestamps
+        )
+        return self._dispatch_batch(entry.name, elements)
+
+    def _dispatch_batch(self, name: str, elements: list[StreamElement]) -> int:
         self.elements_ingested += len(elements)
         routes = self._routes.get(name.lower(), ())
         multi_port_queries = self._multi_port_queries(routes)

@@ -1,0 +1,1280 @@
+"""Process-parallel shard workers: the pool as wall-clock speedup.
+
+:class:`~repro.stream.sharded.ShardedStreamEngine` proved the
+partition/merge protocol but runs every shard in one interpreter, so
+the GIL caps it at single-core throughput. :class:`ProcessShardEngine`
+keeps the pool's entire contract — partition routing, the min-watermark
+merge coordinator, fallback execution of partition-unsafe plans,
+checkpoint barriers and failover — and moves the shard replicas into
+one OS process per shard:
+
+* **Plan text ships, never closures.** A partition-safe query is sent
+  to each worker as its normalized SQL text; the worker recompiles the
+  replica locally through the ordinary
+  :class:`~repro.plan.PlanBuilder` → ``StreamEngine.execute`` path.
+  Plans that did not come verbatim from SQL (federated residuals,
+  prepared statements with baked parameters) run on the in-parent
+  fallback engine exactly like partition-unsafe plans.
+* **Bounded batched channels.** Ingest rows are coerced in the parent
+  (errors surface at the call site, as on a single engine), then
+  buffered per worker as plain value tuples and flushed as one
+  ``("data", ...)`` frame when the buffer reaches
+  :attr:`QueueConfig.max_batch_size` rows, when the oldest buffered row
+  exceeds :attr:`QueueConfig.flush_timeout`, or at a barrier
+  (punctuation / table load / checkpoint). The input queue is bounded
+  (:attr:`QueueConfig.max_queue_size` frames) for backpressure; the
+  output queue is unbounded so a worker never blocks shipping results
+  while the parent blocks feeding it. This is the exemplar
+  ``QueueConfig``/``DataChannel`` shape from ray-streaming, collapsed
+  to the synchronous driver this engine is.
+* **Punctuation is a control frame.** ``punctuate`` flushes every
+  channel, broadcasts a sequenced ``("punct", ...)`` frame, and blocks
+  for each worker's ack. Queue FIFO guarantees every emission for the
+  boundary is drained into the merge coordinator before the ack, so
+  merged-sink contents per punctuation segment are byte-identical to
+  the in-process pool.
+* **Checkpoints and failover flow through the queues.** The attached
+  :class:`~repro.stream.checkpoint.CheckpointCoordinator` calls
+  :meth:`ProcessShardEngine.build_checkpoint`, which collects each
+  worker's per-query operator snapshots over a request/response frame
+  into the ordinary :class:`~repro.stream.checkpoint.PoolCheckpoint`.
+  A dead worker process (detected at ingest or punctuate) is replaced
+  by a fresh process restored from the latest barrier: tables seeded,
+  queries re-executed muted, operator state restored, the replay-log
+  suffix re-shipped, and re-derived emissions deduplicated against the
+  merge coordinator's forwarded counts — the same protocol as
+  ``ShardedStreamEngine._recover_shard``.
+
+Everything crossing the process boundary is a plain tuple of
+picklable values (enforced by the ``RA904`` engine-invariant lint):
+no engine references, no closures, no bound methods. The bulky
+payloads — value-tuple batches and emission runs — are pre-encoded
+with :mod:`marshal` (2–4× faster than pickle for all-scalar containers;
+both queue ends are the same interpreter, so marshal's
+version-specificity is moot), falling back to the plain objects when a
+value type is unmarshallable.
+"""
+
+from __future__ import annotations
+
+import gc
+import itertools
+import marshal
+import multiprocessing
+import queue
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.catalog import Catalog
+from repro.data.streams import (
+    CollectingConsumer,
+    Punctuation,
+    StreamElement,
+    elements_from_columns,
+)
+from repro.data.tuples import Row
+from repro.data.windows import WindowSpec
+from repro.errors import ExecutionError
+from repro.plan import PlanBuilder
+from repro.plan.logical import LogicalOp
+from repro.stream.checkpoint import (
+    FALLBACK,
+    HandleCheckpoint,
+    PoolCheckpoint,
+    restore_operators,
+)
+from repro.stream.compiler import DEFAULT_STREAM_WINDOW
+from repro.stream.engine import QueryHandle, StreamEngine
+from repro.stream.partition import partition_safe
+from repro.stream.sharded import (
+    ShardedQueryHandle,
+    ShardedStreamEngine,
+    _MergeCoordinator,
+    _pool_query_ids,
+    _ShardFeed,
+)
+
+
+def _pack(payload):
+    """Pre-encode a bulk frame payload with :mod:`marshal`.
+
+    The hot frames carry lists of all-scalar value tuples, which
+    marshal serializes 2–4× faster than pickle; the queue then pickles
+    an opaque ``bytes`` blob (a memcpy). Engine column types (int,
+    float, str, bool, None) are all marshal-safe; anything exotic falls
+    back to the plain object and rides the queue's ordinary pickle.
+    Receivers must decode with :func:`_unpack`. Packed payloads are
+    never bare ``bytes`` themselves (always a list or tuple), so the
+    type tag is unambiguous.
+    """
+    try:
+        return marshal.dumps(payload)
+    except ValueError:
+        return payload
+
+
+def _unpack(payload):
+    return marshal.loads(payload) if type(payload) is bytes else payload
+
+
+def usable_start_method() -> str | None:
+    """The multiprocessing start method process workers would use, or
+    None when the platform offers none (the Session then degrades to
+    the in-process pool with an ``RA313`` diagnostic)."""
+    try:
+        methods = multiprocessing.get_all_start_methods()
+    except Exception:
+        return None
+    for method in ("fork", "forkserver", "spawn"):
+        if method in methods:
+            return method
+    return None
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Transport tuning for the parent→worker data channels.
+
+    Attributes:
+        max_queue_size: Input-queue bound in *frames*; a full queue
+            backpressures the parent's ingest call.
+        max_batch_size: Rows buffered per worker before a size flush.
+        flush_timeout: Seconds the oldest buffered row may wait before
+            the next ingest call forces a timeout flush (the driver is
+            synchronous, so staleness is checked on touch, not by a
+            timer thread).
+        prefetch: Frames a worker drains per wakeup before shipping its
+            accumulated emissions (amortizes output-queue traffic).
+    """
+
+    max_queue_size: int = 64
+    max_batch_size: int = 4096
+    flush_timeout: float = 0.05
+    prefetch: int = 8
+
+
+class WorkerDied(ExecutionError):
+    """Internal: a queue operation found the worker process dead."""
+
+    def __init__(self, index: int):
+        super().__init__(f"shard worker {index} died")
+        self.index = index
+
+
+def _fresh_worker_stats() -> dict[str, int]:
+    return {
+        "queue_depth_hwm": 0,
+        "batches_by_size": 0,
+        "batches_by_timeout": 0,
+        "batches_by_barrier": 0,
+        "rows_shipped": 0,
+        "batches_shipped": 0,
+        "restarts": 0,
+    }
+
+
+class _Worker:
+    """Parent-side handle: one worker process + its channel buffers.
+
+    The data channel buffers ``(values, stamp)`` pairs per source and
+    flushes them as one frame by size, staleness, or barrier; counters
+    land in the pool-owned ``stats`` dict, which out-lives worker
+    restarts.
+    """
+
+    __slots__ = (
+        "index", "process", "inq", "outq", "config", "stats",
+        "epoch", "closed", "_rows", "_stamps", "_oldest",
+    )
+
+    def __init__(self, index, process, inq, outq, config, stats):
+        self.index = index
+        self.process = process
+        self.inq = inq
+        self.outq = outq
+        self.config = config
+        self.stats = stats
+        self.epoch: int | None = None  # catalog epoch last shipped
+        self.closed = False
+        self._rows: dict[str, list[tuple]] = {}
+        self._stamps: dict[str, list[float]] = {}
+        self._oldest: float | None = None
+
+    @property
+    def alive(self) -> bool:
+        return not self.closed and self.process.is_alive()
+
+    # -- data channel ---------------------------------------------------
+    def buffer(self, source: str, values: list[tuple], stamps: list[float]) -> None:
+        self._rows.setdefault(source, []).extend(values)
+        self._stamps.setdefault(source, []).extend(stamps)
+        now = time.monotonic()
+        if self._oldest is None:
+            self._oldest = now
+        if sum(len(rows) for rows in self._rows.values()) >= self.config.max_batch_size:
+            self.flush("size")
+        elif now - self._oldest >= self.config.flush_timeout:
+            self.flush("timeout")
+
+    def flush(self, reason: str = "barrier") -> None:
+        if self._oldest is None:
+            return
+        stats = self.stats
+        for source, rows in self._rows.items():
+            if not rows:
+                continue
+            self.put(("data", source, _pack((rows, self._stamps[source]))))
+            stats["rows_shipped"] += len(rows)
+            stats["batches_shipped"] += 1
+            stats["batches_by_" + reason] += 1
+        self._rows = {}
+        self._stamps = {}
+        self._oldest = None
+
+    def take_buffered(self) -> list[tuple[str, list[tuple], list[float]]]:
+        """Drain the channel buffers for piggybacking on a barrier frame.
+
+        Counts the drained batches exactly as :meth:`flush` would — the
+        rows just ride inside the punctuation frame instead of paying
+        for a queue put of their own.
+        """
+        if self._oldest is None:
+            return []
+        stats = self.stats
+        payload = []
+        for source, rows in self._rows.items():
+            if not rows:
+                continue
+            payload.append((source, rows, self._stamps[source]))
+            stats["rows_shipped"] += len(rows)
+            stats["batches_shipped"] += 1
+            stats["batches_by_barrier"] += 1
+        self._rows = {}
+        self._stamps = {}
+        self._oldest = None
+        return payload
+
+    def discard_buffered(self) -> None:
+        """Drop buffered rows (recovery: the replay log re-ships them)."""
+        self._rows = {}
+        self._stamps = {}
+        self._oldest = None
+
+    # -- raw frame transport --------------------------------------------
+    def put(self, frame) -> None:
+        try:
+            depth = self.inq.qsize()
+        except (NotImplementedError, OSError):
+            depth = 0
+        if depth > self.stats["queue_depth_hwm"]:
+            self.stats["queue_depth_hwm"] = depth
+        while True:
+            try:
+                self.inq.put(frame, timeout=0.5)
+                return
+            except queue.Full:
+                if not self.process.is_alive():
+                    raise WorkerDied(self.index) from None
+
+    def close(self) -> None:
+        """Terminate the process and release both queues. Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        process = self.process
+        if process.is_alive():
+            try:
+                self.inq.put_nowait(("shutdown",))
+            except Exception:
+                pass
+            process.join(timeout=2.0)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+        if process.is_alive():
+            process.kill()
+            process.join()
+        for channel in (self.inq, self.outq):
+            try:
+                channel.close()
+                channel.cancel_join_thread()
+            except Exception:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+class _FrameSink:
+    """Terminal consumer inside a worker: records emissions as plain
+    frame items — ``("e", source, values_list, stamps_list)`` runs for
+    consecutive same-source elements, ``("p", watermark)`` for
+    punctuations — preserving interleaving so the parent's merge
+    coordinator sees the exact per-boundary order. Runs keep the frame
+    one tuple per burst instead of one per element, which is most of
+    the transport's per-element pickle and allocation cost."""
+
+    __slots__ = ("items", "_source", "_values", "_stamps")
+
+    def __init__(self):
+        self.items: list[tuple] = []
+        self._source: str | None = None
+        self._values: list[tuple] = []
+        self._stamps: list[float] = []
+
+    def _seal(self) -> None:
+        if self._source is not None:
+            self.items.append(("e", self._source, self._values, self._stamps))
+            self._source = None
+            self._values = []
+            self._stamps = []
+
+    def push(self, item) -> None:
+        if isinstance(item, Punctuation):
+            self._seal()
+            self.items.append(("p", item.watermark))
+        else:
+            if item.source != self._source:
+                self._seal()
+                self._source = item.source
+            self._values.append(item.row.values)
+            self._stamps.append(item.timestamp)
+
+    def push_batch(self, items) -> None:
+        # Operator bursts are overwhelmingly uniform: one source, no
+        # punctuation. Verify with one attribute scan, then strip the
+        # columns with two comprehensions instead of per-item push().
+        first = items[0] if items else None
+        if type(first) is StreamElement:
+            source = first.source
+            try:
+                # Punctuation has no .source: mixed batches fall through
+                # via AttributeError instead of a per-item type check.
+                uniform = all(item.source == source for item in items)
+            except AttributeError:
+                uniform = False
+            if uniform:
+                if source != self._source:
+                    self._seal()
+                    self._source = source
+                self._values += [item.row.values for item in items]
+                self._stamps += [item.timestamp for item in items]
+                return
+        for item in items:
+            self.push(item)
+
+    def take(self) -> list[tuple]:
+        self._seal()
+        out, self.items = self.items, []
+        return out
+
+
+def _adopt_catalog(catalog: Catalog, shipped: Catalog) -> None:
+    """Adopt a shipped catalog's registrations in place, so the worker
+    engine and plan builder (which hold the local catalog object) see
+    every source/view the parent knows."""
+    catalog._sources = shipped._sources
+    catalog._views = shipped._views
+    catalog._displays = shipped._displays
+    catalog.network = shipped.network
+    catalog.schema_epoch = shipped.schema_epoch
+
+
+def _take_emissions(queries: dict[int, QueryHandle]) -> list[tuple]:
+    payload = []
+    for wq_id, handle in queries.items():
+        items = handle.sink.take()
+        if items:
+            payload.append((wq_id, items))
+    return payload
+
+
+def _ship_emissions(outq, queries: dict[int, QueryHandle]) -> None:
+    # One frame for all queries' pending emissions: every put costs a
+    # pickle, a feeder-thread wakeup and a pipe write, so per-query
+    # frames would multiply the transport's fixed cost by the number of
+    # standing queries.
+    payload = _take_emissions(queries)
+    if payload:
+        outq.put(("out", _pack(payload)))
+
+
+def _worker_main(index, inq, outq, share_plans, default_window, prefetch) -> None:
+    """One shard worker: a plain StreamEngine driven entirely by frames.
+
+    The engine, catalog and plan builder are constructed *here* — the
+    worker import path carries no parent engine state (RA904), so fork
+    and spawn start methods behave identically.
+    """
+    # The worker is a dedicated batch processor: engine state is
+    # acyclic (tuples, Rows, lists), so refcounting reclaims it and the
+    # cycle collector only adds tracing churn to the hot loop. Cycle
+    # garbage (compiled closures, plan graphs) accrues at query
+    # start/stop, so collect at the frames that mark those boundaries.
+    gc.disable()
+    catalog = Catalog()
+    builder = PlanBuilder(catalog)
+    engine = StreamEngine(catalog, None, default_window, share_plans)
+    queries: dict[int, QueryHandle] = {}
+    running = True
+    while running:
+        frames = [inq.get()]
+        while len(frames) < prefetch:
+            try:
+                frames.append(inq.get_nowait())
+            except queue.Empty:
+                break
+        for frame in frames:
+            kind = frame[0]
+            try:
+                if kind == "data":
+                    values, stamps = _unpack(frame[2])
+                    engine.push_values(frame[1], values, stamps)
+                elif kind == "punct":
+                    for src, vals, stmps in _unpack(frame[4]):
+                        engine.push_values(src, vals, stmps)
+                    engine.punctuate(frame[2], frame[3])
+                    if frame[1] is not None:
+                        # Emissions ride inside the ack — the parent is
+                        # already blocked on this frame.
+                        outq.put(
+                            ("punct_ack", frame[1], frame[2],
+                             _pack(_take_emissions(queries)))
+                        )
+                    else:
+                        _ship_emissions(outq, queries)
+                elif kind == "execute":
+                    plan = builder.build_sql(frame[2])
+                    handle = engine.execute(plan, sink=_FrameSink(), share=frame[3])
+                    queries[frame[1]] = handle
+                elif kind == "table":
+                    schema = catalog.source(frame[1]).schema
+                    engine.load_table(
+                        frame[1],
+                        [Row.raw(schema, values) for values in frame[2]],
+                        frame[3],
+                    )
+                elif kind == "drop":
+                    engine.drop_table(frame[1])
+                elif kind == "catalog":
+                    _adopt_catalog(catalog, frame[1])
+                elif kind == "seed":
+                    engine._tables = {
+                        name: [
+                            StreamElement(
+                                Row.raw(catalog.source(name).schema, values), ts, name
+                            )
+                            for values, ts in items
+                        ]
+                        for name, items in frame[1].items()
+                    }
+                elif kind == "restore":
+                    engine.subplans.restore_chains(frame[2])
+                    for wq_id, states in frame[1].items():
+                        restore_operators(queries[wq_id], states)
+                elif kind == "checkpoint":
+                    _ship_emissions(outq, queries)
+                    payload = {
+                        wq_id: (
+                            [op.state_snapshot() for op in handle.compiled.operators],
+                            handle.shared,
+                        )
+                        for wq_id, handle in queries.items()
+                    }
+                    outq.put(
+                        ("cp", frame[1], payload, engine.subplans.snapshot_chains())
+                    )
+                elif kind == "stats":
+                    outq.put(("stats_reply", frame[1], engine.sharing_stats()))
+                elif kind == "sync":
+                    _ship_emissions(outq, queries)
+                    outq.put(("sync_ack", frame[1]))
+                elif kind == "stop":
+                    handle = queries.pop(frame[1], None)
+                    if handle is not None:
+                        engine.stop(handle)
+                    if not queries:
+                        gc.collect()  # stopped plans drop cyclic graphs
+                elif kind == "shutdown":
+                    running = False
+                    break
+            except Exception:
+                outq.put(("error", traceback.format_exc()))
+        _ship_emissions(outq, queries)
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+class ProcessShardEngine(ShardedStreamEngine):
+    """The sharded pool with one worker *process* per shard.
+
+    Same surface and semantics as :class:`ShardedStreamEngine`; the
+    shard replicas live in worker processes fed over bounded batched
+    queues. The inherited shard engines stay idle in-parent (they keep
+    the partition math, replicated tables and failover plumbing for
+    the designated fallback engine); :meth:`execute` routes
+    partition-safe plans *with SQL text* to the workers and everything
+    else to the in-parent fallback.
+
+    Call :meth:`shutdown` when done — Session/backends do, and tests
+    must, or worker processes linger until interpreter exit.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        shards: int = 2,
+        deliver: Callable[[str, StreamElement], None] | None = None,
+        default_window: WindowSpec = DEFAULT_STREAM_WINDOW,
+        share_plans: bool = False,
+        queue_config: QueueConfig | None = None,
+        start_method: str | None = None,
+    ):
+        super().__init__(catalog, shards, deliver, default_window, share_plans)
+        method = start_method if start_method is not None else usable_start_method()
+        if method is None:
+            raise ExecutionError(
+                "no usable multiprocessing start method; use the in-process "
+                "ShardedStreamEngine instead"
+            )
+        self._config = queue_config if queue_config is not None else QueueConfig()
+        self._ctx = multiprocessing.get_context(method)
+        self._wstats = [_fresh_worker_stats() for _ in range(shards)]
+        self._workers: list[_Worker] = [
+            self._spawn_worker(index) for index in range(shards)
+        ]
+        self._feeds: dict[int, list[_ShardFeed]] = {}
+        self._wsql: dict[int, str] = {}
+        self._sub_counts: dict[str, int] = {}
+        self._seqs = itertools.count(1)
+        self._reqs = itertools.count(1)
+        self._last_sweep = 0.0
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, index: int) -> _Worker:
+        inq = self._ctx.Queue(self._config.max_queue_size)
+        outq = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                index,
+                inq,
+                outq,
+                self.share_plans,
+                self._default_window,
+                self._config.prefetch,
+            ),
+            daemon=True,
+            name=f"repro-shard-{index}",
+        )
+        process.start()
+        return _Worker(index, process, inq, outq, self._config, self._wstats[index])
+
+    def shutdown(self) -> None:
+        """Stop every worker process and release the queues. Idempotent."""
+        for worker in self._workers:
+            worker.close()
+        self._workers = []
+
+    def worker_stats(self) -> dict[str, int]:
+        """Transport counters aggregated across shards: batch counts,
+        rows/batches shipped and restarts summed; ``queue_depth_hwm``
+        is the max across workers (a per-queue high-water mark)."""
+        out = {
+            "workers": len(self._workers),
+            "queue_depth_hwm": 0,
+            "batches_by_size": 0,
+            "batches_by_timeout": 0,
+            "batches_by_barrier": 0,
+            "rows_shipped": 0,
+            "batches_shipped": 0,
+            "restarts": 0,
+        }
+        for stats in self._wstats:
+            out["queue_depth_hwm"] = max(out["queue_depth_hwm"], stats["queue_depth_hwm"])
+            for key in (
+                "batches_by_size",
+                "batches_by_timeout",
+                "batches_by_barrier",
+                "rows_shipped",
+                "batches_shipped",
+                "restarts",
+            ):
+                out[key] += stats[key]
+        return out
+
+    def sharing_stats(self) -> dict:
+        """Shared-subplan counters: the in-parent engines plus each
+        worker's registry (collected over a request/response frame)."""
+        totals = super().sharing_stats()
+        for index in range(len(self._workers)):
+            for key, value in self._request_worker_stats(index).items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def fail_worker(self, index: int):
+        """Kill one worker process outright (SIGKILL). The next ingest
+        or punctuate detects the corpse and restores a replacement from
+        the latest barrier. Returns the dead process."""
+        process = self._workers[index].process
+        if process.is_alive():
+            process.kill()
+            process.join()
+        return process
+
+    def fail_shard(self, index: int) -> None:
+        """On a process pool, killing a shard kills its worker process."""
+        self.fail_worker(index)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        plan: LogicalOp,
+        sink: CollectingConsumer | None = None,
+        *,
+        sql: str | None = None,
+    ) -> ShardedQueryHandle:
+        """Start a continuous query. Partition-safe plans accompanied by
+        their SQL text run one replica per worker process (each worker
+        recompiles the text locally); safe plans *without* text cannot
+        be shipped — plan objects are never pickled — and run on the
+        in-parent fallback engine, as do partition-unsafe plans."""
+        analysis = partition_safe(plan, self._keys)
+        if analysis.safe and sql is not None and self._workers:
+            if sink is None:
+                sink = CollectingConsumer()
+            coordinator = _MergeCoordinator(sink, len(self._workers))
+            # Reference pipeline: never fed, it supplies the handle's
+            # ``compiled`` surface (ports for subscription tracking,
+            # operator stats shape) without touching any shard engine.
+            compiled = self._fallback._compiler.compile(plan, CollectingConsumer())
+            query_id = next(_pool_query_ids)
+            feeds = [
+                _ShardFeed(coordinator, index) for index in range(len(self._workers))
+            ]
+            inner = [QueryHandle(query_id, plan, compiled, feed, None) for feed in feeds]
+            handle = ShardedQueryHandle(
+                query_id,
+                plan,
+                compiled,
+                sink,
+                self,
+                inner=inner,
+                partitioned=True,
+                analysis=analysis,
+                coordinator=coordinator,
+            )
+            self._handles[query_id] = handle
+            self._feeds[query_id] = feeds
+            self._wsql[query_id] = sql
+            for port in compiled.ports:
+                name = port.source_name.lower()
+                self._sub_counts[name] = self._sub_counts.get(name, 0) + 1
+            for index in range(len(self._workers)):
+                worker = self._workers[index]
+                if not worker.alive:
+                    # Recovery re-admits every tracked handle, this one
+                    # included — nothing more to send afterwards.
+                    self._recover_worker(index)
+                    continue
+                try:
+                    self._sync_catalog_to(worker)
+                    worker.put(("execute", query_id, sql, None))
+                except WorkerDied:
+                    self._recover_worker(index)
+            return handle
+        fallback = self._fallback.execute(plan, sink=sink)
+        handle = ShardedQueryHandle(
+            next(_pool_query_ids),
+            plan,
+            fallback.compiled,
+            fallback.sink,
+            self,
+            inner=[fallback],
+            partitioned=False,
+            analysis=analysis,
+        )
+        self._handles[handle.query_id] = handle
+        return handle
+
+    def stop(self, handle: QueryHandle) -> None:
+        tracked = self._handles.pop(handle.query_id, None)
+        if tracked is None:
+            return
+        feeds = self._feeds.pop(tracked.query_id, None)
+        if feeds is None:
+            for inner in tracked.inner:
+                if inner.engine is not None:
+                    inner.engine.stop(inner)
+            return
+        self._wsql.pop(tracked.query_id, None)
+        for port in tracked.compiled.ports:
+            name = port.source_name.lower()
+            count = self._sub_counts.get(name, 0) - 1
+            if count > 0:
+                self._sub_counts[name] = count
+            else:
+                self._sub_counts.pop(name, None)
+        for worker in self._workers:
+            if not worker.alive:
+                continue  # recovery iterates tracked handles; this one is gone
+            try:
+                worker.put(("stop", tracked.query_id))
+            except WorkerDied:
+                pass
+        self._drain_all()
+
+    def subscribed(self, source: str) -> bool:
+        lower = source.lower()
+        return bool(self._sub_counts.get(lower)) or self._fallback.subscribed(source)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        source: str,
+        row: Row | Mapping[str, Any],
+        timestamp: float,
+    ) -> None:
+        entry = self._catalog.source(source)
+        lower = entry.name.lower()
+        schema = entry.schema
+        self._ensure_workers_alive(throttled=True)
+        if self._fallback.failed:
+            self._recover_fallback()
+        coerced = (
+            row
+            if (type(row) is Row and row.schema is schema)
+            else self._fallback._coerce_row(schema, row)
+        )
+        self.elements_ingested += 1
+        owner = self._owner(lower, coerced)
+        checkpointer = self.checkpointer
+        if checkpointer is not None:
+            checkpointer.record(("push", owner, source, coerced, timestamp))
+        if self._sub_counts.get(lower):
+            self._buffer(owner, entry.name, [coerced.values], [timestamp])
+        if self._fallback.subscribed(lower):
+            if checkpointer is not None:
+                checkpointer.record(("push", FALLBACK, source, coerced, timestamp))
+            self._fallback.push(source, coerced, timestamp)
+        self._drain_all()
+
+    def push_many(
+        self,
+        source: str,
+        rows: Sequence[Row | Mapping[str, Any]],
+        timestamps: float | Sequence[float] = 0.0,
+    ) -> int:
+        entry = self._catalog.source(source)
+        lower = entry.name.lower()
+        schema = entry.schema
+        rows = rows if isinstance(rows, list) else list(rows)
+        if isinstance(timestamps, (int, float)):
+            stamps: list[float] = [float(timestamps)] * len(rows)
+        else:
+            stamps = timestamps if isinstance(timestamps, list) else list(timestamps)
+            if len(stamps) != len(rows):
+                raise ExecutionError(
+                    f"push_many got {len(rows)} rows but {len(stamps)} timestamps"
+                )
+        self._ensure_workers_alive(throttled=True)
+        if self._fallback.failed:
+            self._recover_fallback()
+        coerce = self._fallback._coerce_row
+        coerced = [
+            row if (type(row) is Row and row.schema is schema) else coerce(schema, row)
+            for row in rows
+        ]
+        shards = len(self._workers)
+        key = self._keys.get(lower)
+        checkpointer = self.checkpointer
+        # Route values and rows in one pass; the row lists exist only
+        # for the replay log, so skip them entirely when nothing records.
+        per_rows: list[list[Row]] | None = (
+            [[] for _ in range(shards)] if checkpointer is not None else None
+        )
+        per_values: list[list[tuple]] = [[] for _ in range(shards)]
+        per_stamps: list[list[float]] = [[] for _ in range(shards)]
+        if key is None:
+            cursor = self._round_robin.get(lower, 0)
+            for row, stamp in zip(coerced, stamps):
+                per_values[cursor].append(row.values)
+                per_stamps[cursor].append(stamp)
+                if per_rows is not None:
+                    per_rows[cursor].append(row)
+                cursor = (cursor + 1) % shards
+            self._round_robin[lower] = cursor
+        else:
+            key_index = self._key_index[lower]
+            owner_of = self._owner_of
+            if per_rows is None:
+                for row, stamp in zip(coerced, stamps):
+                    values = row.values
+                    owner = owner_of(lower, values[key_index])
+                    per_values[owner].append(values)
+                    per_stamps[owner].append(stamp)
+            else:
+                for row, stamp in zip(coerced, stamps):
+                    values = row.values
+                    owner = owner_of(lower, values[key_index])
+                    per_values[owner].append(values)
+                    per_stamps[owner].append(stamp)
+                    per_rows[owner].append(row)
+        ship = bool(self._sub_counts.get(lower))
+        for shard in range(shards):
+            if not per_values[shard]:
+                continue
+            if per_rows is not None:
+                checkpointer.record(
+                    ("many", shard, source, per_rows[shard], per_stamps[shard])
+                )
+            if ship:
+                self._buffer(shard, entry.name, per_values[shard], per_stamps[shard])
+        if self._fallback.subscribed(lower):
+            if checkpointer is not None:
+                checkpointer.record(("many", FALLBACK, source, coerced, stamps))
+            self._fallback.push_many(source, coerced, stamps)
+        self.elements_ingested += len(rows)
+        self._drain_all()
+        return len(rows)
+
+    def punctuate(self, watermark: float, sources: list[str] | None = None) -> None:
+        """Flush channels, broadcast a sequenced punctuation frame and
+        block for every worker's ack — the process-pool barrier. Dead
+        workers recover first (or mid-wait), exactly like the
+        in-process pool recovers before its broadcast."""
+        self._ensure_workers_alive()
+        if self._fallback.failed:
+            self._recover_fallback()
+        if self._feeds:
+            seq = next(self._seqs)
+            for index in range(len(self._workers)):
+                self._send_punct(index, seq, watermark, sources)
+            for index in range(len(self._workers)):
+                self._await_punct_ack(index, seq, watermark, sources)
+        self._fallback.punctuate(watermark, sources)
+        if self.checkpointer is not None:
+            self.checkpointer.on_punctuation(watermark, sources)
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def load_table(
+        self,
+        name: str,
+        rows: list[Row | Mapping[str, Any]],
+        timestamp: float = 0.0,
+    ) -> None:
+        # The in-parent engines (idle shards + fallback) load first:
+        # coercion errors surface before anything ships, and their
+        # replicated copy serves table_rows() and checkpoint tables.
+        super().load_table(name, rows, timestamp)
+        entry = self._catalog.source(name)
+        loaded = self._engines[0]._tables.get(entry.name, [])
+        values = [element.row.values for element in loaded[len(loaded) - len(rows):]]
+        for index in range(len(self._workers)):
+            worker = self._workers[index]
+            if not worker.alive:
+                self._recover_worker(index)  # replays the table entry too
+                continue
+            try:
+                self._sync_catalog_to(worker)
+                worker.flush()
+                worker.put(("table", entry.name, values, timestamp))
+            except WorkerDied:
+                self._recover_worker(index)
+        self._drain_all()
+
+    def drop_table(self, name: str) -> None:
+        super().drop_table(name)
+        for worker in self._workers:
+            if not worker.alive:
+                continue
+            try:
+                worker.put(("drop", name))
+            except WorkerDied:
+                pass
+
+    # ------------------------------------------------------------------
+    # Checkpoint barrier (called by CheckpointCoordinator.checkpoint)
+    # ------------------------------------------------------------------
+    def build_checkpoint(
+        self, checkpoint_id: int, watermark: float, log_seq: int
+    ) -> PoolCheckpoint:
+        """Assemble the pool barrier: each worker's per-query operator
+        snapshots and chain state arrive over a request/response frame;
+        fallback replicas, merge counts and tables are read in-parent."""
+        self._ensure_workers_alive()
+        worker_payloads: list[dict] = [{} for _ in self._workers]
+        worker_chains: list[dict] = [{} for _ in self._workers]
+        for index in range(len(self._workers)):
+            payload, chains = self._collect_worker_checkpoint(index)
+            worker_payloads[index] = payload
+            worker_chains[index] = chains
+        handles: dict[int, HandleCheckpoint] = {}
+        for query_id, handle in self._handles.items():
+            sink = handle.sink
+            sink_len = len(sink.elements) if isinstance(sink, CollectingConsumer) else 0
+            sink_puncts = (
+                len(sink.punctuations) if isinstance(sink, CollectingConsumer) else 0
+            )
+            if handle.partitioned:
+                replicas: list[list[dict]] = []
+                shared: list[bool] = []
+                for payload in worker_payloads:
+                    states, is_shared = payload.get(query_id, ([], False))
+                    replicas.append(states)
+                    shared.append(is_shared)
+                handles[query_id] = HandleCheckpoint(
+                    plan=handle.plan,
+                    partitioned=True,
+                    replicas=replicas,
+                    merge_counts=list(handle.coordinator.counts),
+                    sink_len=sink_len,
+                    sink_punct_len=sink_puncts,
+                    shared=shared,
+                )
+            else:
+                inner = handle.inner[0]
+                handles[query_id] = HandleCheckpoint(
+                    plan=handle.plan,
+                    partitioned=False,
+                    replicas=[
+                        [op.state_snapshot() for op in inner.compiled.operators]
+                    ],
+                    merge_counts=None,
+                    sink_len=sink_len,
+                    sink_punct_len=sink_puncts,
+                    shared=[inner.shared],
+                )
+        tables = {
+            name: list(elements)
+            for name, elements in self._engines[0]._tables.items()
+        }
+        return PoolCheckpoint(
+            checkpoint_id,
+            watermark,
+            log_seq,
+            tables,
+            handles,
+            shard_chains=worker_chains,
+            fallback_chains=self._fallback.subplans.snapshot_chains(),
+        )
+
+    # ------------------------------------------------------------------
+    # Worker failover
+    # ------------------------------------------------------------------
+    def _ensure_workers_alive(self, throttled: bool = False) -> None:
+        """Recover any dead worker.
+
+        ``throttled=True`` (the per-push ingest path) rate-limits the
+        sweep: ``Process.is_alive`` costs a ``waitpid`` syscall per
+        worker, which at batch ingest rates adds up to real time. A
+        death missed here is still caught inside the same call by the
+        queue put (``WorkerDied``) or, at the latest, at the next
+        barrier, which always sweeps.
+        """
+        now = time.monotonic()
+        if throttled and now - self._last_sweep < 0.05:
+            return
+        self._last_sweep = now
+        for index in range(len(self._workers)):
+            if not self._workers[index].alive:
+                self._recover_worker(index)
+
+    def _recover_worker(self, index: int) -> _Worker:
+        """Replace one dead worker process, restored from the latest
+        barrier: forward whatever it managed to emit, seed barrier
+        tables, re-admit every partitioned query muted and pinned to
+        its recorded sharing decision, restore operator/chain state,
+        then replay the log suffix with merge-count dedup — the
+        process-boundary mirror of ``_recover_shard``."""
+        old = self._workers[index]
+        # Emissions the dead worker shipped before dying are real
+        # results: forward them so the coordinator's forwarded counts
+        # (the dedup anchor below) include them.
+        self._drain_worker(index, old)
+        old.discard_buffered()  # buffered rows are in the log; replay re-ships
+        old.close()
+        coordinator = self.checkpointer
+        partitioned = [h for h in self._handles.values() if h.partitioned]
+        if coordinator is None and partitioned:
+            raise ExecutionError(
+                f"shard worker {index} failed with partitioned queries running "
+                "and no CheckpointCoordinator attached — attach one "
+                "(connect(checkpoint_interval=...)) to enable failover"
+            )
+        self._wstats[index]["restarts"] += 1
+        fresh = self._spawn_worker(index)
+        self._workers[index] = fresh
+        if coordinator is None:
+            return fresh
+        checkpoint = coordinator.latest()
+        self._sync_catalog_to(fresh)
+        if checkpoint is not None and checkpoint.tables:
+            seed = {
+                name: [
+                    (element.row.values, element.timestamp) for element in elements
+                ]
+                for name, elements in checkpoint.tables.items()
+            }
+            fresh.put(("seed", seed))
+        restored = []
+        for handle in partitioned:
+            handle_cp = (
+                checkpoint.handles.get(handle.query_id)
+                if checkpoint is not None
+                else None
+            )
+            barrier_count = (
+                handle_cp.merge_counts[index] if handle_cp is not None else 0
+            )
+            skip = handle.coordinator.forwarded(index) - barrier_count
+            feed = _ShardFeed(handle.coordinator, index)
+            feed.mute()  # execute replays barrier tables: pre-barrier output
+            self._feeds[handle.query_id][index] = feed
+            share = (
+                handle_cp.shared[index]
+                if handle_cp is not None and handle_cp.shared
+                else None
+            )
+            fresh.put(("execute", handle.query_id, self._wsql[handle.query_id], share))
+            restored.append((handle, handle_cp, feed, skip))
+        if checkpoint is not None:
+            states = {
+                handle.query_id: handle_cp.replicas[index]
+                for handle, handle_cp, _feed, _skip in restored
+                if handle_cp is not None
+            }
+            chains = (
+                checkpoint.shard_chains[index]
+                if getattr(checkpoint, "shard_chains", None)
+                else {}
+            )
+            fresh.put(("restore", states, chains))
+        # Barrier 1: table-replay emissions land in the muted feeds.
+        self._sync_worker(index)
+        for _handle, _handle_cp, feed, skip in restored:
+            feed.arm(skip)
+        from_seq = checkpoint.log_seq if checkpoint is not None else 0
+        replayed = self._replay_to_worker(fresh, coordinator.log.suffix(from_seq), index)
+        # Barrier 2: replayed emissions flow through the armed skip dedup.
+        self._sync_worker(index)
+        coordinator.note_replay(index, from_seq, replayed)
+        return fresh
+
+    def _replay_to_worker(self, worker: _Worker, suffix: list[tuple], index: int) -> int:
+        """Re-ship the log entries owned by worker ``index`` (plus
+        broadcast punctuations and table loads) as frames."""
+        coerce = self._fallback._coerce_row
+        replayed = 0
+        for entry in suffix:
+            kind, key = entry[0], entry[1]
+            if kind == "punct":
+                worker.put(("punct", None, entry[2], entry[3], []))
+                replayed += 1
+            elif kind == "table":
+                schema = self._catalog.source(entry[2]).schema
+                values = [
+                    (row if isinstance(row, Row) else coerce(schema, row)).values
+                    for row in entry[3]
+                ]
+                worker.put(("table", entry[2], values, entry[4]))
+                replayed += 1
+            elif key == index:
+                schema = self._catalog.source(entry[2]).schema
+                if kind == "push":
+                    row = entry[3]
+                    values = [
+                        (row if isinstance(row, Row) else coerce(schema, row)).values
+                    ]
+                    worker.put(("data", entry[2], _pack((values, [entry[4]]))))
+                    replayed += 1
+                elif kind == "many":
+                    values = [
+                        (row if isinstance(row, Row) else coerce(schema, row)).values
+                        for row in entry[3]
+                    ]
+                    stamps = entry[4]
+                    if isinstance(stamps, (int, float)):
+                        stamps = [float(stamps)] * len(values)
+                    worker.put(("data", entry[2], _pack((values, list(stamps)))))
+                    replayed += 1
+        return replayed
+
+    # ------------------------------------------------------------------
+    # Transport plumbing
+    # ------------------------------------------------------------------
+    def _sync_catalog_to(self, worker: _Worker) -> None:
+        epoch = self._catalog.schema_epoch
+        if worker.epoch != epoch:
+            worker.put(("catalog", self._catalog, epoch))
+            worker.epoch = epoch
+
+    def _buffer(
+        self, index: int, source: str, values: list[tuple], stamps: list[float]
+    ) -> None:
+        try:
+            self._workers[index].buffer(source, values, stamps)
+        except WorkerDied:
+            # The rows are already in the replay log; recovery re-ships
+            # everything since the barrier, these included.
+            self._recover_worker(index)
+
+    def _send_punct(
+        self, index: int, seq: int, watermark: float, sources: list[str] | None
+    ) -> None:
+        while True:
+            worker = self._workers[index]
+            try:
+                # Buffered rows ride inside the barrier frame: one queue
+                # put instead of a data put plus a punctuation put.
+                worker.put(
+                    ("punct", seq, watermark, sources,
+                     _pack(worker.take_buffered()))
+                )
+                return
+            except WorkerDied:
+                self._recover_worker(index)
+
+    def _await_punct_ack(
+        self, index: int, seq: int, watermark: float, sources: list[str] | None
+    ) -> None:
+        while True:
+            worker = self._workers[index]
+            try:
+                frame = worker.outq.get(timeout=0.25)
+            except queue.Empty:
+                if not worker.process.is_alive():
+                    self._recover_worker(index)
+                    self._send_punct(index, seq, watermark, sources)
+                continue
+            except (EOFError, OSError):
+                self._recover_worker(index)
+                self._send_punct(index, seq, watermark, sources)
+                continue
+            if not self._on_frame(index, frame):
+                if frame[0] == "punct_ack" and frame[1] == seq:
+                    return
+
+    def _collect_worker_checkpoint(self, index: int) -> tuple[dict, dict]:
+        while True:
+            req = next(self._reqs)
+            worker = self._workers[index]
+            try:
+                worker.flush()
+                worker.put(("checkpoint", req))
+            except WorkerDied:
+                self._recover_worker(index)
+                continue
+            reply = self._await_reply(index, "cp", req)
+            if reply is None:
+                continue  # worker died mid-exchange and was recovered
+            return reply[2], reply[3]
+
+    def _request_worker_stats(self, index: int) -> dict:
+        while True:
+            req = next(self._reqs)
+            worker = self._workers[index]
+            if not worker.alive:
+                self._recover_worker(index)
+                worker = self._workers[index]
+            try:
+                worker.put(("stats", req))
+            except WorkerDied:
+                self._recover_worker(index)
+                continue
+            reply = self._await_reply(index, "stats_reply", req)
+            if reply is None:
+                continue
+            return reply[2]
+
+    def _sync_worker(self, index: int) -> None:
+        req = next(self._reqs)
+        worker = self._workers[index]
+        worker.put(("sync", req))
+        reply = self._await_reply(index, "sync_ack", req, recover=False)
+        if reply is None:
+            raise ExecutionError(
+                f"shard worker {index} died during recovery synchronization"
+            )
+
+    def _await_reply(
+        self, index: int, kind: str, req: int, recover: bool = True
+    ) -> tuple | None:
+        """Drain worker ``index`` (forwarding emissions) until the
+        control reply ``(kind, req, ...)`` arrives. Returns None after
+        recovering a worker that died mid-exchange (the caller
+        re-issues its request), or — with ``recover=False`` — after a
+        death it must not recurse into."""
+        while True:
+            worker = self._workers[index]
+            try:
+                frame = worker.outq.get(timeout=0.25)
+            except queue.Empty:
+                if not worker.process.is_alive():
+                    if recover:
+                        self._recover_worker(index)
+                    return None
+                continue
+            except (EOFError, OSError):
+                if recover:
+                    self._recover_worker(index)
+                return None
+            if not self._on_frame(index, frame):
+                if frame[0] == kind and frame[1] == req:
+                    return frame
+
+    def _drain_all(self) -> None:
+        for index in range(len(self._workers)):
+            self._drain_worker(index, self._workers[index])
+
+    def _drain_worker(self, index: int, worker: _Worker) -> None:
+        while True:
+            try:
+                frame = worker.outq.get_nowait()
+            except queue.Empty:
+                return
+            except (EOFError, OSError):
+                return
+            self._on_frame(index, frame)
+
+    def _on_frame(self, index: int, frame: tuple) -> bool:
+        """Handle one async frame; True when consumed (emissions and
+        errors), False for control replies the caller is waiting on."""
+        kind = frame[0]
+        if kind == "out":
+            for wq_id, items in _unpack(frame[1]):
+                self._deliver_out(index, wq_id, items)
+            return True
+        if kind == "error":
+            raise ExecutionError(f"shard worker {index} failed:\n{frame[1]}")
+        if kind == "punct_ack":
+            # Emissions piggyback on acks; deliver them here so every
+            # drain path sees them, then let the waiter match the seq.
+            for wq_id, items in _unpack(frame[3]):
+                self._deliver_out(index, wq_id, items)
+        return False
+
+    def _deliver_out(self, index: int, query_id: int, items: list[tuple]) -> None:
+        feeds = self._feeds.get(query_id)
+        handle = self._handles.get(query_id)
+        if feeds is None or handle is None:
+            return  # query stopped while emissions were in flight
+        schema = handle.plan.schema
+        batch: list = []
+        for item in items:
+            if item[0] == "p":
+                batch.append(Punctuation(item[1]))
+            else:
+                batch += elements_from_columns(schema, item[1], item[2], item[3])
+        feeds[index].push_batch(batch)

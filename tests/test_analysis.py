@@ -788,6 +788,108 @@ class TestEngineLinter:
         )
         assert lint_engine(root) == []
 
+    def test_ra904_import_time_engine_singleton(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {
+                "stream/__init__.py": "",
+                "stream/bad.py": (
+                    "from repro.stream.engine import StreamEngine\n"
+                    "ENGINE = StreamEngine(None)\n"
+                ),
+            },
+        )
+        diags = lint_engine(root)
+        assert _codes(diags) == ["RA904"]
+        assert "stream/bad.py:2" in diags[0].operator
+
+    def test_ra904_singleton_inside_expression_detected(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {
+                "data/__init__.py": "",
+                "data/bad.py": "POOLS = [ShardedStreamEngine(c) for c in CATS]\n",
+            },
+        )
+        assert _codes(lint_engine(root)) == ["RA904"]
+
+    def test_ra904_function_scoped_engine_is_exempt(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {
+                "stream/__init__.py": "",
+                "stream/ok.py": (
+                    "def build(catalog):\n"
+                    "    return StreamEngine(catalog)\n"
+                ),
+            },
+        )
+        assert lint_engine(root) == []
+
+    def test_ra904_lambda_queue_frame(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {
+                "stream/__init__.py": "",
+                "stream/chan.py": (
+                    "import multiprocessing\n"
+                    "def feed(q):\n"
+                    "    q.put(lambda row: row)\n"
+                ),
+            },
+        )
+        diags = lint_engine(root)
+        assert _codes(diags) == ["RA904"]
+        assert "lambda" in diags[0].message
+
+    def test_ra904_bound_method_queue_frame(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {
+                "stream/__init__.py": "",
+                "stream/chan.py": (
+                    "import multiprocessing\n"
+                    "class Channel:\n"
+                    "    def feed(self, q):\n"
+                    "        q.put(self.callback)\n"
+                ),
+            },
+        )
+        diags = lint_engine(root)
+        assert _codes(diags) == ["RA904"]
+        assert "bound attribute" in diags[0].message
+
+    def test_ra904_tuple_frames_are_clean(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {
+                "stream/__init__.py": "",
+                "stream/chan.py": (
+                    "import multiprocessing\n"
+                    "def feed(q, rows):\n"
+                    "    frame = ('data', rows)\n"
+                    "    q.put(frame)\n"
+                    "    q.put_nowait(('punct', 1.0))\n"
+                ),
+            },
+        )
+        assert lint_engine(root) == []
+
+    def test_ra904_put_without_multiprocessing_is_exempt(self, tmp_path):
+        """Plain in-process queues (no multiprocessing import) may carry
+        anything — the rule polices only the process boundary."""
+        root = self._tree(
+            tmp_path,
+            {
+                "api/__init__.py": "",
+                "api/q.py": (
+                    "def feed(q):\n"
+                    "    q.put(lambda row: row)\n"
+                ),
+            },
+        )
+        assert lint_engine(root) == []
+
 
 # ----------------------------------------------------------------------
 # CLI

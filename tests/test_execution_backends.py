@@ -152,6 +152,95 @@ class TestBackendLayer:
 
 
 # ----------------------------------------------------------------------
+# Process workers: backend selection, degradation, stats
+# ----------------------------------------------------------------------
+class TestProcessWorkersSession:
+    def _ra313(self, session):
+        report = session.explain("select r.host from Readings r")
+        return [d for d in report.diagnostics if d.code == "RA313"]
+
+    def test_process_session_runs_and_reports_worker_stats(self):
+        from repro.api.backends import ProcessShardBackend
+        from repro.stream.procshard import ProcessShardEngine, usable_start_method
+
+        if usable_start_method() is None:
+            pytest.skip("no multiprocessing start method")
+        with connect(shards=2, workers="process") as session:
+            assert isinstance(session.backend("stream"), ProcessShardBackend)
+            assert isinstance(session.engine, ProcessShardEngine)
+            session.attach(StreamSource("Readings", READINGS, partition_by="host"))
+            cursor = session.query("select r.host, r.temp from Readings r")
+            for index, row in enumerate(ROWS):
+                session.push("Readings", row, float(index))
+            session.punctuate(100.0)
+            assert len(cursor.results()) == len(ROWS)
+            workers = session.stats()["workers"]
+            assert workers["workers"] == 2
+            assert workers["rows_shipped"] == len(ROWS)
+            assert workers["batches_shipped"] >= 1
+            assert workers["restarts"] == 0
+            # A healthy process session carries no degradation notice.
+            assert self._ra313(session) == []
+
+    def test_no_start_method_degrades_with_ra313(self, monkeypatch):
+        import repro.stream.procshard as procshard
+
+        monkeypatch.setattr(procshard, "usable_start_method", lambda: None)
+        with connect(shards=2, workers="process") as session:
+            from repro.api.backends import ProcessShardBackend
+
+            assert isinstance(session.backend("stream"), ShardedStreamBackend)
+            assert not isinstance(session.backend("stream"), ProcessShardBackend)
+            assert isinstance(session.engine, ShardedStreamEngine)
+            session.attach(StreamSource("Readings", READINGS, partition_by="host"))
+            diags = self._ra313(session)
+            assert len(diags) == 1
+            assert diags[0].severity == "info"
+            # The degraded pool still executes queries normally.
+            cursor = session.query("select r.host from Readings r")
+            session.push("Readings", ROWS[0], 0.0)
+            session.punctuate(10.0)
+            assert len(cursor.results()) == 1
+
+    def test_single_shard_process_request_degrades_with_ra313(self):
+        with connect(shards=1, workers="process") as session:
+            assert isinstance(session.backend("stream"), StreamBackend)
+            session.attach(StreamSource("Readings", READINGS))
+            diags = self._ra313(session)
+            assert len(diags) == 1
+            assert "shards" in diags[0].message
+
+    def test_unknown_workers_mode_raises(self):
+        with pytest.raises(QueryError, match="workers mode"):
+            connect(shards=2, workers="threads")
+
+    def test_inline_session_has_no_worker_stats(self):
+        with connect(shards=2) as session:
+            assert "workers" not in session.stats()
+
+    def test_prepared_statement_falls_back_to_in_parent_engine(self):
+        """Bound parameters live in the plan, not the SQL text, so the
+        text is not shippable — the query runs on the fallback engine
+        with identical semantics."""
+        from repro.stream.procshard import usable_start_method
+
+        if usable_start_method() is None:
+            pytest.skip("no multiprocessing start method")
+        with connect(shards=2, workers="process") as session:
+            session.attach(StreamSource("Readings", READINGS, partition_by="host"))
+            statement = session.prepare(
+                "select r.host from Readings r where r.temp > :limit"
+            )
+            cursor = statement.execute(limit=30.0)
+            assert not cursor._handle.partitioned
+            for index, row in enumerate(ROWS):
+                session.push("Readings", row, float(index))
+            session.punctuate(100.0)
+            expected = len([r for r in ROWS if r["temp"] > 30.0])
+            assert len(cursor.results()) == expected
+
+
+# ----------------------------------------------------------------------
 # Partition-key declarations on sources
 # ----------------------------------------------------------------------
 class TestPartitionByDeclaration:

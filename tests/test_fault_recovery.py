@@ -38,6 +38,7 @@ from repro.runtime.faults import (
     kill_fallback,
     kill_mote,
     kill_shard,
+    kill_worker,
     seeded_point,
 )
 from repro.sensor import (
@@ -50,6 +51,7 @@ from repro.sensor import (
 from repro.sensor.radio import RadioModel
 from repro.stream.checkpoint import CheckpointCoordinator
 from repro.stream.engine import StreamEngine
+from repro.stream.procshard import ProcessShardEngine, usable_start_method
 from repro.stream.sharded import ShardedStreamEngine
 
 SEEDS = int(os.environ.get("REPRO_FAULT_SEEDS", "6"))
@@ -264,6 +266,90 @@ class TestShardFailoverIdentity:
         kill_shard(pool, 0)
         with pytest.raises(ExecutionError, match="CheckpointCoordinator"):
             pool.punctuate(stamps[-1])
+
+
+def _process_pool(shards, interval):
+    catalog = _catalog()
+    pool = ProcessShardEngine(catalog, shards=shards)
+    pool.set_partition_key("Readings", "host")
+    coordinator = (
+        CheckpointCoordinator(pool, interval=interval) if interval is not None else None
+    )
+    builder = PlanBuilder(catalog)
+    handles = [pool.execute(builder.build_sql(sql), sql=sql) for sql in QUERIES]
+    return pool, coordinator, handles
+
+
+@pytest.mark.skipif(
+    usable_start_method() is None, reason="no multiprocessing start method"
+)
+class TestProcessWorkerFailover:
+    """SIGKILL one worker *process* mid-corpus: the pool must restore a
+    replacement from the latest barrier and replay only the log suffix,
+    with post-recovery emissions byte-identical to failure-free."""
+
+    @pytest.mark.parametrize("seed", range(min(SEEDS, 3)))
+    def test_kill_worker_mid_corpus(self, seed):
+        rng = random.Random(seed)
+        rows, stamps = _rows(rng.randint(150, 350), rng)
+        plan_rng = random.Random(seed * 31 + 7)
+        chunks = _chunks(rows, stamps, plan_rng)
+        expected = _run_unsharded(rows, stamps, chunks)
+
+        shards = 4
+        pool, coordinator, handles = _process_pool(shards, interval=25.0)
+        try:
+            kill_at = seeded_point(seed, len(chunks))
+            victim = seeded_point(seed, shards, salt=1)
+            state = {}
+
+            def inject(chunk_no):
+                if chunk_no == kill_at:
+                    state["barrier"] = coordinator.latest()
+                    kill_worker(pool, victim)
+
+            got = _drive(pool, handles, chunks, stamps[-1] + 200.0, on_chunk=inject)
+            assert got == expected, (
+                f"seed={seed}: emissions diverged across worker recovery"
+            )
+            replay = coordinator.last_replay
+            assert replay is not None and replay["target"] == victim
+            barrier = state["barrier"]
+            assert replay["from_seq"] == (
+                barrier.log_seq if barrier is not None else 0
+            )
+            assert pool.worker_stats()["restarts"] == 1
+        finally:
+            pool.shutdown()
+
+    def test_punctuate_recovers_a_dead_worker(self):
+        """A punctuation arriving at the pool detects the corpse and
+        restores the worker before the barrier completes — the same
+        in-line repair the in-process pool does for dead shards."""
+        pool, coordinator, handles = _process_pool(3, interval=0.0)
+        try:
+            rows, stamps = _rows(60, random.Random(7))
+            pool.push_many("Readings", rows, stamps)
+            pool.punctuate(stamps[-1])
+            sink_puncts = len(handles[1].sink.punctuations)
+            kill_worker(pool, 1)
+            pool.punctuate(stamps[-1] + 50.0)
+            assert len(handles[1].sink.punctuations) == sink_puncts + 1
+            assert coordinator.last_replay["target"] == 1
+            assert pool.worker_stats()["restarts"] == 1
+        finally:
+            pool.shutdown()
+
+    def test_worker_failover_without_coordinator_raises(self):
+        pool, _, handles = _process_pool(2, interval=None)
+        try:
+            rows, stamps = _rows(30, random.Random(3))
+            pool.push_many("Readings", rows, stamps)
+            kill_worker(pool, 0)
+            with pytest.raises(ExecutionError, match="CheckpointCoordinator"):
+                pool.punctuate(stamps[-1])
+        finally:
+            pool.shutdown()
 
 
 # ----------------------------------------------------------------------

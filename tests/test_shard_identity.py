@@ -26,9 +26,14 @@ from repro.catalog import Catalog
 from repro.data import DataType, Row, Schema
 from repro.plan import PlanBuilder
 from repro.stream.engine import StreamEngine
+from repro.stream.procshard import ProcessShardEngine, usable_start_method
 from repro.stream.sharded import ShardedQueryHandle, ShardedStreamEngine
 
 SEEDS = int(os.environ.get("REPRO_SHARD_SEEDS", "10"))
+#: Process pools pay a fork/recompile per worker per case; a smaller
+#: slice of the same corpus keeps the suite fast without losing the
+#: cross-mode comparison (every seed still runs in-process above).
+PROCESS_SEEDS = min(SEEDS, 3)
 
 READINGS = Schema.of(
     ("room", DataType.STRING),
@@ -214,6 +219,76 @@ class TestShardIdentityCorpus:
         assert handles[0].partitioned  # stateless chain stays parallel
         assert not handles[1].partitioned  # aggregate needs the key
         assert not handles[2].partitioned
+
+
+def _run_process(queries, rows, stamps, seed, shards, partition_by="host"):
+    catalog = _catalog()
+    engine = ProcessShardEngine(catalog, shards=shards)
+    try:
+        if partition_by is not None:
+            engine.set_partition_key("Readings", partition_by)
+        builder = PlanBuilder(catalog)
+        handles = [
+            engine.execute(builder.build_sql(sql), sql=sql) for sql in queries
+        ]
+        segments = _drive(engine, handles, rows, stamps, random.Random(seed * 31 + 7))
+        return segments, handles
+    finally:
+        engine.shutdown()
+
+
+@pytest.mark.skipif(
+    usable_start_method() is None, reason="no multiprocessing start method"
+)
+class TestProcessWorkerIdentity:
+    """workers='process' × shards ∈ {1, 2, 4}: the process pool must
+    reproduce the in-process pool's per-punctuation-segment emissions
+    exactly — same merge, same dedupe, same fallback routing — the
+    only observable difference being which cores do the work."""
+
+    @pytest.mark.parametrize("seed", range(PROCESS_SEEDS))
+    def test_process_identity_corpus(self, seed):
+        rng = random.Random(seed)
+        queries = [
+            _fill(rng.choice(SAFE_TEMPLATES), rng)
+            for _ in range(rng.randint(1, 3))
+        ] + [
+            _fill(rng.choice(UNSAFE_TEMPLATES), rng)
+            for _ in range(rng.randint(1, 2))
+        ]
+        rows, stamps = _rows(rng.randint(150, 400), rng)
+        for shards in (1, 2, 4):
+            expected, _ = _run_sharded(queries, rows, stamps, seed, shards)
+            got, handles = _run_process(queries, rows, stamps, seed, shards)
+            assert got == expected, (
+                f"seed={seed} shards={shards}: process emissions diverged "
+                "from the in-process pool"
+            )
+            for handle in handles:
+                assert isinstance(handle, ShardedQueryHandle)
+                assert handle.analysis is not None
+
+    def test_safe_plans_partition_and_unsafe_fall_back(self):
+        rng = random.Random(424)
+        queries = [_fill(SAFE_TEMPLATES[2], rng), _fill(UNSAFE_TEMPLATES[0], rng)]
+        rows, stamps = _rows(120, rng)
+        _, handles = _run_process(queries, rows, stamps, 424, shards=2)
+        assert handles[0].partitioned
+        assert not handles[1].partitioned
+
+    def test_plan_without_sql_text_falls_back(self):
+        """Plans are never pickled: execute() without the SQL text runs
+        the (safe) plan on the in-parent fallback engine instead."""
+        catalog = _catalog()
+        engine = ProcessShardEngine(catalog, shards=2)
+        try:
+            engine.set_partition_key("Readings", "host")
+            sql = "select r.host, r.temp from Readings r where r.temp > 1.0"
+            handle = engine.execute(PlanBuilder(catalog).build_sql(sql))
+            assert not handle.partitioned
+            assert handle.analysis.safe
+        finally:
+            engine.shutdown()
 
 
 class TestShardedJoins:
