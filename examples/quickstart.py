@@ -296,6 +296,40 @@ def main() -> None:
             for row in sorted(peaks, key=lambda r: r["r.room"]):
                 print(f"  {row['r.room']}: peak={row['peak']:.1f}")
 
+    # 12. Exchanges: partition-unsafe plans no longer surrender to one
+    #     fallback engine. Heartbeats is partitioned by host, but this
+    #     GROUP BY is on room — a non-covering key. The pool splits the
+    #     aggregate into per-shard partials, hash-shuffles the partial
+    #     groups on room at every punctuation, and merges them on the
+    #     owning shard, so the whole pool still does the work.
+    #     session.explain prints the decision as RA32x diagnostics.
+    with connect(shards=4) as session:
+        session.attach(
+            StreamSource("Heartbeats", MACHINES, rate=2.0, partition_by="host")
+        )
+        federated = session.explain(
+            "select h.room, count(*) as n from Heartbeats h "
+            "[range 10 seconds slide 10 seconds] group by h.room"
+        )
+        for diagnostic in federated.diagnostics:
+            if diagnostic.code.startswith("RA3"):
+                print(f"  {diagnostic.render()}")
+        with session.query(
+            "select h.room, count(*) as n from Heartbeats h "
+            "[range 10 seconds slide 10 seconds] group by h.room"
+        ) as counts:
+            session.push_many(
+                "Heartbeats",
+                [
+                    {"host": f"ws{i % 4}", "room": f"lab{i % 2}"}
+                    for i in range(12)
+                ],
+                [float(i) for i in range(12)],
+            )
+            session.punctuate(20.0)
+            for row in sorted(counts, key=lambda r: r["h.room"]):
+                print(f"  {row['h.room']}: n={row['n']}")
+
 
 if __name__ == "__main__":
     main()

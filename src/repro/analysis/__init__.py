@@ -28,6 +28,7 @@ from repro.analysis.diagnostics import (
     diag,
 )
 from repro.analysis.explain import (
+    exchange_diagnostics,
     explain_diagnostics,
     federated_diagnostics,
     partition_diagnostic,
@@ -51,6 +52,7 @@ __all__ = [
     "check_progress",
     "check_types",
     "diag",
+    "exchange_diagnostics",
     "explain_diagnostics",
     "federated_diagnostics",
     "is_infinite",

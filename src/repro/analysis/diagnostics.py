@@ -69,6 +69,13 @@ CODES: dict[str, str] = {
     "RA311": "partition key is not a column of the source",
     "RA312": "operator not recognized as partition-safe",
     "RA313": "process workers unavailable; the pool runs in-process",
+    # -- RA32x: exchange (mid-plan repartitioning) decisions -----------
+    "RA320": "join inputs hash-shuffled on the equi-key",
+    "RA321": "aggregate split into per-shard partials merged by shuffle",
+    "RA322": "DISTINCT rows shuffled by row hash",
+    "RA323": "table side broadcast to every shard",
+    "RA324": "no exchange strategy applies; plan runs on the fallback engine",
+    "RA325": "unkeyed stream ingested round-robin before the shuffle",
     # -- RA4xx: shared-subplan eligibility -----------------------------
     "RA400": "plan is shareable",
     "RA401": "OUTPUT TO DISPLAY must fire once per query",

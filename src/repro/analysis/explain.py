@@ -47,9 +47,58 @@ def partition_diagnostic(
             else ""
         )
         message = f"one replica per shard, results merged{carried}"
+    elif verdict.exchange is not None:
+        message = (
+            f"repartitions mid-plan and stays on the pool: {verdict.reason}"
+        )
     else:
         message = f"falls back to one designated engine: {verdict.reason}"
     return diag(verdict.code, INFO, message)
+
+
+def exchange_diagnostics(
+    plan: LogicalOp, keys: Mapping[str, str]
+) -> list[Diagnostic]:
+    """The exchange planner's decision as coded diagnostics (``RA32x``).
+
+    Empty for partition-safe plans (nothing to repartition) and for
+    designated-engine-by-design verdicts (replicated-only or
+    unpartitioned plans, where a shuffle would add transport for no
+    parallelism). ``RA324`` marks the genuine misses: unsafe shapes no
+    exchange strategy covers, which still run on the fallback engine.
+    """
+    verdict = partition_safe(plan, keys)
+    if verdict.safe or verdict.code in ("RA304", "RA305"):
+        return []
+    recipe = verdict.exchange
+    if recipe is None:
+        return [
+            diag(
+                "RA324",
+                INFO,
+                f"no exchange strategy applies; the plan runs on the "
+                f"fallback engine ({verdict.reason})",
+            )
+        ]
+    out = [diag(recipe.code, INFO, recipe.note)]
+    for name in recipe.broadcasts:
+        out.append(
+            diag(
+                "RA323",
+                INFO,
+                f"replicated table {name!r} reaches every shard by broadcast",
+            )
+        )
+    for name in recipe.round_robin:
+        out.append(
+            diag(
+                "RA325",
+                INFO,
+                f"stream {name!r} carries no declared key; stage 1 ingests "
+                "it round-robin ahead of the shuffle",
+            )
+        )
+    return out
 
 
 def sharing_diagnostic(plan: LogicalOp) -> Diagnostic:
@@ -124,6 +173,7 @@ def explain_diagnostics(
     out: list[Diagnostic] = []
     if shard_keys is not None:
         out.append(partition_diagnostic(plan, shard_keys))
+        out.extend(exchange_diagnostics(plan, shard_keys))
     # Sharing is judged on the stream residual — that is the plan the
     # stream engine actually admits (a pushed fragment leaves a
     # RemoteSource behind, which no chain can absorb).

@@ -27,12 +27,16 @@ from dataclasses import dataclass, field
 from repro.catalog import Catalog, EngineLocation
 from repro.errors import OptimizerError, UnsupportedQueryError
 from repro.plan.logical import (
+    Aggregate,
     Join,
     LogicalOp,
+    Project,
     RemoteSource,
     Scan,
+    Select,
     replace_child,
 )
+from repro.sql.expressions import is_equijoin_conjunct, split_conjuncts
 from repro.sensor.network import SensorNetwork
 from repro.sensor.optimizer import (
     SensorCost,
@@ -244,7 +248,12 @@ class FederatedOptimizer:
                 fragment, output_name=name
             )
             rate = self._result_rate(deployment, cost)
-            remote = RemoteSource(name, fragment.schema, rate)
+            remote = RemoteSource(
+                name,
+                fragment.schema,
+                rate,
+                partition_by=_fragment_partition_by(fragment),
+            )
             working = _replace_subtree(working, fragment, remote)
             pushed.append(PushedFragment(name, fragment, deployment, cost, rate))
             sensor_costs.append(cost)
@@ -292,6 +301,39 @@ class FederatedOptimizer:
         entry = self._catalog.source(deployment.relations[0])
         producers = len(entry.device.node_ids) if entry.device else 1
         return max(producers, 1) * selectivity / period
+
+
+def _fragment_partition_by(fragment: LogicalOp) -> tuple[str, ...]:
+    """Columns a pushed fragment's output feed is already hashed on.
+
+    An in-network aggregation surfaces one row per group, so its feed is
+    keyed by the GROUP BY columns; an in-network join is keyed by the
+    join-site equi-key. Anything else (filtered collections, raw scans)
+    carries no key and round-robins across shards.
+    """
+    node = fragment
+    conjuncts = []
+    while isinstance(node, (Select, Project)):
+        if isinstance(node, Select):
+            conjuncts.extend(split_conjuncts(node.predicate))
+        node = node.child
+    if isinstance(node, Aggregate) and node.group_by:
+        names = {f.name for f in fragment.schema} | {
+            f.bare_name for f in fragment.schema
+        }
+        keys = tuple(node.key_names)
+        if all(key in names for key in keys):
+            return keys
+        return ()
+    if isinstance(node, Join):
+        if node.predicate is not None:
+            conjuncts.extend(split_conjuncts(node.predicate))
+        names = {f.name for f in fragment.schema}
+        for conjunct in conjuncts:
+            pair = is_equijoin_conjunct(conjunct)
+            if pair is not None and pair[0] in names:
+                return (pair[0],)
+    return ()
 
 
 def _replace_subtree(root: LogicalOp, target: LogicalOp, new: LogicalOp) -> LogicalOp:

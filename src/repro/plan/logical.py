@@ -103,11 +103,22 @@ class RemoteSource(LogicalOp):
     port is wired to the basestation delivery callback.
     """
 
-    def __init__(self, name: str, schema: Schema, rate: float = 1.0):
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        rate: float = 1.0,
+        partition_by: tuple[str, ...] = (),
+    ):
         super().__init__()
         self.name = name
         self._schema = schema
         self.rate = rate
+        #: Columns of ``schema`` the feed is already hashed on (the
+        #: fragment's GROUP BY / join-site key, set by the federated
+        #: optimizer; exchange feeds set their shuffle key). Empty means
+        #: the feed carries no key and round-robins across shards.
+        self.partition_by = tuple(partition_by)
 
     @property
     def schema(self) -> Schema:

@@ -142,6 +142,13 @@ class HandleCheckpoint:
     #: Per-replica sharing decisions (aligned with ``replicas``);
     #: failover re-executes each replica under the same decision.
     shared: list[bool] = field(default_factory=list)
+    #: Exchanged handles only: the pool-side shuffle state at the
+    #: barrier (``{"flushed": {(ordinal, src): count}, "dests": [...]}``
+    #: — buffers are empty at barriers by construction). ``replicas``
+    #: then holds per-shard ``{"s1": [stage-1 op states per spec],
+    #: "s2": stage-2 op states or None}`` dicts and ``merge_counts``
+    #: aligns with ``dests``.
+    exchange: dict | None = None
 
 
 @dataclass
@@ -373,7 +380,28 @@ def _snapshot_engine(engine, checkpoint_id, watermark, log_seq) -> EngineCheckpo
 def _snapshot_pool(pool, checkpoint_id, watermark, log_seq) -> PoolCheckpoint:
     handles: dict[int, HandleCheckpoint] = {}
     for query_id, handle in pool._handles.items():
-        if handle.partitioned:
+        exchange = None
+        if getattr(handle, "exchanged", False):
+            replicas = [
+                {
+                    "s1": [
+                        [op.state_snapshot() for op in replica.compiled.operators]
+                        for replica in handle.stage1[index]
+                    ],
+                    "s2": (
+                        [
+                            op.state_snapshot()
+                            for op in handle.stage2[index].compiled.operators
+                        ]
+                        if handle.stage2[index] is not None
+                        else None
+                    ),
+                }
+                for index in range(len(handle.stage1))
+            ]
+            merge_counts = list(handle.coordinator.counts)
+            exchange = handle.exchange.snapshot()
+        elif handle.partitioned:
             replicas = [
                 [op.state_snapshot() for op in inner.compiled.operators]
                 for inner in handle.inner
@@ -395,6 +423,7 @@ def _snapshot_pool(pool, checkpoint_id, watermark, log_seq) -> PoolCheckpoint:
                 len(sink.punctuations) if isinstance(sink, CollectingConsumer) else 0
             ),
             shared=[inner.shared for inner in handle.inner],
+            exchange=exchange,
         )
     tables = {
         name: list(elements) for name, elements in pool._engines[0]._tables.items()

@@ -28,6 +28,7 @@ from repro.catalog import SourceKind
 from repro.data.streams import StreamConsumer, StreamElement, push_all
 from repro.data.windows import WindowKind, WindowSpec
 from repro.errors import PlanError
+from repro.plan.exchange import ExchangeSource, MergeAggregate, PartialAggregate
 from repro.plan.logical import (
     Aggregate,
     CteRef,
@@ -49,9 +50,11 @@ from repro.stream.operators import (
     FilterOp,
     FusedOp,
     LimitOp,
+    MergeAggregateOp,
     Operator,
     OrderByOp,
     OutputOp,
+    PartialAggregateOp,
     ProjectOp,
     SymmetricHashJoin,
 )
@@ -72,6 +75,10 @@ class ScanPort:
     binding: str
     consumer: StreamConsumer
     scan: Scan | None = None
+    #: True for :class:`~repro.plan.exchange.ExchangeSource` ports.
+    #: Exchange feeds are punctuated explicitly by the pool's shuffle
+    #: barrier, never by the engine's broadcast punctuate.
+    exchange: bool = False
 
 
 @dataclass
@@ -204,6 +211,14 @@ class PlanCompiler:
                 ScanPort(node.entry.name, node.binding, consumer, scan=node)
             )
             return consumer
+        if isinstance(node, ExchangeSource):
+            # A shuffled feed from the other shards: rows arrive already
+            # under the stage-2 schema via ShardedStreamEngine.push_exchange.
+            shim = _ReschemaConsumer(node.schema, downstream)
+            compiled.ports.append(
+                ScanPort(node.name, node.name, shim, exchange=True)
+            )
+            return shim
         if isinstance(node, RemoteSource):
             # Rows from remote engines already carry the plan schema.
             shim = _ReschemaConsumer(node.schema, downstream)
@@ -230,6 +245,27 @@ class PlanCompiler:
             return self._compile_node(node.child, op, compiled)
         if isinstance(node, Join):
             return self._compile_join(node, downstream, compiled)
+        if isinstance(node, PartialAggregate):
+            group_by = list(zip(node.group_by, node.key_names))
+            aggregates = [(item.call, item.name) for item in node.aggregates]
+            window = node.window if (
+                node.window is not None and node.window.kind is WindowKind.RANGE
+            ) else None
+            op = PartialAggregateOp(
+                group_by, aggregates, node.schema, downstream, window
+            )
+            compiled.operators.append(op)
+            return self._compile_node(node.child, op, compiled)
+        if isinstance(node, MergeAggregate):
+            aggregates = [(item.call, item.name) for item in node.aggregates]
+            windowed = (
+                node.window is not None and node.window.kind is WindowKind.RANGE
+            )
+            op = MergeAggregateOp(
+                len(node.key_names), aggregates, node.schema, downstream, windowed
+            )
+            compiled.operators.append(op)
+            return self._compile_node(node.child, op, compiled)
         if isinstance(node, Aggregate):
             group_by = [(expr, name) for expr, name in zip(node.group_by, node.key_names)]
             aggregates = [(item.call, item.name) for item in node.aggregates]
@@ -348,7 +384,15 @@ class PlanCompiler:
         ranges: list[WindowSpec] = []
         unbounded_only = True
         for leaf in node.walk():
-            if isinstance(leaf, RemoteSource):
+            if isinstance(leaf, ExchangeSource):
+                # A shuffled feed keeps whatever window the replaced
+                # stage-1 subtree declared (a table-only side must stay
+                # unbounded, not pick up the stream default).
+                inner = self._side_window(leaf.origin)
+                if inner.kind is not WindowKind.UNBOUNDED:
+                    ranges.append(inner)
+                    unbounded_only = False
+            elif isinstance(leaf, RemoteSource):
                 ranges.append(self._default_window)
                 unbounded_only = False
             elif isinstance(leaf, Scan):

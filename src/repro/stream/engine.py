@@ -450,6 +450,34 @@ class StreamEngine:
             seen.add(route.query_id)
         return multi
 
+    def push_exchange(
+        self,
+        name: str,
+        values: Sequence[tuple],
+        timestamps: Sequence[float],
+    ) -> int:
+        """Trusted batch ingest into one exchange port.
+
+        ``name`` is an :func:`~repro.plan.exchange.exchange_name` port;
+        ``values`` are positional tuples of the exchanged schema (the
+        stage-1 emissions, routed here by the pool's shuffle barrier).
+        No catalog entry exists and no replay-log recording happens —
+        the pool logs exchange deliveries itself so failover can replay
+        them deterministically.
+        """
+        if self.failed:
+            return 0
+        routes = self._routes.get(name.lower(), ())
+        if not routes:
+            return 0
+        elements = elements_from_columns(
+            routes[0].remote_schema, name, values, timestamps
+        )
+        for route in routes:
+            push_all(route.port.consumer, elements)
+        self.elements_ingested += len(elements)
+        return len(elements)
+
     def push_remote(
         self, name: str, values: Mapping[str, Any] | Row, timestamp: float
     ) -> None:
@@ -503,10 +531,13 @@ class StreamEngine:
             # The routing index holds every subscribed port — private
             # queries' and shared chains' alike (chains forward the
             # watermark to their tee branches), so one pass over it
-            # punctuates each port exactly once.
+            # punctuates each port exactly once. Exchange ports are
+            # excluded: their watermark comes from the pool's shuffle
+            # barrier *after* buffered rows are delivered.
             for routes in self._routes.values():
                 for route in routes:
-                    route.port.consumer.push(punctuation)
+                    if not route.port.exchange:
+                        route.port.consumer.push(punctuation)
         else:
             for source in sources:
                 for route in self._routes.get(source.lower(), ()):
@@ -603,6 +634,16 @@ class StreamEngine:
         elif kind == "table":
             _, _, name, rows, timestamp = entry
             self.load_table(name, rows, timestamp)
+        elif kind == "xdeliver":
+            # Recorded exchange delivery: the rows other shards shuffled
+            # here. Replayed verbatim (the live shards do not re-derive
+            # their contributions during this engine's recovery).
+            _, _, runs = entry
+            for name, values, stamps in runs:
+                self.push_exchange(name, values, stamps)
+        elif kind == "xpunct":
+            _, _, watermark, names = entry
+            self.punctuate(watermark, names)
         else:  # pragma: no cover - log corruption guard
             raise ExecutionError(f"unknown replay-log entry kind {kind!r}")
 

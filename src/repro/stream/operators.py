@@ -888,21 +888,26 @@ class AggregateOp(Operator):
                     self._next_boundary = skip
             boundary = self._next_boundary
             start = boundary - self.window.size
-            groups: dict = {}
-            if self._fold is not None:
-                # The whole window scan — time filter, key extraction,
-                # accumulator updates — runs as one generated call.
-                self._fold(self._buffer, groups, start, boundary)
-            else:
-                accumulate = self._accumulate
-                for element in self._buffer:
-                    if start < element.timestamp <= boundary:
-                        accumulate(element.row, groups)
-            self._emit_groups(boundary, groups)
+            self._close_window(start, boundary)
             self._next_boundary = boundary + slide
             # Evict rows no longer needed by any future window.
             horizon = self._next_boundary - self.window.size
             self._buffer = [e for e in self._buffer if e.timestamp > horizon]
+
+    def _close_window(self, start: float, boundary: float) -> None:
+        """Scan the buffer for the window ``(start, boundary]`` and emit
+        its groups (overridden by :class:`PartialAggregateOp`)."""
+        groups: dict = {}
+        if self._fold is not None:
+            # The whole window scan — time filter, key extraction,
+            # accumulator updates — runs as one generated call.
+            self._fold(self._buffer, groups, start, boundary)
+        else:
+            accumulate = self._accumulate
+            for element in self._buffer:
+                if start < element.timestamp <= boundary:
+                    accumulate(element.row, groups)
+        self._emit_groups(boundary, groups)
 
     # -- operator protocol -------------------------------------------------
     def on_element(self, element: StreamElement) -> None:
@@ -980,6 +985,386 @@ class AggregateOp(Operator):
         self._buffer = list(state["buffer"])
         self._next_boundary = state["next_boundary"]
         self._groups = self._copy_groups(state["groups"])
+
+
+class _PartialItem:
+    """Stage-1 exchange state for one aggregate call within one group.
+
+    Unlike :class:`_Accumulator` it keeps *encoded* state it can hand to
+    the merge shard: tagged tuples that are marshal-safe and — for the
+    float-folding kinds — carry element timestamps so the merge can
+    re-fold values in global arrival order and reproduce the
+    single-engine result bit for bit (float addition commutes but does
+    not associate).
+
+    Tags: ``("c", count)`` for COUNT; ``("m", extreme)`` for MIN/MAX
+    (``None`` when no value arrived); ``("s", [(ts, value), ...])`` for
+    SUM/AVG; ``("d", [(ts, value), ...])`` for DISTINCT calls
+    (post-shard-dedup — the merge dedups again globally).
+    """
+
+    __slots__ = (
+        "call", "_counts_rows", "_kind", "_max", "distinct",
+        "count", "pairs", "values",
+    )
+
+    def __init__(self, call: AggregateCall):
+        self.call = call
+        name = call.name.upper()
+        self._counts_rows = call.argument is None  # COUNT(*)
+        if call.distinct:
+            self._kind = "d"
+        elif name in ("SUM", "AVG"):
+            self._kind = "s"
+        elif name in ("MIN", "MAX"):
+            self._kind = "m"
+        else:
+            self._kind = "c"
+        self._max = name == "MAX"
+        self.distinct: set[Any] = set()  # persistent across segments
+        self.count = 0
+        self.pairs: list[tuple[float, Any]] = []
+        self.values: list[Any] = []
+
+    def add(self, timestamp: float, row: Row) -> None:
+        if self._counts_rows:
+            self.count += 1
+            return
+        value = self.call.argument.eval(row)
+        if value is None:
+            return
+        kind = self._kind
+        if kind == "d":
+            if value in self.distinct:
+                return
+            self.distinct.add(value)
+            self.pairs.append((timestamp, value))
+        elif kind == "s":
+            self.pairs.append((timestamp, value))
+        elif kind == "m":
+            self.values.append(value)
+        else:
+            self.count += 1
+
+    def take(self) -> tuple:
+        """Encode and reset the state gathered since the last call.
+
+        Running mode ships *deltas* per punctuation (the merge shard
+        keeps the cumulative accumulators); the DISTINCT seen-set is the
+        one piece that persists, so a value is shipped at most once per
+        shard. Windowed mode builds a fresh item per window scan, so the
+        single ``take`` covers the whole window.
+        """
+        kind = self._kind
+        if kind in ("d", "s"):
+            out = (kind, self.pairs)
+            self.pairs = []
+            return out
+        if kind == "m":
+            if not self.values:
+                return ("m", None)
+            out = ("m", max(self.values) if self._max else min(self.values))
+            self.values = []
+            return out
+        out = ("c", self.count)
+        self.count = 0
+        return out
+
+    def snapshot(self) -> dict:
+        return {
+            "distinct": set(self.distinct),
+            "count": self.count,
+            "pairs": list(self.pairs),
+            "values": list(self.values),
+        }
+
+    def restore(self, state: dict) -> None:
+        self.distinct = set(state["distinct"])
+        self.count = state["count"]
+        self.pairs = list(state["pairs"])
+        self.values = list(state["values"])
+
+
+class PartialAggregateOp(AggregateOp):
+    """Stage 1 of a two-phase (exchanged) aggregation.
+
+    Aggregates its shard's slice of the input but emits encoded
+    :class:`_PartialItem` payloads instead of finalized values, under
+    the partial schema (group keys + one payload column per call).
+    Always interpreted (``input_schema=None``): the fold must see
+    element timestamps, which the generated accumulate loop drops.
+
+    * **Windowed**: window boundaries are absolute slide-grid multiples,
+      identical on every shard, so each closing window's partials are
+      emitted with the boundary timestamp and merge segment-locally.
+    * **Running**: per punctuation, every group touched this segment
+      emits the *delta* since the previous punctuation (the merge shard
+      owns the running totals).
+    """
+
+    def __init__(
+        self,
+        group_by: list[tuple[Expr, str]],
+        aggregates: list[tuple[AggregateCall, str]],
+        output_schema: Schema,
+        downstream: StreamConsumer,
+        window: WindowSpec | None = None,
+    ):
+        super().__init__(
+            group_by, aggregates, output_schema, downstream, window, None
+        )
+        self._pgroups: dict[tuple, list[_PartialItem]] = {}  # running mode
+        self._ptouched: dict[tuple, None] = {}  # keys with deltas, in first-touch order
+
+    # -- running mode ---------------------------------------------------
+    def _running_add(self, element: StreamElement) -> None:
+        key = self._group_key(element.row)
+        items = self._pgroups.get(key)
+        if items is None:
+            items = [_PartialItem(call) for call, _ in self.aggregates]
+            self._pgroups[key] = items
+        self._ptouched[key] = None
+        timestamp = element.timestamp
+        for item in items:
+            item.add(timestamp, element.row)
+
+    def _emit_deltas(self, watermark: float) -> None:
+        if not self._ptouched:
+            return
+        schema = self.output_schema
+        out = [
+            StreamElement(
+                Row(
+                    schema,
+                    list(key) + [item.take() for item in self._pgroups[key]],
+                    validate=False,
+                ),
+                watermark,
+            )
+            for key in self._ptouched
+        ]
+        self._ptouched = {}
+        self.emit_batch(out)
+
+    # -- windowed mode --------------------------------------------------
+    def _close_window(self, start: float, boundary: float) -> None:
+        groups: dict[tuple, list[_PartialItem]] = {}
+        for element in self._buffer:
+            if start < element.timestamp <= boundary:
+                key = self._group_key(element.row)
+                items = groups.get(key)
+                if items is None:
+                    items = [_PartialItem(call) for call, _ in self.aggregates]
+                    groups[key] = items
+                for item in items:
+                    item.add(element.timestamp, element.row)
+        if not groups:
+            return
+        schema = self.output_schema
+        self.emit_batch(
+            [
+                StreamElement(
+                    Row(
+                        schema,
+                        list(key) + [item.take() for item in items],
+                        validate=False,
+                    ),
+                    boundary,
+                )
+                for key, items in groups.items()
+            ]
+        )
+
+    # -- operator protocol ----------------------------------------------
+    def push_batch(self, items: list[StreamItem]) -> None:
+        # The base fast paths fold rows without their timestamps; the
+        # partial fold needs them, so batches dispatch per item.
+        Operator.push_batch(self, items)
+
+    def on_punctuation(self, punctuation: Punctuation) -> None:
+        if self.window is not None and self.window.kind is WindowKind.RANGE:
+            self._emit_windows_until(punctuation.watermark)
+        else:
+            self._emit_deltas(punctuation.watermark)
+        self.downstream.push(punctuation)
+
+    def state_snapshot(self) -> dict:
+        state = Operator.state_snapshot(self)
+        state["buffer"] = list(self._buffer)
+        state["next_boundary"] = self._next_boundary
+        state["pgroups"] = {
+            key: [item.snapshot() for item in items]
+            for key, items in self._pgroups.items()
+        }
+        state["touched"] = list(self._ptouched)
+        return state
+
+    def state_restore(self, state: dict) -> None:
+        Operator.state_restore(self, state)
+        self._buffer = list(state["buffer"])
+        self._next_boundary = state["next_boundary"]
+        pgroups: dict[tuple, list[_PartialItem]] = {}
+        for key, snaps in state["pgroups"].items():
+            items = [_PartialItem(call) for call, _ in self.aggregates]
+            for item, snap in zip(items, snaps):
+                item.restore(snap)
+            pgroups[key] = items
+        self._pgroups = pgroups
+        self._ptouched = dict.fromkeys(state["touched"])
+
+
+def _pair_ts(pair: tuple[float, Any]) -> float:
+    return pair[0]
+
+
+class MergeAggregateOp(Operator):
+    """Stage 2 of a two-phase aggregation: fold shard partials.
+
+    Input rows carry group-key values followed by encoded partial
+    payloads (:meth:`_PartialItem.take`); output restores the original
+    aggregate schema via the plain :class:`_Accumulator` semantics.
+
+    * **Windowed**: every shard closes window *W* within the same
+      punctuation segment (boundaries are absolute slide-grid
+      multiples), so merging is segment-local — group contributions by
+      (boundary, key), fold, emit at the boundary, clear.
+    * **Running**: contributions are per-segment deltas; persistent
+      per-key accumulators fold them, and every punctuation re-emits all
+      groups — the single-engine running-totals contract.
+
+    Timestamped payloads ("s"/"d") from different shards are re-sorted
+    into global arrival order before folding, so float sums reproduce
+    the baseline bit for bit; dedup and extremes commute on their own.
+    """
+
+    def __init__(
+        self,
+        key_count: int,
+        aggregates: list[tuple[AggregateCall, str]],
+        output_schema: Schema,
+        downstream: StreamConsumer,
+        windowed: bool,
+    ):
+        super().__init__(downstream)
+        self._key_count = key_count
+        self.aggregates = aggregates
+        self.output_schema = output_schema
+        self._windowed = windowed
+        # windowed: boundary -> key -> [payload slice per arriving row]
+        self._windows: dict[float, dict[tuple, list]] = {}
+        # running: this segment's deltas, and the cumulative groups
+        self._pending: dict[tuple, list] = {}
+        self._groups: dict[tuple, list[_Accumulator]] = {}
+
+    def _fold_parts(self, accumulators: list[_Accumulator], contributions: list) -> None:
+        for index, accumulator in enumerate(accumulators):
+            pairs: list[tuple[float, Any]] = []
+            for parts in contributions:
+                tag, payload = parts[index]
+                if tag == "c":
+                    accumulator.count += payload
+                elif tag == "m":
+                    if payload is not None:
+                        accumulator.values.append(payload)
+                        accumulator.count += 1
+                else:  # "s" / "d": one shard's (ts, value) run
+                    pairs.extend(payload)
+            if pairs:
+                pairs.sort(key=_pair_ts)
+                add_value = accumulator.add_value
+                for _, value in pairs:
+                    add_value(value)
+
+    def _close_windows(self) -> None:
+        if not self._windows:
+            return
+        schema = self.output_schema
+        for boundary in sorted(self._windows):
+            out = []
+            for key, contributions in self._windows[boundary].items():
+                accumulators = [_Accumulator(call) for call, _ in self.aggregates]
+                self._fold_parts(accumulators, contributions)
+                out.append(
+                    StreamElement(
+                        Row(
+                            schema,
+                            list(key) + [a.result() for a in accumulators],
+                            validate=False,
+                        ),
+                        boundary,
+                    )
+                )
+            self.emit_batch(out)
+        self._windows = {}
+
+    def _merge_running(self, watermark: float) -> None:
+        for key, contributions in self._pending.items():
+            accumulators = self._groups.get(key)
+            if accumulators is None:
+                accumulators = [_Accumulator(call) for call, _ in self.aggregates]
+                self._groups[key] = accumulators
+            self._fold_parts(accumulators, contributions)
+        self._pending = {}
+        if not self._groups:
+            return
+        schema = self.output_schema
+        self.emit_batch(
+            [
+                StreamElement(
+                    Row(
+                        schema,
+                        list(key) + [a.result() for a in accumulators],
+                        validate=False,
+                    ),
+                    watermark,
+                )
+                for key, accumulators in self._groups.items()
+            ]
+        )
+
+    def on_element(self, element: StreamElement) -> None:
+        values = element.row.values
+        key = tuple(values[: self._key_count])
+        parts = values[self._key_count :]
+        if self._windowed:
+            bucket = self._windows.setdefault(element.timestamp, {})
+            bucket.setdefault(key, []).append(parts)
+        else:
+            self._pending.setdefault(key, []).append(parts)
+
+    def on_punctuation(self, punctuation: Punctuation) -> None:
+        if self._windowed:
+            self._close_windows()
+        else:
+            self._merge_running(punctuation.watermark)
+        self.downstream.push(punctuation)
+
+    def state_snapshot(self) -> dict:
+        state = super().state_snapshot()
+        # Payload tuples are handed off by _PartialItem.take and never
+        # mutated afterwards, so contribution lists copy shallowly.
+        state["windows"] = {
+            boundary: {key: list(c) for key, c in groups.items()}
+            for boundary, groups in self._windows.items()
+        }
+        state["pending"] = {key: list(c) for key, c in self._pending.items()}
+        state["groups"] = {
+            key: [a.clone() for a in accumulators]
+            for key, accumulators in self._groups.items()
+        }
+        return state
+
+    def state_restore(self, state: dict) -> None:
+        super().state_restore(state)
+        self._windows = {
+            boundary: {key: list(c) for key, c in groups.items()}
+            for boundary, groups in state["windows"].items()
+        }
+        self._pending = {key: list(c) for key, c in state["pending"].items()}
+        self._groups = {
+            key: [a.clone() for a in accumulators]
+            for key, accumulators in state["groups"].items()
+        }
 
 
 class DistinctOp(Operator):

@@ -49,6 +49,16 @@ from typing import Mapping
 from repro.catalog import SourceKind
 from repro.data.schema import Schema
 from repro.data.windows import WindowKind
+from repro.plan.exchange import (
+    ExchangeRecipe,
+    ExchangeSource,
+    ExchangeSpec,
+    MergeAggregate,
+    PartialAggregate,
+    PStrategy,
+    exchange_name,
+    replace_node,
+)
 from repro.plan.logical import (
     Aggregate,
     Distinct,
@@ -88,6 +98,11 @@ class PartitionAnalysis:
     #: Stable diagnostic code (``RA300`` safe; ``RA3xx`` fallback
     #: reasons — see :mod:`repro.analysis.diagnostics`).
     code: str = "RA300"
+    #: For unsafe plans: the repartition recipe that still runs them on
+    #: the whole pool (None when no exchange strategy applies and the
+    #: plan genuinely falls back). Built with a zero token — executors
+    #: rebuild it with their query id via :func:`build_exchange`.
+    exchange: "ExchangeRecipe | None" = None
 
 
 @dataclass(frozen=True)
@@ -103,11 +118,13 @@ class _Part:
 
 
 class _Unsafe(Exception):
-    """Internal control flow: carries the coded, human-readable reason."""
+    """Internal control flow: carries the coded, human-readable reason
+    plus the offending plan node — the exchange planner pivots there."""
 
-    def __init__(self, code: str, reason: str):
+    def __init__(self, code: str, reason: str, node: LogicalOp | None = None):
         self.code = code
         self.reason = reason
+        self.node = node
         super().__init__(reason)
 
 
@@ -124,7 +141,12 @@ def partition_safe(
     try:
         part = _analyze(plan, keys)
     except _Unsafe as verdict:
-        return PartitionAnalysis(False, verdict.reason, code=verdict.code)
+        return PartitionAnalysis(
+            False,
+            verdict.reason,
+            code=verdict.code,
+            exchange=_recipe_for(plan, keys, verdict, token=0),
+        )
     if part.replicated:
         return PartitionAnalysis(
             False,
@@ -155,11 +177,19 @@ def _analyze(node: LogicalOp, keys: Mapping[str, str]) -> _Part:
     if isinstance(node, Scan):
         return _analyze_scan(node, keys)
     if isinstance(node, RemoteSource):
-        # A fragment feed has no declared key — the pool round-robins
-        # its rows across shards — so it behaves like a keyless stream:
+        # A remote feed carries whatever key it declares: the federated
+        # optimizer stamps a fragment's GROUP BY / join-site key on its
+        # RemoteSource, and exchange feeds stamp their shuffle key. An
+        # undeclared (or unresolvable) key leaves the feed keyless —
         # row-local chains above it stay partition-parallel, anything
-        # needing co-located rows (joins, aggregates, DISTINCT) finds
-        # no key positions here and falls back.
+        # needing co-located rows finds no key positions and falls back
+        # (or repartitions via an exchange).
+        if node.partition_by:
+            positions = [_resolve(node.schema, name) for name in node.partition_by]
+            if all(pos is not None for pos in positions):
+                return _Part(
+                    key_positions=frozenset(positions), partitioned=True
+                )
         return _Part(partitioned=True)
     if isinstance(node, (Select, Output)):
         # Row-local: partitioning state flows through untouched.
@@ -176,6 +206,7 @@ def _analyze(node: LogicalOp, keys: Mapping[str, str]) -> _Part:
             raise _Unsafe(
                 "RA306",
                 "DISTINCT without the partition key would deduplicate per shard only",
+                node,
             )
         return child
     if isinstance(node, OrderBy):
@@ -238,6 +269,7 @@ def _analyze_aggregate(node: Aggregate, keys: Mapping[str, str]) -> _Part:
             "RA308",
             "aggregate input does not carry the partition key "
             "(round-robin source or key projected away)",
+            node,
         )
     covered: set[int] = set()
     for key_pos, expr in enumerate(node.group_by):
@@ -252,6 +284,7 @@ def _analyze_aggregate(node: Aggregate, keys: Mapping[str, str]) -> _Part:
             "RA309",
             "GROUP BY keys do not cover the partition key; "
             "groups would straddle shards",
+            node,
         )
     return _Part(key_positions=frozenset(covered), partitioned=True)
 
@@ -294,8 +327,249 @@ def _analyze_join(node: Join, keys: Mapping[str, str]) -> _Part:
         raise _Unsafe(
             "RA310",
             "join predicate does not align the two sides' partition keys",
+            node,
         )
     merged = frozenset(left.key_positions) | frozenset(
         pos + offset for pos in right.key_positions
     )
     return _Part(key_positions=merged, partitioned=True)
+
+
+# ----------------------------------------------------------------------
+# Exchange planning: repartition recipes for unsafe plans
+# ----------------------------------------------------------------------
+def build_exchange(
+    plan: LogicalOp, keys: Mapping[str, str], token: int = 0
+) -> ExchangeRecipe | None:
+    """Plan a mid-plan repartition that runs ``plan`` on the whole pool.
+
+    Returns None for safe plans and for unsafe shapes no exchange
+    helps (ORDER BY / LIMIT / ROWS windows — those need the global feed
+    and legitimately fall back). ``token`` (the pool query id) keys the
+    exchange port names, so the recipe is reproducible anywhere the
+    same (plan, keys, token) are known — process workers rebuild it
+    from shipped SQL text.
+    """
+    try:
+        _analyze(plan, keys)
+        return None
+    except _Unsafe as verdict:
+        return _recipe_for(plan, keys, verdict, token)
+
+
+def _recipe_for(
+    plan: LogicalOp, keys: Mapping[str, str], verdict: _Unsafe, token: int
+) -> ExchangeRecipe | None:
+    node = verdict.node
+    if verdict.code in ("RA308", "RA309") and isinstance(node, Aggregate):
+        return _aggregate_recipe(plan, node, keys, token)
+    if verdict.code == "RA310" and isinstance(node, Join):
+        return _join_recipe(plan, node, keys, token)
+    if verdict.code == "RA306" and isinstance(node, Distinct):
+        return _distinct_recipe(plan, node, keys, token)
+    return None
+
+
+def _stage2_distributed(stage2: LogicalOp, keys: Mapping[str, str]) -> bool:
+    """True when the rewritten plan proves partition-safe over its
+    exchange feeds, so stage 2 may run one replica per shard with keyed
+    routing; False degrades to a single merge shard (stage 1 still
+    parallelizes, stage 2 sees the full shuffled feed on shard 0)."""
+    try:
+        part = _analyze(stage2, keys)
+    except _Unsafe:
+        return False
+    return part.partitioned and not part.replicated
+
+
+def _transport_notes(
+    plan: LogicalOp, keys: Mapping[str, str]
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """(replicated tables broadcast to every shard, keyless stream
+    sources round-robining into stage 1) — diagnostics facts."""
+    tables: set[str] = set()
+    keyless: set[str] = set()
+    for n in plan.walk():
+        if isinstance(n, Scan):
+            if n.entry.kind is SourceKind.TABLE:
+                tables.add(n.entry.name)
+            elif n.entry.name.lower() not in keys:
+                keyless.add(n.entry.name)
+    return tuple(sorted(tables)), tuple(sorted(keyless))
+
+
+def _aggregate_recipe(
+    plan: LogicalOp, agg: Aggregate, keys: Mapping[str, str], token: int
+) -> ExchangeRecipe:
+    """Two-phase aggregation: per-shard partials shuffled by group key
+    (or gathered to one merge shard for global aggregates)."""
+    partial = PartialAggregate(agg)
+    key_count = len(agg.group_by)
+    key_names = tuple(partial.schema.names[:key_count])
+    source = ExchangeSource(
+        exchange_name(token, 0),
+        partial.schema,
+        origin=partial,
+        partition_by=key_names,
+        ordinal=0,
+    )
+    merge = MergeAggregate(agg, source)
+    stage2 = replace_node(plan, agg, merge)
+    distributed = _stage2_distributed(stage2, keys)
+    spec = ExchangeSpec(
+        ordinal=0,
+        strategy=PStrategy.SHUFFLE_BY_KEY,
+        stage1=partial,
+        source=source,
+        key_positions=tuple(range(key_count)) if distributed else (),
+        label="Aggregate",
+    )
+    if distributed:
+        # The user-facing note names the GROUP BY expressions as written
+        # (key_names above are the partial schema's synthesized labels).
+        display = tuple(e.render() for e in agg.group_by) or key_names
+        note = (
+            "two-phase aggregation: shard partials shuffled by "
+            f"({', '.join(display)}), merged on the owning shard"
+        )
+    elif key_names:
+        note = (
+            "two-phase aggregation: shard partials gathered to one "
+            "merge shard"
+        )
+    else:
+        note = (
+            "two-phase global aggregation: shard partials gathered to "
+            "one merge shard"
+        )
+    tables, keyless = _transport_notes(plan, keys)
+    return ExchangeRecipe(
+        code="RA321",
+        note=note,
+        specs=(spec,),
+        stage2=stage2,
+        distributed=distributed,
+        broadcasts=tables,
+        round_robin=keyless,
+    )
+
+
+def _join_recipe(
+    plan: LogicalOp, join: Join, keys: Mapping[str, str], token: int
+) -> ExchangeRecipe | None:
+    """Hash-shuffle both join inputs on an equi-key so matching rows
+    meet on one shard. None when the predicate has no equi conjunct
+    (a theta/cross join needs the full cross feed)."""
+    chosen: tuple[int, int] | None = None
+    for conjunct in split_conjuncts(join.predicate):
+        pair = is_equijoin_conjunct(conjunct)
+        if pair is None:
+            continue
+        for a, b in (pair, tuple(reversed(pair))):
+            a_pos = _resolve(join.left.schema, a)
+            b_pos = _resolve(join.right.schema, b)
+            if a_pos is not None and b_pos is not None:
+                chosen = (a_pos, b_pos)
+                break
+        if chosen is not None:
+            break
+    if chosen is None:
+        return None
+    a_pos, b_pos = chosen
+    left_key = join.left.schema.names[a_pos]
+    right_key = join.right.schema.names[b_pos]
+    left_source = ExchangeSource(
+        exchange_name(token, 0),
+        join.left.schema,
+        origin=join.left,
+        partition_by=(left_key,),
+        ordinal=0,
+    )
+    right_source = ExchangeSource(
+        exchange_name(token, 1),
+        join.right.schema,
+        origin=join.right,
+        partition_by=(right_key,),
+        ordinal=1,
+    )
+    stage2 = replace_node(
+        plan, join, Join(left_source, right_source, join.predicate)
+    )
+    distributed = _stage2_distributed(stage2, keys)
+    specs = (
+        ExchangeSpec(
+            ordinal=0,
+            strategy=PStrategy.SHUFFLE_BY_KEY,
+            stage1=join.left,
+            source=left_source,
+            key_positions=(a_pos,) if distributed else (),
+            label="Join.left",
+        ),
+        ExchangeSpec(
+            ordinal=1,
+            strategy=PStrategy.SHUFFLE_BY_KEY,
+            stage1=join.right,
+            source=right_source,
+            key_positions=(b_pos,) if distributed else (),
+            label="Join.right",
+        ),
+    )
+    tables, keyless = _transport_notes(plan, keys)
+    return ExchangeRecipe(
+        code="RA320",
+        note=(
+            f"join inputs hash-shuffled on {left_key} = {right_key}; "
+            + (
+                "co-partitioned join runs on every shard"
+                if distributed
+                else "joined on one merge shard"
+            )
+        ),
+        specs=specs,
+        stage2=stage2,
+        distributed=distributed,
+        broadcasts=tables,
+        round_robin=keyless,
+    )
+
+
+def _distinct_recipe(
+    plan: LogicalOp, node: Distinct, keys: Mapping[str, str], token: int
+) -> ExchangeRecipe:
+    """Shuffle the DISTINCT input by whole-row hash: every duplicate
+    lands on one shard, so per-shard dedup is global dedup."""
+    child = node.child
+    source = ExchangeSource(
+        exchange_name(token, 0),
+        child.schema,
+        origin=child,
+        partition_by=tuple(child.schema.names),
+        ordinal=0,
+    )
+    stage2 = replace_node(plan, node, Distinct(source))
+    distributed = _stage2_distributed(stage2, keys)
+    spec = ExchangeSpec(
+        ordinal=0,
+        strategy=PStrategy.SHUFFLE_BY_KEY,
+        stage1=child,
+        source=source,
+        key_positions=tuple(range(len(child.schema))) if distributed else (),
+        label="Distinct",
+    )
+    tables, keyless = _transport_notes(plan, keys)
+    return ExchangeRecipe(
+        code="RA322",
+        note=(
+            "DISTINCT rows hash-shuffled by the full row; "
+            + (
+                "each shard deduplicates its hash range"
+                if distributed
+                else "deduplicated on one merge shard"
+            )
+        ),
+        specs=(spec,),
+        stage2=stage2,
+        distributed=distributed,
+        broadcasts=tables,
+        round_robin=keyless,
+    )

@@ -87,10 +87,11 @@ from repro.stream.checkpoint import (
 )
 from repro.stream.compiler import DEFAULT_STREAM_WINDOW
 from repro.stream.engine import QueryHandle, StreamEngine
-from repro.stream.partition import partition_safe
+from repro.stream.partition import build_exchange, partition_safe
 from repro.stream.sharded import (
     ShardedQueryHandle,
     ShardedStreamEngine,
+    _ExchangeState,
     _MergeCoordinator,
     _pool_query_ids,
     _ShardFeed,
@@ -391,6 +392,27 @@ def _take_emissions(queries: dict[int, QueryHandle]) -> list[tuple]:
     return payload
 
 
+def _ship_xdeposits(outq, xstage1: dict[int, list]) -> None:
+    """Ship pending stage-1 exchange emissions as one ``("xout", ...)``
+    frame: ``(query_id, ordinal, values, stamps)`` runs in emission
+    order. The parent routes them into the query's shuffle buffers;
+    punctuations are dropped (exchange watermarks travel through the
+    pool's barrier, not through stage-1 pipelines)."""
+    payload = []
+    for qid, handles in xstage1.items():
+        for ordinal, handle in enumerate(handles):
+            values: list[tuple] = []
+            stamps: list[float] = []
+            for item in handle.sink.take():
+                if item[0] == "e":
+                    values += item[2]
+                    stamps += item[3]
+            if values:
+                payload.append((qid, ordinal, values, stamps))
+    if payload:
+        outq.put(("xout", _pack(payload)))
+
+
 def _ship_emissions(outq, queries: dict[int, QueryHandle]) -> None:
     # One frame for all queries' pending emissions: every put costs a
     # pickle, a feeder-thread wakeup and a pipe write, so per-query
@@ -418,6 +440,11 @@ def _worker_main(index, inq, outq, share_plans, default_window, prefetch) -> Non
     builder = PlanBuilder(catalog)
     engine = StreamEngine(catalog, None, default_window, share_plans)
     queries: dict[int, QueryHandle] = {}
+    #: Exchanged queries' stage-1 replicas, per pool query id. Their
+    #: emissions ship as ("xout", ...) deposit frames, never as query
+    #: output; the stage-2 replica (when this worker hosts one) lives
+    #: in ``queries`` under the same id, so its output merges normally.
+    xstage1: dict[int, list[QueryHandle]] = {}
     running = True
     while running:
         frames = [inq.get()]
@@ -436,6 +463,10 @@ def _worker_main(index, inq, outq, share_plans, default_window, prefetch) -> Non
                     for src, vals, stmps in _unpack(frame[4]):
                         engine.push_values(src, vals, stmps)
                     engine.punctuate(frame[2], frame[3])
+                    # Deposits must land before the ack: the parent's
+                    # shuffle barrier flushes them right after (queue
+                    # FIFO makes the xout frame arrive first).
+                    _ship_xdeposits(outq, xstage1)
                     if frame[1] is not None:
                         # Emissions ride inside the ack — the parent is
                         # already blocked on this frame.
@@ -449,6 +480,36 @@ def _worker_main(index, inq, outq, share_plans, default_window, prefetch) -> Non
                     plan = builder.build_sql(frame[2])
                     handle = engine.execute(plan, sink=_FrameSink(), share=frame[3])
                     queries[frame[1]] = handle
+                elif kind == "xexec":
+                    # (xexec, qid, sql, partition_keys, host_stage2):
+                    # rebuild the exchange recipe locally — same SQL,
+                    # same keys and same token give the identical
+                    # stage-1/stage-2 split and port names the parent
+                    # computed.
+                    plan = builder.build_sql(frame[2])
+                    recipe = build_exchange(plan, frame[3], token=frame[1])
+                    xstage1[frame[1]] = [
+                        engine.execute(spec.stage1, sink=_FrameSink(), share=False)
+                        for spec in recipe.specs
+                    ]
+                    if frame[4]:
+                        queries[frame[1]] = engine.execute(
+                            recipe.stage2, sink=_FrameSink(), share=False
+                        )
+                elif kind == "xdel":
+                    # (xdel, seq, deliveries, punctuations): the shuffle
+                    # barrier's round 2 — exchanged rows land on their
+                    # owning shard, then the exchange ports advance.
+                    for name, vals, stmps in _unpack(frame[2]):
+                        engine.push_exchange(name, vals, stmps)
+                    for wm, xnames in frame[3]:
+                        engine.punctuate(wm, list(xnames))
+                    _ship_xdeposits(outq, xstage1)
+                    if frame[1] is not None:
+                        outq.put(
+                            ("xdel_ack", frame[1],
+                             _pack(_take_emissions(queries)))
+                        )
                 elif kind == "table":
                     schema = catalog.source(frame[1]).schema
                     engine.load_table(
@@ -473,8 +534,17 @@ def _worker_main(index, inq, outq, share_plans, default_window, prefetch) -> Non
                 elif kind == "restore":
                     engine.subplans.restore_chains(frame[2])
                     for wq_id, states in frame[1].items():
-                        restore_operators(queries[wq_id], states)
+                        if wq_id in xstage1:
+                            # Exchanged payload: {"s1": [per-ordinal
+                            # op states], "s2": op states or None}.
+                            for ordinal, h in enumerate(xstage1[wq_id]):
+                                restore_operators(h, states["s1"][ordinal])
+                            if states["s2"] is not None and wq_id in queries:
+                                restore_operators(queries[wq_id], states["s2"])
+                        else:
+                            restore_operators(queries[wq_id], states)
                 elif kind == "checkpoint":
+                    _ship_xdeposits(outq, xstage1)
                     _ship_emissions(outq, queries)
                     payload = {
                         wq_id: (
@@ -482,26 +552,49 @@ def _worker_main(index, inq, outq, share_plans, default_window, prefetch) -> Non
                             handle.shared,
                         )
                         for wq_id, handle in queries.items()
+                        if wq_id not in xstage1
                     }
+                    for wq_id, handles in xstage1.items():
+                        stage2 = queries.get(wq_id)
+                        payload[wq_id] = (
+                            {
+                                "s1": [
+                                    [op.state_snapshot()
+                                     for op in h.compiled.operators]
+                                    for h in handles
+                                ],
+                                "s2": (
+                                    [op.state_snapshot()
+                                     for op in stage2.compiled.operators]
+                                    if stage2 is not None
+                                    else None
+                                ),
+                            },
+                            False,
+                        )
                     outq.put(
                         ("cp", frame[1], payload, engine.subplans.snapshot_chains())
                     )
                 elif kind == "stats":
                     outq.put(("stats_reply", frame[1], engine.sharing_stats()))
                 elif kind == "sync":
+                    _ship_xdeposits(outq, xstage1)
                     _ship_emissions(outq, queries)
                     outq.put(("sync_ack", frame[1]))
                 elif kind == "stop":
                     handle = queries.pop(frame[1], None)
                     if handle is not None:
                         engine.stop(handle)
-                    if not queries:
+                    for h in xstage1.pop(frame[1], []):
+                        engine.stop(h)
+                    if not queries and not xstage1:
                         gc.collect()  # stopped plans drop cyclic graphs
                 elif kind == "shutdown":
                     running = False
                     break
             except Exception:
                 outq.put(("error", traceback.format_exc()))
+        _ship_xdeposits(outq, xstage1)
         _ship_emissions(outq, queries)
 
 
@@ -546,9 +639,24 @@ class ProcessShardEngine(ShardedStreamEngine):
         self._workers: list[_Worker] = [
             self._spawn_worker(index) for index in range(shards)
         ]
-        self._feeds: dict[int, list[_ShardFeed]] = {}
+        #: Per query id: a list of per-worker _ShardFeeds (safe plans)
+        #: or a {dest worker -> _ShardFeed} dict (exchanged plans).
+        self._feeds: dict[int, Any] = {}
         self._wsql: dict[int, str] = {}
         self._sub_counts: dict[str, int] = {}
+        #: Exchanged-query bookkeeping: subscription names per query,
+        #: plus recovery dedup state applied when ("xout", ...) deposit
+        #: frames arrive — (qid, worker) pairs muted during a restore's
+        #: re-execute, and (qid, ordinal, worker) -> rows still to skip.
+        self._xsubs: dict[int, list[str]] = {}
+        self._xmuted: set[tuple[int, int]] = set()
+        self._xskips: dict[tuple[int, int, int], int] = {}
+        #: Set while the shuffle barrier's delivery round is in flight:
+        #: a worker recovered inside that window must replay the
+        #: current watermark's punctuation too (round 1 already ran and
+        #: its record is not in the log yet), so its re-derived
+        #: emission sequence lines up with the armed skips.
+        self._mid_barrier: tuple[float, list[str] | None] | None = None
         self._seqs = itertools.count(1)
         self._reqs = itertools.count(1)
         self._last_sweep = 0.0
@@ -690,6 +798,8 @@ class ProcessShardEngine(ShardedStreamEngine):
                 except WorkerDied:
                     self._recover_worker(index)
             return handle
+        if analysis.exchange is not None and sql is not None and self._workers:
+            return self._execute_exchanged_remote(plan, analysis, sink, sql)
         fallback = self._fallback.execute(plan, sink=sink)
         handle = ShardedQueryHandle(
             next(_pool_query_ids),
@@ -704,6 +814,75 @@ class ProcessShardEngine(ShardedStreamEngine):
         self._handles[handle.query_id] = handle
         return handle
 
+    def _execute_exchanged_remote(
+        self,
+        plan: LogicalOp,
+        analysis,
+        sink: CollectingConsumer | None,
+        sql: str,
+    ) -> ShardedQueryHandle:
+        """Start a partition-unsafe query across the worker processes:
+        every worker runs the stage-1 replicas (shipping their output
+        as deposit frames), destination workers run the stage-2 merge,
+        and the parent owns the shuffle buffers and routing — the
+        process-boundary mirror of
+        ``ShardedStreamEngine._execute_exchanged``."""
+        query_id = next(_pool_query_ids)
+        recipe = build_exchange(plan, self._keys, token=query_id)
+        assert recipe is not None  # analysis.exchange proved one exists
+        if sink is None:
+            sink = CollectingConsumer()
+        self._register_remote_keys(plan)
+        shards = len(self._workers)
+        dests = list(range(shards)) if recipe.distributed else [0]
+        state = _ExchangeState(recipe, dests)
+        coordinator = _MergeCoordinator(sink, len(dests))
+        # Reference pipeline over stage 2 (the plan whose output is the
+        # query's): stats shape and result schema, never fed directly.
+        compiled = self._fallback._compiler.compile(
+            recipe.stage2, CollectingConsumer()
+        )
+        feeds = {
+            dest: _ShardFeed(coordinator, j) for j, dest in enumerate(dests)
+        }
+        inner = [
+            QueryHandle(query_id, plan, compiled, feeds[dest], None)
+            for dest in dests
+        ]
+        handle = ShardedQueryHandle(
+            query_id,
+            plan,
+            compiled,
+            sink,
+            self,
+            inner=inner,
+            partitioned=True,
+            analysis=analysis,
+            coordinator=coordinator,
+            exchanged=True,
+            exchange=state,
+        )
+        self._handles[query_id] = handle
+        self._feeds[query_id] = feeds
+        self._wsql[query_id] = sql
+        subs = sorted({name for names in state.sources for name in names})
+        self._xsubs[query_id] = subs
+        for name in subs:
+            self._sub_counts[name] = self._sub_counts.get(name, 0) + 1
+        for index in range(shards):
+            worker = self._workers[index]
+            if not worker.alive:
+                self._recover_worker(index)
+                continue
+            try:
+                self._sync_catalog_to(worker)
+                worker.put(
+                    ("xexec", query_id, sql, dict(self._keys), index in dests)
+                )
+            except WorkerDied:
+                self._recover_worker(index)
+        return handle
+
     def stop(self, handle: QueryHandle) -> None:
         tracked = self._handles.pop(handle.query_id, None)
         if tracked is None:
@@ -715,8 +894,15 @@ class ProcessShardEngine(ShardedStreamEngine):
                     inner.engine.stop(inner)
             return
         self._wsql.pop(tracked.query_id, None)
-        for port in tracked.compiled.ports:
-            name = port.source_name.lower()
+        xsubs = self._xsubs.pop(tracked.query_id, None)
+        if xsubs is not None:
+            names = xsubs
+            self._xmuted = {m for m in self._xmuted if m[0] != tracked.query_id}
+            for key in [k for k in self._xskips if k[0] == tracked.query_id]:
+                del self._xskips[key]
+        else:
+            names = [port.source_name.lower() for port in tracked.compiled.ports]
+        for name in names:
             count = self._sub_counts.get(name, 0) - 1
             if count > 0:
                 self._sub_counts[name] = count
@@ -861,9 +1047,104 @@ class ProcessShardEngine(ShardedStreamEngine):
                 self._send_punct(index, seq, watermark, sources)
             for index in range(len(self._workers)):
                 self._await_punct_ack(index, seq, watermark, sources)
+            # Round 2: every worker's stage-1 deposits are in (they ride
+            # ahead of the acks), so the shuffle buffers flush to their
+            # destination workers and the exchange ports advance.
+            self._deliver_exchanges_remote(watermark, sources)
         self._fallback.punctuate(watermark, sources)
         if self.checkpointer is not None:
             self.checkpointer.on_punctuation(watermark, sources)
+
+    def _deliver_exchanges_remote(
+        self, watermark: float, sources: list[str] | None
+    ) -> None:
+        """The shuffle barrier's delivery round over the worker pool."""
+        exchanged = [h for h in self._handles.values() if h.exchanged]
+        if not exchanged:
+            return
+        named = {s.lower() for s in sources} if sources is not None else None
+        deliveries: dict[int, list] = {}
+        puncts: dict[int, list] = {}
+        records: list[tuple] = []
+        for handle in exchanged:
+            state = handle.exchange
+            if named is None:
+                xnames = list(state.names)
+            else:
+                xnames = [
+                    state.names[i]
+                    for i, srcs in enumerate(state.sources)
+                    if srcs & named
+                ]
+                if not xnames:
+                    continue
+            for dest in state.dests:
+                runs = state.flush(dest)
+                if runs:
+                    named_runs = [
+                        (state.names[ordinal], values, stamps)
+                        for ordinal, values, stamps in runs
+                    ]
+                    deliveries.setdefault(dest, []).extend(named_runs)
+                    records.append(("xdeliver", dest, named_runs))
+                puncts.setdefault(dest, []).append((watermark, xnames))
+                records.append(("xpunct", dest, watermark, xnames))
+        if not puncts:
+            return
+        # A worker death inside this round recovers against a log that
+        # does not yet hold this segment's records (they append after
+        # the acks, like the punctuation's own record): recovery replays
+        # the current watermark too (``_mid_barrier``) and the frame is
+        # re-sent, so nothing is delivered twice or lost.
+        self._mid_barrier = (watermark, sources)
+        try:
+            seq = next(self._seqs)
+            targets = sorted(puncts)
+            for dest in targets:
+                self._send_xdel(dest, seq, deliveries.get(dest, []), puncts[dest])
+            for dest in targets:
+                self._await_xdel_ack(dest, seq, deliveries, puncts)
+        finally:
+            self._mid_barrier = None
+        checkpointer = self.checkpointer
+        if checkpointer is not None:
+            for record in records:
+                checkpointer.record(record)
+
+    def _send_xdel(
+        self, index: int, seq: int | None, deliveries: list, puncts: list
+    ) -> None:
+        while True:
+            worker = self._workers[index]
+            try:
+                worker.put(("xdel", seq, _pack(deliveries), puncts))
+                return
+            except WorkerDied:
+                self._recover_worker(index)
+
+    def _await_xdel_ack(
+        self, index: int, seq: int, deliveries: dict, puncts: dict
+    ) -> None:
+        while True:
+            worker = self._workers[index]
+            try:
+                frame = worker.outq.get(timeout=0.25)
+            except queue.Empty:
+                if not worker.process.is_alive():
+                    self._recover_worker(index)
+                    self._send_xdel(
+                        index, seq, deliveries.get(index, []), puncts[index]
+                    )
+                continue
+            except (EOFError, OSError):
+                self._recover_worker(index)
+                self._send_xdel(
+                    index, seq, deliveries.get(index, []), puncts[index]
+                )
+                continue
+            if not self._on_frame(index, frame):
+                if frame[0] == "xdel_ack" and frame[1] == seq:
+                    return
 
     # ------------------------------------------------------------------
     # Tables
@@ -927,7 +1208,26 @@ class ProcessShardEngine(ShardedStreamEngine):
             sink_puncts = (
                 len(sink.punctuations) if isinstance(sink, CollectingConsumer) else 0
             )
-            if handle.partitioned:
+            if handle.exchanged:
+                empty = {
+                    "s1": [[] for _ in handle.exchange.recipe.specs],
+                    "s2": None,
+                }
+                replicas = [
+                    payload.get(query_id, (empty, False))[0]
+                    for payload in worker_payloads
+                ]
+                handles[query_id] = HandleCheckpoint(
+                    plan=handle.plan,
+                    partitioned=True,
+                    replicas=replicas,
+                    merge_counts=list(handle.coordinator.counts),
+                    sink_len=sink_len,
+                    sink_punct_len=sink_puncts,
+                    shared=[False] * len(worker_payloads),
+                    exchange=handle.exchange.snapshot(),
+                )
+            elif handle.partitioned:
                 replicas: list[list[dict]] = []
                 shared: list[bool] = []
                 for payload in worker_payloads:
@@ -1035,6 +1335,40 @@ class ProcessShardEngine(ShardedStreamEngine):
                 if checkpoint is not None
                 else None
             )
+            if handle.exchanged:
+                state = handle.exchange
+                # Unflushed rows from the dead worker re-derive during
+                # replay; already-flushed ones are skipped below.
+                state.drop_src(index)
+                barrier_flushed = (
+                    handle_cp.exchange["flushed"]
+                    if handle_cp is not None and handle_cp.exchange
+                    else {}
+                )
+                self._xmuted.add((handle.query_id, index))
+                for ordinal in range(len(state.recipe.specs)):
+                    xskip = state.flushed.get(
+                        (ordinal, index), 0
+                    ) - barrier_flushed.get((ordinal, index), 0)
+                    if xskip > 0:
+                        self._xskips[(handle.query_id, ordinal, index)] = xskip
+                feed = None
+                skip = 0
+                if index in state.dests:
+                    j = state.dests.index(index)
+                    barrier_count = (
+                        handle_cp.merge_counts[j] if handle_cp is not None else 0
+                    )
+                    skip = handle.coordinator.forwarded(j) - barrier_count
+                    feed = _ShardFeed(handle.coordinator, j)
+                    feed.mute()
+                    self._feeds[handle.query_id][index] = feed
+                fresh.put(
+                    ("xexec", handle.query_id, self._wsql[handle.query_id],
+                     dict(self._keys), index in state.dests)
+                )
+                restored.append((handle, handle_cp, feed, skip))
+                continue
             barrier_count = (
                 handle_cp.merge_counts[index] if handle_cp is not None else 0
             )
@@ -1063,10 +1397,22 @@ class ProcessShardEngine(ShardedStreamEngine):
             fresh.put(("restore", states, chains))
         # Barrier 1: table-replay emissions land in the muted feeds.
         self._sync_worker(index)
-        for _handle, _handle_cp, feed, skip in restored:
-            feed.arm(skip)
+        for handle, _handle_cp, feed, skip in restored:
+            if feed is not None:
+                feed.arm(skip)
+            if handle.exchanged:
+                self._xmuted.discard((handle.query_id, index))
         from_seq = checkpoint.log_seq if checkpoint is not None else 0
         replayed = self._replay_to_worker(fresh, coordinator.log.suffix(from_seq), index)
+        if self._mid_barrier is not None:
+            # Death inside the shuffle-barrier delivery round: round 1
+            # already punctuated this worker but its record lands in the
+            # log only after the round completes. Replay it here so the
+            # re-derived emission sequence covers everything the armed
+            # skips count (the duplicate punctuation itself is absorbed
+            # by the coordinator's monotonic merge).
+            watermark, wm_sources = self._mid_barrier
+            fresh.put(("punct", None, watermark, wm_sources, []))
         # Barrier 2: replayed emissions flow through the armed skip dedup.
         self._sync_worker(index)
         coordinator.note_replay(index, from_seq, replayed)
@@ -1082,6 +1428,14 @@ class ProcessShardEngine(ShardedStreamEngine):
             if kind == "punct":
                 worker.put(("punct", None, entry[2], entry[3], []))
                 replayed += 1
+            elif kind == "xdeliver":
+                if key == index:
+                    worker.put(("xdel", None, entry[2], []))
+                    replayed += 1
+            elif kind == "xpunct":
+                if key == index:
+                    worker.put(("xdel", None, [], [(entry[2], entry[3])]))
+                    replayed += 1
             elif kind == "table":
                 schema = self._catalog.source(entry[2]).schema
                 values = [
@@ -1256,6 +1610,10 @@ class ProcessShardEngine(ShardedStreamEngine):
             for wq_id, items in _unpack(frame[1]):
                 self._deliver_out(index, wq_id, items)
             return True
+        if kind == "xout":
+            for qid, ordinal, values, stamps in _unpack(frame[1]):
+                self._deposit_exchange(index, qid, ordinal, values, stamps)
+            return True
         if kind == "error":
             raise ExecutionError(f"shard worker {index} failed:\n{frame[1]}")
         if kind == "punct_ack":
@@ -1263,13 +1621,49 @@ class ProcessShardEngine(ShardedStreamEngine):
             # drain path sees them, then let the waiter match the seq.
             for wq_id, items in _unpack(frame[3]):
                 self._deliver_out(index, wq_id, items)
+        elif kind == "xdel_ack":
+            for wq_id, items in _unpack(frame[2]):
+                self._deliver_out(index, wq_id, items)
         return False
+
+    def _deposit_exchange(
+        self, index: int, query_id: int, ordinal: int,
+        values: list[tuple], stamps: list[float],
+    ) -> None:
+        """Route one worker's stage-1 emission run into the query's
+        shuffle buffers, applying recovery dedup: muted workers are
+        mid-restore (their emissions re-derive pre-barrier output) and
+        armed skips drop re-derivations of already-flushed rows."""
+        handle = self._handles.get(query_id)
+        if handle is None or not handle.exchanged:
+            return  # query stopped while deposits were in flight
+        if (query_id, index) in self._xmuted:
+            return
+        key = (query_id, ordinal, index)
+        skip = self._xskips.get(key, 0)
+        if skip > 0:
+            drop = min(skip, len(values))
+            if drop < skip:
+                self._xskips[key] = skip - drop
+            else:
+                del self._xskips[key]
+            values = values[drop:]
+            stamps = stamps[drop:]
+            if not values:
+                return
+        handle.exchange.deposit_run(ordinal, index, values, stamps)
 
     def _deliver_out(self, index: int, query_id: int, items: list[tuple]) -> None:
         feeds = self._feeds.get(query_id)
         handle = self._handles.get(query_id)
         if feeds is None or handle is None:
             return  # query stopped while emissions were in flight
+        if isinstance(feeds, dict):  # exchanged: stage-2 hosts only
+            feed = feeds.get(index)
+            if feed is None:
+                return
+        else:
+            feed = feeds[index]
         schema = handle.plan.schema
         batch: list = []
         for item in items:
@@ -1277,4 +1671,4 @@ class ProcessShardEngine(ShardedStreamEngine):
                 batch.append(Punctuation(item[1]))
             else:
                 batch += elements_from_columns(schema, item[1], item[2], item[3])
-        feeds[index].push_batch(batch)
+        feed.push_batch(batch)

@@ -52,11 +52,16 @@ from repro.data.streams import (
 from repro.data.tuples import Row, stable_hash
 from repro.data.windows import WindowSpec
 from repro.errors import CatalogError, ExecutionError
-from repro.plan.logical import LogicalOp
+from repro.plan.exchange import ExchangeRecipe, ExchangeSource
+from repro.plan.logical import LogicalOp, RemoteSource, Scan
 from repro.stream.checkpoint import FALLBACK, restore_operators
 from repro.stream.compiler import DEFAULT_STREAM_WINDOW
 from repro.stream.engine import QueryHandle, StreamEngine
-from repro.stream.partition import PartitionAnalysis, partition_safe
+from repro.stream.partition import (
+    PartitionAnalysis,
+    build_exchange,
+    partition_safe,
+)
 
 _pool_query_ids = itertools.count(1)
 
@@ -236,6 +241,154 @@ class _SinkFeed:
             self.push(item)
 
 
+class _ExchangeState:
+    """Pool-side shuffle buffers and routing of one exchanged query.
+
+    Stage-1 replicas deposit their emissions here (via
+    :class:`_ExchangeFeed`); at every pool punctuation the buffers flush
+    per destination shard, sorted by ``(timestamp, source shard)`` so
+    stage 2 observes rows in the same global order a single engine
+    would, then the destination's exchange ports are punctuated. The
+    buffers are therefore empty at every checkpoint barrier — only the
+    per-``(ordinal, src)`` delivered counts (``flushed``, failover's
+    dedup anchor) persist.
+    """
+
+    __slots__ = ("recipe", "dests", "names", "key_positions", "sources",
+                 "flushed", "_pending")
+
+    def __init__(self, recipe: ExchangeRecipe, dests: list[int]):
+        self.recipe = recipe
+        self.dests = list(dests)
+        self.names = [spec.name for spec in recipe.specs]
+        self.key_positions = [spec.key_positions for spec in recipe.specs]
+        # Source names each spec's stage-1 subtree reads: a named
+        # punctuate advances only the exchange feeds it reaches.
+        self.sources = []
+        for spec in recipe.specs:
+            names = set()
+            for node in spec.stage1.walk():
+                if isinstance(node, Scan):
+                    names.add(node.entry.name.lower())
+                elif isinstance(node, RemoteSource):
+                    names.add(node.name.lower())
+            self.sources.append(frozenset(names))
+        #: (ordinal, src shard) -> rows delivered to destinations so far.
+        self.flushed: dict[tuple[int, int], int] = {}
+        # dest shard -> [(ts, src, ordinal, values), ...] since last flush
+        self._pending: dict[int, list[tuple]] = {}
+
+    def route(self, ordinal: int, values: tuple) -> int:
+        """Destination shard of one stage-1 output row."""
+        dests = self.dests
+        positions = self.key_positions[ordinal]
+        if len(dests) == 1 or not positions:
+            return dests[0]
+        if len(positions) == 1:
+            key = values[positions[0]]
+        else:
+            key = tuple(values[p] for p in positions)
+        return dests[stable_hash(key) % len(dests)]
+
+    def deposit(self, ordinal: int, src: int, element: StreamElement) -> None:
+        values = element.row.values
+        dest = self.route(ordinal, values)
+        self._pending.setdefault(dest, []).append(
+            (element.timestamp, src, ordinal, values)
+        )
+
+    def deposit_run(
+        self, ordinal: int, src: int, values: list[tuple], stamps: list[float]
+    ) -> None:
+        """Deposit a decoded emission run (the process pool's workers
+        ship stage-1 output as column runs, not elements)."""
+        pending = self._pending
+        for row, ts in zip(values, stamps):
+            dest = self.route(ordinal, row)
+            pending.setdefault(dest, []).append((ts, src, ordinal, row))
+
+    def flush(self, dest: int) -> list[tuple[int, list, list]]:
+        """Drain ``dest``'s buffer into delivery runs.
+
+        Rows sort by ``(timestamp, src)`` — re-interleaving the shards'
+        emissions into global arrival order — and consecutive same-
+        ordinal rows group into ``(ordinal, values, timestamps)`` runs,
+        each delivered with one ``push_exchange`` call.
+        """
+        pending = self._pending.pop(dest, None)
+        if not pending:
+            return []
+        pending.sort(key=_ts_src)
+        flushed = self.flushed
+        runs: list[tuple[int, list, list]] = []
+        for ts, src, ordinal, values in pending:
+            key = (ordinal, src)
+            flushed[key] = flushed.get(key, 0) + 1
+            if runs and runs[-1][0] == ordinal:
+                runs[-1][1].append(values)
+                runs[-1][2].append(ts)
+            else:
+                runs.append((ordinal, [values], [ts]))
+        return runs
+
+    def drop_src(self, src: int) -> None:
+        """Discard unflushed rows from a dead shard: its recovering
+        stage-1 replicas re-derive them during log replay (the flushed
+        counts arm the skip that drops already-delivered re-derivations)."""
+        for dest in list(self._pending):
+            kept = [e for e in self._pending[dest] if e[1] != src]
+            if kept:
+                self._pending[dest] = kept
+            else:
+                del self._pending[dest]
+
+    def snapshot(self) -> dict:
+        return {"flushed": dict(self.flushed), "dests": list(self.dests)}
+
+
+def _ts_src(entry: tuple) -> tuple[float, int]:
+    return (entry[0], entry[1])
+
+
+class _ExchangeFeed:
+    """Terminal consumer of one stage-1 replica: deposits emissions into
+    the query's :class:`_ExchangeState` buffers.
+
+    Punctuations never pass — exchange watermarks travel through the
+    pool's shuffle barrier, not through stage-1 pipelines. ``mute``/
+    ``arm(skip)`` mirror :class:`_ShardFeed` for failover dedup, with
+    the skip counted against this ``(ordinal, src)``'s flushed rows.
+    """
+
+    __slots__ = ("_state", "_ordinal", "_src", "_skip", "_muted")
+
+    def __init__(self, state: _ExchangeState, ordinal: int, src: int):
+        self._state = state
+        self._ordinal = ordinal
+        self._src = src
+        self._skip = 0
+        self._muted = False
+
+    def mute(self) -> None:
+        self._muted = True
+
+    def arm(self, skip: int) -> None:
+        self._muted = False
+        self._skip = skip
+
+    def push(self, item: StreamItem) -> None:
+        if self._muted or isinstance(item, Punctuation):
+            return
+        if self._skip > 0:
+            self._skip -= 1
+            return
+        self._state.deposit(self._ordinal, self._src, item)
+
+    def push_batch(self, items: list[StreamItem]) -> None:
+        for item in items:
+            self.push(item)
+
+
 @dataclass
 class ShardedQueryHandle(QueryHandle):
     """Handle over a pool-hosted continuous query.
@@ -252,6 +405,16 @@ class ShardedQueryHandle(QueryHandle):
     #: The merge coordinator feeding ``sink`` (partitioned handles
     #: only) — failover reads its per-shard forwarded counts.
     coordinator: "_MergeCoordinator | None" = field(default=None, repr=False)
+    #: True when the plan runs as a repartitioned two-stage pipeline
+    #: (see :mod:`repro.plan.exchange`); ``exchange`` then holds the
+    #: pool-side shuffle state, ``stage1``/``xfeeds`` the per-shard
+    #: stage-1 replicas and their deposit feeds, and ``stage2`` the
+    #: per-shard merge replicas (None on shards not hosting stage 2).
+    exchanged: bool = False
+    exchange: "_ExchangeState | None" = field(default=None, repr=False)
+    stage1: list = field(default_factory=list, repr=False)
+    stage2: list = field(default_factory=list, repr=False)
+    xfeeds: list = field(default_factory=list, repr=False)
 
     @property
     def shard_stats(self) -> list[dict[str, int]]:
@@ -303,6 +466,13 @@ class ShardedStreamEngine:
         #: so a dict probe replaces the stable_hash call on the ingest
         #: hot path; bounded so a high-cardinality key cannot leak.
         self._owners: dict[str, dict[Any, int]] = {}
+        self._owner_hits = 0
+        self._owner_misses = 0
+        self._owner_evictions = 0
+        #: Remote-source routing recipes learned from executed plans:
+        #: source.lower() -> tuple of (position, full name, bare name)
+        #: per declared key column (see ``_register_remote_keys``).
+        self._remote_keys: dict[str, tuple] = {}
         self._handles: dict[int, ShardedQueryHandle] = {}
         self.elements_ingested = 0
 
@@ -385,6 +555,7 @@ class ShardedStreamEngine:
         if analysis.safe:
             if sink is None:
                 sink = CollectingConsumer()
+            self._register_remote_keys(plan)
             coordinator = _MergeCoordinator(sink, len(self._engines))
             inner = [
                 engine.execute(plan, sink=_ShardFeed(coordinator, index))
@@ -401,6 +572,8 @@ class ShardedStreamEngine:
                 analysis=analysis,
                 coordinator=coordinator,
             )
+        elif analysis.exchange is not None:
+            handle = self._execute_exchanged(plan, analysis, sink)
         else:
             fallback = self._fallback.execute(plan, sink=sink)
             handle = ShardedQueryHandle(
@@ -415,6 +588,105 @@ class ShardedStreamEngine:
             )
         self._handles[handle.query_id] = handle
         return handle
+
+    def _execute_exchanged(
+        self,
+        plan: LogicalOp,
+        analysis: PartitionAnalysis,
+        sink: CollectingConsumer | None,
+    ) -> ShardedQueryHandle:
+        """Start a partition-unsafe query as a two-stage exchanged
+        pipeline: stage-1 replicas on every shard feed the shuffle
+        buffers; stage-2 replicas (every shard when the merge itself
+        partitions by the exchange key, else shard 0) read the exchanged
+        ports and feed the merged sink."""
+        query_id = next(_pool_query_ids)
+        # Re-derive the recipe with the real pool query id as the port-
+        # name token (the analysis carried a token-0 preview): several
+        # exchanged queries may coexist on one engine.
+        recipe = build_exchange(plan, self._keys, token=query_id)
+        assert recipe is not None  # analysis.exchange proved one exists
+        if sink is None:
+            sink = CollectingConsumer()
+        self._register_remote_keys(plan)
+        shards = len(self._engines)
+        dests = list(range(shards)) if recipe.distributed else [0]
+        state = _ExchangeState(recipe, dests)
+        coordinator = _MergeCoordinator(sink, len(dests))
+        stage2: list[QueryHandle | None] = [None] * shards
+        for j, dest in enumerate(dests):
+            stage2[dest] = self._engines[dest].execute(
+                recipe.stage2, sink=_ShardFeed(coordinator, j), share=False
+            )
+        stage1: list[list[QueryHandle]] = []
+        xfeeds: list[list[_ExchangeFeed]] = []
+        for index, engine in enumerate(self._engines):
+            replicas = []
+            feeds = []
+            for spec in recipe.specs:
+                feed = _ExchangeFeed(state, spec.ordinal, index)
+                replicas.append(engine.execute(spec.stage1, sink=feed, share=False))
+                feeds.append(feed)
+            stage1.append(replicas)
+            xfeeds.append(feeds)
+        inner = [r for replicas in stage1 for r in replicas]
+        inner += [h for h in stage2 if h is not None]
+        return ShardedQueryHandle(
+            query_id,
+            plan,
+            stage2[dests[0]].compiled,
+            sink,
+            self,
+            inner=inner,
+            partitioned=True,
+            analysis=analysis,
+            coordinator=coordinator,
+            exchanged=True,
+            exchange=state,
+            stage1=stage1,
+            stage2=stage2,
+            xfeeds=xfeeds,
+        )
+
+    def _register_remote_keys(self, plan: LogicalOp) -> None:
+        """Learn the routing key of every keyed remote source in
+        ``plan``: a federated fragment whose :class:`RemoteSource`
+        declares ``partition_by`` ships pre-partitioned output, so
+        ``push_remote`` can hash-route its elements to the owning shard
+        instead of round-robining them (exchange ports are internal —
+        the shuffle barrier routes those itself)."""
+        for node in plan.walk():
+            if not isinstance(node, RemoteSource) or isinstance(node, ExchangeSource):
+                continue
+            if not node.partition_by:
+                continue
+            recipe = []
+            for key in node.partition_by:
+                for position, f in enumerate(node.schema):
+                    if f.name == key or f.bare_name == key:
+                        recipe.append((position, f.name, f.bare_name))
+                        break
+                else:
+                    recipe = None  # unresolvable key: keep round-robin
+                    break
+            if recipe:
+                self._remote_keys[node.name.lower()] = tuple(recipe)
+
+    def _remote_owner(
+        self, lower: str, values: Mapping[str, Any] | Row
+    ) -> int | None:
+        """Owning shard for a keyed remote element (None = round-robin)."""
+        recipe = self._remote_keys.get(lower)
+        if recipe is None:
+            return None
+        if isinstance(values, Row):
+            parts = [values.values[position] for position, _, _ in recipe]
+        else:
+            parts = [
+                values.get(full, values.get(bare)) for _, full, bare in recipe
+            ]
+        key = parts[0] if len(parts) == 1 else tuple(parts)
+        return self._owner_of(lower, key)
 
     def stop(self, handle: QueryHandle) -> None:
         """Stop a pool query (all replicas / the fallback). Idempotent."""
@@ -431,20 +703,42 @@ class ShardedStreamEngine:
     _OWNER_CACHE_LIMIT = 8192
 
     def _owner_of(self, lower: str, value: Any) -> int:
-        """Owning shard for one partition-key value, memoized."""
+        """Owning shard for one partition-key value, memoized in a
+        bounded LRU (insertion-ordered dict; a hit moves the entry to
+        the back, a miss at capacity evicts the front — the least
+        recently routed value). A full ``clear()`` would stall ingest
+        with a burst of stable_hash recomputations each time a
+        high-cardinality key wraps the limit; eviction keeps the hot
+        working set resident instead."""
         cache = self._owners.get(lower)
         if cache is None:
             cache = self._owners[lower] = {}
         try:
-            owner = cache.get(value)
+            owner = cache.pop(value, None)
         except TypeError:  # unhashable key value: no memo, direct hash
             return stable_hash(value) % len(self._engines)
         if owner is None:
+            self._owner_misses += 1
             if len(cache) >= self._OWNER_CACHE_LIMIT:
-                cache.clear()
+                del cache[next(iter(cache))]
+                self._owner_evictions += 1
             owner = stable_hash(value) % len(self._engines)
-            cache[value] = owner
+        else:
+            self._owner_hits += 1
+        cache[value] = owner  # (re)insert at the back: most recent
         return owner
+
+    def stats(self) -> dict:
+        """Pool ingest counters: owner-cache effectiveness plus the
+        total elements routed (all sources)."""
+        return {
+            "elements_ingested": self.elements_ingested,
+            "owner_cache_hits": self._owner_hits,
+            "owner_cache_misses": self._owner_misses,
+            "owner_cache_evictions": self._owner_evictions,
+            "owner_cache_size": sum(len(c) for c in self._owners.values()),
+            "owner_cache_limit": self._OWNER_CACHE_LIMIT,
+        }
 
     def _owner(self, lower: str, row: Row | Mapping[str, Any]) -> int:
         """Shard index owning ``row`` for the source named ``lower``."""
@@ -571,9 +865,10 @@ class ShardedStreamEngine:
         """Route a remote-source element (a federated fragment's output
         arriving at the basestation) into whichever engines subscribed:
         a partition-safe residual has one replica per shard, so its
-        remote feed round-robins across them (remote sources declare no
-        key); an unsafe residual's ports live on the fallback engine
-        and receive the full feed there."""
+        remote feed either hash-routes on the fragment's declared
+        ``partition_by`` key or round-robins across them; an unsafe
+        residual's ports live on the fallback engine and receive the
+        full feed there."""
         self.elements_ingested += 1
         lower = name.lower()
         # Recover any failed engine first: a dead engine has lost its
@@ -586,11 +881,13 @@ class ShardedStreamEngine:
             self._recover_fallback()
         checkpointer = self.checkpointer
         if any(engine.subscribed(lower) for engine in self._engines):
-            cursor = self._round_robin.get(lower, 0)
-            self._round_robin[lower] = (cursor + 1) % len(self._engines)
+            owner = self._remote_owner(lower, values)
+            if owner is None:
+                owner = self._round_robin.get(lower, 0)
+                self._round_robin[lower] = (owner + 1) % len(self._engines)
             if checkpointer is not None:
-                checkpointer.record(("remote", cursor, name, values, timestamp))
-            self._engines[cursor].push_remote(name, values, timestamp)
+                checkpointer.record(("remote", owner, name, values, timestamp))
+            self._engines[owner].push_remote(name, values, timestamp)
         if self._fallback.subscribed(lower):
             if checkpointer is not None:
                 checkpointer.record(("remote", FALLBACK, name, values, timestamp))
@@ -612,9 +909,54 @@ class ShardedStreamEngine:
             self._recover_fallback()
         for engine in self._engines:
             engine.punctuate(watermark, sources)
+        # Shuffle barrier: stage-1 emissions (including this
+        # punctuation's window closes and running deltas) flush to their
+        # destination shards, then the exchange ports are punctuated —
+        # so stage-2 sees everything ≤ watermark before its own
+        # watermark advances, exactly like a single engine would.
+        self._deliver_exchanges(watermark, sources)
         self._fallback.punctuate(watermark, sources)
         if self.checkpointer is not None:
             self.checkpointer.on_punctuation(watermark, sources)
+
+    def _deliver_exchanges(
+        self, watermark: float, sources: list[str] | None = None
+    ) -> None:
+        named = None if sources is None else {s.lower() for s in sources}
+        checkpointer = self.checkpointer
+        for handle in self._handles.values():
+            if not handle.exchanged:
+                continue
+            state = handle.exchange
+            if named is None:
+                xnames = list(state.names)
+            else:
+                # A named punctuate advances only the feeds whose
+                # stage-1 subtree reads one of the named sources (a
+                # shuffled join side holds its watermark until its own
+                # source is punctuated, matching the single engine).
+                xnames = [
+                    state.names[i]
+                    for i, reads in enumerate(state.sources)
+                    if reads & named
+                ]
+                if not xnames:
+                    continue
+            for dest in state.dests:
+                engine = self._engines[dest]
+                runs = state.flush(dest)
+                if runs:
+                    named_runs = [
+                        (state.names[ordinal], values, stamps)
+                        for ordinal, values, stamps in runs
+                    ]
+                    if checkpointer is not None:
+                        checkpointer.record(("xdeliver", dest, named_runs))
+                    for name, values, stamps in named_runs:
+                        engine.push_exchange(name, values, stamps)
+                if checkpointer is not None:
+                    checkpointer.record(("xpunct", dest, watermark, xnames))
+                engine.punctuate(watermark, xnames)
 
     # ------------------------------------------------------------------
     # Tables (replicated to every engine)
@@ -698,12 +1040,18 @@ class ShardedStreamEngine:
         # re-admitted has the shared-chain DAG regrown to the shape the
         # chain snapshot describes.
         restored = []
+        restored_x = []
         for handle in partitioned:
             handle_cp = (
                 checkpoint.handles.get(handle.query_id)
                 if checkpoint is not None
                 else None
             )
+            if handle.exchanged:
+                restored_x.append(
+                    self._reexecute_exchanged(handle, handle_cp, fresh, index)
+                )
+                continue
             barrier_count = (
                 handle_cp.merge_counts[index] if handle_cp is not None else 0
             )
@@ -727,10 +1075,68 @@ class ShardedStreamEngine:
             handle.inner[index] = replica
             if index == 0:
                 handle.compiled = replica.compiled
+        for entry in restored_x:
+            self._restore_exchanged(entry, index)
         from_seq = checkpoint.log_seq if checkpoint is not None else 0
         replayed = self._replay_into(fresh, coordinator.log.suffix(from_seq), index)
         coordinator.note_replay(index, from_seq, replayed)
         return fresh
+
+    def _reexecute_exchanged(self, handle, handle_cp, fresh, index):
+        """Pass 1 of exchanged-handle failover on one shard: re-execute
+        the shard's stage-1 replicas (and its stage-2 replica, when this
+        shard hosts one) muted, and compute the emission skips that
+        deduplicate re-derived output during log replay."""
+        state = handle.exchange
+        # Unflushed rows from the dead shard are re-derived by replay;
+        # already-delivered ones are dropped by the per-feed skip below.
+        state.drop_src(index)
+        barrier_flushed = (
+            handle_cp.exchange["flushed"] if handle_cp is not None else {}
+        )
+        s1 = []
+        for ordinal, spec in enumerate(state.recipe.specs):
+            feed = _ExchangeFeed(state, ordinal, index)
+            feed.mute()
+            replica = fresh.execute(spec.stage1, sink=feed, share=False)
+            skip = state.flushed.get((ordinal, index), 0) - barrier_flushed.get(
+                (ordinal, index), 0
+            )
+            s1.append((feed, replica, skip))
+        s2 = None
+        if index in state.dests:
+            j = state.dests.index(index)
+            barrier_count = (
+                handle_cp.merge_counts[j] if handle_cp is not None else 0
+            )
+            skip2 = handle.coordinator.forwarded(j) - barrier_count
+            feed2 = _ShardFeed(handle.coordinator, j)
+            feed2.mute()
+            replica2 = fresh.execute(state.recipe.stage2, sink=feed2, share=False)
+            s2 = (feed2, replica2, skip2)
+        return (handle, handle_cp, s1, s2)
+
+    def _restore_exchanged(self, entry, index: int) -> None:
+        """Pass 2: load barrier operator state, arm the dedup skips and
+        splice the fresh replicas into the handle's bookkeeping."""
+        handle, handle_cp, s1, s2 = entry
+        states = handle_cp.replicas[index] if handle_cp is not None else None
+        for ordinal, (feed, replica, skip) in enumerate(s1):
+            if states is not None:
+                restore_operators(replica, states["s1"][ordinal])
+            feed.arm(skip)
+            handle.stage1[index][ordinal] = replica
+            handle.xfeeds[index][ordinal] = feed
+        if s2 is not None:
+            feed2, replica2, skip2 = s2
+            if states is not None and states["s2"] is not None:
+                restore_operators(replica2, states["s2"])
+            feed2.arm(skip2)
+            handle.stage2[index] = replica2
+            if index == handle.exchange.dests[0]:
+                handle.compiled = replica2.compiled
+        handle.inner = [r for replicas in handle.stage1 for r in replicas]
+        handle.inner += [h for h in handle.stage2 if h is not None]
 
     def _recover_fallback(self) -> StreamEngine:
         """Failover the designated fallback engine.

@@ -26,6 +26,7 @@ from repro.analysis import (
     check_progress,
     check_types,
     diag,
+    exchange_diagnostics,
     explain_diagnostics,
     federated_diagnostics,
     partition_diagnostic,
@@ -476,6 +477,89 @@ class TestPartitionCodes:
         diagnostic = partition_diagnostic(plan, self.KEYS)
         assert diagnostic.code == "RA301"
         assert "designated engine" in diagnostic.message
+
+    def test_partition_diagnostic_reports_exchange_rescue(self):
+        plan = _plan(
+            "select r.temp, count(*) as n from Readings r "
+            "[range 10 seconds] group by r.temp"
+        )
+        diagnostic = partition_diagnostic(plan, self.KEYS)
+        assert diagnostic.code == "RA309"
+        assert "repartitions mid-plan" in diagnostic.message
+
+
+# ----------------------------------------------------------------------
+# RA32x: exchange (mid-plan repartitioning) decisions
+# ----------------------------------------------------------------------
+class TestExchangeCodes:
+    KEYS = {"readings": "room", "events": "room"}
+
+    def _codes(self, plan, keys=None):
+        return _codes(
+            exchange_diagnostics(plan, self.KEYS if keys is None else keys)
+        )
+
+    def test_safe_plan_has_no_exchange_diagnostics(self):
+        plan = _plan(
+            "select r.room, count(*) as n from Readings r "
+            "[range 10 seconds] group by r.room"
+        )
+        assert self._codes(plan) == []
+
+    def test_designated_engine_by_design_stays_silent(self):
+        # Replicated-only plans want one engine; a shuffle adds nothing.
+        assert self._codes(_plan("select m.host from Machines m")) == []
+
+    def test_ra320_join_shuffle(self):
+        plan = _plan(
+            "select r.room, e.host from Readings r [range 10 seconds], "
+            "Events e [range 10 seconds] where r.room = e.host"
+        )
+        assert self._codes(plan) == ["RA320"]
+
+    def test_ra321_two_phase_aggregation(self):
+        plan = _plan(
+            "select r.temp, count(*) as n from Readings r "
+            "[range 10 seconds] group by r.temp"
+        )
+        assert self._codes(plan) == ["RA321"]
+
+    def test_ra322_distinct_shuffle(self):
+        plan = _plan("select distinct r.temp from Readings r")
+        assert self._codes(plan) == ["RA322"]
+
+    def test_ra323_broadcast_table_noted(self):
+        plan = _plan(
+            "select r.temp, count(*) as n from Readings r "
+            "[range 10 seconds], Machines m where r.room = m.room "
+            "group by r.temp"
+        )
+        assert self._codes(plan) == ["RA321", "RA323"]
+
+    def test_ra324_no_strategy_applies(self):
+        plan = _plan("select r.room from Readings r order by r.room")
+        assert self._codes(plan) == ["RA324"]
+
+    def test_ra325_round_robin_ingest(self):
+        plan = _plan(
+            "select r.temp, count(*) as n from Readings r "
+            "[range 10 seconds] group by r.temp"
+        )
+        assert self._codes(plan, keys={}) == ["RA321", "RA325"]
+
+    def test_explain_diagnostics_include_exchange_section(self):
+        catalog = _catalog()
+        plan = _plan(
+            "select r.temp, count(*) as n from Readings r "
+            "[range 10 seconds] group by r.temp"
+        )
+        from repro.core import FederatedOptimizer
+
+        federated = FederatedOptimizer(catalog).optimize(plan)
+        codes = _codes(
+            explain_diagnostics(plan, federated, shard_keys=self.KEYS)
+        )
+        assert "RA309" in codes and "RA321" in codes
 
 
 # ----------------------------------------------------------------------

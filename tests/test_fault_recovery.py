@@ -353,6 +353,142 @@ class TestProcessWorkerFailover:
 
 
 # ----------------------------------------------------------------------
+# Exchanged plans: kill a shard mid-shuffle
+# ----------------------------------------------------------------------
+EXCHANGED_QUERIES = [
+    # Global aggregate: per-shard partials gathered to one merge shard.
+    "select count(*) as n, sum(r.temp) as total from Readings r "
+    "[range 20 seconds slide 20 seconds]",
+    # Non-covering GROUP BY (the key is host): partials shuffled by room.
+    "select r.room, count(*) as n from Readings r "
+    "[range 20 seconds slide 20 seconds] group by r.room",
+    # DISTINCT without the key: row-hash shuffle.
+    "select distinct r.room from Readings r where r.temp > 20.0",
+]
+
+
+def _run_unsharded_exchanged(rows, stamps, chunks):
+    catalog = _catalog()
+    engine = StreamEngine(catalog)
+    builder = PlanBuilder(catalog)
+    handles = [
+        engine.execute(builder.build_sql(sql)) for sql in EXCHANGED_QUERIES
+    ]
+    return _drive(engine, handles, chunks, stamps[-1] + 200.0)
+
+
+class TestExchangedShardFailover:
+    """Kill a shard while unsafe plans run via exchange: the dead
+    source's pending shuffle deposits are dropped and re-derived by the
+    restored stage-1 replicas, stage-2 merge replicas restore from
+    their snapshots, and the merged emissions stay identical to the
+    failure-free (and the unsharded) run."""
+
+    def _pool(self, shards, interval):
+        catalog = _catalog()
+        pool = ShardedStreamEngine(catalog, shards=shards)
+        pool.set_partition_key("Readings", "host")
+        coordinator = CheckpointCoordinator(pool, interval=interval)
+        builder = PlanBuilder(catalog)
+        handles = [
+            pool.execute(builder.build_sql(sql)) for sql in EXCHANGED_QUERIES
+        ]
+        assert all(handle.exchanged for handle in handles)
+        return pool, coordinator, handles
+
+    @pytest.mark.parametrize("seed", range(min(SEEDS, 4)))
+    def test_kill_shard_mid_shuffle(self, seed):
+        rng = random.Random(900 + seed)
+        rows, stamps = _rows(rng.randint(150, 300), rng)
+        chunks = _chunks(rows, stamps, random.Random(seed * 31 + 7))
+        expected = _run_unsharded_exchanged(rows, stamps, chunks)
+
+        shards = 4
+        pool, coordinator, handles = self._pool(shards, interval=25.0)
+        kill_at = seeded_point(seed, len(chunks))
+        victim = seeded_point(seed, shards, salt=1)
+
+        def inject(chunk_no):
+            if chunk_no == kill_at:
+                kill_shard(pool, victim)
+
+        got = _drive(pool, handles, chunks, stamps[-1] + 200.0, on_chunk=inject)
+        assert got == expected, (
+            f"seed={seed}: exchanged emissions diverged across recovery"
+        )
+        replay = coordinator.last_replay
+        assert replay is not None and replay["target"] == victim
+
+    def test_kill_merge_shard(self):
+        """Shard 0 hosts the global aggregate's single stage-2 replica;
+        killing it exercises merge-accumulator restore plus the
+        coordinator's forwarded-count skip on re-delivery."""
+        rng = random.Random(77)
+        rows, stamps = _rows(200, rng)
+        chunks = _chunks(rows, stamps, random.Random(77 * 31 + 7))
+        expected = _run_unsharded_exchanged(rows, stamps, chunks)
+
+        pool, coordinator, handles = self._pool(3, interval=25.0)
+
+        def inject(chunk_no):
+            if chunk_no == len(chunks) // 2:
+                kill_shard(pool, 0)
+
+        got = _drive(pool, handles, chunks, stamps[-1] + 200.0, on_chunk=inject)
+        assert got == expected
+        assert coordinator.last_replay["target"] == 0
+
+
+@pytest.mark.skipif(
+    usable_start_method() is None, reason="no multiprocessing start method"
+)
+class TestExchangedWorkerFailover:
+    """SIGKILL a worker process while exchanged plans are running: the
+    replacement re-executes its stage replicas from shipped SQL, replays
+    the log suffix (including xdeliver/xpunct records), and the armed
+    skips keep the shuffle exactly-once."""
+
+    @pytest.mark.parametrize("seed", range(min(SEEDS, 2)))
+    def test_kill_worker_mid_shuffle(self, seed):
+        rng = random.Random(900 + seed)
+        rows, stamps = _rows(rng.randint(150, 300), rng)
+        chunks = _chunks(rows, stamps, random.Random(seed * 31 + 7))
+        expected = _run_unsharded_exchanged(rows, stamps, chunks)
+
+        shards = 4
+        catalog = _catalog()
+        pool = ProcessShardEngine(catalog, shards=shards)
+        try:
+            pool.set_partition_key("Readings", "host")
+            coordinator = CheckpointCoordinator(pool, interval=25.0)
+            builder = PlanBuilder(catalog)
+            handles = [
+                pool.execute(builder.build_sql(sql), sql=sql)
+                for sql in EXCHANGED_QUERIES
+            ]
+            assert all(handle.exchanged for handle in handles)
+            kill_at = seeded_point(seed, len(chunks))
+            victim = seeded_point(seed, shards, salt=1)
+
+            def inject(chunk_no):
+                if chunk_no == kill_at:
+                    kill_worker(pool, victim)
+
+            got = _drive(
+                pool, handles, chunks, stamps[-1] + 200.0, on_chunk=inject
+            )
+            assert got == expected, (
+                f"seed={seed}: exchanged emissions diverged across "
+                "worker recovery"
+            )
+            replay = coordinator.last_replay
+            assert replay is not None and replay["target"] == victim
+            assert pool.worker_stats()["restarts"] == 1
+        finally:
+            pool.shutdown()
+
+
+# ----------------------------------------------------------------------
 # Federated: mote death and self-healing redeployment
 # ----------------------------------------------------------------------
 TEMPS = Schema.of(("room", DataType.STRING), ("temp", DataType.FLOAT))

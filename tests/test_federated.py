@@ -109,6 +109,33 @@ class TestPartitioning:
         ]
         assert len(remotes) == 1
 
+    def test_pushed_join_feed_carries_partition_key(self, fed, builder):
+        """The RemoteSource standing in for an in-network join advertises
+        the join-site equi-key, so the sharded backend can route its feed
+        by hash instead of round-robin (and keep keyed residuals safe)."""
+        plan = builder.build_sql(
+            "select sa.room from AreaSensors sa, SeatSensors ss "
+            "where sa.room = ss.room and sa.status = 'open' and ss.status = 'free'"
+        )
+        federated = fed.optimize(plan)
+        assert [f.deployment.kind for f in federated.pushed] == ["join"]
+        remotes = [
+            n for n in federated.stream_plan.walk() if isinstance(n, RemoteSource)
+        ]
+        assert len(remotes) == 1
+        assert remotes[0].partition_by == ("sa.room",)
+
+    def test_raw_collection_feed_is_unkeyed(self, fed, builder):
+        plan = builder.build_sql(
+            "select sa.room from AreaSensors sa, Person p where sa.room = p.room"
+        )
+        federated = fed.optimize(plan)
+        remotes = [
+            n for n in federated.stream_plan.walk() if isinstance(n, RemoteSource)
+        ]
+        assert len(remotes) == 1
+        assert remotes[0].partition_by == ()
+
     def test_no_sensor_scans_left_in_stream_plan(self, fed, builder):
         from repro.catalog import EngineLocation
 

@@ -180,7 +180,7 @@ class TestFederatedIdentityCorpus:
         assert isinstance(handle, ShardedQueryHandle) and handle.partitioned
         assert sharded == unsharded
 
-    def test_sharded_join_residual_falls_back_identically(self):
+    def test_sharded_join_residual_exchanges_identically(self):
         sql = (
             "select t.room, t.temp, l.load from RoomTemps t, RoomLoad l "
             "where t.room = l.room and t.temp > 15.0"
@@ -196,9 +196,10 @@ class TestFederatedIdentityCorpus:
 
         _, unsharded = run(1)
         handle, sharded = run(3)
-        # A join over the unkeyed fragment feed cannot partition; the
-        # pool's designated engine runs it whole — same emissions.
-        assert isinstance(handle, ShardedQueryHandle) and not handle.partitioned
+        # A join over the unkeyed fragment feeds cannot partition in
+        # place, but the pool hash-shuffles both sides on the join key
+        # (t.room = l.room) and runs it on every shard — same emissions.
+        assert isinstance(handle, ShardedQueryHandle) and handle.exchanged
         assert sharded == unsharded
 
 

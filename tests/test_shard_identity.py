@@ -202,12 +202,13 @@ class TestShardIdentityCorpus:
 
     @pytest.mark.parametrize("seed", range(min(SEEDS, 5)))
     def test_round_robin_identity(self, seed):
-        """Without a declared key only stateless plans stay partitioned;
-        results still match exactly (stateful plans fall back)."""
+        """Without a declared key, stateless plans stay partitioned and
+        the GROUP BY runs as a two-stage exchange over the round-robin
+        feed; results still match exactly (ORDER BY falls back)."""
         rng = random.Random(1000 + seed)
         queries = [
             _fill(SAFE_TEMPLATES[0], rng),
-            _fill(SAFE_TEMPLATES[2], rng),  # keyed agg -> fallback (no key)
+            _fill(SAFE_TEMPLATES[2], rng),  # keyed agg -> exchange (no key)
             _fill(UNSAFE_TEMPLATES[0], rng),
         ]
         rows, stamps = _rows(200, rng)
@@ -217,8 +218,8 @@ class TestShardIdentityCorpus:
         )
         assert got == expected
         assert handles[0].partitioned  # stateless chain stays parallel
-        assert not handles[1].partitioned  # aggregate needs the key
-        assert not handles[2].partitioned
+        assert handles[1].exchanged  # unkeyed ingest: shuffle on GROUP BY
+        assert not handles[2].partitioned  # ORDER BY still falls back
 
 
 def _run_process(queries, rows, stamps, seed, shards, partition_by="host"):
@@ -368,7 +369,10 @@ class TestShardedJoins:
         assert got == expected
         assert handle.partitioned, handle.analysis
 
-    def test_unaligned_stream_join_falls_back_and_is_identical(self):
+    def test_unaligned_stream_join_exchanges_and_is_identical(self):
+        """The join key (room = kind) disagrees with the declared
+        partition key (host), so the pool shuffles both inputs on the
+        join key mid-plan instead of falling back — identical output."""
         sql = (
             "select r.host, e.kind from Readings r [range 20 seconds], "
             "Events e [range 20 seconds] where r.room = e.kind"
@@ -383,4 +387,27 @@ class TestShardedJoins:
         expected, _ = self._run(StreamEngine, sql, 9)
         got, handle = self._run(sharded, sql, 9)
         assert got == expected
-        assert not handle.partitioned
+        assert handle.exchanged
+
+    def test_unaligned_join_with_matches_is_identical(self):
+        """Same shape but with a predicate that actually produces pairs
+        (host = host, partitioned by room/kind): every shard count must
+        reproduce the single engine's rows through the shuffle."""
+        sql = (
+            "select r.host, r.temp, e.kind from Readings r [range 30 seconds], "
+            "Events e [range 10 seconds] where r.host = e.host and e.level > 2.0"
+        )
+
+        expected, _ = self._run(StreamEngine, sql, 11)
+        assert expected  # the corpus would be vacuous without matches
+        for shards in (2, 3):
+
+            def sharded(catalog, shards=shards):
+                pool = ShardedStreamEngine(catalog, shards=shards)
+                pool.set_partition_key("Readings", "room")
+                pool.set_partition_key("Events", "kind")
+                return pool
+
+            got, handle = self._run(sharded, sql, 11)
+            assert got == expected
+            assert handle.exchanged
